@@ -1,0 +1,239 @@
+package ormprof
+
+// Integration tests for the command-line tools: each binary is built once
+// and driven end to end with small workloads, asserting the key lines of
+// its output. These catch wiring regressions (flag plumbing, file I/O,
+// formats) that package-level unit tests cannot see.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	buildDir  string
+	buildErr  error
+)
+
+// buildTools compiles all cmd/ binaries into a shared temp dir, once.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		buildDir, buildErr = os.MkdirTemp("", "ormprof-cli")
+		if buildErr != nil {
+			return
+		}
+		cmd := exec.Command("go", "build", "-o", buildDir+string(os.PathSeparator), "./cmd/...")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			buildErr = err
+			buildDir = string(out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building tools: %v\n%s", buildErr, buildDir)
+	}
+	return buildDir
+}
+
+// runTool executes a built binary and returns its combined output.
+func runTool(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	bin := filepath.Join(buildTools(t), name)
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func wantContains(t *testing.T, out string, subs ...string) {
+	t.Helper()
+	for _, s := range subs {
+		if !strings.Contains(out, s) {
+			t.Errorf("output missing %q:\n%s", s, out)
+		}
+	}
+}
+
+func TestCLIWhompSingleWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	dir := t.TempDir()
+	profile := filepath.Join(dir, "ll.whomp")
+	out := runTool(t, "whomp", "-workload", "linkedlist", "-o", profile)
+	wantContains(t, out, "workload linkedlist", "RASG:", "OMSG:", "smaller", "wrote")
+	if _, err := os.Stat(profile); err != nil {
+		t.Fatalf("profile not written: %v", err)
+	}
+
+	// The umbrella tool must identify the file.
+	out = runTool(t, "ormprof", "inspect", profile)
+	wantContains(t, out, "WHOMP profile", `workload "linkedlist"`, "object table")
+}
+
+func TestCLILeapSingleWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	dir := t.TempDir()
+	profile := filepath.Join(dir, "p.leap")
+	out := runTool(t, "leap", "-workload", "197.parser", "-o", profile)
+	wantContains(t, out, "workload 197.parser", "sample quality", "compression")
+
+	out = runTool(t, "ormprof", "inspect", profile)
+	wantContains(t, out, "LEAP profile", "streams", "sample quality")
+}
+
+func TestCLIRecordAndReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	dir := t.TempDir()
+	tr := filepath.Join(dir, "t.ormtrace")
+	out := runTool(t, "ormprof", "record", "-workload", "linkedlist", "-o", tr)
+	wantContains(t, out, "recorded linkedlist", "loads", "stores")
+
+	// Profiling the recorded trace must agree with profiling the live
+	// workload (same seed): grab the OMSG byte count from both.
+	live := runTool(t, "whomp", "-workload", "linkedlist")
+	replay := runTool(t, "whomp", "-trace", tr)
+	pick := func(out string) string {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.Contains(line, "OMSG:") {
+				return strings.TrimSpace(line)
+			}
+		}
+		return ""
+	}
+	if pick(live) == "" || pick(live) != pick(replay) {
+		t.Errorf("live and replayed OMSG lines differ:\n live:   %q\n replay: %q", pick(live), pick(replay))
+	}
+}
+
+func TestCLIOrmprofSubcommands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	out := runTool(t, "ormprof", "translate", "-workload", "linkedlist", "-n", "4")
+	wantContains(t, out, "(ld1, 1, 0, 0, t0)", "translated")
+
+	out = runTool(t, "ormprof", "groups", "-workload", "186.crafty")
+	wantContains(t, out, "attack_table", "board", "Objects")
+
+	out = runTool(t, "ormprof", "regularity", "-workload", "164.gzip", "-n", "5")
+	wantContains(t, out, "REGULAR", "irregular", "separation")
+
+	out = runTool(t, "ormprof", "locality", "-workload", "197.parser")
+	wantContains(t, out, "LRU capacity", "Line miss ratio", "Object miss ratio")
+}
+
+func TestCLIStrideScan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	out := runTool(t, "stridescan")
+	wantContains(t, out, "Figure 9", "average stride score")
+}
+
+func TestCLILayoutOpt(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	out := runTool(t, "layoutopt", "-workload", "197.parser")
+	wantContains(t, out, "original layout", "field reordering", "object clustering")
+}
+
+func TestCLIPhaseScan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	out := runTool(t, "phasescan", "-workload", "256.bzip2")
+	wantContains(t, out, "Phases", "Monolithic capture", "Phase-cognizant capture")
+}
+
+func TestCLIInspectRejectsGarbage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.bin")
+	if err := os.WriteFile(bad, []byte("not a profile"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(buildTools(t), "ormprof")
+	out, err := exec.Command(bin, "inspect", bad).CombinedOutput()
+	if err == nil {
+		t.Fatalf("inspect accepted garbage:\n%s", out)
+	}
+	if !strings.Contains(string(out), "not a WHOMP or LEAP profile") {
+		t.Errorf("unexpected error output: %s", out)
+	}
+}
+
+func TestCLIDiff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.leap")
+	b := filepath.Join(dir, "b.leap")
+	runTool(t, "leap", "-workload", "197.parser", "-seed", "1", "-o", a)
+	runTool(t, "leap", "-workload", "197.parser", "-seed", "2", "-scale", "2", "-o", b)
+	out := runTool(t, "ormprof", "diff", a, b)
+	wantContains(t, out, "Execs A", "Execs B", "sample quality")
+	if !strings.Contains(out, "+100") {
+		t.Errorf("expected ~+100%% exec deltas for a 2x-scale run:\n%s", out)
+	}
+	// Identical runs: no differences.
+	out = runTool(t, "ormprof", "diff", a, a)
+	wantContains(t, out, "no significant per-instruction differences")
+}
+
+func TestCLIGrammar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	out := runTool(t, "ormprof", "grammar", "-workload", "linkedlist", "-dim", "offset", "-n", "3")
+	wantContains(t, out, "offset-dimension grammar", "hottest rules", "[0 8")
+}
+
+func TestCLIRegenLossless(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	dir := t.TempDir()
+	profile := filepath.Join(dir, "ll.whomp")
+	regen := filepath.Join(dir, "regen.ormtrace")
+	runTool(t, "whomp", "-workload", "linkedlist", "-o", profile)
+	out := runTool(t, "ormprof", "regen", "-o", regen, profile)
+	wantContains(t, out, "regenerated 2560 accesses", "wrote")
+	// The first access of the linked-list trace is instruction 1 at the
+	// first node (heap base).
+	wantContains(t, out, "i1", "0x40000000")
+}
+
+func TestCLIMdep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	out := runTool(t, "mdep")
+	wantContains(t, out, "Figure 6", "Figure 7", "Figure 8", "LEAP", "Connors")
+}
+
+func TestCLICSVOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	out := runTool(t, "leap", "-csv")
+	wantContains(t, out, "Benchmark,Accesses,Compression", "164.gzip,")
+	if strings.Contains(out, "paper averages") {
+		t.Error("CSV mode should suppress prose")
+	}
+}

@@ -1,0 +1,88 @@
+// Command leap collects LEAP (lossy LMAD) profiles for the benchmark
+// workloads and prints the paper's Table 1: compression ratio, time
+// dilation, and sample quality.
+//
+// Usage:
+//
+//	leap [-workload NAME] [-scale N] [-seed N] [-max-lmads N] [-o profile.leap]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ormprof/internal/experiments"
+	"ormprof/internal/leap"
+	"ormprof/internal/report"
+	"ormprof/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "run a single workload (default: all seven)")
+		scale    = flag.Int("scale", 1, "workload scale factor")
+		seed     = flag.Int64("seed", 42, "workload random seed")
+		maxLMADs = flag.Int("max-lmads", 0, "LMAD budget per (instruction, group) stream (0 = paper default of 30)")
+		out      = flag.String("o", "", "write the LEAP profile of the (single) workload to this file")
+		csvOut   = flag.Bool("csv", false, "emit the Table 1 rows as CSV (for plotting)")
+	)
+	flag.Parse()
+
+	cfg := workloads.Config{Scale: *scale, Seed: *seed}
+	if *workload != "" {
+		if err := runOne(*workload, cfg, *maxLMADs, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "leap:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	rows := experiments.Table1(cfg, *maxLMADs)
+	avg := experiments.Table1Average(rows)
+	tbl := report.NewTable("Benchmark", "Accesses", "Compression", "Dilation", "Accesses captured", "Instrs captured")
+	for _, r := range append(rows, avg) {
+		tbl.AddRowf(r.Benchmark, r.Accesses, report.Ratio(r.Compression),
+			fmt.Sprintf("%.1f", r.Dilation), report.Pct(r.AccPct), report.Pct(r.InstrPct))
+	}
+	if *csvOut {
+		if err := tbl.WriteCSV(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "leap:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	tbl.WriteTo(os.Stdout) //nolint:errcheck // stdout
+	fmt.Printf("\nTable 1 (paper averages: 3539x compression, 11.5x dilation, 46.5%% accesses, 40.5%% instructions)\n")
+}
+
+func runOne(name string, cfg workloads.Config, maxLMADs int, out string) error {
+	prog, err := workloads.New(name, cfg)
+	if err != nil {
+		return err
+	}
+	buf, sites := experiments.Record(prog, nil)
+
+	lp := leap.New(sites, maxLMADs)
+	buf.Replay(lp)
+	profile := lp.Profile(name)
+
+	accPct, instrPct := profile.SampleQuality()
+	fmt.Printf("workload %s: %d accesses, %d streams, %d LMADs\n",
+		name, profile.Records, len(profile.Streams), profile.TotalLMADs())
+	fmt.Printf("  profile: %d bytes (compression %.0fx)\n", profile.EncodedSize(), profile.CompressionRatio())
+	fmt.Printf("  sample quality: %.1f%% of accesses, %.1f%% of instructions\n", accPct, instrPct)
+
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if _, err := profile.WriteTo(f); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote profile to %s\n", out)
+	}
+	return nil
+}

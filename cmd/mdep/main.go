@@ -1,0 +1,76 @@
+// Command mdep runs the paper's memory dependence frequency experiment
+// (§4.2.1): it compares the LEAP LMAD-based dependence post-processor and
+// the Connors windowed profiler against a lossless raw-address baseline,
+// reproducing Figures 6, 7, and 8.
+//
+// Usage:
+//
+//	mdep [-scale N] [-seed N] [-max-lmads N] [-window N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ormprof/internal/depend"
+	"ormprof/internal/experiments"
+	"ormprof/internal/report"
+	"ormprof/internal/workloads"
+)
+
+func main() {
+	var (
+		scale    = flag.Int("scale", 1, "workload scale factor")
+		seed     = flag.Int64("seed", 42, "workload random seed")
+		maxLMADs = flag.Int("max-lmads", 0, "LEAP LMAD budget (0 = paper default of 30)")
+		window   = flag.Int("window", 0, "Connors store-history window (0 = default)")
+		bench    = flag.String("benchmark", "", "also print this benchmark's own distributions")
+	)
+	flag.Parse()
+
+	rows := experiments.Dependence(experiments.DepConfig{
+		Workloads: workloads.Config{Scale: *scale, Seed: *seed},
+		MaxLMADs:  *maxLMADs,
+		Window:    *window,
+	})
+
+	tbl := report.NewTable("Benchmark", "Pairs", "LEAP ±10%", "LEAP exact", "Connors ±10%", "Connors exact")
+	for _, r := range rows {
+		tbl.AddRowf(r.Benchmark, r.LEAP.Pairs,
+			report.Pct(100*r.LEAP.WithinTen()), report.Pct(100*r.LEAP.Exact()),
+			report.Pct(100*r.Connors.WithinTen()), report.Pct(100*r.Connors.Exact()))
+	}
+	tbl.WriteTo(os.Stdout) //nolint:errcheck // stdout
+
+	fig8 := experiments.Summarize(rows)
+	labels := make([]string, depend.NumBins)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("%+d%%", depend.BinError(i))
+	}
+
+	fmt.Println("\nFigure 6 — LEAP error distribution (average over benchmarks):")
+	report.BarChart(os.Stdout, labels, fig8.LEAP.Bins[:], 48)
+
+	fmt.Println("\nFigure 7 — Connors error distribution (average over benchmarks):")
+	report.BarChart(os.Stdout, labels, fig8.Connors.Bins[:], 48)
+
+	fmt.Printf("\nFigure 8 — correct-or-within-10%%: LEAP %.1f%%, Connors %.1f%% (improvement %.0f%%)\n",
+		100*fig8.LEAPWithin10, 100*fig8.ConnWithin10, fig8.ImprovementPct)
+	fmt.Println("Paper: LEAP ~75% within 10%, 56% more pairs correct-or-within-10% than Connors.")
+
+	if *bench != "" {
+		for _, r := range rows {
+			if r.Benchmark != *bench {
+				continue
+			}
+			fmt.Printf("\n%s — LEAP error distribution (%d pairs):\n", r.Benchmark, r.LEAP.Pairs)
+			report.BarChart(os.Stdout, labels, r.LEAP.Bins[:], 48)
+			fmt.Printf("\n%s — Connors error distribution:\n", r.Benchmark)
+			report.BarChart(os.Stdout, labels, r.Connors.Bins[:], 48)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "mdep: unknown benchmark %q\n", *bench)
+		os.Exit(1)
+	}
+}

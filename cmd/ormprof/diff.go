@@ -1,0 +1,112 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"ormprof/internal/leap"
+	"ormprof/internal/report"
+	"ormprof/internal/stride"
+	"ormprof/internal/trace"
+)
+
+// diffCmd compares two LEAP profiles of the same program — typically from
+// different runs, inputs, or builds. The comparison is only possible
+// because object-relative profiles key streams by (static instruction,
+// allocation site), which survives any allocator layout (§1): raw-address
+// profiles from two runs have nothing stable to join on.
+func diffCmd(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("diff takes exactly two .leap profile files")
+	}
+	a, err := readLEAP(args[0])
+	if err != nil {
+		return err
+	}
+	b, err := readLEAP(args[1])
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("A: %s (%q, %d accesses, %d streams)\n", args[0], a.Workload, a.Records, len(a.Streams))
+	fmt.Printf("B: %s (%q, %d accesses, %d streams)\n\n", args[1], b.Workload, b.Records, len(b.Streams))
+
+	// Instruction-level comparison: execution counts and stride changes.
+	ids := make(map[trace.InstrID]bool)
+	for id := range a.InstrExecs {
+		ids[id] = true
+	}
+	for id := range b.InstrExecs {
+		ids[id] = true
+	}
+	sorted := make([]trace.InstrID, 0, len(ids))
+	for id := range ids {
+		sorted = append(sorted, id)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	strideA := stride.FromLEAP(a)
+	strideB := stride.FromLEAP(b)
+
+	tbl := report.NewTable("Instr", "Execs A", "Execs B", "Δ%", "Stride A", "Stride B", "Note")
+	shown, changed := 0, 0
+	for _, id := range sorted {
+		ea, eb := a.InstrExecs[id], b.InstrExecs[id]
+		note := ""
+		switch {
+		case ea == 0:
+			note = "NEW in B"
+		case eb == 0:
+			note = "GONE in B"
+		}
+		sa, hasA := strideA[id]
+		sb, hasB := strideB[id]
+		if hasA && hasB && sa.Stride != sb.Stride {
+			note = "STRIDE CHANGED"
+		}
+		deltaPct := 0.0
+		if ea > 0 {
+			deltaPct = 100 * (float64(eb) - float64(ea)) / float64(ea)
+		}
+		interesting := note != "" || deltaPct > 50 || deltaPct < -33
+		if !interesting {
+			continue
+		}
+		changed++
+		if shown < 20 {
+			tbl.AddRowf(fmt.Sprintf("i%d", id), ea, eb, fmt.Sprintf("%+.0f", deltaPct),
+				strideOf(sa, hasA), strideOf(sb, hasB), note)
+			shown++
+		}
+	}
+	if changed == 0 {
+		fmt.Println("no significant per-instruction differences")
+	} else {
+		tbl.WriteTo(os.Stdout) //nolint:errcheck // stdout
+		if changed > shown {
+			fmt.Printf("… %d more changed instructions\n", changed-shown)
+		}
+	}
+
+	accA, _ := a.SampleQuality()
+	accB, _ := b.SampleQuality()
+	fmt.Printf("\nsample quality: A %.1f%%, B %.1f%%\n", accA, accB)
+	return nil
+}
+
+func strideOf(i stride.Info, ok bool) string {
+	if !ok {
+		return "-"
+	}
+	return fmt.Sprintf("%+d", i.Stride)
+}
+
+func readLEAP(path string) (*leap.Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return leap.ReadProfile(f)
+}

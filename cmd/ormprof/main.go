@@ -1,0 +1,235 @@
+// Command ormprof is the umbrella inspection tool for the object-relative
+// memory profiling toolkit: dump raw probe traces, dump object-relative
+// translations, list groups, and inspect saved profile files.
+//
+// Usage:
+//
+//	ormprof trace     -workload NAME [-n N] [-scale S] [-seed S]
+//	ormprof translate -workload NAME [-n N] [-scale S] [-seed S]
+//	ormprof groups    -workload NAME [-scale S] [-seed S]
+//	ormprof inspect   FILE.whomp|FILE.leap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ormprof/internal/experiments"
+	"ormprof/internal/leap"
+	"ormprof/internal/memsim"
+	"ormprof/internal/profiler"
+	"ormprof/internal/report"
+	"ormprof/internal/trace"
+	"ormprof/internal/whomp"
+	"ormprof/internal/workloads"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "record":
+		err = recordCmd(args)
+	case "trace":
+		err = traceCmd(args)
+	case "translate":
+		err = translateCmd(args)
+	case "groups":
+		err = groupsCmd(args)
+	case "regularity":
+		err = regularityCmd(args)
+	case "locality":
+		err = localityCmd(args)
+	case "grammar":
+		err = grammarCmd(args)
+	case "inspect":
+		err = inspectCmd(args)
+	case "diff":
+		err = diffCmd(args)
+	case "regen":
+		err = regenCmd(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ormprof:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: ormprof <command> [flags]
+
+commands:
+  record     run a workload and write its probe trace to a file
+  trace      dump the raw probe event stream of a workload
+  translate  dump the object-relative 5-tuple stream of a workload
+  groups     list the groups and objects a workload allocates
+  regularity show the regular/irregular sub-stream separation (Figure 2)
+  locality   reuse-distance analysis at line and object granularity
+  grammar    print a dimension's OMSG grammar rules (hot repeated patterns)
+  inspect    summarize a saved .whomp or .leap profile file
+  diff       compare two .leap profiles of the same program across runs
+  regen      regenerate the raw access trace from a .whomp profile (losslessness)`)
+	os.Exit(2)
+}
+
+func workloadFlags(fs *flag.FlagSet) (*string, *int, *int64, *int) {
+	w := fs.String("workload", "linkedlist", "workload name")
+	scale := fs.Int("scale", 1, "workload scale factor")
+	seed := fs.Int64("seed", 42, "workload random seed")
+	n := fs.Int("n", 20, "number of entries to print")
+	return w, scale, seed, n
+}
+
+func record(name string, scale int, seed int64) (*workloadRun, error) {
+	prog, err := workloads.New(name, workloads.Config{Scale: scale, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	buf, sites := experiments.Record(prog, nil)
+	return &workloadRun{name: name, buf: buf, sites: sites}, nil
+}
+
+type workloadRun struct {
+	name  string
+	buf   *trace.Buffer
+	sites map[trace.SiteID]string
+}
+
+func recordCmd(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	w, scale, seed, _ := workloadFlags(fs)
+	out := fs.String("o", "trace.ormtrace", "output trace file")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	prog, err := workloads.New(*w, workloads.Config{Scale: *scale, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tw := trace.NewWriter(f) // streamed straight from the probes
+	m := memsim.Run(prog, tw)
+	if err := tw.Close(); err != nil {
+		return err
+	}
+	loads, stores, allocs, frees := m.Counters()
+	fmt.Printf("recorded %s: %d loads, %d stores, %d allocs, %d frees -> %s (%d bytes)\n",
+		*w, loads, stores, allocs, frees, *out, tw.BytesWritten())
+	return nil
+}
+
+func traceCmd(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	w, scale, seed, n := workloadFlags(fs)
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	run, err := record(*w, *scale, *seed)
+	if err != nil {
+		return err
+	}
+	for i, e := range run.buf.Events {
+		if i == *n {
+			fmt.Printf("… %d more events\n", run.buf.Len()-*n)
+			break
+		}
+		fmt.Println(e)
+	}
+	return nil
+}
+
+func translateCmd(args []string) error {
+	fs := flag.NewFlagSet("translate", flag.ExitOnError)
+	w, scale, seed, n := workloadFlags(fs)
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	run, err := record(*w, *scale, *seed)
+	if err != nil {
+		return err
+	}
+	recs, o := profiler.TranslateTrace(run.buf.Events, run.sites)
+	for i, r := range recs {
+		if i == *n {
+			fmt.Printf("… %d more records\n", len(recs)-*n)
+			break
+		}
+		fmt.Printf("%v  group=%s\n", r, o.GroupName(r.Ref.Group))
+	}
+	translated, unmapped := o.Stats()
+	fmt.Printf("translated %d accesses (%d unmapped)\n", translated+unmapped, unmapped)
+	return nil
+}
+
+func groupsCmd(args []string) error {
+	fs := flag.NewFlagSet("groups", flag.ExitOnError)
+	w, scale, seed, _ := workloadFlags(fs)
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	run, err := record(*w, *scale, *seed)
+	if err != nil {
+		return err
+	}
+	_, o := profiler.TranslateTrace(run.buf.Events, run.sites)
+	tbl := report.NewTable("Group", "Name", "Site", "Objects", "First object", "Sizes")
+	for _, g := range o.Groups() {
+		objs := o.Objects(g.ID)
+		sizes := "-"
+		first := "-"
+		if len(objs) > 0 {
+			first = fmt.Sprintf("%#x", uint64(objs[0].Start))
+			minS, maxS := objs[0].Size, objs[0].Size
+			for _, ob := range objs {
+				if ob.Size < minS {
+					minS = ob.Size
+				}
+				if ob.Size > maxS {
+					maxS = ob.Size
+				}
+			}
+			if minS == maxS {
+				sizes = fmt.Sprintf("%d B", minS)
+			} else {
+				sizes = fmt.Sprintf("%d-%d B", minS, maxS)
+			}
+		}
+		tbl.AddRowf(g.ID, g.Name, g.Site, g.Count, first, sizes)
+	}
+	tbl.WriteTo(os.Stdout) //nolint:errcheck // stdout
+	return nil
+}
+
+func inspectCmd(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("inspect takes exactly one profile file")
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	// Try WHOMP first, then LEAP (each checks its own magic).
+	if p, err := whomp.ReadProfile(f); err == nil {
+		fmt.Printf("WHOMP profile: workload %q, %d accesses\n", p.Workload, p.Records)
+		fmt.Printf("  grammars: %d symbols, %d encoded bytes\n", p.Symbols(), p.EncodedBytes())
+		fmt.Printf("  object table: %d groups, %d objects\n", len(p.Objects.Groups), p.Objects.NumObjects())
+		return nil
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		return err
+	}
+	p, err := leap.ReadProfile(f)
+	if err != nil {
+		return fmt.Errorf("not a WHOMP or LEAP profile: %v", err)
+	}
+	accPct, instrPct := p.SampleQuality()
+	fmt.Printf("LEAP profile: workload %q, %d accesses\n", p.Workload, p.Records)
+	fmt.Printf("  %d streams, %d timed LMADs, %d encoded bytes (%.0fx compression)\n",
+		len(p.Streams), p.TotalLMADs(), p.EncodedSize(), p.CompressionRatio())
+	fmt.Printf("  sample quality: %.1f%% accesses, %.1f%% instructions\n", accPct, instrPct)
+	return nil
+}

@@ -1,0 +1,150 @@
+// Command whomp collects WHOMP (object-relative multi-dimensional Sequitur)
+// profiles for the benchmark workloads and compares them against the
+// conventional raw-address Sequitur grammar, reproducing the paper's
+// Figure 5.
+//
+// Usage:
+//
+//	whomp [-workload NAME] [-scale N] [-seed N] [-o profile.whomp]
+//
+// With no -workload, all seven benchmarks run and the Figure 5 table is
+// printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ormprof/internal/experiments"
+	"ormprof/internal/report"
+	"ormprof/internal/trace"
+	"ormprof/internal/whomp"
+	"ormprof/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "run a single workload (default: all seven)")
+		scale    = flag.Int("scale", 1, "workload scale factor")
+		seed     = flag.Int64("seed", 42, "workload random seed")
+		out      = flag.String("o", "", "write the WHOMP profile of the (single) workload to this file")
+		traceIn  = flag.String("trace", "", "profile a recorded .ormtrace file instead of running a workload")
+		csvOut   = flag.Bool("csv", false, "emit the Figure 5 table as CSV (for plotting)")
+	)
+	flag.Parse()
+
+	cfg := workloads.Config{Scale: *scale, Seed: *seed}
+	if *traceIn != "" {
+		if err := runTraceFile(*traceIn, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "whomp:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *workload != "" {
+		if err := runOne(*workload, cfg, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "whomp:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	rows := experiments.Fig5(cfg)
+	tbl := report.NewTable("Benchmark", "Accesses", "RASG syms", "OMSG syms", "RASG bytes", "OMSG bytes", "flate bytes", "Gain", "RASG time", "OMSG time")
+	for _, r := range rows {
+		tbl.AddRowf(r.Benchmark, r.Accesses, r.RASGSymbols, r.OMSGSymbols, r.RASGBytes, r.OMSGBytes,
+			r.FlateBytes, report.Pct(r.GainPct), r.RASGTime.Round(1e6), r.OMSGTime.Round(1e6))
+	}
+	if *csvOut {
+		if err := tbl.WriteCSV(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "whomp:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	tbl.WriteTo(os.Stdout) //nolint:errcheck // stdout
+
+	fmt.Println()
+	labels := make([]string, len(rows))
+	gains := make([]float64, len(rows))
+	for i, r := range rows {
+		labels[i] = r.Benchmark
+		gains[i] = r.GainPct / 100
+	}
+	report.BarChart(os.Stdout, labels, gains, 40)
+	fmt.Printf("\nFigure 5: OMSG is on average %.1f%% more compact than RASG (paper: 22%%)\n",
+		experiments.AverageGain(rows))
+}
+
+// runTraceFile profiles a previously recorded probe trace ("collect once,
+// profile many"): site names are unavailable, so groups get site#N names.
+func runTraceFile(path, out string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	buf := &trace.Buffer{}
+	n, err := trace.ReadTrace(f, buf)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replaying %d events from %s\n", n, path)
+
+	wp := whomp.New(nil)
+	buf.Replay(wp)
+	profile := wp.Profile(path)
+	rasg := whomp.NewRASG()
+	buf.Replay(rasg)
+	fmt.Printf("  RASG: %8d symbols  %8d bytes\n", rasg.Symbols(), rasg.EncodedBytes())
+	fmt.Printf("  OMSG: %8d symbols  %8d bytes  (%.1f%% smaller)\n",
+		profile.Symbols(), profile.EncodedBytes(), whomp.CompressionGain(profile, rasg))
+	if out != "" {
+		of, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer of.Close()
+		if _, err := profile.WriteTo(of); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote profile to %s\n", out)
+	}
+	return nil
+}
+
+func runOne(name string, cfg workloads.Config, out string) error {
+	prog, err := workloads.New(name, cfg)
+	if err != nil {
+		return err
+	}
+	buf, sites := experiments.Record(prog, nil)
+
+	wp := whomp.New(sites)
+	buf.Replay(wp)
+	profile := wp.Profile(name)
+
+	rasg := whomp.NewRASG()
+	buf.Replay(rasg)
+
+	fmt.Printf("workload %s: %d accesses, %d objects in %d groups\n",
+		name, profile.Records, profile.Objects.NumObjects(), len(profile.Objects.Groups))
+	fmt.Printf("  RASG: %8d symbols  %8d bytes\n", rasg.Symbols(), rasg.EncodedBytes())
+	fmt.Printf("  OMSG: %8d symbols  %8d bytes  (%.1f%% smaller)\n",
+		profile.Symbols(), profile.EncodedBytes(), whomp.CompressionGain(profile, rasg))
+
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		n, err := profile.WriteTo(f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %d-byte profile (grammars + object table) to %s\n", n, out)
+	}
+	return nil
+}

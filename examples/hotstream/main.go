@@ -1,0 +1,59 @@
+// Hotstream: extract hot data streams — frequently repeated access
+// subsequences — from the object dimension of a WHOMP profile, in the style
+// of Chilimbi-Hirzel hot data stream prefetching, which §3.2 names as a
+// consumer of the OMSG. A hot object sequence means: when the first objects
+// of the sequence are touched, the rest will follow — prefetch them.
+//
+// Run with:
+//
+//	go run ./examples/hotstream
+package main
+
+import (
+	"fmt"
+
+	"ormprof/internal/decomp"
+	"ormprof/internal/hotstream"
+	"ormprof/internal/memsim"
+	"ormprof/internal/trace"
+	"ormprof/internal/whomp"
+	"ormprof/internal/workloads"
+)
+
+func main() {
+	// The linked-list workload: every traversal touches the same object
+	// sequence, which is invisible in raw addresses but a textbook hot
+	// data stream in the object dimension.
+	prog := workloads.NewLinkedList(workloads.Config{Scale: 1, Seed: 7})
+	buf := &trace.Buffer{}
+	m := memsim.Run(prog, buf)
+
+	wp := whomp.New(m.StaticSites())
+	buf.Replay(wp)
+	profile := wp.Profile("linkedlist")
+
+	objGrammar := profile.Grammars[decomp.DimObject]
+	fmt.Printf("object grammar: %d rules, %d symbols for %d accesses\n\n",
+		objGrammar.NumRules(), objGrammar.Symbols(), profile.Records)
+
+	streams := hotstream.Extract(objGrammar, hotstream.Options{
+		MinLength:  4,
+		MinFreq:    4,
+		MaxStreams: 5,
+	})
+	fmt.Printf("hot object streams (top %d):\n", len(streams))
+	for i, s := range streams {
+		preview := s.Symbols
+		ellipsis := ""
+		if len(preview) > 12 {
+			preview = preview[:12]
+			ellipsis = " …"
+		}
+		fmt.Printf("  #%d  freq %4d × len %4d  (heat %6d)  objects %v%s\n",
+			i+1, s.Freq, len(s.Symbols), s.Heat, preview, ellipsis)
+	}
+	fmt.Printf("\ncoverage: these streams account for up to %.0f%% of all accesses.\n",
+		100*hotstream.Coverage(objGrammar, streams))
+	fmt.Println("a prefetcher that recognizes the stream head can fetch the remaining")
+	fmt.Println("objects' cache lines ahead of the traversal (Chilimbi & Hirzel, PLDI'02).")
+}

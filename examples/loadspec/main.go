@@ -1,0 +1,75 @@
+// Loadspec: use LEAP dependence frequencies to pick speculative
+// load-reordering candidates — the §4 motivation for the memory dependence
+// frequency profile. A load may be hoisted above a store when its MDF
+// against that store is low (misspeculation is rare); it must not be when
+// the MDF is high.
+//
+// Run with:
+//
+//	go run ./examples/loadspec
+package main
+
+import (
+	"fmt"
+
+	"ormprof/internal/depend"
+	"ormprof/internal/leap"
+	"ormprof/internal/memsim"
+	"ormprof/internal/trace"
+	"ormprof/internal/workloads"
+)
+
+// hoistThreshold is the misspeculation budget: pairs below it are safe to
+// reorder speculatively (Chen et al.'s regime of profitable speculation).
+const hoistThreshold = 0.05
+
+func main() {
+	prog, err := workloads.New("186.crafty", workloads.Config{Scale: 1, Seed: 5})
+	if err != nil {
+		panic(err)
+	}
+	buf := &trace.Buffer{}
+	m := memsim.Run(prog, buf)
+
+	lp := leap.New(m.StaticSites(), 0)
+	buf.Replay(lp)
+	profile := lp.Profile("186.crafty")
+	res := depend.FromLEAP(profile)
+	mdf := res.MDF()
+
+	cm := depend.SortedMDF(mdf)
+	fmt.Printf("LEAP found %d dependent (store, load) pairs\n\n", len(cm.Pairs))
+	fmt.Println("  store    load     MDF      decision")
+	hoistable, blocked := 0, 0
+	for i, p := range cm.Pairs {
+		decision := "KEEP ORDER (dependence too frequent)"
+		if cm.Vals[i] < hoistThreshold {
+			decision = "hoist speculatively (misspeculation rare)"
+			hoistable++
+		} else {
+			blocked++
+		}
+		if i < 14 {
+			fmt.Printf("  st%-5d  ld%-5d  %5.1f%%   %s\n", p.St, p.Ld, 100*cm.Vals[i], decision)
+		}
+	}
+	if len(cm.Pairs) > 14 {
+		fmt.Printf("  … %d more pairs\n", len(cm.Pairs)-14)
+	}
+	fmt.Printf("\nsummary: %d pairs hoistable below the %.0f%% misspeculation budget, %d blocked\n",
+		hoistable, 100*hoistThreshold, blocked)
+
+	// The other §4 dependence client: loop-invariant load removal. A load
+	// that re-reads a constant location with no interfering store inside
+	// its execution span can be kept in a register.
+	inv := depend.LoopInvariant(profile, 0)
+	fmt.Printf("\nloop-invariant load candidates: %d\n", len(inv))
+	for i, c := range inv {
+		if i == 6 {
+			fmt.Printf("  … %d more\n", len(inv)-6)
+			break
+		}
+		fmt.Printf("  ld%-5d %6d execs, %.0f%% constant-location, ~%d redundant reads removable\n",
+			c.Instr, c.Execs, 100*c.ConstFrac, c.Redundant)
+	}
+}

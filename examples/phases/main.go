@@ -1,0 +1,72 @@
+// Phases: detect program phases from interval signatures, predict the next
+// phase, and collect one LEAP profile per phase — the paper's §6 future
+// work ("make use of recent results on phase detection and prediction to
+// profile references in a phase cognizant manner"), demonstrated on the
+// phase-rich bzip2 workload.
+//
+// Run with:
+//
+//	go run ./examples/phases
+package main
+
+import (
+	"fmt"
+
+	"ormprof/internal/leap"
+	"ormprof/internal/memsim"
+	"ormprof/internal/omc"
+	"ormprof/internal/phase"
+	"ormprof/internal/profiler"
+	"ormprof/internal/trace"
+	"ormprof/internal/workloads"
+)
+
+func main() {
+	prog, err := workloads.New("256.bzip2", workloads.Config{Scale: 1, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	buf := &trace.Buffer{}
+	m := memsim.Run(prog, buf)
+	sites := m.StaticSites()
+
+	// Monolithic LEAP for comparison.
+	mono := leap.New(sites, 0)
+	buf.Replay(mono)
+	monoAcc, _ := mono.Profile("bzip2").SampleQuality()
+
+	// Phase-cognizant collection.
+	cog := phase.NewCognizantLEAP(phase.Config{IntervalLen: 4096}, 0)
+	cdc := profiler.NewCDC(omc.New(sites), cog)
+	buf.Replay(cdc)
+	cdc.Finish()
+	det := cog.Detector()
+	profiles := cog.Profiles("bzip2")
+	cogAcc, _ := phase.Quality(profiles)
+
+	fmt.Printf("phase detection on 256.bzip2: %s\n\n", det)
+
+	// Render the phase timeline, one letter per interval.
+	fmt.Print("timeline: ")
+	for _, p := range det.Intervals() {
+		fmt.Printf("%c", 'A'+rune(p%26))
+	}
+	fmt.Println()
+
+	// How predictable is the sequence?
+	acc := phase.EvaluatePrediction(det.Intervals())
+	fmt.Printf("next-phase prediction accuracy: %.0f%% (chance: %.0f%%)\n\n",
+		100*acc, 100/float64(det.NumPhases()))
+
+	// Per-phase profiles are more homogeneous.
+	fmt.Println("per-phase LEAP profiles:")
+	for p := 0; p < det.NumPhases(); p++ {
+		prof, ok := profiles[p]
+		if !ok {
+			continue
+		}
+		pAcc, _ := prof.SampleQuality()
+		fmt.Printf("  phase %c: %7d accesses, %5.1f%% captured\n", 'A'+rune(p%26), prof.Records, pAcc)
+	}
+	fmt.Printf("\naggregate capture: monolithic %.1f%%, phase-cognizant %.1f%%\n", monoAcc, cogAcc)
+}

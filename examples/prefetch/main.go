@@ -1,0 +1,82 @@
+// Prefetch: use LEAP's stride output to emit stride-based prefetch
+// candidates — the §4 second target optimization (Wu's PLDI'02 prefetching
+// needs exactly the strongly strided instructions LEAP identifies).
+//
+// Run with:
+//
+//	go run ./examples/prefetch
+package main
+
+import (
+	"fmt"
+
+	"ormprof/internal/cachesim"
+	"ormprof/internal/leap"
+	"ormprof/internal/memsim"
+	"ormprof/internal/prefetch"
+	"ormprof/internal/profiler"
+	"ormprof/internal/stride"
+	"ormprof/internal/trace"
+	"ormprof/internal/workloads"
+)
+
+const (
+	cacheLine = 64
+	// lookahead is how many iterations ahead to prefetch: enough to cover
+	// a miss latency of ~200 cycles at a few cycles per iteration.
+	lookahead = 32
+)
+
+func main() {
+	prog, err := workloads.New("175.vpr", workloads.Config{Scale: 1, Seed: 5})
+	if err != nil {
+		panic(err)
+	}
+	buf := &trace.Buffer{}
+	m := memsim.Run(prog, buf)
+
+	lp := leap.New(m.StaticSites(), 0)
+	buf.Replay(lp)
+	profile := lp.Profile("175.vpr")
+	strong := stride.FromLEAP(profile)
+
+	fmt.Printf("LEAP identified %d strongly strided instructions in 175.vpr\n\n", len(strong))
+	fmt.Println("  instr    stride   dominance   prefetch plan")
+	for _, id := range stride.SortedIDs(strong) {
+		info := strong[id]
+		plan := "skip (stride fits in-line; hardware prefetcher covers it)"
+		distance := info.Stride * lookahead
+		if info.Stride != 0 && abs(info.Stride) >= cacheLine/8 {
+			plan = fmt.Sprintf("insert prefetch addr+%d every %d iterations", distance, lineEvery(info.Stride))
+		}
+		fmt.Printf("  i%-6d  %+6d   %5.1f%%      %s\n", id, info.Stride, 100*info.Frac, plan)
+	}
+	fmt.Println("\n(instructions with a dominant stride < one cache line per iteration")
+	fmt.Println(" are left to the hardware; larger strides get software prefetches)")
+
+	// Quantify the plan on a simulated L1: replay the object-relative
+	// stream with and without the profile-directed prefetches.
+	recs, o := profiler.TranslateTrace(buf.Events, m.StaticSites())
+	_, res := prefetch.EvaluateProfile(recs, o, profile, cachesim.L1D)
+	fmt.Printf("\nmeasured on a simulated L1 (32KiB/64B/8-way):\n")
+	fmt.Printf("  without prefetching: %6d demand misses\n", res.Baseline.Misses)
+	fmt.Printf("  with prefetching:    %6d demand misses  — %.1f%% fewer (%d prefetches issued)\n",
+		res.Prefetched.Misses, res.MissReduction(), res.Issued)
+}
+
+func abs(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// lineEvery reports after how many iterations a stride crosses into a new
+// cache line (prefetching more often is wasted bandwidth).
+func lineEvery(stride int64) int64 {
+	s := abs(stride)
+	if s >= cacheLine {
+		return 1
+	}
+	return cacheLine / s
+}

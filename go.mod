@@ -1,0 +1,3 @@
+module ormprof
+
+go 1.22

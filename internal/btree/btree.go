@@ -1,0 +1,411 @@
+// Package btree implements an in-memory B-tree map from uint64 keys to
+// arbitrary values, with floor search.
+//
+// This is the paper's "auxiliary B-tree-like data structure which stores the
+// range of addresses that each object takes up" (§3.1). The OMC keys the tree
+// by object start address; translating a raw address is a Floor lookup
+// (greatest start ≤ addr) followed by a bounds check, which works because
+// live objects never overlap.
+package btree
+
+// degree is the minimum branching factor: every node other than the root has
+// at least degree-1 and at most 2*degree-1 keys. 16 keeps nodes within a
+// couple of cache lines of keys.
+const degree = 16
+
+const (
+	minKeys = degree - 1
+	maxKeys = 2*degree - 1
+)
+
+type node[V any] struct {
+	keys     []uint64
+	vals     []V
+	children []*node[V] // nil for leaves
+}
+
+func (n *node[V]) leaf() bool { return n.children == nil }
+
+// Map is a B-tree map. The zero value is an empty map ready for use.
+type Map[V any] struct {
+	root *node[V]
+	size int
+}
+
+// Len reports the number of keys stored.
+func (m *Map[V]) Len() int { return m.size }
+
+// Get returns the value stored at key.
+func (m *Map[V]) Get(key uint64) (V, bool) {
+	n := m.root
+	for n != nil {
+		i, eq := search(n.keys, key)
+		if eq {
+			return n.vals[i], true
+		}
+		if n.leaf() {
+			break
+		}
+		n = n.children[i]
+	}
+	var zero V
+	return zero, false
+}
+
+// Floor returns the greatest key ≤ key and its value. ok is false if no such
+// key exists.
+func (m *Map[V]) Floor(key uint64) (k uint64, v V, ok bool) {
+	n := m.root
+	for n != nil {
+		i, eq := search(n.keys, key)
+		if eq {
+			return n.keys[i], n.vals[i], true
+		}
+		// keys[i-1] < key < keys[i]; the candidate at this node is i-1.
+		if i > 0 {
+			k, v, ok = n.keys[i-1], n.vals[i-1], true
+		}
+		if n.leaf() {
+			break
+		}
+		n = n.children[i]
+	}
+	return k, v, ok
+}
+
+// search returns the index of the first key ≥ key, and whether it equals key.
+func search(keys []uint64, key uint64) (int, bool) {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(keys) && keys[lo] == key
+}
+
+// Set inserts or replaces the value at key.
+func (m *Map[V]) Set(key uint64, val V) {
+	if m.root == nil {
+		m.root = &node[V]{keys: []uint64{key}, vals: []V{val}}
+		m.size = 1
+		return
+	}
+	if len(m.root.keys) == maxKeys {
+		old := m.root
+		m.root = &node[V]{children: []*node[V]{old}}
+		m.root.splitChild(0)
+	}
+	if m.root.insert(key, val) {
+		m.size++
+	}
+}
+
+// insert inserts into a non-full subtree; reports whether a new key was added
+// (false means an existing key's value was replaced).
+func (n *node[V]) insert(key uint64, val V) bool {
+	i, eq := search(n.keys, key)
+	if eq {
+		n.vals[i] = val
+		return false
+	}
+	if n.leaf() {
+		n.keys = append(n.keys, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		var zero V
+		n.vals = append(n.vals, zero)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = val
+		return true
+	}
+	if len(n.children[i].keys) == maxKeys {
+		n.splitChild(i)
+		if key == n.keys[i] {
+			n.vals[i] = val
+			return false
+		}
+		if key > n.keys[i] {
+			i++
+		}
+	}
+	return n.children[i].insert(key, val)
+}
+
+// splitChild splits the full child at index i, hoisting its median into n.
+func (n *node[V]) splitChild(i int) {
+	child := n.children[i]
+	mid := maxKeys / 2
+	medianK, medianV := child.keys[mid], child.vals[mid]
+
+	right := &node[V]{
+		keys: append([]uint64(nil), child.keys[mid+1:]...),
+		vals: append([]V(nil), child.vals[mid+1:]...),
+	}
+	if !child.leaf() {
+		right.children = append([]*node[V](nil), child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.keys = child.keys[:mid]
+	child.vals = child.vals[:mid]
+
+	n.keys = append(n.keys, 0)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = medianK
+	var zero V
+	n.vals = append(n.vals, zero)
+	copy(n.vals[i+1:], n.vals[i:])
+	n.vals[i] = medianV
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+// Delete removes key, reporting whether it was present.
+func (m *Map[V]) Delete(key uint64) bool {
+	if m.root == nil {
+		return false
+	}
+	deleted := m.root.delete(key)
+	if len(m.root.keys) == 0 {
+		if m.root.leaf() {
+			m.root = nil
+		} else {
+			m.root = m.root.children[0]
+		}
+	}
+	if deleted {
+		m.size--
+	}
+	return deleted
+}
+
+// delete removes key from the subtree rooted at n. Precondition (except for
+// the root): n has more than minKeys keys.
+func (n *node[V]) delete(key uint64) bool {
+	i, eq := search(n.keys, key)
+	if n.leaf() {
+		if !eq {
+			return false
+		}
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.vals = append(n.vals[:i], n.vals[i+1:]...)
+		return true
+	}
+	if eq {
+		// Replace with predecessor (max of left child) or successor, or
+		// merge if both children are minimal.
+		left, right := n.children[i], n.children[i+1]
+		switch {
+		case len(left.keys) > minKeys:
+			pk, pv := left.max()
+			n.keys[i], n.vals[i] = pk, pv
+			n.ensureChild(i)
+			return n.children[i].delete(pk)
+		case len(right.keys) > minKeys:
+			sk, sv := right.min()
+			n.keys[i], n.vals[i] = sk, sv
+			n.ensureChild(i + 1)
+			return n.children[i+1].delete(sk)
+		default:
+			n.merge(i)
+			return n.children[i].delete(key)
+		}
+	}
+	n.ensureChild(i)
+	// ensureChild may have merged, shifting indices; re-search.
+	i, eq = search(n.keys, key)
+	if eq {
+		return n.delete(key)
+	}
+	return n.children[i].delete(key)
+}
+
+// max returns the maximum key/value in the subtree.
+func (n *node[V]) max() (uint64, V) {
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n.keys[len(n.keys)-1], n.vals[len(n.vals)-1]
+}
+
+// min returns the minimum key/value in the subtree.
+func (n *node[V]) min() (uint64, V) {
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.keys[0], n.vals[0]
+}
+
+// ensureChild guarantees children[i] has more than minKeys keys, borrowing
+// from a sibling or merging as needed.
+func (n *node[V]) ensureChild(i int) {
+	if len(n.children[i].keys) > minKeys {
+		return
+	}
+	switch {
+	case i > 0 && len(n.children[i-1].keys) > minKeys:
+		n.rotateRight(i - 1)
+	case i < len(n.children)-1 && len(n.children[i+1].keys) > minKeys:
+		n.rotateLeft(i)
+	case i > 0:
+		n.merge(i - 1)
+	default:
+		n.merge(i)
+	}
+}
+
+// rotateRight moves the max of children[i] up to n and n's key i down to
+// children[i+1].
+func (n *node[V]) rotateRight(i int) {
+	left, right := n.children[i], n.children[i+1]
+	right.keys = append(right.keys, 0)
+	copy(right.keys[1:], right.keys)
+	right.keys[0] = n.keys[i]
+	var zero V
+	right.vals = append(right.vals, zero)
+	copy(right.vals[1:], right.vals)
+	right.vals[0] = n.vals[i]
+	n.keys[i] = left.keys[len(left.keys)-1]
+	n.vals[i] = left.vals[len(left.vals)-1]
+	left.keys = left.keys[:len(left.keys)-1]
+	left.vals = left.vals[:len(left.vals)-1]
+	if !left.leaf() {
+		right.children = append(right.children, nil)
+		copy(right.children[1:], right.children)
+		right.children[0] = left.children[len(left.children)-1]
+		left.children = left.children[:len(left.children)-1]
+	}
+}
+
+// rotateLeft moves the min of children[i+1] up to n and n's key i down to
+// children[i].
+func (n *node[V]) rotateLeft(i int) {
+	left, right := n.children[i], n.children[i+1]
+	left.keys = append(left.keys, n.keys[i])
+	left.vals = append(left.vals, n.vals[i])
+	n.keys[i] = right.keys[0]
+	n.vals[i] = right.vals[0]
+	right.keys = append(right.keys[:0], right.keys[1:]...)
+	right.vals = append(right.vals[:0], right.vals[1:]...)
+	if !left.leaf() {
+		left.children = append(left.children, right.children[0])
+		right.children = append(right.children[:0], right.children[1:]...)
+	}
+}
+
+// merge folds key i and children[i+1] into children[i].
+func (n *node[V]) merge(i int) {
+	left, right := n.children[i], n.children[i+1]
+	left.keys = append(left.keys, n.keys[i])
+	left.vals = append(left.vals, n.vals[i])
+	left.keys = append(left.keys, right.keys...)
+	left.vals = append(left.vals, right.vals...)
+	if !left.leaf() {
+		left.children = append(left.children, right.children...)
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.vals = append(n.vals[:i], n.vals[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+// Ascend visits every (key, value) pair in ascending key order. The visitor
+// returns false to stop early.
+func (m *Map[V]) Ascend(visit func(key uint64, val V) bool) {
+	m.root.ascend(visit)
+}
+
+func (n *node[V]) ascend(visit func(uint64, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	for i, k := range n.keys {
+		if !n.leaf() && !n.children[i].ascend(visit) {
+			return false
+		}
+		if !visit(k, n.vals[i]) {
+			return false
+		}
+	}
+	if !n.leaf() {
+		return n.children[len(n.children)-1].ascend(visit)
+	}
+	return true
+}
+
+// CheckInvariants panics with a description of the first violated B-tree
+// invariant, or returns nil. Used by property tests.
+func (m *Map[V]) CheckInvariants() error {
+	if m.root == nil {
+		return nil
+	}
+	return m.root.check(true, nil, nil, m.depth())
+}
+
+func (m *Map[V]) depth() int {
+	d := 0
+	for n := m.root; n != nil; {
+		d++
+		if n.leaf() {
+			break
+		}
+		n = n.children[0]
+	}
+	return d
+}
+
+type invariantError struct{ msg string }
+
+func (e *invariantError) Error() string { return "btree: " + e.msg }
+
+func (n *node[V]) check(isRoot bool, lo, hi *uint64, depthLeft int) error {
+	if len(n.keys) != len(n.vals) {
+		return &invariantError{"keys/vals length mismatch"}
+	}
+	if !isRoot && len(n.keys) < minKeys {
+		return &invariantError{"underfull node"}
+	}
+	if len(n.keys) > maxKeys {
+		return &invariantError{"overfull node"}
+	}
+	for i := 1; i < len(n.keys); i++ {
+		if n.keys[i-1] >= n.keys[i] {
+			return &invariantError{"keys not strictly ascending"}
+		}
+	}
+	if lo != nil && len(n.keys) > 0 && n.keys[0] <= *lo {
+		return &invariantError{"key below subtree lower bound"}
+	}
+	if hi != nil && len(n.keys) > 0 && n.keys[len(n.keys)-1] >= *hi {
+		return &invariantError{"key above subtree upper bound"}
+	}
+	if n.leaf() {
+		if depthLeft != 1 {
+			return &invariantError{"leaves at different depths"}
+		}
+		return nil
+	}
+	if len(n.children) != len(n.keys)+1 {
+		return &invariantError{"children count != keys+1"}
+	}
+	for i, c := range n.children {
+		var clo, chi *uint64
+		if i > 0 {
+			clo = &n.keys[i-1]
+		} else {
+			clo = lo
+		}
+		if i < len(n.keys) {
+			chi = &n.keys[i]
+		} else {
+			chi = hi
+		}
+		if err := c.check(false, clo, chi, depthLeft-1); err != nil {
+			return err
+		}
+	}
+	return nil
+}

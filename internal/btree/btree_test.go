@@ -1,0 +1,224 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	var m Map[int]
+	if m.Len() != 0 {
+		t.Error("empty map has nonzero length")
+	}
+	if _, ok := m.Get(1); ok {
+		t.Error("Get on empty map returned ok")
+	}
+	if _, _, ok := m.Floor(1); ok {
+		t.Error("Floor on empty map returned ok")
+	}
+	if m.Delete(1) {
+		t.Error("Delete on empty map returned true")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetGetOverwrite(t *testing.T) {
+	var m Map[string]
+	m.Set(5, "a")
+	m.Set(5, "b")
+	if m.Len() != 1 {
+		t.Errorf("Len = %d after overwrite", m.Len())
+	}
+	if v, ok := m.Get(5); !ok || v != "b" {
+		t.Errorf("Get = %q, %v", v, ok)
+	}
+}
+
+func TestFloorSemantics(t *testing.T) {
+	var m Map[int]
+	for _, k := range []uint64{10, 20, 30} {
+		m.Set(k, int(k))
+	}
+	cases := []struct {
+		q    uint64
+		want uint64
+		ok   bool
+	}{
+		{9, 0, false},
+		{10, 10, true},
+		{15, 10, true},
+		{20, 20, true},
+		{29, 20, true},
+		{35, 30, true},
+		{^uint64(0), 30, true},
+	}
+	for _, c := range cases {
+		k, v, ok := m.Floor(c.q)
+		if ok != c.ok || (ok && (k != c.want || v != int(c.want))) {
+			t.Errorf("Floor(%d) = (%d, %d, %v), want (%d, _, %v)", c.q, k, v, ok, c.want, c.ok)
+		}
+	}
+}
+
+// model-based test: the B-tree must match a reference map under random
+// operations, and invariants must hold throughout.
+func TestAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var m Map[uint64]
+	model := make(map[uint64]uint64)
+
+	floorOf := func(q uint64) (uint64, bool) {
+		var best uint64
+		found := false
+		for k := range model {
+			if k <= q && (!found || k > best) {
+				best, found = k, true
+			}
+		}
+		return best, found
+	}
+
+	for op := 0; op < 30000; op++ {
+		k := uint64(rng.Intn(2000))
+		switch rng.Intn(4) {
+		case 0, 1: // set
+			m.Set(k, k*10)
+			model[k] = k * 10
+		case 2: // delete
+			want := false
+			if _, ok := model[k]; ok {
+				want = true
+				delete(model, k)
+			}
+			if got := m.Delete(k); got != want {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", op, k, got, want)
+			}
+		case 3: // lookup + floor
+			v, ok := m.Get(k)
+			mv, mok := model[k]
+			if ok != mok || (ok && v != mv) {
+				t.Fatalf("op %d: Get(%d) = (%d, %v), want (%d, %v)", op, k, v, ok, mv, mok)
+			}
+			fk, fv, fok := m.Floor(k)
+			wantK, wantOK := floorOf(k)
+			if fok != wantOK || (fok && (fk != wantK || fv != model[wantK])) {
+				t.Fatalf("op %d: Floor(%d) = (%d, %d, %v), want key %d ok %v", op, k, fk, fv, fok, wantK, wantOK)
+			}
+		}
+		if m.Len() != len(model) {
+			t.Fatalf("op %d: Len = %d, model %d", op, m.Len(), len(model))
+		}
+		if op%500 == 0 {
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAscendOrderAndEarlyStop(t *testing.T) {
+	var m Map[int]
+	perm := rand.New(rand.NewSource(2)).Perm(500)
+	for _, k := range perm {
+		m.Set(uint64(k), k)
+	}
+	var keys []uint64
+	m.Ascend(func(k uint64, v int) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if len(keys) != 500 {
+		t.Fatalf("Ascend visited %d keys", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatal("Ascend out of order")
+		}
+	}
+	count := 0
+	m.Ascend(func(uint64, int) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestDeleteDrainsToEmpty(t *testing.T) {
+	var m Map[int]
+	const n = 2000
+	for i := 0; i < n; i++ {
+		m.Set(uint64(i), i)
+	}
+	for i := n - 1; i >= 0; i-- {
+		if !m.Delete(uint64(i)) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+		if i%100 == 0 {
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatalf("after Delete(%d): %v", i, err)
+			}
+		}
+	}
+	if m.Len() != 0 {
+		t.Errorf("Len = %d after draining", m.Len())
+	}
+}
+
+func TestQuickSetGetDelete(t *testing.T) {
+	f := func(keys []uint16) bool {
+		var m Map[uint64]
+		for _, k := range keys {
+			m.Set(uint64(k), uint64(k)+1)
+		}
+		for _, k := range keys {
+			if v, ok := m.Get(uint64(k)); !ok || v != uint64(k)+1 {
+				return false
+			}
+		}
+		if err := m.CheckInvariants(); err != nil {
+			return false
+		}
+		for _, k := range keys {
+			m.Delete(uint64(k))
+		}
+		return m.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSet(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	keys := make([]uint64, 1<<14)
+	for i := range keys {
+		keys[i] = rng.Uint64() >> 16
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var m Map[int]
+		for _, k := range keys {
+			m.Set(k, 1)
+		}
+	}
+}
+
+func BenchmarkFloor(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	var m Map[int]
+	for i := 0; i < 1<<14; i++ {
+		m.Set(rng.Uint64()>>16, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Floor(rng.Uint64() >> 16)
+	}
+}

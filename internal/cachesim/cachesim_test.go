@@ -1,0 +1,242 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+
+	"ormprof/internal/trace"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{SizeBytes: 1024, LineBytes: 48, Ways: 1},       // line not power of two
+		{SizeBytes: 1000, LineBytes: 64, Ways: 2},       // size not divisible
+		{SizeBytes: 3 * 64 * 2, LineBytes: 64, Ways: 2}, // 3 sets: not a power of two
+	}
+	for _, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v accepted", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+	if L1D.Sets() != 64 {
+		t.Errorf("L1D sets = %d", L1D.Sets())
+	}
+	New(L1D)
+	New(L2)
+}
+
+func TestBasicHitMiss(t *testing.T) {
+	c := New(Config{SizeBytes: 1024, LineBytes: 64, Ways: 2}) // 8 sets
+	if m := c.Access(0x1000, 8); m != 1 {
+		t.Errorf("cold access missed %d lines, want 1", m)
+	}
+	if m := c.Access(0x1008, 8); m != 0 {
+		t.Errorf("same-line access missed %d", m)
+	}
+	if m := c.Access(0x103c, 8); m != 1 {
+		t.Errorf("line-crossing access missed %d, want 1 (second line cold)", m)
+	}
+	st := c.Stats()
+	if st.Accesses != 3 || st.Lines != 4 || st.Misses != 2 || st.Hits != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 1 set, 2 ways, 64-byte lines.
+	c := New(Config{SizeBytes: 128, LineBytes: 64, Ways: 2})
+	a, b, d := trace.Addr(0), trace.Addr(64), trace.Addr(128)
+	c.Access(a, 1) // miss, set = [a]
+	c.Access(b, 1) // miss, set = [b, a]
+	c.Access(a, 1) // hit,  set = [a, b]
+	c.Access(d, 1) // miss, evicts b (LRU), set = [d, a]
+	if m := c.Access(a, 1); m != 0 {
+		t.Error("a should still be resident")
+	}
+	if m := c.Access(b, 1); m != 1 {
+		t.Error("b should have been evicted")
+	}
+}
+
+func TestDirectMappedConflicts(t *testing.T) {
+	// Direct-mapped: two lines mapping to the same set thrash.
+	c := New(Config{SizeBytes: 512, LineBytes: 64, Ways: 1}) // 8 sets
+	a := trace.Addr(0)
+	b := trace.Addr(512) // same set (8 sets * 64 B apart)
+	for i := 0; i < 10; i++ {
+		c.Access(a, 1)
+		c.Access(b, 1)
+	}
+	st := c.Stats()
+	if st.Hits != 0 {
+		t.Errorf("conflict pair should always thrash: %+v", st)
+	}
+}
+
+func TestWorkingSetFits(t *testing.T) {
+	// A working set smaller than the cache: after the cold pass, zero
+	// misses.
+	c := New(Config{SizeBytes: 4096, LineBytes: 64, Ways: 4})
+	for pass := 0; pass < 3; pass++ {
+		for off := 0; off < 2048; off += 64 {
+			c.Access(trace.Addr(off), 8)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 32 { // cold misses only
+		t.Errorf("misses = %d, want 32 cold", st.Misses)
+	}
+}
+
+// Reference model: fully associative LRU via slice scan.
+type refCache struct {
+	lineBits uint
+	ways     int
+	lines    []uint64
+}
+
+func (r *refCache) access(addr trace.Addr) bool {
+	line := uint64(addr) >> r.lineBits
+	for i, l := range r.lines {
+		if l == line {
+			r.lines = append(r.lines[:i], r.lines[i+1:]...)
+			r.lines = append([]uint64{line}, r.lines...)
+			return true
+		}
+	}
+	r.lines = append([]uint64{line}, r.lines...)
+	if len(r.lines) > r.ways {
+		r.lines = r.lines[:r.ways]
+	}
+	return false
+}
+
+func TestAgainstFullyAssociativeReference(t *testing.T) {
+	// With a single set, the simulator must agree with a straightforward
+	// fully-associative LRU model on every access.
+	const ways = 8
+	c := New(Config{SizeBytes: ways * 64, LineBytes: 64, Ways: ways})
+	ref := &refCache{lineBits: 6, ways: ways}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		addr := trace.Addr(rng.Intn(32) * 64)
+		want := ref.access(addr)
+		got := c.Access(addr, 1) == 0
+		if got != want {
+			t.Fatalf("access %d (%#x): sim hit=%v, ref hit=%v", i, uint64(addr), got, want)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(L1D)
+	c.Access(0x1000, 8)
+	c.Reset()
+	if c.Stats() != (Stats{}) {
+		t.Error("stats not cleared")
+	}
+	if m := c.Access(0x1000, 8); m != 1 {
+		t.Error("contents not cleared")
+	}
+}
+
+func TestZeroSizeAccess(t *testing.T) {
+	c := New(L1D)
+	c.Access(0x40, 0) // treated as 1 byte
+	if c.Stats().Lines != 1 {
+		t.Errorf("lines = %d", c.Stats().Lines)
+	}
+}
+
+func TestReplay(t *testing.T) {
+	events := []trace.Event{
+		{Kind: trace.EvAlloc, Addr: 0x1000, Size: 64},
+		{Kind: trace.EvAccess, Addr: 0x1000, Size: 8},
+		{Kind: trace.EvAccess, Addr: 0x1000, Size: 8},
+		{Kind: trace.EvFree, Addr: 0x1000},
+	}
+	st := Replay(events, L1D)
+	if st.Accesses != 2 || st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("replay stats = %+v", st)
+	}
+	if st.MissRate() != 0.5 {
+		t.Errorf("miss rate = %v", st.MissRate())
+	}
+	if (Stats{}).MissRate() != 0 {
+		t.Error("empty miss rate should be 0")
+	}
+}
+
+func TestHierarchyFiltering(t *testing.T) {
+	h := NewHierarchy(
+		Config{SizeBytes: 128, LineBytes: 64, Ways: 2}, // tiny L1: 2 lines
+		Config{SizeBytes: 1024, LineBytes: 64, Ways: 4},
+	)
+	// Three lines cycled: thrash the 2-line L1, fit easily in L2.
+	for pass := 0; pass < 10; pass++ {
+		for _, a := range []trace.Addr{0, 64, 128} {
+			h.Access(a, 8)
+		}
+	}
+	l1, l2 := h.Level(0), h.Level(1)
+	if l1.Misses <= 3 {
+		t.Errorf("L1 should thrash: %+v", l1)
+	}
+	// L2 sees only L1 misses and keeps all three lines after cold fill.
+	if l2.Misses != 3 {
+		t.Errorf("L2 misses = %d, want 3 cold", l2.Misses)
+	}
+	if l2.Lines != l1.Misses {
+		t.Errorf("L2 consulted %d times, L1 missed %d", l2.Lines, l1.Misses)
+	}
+	if h.MemoryAccesses() != 3 {
+		t.Errorf("memory accesses = %d", h.MemoryAccesses())
+	}
+	if h.Levels() != 2 {
+		t.Errorf("Levels = %d", h.Levels())
+	}
+}
+
+func TestHierarchyAMAT(t *testing.T) {
+	h := NewHierarchy(Config{SizeBytes: 128, LineBytes: 64, Ways: 2})
+	h.Access(0, 8) // miss
+	h.Access(0, 8) // hit
+	// AMAT = L1 + missRatio·mem = 1 + 0.5·100 = 51.
+	if got := h.AMAT(1, 100); got != 51 {
+		t.Errorf("AMAT = %v, want 51", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("AMAT with wrong latency count should panic")
+		}
+	}()
+	h.AMAT(1)
+}
+
+func TestHierarchyNeedsLevels(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty hierarchy accepted")
+		}
+	}()
+	NewHierarchy()
+}
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c := New(L1D)
+	rng := rand.New(rand.NewSource(2))
+	addrs := make([]trace.Addr, 1<<14)
+	for i := range addrs {
+		addrs[i] = trace.Addr(rng.Intn(1 << 20))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i%len(addrs)], 8)
+	}
+}

@@ -1,0 +1,222 @@
+// Package decomp implements the paper's object-relative stream
+// decompositions (§2.2).
+//
+// Horizontal decomposition splits the 5-tuple stream into its dimensions —
+// one stream per tuple element — so that each dimension's (simpler, more
+// regular) pattern can be compressed on its own. Vertical decomposition
+// collects the tuples that share a value in one dimension (all accesses by
+// one instruction, say) into substreams; the time-stamp dimension keeps
+// every tuple uniquely identified so substreams can be recomposed.
+package decomp
+
+import (
+	"sort"
+
+	"ormprof/internal/omc"
+	"ormprof/internal/profiler"
+	"ormprof/internal/trace"
+)
+
+// Dimension names one element of the object-relative tuple.
+type Dimension int
+
+// The tuple dimensions, in the paper's order.
+const (
+	DimInstr Dimension = iota
+	DimGroup
+	DimObject
+	DimOffset
+	DimTime
+)
+
+// String returns the dimension name.
+func (d Dimension) String() string {
+	switch d {
+	case DimInstr:
+		return "instr"
+	case DimGroup:
+		return "group"
+	case DimObject:
+		return "object"
+	case DimOffset:
+		return "offset"
+	case DimTime:
+		return "time"
+	default:
+		return "dim?"
+	}
+}
+
+// Dims lists the four compressible dimensions (time is implicit in stream
+// order after horizontal decomposition).
+var Dims = []Dimension{DimInstr, DimGroup, DimObject, DimOffset}
+
+// Value extracts dimension d of record r as a symbol.
+func Value(r profiler.Record, d Dimension) uint64 {
+	switch d {
+	case DimInstr:
+		return uint64(r.Instr)
+	case DimGroup:
+		return uint64(r.Ref.Group)
+	case DimObject:
+		return uint64(r.Ref.Object)
+	case DimOffset:
+		return r.Ref.Offset
+	case DimTime:
+		return uint64(r.Time)
+	default:
+		panic("decomp: unknown dimension")
+	}
+}
+
+// Horizontal is the result of horizontal decomposition: one symbol stream
+// per dimension, all of equal length, index-aligned (index = position in the
+// original stream = relative time).
+type Horizontal struct {
+	Instr  []uint64
+	Group  []uint64
+	Object []uint64
+	Offset []uint64
+}
+
+// Decompose splits the object-relative stream into its four dimension
+// streams.
+func Decompose(recs []profiler.Record) Horizontal {
+	h := Horizontal{
+		Instr:  make([]uint64, len(recs)),
+		Group:  make([]uint64, len(recs)),
+		Object: make([]uint64, len(recs)),
+		Offset: make([]uint64, len(recs)),
+	}
+	for i, r := range recs {
+		h.Instr[i] = uint64(r.Instr)
+		h.Group[i] = uint64(r.Ref.Group)
+		h.Object[i] = uint64(r.Ref.Object)
+		h.Offset[i] = r.Ref.Offset
+	}
+	return h
+}
+
+// Stream returns dimension d's symbol stream.
+func (h Horizontal) Stream(d Dimension) []uint64 {
+	switch d {
+	case DimInstr:
+		return h.Instr
+	case DimGroup:
+		return h.Group
+	case DimObject:
+		return h.Object
+	case DimOffset:
+		return h.Offset
+	default:
+		panic("decomp: no stream for dimension " + d.String())
+	}
+}
+
+// Len reports the stream length.
+func (h Horizontal) Len() int { return len(h.Instr) }
+
+// Recompose zips the dimension streams back into tuples. Time stamps are
+// positions; Store/Size are not part of the 5-tuple and come back zero.
+// Together with Decompose it witnesses that horizontal decomposition loses
+// nothing.
+func (h Horizontal) Recompose() []profiler.Record {
+	recs := make([]profiler.Record, h.Len())
+	for i := range recs {
+		recs[i] = profiler.Record{
+			Instr: trace.InstrID(h.Instr[i]),
+			Ref: omc.Ref{
+				Group:  omc.GroupID(h.Group[i]),
+				Object: uint32(h.Object[i]),
+				Offset: h.Offset[i],
+			},
+			Time: trace.Time(i),
+		}
+	}
+	return recs
+}
+
+// InstrGroupKey keys vertical decomposition by instruction then group — the
+// decomposition LEAP uses (§4.1: "decomposes the stream vertically by
+// instruction id and then by group").
+type InstrGroupKey struct {
+	Instr trace.InstrID
+	Group omc.GroupID
+}
+
+// ByInstr vertically decomposes the stream by instruction: one substream per
+// static instruction, each in original (time) order.
+func ByInstr(recs []profiler.Record) map[trace.InstrID][]profiler.Record {
+	out := make(map[trace.InstrID][]profiler.Record)
+	for _, r := range recs {
+		out[r.Instr] = append(out[r.Instr], r)
+	}
+	return out
+}
+
+// ByInstrGroup vertically decomposes by instruction and then group, yielding
+// the (object, offset, time) substreams LEAP compresses.
+func ByInstrGroup(recs []profiler.Record) map[InstrGroupKey][]profiler.Record {
+	out := make(map[InstrGroupKey][]profiler.Record)
+	for _, r := range recs {
+		k := InstrGroupKey{Instr: r.Instr, Group: r.Ref.Group}
+		out[k] = append(out[k], r)
+	}
+	return out
+}
+
+// SortedInstrs returns the instruction keys of a ByInstr decomposition in
+// ascending order, for deterministic iteration.
+func SortedInstrs[T any](m map[trace.InstrID]T) []trace.InstrID {
+	keys := make([]trace.InstrID, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// SortedKeys returns the keys of a ByInstrGroup decomposition ordered by
+// (instr, group), for deterministic iteration.
+func SortedKeys[T any](m map[InstrGroupKey]T) []InstrGroupKey {
+	keys := make([]InstrGroupKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Instr != keys[j].Instr {
+			return keys[i].Instr < keys[j].Instr
+		}
+		return keys[i].Group < keys[j].Group
+	})
+	return keys
+}
+
+// Merge recomposes vertically decomposed substreams into a single stream
+// ordered by time-stamp. Each substream must already be time-ordered (as
+// produced by ByInstr / ByInstrGroup). This witnesses that the added time
+// dimension makes vertical decomposition invertible (§2.2).
+func Merge(substreams ...[]profiler.Record) []profiler.Record {
+	n := 0
+	for _, s := range substreams {
+		n += len(s)
+	}
+	out := make([]profiler.Record, 0, n)
+	idx := make([]int, len(substreams))
+	for len(out) < n {
+		best := -1
+		var bestTime trace.Time
+		for i, s := range substreams {
+			if idx[i] >= len(s) {
+				continue
+			}
+			if best == -1 || s[idx[i]].Time < bestTime {
+				best = i
+				bestTime = s[idx[i]].Time
+			}
+		}
+		out = append(out, substreams[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}

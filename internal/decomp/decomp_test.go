@@ -1,0 +1,156 @@
+package decomp
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"ormprof/internal/omc"
+	"ormprof/internal/profiler"
+	"ormprof/internal/trace"
+)
+
+func randomRecords(rng *rand.Rand, n int) []profiler.Record {
+	recs := make([]profiler.Record, n)
+	for i := range recs {
+		recs[i] = profiler.Record{
+			Instr: trace.InstrID(rng.Intn(8)),
+			Ref: omc.Ref{
+				Group:  omc.GroupID(rng.Intn(4)),
+				Object: uint32(rng.Intn(16)),
+				Offset: uint64(rng.Intn(64) * 8),
+			},
+			Time: trace.Time(i),
+		}
+	}
+	return recs
+}
+
+func TestHorizontalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	recs := randomRecords(rng, 500)
+	h := Decompose(recs)
+	if h.Len() != 500 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	back := h.Recompose()
+	if len(back) != len(recs) {
+		t.Fatalf("Recompose returned %d records", len(back))
+	}
+	for i := range recs {
+		if back[i].Instr != recs[i].Instr || back[i].Ref != recs[i].Ref {
+			t.Fatalf("record %d: %v != %v", i, back[i], recs[i])
+		}
+		if back[i].Time != trace.Time(i) {
+			t.Fatalf("record %d time %d", i, back[i].Time)
+		}
+	}
+}
+
+func TestDimensionAccessors(t *testing.T) {
+	r := profiler.Record{
+		Instr: 3,
+		Ref:   omc.Ref{Group: 5, Object: 7, Offset: 9},
+		Time:  11,
+	}
+	cases := map[Dimension]uint64{
+		DimInstr: 3, DimGroup: 5, DimObject: 7, DimOffset: 9, DimTime: 11,
+	}
+	for d, want := range cases {
+		if got := Value(r, d); got != want {
+			t.Errorf("Value(%v) = %d, want %d", d, got, want)
+		}
+	}
+	h := Decompose([]profiler.Record{r})
+	for _, d := range Dims {
+		if got := h.Stream(d)[0]; got != cases[d] {
+			t.Errorf("Stream(%v)[0] = %d, want %d", d, got, cases[d])
+		}
+	}
+	if DimInstr.String() != "instr" || DimOffset.String() != "offset" || DimTime.String() != "time" {
+		t.Error("dimension names wrong")
+	}
+}
+
+func TestVerticalByInstr(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	recs := randomRecords(rng, 300)
+	sub := ByInstr(recs)
+
+	total := 0
+	for id, s := range sub {
+		total += len(s)
+		last := trace.Time(0)
+		for i, r := range s {
+			if r.Instr != id {
+				t.Fatalf("substream %d contains instr %d", id, r.Instr)
+			}
+			if i > 0 && r.Time <= last {
+				t.Fatalf("substream %d not time-ordered", id)
+			}
+			last = r.Time
+		}
+	}
+	if total != len(recs) {
+		t.Fatalf("substreams cover %d of %d records", total, len(recs))
+	}
+	ids := SortedInstrs(sub)
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatal("SortedInstrs out of order")
+		}
+	}
+}
+
+func TestVerticalByInstrGroupAndMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	recs := randomRecords(rng, 400)
+	sub := ByInstrGroup(recs)
+
+	keys := SortedKeys(sub)
+	for i := 1; i < len(keys); i++ {
+		a, b := keys[i-1], keys[i]
+		if a.Instr > b.Instr || (a.Instr == b.Instr && a.Group >= b.Group) {
+			t.Fatal("SortedKeys out of order")
+		}
+	}
+
+	// Vertical decomposition + time-stamp merge must reproduce the
+	// original stream exactly (§2.2: the time dimension makes substreams
+	// uniquely identifiable).
+	streams := make([][]profiler.Record, 0, len(sub))
+	for _, k := range keys {
+		streams = append(streams, sub[k])
+	}
+	merged := Merge(streams...)
+	if !reflect.DeepEqual(merged, recs) {
+		t.Fatal("Merge(ByInstrGroup(recs)) != recs")
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	if got := Merge(); len(got) != 0 {
+		t.Errorf("Merge() = %v", got)
+	}
+	if got := Merge(nil, nil); len(got) != 0 {
+		t.Errorf("Merge(nil, nil) = %v", got)
+	}
+}
+
+func TestQuickVerticalRecomposition(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		recs := randomRecords(rng, int(nRaw))
+		sub := ByInstr(recs)
+		streams := make([][]profiler.Record, 0, len(sub))
+		for _, id := range SortedInstrs(sub) {
+			streams = append(streams, sub[id])
+		}
+		return reflect.DeepEqual(Merge(streams...), recs) ||
+			(len(recs) == 0 && len(Merge(streams...)) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,90 @@
+package depend
+
+import "math"
+
+// NumBins is the number of error-distribution buckets: errors from -100 % to
+// +100 % in 10-point steps, as in the paper's Figures 6-8.
+const NumBins = 21
+
+// ErrorDist is the error distribution of an estimated dependence profile
+// against the ideal one. Bin i holds the fraction of dependent pairs whose
+// MDF error, est − ideal in percentage points, rounds to (i−10)·10. The
+// center bin (index 10) is "completely correct".
+type ErrorDist struct {
+	Bins  [NumBins]float64
+	Pairs int // dependent pairs considered
+}
+
+// BinError returns the error value (in percentage points) that bin i
+// represents.
+func BinError(i int) int { return (i - 10) * 10 }
+
+// Distribution compares an estimated profile against the ideal one over the
+// union of their dependent pairs (a pair missed entirely by the estimator
+// lands at −ideal; an invented pair at +est).
+func Distribution(ideal, est *Result) ErrorDist {
+	im := ideal.MDF()
+	em := est.MDF()
+	var d ErrorDist
+	universe := make(map[Pair]struct{}, len(im)+len(em))
+	for p := range im {
+		universe[p] = struct{}{}
+	}
+	for p := range em {
+		universe[p] = struct{}{}
+	}
+	if len(universe) == 0 {
+		return d
+	}
+	for p := range universe {
+		errPts := (em[p] - im[p]) * 100
+		bin := int(math.Round(errPts/10)) + 10
+		if bin < 0 {
+			bin = 0
+		}
+		if bin >= NumBins {
+			bin = NumBins - 1
+		}
+		d.Bins[bin]++
+		d.Pairs++
+	}
+	for i := range d.Bins {
+		d.Bins[i] /= float64(d.Pairs)
+	}
+	return d
+}
+
+// WithinTen reports the paper's headline number: the fraction of pairs that
+// are completely correct or off by no more than 10 % (the center bin plus
+// its two neighbours).
+func (d ErrorDist) WithinTen() float64 {
+	return d.Bins[9] + d.Bins[10] + d.Bins[11]
+}
+
+// Exact reports the fraction of pairs in the center (zero-error) bin.
+func (d ErrorDist) Exact() float64 { return d.Bins[10] }
+
+// Average computes the across-benchmark average distribution (Figure 8
+// averages the per-benchmark distributions, weighting each benchmark
+// equally). Distributions with zero pairs are skipped.
+func Average(dists ...ErrorDist) ErrorDist {
+	var out ErrorDist
+	n := 0
+	for _, d := range dists {
+		if d.Pairs == 0 {
+			continue
+		}
+		for i, v := range d.Bins {
+			out.Bins[i] += v
+		}
+		out.Pairs += d.Pairs
+		n++
+	}
+	if n == 0 {
+		return out
+	}
+	for i := range out.Bins {
+		out.Bins[i] /= float64(n)
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package depend
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ormprof/internal/leap"
+	"ormprof/internal/memsim"
+	"ormprof/internal/trace"
+)
+
+// TestLEAPEqualsIdealWhenExact is the end-to-end equivalence property for
+// the whole dependence stack (OMC translation → LMAD compression → omega
+// solving): when (a) no stream overflows its LMAD budget (so LEAP is
+// lossless) and (b) the allocator never reuses addresses (so raw-address and
+// object-relative dependence semantics coincide), LEAP's MDFs must equal the
+// ideal profiler's MDFs exactly, on randomly generated programs.
+func TestLEAPEqualsIdealWhenExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		buf := &trace.Buffer{}
+		m := memsim.New(buf, memsim.WithAllocator(memsim.NewBumpAllocator()))
+		m.Start()
+
+		// A few arrays accessed by random strided loops. Strided-only
+		// accesses keep every stream inside the LMAD budget.
+		nArrays := 1 + rng.Intn(3)
+		arrays := make([]trace.Addr, nArrays)
+		for i := range arrays {
+			arrays[i] = m.Alloc(trace.SiteID(i+1), 512)
+		}
+		nLoops := 2 + rng.Intn(5)
+		for loop := 0; loop < nLoops; loop++ {
+			instr := trace.InstrID(1 + rng.Intn(8))
+			arr := arrays[rng.Intn(nArrays)]
+			start := rng.Intn(8) * 8
+			stride := (1 + rng.Intn(4)) * 8
+			count := 1 + rng.Intn(20)
+			store := rng.Intn(2) == 0
+			for k := 0; k < count; k++ {
+				off := start + k*stride
+				if off >= 512 {
+					break
+				}
+				if store {
+					m.Store(instr, arr+trace.Addr(off), 8)
+				} else {
+					m.Load(instr, arr+trace.Addr(off), 8)
+				}
+			}
+		}
+		for _, a := range arrays {
+			m.Free(a)
+		}
+		m.End()
+
+		// Instructions must be consistently loads or stores for LEAP's
+		// per-instruction bookkeeping; regenerate trials that mixed them.
+		kinds := make(map[trace.InstrID]bool)
+		mixed := false
+		for _, e := range buf.Accesses() {
+			if prev, ok := kinds[e.Instr]; ok && prev != e.Store {
+				mixed = true
+				break
+			}
+			kinds[e.Instr] = e.Store
+		}
+		if mixed {
+			continue
+		}
+
+		ideal := NewIdeal()
+		buf.Replay(ideal)
+
+		lp := leap.New(nil, 0)
+		buf.Replay(lp)
+		profile := lp.Profile("random")
+
+		// Precondition (a): nothing overflowed.
+		overflowed := false
+		for _, s := range profile.Streams {
+			if s.Overflowed {
+				overflowed = true
+			}
+		}
+		if overflowed {
+			continue
+		}
+
+		im := ideal.Result().MDF()
+		lm := FromLEAP(profile).MDF()
+
+		if len(im) != len(lm) {
+			t.Fatalf("trial %d: pair sets differ: ideal %d, LEAP %d\nideal: %v\nleap:  %v",
+				trial, len(im), len(lm), im, lm)
+		}
+		for p, iv := range im {
+			lv, ok := lm[p]
+			if !ok {
+				t.Fatalf("trial %d: LEAP missed pair %v (ideal MDF %v)", trial, p, iv)
+			}
+			if math.Abs(lv-iv) > 1e-12 {
+				t.Fatalf("trial %d: pair %v MDF: LEAP %v, ideal %v", trial, p, lv, iv)
+			}
+		}
+	}
+}
+
+// TestLEAPNeverOverestimatesPairExistence: in object-relative space, a
+// dependence found by LEAP's exact LMAD intersection always exists in raw
+// space (same object ⇒ same address during its lifetime), so pairs whose
+// store stream did not overflow must never be invented. (Overflowed store
+// streams use the coarse summary estimate, which may over-approximate —
+// the paper's Figure 6 positive tail.)
+func TestLEAPNeverOverestimatesPairExistence(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		buf := &trace.Buffer{}
+		m := memsim.New(buf) // default free-list allocator: reuse happens
+		m.Start()
+		live := []trace.Addr{}
+		for op := 0; op < 3000; op++ {
+			switch {
+			case len(live) == 0 || rng.Intn(10) == 0:
+				live = append(live, m.Alloc(trace.SiteID(1+rng.Intn(3)), uint32(32+rng.Intn(3)*32)))
+			case rng.Intn(20) == 0:
+				i := rng.Intn(len(live))
+				m.Free(live[i])
+				live = append(live[:i], live[i+1:]...)
+			default:
+				a := live[rng.Intn(len(live))]
+				off := trace.Addr(rng.Intn(4) * 8)
+				// Even instruction IDs store, odd load, so kinds stay
+				// consistent.
+				id := trace.InstrID(1 + rng.Intn(8))
+				if id%2 == 0 {
+					m.Store(id, a+off, 8)
+				} else {
+					m.Load(id, a+off, 8)
+				}
+			}
+		}
+		for _, a := range live {
+			m.Free(a)
+		}
+		m.End()
+
+		ideal := NewIdeal()
+		buf.Replay(ideal)
+		im := ideal.Result().MDF()
+
+		lp := leap.New(nil, 0)
+		buf.Replay(lp)
+		profile := lp.Profile("churn")
+		lm := FromLEAP(profile).MDF()
+
+		overflowedStores := make(map[trace.InstrID]bool)
+		for _, s := range profile.Streams {
+			if s.Store && s.Overflowed {
+				overflowedStores[s.Key.Instr] = true
+			}
+		}
+		for p := range lm {
+			if overflowedStores[p.St] {
+				continue // summary estimates may over-approximate
+			}
+			if _, ok := im[p]; !ok {
+				t.Fatalf("trial %d: LEAP invented pair %v", trial, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package depend
+
+import (
+	"sort"
+
+	"ormprof/internal/decomp"
+	"ormprof/internal/leap"
+	"ormprof/internal/lmad"
+	"ormprof/internal/omega"
+	"ormprof/internal/trace"
+)
+
+// Loop-invariant load removal is the second §4 optimization named alongside
+// speculative load reordering: a load that keeps reading the same location
+// can be hoisted out of its loop and kept in a register — provided no store
+// writes that location *between its executions*. A store that ran once
+// before the loop (initialization) gives the pair a dependence frequency of
+// 100 % yet does not block hoisting, so the analysis checks for interfering
+// store executions within the load's execution time span rather than
+// thresholding the MDF.
+
+// InvariantCandidate describes one removable load.
+type InvariantCandidate struct {
+	Instr trace.InstrID
+	// Execs is the load's total execution count.
+	Execs uint64
+	// ConstFrac is the fraction of captured executions that hit a
+	// constant (object, offset) location.
+	ConstFrac float64
+	// Redundant estimates the executions that could be satisfied from a
+	// register (repeat visits to constant locations).
+	Redundant uint64
+}
+
+// LoopInvariant analyses a LEAP profile and returns the loads that are
+// candidates for loop-invariant removal: location-constant for at least
+// constThreshold (≤ 0 selects 0.9) of their captured executions, with no
+// store execution writing any of their locations inside their execution
+// span. Results are ordered by estimated redundant executions, descending.
+func LoopInvariant(p *leap.Profile, constThreshold float64) []InvariantCandidate {
+	if constThreshold <= 0 {
+		constThreshold = 0.9
+	}
+
+	// Collect store streams per group for interference checks.
+	storesByGroup := make(map[decomp.InstrGroupKey][]*leap.Stream)
+	for _, k := range p.Keys() {
+		s := p.Streams[k]
+		if s.Store {
+			gk := decomp.InstrGroupKey{Group: k.Group}
+			storesByGroup[gk] = append(storesByGroup[gk], s)
+		}
+	}
+
+	type acc struct {
+		captured  uint64
+		constPts  uint64
+		redundant uint64
+		blocked   bool
+	}
+	byInstr := make(map[trace.InstrID]*acc)
+
+	for _, k := range p.Keys() {
+		s := p.Streams[k]
+		if s.Store {
+			continue
+		}
+		a := byInstr[k.Instr]
+		if a == nil {
+			a = &acc{}
+			byInstr[k.Instr] = a
+		}
+		a.captured += s.OffsetCaptured
+		stores := storesByGroup[decomp.InstrGroupKey{Group: k.Group}]
+
+		// Constancy comes from the untimed repeat-aware descriptors (which
+		// survive overflow); the interference check uses the load's overall
+		// execution time span from the timed side.
+		tFirst, tLast, spanOK := loadSpan(s)
+		for i := range s.OffsetLMADs {
+			l := &s.OffsetLMADs[i]
+			constant := l.Count == 1 ||
+				(l.Stride[leap.DimObject] == 0 && l.Stride[leap.DimOffset] == 0)
+			if !constant {
+				continue
+			}
+			pts := l.Points()
+			a.constPts += pts
+			if pts > 0 {
+				a.redundant += pts - 1
+			}
+			if pts < 2 {
+				continue // a single visit cannot be interfered with
+			}
+			if !spanOK {
+				a.blocked = true // no time information: be conservative
+				continue
+			}
+			obj := l.Start[leap.DimObject]
+			off := l.Start[leap.DimOffset]
+			for _, st := range stores {
+				if storeHitsWithin(st, obj, off, tFirst, tLast) {
+					a.blocked = true
+					break
+				}
+			}
+		}
+	}
+
+	var out []InvariantCandidate
+	for instr, a := range byInstr {
+		if a.captured == 0 || a.blocked {
+			continue
+		}
+		frac := float64(a.constPts) / float64(a.captured)
+		if frac < constThreshold {
+			continue
+		}
+		out = append(out, InvariantCandidate{
+			Instr:     instr,
+			Execs:     p.InstrExecs[instr],
+			ConstFrac: frac,
+			Redundant: a.redundant,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Redundant != out[j].Redundant {
+			return out[i].Redundant > out[j].Redundant
+		}
+		return out[i].Instr < out[j].Instr
+	})
+	return out
+}
+
+// loadSpan returns the stream's execution time span, covering the timed
+// descriptors and (for overflowed streams) the summarized tail.
+func loadSpan(s *leap.Stream) (tFirst, tLast int64, ok bool) {
+	for i := range s.LMADs {
+		l := &s.LMADs[i]
+		t0 := l.Start[leap.DimTime]
+		t1 := l.At(l.Count-1, leap.DimTime)
+		if t1 < t0 {
+			t0, t1 = t1, t0
+		}
+		if !ok {
+			tFirst, tLast, ok = t0, t1, true
+			continue
+		}
+		if t0 < tFirst {
+			tFirst = t0
+		}
+		if t1 > tLast {
+			tLast = t1
+		}
+	}
+	if s.Overflowed && s.Summary.Min != nil {
+		if !ok {
+			return s.Summary.Min[leap.DimTime], s.Summary.Max[leap.DimTime], true
+		}
+		if s.Summary.Min[leap.DimTime] < tFirst {
+			tFirst = s.Summary.Min[leap.DimTime]
+		}
+		if s.Summary.Max[leap.DimTime] > tLast {
+			tLast = s.Summary.Max[leap.DimTime]
+		}
+	}
+	return tFirst, tLast, ok
+}
+
+// storeHitsWithin reports whether any captured execution of the store
+// stream writes (obj, off) at a time strictly inside (tFirst, tLast).
+func storeHitsWithin(st *leap.Stream, obj, off, tFirst, tLast int64) bool {
+	for i := range st.LMADs {
+		if lmadHitsWithin(&st.LMADs[i], obj, off, tFirst, tLast) {
+			return true
+		}
+	}
+	// An overflowed store stream has discarded executions; be conservative
+	// and treat the summarized region as potentially interfering if its
+	// bounding box covers the location and span.
+	if st.Overflowed && st.Summary.Min != nil {
+		s := &st.Summary
+		if s.Min[leap.DimObject] <= obj && obj <= s.Max[leap.DimObject] &&
+			s.Min[leap.DimOffset] <= off && off <= s.Max[leap.DimOffset] &&
+			s.Min[leap.DimTime] < tLast && s.Max[leap.DimTime] > tFirst {
+			return true
+		}
+	}
+	return false
+}
+
+// lmadHitsWithin solves, over the single iteration variable k, whether the
+// store descriptor touches (obj, off) at a time strictly inside
+// (tFirst, tLast).
+func lmadHitsWithin(l *lmad.LMAD, obj, off, tFirst, tLast int64) bool {
+	iv := omega.Bounded(0, int64(l.Count)-1)
+
+	// Exact location equations: start + stride·k = target has either no
+	// integer solution, every k (stride 0, start = target), or exactly one.
+	constrain := func(stride, target, start int64) bool {
+		if stride == 0 {
+			return start == target
+		}
+		if (target-start)%stride != 0 {
+			return false
+		}
+		k := (target - start) / stride
+		iv = iv.Intersect(omega.Bounded(k, k))
+		return true
+	}
+	if !constrain(l.Stride[leap.DimObject], obj, l.Start[leap.DimObject]) {
+		return false
+	}
+	if !constrain(l.Stride[leap.DimOffset], off, l.Start[leap.DimOffset]) {
+		return false
+	}
+
+	// Time window: tFirst < t(k) < tLast
+	// ⇔ dt·k + (ts - tFirst - 1) ≥ 0  and  dt·k + (ts - tLast) < 0.
+	ts, dt := l.Start[leap.DimTime], l.Stride[leap.DimTime]
+	iv = iv.Intersect(omega.LinearGE(dt, ts-tFirst-1))
+	iv = iv.Intersect(omega.LinearLT(dt, ts-tLast))
+
+	n, ok := iv.Count()
+	return ok && n > 0
+}

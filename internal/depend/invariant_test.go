@@ -1,0 +1,63 @@
+package depend
+
+import (
+	"testing"
+
+	"ormprof/internal/leap"
+	"ormprof/internal/memsim"
+	"ormprof/internal/trace"
+)
+
+func TestLoopInvariant(t *testing.T) {
+	buf := &trace.Buffer{}
+	m := memsim.New(buf)
+	m.Start()
+	arr := m.Alloc(1, 512)
+	cfgObj := m.Alloc(2, 64)
+
+	// Load 1: reads the same config word every iteration, never stored to
+	// after init — a removable loop-invariant load.
+	// Load 2: strided sweep — not invariant.
+	// Load 3: constant location, but store 4 rewrites it each iteration —
+	// invariant in location, NOT removable.
+	m.Store(5, cfgObj, 8) // one-time init store
+	for i := 0; i < 200; i++ {
+		m.Load(1, cfgObj, 8)
+		m.Load(2, arr+trace.Addr(i%64*8), 8)
+		m.Store(4, arr+8, 8)
+		m.Load(3, arr+8, 8)
+	}
+	m.Free(cfgObj)
+	m.Free(arr)
+	m.End()
+
+	lp := leap.New(nil, 0)
+	buf.Replay(lp)
+	profile := lp.Profile("inv")
+
+	cands := LoopInvariant(profile, 0)
+	byInstr := make(map[trace.InstrID]InvariantCandidate)
+	for _, c := range cands {
+		byInstr[c.Instr] = c
+	}
+
+	c1, ok := byInstr[1]
+	if !ok {
+		t.Fatalf("load 1 not identified; candidates: %+v", cands)
+	}
+	if c1.ConstFrac < 0.99 {
+		t.Errorf("load 1 const fraction = %v", c1.ConstFrac)
+	}
+	if c1.Redundant < 190 {
+		t.Errorf("load 1 redundant = %d, want ~199", c1.Redundant)
+	}
+	// Note load 1 reads cfgObj written once by store 5 *before* the loop:
+	// its MDF against store 5 is 100%, yet it is removable. The analysis
+	// must look at store executions inside the load's span, not the MDF.
+	if _, ok := byInstr[2]; ok {
+		t.Error("strided load 2 wrongly identified as invariant")
+	}
+	if _, ok := byInstr[3]; ok {
+		t.Error("rewritten load 3 wrongly identified as removable")
+	}
+}

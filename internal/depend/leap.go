@@ -1,0 +1,442 @@
+package depend
+
+import (
+	"math"
+
+	"ormprof/internal/decomp"
+	"ormprof/internal/leap"
+	"ormprof/internal/lmad"
+	"ormprof/internal/omega"
+)
+
+// FromLEAP runs the paper's dependence detection post-process over a LEAP
+// profile: for every (store stream, load stream) pair within the same group,
+// it counts location conflicts by solving the LMAD intersection equations
+//
+//	start₁ + stride₁·k₁ = start₂ + stride₂·k₂   (object and offset dims)
+//	time₁(k₁) < time₂(k₂)                        (read after write)
+//	0 ≤ k₁ < count₁,  0 ≤ k₂ < count₂
+//
+// with omega-test-like linear Diophantine analysis (§4.2.1). A load
+// execution is counted once per store instruction; because the same load
+// execution can match several LMADs of one store instruction, totals are
+// clamped to the load's execution count.
+func FromLEAP(p *leap.Profile) *Result {
+	res := NewResult()
+	// Denominators are the load executions *within the captured sample*:
+	// an overflowed stream's LMADs cover only its initial part (§4.1), so
+	// the within-sample frequency is the consistent MDF estimator — the
+	// numerator can only see captured conflicts, and dividing by total
+	// executions would bias every overflowed pair toward zero.
+	for _, s := range p.Streams {
+		if !s.Store {
+			res.LoadExecs[s.Key.Instr] += s.Captured
+		}
+	}
+
+	// Bucket streams by group.
+	type bucket struct {
+		stores, loads []*leap.Stream
+	}
+	groups := make(map[decomp.InstrGroupKey]*bucket) // keyed by {0, group}
+	for _, k := range p.Keys() {
+		s := p.Streams[k]
+		gk := decomp.InstrGroupKey{Group: k.Group}
+		b := groups[gk]
+		if b == nil {
+			b = &bucket{}
+			groups[gk] = b
+		}
+		if s.Store {
+			b.stores = append(b.stores, s)
+		} else {
+			b.loads = append(b.loads, s)
+		}
+	}
+
+	for _, gk := range decomp.SortedKeys(groups) {
+		b := groups[gk]
+		// Within a group, several streams can belong to the same store
+		// instruction (it cannot here — streams are keyed by instruction —
+		// but one stream holds many LMADs). A load iteration that matches
+		// several LMADs of the same store instruction must count once, so
+		// conflicts are the size of the union of the per-LMAD solution
+		// sets.
+		for _, st := range b.stores {
+			for _, ld := range b.loads {
+				pair := Pair{St: st.Key.Instr, Ld: ld.Key.Instr}
+				if st.Overflowed {
+					// The store stream degraded to a summary (§4.1): its
+					// LMADs are only the initial sample, so exact
+					// intersection would miss almost everything. Estimate
+					// instead from the summary's bounding box, scaled by
+					// the expected location coverage of the stream's
+					// writes — this can over- or under-shoot, which is
+					// where the two-sided error tails of Figure 6 come
+					// from.
+					est := 0.0
+					for j := range ld.LMADs {
+						est += summaryConflicts(st, &ld.LMADs[j])
+					}
+					if c := uint64(est + 0.5); c > 0 {
+						res.Conflicts[pair] += c
+					}
+					continue
+				}
+				for j := range ld.LMADs {
+					sets := make([]ap, 0, len(st.LMADs))
+					for i := range st.LMADs {
+						if s := conflictingSet(&st.LMADs[i], &ld.LMADs[j]); s.n > 0 {
+							sets = append(sets, s)
+						}
+					}
+					conflicts := unionSize(sets, uint64(ld.LMADs[j].Count))
+					if conflicts == 0 {
+						continue
+					}
+					res.Conflicts[pair] += conflicts
+				}
+			}
+		}
+	}
+
+	// Clamp: a pair's conflicts cannot exceed the load's execution count.
+	for pair, c := range res.Conflicts {
+		if execs := res.LoadExecs[pair.Ld]; c > execs {
+			res.Conflicts[pair] = execs
+		}
+	}
+	return res
+}
+
+// summaryConflicts estimates how many iterations of the load LMAD conflict
+// with an overflowed store stream, from the store's min/max/granularity
+// summary: the load iterations whose (object, offset) falls inside the
+// store's bounding box after the store's first summarized write, scaled by
+// the probability that any particular box location was actually written
+// (1 - e^(-writes/locations), the uniform-coverage model).
+func summaryConflicts(st *leap.Stream, ld *lmad.LMAD) float64 {
+	s := &st.Summary
+	if s.Min == nil || ld.Count == 0 {
+		return 0
+	}
+	// The box must cover the whole store stream: the summary describes only
+	// the discarded tail, so fold in the captured descriptors (which hold
+	// the stream's earliest writes — without them the time filter would
+	// reject every load that ran before the overflow point).
+	minD := func(d int) int64 { return s.Min[d] }
+	maxD := func(d int) int64 { return s.Max[d] }
+	lo := [leap.NumDims]int64{minD(0), minD(1), minD(2)}
+	hi := [leap.NumDims]int64{maxD(0), maxD(1), maxD(2)}
+	for i := range st.LMADs {
+		l := &st.LMADs[i]
+		for d := 0; d < leap.NumDims; d++ {
+			a, b := l.Start[d], l.At(l.Count-1, d)
+			if a > b {
+				a, b = b, a
+			}
+			if a < lo[d] {
+				lo[d] = a
+			}
+			if b > hi[d] {
+				hi[d] = b
+			}
+		}
+	}
+	span := func(d int) float64 {
+		if hi[d] == lo[d] {
+			return 1
+		}
+		g := s.Granularity[d]
+		if g <= 0 {
+			g = 1
+		}
+		return float64(hi[d]-lo[d])/float64(g) + 1
+	}
+	locations := span(leap.DimObject) * span(leap.DimOffset)
+	writes := float64(st.Offered)
+	coverage := 1 - math.Exp(-writes/locations)
+
+	// Load iterations k with object/offset inside the box and time after
+	// the stream's earliest write.
+	iv := omega.Bounded(0, int64(ld.Count)-1)
+	box := func(d int) {
+		iv = iv.Intersect(omega.LinearGE(ld.Stride[d], ld.Start[d]-lo[d]))
+		iv = iv.Intersect(omega.LinearGE(-ld.Stride[d], hi[d]-ld.Start[d]))
+	}
+	box(leap.DimObject)
+	box(leap.DimOffset)
+	iv = iv.Intersect(omega.LinearGE(ld.Stride[leap.DimTime], ld.Start[leap.DimTime]-lo[leap.DimTime]-1))
+	if iv.Empty {
+		return 0
+	}
+
+	// Alignment: the store only touches locations on its granularity
+	// lattice, so load iterations must satisfy
+	// start_d + stride_d·k ≡ lo_d (mod g_d) in the object and offset dims —
+	// without this, a store striding one field of a record would be charged
+	// with conflicts against loads of every other field in its box.
+	residue, modulus := int64(0), int64(1)
+	for _, d := range [2]int{leap.DimObject, leap.DimOffset} {
+		g := s.Granularity[d]
+		if hi[d] == lo[d] || g <= 1 {
+			continue // single location or dense lattice: no constraint
+		}
+		r, m, ok := solveCongruence(ld.Stride[d], lo[d]-ld.Start[d], g)
+		if !ok {
+			return 0
+		}
+		if residue, modulus, ok = crt(residue, modulus, r, m); !ok {
+			return 0
+		}
+	}
+	n, ok := iv.Count()
+	if !ok || n == 0 {
+		return 0
+	}
+	if modulus > 1 {
+		n = countCongruent(iv.Lo, iv.Hi, residue, modulus)
+	}
+	return coverage * float64(n)
+}
+
+// solveCongruence solves a·k ≡ b (mod m), m ≥ 1, returning the residue
+// class k ≡ r (mod mm). ok is false when there is no solution.
+func solveCongruence(a, b, m int64) (r, mm int64, ok bool) {
+	a = ((a % m) + m) % m
+	b = ((b % m) + m) % m
+	if a == 0 {
+		if b == 0 {
+			return 0, 1, true // every k
+		}
+		return 0, 0, false
+	}
+	g, inv, _ := omega.ExtGCD(a, m)
+	if b%g != 0 {
+		return 0, 0, false
+	}
+	mm = m / g
+	r = ((b / g % mm) * ((inv%mm + mm) % mm)) % mm
+	return r, mm, true
+}
+
+// crt combines k ≡ r1 (mod m1) with k ≡ r2 (mod m2).
+func crt(r1, m1, r2, m2 int64) (r, m int64, ok bool) {
+	g, p, _ := omega.ExtGCD(m1, m2)
+	if (r2-r1)%g != 0 {
+		return 0, 0, false
+	}
+	lcm := m1 / g * m2
+	diff := (r2 - r1) / g % (m2 / g)
+	r = r1 + m1*((diff*(p%(m2/g)))%(m2/g))
+	r = ((r % lcm) + lcm) % lcm
+	return r, lcm, true
+}
+
+// countCongruent counts k in [lo, hi] with k ≡ r (mod m), m ≥ 1.
+func countCongruent(lo, hi, r, m int64) uint64 {
+	if lo > hi {
+		return 0
+	}
+	// First k ≥ lo in the class.
+	first := lo + ((r-lo)%m+m)%m
+	if first > hi {
+		return 0
+	}
+	return uint64((hi-first)/m) + 1
+}
+
+// ap is an arithmetic progression of load iterations:
+// {first + step·i : 0 ≤ i < n}, step ≥ 1.
+type ap struct {
+	first, step int64
+	n           uint64
+}
+
+// unionExactLimit bounds enumeration when computing exact unions; beyond it
+// the union degrades to a clamped sum (the sets are then so large that the
+// pair saturates anyway).
+const unionExactLimit = 1 << 16
+
+// unionSize returns |⋃ sets|, exactly when the total is small enough to
+// enumerate, clamped otherwise.
+func unionSize(sets []ap, clamp uint64) uint64 {
+	switch len(sets) {
+	case 0:
+		return 0
+	case 1:
+		if sets[0].n > clamp {
+			return clamp
+		}
+		return sets[0].n
+	}
+	var total uint64
+	for _, s := range sets {
+		total += s.n
+	}
+	if total <= unionExactLimit {
+		seen := make(map[int64]struct{}, total)
+		for _, s := range sets {
+			v := s.first
+			for i := uint64(0); i < s.n; i++ {
+				seen[v] = struct{}{}
+				v += s.step
+			}
+		}
+		total = uint64(len(seen))
+	}
+	if total > clamp {
+		return clamp
+	}
+	return total
+}
+
+// ConflictingLoads counts the distinct load iterations k₂ of LMAD ld for
+// which some store iteration k₁ of LMAD st touches the same (object, offset)
+// location strictly earlier in time. Both LMADs must be LEAP 3-dimensional
+// descriptors (object, offset, time).
+func ConflictingLoads(st, ld *lmad.LMAD) uint64 {
+	return conflictingSet(st, ld).n
+}
+
+// conflictingSet returns the conflicting load iterations as an arithmetic
+// progression (every solution family the omega machinery produces is one).
+func conflictingSet(st, ld *lmad.LMAD) ap {
+	n1 := int64(st.Count)
+	n2 := int64(ld.Count)
+	if n1 == 0 || n2 == 0 {
+		return ap{}
+	}
+
+	// Location equations, one per dimension:
+	// st.Start[d] + st.Stride[d]·k₁ = ld.Start[d] + ld.Stride[d]·k₂
+	// ⇔ a·k₁ + b·k₂ = c  with  a = st.Stride[d], b = -ld.Stride[d],
+	//                          c = ld.Start[d] - st.Start[d].
+	eq := func(d int) (a, b, c int64) {
+		return st.Stride[d], -ld.Stride[d], ld.Start[d] - st.Start[d]
+	}
+	aO, bO, cO := eq(leap.DimObject)
+	aF, bF, cF := eq(leap.DimOffset)
+
+	sO := omega.Solve(aO, bO, cO)
+	if sO.Kind == omega.None {
+		return ap{}
+	}
+	sF := omega.Solve(aF, bF, cF)
+	if sF.Kind == omega.None {
+		return ap{}
+	}
+
+	tsA, dtA := st.Start[leap.DimTime], st.Stride[leap.DimTime]
+	tsB, dtB := ld.Start[leap.DimTime], ld.Stride[leap.DimTime]
+
+	switch {
+	case sO.Kind == omega.All && sF.Kind == omega.All:
+		// Both LMADs sit at one fixed location. A load iteration k₂
+		// conflicts iff some store iteration precedes it; the earliest
+		// store time suffices.
+		minTA := tsA
+		if dtA < 0 {
+			minTA = tsA + dtA*(n1-1)
+		}
+		// Count k₂ ∈ [0, n2) with tsB + dtB·k₂ > minTA,
+		// i.e. dtB·k₂ + (tsB - minTA - 1) ≥ 0.
+		iv := omega.LinearGE(dtB, tsB-minTA-1).Intersect(omega.Bounded(0, n2-1))
+		n, ok := iv.Count()
+		if !ok || n == 0 {
+			return ap{}
+		}
+		return ap{first: iv.Lo, step: 1, n: n}
+
+	case sO.Kind == omega.All:
+		return lineConflicts(sF.Line, n1, n2, tsA, dtA, tsB, dtB)
+
+	case sF.Kind == omega.All:
+		return lineConflicts(sO.Line, n1, n2, tsA, dtA, tsB, dtB)
+
+	default:
+		// Intersect the two solution lines.
+		kind, t0 := omega.IntersectLine(sO.Line, aF, bF, cF)
+		switch kind {
+		case omega.None:
+			return ap{}
+		case omega.All:
+			return lineConflicts(sO.Line, n1, n2, tsA, dtA, tsB, dtB)
+		default:
+			k1, k2 := sO.Line.At(t0)
+			if k1 < 0 || k1 >= n1 || k2 < 0 || k2 >= n2 {
+				return ap{}
+			}
+			if tsA+dtA*k1 < tsB+dtB*k2 {
+				return ap{first: k2, step: 1, n: 1}
+			}
+			return ap{}
+		}
+	}
+}
+
+// lineConflicts returns the distinct k₂ along the solution line
+// (k₁, k₂) = (X0 + Dx·t, Y0 + Dy·t) subject to the iteration bounds and the
+// read-after-write time constraint, as an arithmetic progression.
+func lineConflicts(l omega.Line, n1, n2, tsA, dtA, tsB, dtB int64) ap {
+	iv := omega.AllInts()
+	// 0 ≤ k₁ ⇔ Dx·t + X0 ≥ 0;  k₁ ≤ n1-1 ⇔ -Dx·t + (n1-1-X0) ≥ 0.
+	iv = iv.Intersect(omega.LinearGE(l.Dx, l.X0))
+	iv = iv.Intersect(omega.LinearGE(-l.Dx, n1-1-l.X0))
+	iv = iv.Intersect(omega.LinearGE(l.Dy, l.Y0))
+	iv = iv.Intersect(omega.LinearGE(-l.Dy, n2-1-l.Y0))
+	// Time: tsA + dtA·k₁ < tsB + dtB·k₂
+	// ⇔ (dtA·Dx - dtB·Dy)·t + (tsA + dtA·X0 - tsB - dtB·Y0) < 0.
+	iv = iv.Intersect(omega.LinearLT(dtA*l.Dx-dtB*l.Dy, tsA+dtA*l.X0-tsB-dtB*l.Y0))
+
+	if iv.Empty {
+		return ap{}
+	}
+	if l.Dy == 0 {
+		// k₂ is constant along the line: one conflicting load iteration.
+		return ap{first: l.Y0, step: 1, n: 1}
+	}
+	n, ok := iv.Count()
+	if !ok || n == 0 {
+		// Unbounded can only happen for Dx == 0 && Dy == 0, which Solve
+		// never produces; guard anyway.
+		return ap{}
+	}
+	// Normalize direction so step > 0.
+	if l.Dy > 0 {
+		return ap{first: l.Y0 + l.Dy*iv.Lo, step: l.Dy, n: n}
+	}
+	return ap{first: l.Y0 + l.Dy*iv.Hi, step: -l.Dy, n: n}
+}
+
+// CountMatrix summarizes per-pair MDFs into a deterministic list for
+// reporting: pairs sorted by (st, ld).
+type CountMatrix struct {
+	Pairs []Pair
+	Vals  []float64
+}
+
+// SortedMDF flattens an MDF map deterministically.
+func SortedMDF(m map[Pair]float64) CountMatrix {
+	cm := CountMatrix{Pairs: make([]Pair, 0, len(m))}
+	for p := range m {
+		cm.Pairs = append(cm.Pairs, p)
+	}
+	for i := 1; i < len(cm.Pairs); i++ {
+		for j := i; j > 0 && lessPair(cm.Pairs[j], cm.Pairs[j-1]); j-- {
+			cm.Pairs[j], cm.Pairs[j-1] = cm.Pairs[j-1], cm.Pairs[j]
+		}
+	}
+	cm.Vals = make([]float64, len(cm.Pairs))
+	for i, p := range cm.Pairs {
+		cm.Vals[i] = m[p]
+	}
+	return cm
+}
+
+func lessPair(a, b Pair) bool {
+	if a.St != b.St {
+		return a.St < b.St
+	}
+	return a.Ld < b.Ld
+}

@@ -1,0 +1,373 @@
+package depend
+
+import (
+	"math/rand"
+	"testing"
+
+	"ormprof/internal/leap"
+	"ormprof/internal/lmad"
+	"ormprof/internal/memsim"
+	"ormprof/internal/trace"
+)
+
+// bruteConflicting counts, by enumeration, the distinct load iterations k₂
+// for which some store iteration k₁ matches in (object, offset) and occurs
+// strictly earlier in time.
+func bruteConflicting(st, ld *lmad.LMAD) uint64 {
+	var n uint64
+	for k2 := uint32(0); k2 < ld.Count; k2++ {
+		hit := false
+		for k1 := uint32(0); k1 < st.Count && !hit; k1++ {
+			if st.At(k1, leap.DimObject) == ld.At(k2, leap.DimObject) &&
+				st.At(k1, leap.DimOffset) == ld.At(k2, leap.DimOffset) &&
+				st.At(k1, leap.DimTime) < ld.At(k2, leap.DimTime) {
+				hit = true
+			}
+		}
+		if hit {
+			n++
+		}
+	}
+	return n
+}
+
+func randLMAD(rng *rand.Rand) lmad.LMAD {
+	l := lmad.LMAD{
+		Start:  make([]int64, leap.NumDims),
+		Stride: make([]int64, leap.NumDims),
+		Count:  uint32(1 + rng.Intn(12)),
+	}
+	// Object serials and offsets from small spaces so collisions happen.
+	l.Start[leap.DimObject] = int64(rng.Intn(4))
+	l.Start[leap.DimOffset] = int64(rng.Intn(6) * 8)
+	l.Start[leap.DimTime] = int64(rng.Intn(50))
+	l.Stride[leap.DimObject] = int64(rng.Intn(3) - 1)
+	l.Stride[leap.DimOffset] = int64((rng.Intn(5) - 2) * 8)
+	l.Stride[leap.DimTime] = int64(1 + rng.Intn(4)) // time strictly increases
+	return l
+}
+
+func TestConflictingLoadsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20000; trial++ {
+		st := randLMAD(rng)
+		ld := randLMAD(rng)
+		want := bruteConflicting(&st, &ld)
+		got := ConflictingLoads(&st, &ld)
+		if got != want {
+			t.Fatalf("trial %d:\n st = %v\n ld = %v\n got %d, want %d", trial, &st, &ld, got, want)
+		}
+	}
+}
+
+func TestConflictingLoadsDegenerate(t *testing.T) {
+	// Fixed-location store and load (all strides zero in space).
+	mk := func(obj, off, t0, dt int64, count uint32) lmad.LMAD {
+		return lmad.LMAD{
+			Start:  []int64{obj, off, t0},
+			Stride: []int64{0, 0, dt},
+			Count:  count,
+		}
+	}
+	st := mk(1, 8, 0, 2, 5) // stores at times 0,2,4,6,8
+	ld := mk(1, 8, 1, 2, 5) // loads at times 1,3,5,7,9
+	if got := ConflictingLoads(&st, &ld); got != 5 {
+		t.Errorf("same location: got %d, want 5", got)
+	}
+	// Loads all before the first store: no conflicts.
+	early := mk(1, 8, -100, 1, 5)
+	if got := ConflictingLoads(&st, &early); got != 0 {
+		t.Errorf("early loads: got %d, want 0", got)
+	}
+	// Different fixed offsets: never conflict.
+	other := mk(1, 16, 10, 1, 5)
+	if got := ConflictingLoads(&st, &other); got != 0 {
+		t.Errorf("different offsets: got %d, want 0", got)
+	}
+}
+
+func TestConflictingLoadsLargeCountsNoHang(t *testing.T) {
+	// Closed-form counting must handle million-iteration LMADs instantly.
+	st := lmad.LMAD{
+		Start:  []int64{0, 0, 0},
+		Stride: []int64{0, 8, 2},
+		Count:  1 << 20,
+	}
+	ld := lmad.LMAD{
+		Start:  []int64{0, 0, 1},
+		Stride: []int64{0, 8, 2},
+		Count:  1 << 20,
+	}
+	got := ConflictingLoads(&st, &ld)
+	if got != 1<<20 {
+		t.Errorf("got %d, want %d", got, 1<<20)
+	}
+}
+
+// buildDependentTrace produces a trace whose true MDFs are known: store 1
+// writes the whole array, load 2 reads it all (MDF 1.0), load 3 reads half
+// matching locations (MDF 0.5).
+func buildDependentTrace() *trace.Buffer {
+	buf := &trace.Buffer{}
+	m := memsim.New(buf)
+	m.Start()
+	arr := m.Alloc(1, 512)
+	for i := 0; i < 64; i++ {
+		m.Store(1, arr+trace.Addr(i*8), 8)
+	}
+	for i := 0; i < 64; i++ {
+		m.Load(2, arr+trace.Addr(i*8), 8)
+	}
+	for i := 0; i < 64; i++ {
+		// Half the reads are past the stored region (within a second
+		// object that was never written).
+		if i%2 == 0 {
+			m.Load(3, arr+trace.Addr(i*8), 8)
+		} else {
+			m.Load(3, 0x900000+trace.Addr(i*8), 8)
+		}
+	}
+	m.Free(arr)
+	m.End()
+	return buf
+}
+
+func TestFromLEAPAgainstIdeal(t *testing.T) {
+	buf := buildDependentTrace()
+
+	ideal := NewIdeal()
+	buf.Replay(ideal)
+
+	lp := leap.New(nil, 0)
+	buf.Replay(lp)
+	leapRes := FromLEAP(lp.Profile("synthetic"))
+
+	im := ideal.Result().MDF()
+	lm := leapRes.MDF()
+
+	for _, tc := range []struct {
+		pair Pair
+		want float64
+	}{
+		{Pair{St: 1, Ld: 2}, 1.0},
+		{Pair{St: 1, Ld: 3}, 0.5},
+	} {
+		if got := im[tc.pair]; got != tc.want {
+			t.Errorf("ideal MDF%v = %v, want %v", tc.pair, got, tc.want)
+		}
+		if got := lm[tc.pair]; got != tc.want {
+			t.Errorf("LEAP MDF%v = %v, want %v", tc.pair, got, tc.want)
+		}
+	}
+}
+
+func TestDistributionBins(t *testing.T) {
+	ideal := NewResult()
+	est := NewResult()
+	// Pair A: exact. Pair B: underestimated by 50 points. Pair C: missed.
+	ideal.LoadExecs[1] = 100
+	ideal.Conflicts[Pair{St: 10, Ld: 1}] = 100
+	ideal.LoadExecs[2] = 100
+	ideal.Conflicts[Pair{St: 10, Ld: 2}] = 100
+	ideal.LoadExecs[3] = 100
+	ideal.Conflicts[Pair{St: 10, Ld: 3}] = 80
+
+	est.LoadExecs[1] = 100
+	est.Conflicts[Pair{St: 10, Ld: 1}] = 100
+	est.LoadExecs[2] = 100
+	est.Conflicts[Pair{St: 10, Ld: 2}] = 50
+	est.LoadExecs[3] = 100
+	// pair C absent entirely
+
+	d := Distribution(ideal, est)
+	if d.Pairs != 3 {
+		t.Fatalf("Pairs = %d", d.Pairs)
+	}
+	third := 1.0 / 3
+	if d.Bins[10] != third { // exact
+		t.Errorf("center bin = %v", d.Bins[10])
+	}
+	if d.Bins[5] != third { // -50%
+		t.Errorf("-50%% bin = %v", d.Bins[5])
+	}
+	if d.Bins[2] != third { // -80%
+		t.Errorf("-80%% bin = %v", d.Bins[2])
+	}
+	if got := d.WithinTen(); got != third {
+		t.Errorf("WithinTen = %v", got)
+	}
+	if got := d.Exact(); got != third {
+		t.Errorf("Exact = %v", got)
+	}
+}
+
+func TestDistributionEmpty(t *testing.T) {
+	d := Distribution(NewResult(), NewResult())
+	if d.Pairs != 0 || d.WithinTen() != 0 {
+		t.Error("empty distribution not zero")
+	}
+}
+
+func TestBinError(t *testing.T) {
+	if BinError(0) != -100 || BinError(10) != 0 || BinError(20) != 100 {
+		t.Error("BinError mapping wrong")
+	}
+}
+
+func TestAverage(t *testing.T) {
+	var a, b ErrorDist
+	a.Bins[10] = 1.0
+	a.Pairs = 4
+	b.Bins[0] = 1.0
+	b.Pairs = 6
+	avg := Average(a, b, ErrorDist{}) // empty one skipped
+	if avg.Bins[10] != 0.5 || avg.Bins[0] != 0.5 {
+		t.Errorf("Average bins = %v / %v", avg.Bins[10], avg.Bins[0])
+	}
+	if avg.Pairs != 10 {
+		t.Errorf("Average pairs = %d", avg.Pairs)
+	}
+}
+
+// TestConflictingSetMatchesBruteForceSet verifies not just the count but the
+// exact set of conflicting load iterations (needed for the union logic).
+func TestConflictingSetMatchesBruteForceSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20000; trial++ {
+		st := randLMAD(rng)
+		ld := randLMAD(rng)
+
+		want := make(map[int64]bool)
+		for k2 := uint32(0); k2 < ld.Count; k2++ {
+			for k1 := uint32(0); k1 < st.Count; k1++ {
+				if st.At(k1, leap.DimObject) == ld.At(k2, leap.DimObject) &&
+					st.At(k1, leap.DimOffset) == ld.At(k2, leap.DimOffset) &&
+					st.At(k1, leap.DimTime) < ld.At(k2, leap.DimTime) {
+					want[int64(k2)] = true
+					break
+				}
+			}
+		}
+		s := conflictingSet(&st, &ld)
+		got := make(map[int64]bool, s.n)
+		v := s.first
+		for i := uint64(0); i < s.n; i++ {
+			got[v] = true
+			v += s.step
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: set sizes differ: got %v want %v\n st=%v\n ld=%v", trial, got, want, &st, &ld)
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("trial %d: missing k2=%d\n st=%v\n ld=%v", trial, k, &st, &ld)
+			}
+		}
+	}
+}
+
+func TestUnionSize(t *testing.T) {
+	cases := []struct {
+		sets  []ap
+		clamp uint64
+		want  uint64
+	}{
+		{nil, 10, 0},
+		{[]ap{{first: 0, step: 1, n: 5}}, 10, 5},
+		{[]ap{{first: 0, step: 1, n: 5}}, 3, 3}, // clamped
+		{[]ap{{first: 0, step: 2, n: 3}, {first: 0, step: 2, n: 3}}, 10, 3},   // identical
+		{[]ap{{first: 0, step: 2, n: 3}, {first: 1, step: 2, n: 3}}, 10, 6},   // interleaved
+		{[]ap{{first: 0, step: 1, n: 4}, {first: 2, step: 1, n: 4}}, 10, 6},   // overlapping
+		{[]ap{{first: 0, step: 3, n: 2}, {first: 100, step: 1, n: 1}}, 10, 3}, // disjoint
+	}
+	for i, c := range cases {
+		if got := unionSize(c.sets, c.clamp); got != c.want {
+			t.Errorf("case %d: unionSize = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestSolveCongruenceAndCRT(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 5000; trial++ {
+		a := int64(rng.Intn(21) - 10)
+		b := int64(rng.Intn(21) - 10)
+		m := int64(1 + rng.Intn(12))
+		r, mm, ok := solveCongruence(a, b, m)
+		// Brute-force reference over one full period.
+		var sols []int64
+		for k := int64(0); k < m; k++ {
+			if ((a*k-b)%m+m)%m == 0 {
+				sols = append(sols, k)
+			}
+		}
+		if !ok {
+			if len(sols) != 0 {
+				t.Fatalf("solveCongruence(%d,%d,%d) = no solution, brute force found %v", a, b, m, sols)
+			}
+			continue
+		}
+		if mm < 1 {
+			t.Fatalf("modulus %d", mm)
+		}
+		for k := int64(0); k < m; k++ {
+			want := ((a*k-b)%m+m)%m == 0
+			got := ((k-r)%mm+mm)%mm == 0
+			if want != got {
+				t.Fatalf("solveCongruence(%d,%d,%d) = (%d mod %d): k=%d classified %v, want %v",
+					a, b, m, r, mm, k, got, want)
+			}
+		}
+	}
+	// CRT against brute force.
+	for trial := 0; trial < 5000; trial++ {
+		m1 := int64(1 + rng.Intn(10))
+		m2 := int64(1 + rng.Intn(10))
+		r1 := int64(rng.Intn(int(m1)))
+		r2 := int64(rng.Intn(int(m2)))
+		r, m, ok := crt(r1, m1, r2, m2)
+		var sols []int64
+		lcm := m1 * m2
+		for k := int64(0); k < lcm; k++ {
+			if k%m1 == r1 && k%m2 == r2 {
+				sols = append(sols, k)
+			}
+		}
+		if !ok {
+			if len(sols) != 0 {
+				t.Fatalf("crt(%d,%d,%d,%d) failed, brute force found %v", r1, m1, r2, m2, sols)
+			}
+			continue
+		}
+		for k := int64(0); k < lcm; k++ {
+			want := k%m1 == r1 && k%m2 == r2
+			got := ((k-r)%m+m)%m == 0
+			if want != got {
+				t.Fatalf("crt(%d,%d,%d,%d) = (%d mod %d): k=%d classified %v, want %v",
+					r1, m1, r2, m2, r, m, k, got, want)
+			}
+		}
+	}
+}
+
+func TestCountCongruent(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 3000; trial++ {
+		lo := int64(rng.Intn(41) - 20)
+		hi := lo + int64(rng.Intn(40))
+		m := int64(1 + rng.Intn(9))
+		r := int64(rng.Intn(int(m)))
+		var want uint64
+		for k := lo; k <= hi; k++ {
+			if ((k-r)%m+m)%m == 0 {
+				want++
+			}
+		}
+		if got := countCongruent(lo, hi, r, m); got != want {
+			t.Fatalf("countCongruent(%d,%d,%d,%d) = %d, want %d", lo, hi, r, m, got, want)
+		}
+	}
+	if countCongruent(5, 4, 0, 3) != 0 {
+		t.Error("empty interval")
+	}
+}

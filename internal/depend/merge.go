@@ -1,0 +1,24 @@
+package depend
+
+// MergeResults combines dependence results from multiple runs of the same
+// program: conflict counts and load execution totals add, so the merged MDF
+// for each pair is the execution-weighted average of the per-run MDFs.
+//
+// This cross-run aggregation is possible only because the pairs are keyed
+// by static instruction IDs, which object-relative profiling keeps stable
+// across runs; a raw-address profile's dependences cannot be merged (§1).
+func MergeResults(results ...*Result) *Result {
+	out := NewResult()
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		for p, c := range r.Conflicts {
+			out.Conflicts[p] += c
+		}
+		for id, n := range r.LoadExecs {
+			out.LoadExecs[id] += n
+		}
+	}
+	return out
+}

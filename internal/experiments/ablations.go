@@ -1,0 +1,301 @@
+package experiments
+
+import (
+	"ormprof/internal/depend"
+	"ormprof/internal/leap"
+	"ormprof/internal/memsim"
+	"ormprof/internal/profiler"
+	"ormprof/internal/sequitur"
+	"ormprof/internal/whomp"
+	"ormprof/internal/workloads"
+)
+
+// InvarianceRow reports, for one allocator policy, the sizes of the raw and
+// object-relative profiles and whether the object-relative dimension streams
+// are bit-identical to the reference policy's.
+type InvarianceRow struct {
+	Policy      string
+	RASGSymbols int
+	OMSGSymbols int
+	// ObjectRelativeIdentical is true when the (instr, group, object,
+	// offset) streams match the reference run exactly.
+	ObjectRelativeIdentical bool
+	// RawIdentical is true when the raw address stream matches the
+	// reference run exactly (expected only for deterministic policies).
+	RawIdentical bool
+}
+
+// AllocatorInvariance demonstrates the paper's §1 motivation: running the
+// same program under different allocator policies changes the raw-address
+// profile but leaves the object-relative profile untouched. The first
+// policy in the result is the reference.
+func AllocatorInvariance(name string, cfg workloads.Config) ([]InvarianceRow, error) {
+	policies := []struct {
+		label string
+		make  func() memsim.Allocator
+	}{
+		{"freelist", func() memsim.Allocator { return memsim.NewFreeListAllocator() }},
+		{"bump", func() memsim.Allocator { return memsim.NewBumpAllocator() }},
+		{"randomized-seedA", func() memsim.Allocator { return memsim.NewRandomizedAllocator(1) }},
+		{"randomized-seedB", func() memsim.Allocator { return memsim.NewRandomizedAllocator(2) }},
+	}
+
+	var refTuples []uint64 // flattened reference dimension streams
+	var refRaw []uint64
+
+	rows := make([]InvarianceRow, 0, len(policies))
+	for _, pol := range policies {
+		prog, err := workloads.New(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		buf, sites := Record(prog, pol.make())
+
+		rasg := whomp.NewRASG()
+		buf.Replay(rasg)
+
+		wp := whomp.New(sites)
+		buf.Replay(wp)
+		profile := wp.Profile(name)
+
+		// Flatten the object-relative tuples and the raw stream for
+		// comparison.
+		var tuples []uint64
+		for _, r := range profile.ReconstructTuples() {
+			tuples = append(tuples,
+				uint64(r.Instr), uint64(r.Ref.Group), uint64(r.Ref.Object), r.Ref.Offset)
+		}
+		raw := rasg.Addr.Expand()
+
+		row := InvarianceRow{
+			Policy:      pol.label,
+			RASGSymbols: rasg.Symbols(),
+			OMSGSymbols: profile.Symbols(),
+		}
+		if refTuples == nil {
+			refTuples = tuples
+			refRaw = raw
+			row.ObjectRelativeIdentical = true
+			row.RawIdentical = true
+		} else {
+			row.ObjectRelativeIdentical = equalU64(tuples, refTuples)
+			row.RawIdentical = equalU64(raw, refRaw)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CapRow reports LEAP quality and cost for one LMAD budget.
+type CapRow struct {
+	MaxLMADs     int
+	ProfileBytes int
+	AccPct       float64 // accesses captured
+	InstrPct     float64 // instructions completely captured
+	DepWithin10  float64 // dependence pairs correct-or-within-10 %
+}
+
+// LMADCapSweep runs the §4.1 trade-off ablation: sweep the per-stream LMAD
+// budget and measure profile size, sample quality, and dependence accuracy
+// on one benchmark. The paper fixes the budget at 30 as a good middle
+// ground; the sweep shows the knee.
+func LMADCapSweep(name string, cfg workloads.Config, caps []int) ([]CapRow, error) {
+	prog, err := workloads.New(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	buf, sites := Record(prog, nil)
+
+	ideal := depend.NewIdeal()
+	buf.Replay(ideal)
+
+	rows := make([]CapRow, 0, len(caps))
+	for _, c := range caps {
+		lp := leap.New(sites, c)
+		buf.Replay(lp)
+		profile := lp.Profile(name)
+		accPct, instrPct := profile.SampleQuality()
+		est := depend.FromLEAP(profile)
+		dist := depend.Distribution(ideal.Result(), est)
+		rows = append(rows, CapRow{
+			MaxLMADs:     c,
+			ProfileBytes: profile.EncodedSize(),
+			AccPct:       accPct,
+			InstrPct:     instrPct,
+			DepWithin10:  100 * dist.WithinTen(),
+		})
+	}
+	return rows, nil
+}
+
+// DecompositionRow splits WHOMP's win over RASG into its two ingredients:
+// object-relative *translation* (replace each raw address by a packed
+// (group, object, offset) symbol, keep the RASG stream structure) and
+// horizontal *decomposition* (one grammar per tuple dimension).
+type DecompositionRow struct {
+	Benchmark         string
+	RASGBytes         int     // instr + raw address grammars, serialized
+	TranslatedBytes   int     // instr + packed object-relative grammars
+	OMSGBytes         int     // full per-dimension grammars
+	TranslationOnly   float64 // % gain of translated over RASG
+	FullDecomposition float64 // % gain of OMSG over RASG
+}
+
+// DecompositionAblation measures the contribution of each ingredient on
+// every benchmark.
+func DecompositionAblation(cfg workloads.Config) []DecompositionRow {
+	rows := make([]DecompositionRow, 0, len(workloads.Names()))
+	for _, prog := range workloads.All(cfg) {
+		buf, sites := Record(prog, nil)
+
+		rasg := whomp.NewRASG()
+		buf.Replay(rasg)
+
+		wp := whomp.New(sites)
+		buf.Replay(wp)
+		profile := wp.Profile(prog.Name())
+
+		// Translation-only: the raw address stream with each address
+		// replaced by an injectively packed object-relative symbol, so
+		// allocator artifacts vanish but the stream stays interleaved.
+		recs, _ := profiler.TranslateTrace(buf.Events, sites)
+		instrG := sequitur.New()
+		addrG := sequitur.New()
+		for _, r := range recs {
+			instrG.Append(uint64(r.Instr))
+			addrG.Append(packRef(r))
+		}
+
+		row := DecompositionRow{
+			Benchmark:       prog.Name(),
+			RASGBytes:       rasg.EncodedBytes(),
+			TranslatedBytes: instrG.EncodedSize() + addrG.EncodedSize(),
+			OMSGBytes:       profile.EncodedBytes(),
+		}
+		if row.RASGBytes > 0 {
+			base := float64(row.RASGBytes)
+			row.TranslationOnly = 100 * (1 - float64(row.TranslatedBytes)/base)
+			row.FullDecomposition = 100 * (1 - float64(row.OMSGBytes)/base)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// packRef packs an object-relative reference into one symbol, injectively
+// for the scales this repository produces (group < 2^18, object serial
+// < 2^20, offset < 2^24). Mapped symbols start at 2^44, above every raw
+// address (< 2^39), so unmapped references can keep their raw address.
+func packRef(r profiler.Record) uint64 {
+	if r.Ref.Group == 0 {
+		return r.Ref.Offset // raw address of an unmapped access
+	}
+	return uint64(r.Ref.Group)<<44 | uint64(r.Ref.Object)<<24 | r.Ref.Offset
+}
+
+// PoolPolicyRow reports profile characteristics for one pool-handling
+// policy (the paper's footnote 2).
+type PoolPolicyRow struct {
+	Policy      string
+	OMSGBytes   int
+	RASGBytes   int
+	GainPct     float64
+	AccPct      float64 // LEAP offset-level capture
+	DepWithin10 float64 // dependence accuracy vs ideal
+}
+
+// PoolPolicyAblation reproduces footnote 2's design choice on 197.parser:
+// treating the custom allocation pool as a single object (the paper's
+// default) versus profiling each carved record as its own object.
+func PoolPolicyAblation(cfg workloads.Config) ([]PoolPolicyRow, error) {
+	run := func(label string, individual bool) (PoolPolicyRow, error) {
+		c := cfg
+		c.IndividualAlloc = individual
+		prog, err := workloads.New("197.parser", c)
+		if err != nil {
+			return PoolPolicyRow{}, err
+		}
+		buf, sites := Record(prog, nil)
+
+		rasg := whomp.NewRASG()
+		buf.Replay(rasg)
+		wp := whomp.New(sites)
+		buf.Replay(wp)
+		wprof := wp.Profile("197.parser")
+
+		lp := leap.New(sites, 0)
+		buf.Replay(lp)
+		lprof := lp.Profile("197.parser")
+		accPct, _ := lprof.SampleQuality()
+
+		ideal := depend.NewIdeal()
+		buf.Replay(ideal)
+		dist := depend.Distribution(ideal.Result(), depend.FromLEAP(lprof))
+
+		return PoolPolicyRow{
+			Policy:      label,
+			OMSGBytes:   wprof.EncodedBytes(),
+			RASGBytes:   rasg.EncodedBytes(),
+			GainPct:     whomp.CompressionGain(wprof, rasg),
+			AccPct:      accPct,
+			DepWithin10: 100 * dist.WithinTen(),
+		}, nil
+	}
+	pooled, err := run("pool-as-object", false)
+	if err != nil {
+		return nil, err
+	}
+	individual, err := run("record-per-object", true)
+	if err != nil {
+		return nil, err
+	}
+	return []PoolPolicyRow{pooled, individual}, nil
+}
+
+// ScalingRow reports compression at one workload scale.
+type ScalingRow struct {
+	Scale       int
+	Accesses    uint64
+	LEAPBytes   int
+	Compression float64
+	AccPct      float64
+}
+
+// CompressionScaling measures how LEAP's Table 1 compression ratio grows
+// with trace length: the profile size is bounded by the LMAD budget, so the
+// ratio is roughly linear in the access count — which is how the paper's
+// full SPEC train runs reach 3-4 orders of magnitude.
+func CompressionScaling(name string, seed int64, scales []int) ([]ScalingRow, error) {
+	rows := make([]ScalingRow, 0, len(scales))
+	for _, sc := range scales {
+		prog, err := workloads.New(name, workloads.Config{Scale: sc, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		buf, sites := Record(prog, nil)
+		lp := leap.New(sites, 0)
+		buf.Replay(lp)
+		profile := lp.Profile(name)
+		accPct, _ := profile.SampleQuality()
+		rows = append(rows, ScalingRow{
+			Scale:       sc,
+			Accesses:    profile.Records,
+			LEAPBytes:   profile.EncodedSize(),
+			Compression: profile.CompressionRatio(),
+			AccPct:      accPct,
+		})
+	}
+	return rows, nil
+}

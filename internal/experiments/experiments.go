@@ -1,0 +1,335 @@
+// Package experiments reproduces every figure and table of the paper's
+// evaluation (Figures 5-9, Table 1, plus two ablations), producing
+// structured results consumed by the cmd tools, the benchmark harness, and
+// EXPERIMENTS.md.
+package experiments
+
+import (
+	"compress/flate"
+	"encoding/binary"
+	"io"
+	"time"
+
+	"ormprof/internal/depend"
+	"ormprof/internal/leap"
+	"ormprof/internal/memsim"
+	"ormprof/internal/stride"
+	"ormprof/internal/trace"
+	"ormprof/internal/whomp"
+	"ormprof/internal/workloads"
+)
+
+// Record runs prog on a fresh machine and returns the full probe-event
+// trace plus the machine's static site names.
+func Record(prog memsim.Program, alloc memsim.Allocator) (*trace.Buffer, map[trace.SiteID]string) {
+	buf := &trace.Buffer{}
+	var opts []memsim.Option
+	if alloc != nil {
+		opts = append(opts, memsim.WithAllocator(alloc))
+	}
+	m := memsim.Run(prog, buf, opts...)
+	return buf, m.StaticSites()
+}
+
+// Fig5Row is one benchmark's Figure 5 data: OMSG vs RASG size and
+// collection time.
+type Fig5Row struct {
+	Benchmark   string
+	Accesses    uint64
+	RASGSymbols int
+	OMSGSymbols int
+	RASGBytes   int
+	OMSGBytes   int
+	// FlateBytes is the raw fixed-width access trace compressed with
+	// DEFLATE — an off-the-shelf general-purpose baseline the paper did
+	// not include but that calibrates the grammar results.
+	FlateBytes int
+	GainPct    float64 // paper metric: % compression of OMSG over RASG
+	RASGTime   time.Duration
+	OMSGTime   time.Duration
+}
+
+// Fig5 collects WHOMP (OMSG) and raw-address (RASG) profiles for every
+// benchmark and compares their sizes, reproducing Figure 5.
+func Fig5(cfg workloads.Config) []Fig5Row {
+	rows := make([]Fig5Row, 0, len(workloads.Names()))
+	for _, prog := range workloads.All(cfg) {
+		buf, sites := Record(prog, nil)
+
+		startR := time.Now()
+		rasg := whomp.NewRASG()
+		buf.Replay(rasg)
+		rasgTime := time.Since(startR)
+
+		startO := time.Now()
+		wp := whomp.New(sites)
+		buf.Replay(wp)
+		profile := wp.Profile(prog.Name())
+		omsgTime := time.Since(startO)
+
+		rows = append(rows, Fig5Row{
+			Benchmark:   prog.Name(),
+			Accesses:    profile.Records,
+			RASGSymbols: rasg.Symbols(),
+			OMSGSymbols: profile.Symbols(),
+			RASGBytes:   rasg.EncodedBytes(),
+			OMSGBytes:   profile.EncodedBytes(),
+			FlateBytes:  flateSize(buf),
+			GainPct:     whomp.CompressionGain(profile, rasg),
+			RASGTime:    rasgTime,
+			OMSGTime:    omsgTime,
+		})
+	}
+	return rows
+}
+
+// flateSize compresses the fixed-width (instr, addr) access records with
+// DEFLATE (best compression) and reports the output size.
+func flateSize(buf *trace.Buffer) int {
+	cw := &countWriter{}
+	fw, err := flate.NewWriter(cw, flate.BestCompression)
+	if err != nil {
+		return 0
+	}
+	var rec [12]byte
+	for _, e := range buf.Events {
+		if e.Kind != trace.EvAccess {
+			continue
+		}
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(e.Instr))
+		binary.LittleEndian.PutUint64(rec[4:12], uint64(e.Addr))
+		if _, err := fw.Write(rec[:]); err != nil {
+			return 0
+		}
+	}
+	if err := fw.Close(); err != nil {
+		return 0
+	}
+	return cw.n
+}
+
+type countWriter struct{ n int }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += len(p)
+	return len(p), nil
+}
+
+var _ io.Writer = (*countWriter)(nil)
+
+// AverageGain computes Figure 5's headline number (paper: 22 %).
+func AverageGain(rows []Fig5Row) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range rows {
+		sum += r.GainPct
+	}
+	return sum / float64(len(rows))
+}
+
+// DepRow is one benchmark's dependence-error data for Figures 6-8.
+type DepRow struct {
+	Benchmark string
+	LEAP      depend.ErrorDist // Figure 6
+	Connors   depend.ErrorDist // Figure 7
+}
+
+// DepConfig parametrizes the dependence experiment.
+type DepConfig struct {
+	Workloads workloads.Config
+	MaxLMADs  int // LEAP budget; ≤ 0 = paper default (30)
+	Window    int // Connors history; ≤ 0 = depend.DefaultWindow
+}
+
+// Dependence runs the §4.2.1 experiment: for every benchmark, collect the
+// ideal (lossless raw-address) dependence profile, the LEAP estimate, and
+// the Connors estimate, and compute the two error distributions.
+func Dependence(cfg DepConfig) []DepRow {
+	rows := make([]DepRow, 0, len(workloads.Names()))
+	for _, prog := range workloads.All(cfg.Workloads) {
+		buf, sites := Record(prog, nil)
+
+		ideal := depend.NewIdeal()
+		buf.Replay(ideal)
+
+		lp := leap.New(sites, cfg.MaxLMADs)
+		buf.Replay(lp)
+		leapRes := depend.FromLEAP(lp.Profile(prog.Name()))
+
+		con := depend.NewConnors(cfg.Window)
+		buf.Replay(con)
+
+		rows = append(rows, DepRow{
+			Benchmark: prog.Name(),
+			LEAP:      depend.Distribution(ideal.Result(), leapRes),
+			Connors:   depend.Distribution(ideal.Result(), con.Result()),
+		})
+	}
+	return rows
+}
+
+// Fig8 summarizes a dependence run as the paper's Figure 8: the average
+// LEAP and Connors distributions plus the headline improvement in
+// correct-or-within-10 % pairs (paper: 56 %).
+type Fig8 struct {
+	LEAP, Connors  depend.ErrorDist
+	LEAPWithin10   float64
+	ConnWithin10   float64
+	ImprovementPct float64
+}
+
+// Summarize computes Figure 8 from the per-benchmark rows.
+func Summarize(rows []DepRow) Fig8 {
+	ld := make([]depend.ErrorDist, len(rows))
+	cd := make([]depend.ErrorDist, len(rows))
+	for i, r := range rows {
+		ld[i] = r.LEAP
+		cd[i] = r.Connors
+	}
+	f := Fig8{
+		LEAP:    depend.Average(ld...),
+		Connors: depend.Average(cd...),
+	}
+	f.LEAPWithin10 = f.LEAP.WithinTen()
+	f.ConnWithin10 = f.Connors.WithinTen()
+	if f.ConnWithin10 > 0 {
+		f.ImprovementPct = 100 * (f.LEAPWithin10 - f.ConnWithin10) / f.ConnWithin10
+	}
+	return f
+}
+
+// Fig9Row is one benchmark's stride-score data.
+type Fig9Row struct {
+	Benchmark string
+	Real      int     // strongly strided instructions per the lossless profiler
+	Found     int     // of those, identified by LEAP
+	Score     float64 // percentage (Figure 9 bar)
+	// ExtScore is the score with the §4.2.2 cross-object extension (uses
+	// the run-dependent object table).
+	ExtScore float64
+}
+
+// Fig9 runs the §4.2.2 experiment: strongly strided instructions from LEAP
+// vs the lossless stride profiler, with and without the cross-object
+// extension.
+func Fig9(cfg workloads.Config, maxLMADs int) []Fig9Row {
+	rows := make([]Fig9Row, 0, len(workloads.Names()))
+	for _, prog := range workloads.All(cfg) {
+		buf, sites := Record(prog, nil)
+
+		ideal := stride.NewIdeal()
+		buf.Replay(ideal)
+		real := ideal.StronglyStrided()
+
+		lp := leap.New(sites, maxLMADs)
+		buf.Replay(lp)
+		profile := lp.Profile(prog.Name())
+		est := stride.FromLEAP(profile)
+		ext := stride.FromLEAPCrossObject(profile, stride.OMCLocator{OMC: lp.OMC()})
+
+		found := 0
+		for id, ri := range real {
+			if ei, ok := est[id]; ok && ei.Stride == ri.Stride {
+				found++
+			}
+		}
+		rows = append(rows, Fig9Row{
+			Benchmark: prog.Name(),
+			Real:      len(real),
+			Found:     found,
+			Score:     stride.Score(real, est),
+			ExtScore:  stride.Score(real, ext),
+		})
+	}
+	return rows
+}
+
+// AverageScore computes Figure 9's headline number (paper: 88 %).
+func AverageScore(rows []Fig9Row) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range rows {
+		sum += r.Score
+	}
+	return sum / float64(len(rows))
+}
+
+// Table1Row is one benchmark's Table 1 data.
+type Table1Row struct {
+	Benchmark   string
+	Accesses    uint64
+	Compression float64 // raw trace bytes / LEAP profile bytes
+	Dilation    float64 // profiled wall time / native wall time
+	AccPct      float64 // % of accesses captured in LMADs
+	InstrPct    float64 // % of instructions completely captured
+}
+
+// Table1 reproduces the LEAP size/speed/quality table. Dilation compares an
+// instrumented run (machine wired straight into the LEAP pipeline) against
+// a native run (probe events discarded).
+func Table1(cfg workloads.Config, maxLMADs int) []Table1Row {
+	rows := make([]Table1Row, 0, len(workloads.Names()))
+	for _, name := range workloads.Names() {
+		prog := mustWorkload(name, cfg)
+		startN := time.Now()
+		memsim.Run(prog, trace.Discard)
+		native := time.Since(startN)
+
+		prog = mustWorkload(name, cfg) // fresh program state
+		lp := leap.New(nil, maxLMADs)
+		startP := time.Now()
+		m := memsim.Run(prog, lp)
+		profiled := time.Since(startP)
+
+		profile := lp.Profile(name)
+		accPct, instrPct := profile.SampleQuality()
+		dilation := 0.0
+		if native > 0 {
+			dilation = float64(profiled) / float64(native)
+		}
+		loads, stores, _, _ := m.Counters()
+		rows = append(rows, Table1Row{
+			Benchmark:   name,
+			Accesses:    loads + stores,
+			Compression: profile.CompressionRatio(),
+			Dilation:    dilation,
+			AccPct:      accPct,
+			InstrPct:    instrPct,
+		})
+	}
+	return rows
+}
+
+// Table1Average computes the paper's "Average" row.
+func Table1Average(rows []Table1Row) Table1Row {
+	avg := Table1Row{Benchmark: "Average"}
+	if len(rows) == 0 {
+		return avg
+	}
+	for _, r := range rows {
+		avg.Accesses += r.Accesses
+		avg.Compression += r.Compression
+		avg.Dilation += r.Dilation
+		avg.AccPct += r.AccPct
+		avg.InstrPct += r.InstrPct
+	}
+	n := float64(len(rows))
+	avg.Accesses /= uint64(len(rows))
+	avg.Compression /= n
+	avg.Dilation /= n
+	avg.AccPct /= n
+	avg.InstrPct /= n
+	return avg
+}
+
+func mustWorkload(name string, cfg workloads.Config) memsim.Program {
+	p, err := workloads.New(name, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,317 @@
+// Integration tests: each test runs one of the paper's experiments at test
+// scale and asserts that the headline *shape* of the published result holds
+// (who wins, roughly by how much). Exact values are recorded in
+// EXPERIMENTS.md; these bounds are deliberately loose so the suite stays
+// robust to workload tuning.
+package experiments
+
+import (
+	"testing"
+
+	"ormprof/internal/decomp"
+	"ormprof/internal/memsim"
+	"ormprof/internal/whomp"
+	"ormprof/internal/workloads"
+)
+
+func cfg() workloads.Config { return workloads.Config{Scale: 1, Seed: 42} }
+
+func TestFig5OMSGBeatsRASG(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	t.Parallel()
+	rows := Fig5(cfg())
+	if len(rows) != 7 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	avg := AverageGain(rows)
+	// Paper: 22% average. Require a clear OMSG win.
+	if avg < 10 {
+		t.Errorf("average OMSG gain = %.1f%%, want >= 10%% (paper: 22%%)", avg)
+	}
+	wins := 0
+	for _, r := range rows {
+		if r.Accesses == 0 || r.OMSGBytes == 0 || r.RASGBytes == 0 {
+			t.Errorf("%s: degenerate row %+v", r.Benchmark, r)
+		}
+		if r.GainPct > 0 {
+			wins++
+		}
+	}
+	if wins < 5 {
+		t.Errorf("OMSG smaller on only %d/7 benchmarks", wins)
+	}
+}
+
+func TestDependenceLEAPBeatsConnors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	t.Parallel()
+	rows := Dependence(DepConfig{Workloads: cfg()})
+	if len(rows) != 7 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	f8 := Summarize(rows)
+	// Paper: LEAP ~75% within ten, 56% better than Connors. Require LEAP
+	// to be clearly ahead.
+	if f8.LEAPWithin10 <= f8.ConnWithin10 {
+		t.Errorf("LEAP within-10 (%.2f) not better than Connors (%.2f)", f8.LEAPWithin10, f8.ConnWithin10)
+	}
+	if f8.ImprovementPct < 20 {
+		t.Errorf("improvement = %.0f%%, want >= 20%% (paper: 56%%)", f8.ImprovementPct)
+	}
+	if f8.LEAPWithin10 < 0.40 {
+		t.Errorf("LEAP within-10 = %.2f, want >= 0.40 (paper: ~0.75)", f8.LEAPWithin10)
+	}
+	// Connors must never overestimate: all its mass at error <= 0.
+	for i := 11; i < len(f8.Connors.Bins); i++ {
+		if f8.Connors.Bins[i] > 0 {
+			t.Errorf("Connors has positive-error mass in bin %d", i)
+		}
+	}
+}
+
+func TestFig9StrideScore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	t.Parallel()
+	rows := Fig9(cfg(), 0)
+	avg := AverageScore(rows)
+	// Paper: 88% average.
+	if avg < 70 {
+		t.Errorf("average stride score = %.1f%%, want >= 70%% (paper: 88%%)", avg)
+	}
+	anyReal := false
+	for _, r := range rows {
+		if r.Real > 0 {
+			anyReal = true
+		}
+		if r.Found > r.Real {
+			t.Errorf("%s: found %d > real %d", r.Benchmark, r.Found, r.Real)
+		}
+	}
+	if !anyReal {
+		t.Error("no benchmark has strongly strided instructions")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	t.Parallel()
+	rows := Table1(cfg(), 0)
+	avg := Table1Average(rows)
+	// Paper: 3539x average compression (three orders of magnitude);
+	// at test scale two orders is the floor.
+	if avg.Compression < 50 {
+		t.Errorf("average compression = %.0fx, want >= 50x", avg.Compression)
+	}
+	// Paper: 11.5x dilation. Instrumentation must cost something but not
+	// be absurd.
+	if avg.Dilation < 1 || avg.Dilation > 200 {
+		t.Errorf("average dilation = %.1fx, out of sane range", avg.Dilation)
+	}
+	// Paper: 46.5% / 40.5% average sample quality.
+	if avg.AccPct < 25 || avg.AccPct > 75 {
+		t.Errorf("accesses captured = %.1f%%, want 25-75%% (paper: 46.5%%)", avg.AccPct)
+	}
+	// Shape: parser captures most, mcf least (paper Table 1 ordering).
+	byName := map[string]Table1Row{}
+	for _, r := range rows {
+		byName[r.Benchmark] = r
+	}
+	if byName["197.parser"].AccPct <= byName["181.mcf"].AccPct {
+		t.Errorf("parser (%.1f%%) should capture more than mcf (%.1f%%)",
+			byName["197.parser"].AccPct, byName["181.mcf"].AccPct)
+	}
+	if byName["181.mcf"].AccPct > 25 {
+		t.Errorf("mcf captured %.1f%%, want low (paper: 6.5%%)", byName["181.mcf"].AccPct)
+	}
+}
+
+func TestAllocatorInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	t.Parallel()
+	rows, err := AllocatorInvariance("197.parser", cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for i, r := range rows {
+		// The central claim (§1): object-relative streams are identical
+		// under every allocator policy.
+		if !r.ObjectRelativeIdentical {
+			t.Errorf("policy %s: object-relative profile differs from reference", r.Policy)
+		}
+		// The raw stream must differ for at least the non-reference
+		// policies with different layouts.
+		if i > 0 && r.RawIdentical {
+			t.Errorf("policy %s: raw stream identical to freelist reference (expected artifacts)", r.Policy)
+		}
+	}
+}
+
+func TestLMADCapSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	t.Parallel()
+	caps := []int{5, 30, 100}
+	rows, err := LMADCapSweep("256.bzip2", cfg(), caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Larger budgets: never-smaller profiles and never-lower capture.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].ProfileBytes < rows[i-1].ProfileBytes {
+			t.Errorf("cap %d profile (%d B) smaller than cap %d (%d B)",
+				rows[i].MaxLMADs, rows[i].ProfileBytes, rows[i-1].MaxLMADs, rows[i-1].ProfileBytes)
+		}
+		if rows[i].AccPct+1e-9 < rows[i-1].AccPct {
+			t.Errorf("cap %d capture (%.1f%%) below cap %d (%.1f%%)",
+				rows[i].MaxLMADs, rows[i].AccPct, rows[i-1].MaxLMADs, rows[i-1].AccPct)
+		}
+	}
+}
+
+func TestDecompositionAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	t.Parallel()
+	rows := DecompositionAblation(cfg())
+	if len(rows) != 7 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.RASGBytes == 0 || r.TranslatedBytes == 0 || r.OMSGBytes == 0 {
+			t.Errorf("%s: degenerate row %+v", r.Benchmark, r)
+		}
+	}
+}
+
+func TestCompressionScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	t.Parallel()
+	rows, err := CompressionScaling("164.gzip", 42, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Compression <= rows[i-1].Compression {
+			t.Errorf("compression did not grow with scale: %v then %v",
+				rows[i-1].Compression, rows[i].Compression)
+		}
+		// The profile itself must stay within a small factor (it is
+		// LMAD-budget-bounded, not trace-length-bounded).
+		if rows[i].LEAPBytes > rows[0].LEAPBytes*3 {
+			t.Errorf("profile bytes grew with trace length: %d at scale %d vs %d at scale %d",
+				rows[i].LEAPBytes, rows[i].Scale, rows[0].LEAPBytes, rows[0].Scale)
+		}
+	}
+}
+
+func TestPoolPolicyAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	t.Parallel()
+	rows, err := PoolPolicyAblation(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	pooled, individual := rows[0], rows[1]
+	// Footnote 2's choice must be visibly better on parser.
+	if pooled.AccPct <= individual.AccPct {
+		t.Errorf("pooling should capture more: %.1f vs %.1f", pooled.AccPct, individual.AccPct)
+	}
+	if pooled.OMSGBytes >= individual.OMSGBytes {
+		t.Errorf("pooling should compress better: %d vs %d bytes", pooled.OMSGBytes, individual.OMSGBytes)
+	}
+}
+
+// TestTable1PerBenchmarkShape pins each benchmark's LMAD capture to a window
+// around the regime the paper reports for its namesake (Table 1), so
+// workload tuning cannot silently drift the evaluation out of the paper's
+// shape.
+func TestTable1PerBenchmarkShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	t.Parallel()
+	windows := map[string][2]float64{
+		"164.gzip":   {50, 90}, // paper: 57.1
+		"175.vpr":    {8, 40},  // paper: 34.7
+		"181.mcf":    {3, 20},  // paper: 6.5
+		"186.crafty": {35, 65}, // paper: 50.3
+		"197.parser": {65, 95}, // paper: 76.3
+		"256.bzip2":  {15, 45}, // paper: 31.6
+		"300.twolf":  {40, 75}, // paper: 66.5
+	}
+	rows := Table1(cfg(), 0)
+	for _, r := range rows {
+		w, ok := windows[r.Benchmark]
+		if !ok {
+			t.Errorf("no window for %s", r.Benchmark)
+			continue
+		}
+		if r.AccPct < w[0] || r.AccPct > w[1] {
+			t.Errorf("%s: accesses captured %.1f%% outside paper-shape window [%.0f, %.0f]",
+				r.Benchmark, r.AccPct, w[0], w[1])
+		}
+	}
+}
+
+// TestOMSGBytesAllocatorInvariant strengthens the invariance claim to the
+// byte level: the serialized OMSG grammars must be identical under every
+// allocator policy (the object table differs — it is the run-dependent
+// half).
+func TestOMSGBytesAllocatorInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	t.Parallel()
+	encode := func(alloc memsim.Allocator) []string {
+		prog, err := workloads.New("197.parser", cfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, sites := Record(prog, alloc)
+		wp := whomp.New(sites)
+		buf.Replay(wp)
+		profile := wp.Profile("197.parser")
+		var out []string
+		for _, d := range decomp.Dims {
+			out = append(out, string(profile.Grammars[d].Encode()))
+		}
+		return out
+	}
+	ref := encode(memsim.NewFreeListAllocator())
+	for _, alloc := range []memsim.Allocator{
+		memsim.NewBumpAllocator(),
+		memsim.NewRandomizedAllocator(9),
+	} {
+		got := encode(alloc)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Errorf("policy %s: %v grammar bytes differ from reference", alloc.PolicyName(), decomp.Dims[i])
+			}
+		}
+	}
+}

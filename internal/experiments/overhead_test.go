@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"testing"
+
+	"ormprof/internal/depend"
+	"ormprof/internal/leap"
+	"ormprof/internal/stride"
+	"ormprof/internal/trace"
+	"ormprof/internal/whomp"
+	"ormprof/internal/workloads"
+)
+
+// BenchmarkProfilerThroughput compares the event-processing cost of every
+// profiler in the repository over the same recorded trace — the practical
+// counterpart of the paper's dilation measurements (its Connors window was
+// chosen to match LEAP's running time).
+func BenchmarkProfilerThroughput(b *testing.B) {
+	prog, err := workloads.New("197.parser", workloads.Config{Scale: 1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf, sites := Record(prog, nil)
+	events := float64(len(buf.Events))
+
+	run := func(name string, mk func() trace.Sink) {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				buf.Replay(mk())
+			}
+			b.ReportMetric(events*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+
+	run("discard", func() trace.Sink { return trace.Discard })
+	run("rasg", func() trace.Sink { return whomp.NewRASG() })
+	run("whomp", func() trace.Sink { return whomp.New(sites) })
+	run("leap", func() trace.Sink { return leap.New(sites, 0) })
+	run("connors", func() trace.Sink { return depend.NewConnors(0) })
+	run("ideal-depend", func() trace.Sink { return depend.NewIdeal() })
+	run("ideal-stride", func() trace.Sink { return stride.NewIdeal() })
+}

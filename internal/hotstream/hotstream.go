@@ -1,0 +1,230 @@
+// Package hotstream extracts hot data streams — frequently repeated
+// subsequences — from a Sequitur grammar, in the style of Chilimbi and
+// Hirzel's dynamic hot data stream prefetching, which §3.2 names as a
+// consumer of the OMSG ("information about repeating memory access
+// patterns, which is useful for … hot data stream prefetching").
+//
+// Sequitur makes this cheap: every grammar rule *is* a repeated
+// subsequence. A rule's frequency is how many times its expansion occurs in
+// the original input (the number of times it is reached from the start
+// rule), its length is the size of its expansion, and its heat is
+// frequency × length — the number of input symbols the rule covers.
+package hotstream
+
+import (
+	"sort"
+
+	"ormprof/internal/sequitur"
+)
+
+// Stream is one hot data stream: a repeated subsequence of the compressed
+// input.
+type Stream struct {
+	RuleID  uint32
+	Symbols []uint64 // the expanded subsequence
+	Freq    uint64   // occurrences in the input
+	Heat    uint64   // Freq × len(Symbols): input symbols covered
+}
+
+// Options bound the extraction.
+type Options struct {
+	// MinLength drops trivial streams (default 2).
+	MinLength int
+	// MinFreq drops rare streams (default 2).
+	MinFreq uint64
+	// MaxStreams caps the result, hottest first (default 16).
+	MaxStreams int
+	// KeepNested keeps rules whose occurrences all sit inside hotter
+	// reported rules; by default such rules are skipped so the report
+	// lists maximal streams.
+	KeepNested bool
+}
+
+func (o Options) normalized() Options {
+	if o.MinLength <= 0 {
+		o.MinLength = 2
+	}
+	if o.MinFreq == 0 {
+		o.MinFreq = 2
+	}
+	if o.MaxStreams <= 0 {
+		o.MaxStreams = 16
+	}
+	return o
+}
+
+// Extract returns the grammar's hot data streams, hottest first.
+func Extract(g *sequitur.Grammar, opt Options) []Stream {
+	opt = opt.normalized()
+	ids := g.RuleIDs()
+	if len(ids) == 0 {
+		return nil
+	}
+
+	bodies := make(map[uint32][]sequitur.Sym, len(ids))
+	for _, id := range ids {
+		body, ok := g.RuleBody(id)
+		if !ok {
+			continue
+		}
+		bodies[id] = body
+	}
+
+	freq := frequencies(ids, bodies)
+	lengths := make(map[uint32]uint64, len(ids))
+	expansions := make(map[uint32][]uint64, len(ids))
+
+	var expand func(id uint32) []uint64
+	expand = func(id uint32) []uint64 {
+		if e, ok := expansions[id]; ok {
+			return e
+		}
+		var out []uint64
+		for _, s := range bodies[id] {
+			if s.IsRule {
+				out = append(out, expand(uint32(s.Value))...)
+			} else {
+				out = append(out, s.Value)
+			}
+		}
+		expansions[id] = out
+		lengths[id] = uint64(len(out))
+		return out
+	}
+
+	var streams []Stream
+	for _, id := range ids {
+		if id == 0 {
+			continue // the start rule is the whole input, not a repeat
+		}
+		f := freq[id]
+		e := expand(id)
+		if len(e) < opt.MinLength || f < opt.MinFreq {
+			continue
+		}
+		streams = append(streams, Stream{
+			RuleID:  id,
+			Symbols: e,
+			Freq:    f,
+			Heat:    f * uint64(len(e)),
+		})
+	}
+	sort.Slice(streams, func(i, j int) bool {
+		if streams[i].Heat != streams[j].Heat {
+			return streams[i].Heat > streams[j].Heat
+		}
+		return streams[i].RuleID < streams[j].RuleID
+	})
+
+	if !opt.KeepNested {
+		streams = dropNested(streams, bodies, freq)
+	}
+	if len(streams) > opt.MaxStreams {
+		streams = streams[:opt.MaxStreams]
+	}
+	return streams
+}
+
+// frequencies computes how many times each rule's expansion occurs in the
+// input: the start rule occurs once, and each occurrence of a parent
+// contributes its per-body occurrence count to every child.
+func frequencies(ids []uint32, bodies map[uint32][]sequitur.Sym) map[uint32]uint64 {
+	freq := make(map[uint32]uint64, len(ids))
+	freq[0] = 1
+	// Children always have higher IDs than the rule that first created
+	// them is not guaranteed after rule-utility inlining, so process in
+	// topological order computed by DFS.
+	order := topoOrder(ids, bodies)
+	for _, id := range order {
+		f := freq[id]
+		if f == 0 {
+			continue // unreachable rule (should not happen)
+		}
+		for _, s := range bodies[id] {
+			if s.IsRule {
+				freq[uint32(s.Value)] += f
+			}
+		}
+	}
+	return freq
+}
+
+// topoOrder returns rule IDs parents-before-children.
+func topoOrder(ids []uint32, bodies map[uint32][]sequitur.Sym) []uint32 {
+	const (
+		unvisited = 0
+		inStack   = 1
+		done      = 2
+	)
+	state := make(map[uint32]uint8, len(ids))
+	var order []uint32 // reverse post-order gives parents-first
+	var post []uint32
+	var visit func(id uint32)
+	visit = func(id uint32) {
+		if state[id] != unvisited {
+			return
+		}
+		state[id] = inStack
+		for _, s := range bodies[id] {
+			if s.IsRule {
+				visit(uint32(s.Value))
+			}
+		}
+		state[id] = done
+		post = append(post, id)
+	}
+	visit(0)
+	for _, id := range ids {
+		visit(id)
+	}
+	for i := len(post) - 1; i >= 0; i-- {
+		order = append(order, post[i])
+	}
+	return order
+}
+
+// dropNested removes streams all of whose occurrences are inside an
+// already-kept (hotter) stream's rule, keeping the maximal repeats.
+func dropNested(streams []Stream, bodies map[uint32][]sequitur.Sym, freq map[uint32]uint64) []Stream {
+	kept := make(map[uint32]bool)
+	// usesInKept counts, per rule, the occurrences contributed by kept
+	// rules' bodies (weighted by the kept rules' own frequencies).
+	out := streams[:0]
+	for _, s := range streams {
+		inside := uint64(0)
+		for parent := range kept {
+			occ := uint64(0)
+			for _, sym := range bodies[parent] {
+				if sym.IsRule && uint32(sym.Value) == s.RuleID {
+					occ++
+				}
+			}
+			inside += occ * freq[parent]
+		}
+		if inside >= s.Freq {
+			continue // every occurrence is inside a hotter kept stream
+		}
+		kept[s.RuleID] = true
+		out = append(out, s)
+	}
+	return out
+}
+
+// Coverage reports the fraction of the grammar's input covered by the given
+// streams (heat sum over input length); streams may overlap, so the value
+// is an upper bound and is clamped to 1.
+func Coverage(g *sequitur.Grammar, streams []Stream) float64 {
+	in := g.InputLen()
+	if in == 0 {
+		return 0
+	}
+	var heat uint64
+	for _, s := range streams {
+		heat += s.Heat
+	}
+	c := float64(heat) / float64(in)
+	if c > 1 {
+		c = 1
+	}
+	return c
+}

@@ -1,0 +1,148 @@
+package hotstream
+
+import (
+	"reflect"
+	"testing"
+
+	"ormprof/internal/sequitur"
+)
+
+func fromString(s string) []uint64 {
+	out := make([]uint64, len(s))
+	for i := range s {
+		out[i] = uint64(s[i])
+	}
+	return out
+}
+
+func build(s string) *sequitur.Grammar {
+	g := sequitur.New()
+	g.AppendAll(fromString(s))
+	return g
+}
+
+func TestPaperGrammarStreams(t *testing.T) {
+	// "abcbcabcbc" → S → AA; A → aBB; B → bc.
+	// A covers "abcbc" twice (heat 10); B covers "bc" 4 times (heat 8) but
+	// every occurrence of B is inside A, so the maximal report is just A.
+	g := build("abcbcabcbc")
+	streams := Extract(g, Options{})
+	if len(streams) != 1 {
+		t.Fatalf("got %d streams: %+v", len(streams), streams)
+	}
+	a := streams[0]
+	if !reflect.DeepEqual(a.Symbols, fromString("abcbc")) {
+		t.Errorf("symbols = %v", a.Symbols)
+	}
+	if a.Freq != 2 || a.Heat != 10 {
+		t.Errorf("freq = %d, heat = %d", a.Freq, a.Heat)
+	}
+	if c := Coverage(g, streams); c != 1.0 {
+		t.Errorf("coverage = %v, want 1.0", c)
+	}
+}
+
+func TestKeepNested(t *testing.T) {
+	g := build("abcbcabcbc")
+	streams := Extract(g, Options{KeepNested: true})
+	if len(streams) != 2 {
+		t.Fatalf("got %d streams with KeepNested: %+v", len(streams), streams)
+	}
+	// Hottest first: A (10) before B (8).
+	if streams[0].Heat < streams[1].Heat {
+		t.Error("streams not sorted by heat")
+	}
+	if !reflect.DeepEqual(streams[1].Symbols, fromString("bc")) {
+		t.Errorf("nested stream = %v", streams[1].Symbols)
+	}
+	if streams[1].Freq != 4 {
+		t.Errorf("nested freq = %d, want 4", streams[1].Freq)
+	}
+}
+
+func TestThresholds(t *testing.T) {
+	g := build("abcbcabcbc")
+	if got := Extract(g, Options{MinLength: 6}); len(got) != 0 {
+		t.Errorf("MinLength filter failed: %+v", got)
+	}
+	// MinFreq 3 drops A (freq 2); B (freq 4) is then no longer nested
+	// inside a kept stream and surfaces on its own.
+	if got := Extract(g, Options{MinFreq: 3}); len(got) != 1 || got[0].Freq != 4 {
+		t.Errorf("MinFreq 3: %+v", got)
+	}
+	if got := Extract(g, Options{MinFreq: 5}); len(got) != 0 {
+		t.Errorf("MinFreq 5 should drop everything: %+v", got)
+	}
+	if got := Extract(g, Options{KeepNested: true, MaxStreams: 1}); len(got) != 1 {
+		t.Errorf("MaxStreams cap failed: %+v", got)
+	}
+}
+
+func TestLoopTrace(t *testing.T) {
+	// A hot loop body repeated 50 times with a cold prologue: the loop
+	// body must surface as the dominant stream.
+	var in []uint64
+	in = append(in, 90, 91, 92, 93, 94) // prologue, never repeats
+	body := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	for i := 0; i < 50; i++ {
+		in = append(in, body...)
+	}
+	g := sequitur.New()
+	g.AppendAll(in)
+
+	streams := Extract(g, Options{MaxStreams: 3})
+	if len(streams) == 0 {
+		t.Fatal("no streams found")
+	}
+	top := streams[0]
+	// The top stream must be (a power-of-two grouping of) the loop body:
+	// its expansion is body repeated k times for some k ≥ 1.
+	if len(top.Symbols)%len(body) != 0 {
+		t.Fatalf("top stream length %d not a multiple of body length", len(top.Symbols))
+	}
+	for i, v := range top.Symbols {
+		if v != body[i%len(body)] {
+			t.Fatalf("top stream diverges from loop body at %d: %v", i, top.Symbols)
+		}
+	}
+	if top.Heat < 200 {
+		t.Errorf("top stream heat = %d, want most of the 400 loop symbols", top.Heat)
+	}
+	// Coverage of the top streams should be high (the prologue is 5 of 405).
+	if c := Coverage(g, streams); c < 0.5 {
+		t.Errorf("coverage = %v", c)
+	}
+}
+
+func TestEmptyAndTrivial(t *testing.T) {
+	g := sequitur.New()
+	if got := Extract(g, Options{}); len(got) != 0 {
+		t.Errorf("empty grammar: %+v", got)
+	}
+	if Coverage(g, nil) != 0 {
+		t.Error("coverage of empty grammar should be 0")
+	}
+	g.AppendAll(fromString("abcdef")) // no repeats: no rules
+	if got := Extract(g, Options{}); len(got) != 0 {
+		t.Errorf("repeat-free input: %+v", got)
+	}
+}
+
+func TestFrequencyPropagation(t *testing.T) {
+	// "xyxy xyxy xyxy xyxy" (without spaces): deep nesting — freq of the
+	// innermost "xy" rule must equal its true occurrence count (8).
+	g := build("xyxyxyxyxyxyxyxy")
+	streams := Extract(g, Options{KeepNested: true, MaxStreams: 10, MinFreq: 2})
+	var found bool
+	for _, s := range streams {
+		if reflect.DeepEqual(s.Symbols, fromString("xy")) {
+			found = true
+			if s.Freq != 8 {
+				t.Errorf("freq(xy) = %d, want 8", s.Freq)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("xy stream not reported: %+v", streams)
+	}
+}

@@ -1,0 +1,353 @@
+package leap
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"ormprof/internal/lmad"
+	"ormprof/internal/omc"
+	"ormprof/internal/trace"
+)
+
+// LEAP profile file format:
+//
+//	magic    "ORMLEAP1"
+//	string   workload
+//	uvarint  record count
+//	uvarint  instruction count
+//	per instruction (ascending ID): uvarint id, uvarint execs, u8 isStore
+//	uvarint  stream count
+//	per stream (ascending (instr, group)):
+//	  uvarint instr, uvarint group,
+//	  u8 flags (bit0 store, bit1 overflowed, bit2 offset-overflowed)
+//	  uvarint offered, uvarint captured, uvarint offsetCaptured
+//	  uvarint lmadCount
+//	  per LMAD: 3 × varint start, 3 × varint stride, uvarint count
+//	  if overflowed: 3 × varint min, 3 × varint max, 3 × varint granularity,
+//	                 uvarint summarized point count
+//	  uvarint offsetLmadCount
+//	  per offset LMAD: 2 × varint start, 2 × varint stride, uvarint count,
+//	                   uvarint reps
+//
+// Signed quantities use zig-zag varints (binary.AppendVarint).
+
+const leapMagic = "ORMLEAP1"
+
+// ErrBadProfile reports a malformed LEAP profile file.
+var ErrBadProfile = errors.New("leap: bad profile file")
+
+// EncodedSize returns the exact serialized size in bytes, which Table 1's
+// compression ratio uses.
+func (p *Profile) EncodedSize() int {
+	// Cheap and obviously correct: serialize into a counting writer.
+	n, err := p.WriteTo(io.Discard)
+	if err != nil {
+		return 0
+	}
+	return int(n)
+}
+
+// WriteTo serializes the profile.
+func (p *Profile) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countingWriter{w: bw}
+
+	cw.Write([]byte(leapMagic)) //nolint:errcheck // latched
+	writeString(cw, p.Workload)
+	writeUvarint(cw, p.Records)
+
+	instrs := p.Instrs()
+	writeUvarint(cw, uint64(len(instrs)))
+	for _, id := range instrs {
+		writeUvarint(cw, uint64(id))
+		writeUvarint(cw, p.InstrExecs[id])
+		b := byte(0)
+		if p.InstrStore[id] {
+			b = 1
+		}
+		cw.Write([]byte{b}) //nolint:errcheck // latched
+	}
+
+	keys := p.Keys()
+	writeUvarint(cw, uint64(len(keys)))
+	for _, k := range keys {
+		s := p.Streams[k]
+		writeUvarint(cw, uint64(k.Instr))
+		writeUvarint(cw, uint64(k.Group))
+		flags := byte(0)
+		if s.Store {
+			flags |= 1
+		}
+		if s.Overflowed {
+			flags |= 2
+		}
+		if s.OffsetOverflowed {
+			flags |= 4
+		}
+		cw.Write([]byte{flags}) //nolint:errcheck // latched
+		writeUvarint(cw, s.Offered)
+		writeUvarint(cw, s.Captured)
+		writeUvarint(cw, s.OffsetCaptured)
+		writeUvarint(cw, uint64(len(s.LMADs)))
+		for i := range s.LMADs {
+			l := &s.LMADs[i]
+			for d := 0; d < NumDims; d++ {
+				writeVarint(cw, l.Start[d])
+			}
+			for d := 0; d < NumDims; d++ {
+				writeVarint(cw, l.Stride[d])
+			}
+			writeUvarint(cw, uint64(l.Count))
+		}
+		if s.Overflowed {
+			for d := 0; d < NumDims; d++ {
+				writeVarint(cw, s.Summary.Min[d])
+			}
+			for d := 0; d < NumDims; d++ {
+				writeVarint(cw, s.Summary.Max[d])
+			}
+			for d := 0; d < NumDims; d++ {
+				writeVarint(cw, s.Summary.Granularity[d])
+			}
+			writeUvarint(cw, s.Summary.Points)
+		}
+		writeUvarint(cw, uint64(len(s.OffsetLMADs)))
+		for i := range s.OffsetLMADs {
+			l := &s.OffsetLMADs[i]
+			for d := 0; d < 2; d++ {
+				writeVarint(cw, l.Start[d])
+			}
+			for d := 0; d < 2; d++ {
+				writeVarint(cw, l.Stride[d])
+			}
+			writeUvarint(cw, uint64(l.Count))
+			writeUvarint(cw, uint64(l.Reps))
+		}
+	}
+	if cw.err != nil {
+		return cw.n, cw.err
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadProfile parses a profile written by WriteTo.
+func ReadProfile(r io.Reader) (*Profile, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(leapMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadProfile, err)
+	}
+	if string(magic) != leapMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadProfile, magic)
+	}
+	p := &Profile{
+		Streams:    make(map[StreamKey]*Stream),
+		InstrExecs: make(map[trace.InstrID]uint64),
+		InstrStore: make(map[trace.InstrID]bool),
+	}
+	var err error
+	if p.Workload, err = readString(br); err != nil {
+		return nil, err
+	}
+	if p.Records, err = readUvarint(br); err != nil {
+		return nil, err
+	}
+	nInstr, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nInstr; i++ {
+		id, err := readUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		execs, err := readUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		b, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadProfile, err)
+		}
+		p.InstrExecs[trace.InstrID(id)] = execs
+		p.InstrStore[trace.InstrID(id)] = b == 1
+	}
+	nStreams, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nStreams; i++ {
+		var s Stream
+		instr, err := readUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		group, err := readUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		s.Key = StreamKey{Instr: trace.InstrID(instr), Group: omc.GroupID(group)}
+		flags, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadProfile, err)
+		}
+		s.Store = flags&1 != 0
+		s.Overflowed = flags&2 != 0
+		s.OffsetOverflowed = flags&4 != 0
+		if s.Offered, err = readUvarint(br); err != nil {
+			return nil, err
+		}
+		if s.Captured, err = readUvarint(br); err != nil {
+			return nil, err
+		}
+		if s.OffsetCaptured, err = readUvarint(br); err != nil {
+			return nil, err
+		}
+		nL, err := readUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		for j := uint64(0); j < nL; j++ {
+			l := lmad.LMAD{Start: make([]int64, NumDims), Stride: make([]int64, NumDims)}
+			for d := 0; d < NumDims; d++ {
+				if l.Start[d], err = readVarint(br); err != nil {
+					return nil, err
+				}
+			}
+			for d := 0; d < NumDims; d++ {
+				if l.Stride[d], err = readVarint(br); err != nil {
+					return nil, err
+				}
+			}
+			cnt, err := readUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			l.Count = uint32(cnt)
+			s.LMADs = append(s.LMADs, l)
+		}
+		if s.Overflowed {
+			s.Summary.Min = make([]int64, NumDims)
+			s.Summary.Max = make([]int64, NumDims)
+			s.Summary.Granularity = make([]int64, NumDims)
+			for d := 0; d < NumDims; d++ {
+				if s.Summary.Min[d], err = readVarint(br); err != nil {
+					return nil, err
+				}
+			}
+			for d := 0; d < NumDims; d++ {
+				if s.Summary.Max[d], err = readVarint(br); err != nil {
+					return nil, err
+				}
+			}
+			for d := 0; d < NumDims; d++ {
+				if s.Summary.Granularity[d], err = readVarint(br); err != nil {
+					return nil, err
+				}
+			}
+			if s.Summary.Points, err = readUvarint(br); err != nil {
+				return nil, err
+			}
+		}
+		nOff, err := readUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		for j := uint64(0); j < nOff; j++ {
+			l := lmad.RepLMAD{LMAD: lmad.LMAD{Start: make([]int64, 2), Stride: make([]int64, 2)}}
+			for d := 0; d < 2; d++ {
+				if l.Start[d], err = readVarint(br); err != nil {
+					return nil, err
+				}
+			}
+			for d := 0; d < 2; d++ {
+				if l.Stride[d], err = readVarint(br); err != nil {
+					return nil, err
+				}
+			}
+			cnt, err := readUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			l.Count = uint32(cnt)
+			reps, err := readUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			l.Reps = uint32(reps)
+			s.OffsetLMADs = append(s.OffsetLMADs, l)
+		}
+		p.Streams[s.Key] = &s
+	}
+	return p, nil
+}
+
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+	return n, err
+}
+
+func writeUvarint(w io.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n]) //nolint:errcheck // countingWriter latches the error
+}
+
+func writeVarint(w io.Writer, v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	w.Write(buf[:n]) //nolint:errcheck // countingWriter latches the error
+}
+
+func writeString(w io.Writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	io.WriteString(w, s) //nolint:errcheck // countingWriter latches the error
+}
+
+func readUvarint(br *bufio.Reader) (uint64, error) {
+	v, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadProfile, err)
+	}
+	return v, nil
+}
+
+func readVarint(br *bufio.Reader) (int64, error) {
+	v, err := binary.ReadVarint(br)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadProfile, err)
+	}
+	return v, nil
+}
+
+func readString(br *bufio.Reader) (string, error) {
+	n, err := readUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("%w: unreasonable string length %d", ErrBadProfile, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", fmt.Errorf("%w: %v", ErrBadProfile, err)
+	}
+	return string(buf), nil
+}

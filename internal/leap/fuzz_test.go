@@ -1,0 +1,46 @@
+package leap
+
+import (
+	"bytes"
+	"testing"
+
+	"ormprof/internal/memsim"
+	"ormprof/internal/trace"
+	"ormprof/internal/workloads"
+)
+
+// FuzzReadProfile feeds arbitrary bytes to the profile decoder: it must
+// never panic, and a profile it accepts must round-trip.
+func FuzzReadProfile(f *testing.F) {
+	// Seed with a real profile.
+	prog, err := workloads.New("197.parser", workloads.Config{Scale: 1, Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	buf := &trace.Buffer{}
+	memsim.Run(prog, buf)
+	p := New(nil, 0)
+	buf.Replay(p)
+	var enc bytes.Buffer
+	if _, err := p.Profile("x").WriteTo(&enc); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(enc.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("ORMLEAP1"))
+	f.Add(append([]byte("ORMLEAP1"), 0xff, 0xff, 0xff))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prof, err := ReadProfile(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if _, err := prof.WriteTo(&out); err != nil {
+			t.Fatalf("re-encode of accepted profile: %v", err)
+		}
+		if _, err := ReadProfile(bytes.NewReader(out.Bytes())); err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,240 @@
+// Package leap implements LEAP, the paper's Loss-Enhanced Access Profiler
+// (§4).
+//
+// LEAP decomposes the object-relative stream vertically by instruction ID
+// and then by group, producing one (object, offset, time) point stream per
+// (instruction, group) pair, and compresses each stream with the LMAD linear
+// compressor under a fixed LMAD budget (30 in the paper). Streams that
+// exceed the budget degrade to summary information, making the profile
+// lossy; the captured fraction is tracked as sample quality.
+//
+// Two post-processors consume LEAP profiles: memory dependence frequency
+// (package depend) and stride patterns (package stride).
+package leap
+
+import (
+	"ormprof/internal/decomp"
+	"ormprof/internal/lmad"
+	"ormprof/internal/omc"
+	"ormprof/internal/profiler"
+	"ormprof/internal/trace"
+)
+
+// StreamKey identifies one vertically decomposed stream: the paper's
+// (instruction-id, group) pair.
+type StreamKey = decomp.InstrGroupKey
+
+// Stream is the compressed profile of one (instruction, group) pair.
+//
+// Each stream is compressed twice, following §4.1's hybrid of vertical and
+// horizontal decomposition: the full 3-dimensional (object, offset, time)
+// points feed the LMADs used by the dependence post-processor (which needs
+// the time ordering), and the horizontally decomposed 2-dimensional
+// (object, offset) points feed the LMADs used for stride detection and the
+// Table 1 sample-quality metric, which the paper defines "at the level of
+// offsets inside objects (not including the timing information)".
+type Stream struct {
+	Key   StreamKey
+	Store bool // whether the instruction is a store
+
+	// LMADs are the timed descriptors (object, offset, time).
+	LMADs      []lmad.LMAD
+	Overflowed bool
+	Summary    lmad.Summary
+
+	// OffsetLMADs are the untimed repeat-aware descriptors
+	// (object, offset).
+	OffsetLMADs      []lmad.RepLMAD
+	OffsetOverflowed bool
+	OffsetCaptured   uint64 // points captured by the untimed descriptors
+
+	Offered  uint64 // points seen
+	Captured uint64 // points captured by the timed descriptors
+}
+
+// Point dimensions within a LEAP LMAD. The untimed descriptors use the
+// first two dimensions only.
+const (
+	DimObject = 0
+	DimOffset = 1
+	DimTime   = 2
+	NumDims   = 3
+)
+
+// Profile is a collected LEAP profile.
+type Profile struct {
+	Workload string
+	Records  uint64 // total accesses profiled
+
+	// Streams maps each (instruction, group) pair to its compressed
+	// stream. Iterate with Keys for determinism.
+	Streams map[StreamKey]*Stream
+
+	// InstrExecs counts total executions per instruction (maintained even
+	// for overflowed streams, so MDF denominators are exact).
+	InstrExecs map[trace.InstrID]uint64
+
+	// InstrStore records each instruction's kind.
+	InstrStore map[trace.InstrID]bool
+}
+
+// Keys returns the stream keys in deterministic (instr, group) order.
+func (p *Profile) Keys() []StreamKey { return decomp.SortedKeys(p.Streams) }
+
+// Instrs returns the instruction IDs in ascending order.
+func (p *Profile) Instrs() []trace.InstrID { return decomp.SortedInstrs(p.InstrExecs) }
+
+// SCC is LEAP's separation-and-compression component: online vertical
+// decomposition by (instruction, group) feeding per-stream LMAD compressors.
+type SCC struct {
+	maxLMADs    int
+	compressors map[StreamKey]*streamState
+	instrExecs  map[trace.InstrID]uint64
+	instrStore  map[trace.InstrID]bool
+	records     uint64
+}
+
+type streamState struct {
+	timed   *lmad.Compressor       // (object, offset, time)
+	untimed *lmad.RepeatCompressor // (object, offset)
+	store   bool
+}
+
+// NewSCC returns a LEAP compression stage with the given per-stream LMAD
+// budget (≤ 0 selects lmad.DefaultMax, the paper's 30).
+func NewSCC(maxLMADs int) *SCC {
+	return &SCC{
+		maxLMADs:    maxLMADs,
+		compressors: make(map[StreamKey]*streamState),
+		instrExecs:  make(map[trace.InstrID]uint64),
+		instrStore:  make(map[trace.InstrID]bool),
+	}
+}
+
+// Consume implements profiler.SCC.
+func (s *SCC) Consume(r profiler.Record) {
+	s.records++
+	s.instrExecs[r.Instr]++
+	s.instrStore[r.Instr] = r.Store
+	k := StreamKey{Instr: r.Instr, Group: r.Ref.Group}
+	c, ok := s.compressors[k]
+	if !ok {
+		c = &streamState{
+			timed:   lmad.NewCompressor(NumDims, s.maxLMADs),
+			untimed: lmad.NewRepeatCompressor(2, s.maxLMADs),
+			store:   r.Store,
+		}
+		s.compressors[k] = c
+	}
+	var p [NumDims]int64
+	p[DimObject] = int64(r.Ref.Object)
+	p[DimOffset] = int64(r.Ref.Offset)
+	p[DimTime] = int64(r.Time)
+	c.timed.Add(p[:])
+	c.untimed.Add(p[:2])
+}
+
+// Finish implements profiler.SCC.
+func (s *SCC) Finish() {}
+
+// BuildProfile freezes the SCC into a Profile.
+func (s *SCC) BuildProfile(workload string) *Profile {
+	p := &Profile{
+		Workload:   workload,
+		Records:    s.records,
+		Streams:    make(map[StreamKey]*Stream, len(s.compressors)),
+		InstrExecs: s.instrExecs,
+		InstrStore: s.instrStore,
+	}
+	for k, c := range s.compressors {
+		p.Streams[k] = &Stream{
+			Key:              k,
+			Store:            c.store,
+			LMADs:            c.timed.LMADs(),
+			Overflowed:       c.timed.Overflowed(),
+			Summary:          c.timed.Summary(),
+			OffsetLMADs:      c.untimed.LMADs(),
+			OffsetOverflowed: c.untimed.Overflowed(),
+			OffsetCaptured:   c.untimed.Captured(),
+			Offered:          c.timed.Offered(),
+			Captured:         c.timed.Captured(),
+		}
+	}
+	return p
+}
+
+// Profiler bundles the full LEAP pipeline: OMC + CDC + SCC. It is a
+// trace.Sink.
+type Profiler struct {
+	omc *omc.OMC
+	scc *SCC
+	cdc *profiler.CDC
+}
+
+// New creates a LEAP profiler with the given LMAD budget (≤ 0 for the
+// paper's default of 30). siteNames may be nil.
+func New(siteNames map[trace.SiteID]string, maxLMADs int) *Profiler {
+	o := omc.New(siteNames)
+	scc := NewSCC(maxLMADs)
+	return &Profiler{omc: o, scc: scc, cdc: profiler.NewCDC(o, scc)}
+}
+
+// Emit implements trace.Sink.
+func (p *Profiler) Emit(e trace.Event) { p.cdc.Emit(e) }
+
+// OMC exposes the profiler's object-management component.
+func (p *Profiler) OMC() *omc.OMC { return p.omc }
+
+// Profile finalizes collection and returns the profile.
+func (p *Profiler) Profile(workload string) *Profile {
+	p.cdc.Finish()
+	return p.scc.BuildProfile(workload)
+}
+
+// SampleQuality reports the Table 1 quality pair: the fraction of all memory
+// accesses captured by LMADs at the level of offsets inside objects (not
+// including the timing information, per §4.2.3), and the fraction of
+// instructions whose behaviour was completely captured (no stream of theirs
+// overflowed).
+func (p *Profile) SampleQuality() (accessesPct, instrsPct float64) {
+	var offered, captured uint64
+	incomplete := make(map[trace.InstrID]bool)
+	for _, s := range p.Streams {
+		offered += s.Offered
+		captured += s.OffsetCaptured
+		if s.OffsetOverflowed {
+			incomplete[s.Key.Instr] = true
+		}
+	}
+	if offered > 0 {
+		accessesPct = 100 * float64(captured) / float64(offered)
+	} else {
+		accessesPct = 100
+	}
+	total := len(p.InstrExecs)
+	if total > 0 {
+		instrsPct = 100 * float64(total-len(incomplete)) / float64(total)
+	} else {
+		instrsPct = 100
+	}
+	return accessesPct, instrsPct
+}
+
+// CompressionRatio reports the Table 1 ratio of the raw fixed-width access
+// trace size to the serialized LEAP profile size.
+func (p *Profile) CompressionRatio() float64 {
+	enc := p.EncodedSize()
+	if enc == 0 {
+		return 0
+	}
+	return float64(trace.RawBytes(p.Records)) / float64(enc)
+}
+
+// TotalLMADs reports the number of LMADs across all streams.
+func (p *Profile) TotalLMADs() int {
+	n := 0
+	for _, s := range p.Streams {
+		n += len(s.LMADs)
+	}
+	return n
+}

@@ -1,0 +1,78 @@
+package leap
+
+import (
+	"testing"
+
+	"ormprof/internal/memsim"
+	"ormprof/internal/trace"
+	"ormprof/internal/workloads"
+)
+
+func profileOf(t *testing.T, seed int64) *Profile {
+	t.Helper()
+	prog, err := workloads.New("197.parser", workloads.Config{Scale: 1, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := &trace.Buffer{}
+	memsim.Run(prog, buf)
+	p := New(nil, 0)
+	buf.Replay(p)
+	return p.Profile("197.parser")
+}
+
+func TestMergeCounters(t *testing.T) {
+	a := profileOf(t, 1)
+	b := profileOf(t, 2)
+	m := Merge(a, b)
+
+	if m.Records != a.Records+b.Records {
+		t.Errorf("Records = %d, want %d", m.Records, a.Records+b.Records)
+	}
+	for id, n := range a.InstrExecs {
+		if m.InstrExecs[id] != n+b.InstrExecs[id] {
+			t.Errorf("instr %d execs = %d, want %d", id, m.InstrExecs[id], n+b.InstrExecs[id])
+		}
+	}
+	if m.Workload != "197.parser" {
+		t.Errorf("Workload = %q", m.Workload)
+	}
+
+	// Stream keys are the union; counters add.
+	for k, sa := range a.Streams {
+		sm := m.Streams[k]
+		if sm == nil {
+			t.Fatalf("stream %v lost in merge", k)
+		}
+		var sbOff uint64
+		if sb := b.Streams[k]; sb != nil {
+			sbOff = sb.Offered
+		}
+		if sm.Offered != sa.Offered+sbOff {
+			t.Errorf("stream %v offered = %d", k, sm.Offered)
+		}
+	}
+
+	// Aggregate quality is well-defined on the merged profile.
+	acc, _ := m.SampleQuality()
+	if acc <= 0 || acc > 100 {
+		t.Errorf("merged sample quality = %v", acc)
+	}
+}
+
+func TestMergeSkipsNil(t *testing.T) {
+	a := profileOf(t, 1)
+	m := Merge(nil, a, nil)
+	if m.Records != a.Records {
+		t.Errorf("Records = %d", m.Records)
+	}
+}
+
+func TestMergeDistinctWorkloadNames(t *testing.T) {
+	a := profileOf(t, 1)
+	b := profileOf(t, 1)
+	b.Workload = "other"
+	if m := Merge(a, b); m.Workload != "197.parser+other" {
+		t.Errorf("Workload = %q", m.Workload)
+	}
+}

@@ -1,0 +1,59 @@
+package leap
+
+import (
+	"ormprof/internal/lmad"
+	"ormprof/internal/omc"
+	"ormprof/internal/trace"
+)
+
+// StaticDescriptor is compile-time knowledge about one instruction's memory
+// behaviour: "instruction Instr accesses the object(s) of group Group with
+// this (object, offset) pattern, Count·Reps times". When the compiler can
+// prove this (§6's future-work integration), the instruction's probes are
+// elided at run time (trace.Elider) and the descriptor is injected into the
+// collected profile afterwards, so downstream consumers see the same
+// information at a fraction of the collection cost.
+type StaticDescriptor struct {
+	Instr        trace.InstrID
+	Group        omc.GroupID
+	Store        bool
+	ObjectStart  int64
+	ObjectStride int64
+	OffsetStart  int64
+	OffsetStride int64
+	Count        uint32
+	Reps         uint32
+}
+
+// InjectStatic adds statically derived descriptors to a collected profile.
+// The injected streams carry no timing information (time strides are not
+// statically known in general), so they serve the untimed consumers —
+// stride detection and sample-quality accounting — and are marked fully
+// captured.
+func InjectStatic(p *Profile, descs ...StaticDescriptor) {
+	for _, d := range descs {
+		if d.Count == 0 || d.Reps == 0 {
+			continue
+		}
+		points := uint64(d.Count) * uint64(d.Reps)
+		k := StreamKey{Instr: d.Instr, Group: d.Group}
+		s := p.Streams[k]
+		if s == nil {
+			s = &Stream{Key: k, Store: d.Store}
+			p.Streams[k] = s
+		}
+		s.OffsetLMADs = append(s.OffsetLMADs, lmad.RepLMAD{
+			LMAD: lmad.LMAD{
+				Start:  []int64{d.ObjectStart, d.OffsetStart},
+				Stride: []int64{d.ObjectStride, d.OffsetStride},
+				Count:  d.Count,
+			},
+			Reps: d.Reps,
+		})
+		s.Offered += points
+		s.OffsetCaptured += points
+		p.Records += points
+		p.InstrExecs[d.Instr] += points
+		p.InstrStore[d.Instr] = d.Store
+	}
+}

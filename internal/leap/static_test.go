@@ -1,0 +1,98 @@
+package leap
+
+import (
+	"testing"
+
+	"ormprof/internal/memsim"
+	"ormprof/internal/omc"
+	"ormprof/internal/trace"
+)
+
+// TestElisionPlusInjectionMatchesFullProfile: eliding a statically known
+// strided instruction and injecting its descriptor must leave the untimed
+// consumers (capture accounting, stride histograms) with the same view as
+// full profiling, while processing far fewer events.
+func TestElisionPlusInjectionMatchesFullProfile(t *testing.T) {
+	build := func(sink trace.Sink) {
+		m := memsim.New(sink)
+		m.Start()
+		arr := m.Alloc(1, 4096)
+		for pass := 0; pass < 10; pass++ {
+			for i := 0; i < 256; i++ {
+				m.Load(1, arr+trace.Addr(i*16), 8) // statically known stride
+				if i%4 == 0 {
+					m.Load(2, arr+trace.Addr((i*37)%512*8), 8) // not static
+				}
+			}
+		}
+		m.Free(arr)
+		m.End()
+	}
+
+	// Full profile.
+	full := New(nil, 0)
+	build(full)
+	fullProfile := full.Profile("full")
+
+	// Elided profile + injection.
+	elided := New(nil, 0)
+	el := trace.NewElider(map[trace.InstrID]bool{1: true}, elided)
+	build(el)
+	elidedProfile := elided.Profile("elided")
+
+	dropped, kept := el.Stats()
+	if dropped != 2560 {
+		t.Fatalf("dropped = %d, want 2560", dropped)
+	}
+	if kept >= dropped {
+		t.Fatalf("elision saved nothing: dropped %d, kept %d", dropped, kept)
+	}
+
+	// The "compiler" knows instruction 1's behaviour exactly.
+	InjectStatic(elidedProfile, StaticDescriptor{
+		Instr: 1, Group: 1,
+		OffsetStride: 16, Count: 256, Reps: 10,
+	})
+
+	if elidedProfile.InstrExecs[1] != fullProfile.InstrExecs[1] {
+		t.Errorf("instr 1 execs: %d vs %d", elidedProfile.InstrExecs[1], fullProfile.InstrExecs[1])
+	}
+	if elidedProfile.Records != fullProfile.Records {
+		t.Errorf("records: %d vs %d", elidedProfile.Records, fullProfile.Records)
+	}
+	accFull, _ := fullProfile.SampleQuality()
+	accElided, _ := elidedProfile.SampleQuality()
+	if accElided < accFull-1 {
+		t.Errorf("capture dropped: %.1f%% vs %.1f%%", accElided, accFull)
+	}
+
+	// Stride detection must see instruction 1 identically.
+	k := StreamKey{Instr: 1, Group: omc.GroupID(1)}
+	fs, es := fullProfile.Streams[k], elidedProfile.Streams[k]
+	if fs == nil || es == nil {
+		t.Fatal("stream missing")
+	}
+	var fullEvents, elidedEvents uint64
+	for _, l := range fs.OffsetLMADs {
+		fullEvents += uint64(l.Count-1) * uint64(l.Reps)
+	}
+	for _, l := range es.OffsetLMADs {
+		elidedEvents += uint64(l.Count-1) * uint64(l.Reps)
+	}
+	if fullEvents != elidedEvents {
+		t.Errorf("stride events: full %d, elided+injected %d", fullEvents, elidedEvents)
+	}
+}
+
+func TestInjectStaticIgnoresEmpty(t *testing.T) {
+	p := &Profile{
+		Streams:    make(map[StreamKey]*Stream),
+		InstrExecs: make(map[trace.InstrID]uint64),
+		InstrStore: make(map[trace.InstrID]bool),
+	}
+	InjectStatic(p, StaticDescriptor{Instr: 1, Count: 0, Reps: 5})
+	InjectStatic(p, StaticDescriptor{Instr: 1, Count: 5, Reps: 0})
+	if len(p.Streams) != 0 || p.Records != 0 {
+		t.Error("empty descriptors must be ignored")
+	}
+}

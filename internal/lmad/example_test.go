@@ -1,0 +1,41 @@
+package lmad_test
+
+import (
+	"fmt"
+
+	"ormprof/internal/lmad"
+)
+
+// The paper's §4.1 example: the offset stream 0,4,8,12,16,20,44,48,52,56 is
+// described by two LMADs, [0, 4, 6] and [44, 4, 4].
+func ExampleCompressor() {
+	c := lmad.NewCompressor(1, 0)
+	for _, off := range []int64{0, 4, 8, 12, 16, 20, 44, 48, 52, 56} {
+		c.Add([]int64{off})
+	}
+	for _, l := range c.LMADs() {
+		fmt.Println(l.String())
+	}
+	fmt.Printf("sample quality: %.0f%%\n", 100*c.SampleQuality())
+	// Output:
+	// [[0], [4], 6]
+	// [[44], [4], 4]
+	// sample quality: 100%
+}
+
+// A loop re-scanning the same object repeats its pattern; the repeat-aware
+// compressor folds all sweeps into one descriptor.
+func ExampleRepeatCompressor() {
+	c := lmad.NewRepeatCompressor(1, 0)
+	for sweep := 0; sweep < 100; sweep++ {
+		for off := int64(0); off < 64; off += 8 {
+			c.Add([]int64{off})
+		}
+	}
+	ls := c.LMADs()
+	fmt.Println("descriptors:", len(ls))
+	fmt.Println(ls[0].String())
+	// Output:
+	// descriptors: 1
+	// [[0], [8], 8]×100
+}

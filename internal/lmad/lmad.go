@@ -1,0 +1,228 @@
+// Package lmad implements Linear Memory Access Descriptors and the
+// incremental linear compressor LEAP uses (§4.1).
+//
+// An LMAD, after Paek and Hoeflinger's model, is the triple
+// [start, stride, count] where start and stride are n-vectors: it describes
+// the count points  start, start+stride, …, start+(count-1)·stride.
+// For LEAP the points are (object, offset, time) triples, so n = 3.
+//
+// The compressor reads the point stream and extends the newest LMAD while
+// each point continues its linear pattern, starting a new LMAD otherwise.
+// Only a finite number of LMADs is allowed per stream (the paper uses 30 per
+// (instruction, group) pair); once exhausted, further points are discarded
+// and only summary information (min, max, granularity) is recorded. The
+// fraction of points that made it into LMADs is the stream's sample quality.
+package lmad
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DefaultMax is the paper's LMAD cap per compressed stream (§4.1: "we chose
+// a maximum of 30 LMADs for a given (instruction-id, group) pair").
+const DefaultMax = 30
+
+// LMAD is one linear descriptor over n-dimensional integer points.
+type LMAD struct {
+	Start  []int64
+	Stride []int64 // zero vector while Count == 1
+	Count  uint32
+}
+
+// Dims reports the dimensionality.
+func (l *LMAD) Dims() int { return len(l.Start) }
+
+// Point returns the i-th described point (0 ≤ i < Count).
+func (l *LMAD) Point(i uint32) []int64 {
+	p := make([]int64, len(l.Start))
+	for d := range p {
+		p[d] = l.Start[d] + l.Stride[d]*int64(i)
+	}
+	return p
+}
+
+// Last returns the final described point.
+func (l *LMAD) Last() []int64 { return l.Point(l.Count - 1) }
+
+// At returns coordinate d of the i-th point without allocating.
+func (l *LMAD) At(i uint32, d int) int64 {
+	return l.Start[d] + l.Stride[d]*int64(i)
+}
+
+// String renders the descriptor as [start, stride, count].
+func (l *LMAD) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%v, %v, %d]", l.Start, l.Stride, l.Count)
+	return b.String()
+}
+
+// next reports whether p is the next point of the descriptor's pattern.
+func (l *LMAD) next(p []int64) bool {
+	for d := range p {
+		if p[d] != l.Start[d]+l.Stride[d]*int64(l.Count) {
+			return false
+		}
+	}
+	return true
+}
+
+// Summary is the degraded record kept once the LMAD budget is exhausted:
+// per-dimension min, max, and granularity (GCD of all point-to-point deltas
+// seen), as described in §4.1.
+type Summary struct {
+	Min, Max    []int64
+	Granularity []int64 // 0 until two distinct values have been seen
+	Points      uint64  // points summarized (not captured in LMADs)
+}
+
+func gcd64(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func (s *Summary) add(p []int64, prev []int64) {
+	if s.Min == nil {
+		s.Min = append([]int64(nil), p...)
+		s.Max = append([]int64(nil), p...)
+		s.Granularity = make([]int64, len(p))
+	}
+	for d, v := range p {
+		if v < s.Min[d] {
+			s.Min[d] = v
+		}
+		if v > s.Max[d] {
+			s.Max[d] = v
+		}
+		if prev != nil {
+			s.Granularity[d] = gcd64(s.Granularity[d], v-prev[d])
+		}
+	}
+	s.Points++
+}
+
+// Compressor incrementally builds the LMAD representation of one point
+// stream.
+type Compressor struct {
+	dims int
+	max  int
+
+	lmads    []LMAD
+	active   int // index of the LMAD being extended, -1 initially
+	overflow bool
+	summary  Summary
+	lastSeen []int64 // previous point, for granularity tracking
+
+	offered  uint64 // total points
+	captured uint64 // points represented exactly in LMADs
+}
+
+// NewCompressor creates a compressor for dims-dimensional points with the
+// given LMAD cap; cap ≤ 0 selects DefaultMax.
+func NewCompressor(dims, max int) *Compressor {
+	if dims <= 0 {
+		panic("lmad: dims must be positive")
+	}
+	if max <= 0 {
+		max = DefaultMax
+	}
+	return &Compressor{dims: dims, max: max, active: -1}
+}
+
+// Add feeds the next point of the stream. The slice is copied as needed; the
+// caller may reuse it.
+func (c *Compressor) Add(p []int64) {
+	if len(p) != c.dims {
+		panic(fmt.Sprintf("lmad: point has %d dims, compressor expects %d", len(p), c.dims))
+	}
+	c.offered++
+	if c.overflow {
+		c.summary.add(p, c.lastSeen)
+		c.lastSeen = append(c.lastSeen[:0], p...)
+		return
+	}
+	if c.active >= 0 {
+		l := &c.lmads[c.active]
+		if l.Count == 1 {
+			// Adopt the stride implied by the second point.
+			for d := range p {
+				l.Stride[d] = p[d] - l.Start[d]
+			}
+			l.Count = 2
+			c.captured++
+			c.lastSeen = append(c.lastSeen[:0], p...)
+			return
+		}
+		if l.next(p) {
+			l.Count++
+			c.captured++
+			c.lastSeen = append(c.lastSeen[:0], p...)
+			return
+		}
+	}
+	// The point breaks the active pattern: start a new LMAD, if the budget
+	// allows.
+	if len(c.lmads) == c.max {
+		c.overflow = true
+		c.summary.add(p, c.lastSeen)
+		c.lastSeen = append(c.lastSeen[:0], p...)
+		return
+	}
+	c.lmads = append(c.lmads, LMAD{
+		Start:  append([]int64(nil), p...),
+		Stride: make([]int64, c.dims),
+		Count:  1,
+	})
+	c.active = len(c.lmads) - 1
+	c.captured++
+	c.lastSeen = append(c.lastSeen[:0], p...)
+}
+
+// LMADs returns the built descriptors in stream order. The returned slice
+// aliases the compressor's state; callers must not modify it.
+func (c *Compressor) LMADs() []LMAD { return c.lmads }
+
+// Overflowed reports whether the LMAD budget was exhausted.
+func (c *Compressor) Overflowed() bool { return c.overflow }
+
+// Summary returns the degraded summary of discarded points (zero-valued if
+// no overflow occurred).
+func (c *Compressor) Summary() Summary { return c.summary }
+
+// Offered reports the total number of points fed to the compressor.
+func (c *Compressor) Offered() uint64 { return c.offered }
+
+// Captured reports how many points are represented exactly in LMADs.
+func (c *Compressor) Captured() uint64 { return c.captured }
+
+// SampleQuality reports Captured/Offered, the §4.1 sample-quality measure
+// (1.0 for a fully linear stream, near 0 for a predominantly non-linear
+// one). It is 1.0 for an empty stream.
+func (c *Compressor) SampleQuality() float64 {
+	if c.offered == 0 {
+		return 1.0
+	}
+	return float64(c.captured) / float64(c.offered)
+}
+
+// Expand regenerates the captured prefix of the point stream (the
+// concatenated expansions of all LMADs, in order). Together with Add it
+// witnesses that LMAD compression is exact on whatever it captures.
+func (c *Compressor) Expand() [][]int64 {
+	out := make([][]int64, 0, c.captured)
+	for i := range c.lmads {
+		l := &c.lmads[i]
+		for j := uint32(0); j < l.Count; j++ {
+			out = append(out, l.Point(j))
+		}
+	}
+	return out
+}

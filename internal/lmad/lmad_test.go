@@ -1,0 +1,235 @@
+package lmad
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func points1D(vals ...int64) [][]int64 {
+	out := make([][]int64, len(vals))
+	for i, v := range vals {
+		out[i] = []int64{v}
+	}
+	return out
+}
+
+func feed(c *Compressor, pts [][]int64) {
+	for _, p := range pts {
+		c.Add(p)
+	}
+}
+
+func TestPaperOffsetExample(t *testing.T) {
+	// The paper's §4.1 example: the offset stream
+	// 0, 4, 8, 12, 16, 20, 44, 48, 52, 56
+	// is described by two LMADs: [0, 4, 6] and [44, 4, 4].
+	c := NewCompressor(1, 0)
+	feed(c, points1D(0, 4, 8, 12, 16, 20, 44, 48, 52, 56))
+	ls := c.LMADs()
+	if len(ls) != 2 {
+		t.Fatalf("got %d LMADs, want 2: %v", len(ls), ls)
+	}
+	want0 := LMAD{Start: []int64{0}, Stride: []int64{4}, Count: 6}
+	want1 := LMAD{Start: []int64{44}, Stride: []int64{4}, Count: 4}
+	if !reflect.DeepEqual(ls[0], want0) {
+		t.Errorf("LMAD 0 = %v, want %v", &ls[0], &want0)
+	}
+	if !reflect.DeepEqual(ls[1], want1) {
+		t.Errorf("LMAD 1 = %v, want %v", &ls[1], &want1)
+	}
+	if c.SampleQuality() != 1.0 {
+		t.Errorf("sample quality = %v, want 1.0", c.SampleQuality())
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	c := NewCompressor(3, 0)
+	c.Add([]int64{5, -2, 100})
+	ls := c.LMADs()
+	if len(ls) != 1 || ls[0].Count != 1 {
+		t.Fatalf("got %v", ls)
+	}
+	if got := ls[0].Last(); !reflect.DeepEqual(got, []int64{5, -2, 100}) {
+		t.Errorf("Last = %v", got)
+	}
+}
+
+func TestStrideAdoption(t *testing.T) {
+	// The second point fixes the stride; a third matching point extends,
+	// a mismatching one starts a new LMAD.
+	c := NewCompressor(2, 0)
+	feed(c, [][]int64{{0, 0}, {1, 8}, {2, 16}, {3, 24}, {0, 0}})
+	ls := c.LMADs()
+	if len(ls) != 2 {
+		t.Fatalf("got %d LMADs: %v", len(ls), ls)
+	}
+	if ls[0].Count != 4 || ls[0].Stride[0] != 1 || ls[0].Stride[1] != 8 {
+		t.Errorf("LMAD 0 = %v", &ls[0])
+	}
+}
+
+func TestNegativeStride(t *testing.T) {
+	c := NewCompressor(1, 0)
+	feed(c, points1D(100, 90, 80, 70))
+	ls := c.LMADs()
+	if len(ls) != 1 || ls[0].Stride[0] != -10 || ls[0].Count != 4 {
+		t.Fatalf("got %v", ls)
+	}
+}
+
+func TestOverflowAndSummary(t *testing.T) {
+	// Random points exhaust a tiny budget; the summary must cover the
+	// discarded tail.
+	c := NewCompressor(1, 3)
+	rng := rand.New(rand.NewSource(1))
+	var pts [][]int64
+	for i := 0; i < 100; i++ {
+		pts = append(pts, []int64{int64(rng.Intn(1000)) * 3}) // granularity 3
+	}
+	feed(c, pts)
+	if !c.Overflowed() {
+		t.Fatal("expected overflow")
+	}
+	if c.Offered() != 100 {
+		t.Errorf("Offered = %d", c.Offered())
+	}
+	if c.Captured() >= c.Offered() {
+		t.Errorf("Captured = %d should be < Offered = %d", c.Captured(), c.Offered())
+	}
+	s := c.Summary()
+	if s.Points == 0 {
+		t.Fatal("summary recorded no points")
+	}
+	if s.Points+c.Captured() != c.Offered() {
+		t.Errorf("captured(%d) + summarized(%d) != offered(%d)", c.Captured(), s.Points, c.Offered())
+	}
+	if s.Granularity[0]%3 != 0 || s.Granularity[0] == 0 {
+		t.Errorf("granularity = %d, want a non-zero multiple of 3", s.Granularity[0])
+	}
+	if s.Min[0] < 0 || s.Max[0] > 3000 || s.Min[0] > s.Max[0] {
+		t.Errorf("summary range [%d, %d] out of bounds", s.Min[0], s.Max[0])
+	}
+}
+
+func TestExpandRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		dims := 1 + rng.Intn(3)
+		c := NewCompressor(dims, 1000) // large budget: no overflow
+		var pts [][]int64
+		// Generate a mix of linear runs and jumps.
+		cur := make([]int64, dims)
+		for seg := 0; seg < 8; seg++ {
+			stride := make([]int64, dims)
+			for d := range stride {
+				stride[d] = int64(rng.Intn(9) - 4)
+			}
+			runLen := 1 + rng.Intn(10)
+			for i := 0; i < runLen; i++ {
+				p := append([]int64(nil), cur...)
+				pts = append(pts, p)
+				for d := range cur {
+					cur[d] += stride[d]
+				}
+			}
+			for d := range cur {
+				cur[d] += int64(rng.Intn(100) + 50)
+			}
+		}
+		feed(c, pts)
+		if c.Overflowed() {
+			t.Fatalf("unexpected overflow with budget 1000")
+		}
+		got := c.Expand()
+		if !reflect.DeepEqual(got, pts) {
+			t.Fatalf("round trip failed (dims=%d):\n got %v\nwant %v", dims, got, pts)
+		}
+	}
+}
+
+func TestQuickCapturedPrefixExact(t *testing.T) {
+	// Property: whatever the input, Expand() reproduces exactly the points
+	// that were captured (the stream with the summarized tail removed), and
+	// captured + summarized == offered.
+	f := func(raw []int8, maxSmall uint8) bool {
+		max := int(maxSmall%10) + 1
+		c := NewCompressor(1, max)
+		var pts [][]int64
+		for _, v := range raw {
+			pts = append(pts, []int64{int64(v)})
+		}
+		feed(c, pts)
+		if c.Captured()+c.Summary().Points != c.Offered() {
+			return false
+		}
+		exp := c.Expand()
+		if uint64(len(exp)) != c.Captured() {
+			return false
+		}
+		// Captured points are a prefix-with-gaps? No: capture stops at
+		// first overflow, so expansion equals the prefix of the input of
+		// length Captured().
+		for i, p := range exp {
+			if p[0] != pts[i][0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointAt(t *testing.T) {
+	l := LMAD{Start: []int64{10, 0}, Stride: []int64{-2, 8}, Count: 5}
+	if got := l.Point(3); !reflect.DeepEqual(got, []int64{4, 24}) {
+		t.Errorf("Point(3) = %v", got)
+	}
+	if got := l.At(4, 1); got != 32 {
+		t.Errorf("At(4,1) = %d", got)
+	}
+	if l.Dims() != 2 {
+		t.Errorf("Dims = %d", l.Dims())
+	}
+	if l.String() == "" {
+		t.Error("String is empty")
+	}
+}
+
+func TestDefaultMax(t *testing.T) {
+	c := NewCompressor(1, 0)
+	if c.max != DefaultMax {
+		t.Errorf("default cap = %d, want %d", c.max, DefaultMax)
+	}
+	// Exactly DefaultMax alternating patterns fit without overflow.
+	for i := 0; i < DefaultMax; i++ {
+		c.Add([]int64{int64(i * 1000)})
+		c.Add([]int64{int64(i*1000) + 1})
+		c.Add([]int64{int64(i*1000) + 3}) // break: next pair starts new LMAD
+	}
+	// 30 LMADs of the form (x, x+1, x+3 breaks)... ensure we did overflow
+	// only after the budget.
+	if len(c.LMADs()) > DefaultMax {
+		t.Errorf("LMAD count %d exceeds cap", len(c.LMADs()))
+	}
+}
+
+func TestAddPanicsOnDimMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on dimension mismatch")
+		}
+	}()
+	c := NewCompressor(2, 0)
+	c.Add([]int64{1})
+}
+
+func TestEmptyStreamQuality(t *testing.T) {
+	c := NewCompressor(1, 0)
+	if q := c.SampleQuality(); q != 1.0 {
+		t.Errorf("empty stream quality = %v, want 1.0", q)
+	}
+}

@@ -1,0 +1,196 @@
+package lmad
+
+import "fmt"
+
+// RepLMAD is a two-level linear descriptor: the inner [Start, Stride, Count]
+// pattern repeated Reps times. It is the nested form of the Paek/Hoeflinger
+// LMAD model specialized to re-walked patterns — a loop that sweeps the same
+// object repeatedly (offsets 0, 8, …, 504, 0, 8, …) is one RepLMAD instead
+// of one LMAD per sweep, which is what keeps repeated traversals inside the
+// paper's 30-descriptor budget.
+type RepLMAD struct {
+	LMAD
+	Reps uint32 // complete repetitions of the inner pattern (≥ 1)
+}
+
+// Points reports the total points the descriptor stands for.
+func (r *RepLMAD) Points() uint64 { return uint64(r.Count) * uint64(r.Reps) }
+
+// String renders the descriptor as [start, stride, count]×reps.
+func (r *RepLMAD) String() string {
+	return fmt.Sprintf("%s×%d", r.LMAD.String(), r.Reps)
+}
+
+// startKey is the map key for a descriptor's start point (up to 4 dims).
+type startKey [4]int64
+
+func keyOf(p []int64) startKey {
+	var k startKey
+	copy(k[:], p)
+	return k
+}
+
+// RepeatCompressor incrementally builds a repeat-aware LMAD representation
+// of one point stream. Unlike Compressor, its output is a multiset of
+// descriptors with repetition counts, not an order-exact encoding: a point
+// that restarts a known descriptor re-walks it instead of consuming budget.
+// Partial re-walks that break off mid-pattern are counted (Partials) but
+// not separately represented.
+type RepeatCompressor struct {
+	dims int
+	max  int
+
+	lmads  []RepLMAD
+	starts map[startKey]int // start point -> descriptor index
+	active int              // descriptor being extended (-1 none)
+
+	follow      int    // descriptor being re-walked (-1 none)
+	followPhase uint32 // next expected point index in the followed pattern
+
+	overflow bool
+	summary  Summary
+	lastSeen []int64
+
+	offered  uint64
+	captured uint64
+	partials uint64 // re-walks that broke off before completing
+}
+
+// NewRepeatCompressor creates a repeat-aware compressor for dims-dimensional
+// points (dims ≤ 4) with the given descriptor budget (≤ 0 = DefaultMax).
+func NewRepeatCompressor(dims, max int) *RepeatCompressor {
+	if dims <= 0 || dims > 4 {
+		panic("lmad: RepeatCompressor supports 1..4 dims")
+	}
+	if max <= 0 {
+		max = DefaultMax
+	}
+	return &RepeatCompressor{
+		dims:   dims,
+		max:    max,
+		starts: make(map[startKey]int),
+		active: -1,
+		follow: -1,
+	}
+}
+
+// Add feeds the next point of the stream.
+//
+// Exhausting the descriptor budget stops the *creation* of descriptors, not
+// the matching: a point that extends or re-walks an established pattern is
+// still captured after overflow (matching costs no memory), and only
+// pattern-breaking points degrade to the min/max/granularity summary.
+func (c *RepeatCompressor) Add(p []int64) {
+	if len(p) != c.dims {
+		panic(fmt.Sprintf("lmad: point has %d dims, compressor expects %d", len(p), c.dims))
+	}
+	c.offered++
+	defer func() { c.lastSeen = append(c.lastSeen[:0], p...) }()
+
+	// Re-walking a known descriptor?
+	if c.follow >= 0 {
+		l := &c.lmads[c.follow]
+		if pointEqual(l, c.followPhase, p) {
+			c.captured++
+			c.followPhase++
+			if c.followPhase == l.Count {
+				l.Reps++
+				c.follow = -1
+			}
+			return
+		}
+		// Broke off mid-pattern.
+		c.partials++
+		c.follow = -1
+		// Fall through: p is treated as a fresh point.
+	}
+
+	// Extend the active descriptor?
+	if c.active >= 0 {
+		l := &c.lmads[c.active]
+		if l.Reps == 1 {
+			if l.Count == 1 {
+				for d := range p {
+					l.Stride[d] = p[d] - l.Start[d]
+				}
+				l.Count = 2
+				c.captured++
+				return
+			}
+			if l.next(p) {
+				l.Count++
+				c.captured++
+				return
+			}
+		}
+		c.active = -1
+	}
+
+	// Restart of a known descriptor?
+	if idx, ok := c.starts[keyOf(p)]; ok {
+		l := &c.lmads[idx]
+		c.captured++
+		if l.Count == 1 {
+			l.Reps++
+			return
+		}
+		c.follow = idx
+		c.followPhase = 1
+		return
+	}
+
+	// A genuinely new pattern: discard it if the budget is exhausted.
+	if len(c.lmads) == c.max {
+		c.overflow = true
+		c.summary.add(p, c.lastSeen)
+		return
+	}
+	c.lmads = append(c.lmads, RepLMAD{
+		LMAD: LMAD{
+			Start:  append([]int64(nil), p...),
+			Stride: make([]int64, c.dims),
+			Count:  1,
+		},
+		Reps: 1,
+	})
+	c.active = len(c.lmads) - 1
+	c.starts[keyOf(p)] = c.active
+	c.captured++
+}
+
+func pointEqual(l *RepLMAD, i uint32, p []int64) bool {
+	for d := range p {
+		if p[d] != l.Start[d]+l.Stride[d]*int64(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// LMADs returns the descriptors. The slice aliases compressor state.
+func (c *RepeatCompressor) LMADs() []RepLMAD { return c.lmads }
+
+// Overflowed reports whether the descriptor budget was exhausted.
+func (c *RepeatCompressor) Overflowed() bool { return c.overflow }
+
+// Summary returns the degraded summary of discarded points.
+func (c *RepeatCompressor) Summary() Summary { return c.summary }
+
+// Offered reports total points fed in.
+func (c *RepeatCompressor) Offered() uint64 { return c.offered }
+
+// Captured reports points matched by descriptors (including partial
+// re-walks).
+func (c *RepeatCompressor) Captured() uint64 { return c.captured }
+
+// Partials reports how many re-walks broke off before completing a full
+// repetition.
+func (c *RepeatCompressor) Partials() uint64 { return c.partials }
+
+// SampleQuality reports Captured/Offered (1.0 for an empty stream).
+func (c *RepeatCompressor) SampleQuality() float64 {
+	if c.offered == 0 {
+		return 1.0
+	}
+	return float64(c.captured) / float64(c.offered)
+}

@@ -1,0 +1,185 @@
+package lmad
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func feedRep(c *RepeatCompressor, pts [][]int64) {
+	for _, p := range pts {
+		c.Add(p)
+	}
+}
+
+func sweep(base, stride, count int) [][]int64 {
+	out := make([][]int64, count)
+	for i := range out {
+		out[i] = []int64{int64(base + i*stride)}
+	}
+	return out
+}
+
+func TestRepeatedSweepIsOneDescriptor(t *testing.T) {
+	// A loop re-scanning the same object: 0,8,…,504 repeated 100 times
+	// must be a single descriptor with Reps = 100.
+	c := NewRepeatCompressor(1, 0)
+	for rep := 0; rep < 100; rep++ {
+		feedRep(c, sweep(0, 8, 64))
+	}
+	ls := c.LMADs()
+	if len(ls) != 1 {
+		t.Fatalf("got %d descriptors: %v", len(ls), ls)
+	}
+	if ls[0].Count != 64 || ls[0].Stride[0] != 8 || ls[0].Reps != 100 {
+		t.Errorf("descriptor = %v", &ls[0])
+	}
+	if c.Captured() != 6400 || c.Overflowed() {
+		t.Errorf("captured %d, overflowed %v", c.Captured(), c.Overflowed())
+	}
+	if ls[0].Points() != 6400 {
+		t.Errorf("Points = %d", ls[0].Points())
+	}
+}
+
+func TestPartialRewalk(t *testing.T) {
+	c := NewRepeatCompressor(1, 0)
+	feedRep(c, sweep(0, 8, 10)) // establish pattern
+	feedRep(c, sweep(0, 8, 10)) // one full repetition
+	feedRep(c, sweep(0, 8, 4))  // partial re-walk...
+	c.Add([]int64{999})         // ...broken here
+	if c.Partials() != 1 {
+		t.Errorf("Partials = %d", c.Partials())
+	}
+	// All points were captured: 24 pattern points + 1 new descriptor.
+	if c.Captured() != 25 {
+		t.Errorf("Captured = %d", c.Captured())
+	}
+	ls := c.LMADs()
+	if len(ls) != 2 {
+		t.Fatalf("descriptors = %v", ls)
+	}
+	if ls[0].Reps != 2 {
+		t.Errorf("Reps = %d, want 2 (partial does not count)", ls[0].Reps)
+	}
+}
+
+func TestRepeatBudgetStillMatchesAfterOverflow(t *testing.T) {
+	// Budget 2: two patterns fit; a third is discarded; but re-walks of
+	// the first two keep being captured after overflow.
+	c := NewRepeatCompressor(1, 2)
+	feedRep(c, sweep(0, 8, 8))     // descriptor 1
+	feedRep(c, sweep(1000, 4, 8))  // descriptor 2
+	feedRep(c, sweep(5000, 16, 8)) // discarded (budget)
+	feedRep(c, sweep(0, 8, 8))     // re-walk of 1: captured
+	feedRep(c, sweep(1000, 4, 8))  // re-walk of 2: captured
+	feedRep(c, sweep(7000, 32, 8)) // discarded
+
+	if !c.Overflowed() {
+		t.Fatal("expected overflow")
+	}
+	if c.Captured() != 32 {
+		t.Errorf("Captured = %d, want 32", c.Captured())
+	}
+	if c.Summary().Points != 16 {
+		t.Errorf("summarized = %d, want 16", c.Summary().Points)
+	}
+	if got := c.SampleQuality(); got != 32.0/48 {
+		t.Errorf("SampleQuality = %v", got)
+	}
+}
+
+func TestRepeatSinglePointDescriptor(t *testing.T) {
+	// A constant location accessed repeatedly: 1 descriptor, count 1,
+	// reps = number of accesses.
+	c := NewRepeatCompressor(2, 0)
+	for i := 0; i < 50; i++ {
+		c.Add([]int64{3, 40})
+	}
+	ls := c.LMADs()
+	if len(ls) != 1 {
+		t.Fatalf("descriptors = %v", ls)
+	}
+	if pts := ls[0].Points(); pts != 50 {
+		t.Errorf("descriptor covers %d points (%v), want 50", pts, &ls[0])
+	}
+	if c.Captured() != 50 {
+		t.Errorf("Captured = %d", c.Captured())
+	}
+}
+
+func TestRepeatMixedRandom(t *testing.T) {
+	// Interleave a repeated sweep with random noise: the sweep must stay
+	// captured; quality must be strictly between the sweep share and 1.
+	rng := rand.New(rand.NewSource(1))
+	c := NewRepeatCompressor(1, 10)
+	total := 0
+	for rep := 0; rep < 20; rep++ {
+		feedRep(c, sweep(0, 8, 32))
+		total += 32
+		for j := 0; j < 32; j++ {
+			c.Add([]int64{int64(10000 + rng.Intn(100000))})
+			total++
+		}
+	}
+	if c.Offered() != uint64(total) {
+		t.Fatalf("Offered = %d", c.Offered())
+	}
+	q := c.SampleQuality()
+	if q < 0.5 || q > 0.95 {
+		t.Errorf("SampleQuality = %v, want ~0.5-0.95 (sweep captured, noise mostly not)", q)
+	}
+}
+
+func TestRepeatDimsGuards(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for 5 dims")
+		}
+	}()
+	NewRepeatCompressor(5, 0)
+}
+
+func TestRepeatDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on dim mismatch")
+		}
+	}()
+	c := NewRepeatCompressor(2, 0)
+	c.Add([]int64{1})
+}
+
+func TestRepLMADString(t *testing.T) {
+	r := RepLMAD{LMAD: LMAD{Start: []int64{0}, Stride: []int64{8}, Count: 4}, Reps: 3}
+	if r.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestQuickRepeatAccounting(t *testing.T) {
+	// Property: captured + summarized == offered, and the descriptors'
+	// total points never exceed the captured count (partial re-walks are
+	// captured but not represented as full repetitions).
+	f := func(raw []int8, maxSmall uint8) bool {
+		max := int(maxSmall%8) + 1
+		c := NewRepeatCompressor(1, max)
+		for _, v := range raw {
+			c.Add([]int64{int64(v % 16)})
+		}
+		if c.Captured()+c.Summary().Points != c.Offered() {
+			return false
+		}
+		var pts uint64
+		for _, l := range c.LMADs() {
+			if l.Reps == 0 || l.Count == 0 {
+				return false
+			}
+			pts += l.Points()
+		}
+		return pts <= c.Captured()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,27 @@
+package locality_test
+
+import (
+	"fmt"
+
+	"ormprof/internal/locality"
+)
+
+// Reuse distances predict LRU cache behaviour: cycling through 4 keys gives
+// every non-cold access a reuse distance of 3, so an LRU cache of capacity
+// 4 never misses after warm-up while capacity 3 always does.
+func Example() {
+	a := locality.NewAnalyzer()
+	for round := 0; round < 25; round++ {
+		for key := uint64(0); key < 4; key++ {
+			a.Touch(key)
+		}
+	}
+	h := a.Histogram()
+	fmt.Printf("distinct keys: %d\n", a.Distinct())
+	fmt.Printf("miss ratio at capacity 3: %.2f\n", h.MissRatio(3))
+	fmt.Printf("miss ratio at capacity 4: %.2f\n", h.MissRatio(4))
+	// Output:
+	// distinct keys: 4
+	// miss ratio at capacity 3: 1.00
+	// miss ratio at capacity 4: 0.04
+}

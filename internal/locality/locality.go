@@ -1,0 +1,183 @@
+// Package locality quantifies data reference locality with reuse-distance
+// (LRU stack distance) analysis — the measurement underlying Chilimbi's
+// "quantifying and exploiting data reference locality" (the paper's related
+// work [10], whose address abstraction the object-relative representation
+// generalizes).
+//
+// The reuse distance of an access is the number of distinct keys touched
+// since the previous access to the same key (∞ for first touches). The
+// distribution predicts cache behaviour directly: a fully associative LRU
+// cache of capacity C misses exactly the accesses with reuse distance ≥ C.
+// Computing it naively is O(n²); the Analyzer uses the classic
+// last-access-time + Fenwick-tree formulation for O(n log n).
+//
+// Keys are arbitrary: cache-line addresses give the hardware view, while
+// (group, object) pairs from the object-relative stream give the paper's
+// object-level locality view.
+package locality
+
+import "math/bits"
+
+// Analyzer computes reuse distances online.
+type Analyzer struct {
+	lastTime map[uint64]int
+	tree     fenwick
+	now      int
+	hist     Histogram
+}
+
+// NewAnalyzer returns an empty analyzer.
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{lastTime: make(map[uint64]int)}
+}
+
+// Touch records an access to key and returns its reuse distance
+// (cold = true for the first touch, in which case dist is meaningless).
+func (a *Analyzer) Touch(key uint64) (dist uint64, cold bool) {
+	t := a.now
+	a.now++
+	a.tree.grow(t + 1)
+	prev, seen := a.lastTime[key]
+	a.lastTime[key] = t
+	a.tree.add(t, 1)
+	if !seen {
+		a.hist.Cold++
+		a.hist.Total++
+		return 0, true
+	}
+	// Distinct keys touched strictly between prev and t: each currently
+	// live key is marked exactly once, at its most recent access time.
+	dist = uint64(a.tree.rangeSum(prev+1, t-1))
+	a.tree.add(prev, -1)
+	a.hist.add(dist)
+	a.hist.Total++
+	return dist, false
+}
+
+// Histogram returns the distances observed so far (log₂ bucketed), plus
+// exact counts for small distances.
+func (a *Analyzer) Histogram() Histogram { return a.hist }
+
+// Distinct reports how many distinct keys have been touched.
+func (a *Analyzer) Distinct() int { return len(a.lastTime) }
+
+// Histogram is a reuse-distance distribution: exact counts for distances
+// below 2^maxExact, log₂ buckets above, plus cold (first-touch) accesses.
+type Histogram struct {
+	// Exact[d] counts accesses with reuse distance d, for d < len(Exact).
+	Exact [exactLimit]uint64
+	// Log2[b] counts accesses with distance in [2^b, 2^(b+1)) for
+	// distances ≥ exactLimit.
+	Log2 [64]uint64
+	// Cold counts first touches (infinite distance).
+	Cold uint64
+	// Total counts all accesses.
+	Total uint64
+}
+
+const exactLimit = 1024
+
+func (h *Histogram) add(d uint64) {
+	if d < exactLimit {
+		h.Exact[d]++
+		return
+	}
+	h.Log2[bits.Len64(d)-1]++
+}
+
+// AtLeast counts accesses with reuse distance ≥ c, including cold misses
+// (a cold access misses any cache). Distances in a log₂ bucket straddling c
+// are counted conservatively as ≥ c (they may predict slightly more misses
+// than reality for non-power-of-two capacities above exactLimit).
+func (h *Histogram) AtLeast(c uint64) uint64 {
+	n := h.Cold
+	if c < exactLimit {
+		for d := c; d < exactLimit; d++ {
+			n += h.Exact[d]
+		}
+		for _, v := range h.Log2 {
+			n += v
+		}
+		return n
+	}
+	for b, v := range h.Log2 {
+		// Bucket b holds distances in [2^b, 2^(b+1)).
+		if uint64(1)<<(b+1) > c {
+			n += v
+		}
+	}
+	return n
+}
+
+// MissRatio predicts the miss ratio of a fully associative LRU cache with
+// capacity c keys: the fraction of accesses whose reuse distance is ≥ c.
+// For capacities below the exact-count limit (1024) the prediction is
+// exact.
+func (h *Histogram) MissRatio(c uint64) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.AtLeast(c)) / float64(h.Total)
+}
+
+// fenwick is a grow-on-demand Fenwick (binary indexed) tree over access
+// times with point update and prefix sum. Point values are kept alongside
+// the tree because growth requires a rebuild: a new high node covers a
+// range that spans old indices, so the tree cannot be zero-extended.
+type fenwick struct {
+	n     int
+	tree  []int64
+	marks []int64
+}
+
+func (f *fenwick) grow(n int) {
+	if n <= f.n {
+		return
+	}
+	capN := f.n
+	if capN == 0 {
+		capN = 1024
+	}
+	for capN < n {
+		capN *= 2
+	}
+	marks := make([]int64, capN)
+	copy(marks, f.marks)
+	f.marks = marks
+	f.n = capN
+	// O(n) rebuild: initialize nodes to point values, then push each
+	// node's total into its parent.
+	f.tree = make([]int64, capN+1)
+	for i := 1; i <= capN; i++ {
+		f.tree[i] += marks[i-1]
+		if j := i + i&(-i); j <= capN {
+			f.tree[j] += f.tree[i]
+		}
+	}
+}
+
+func (f *fenwick) add(i int, delta int64) {
+	f.marks[i] += delta
+	for i++; i <= f.n; i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+func (f *fenwick) prefix(i int) int64 {
+	var s int64
+	for i++; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// rangeSum sums marks in [lo, hi]; empty when lo > hi.
+func (f *fenwick) rangeSum(lo, hi int) int64 {
+	if lo > hi {
+		return 0
+	}
+	if lo == 0 {
+		return f.prefix(hi)
+	}
+	return f.prefix(hi) - f.prefix(lo-1)
+}

@@ -1,0 +1,179 @@
+package locality
+
+import (
+	"math/rand"
+	"testing"
+
+	"ormprof/internal/cachesim"
+	"ormprof/internal/memsim"
+	"ormprof/internal/profiler"
+	"ormprof/internal/trace"
+	"ormprof/internal/workloads"
+)
+
+// naive recomputes reuse distance by scanning backwards — the O(n²)
+// reference the Fenwick implementation is checked against.
+func naiveDistances(keys []uint64) (dists []int64) {
+	for i, k := range keys {
+		prev := -1
+		for j := i - 1; j >= 0; j-- {
+			if keys[j] == k {
+				prev = j
+				break
+			}
+		}
+		if prev == -1 {
+			dists = append(dists, -1) // cold
+			continue
+		}
+		seen := make(map[uint64]bool)
+		for j := prev + 1; j < i; j++ {
+			seen[keys[j]] = true
+		}
+		dists = append(dists, int64(len(seen)))
+	}
+	return dists
+}
+
+func TestAnalyzerAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		// Cross the Fenwick growth boundary (1024) on some trials — tree
+		// growth requires a rebuild, which a regression once got wrong.
+		n := 1 + rng.Intn(500)
+		if trial%10 == 0 {
+			n = 2000 + rng.Intn(2000)
+		}
+		alphabet := 1 + rng.Intn(40)
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = uint64(rng.Intn(alphabet))
+		}
+		want := naiveDistances(keys)
+		a := NewAnalyzer()
+		for i, k := range keys {
+			dist, cold := a.Touch(k)
+			if want[i] == -1 {
+				if !cold {
+					t.Fatalf("trial %d access %d: expected cold", trial, i)
+				}
+				continue
+			}
+			if cold || int64(dist) != want[i] {
+				t.Fatalf("trial %d access %d: dist %d cold=%v, want %d", trial, i, dist, cold, want[i])
+			}
+		}
+		if a.Distinct() > alphabet {
+			t.Fatalf("Distinct = %d > alphabet %d", a.Distinct(), alphabet)
+		}
+	}
+}
+
+func TestKnownSequence(t *testing.T) {
+	// a b c a: reuse distance of the second 'a' is 2 (b and c between).
+	a := NewAnalyzer()
+	a.Touch(10)
+	a.Touch(20)
+	a.Touch(30)
+	d, cold := a.Touch(10)
+	if cold || d != 2 {
+		t.Errorf("dist = %d, cold = %v; want 2, false", d, cold)
+	}
+	// Immediate reuse: distance 0.
+	d, _ = a.Touch(10)
+	if d != 0 {
+		t.Errorf("immediate reuse dist = %d", d)
+	}
+}
+
+func TestHistogramMissRatioExactness(t *testing.T) {
+	// A fully associative LRU cache of capacity C misses exactly the
+	// accesses with reuse distance ≥ C. Validate the histogram prediction
+	// against the cache simulator configured with a single set, on a real
+	// workload, for several capacities.
+	prog, err := workloads.New("197.parser", workloads.Config{Scale: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := &trace.Buffer{}
+	memsim.Run(prog, buf)
+
+	hist := LineHistogram(buf.Events, 64)
+
+	for _, ways := range []int{4, 16, 64, 256} {
+		c := cachesim.New(cachesim.Config{SizeBytes: ways * 64, LineBytes: 64, Ways: ways})
+		for _, e := range buf.Events {
+			if e.Kind == trace.EvAccess {
+				c.Access(e.Addr, e.Size)
+			}
+		}
+		measured := c.Stats().Misses
+		predicted := hist.AtLeast(uint64(ways))
+		if predicted != measured {
+			t.Errorf("capacity %d: predicted %d misses, simulator measured %d", ways, predicted, measured)
+		}
+	}
+}
+
+func TestMissRatioMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := NewAnalyzer()
+	for i := 0; i < 20000; i++ {
+		a.Touch(uint64(rng.Intn(3000)))
+	}
+	h := a.Histogram()
+	prev := 1.1
+	for _, c := range []uint64{1, 2, 8, 64, 512, 1024, 4096, 1 << 20} {
+		mr := h.MissRatio(c)
+		if mr > prev+1e-12 {
+			t.Fatalf("miss ratio not monotone: %v at capacity %d after %v", mr, c, prev)
+		}
+		if mr < 0 || mr > 1 {
+			t.Fatalf("miss ratio %v out of range", mr)
+		}
+		prev = mr
+	}
+	if h.MissRatio(1<<40) <= 0 {
+		t.Error("cold misses must keep the ratio positive")
+	}
+	if (&Histogram{}).MissRatio(8) != 0 {
+		t.Error("empty histogram ratio should be 0")
+	}
+}
+
+func TestObjectVsLineLocality(t *testing.T) {
+	// The linked-list workload touches each 48-byte node once per pass:
+	// at object granularity the reuse distance of each node is ~#nodes;
+	// the object histogram must see exactly #objects distinct keys.
+	prog := workloads.NewLinkedList(workloads.Config{Scale: 1, Seed: 4})
+	buf := &trace.Buffer{}
+	memsim.Run(prog, buf)
+	recs, _ := profilerTranslate(buf)
+
+	h := ObjectHistogram(recs)
+	if h.Total == 0 || h.Cold == 0 {
+		t.Fatalf("histogram empty: %+v", h.Total)
+	}
+	// 64 nodes: the traversal reuse distance at object level is 63 (all
+	// other nodes touched between two visits to the same node).
+	if h.Exact[63] == 0 {
+		t.Errorf("expected mass at object reuse distance 63")
+	}
+}
+
+func profilerTranslate(buf *trace.Buffer) ([]profiler.Record, struct{}) {
+	recs, _ := profiler.TranslateTrace(buf.Events, nil)
+	return recs, struct{}{}
+}
+
+func BenchmarkTouch(b *testing.B) {
+	a := NewAnalyzer()
+	rngState := uint64(88172645463325252)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rngState ^= rngState << 13
+		rngState ^= rngState >> 7
+		rngState ^= rngState << 17
+		a.Touch(rngState % 100000)
+	}
+}

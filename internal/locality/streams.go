@@ -1,0 +1,50 @@
+package locality
+
+import (
+	"ormprof/internal/profiler"
+	"ormprof/internal/trace"
+)
+
+// LineHistogram computes the cache-line reuse-distance distribution of a
+// raw access trace (the hardware-level locality view).
+func LineHistogram(events []trace.Event, lineBytes uint) Histogram {
+	shift := uint(0)
+	for b := lineBytes; b > 1; b >>= 1 {
+		shift++
+	}
+	a := NewAnalyzer()
+	for _, e := range events {
+		if e.Kind != trace.EvAccess {
+			continue
+		}
+		first := uint64(e.Addr) >> shift
+		size := e.Size
+		if size == 0 {
+			size = 1
+		}
+		last := (uint64(e.Addr) + uint64(size) - 1) >> shift
+		for line := first; line <= last; line++ {
+			a.Touch(line)
+		}
+	}
+	return a.Histogram()
+}
+
+// ObjectHistogram computes the object-level reuse-distance distribution of
+// an object-relative stream: keys are (group, object) pairs, so the
+// distance counts distinct *objects* touched between reuses — the paper's
+// object-granularity locality, free of allocator placement effects.
+// Unmapped accesses are keyed by their raw address.
+func ObjectHistogram(recs []profiler.Record) Histogram {
+	a := NewAnalyzer()
+	for _, r := range recs {
+		var key uint64
+		if r.Ref.Group == 0 {
+			key = 1<<63 | r.Ref.Offset
+		} else {
+			key = uint64(r.Ref.Group)<<32 | uint64(r.Ref.Object)
+		}
+		a.Touch(key)
+	}
+	return a.Histogram()
+}

@@ -1,0 +1,168 @@
+package memsim
+
+import (
+	"math/rand"
+	"sort"
+
+	"ormprof/internal/trace"
+)
+
+// Allocator is a heap allocation policy for the simulated machine. The three
+// implementations model the "confounding artifacts" of the paper's §1:
+//
+//   - BumpAllocator: no reuse, monotone addresses. The cleanest possible
+//     layout — raw addresses still scatter across object instances, but there
+//     is no false aliasing.
+//   - FreeListAllocator: segregated free lists with address reuse, like a
+//     production malloc. Reuse makes distinct objects share raw addresses
+//     over time (false aliasing) and makes placement depend on the program's
+//     allocation history.
+//   - RandomizedAllocator: adds placement jitter, modeling run-to-run layout
+//     variation from ASLR, allocator versions, or probe-shifted segments.
+//
+// All policies carve from the heap segment starting at HeapBase and align
+// blocks to 16 bytes.
+type Allocator interface {
+	Alloc(size uint32) trace.Addr
+	Free(addr trace.Addr, size uint32)
+	// PolicyName identifies the policy in reports.
+	PolicyName() string
+}
+
+const blockAlign = 16
+
+func alignUp(n uint32) uint32 { return (n + blockAlign - 1) &^ (blockAlign - 1) }
+
+// BumpAllocator allocates monotonically increasing addresses and never
+// reuses freed space.
+type BumpAllocator struct {
+	next trace.Addr
+}
+
+// NewBumpAllocator returns a bump allocator starting at HeapBase.
+func NewBumpAllocator() *BumpAllocator { return &BumpAllocator{next: HeapBase} }
+
+// Alloc carves the next aligned block.
+func (b *BumpAllocator) Alloc(size uint32) trace.Addr {
+	a := b.next
+	b.next += trace.Addr(alignUp(size))
+	return a
+}
+
+// Free is a no-op: bump allocation never reuses memory.
+func (b *BumpAllocator) Free(trace.Addr, uint32) {}
+
+// PolicyName implements Allocator.
+func (b *BumpAllocator) PolicyName() string { return "bump" }
+
+// FreeListAllocator is a segregated free-list allocator: freed blocks are
+// binned by size class and reused LIFO, like dlmalloc's fastbins. This is the
+// default policy because address reuse is the main source of false aliasing
+// the paper's object-relative translation eliminates.
+type FreeListAllocator struct {
+	next  trace.Addr
+	bins  map[uint32][]trace.Addr // size class -> LIFO free stack
+	alloc uint64
+	reuse uint64
+}
+
+// NewFreeListAllocator returns an empty free-list allocator.
+func NewFreeListAllocator() *FreeListAllocator {
+	return &FreeListAllocator{next: HeapBase, bins: make(map[uint32][]trace.Addr)}
+}
+
+// Alloc reuses the most recently freed block of the same size class if one
+// exists, else bumps.
+func (f *FreeListAllocator) Alloc(size uint32) trace.Addr {
+	f.alloc++
+	class := alignUp(size)
+	if stack := f.bins[class]; len(stack) > 0 {
+		a := stack[len(stack)-1]
+		f.bins[class] = stack[:len(stack)-1]
+		f.reuse++
+		return a
+	}
+	a := f.next
+	f.next += trace.Addr(class)
+	return a
+}
+
+// Free pushes the block onto its size-class bin.
+func (f *FreeListAllocator) Free(addr trace.Addr, size uint32) {
+	class := alignUp(size)
+	f.bins[class] = append(f.bins[class], addr)
+}
+
+// ReuseRate reports the fraction of allocations served from free lists.
+func (f *FreeListAllocator) ReuseRate() float64 {
+	if f.alloc == 0 {
+		return 0
+	}
+	return float64(f.reuse) / float64(f.alloc)
+}
+
+// PolicyName implements Allocator.
+func (f *FreeListAllocator) PolicyName() string { return "freelist" }
+
+// RandomizedAllocator behaves like the free-list allocator but perturbs fresh
+// placements by a seeded random gap and serves free bins in random order,
+// modeling layout that differs from run to run even for identical inputs.
+type RandomizedAllocator struct {
+	rng  *rand.Rand
+	next trace.Addr
+	bins map[uint32][]trace.Addr
+}
+
+// NewRandomizedAllocator returns a randomized allocator seeded with seed.
+// Different seeds model different runs/allocator versions.
+func NewRandomizedAllocator(seed int64) *RandomizedAllocator {
+	return &RandomizedAllocator{
+		rng:  rand.New(rand.NewSource(seed)),
+		next: HeapBase,
+		bins: make(map[uint32][]trace.Addr),
+	}
+}
+
+// Alloc reuses a random free block of the class, else bumps past a random
+// gap of 0..15 blocks.
+func (r *RandomizedAllocator) Alloc(size uint32) trace.Addr {
+	class := alignUp(size)
+	if stack := r.bins[class]; len(stack) > 0 {
+		i := r.rng.Intn(len(stack))
+		a := stack[i]
+		stack[i] = stack[len(stack)-1]
+		r.bins[class] = stack[:len(stack)-1]
+		return a
+	}
+	gap := trace.Addr(r.rng.Intn(16)) * blockAlign
+	a := r.next + gap
+	r.next = a + trace.Addr(class)
+	return a
+}
+
+// Free pushes the block onto its size-class bin.
+func (r *RandomizedAllocator) Free(addr trace.Addr, size uint32) {
+	class := alignUp(size)
+	r.bins[class] = append(r.bins[class], addr)
+}
+
+// PolicyName implements Allocator.
+func (r *RandomizedAllocator) PolicyName() string { return "randomized" }
+
+// Policies returns one fresh instance of each allocator policy, keyed by
+// name, for the allocator-invariance ablation. The randomized policy is
+// seeded with seed.
+func Policies(seed int64) map[string]Allocator {
+	return map[string]Allocator{
+		"bump":       NewBumpAllocator(),
+		"freelist":   NewFreeListAllocator(),
+		"randomized": NewRandomizedAllocator(seed),
+	}
+}
+
+// PolicyNames returns the policy names in deterministic order.
+func PolicyNames() []string {
+	names := []string{"bump", "freelist", "randomized"}
+	sort.Strings(names)
+	return names
+}

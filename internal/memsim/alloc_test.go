@@ -1,0 +1,147 @@
+package memsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ormprof/internal/trace"
+)
+
+// checkNoOverlap drives an allocator through a random alloc/free workload
+// and verifies no two live blocks ever overlap and all blocks are aligned.
+func checkNoOverlap(t *testing.T, a Allocator, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	type block struct {
+		addr trace.Addr
+		size uint32
+	}
+	var live []block
+	for op := 0; op < 3000; op++ {
+		if len(live) > 0 && rng.Intn(3) == 0 {
+			i := rng.Intn(len(live))
+			a.Free(live[i].addr, live[i].size)
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		size := uint32(1 + rng.Intn(200))
+		addr := a.Alloc(size)
+		if addr < HeapBase {
+			t.Fatalf("%s: alloc below HeapBase", a.PolicyName())
+		}
+		if addr%blockAlign != 0 {
+			t.Fatalf("%s: unaligned block %#x", a.PolicyName(), uint64(addr))
+		}
+		for _, b := range live {
+			if addr < b.addr+trace.Addr(alignUp(b.size)) && b.addr < addr+trace.Addr(alignUp(size)) {
+				t.Fatalf("%s: block [%#x,%d) overlaps live [%#x,%d)",
+					a.PolicyName(), uint64(addr), size, uint64(b.addr), b.size)
+			}
+		}
+		live = append(live, block{addr, size})
+	}
+}
+
+func TestAllocatorsNoOverlap(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		checkNoOverlap(t, NewBumpAllocator(), seed)
+		checkNoOverlap(t, NewFreeListAllocator(), seed)
+		checkNoOverlap(t, NewRandomizedAllocator(seed), seed)
+	}
+}
+
+func TestBumpNeverReuses(t *testing.T) {
+	b := NewBumpAllocator()
+	a1 := b.Alloc(32)
+	b.Free(a1, 32)
+	a2 := b.Alloc(32)
+	if a1 == a2 {
+		t.Error("bump allocator reused an address")
+	}
+}
+
+func TestFreeListReuses(t *testing.T) {
+	f := NewFreeListAllocator()
+	a1 := f.Alloc(40)
+	f.Free(a1, 40)
+	a2 := f.Alloc(40) // same size class: must reuse
+	if a1 != a2 {
+		t.Errorf("free list did not reuse: %#x then %#x", uint64(a1), uint64(a2))
+	}
+	if f.ReuseRate() != 0.5 {
+		t.Errorf("ReuseRate = %v, want 0.5", f.ReuseRate())
+	}
+	// Different size class: no reuse.
+	a3 := f.Alloc(100)
+	if a3 == a1 {
+		t.Error("free list reused across size classes")
+	}
+}
+
+func TestFreeListLIFO(t *testing.T) {
+	f := NewFreeListAllocator()
+	a1 := f.Alloc(16)
+	a2 := f.Alloc(16)
+	f.Free(a1, 16)
+	f.Free(a2, 16)
+	if got := f.Alloc(16); got != a2 {
+		t.Errorf("expected LIFO reuse of %#x, got %#x", uint64(a2), uint64(got))
+	}
+}
+
+func TestRandomizedDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []trace.Addr {
+		r := NewRandomizedAllocator(seed)
+		var out []trace.Addr
+		for i := 0; i < 50; i++ {
+			out = append(out, r.Alloc(32))
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("randomized allocator not deterministic for equal seeds")
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("randomized allocator identical across different seeds")
+	}
+}
+
+func TestPoliciesRegistry(t *testing.T) {
+	ps := Policies(1)
+	if len(ps) != 3 {
+		t.Fatalf("Policies returned %d entries", len(ps))
+	}
+	for name, p := range ps {
+		if p.PolicyName() != name {
+			t.Errorf("policy %q reports name %q", name, p.PolicyName())
+		}
+	}
+	names := PolicyNames()
+	if len(names) != 3 {
+		t.Errorf("PolicyNames = %v", names)
+	}
+}
+
+func TestQuickAlignUp(t *testing.T) {
+	f := func(n uint32) bool {
+		n %= 1 << 24
+		a := alignUp(n)
+		return a >= n && a%blockAlign == 0 && a-n < blockAlign
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,261 @@
+// Package memsim provides the simulated machine that stands in for the
+// paper's instrumented IA-64 binaries.
+//
+// A Machine owns a 64-bit virtual address space split into a static segment
+// and a heap segment. Workload programs (package workloads) execute against
+// the Machine API: DefineStatic registers statically allocated objects,
+// Alloc/Free go through a pluggable heap allocator, and Load/Store issue
+// memory accesses. Every one of those calls emits exactly the probe event the
+// paper's assembly-level instrumentation would (instruction probes next to
+// every load/store, object probes at allocation/deallocation points and at
+// program start/end for statics), so the profiling stack above never needs to
+// know the accesses are simulated.
+//
+// The allocator policies reproduce the "confounding artifacts" of §1 of the
+// paper: address reuse (false aliasing), irregular placement, and
+// run-to-run layout variation.
+package memsim
+
+import (
+	"fmt"
+	"sort"
+
+	"ormprof/internal/trace"
+)
+
+// Segment layout of the simulated address space. The bases are arbitrary but
+// non-zero so that address 0 never denotes a valid object.
+const (
+	StaticBase trace.Addr = 0x0000_0000_0060_0000 // static data segment
+	HeapBase   trace.Addr = 0x0000_0000_4000_0000 // heap segment
+)
+
+// Program is a synthetic workload that runs against a Machine. Run must be
+// deterministic given the machine's seed: all randomness must come from the
+// machine's RNG or from seeds derived from it.
+type Program interface {
+	// Name is a short identifier (used in reports and as a map key).
+	Name() string
+	// Run executes the workload to completion against m.
+	Run(m *Machine)
+}
+
+// staticObj records one statically allocated object.
+type staticObj struct {
+	name string
+	site trace.SiteID
+	addr trace.Addr
+	size uint32
+}
+
+// Machine is the simulated processor + memory system. It is not safe for
+// concurrent use; workloads are single-threaded, as in the paper.
+type Machine struct {
+	sink  trace.Sink
+	alloc Allocator
+	clock trace.Time
+
+	statics     []staticObj
+	staticNames map[string]trace.Addr
+	staticTop   trace.Addr
+
+	live map[trace.Addr]uint32 // live heap objects: start -> size
+
+	// counters for dilation and sanity metrics
+	nLoads, nStores, nAllocs, nFrees uint64
+
+	started bool
+	ended   bool
+}
+
+// Option configures a Machine.
+type Option func(*Machine)
+
+// WithAllocator selects the heap allocator policy. The default is the
+// free-list allocator with address reuse (the realistic one).
+func WithAllocator(a Allocator) Option {
+	return func(m *Machine) { m.alloc = a }
+}
+
+// New creates a Machine whose probes emit into sink. A nil sink discards all
+// events (useful to measure native, uninstrumented workload cost).
+func New(sink trace.Sink, opts ...Option) *Machine {
+	if sink == nil {
+		sink = trace.Discard
+	}
+	m := &Machine{
+		sink:        sink,
+		staticNames: make(map[string]trace.Addr),
+		staticTop:   StaticBase,
+		live:        make(map[trace.Addr]uint32),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	if m.alloc == nil {
+		m.alloc = NewFreeListAllocator()
+	}
+	return m
+}
+
+// Clock returns the current logical time (number of accesses collected).
+func (m *Machine) Clock() trace.Time { return m.clock }
+
+// Counters reports executed loads, stores, allocations, and frees.
+func (m *Machine) Counters() (loads, stores, allocs, frees uint64) {
+	return m.nLoads, m.nStores, m.nAllocs, m.nFrees
+}
+
+// DefineStatic registers a statically allocated object (a global variable in
+// the profiled program). All statics must be defined before Start. Each
+// static object gets its own allocation site, mirroring WHOMP's use of the
+// gcc symbol table to size and group statics (§3.1). The site ID is
+// 1<<24 + index so static sites never collide with heap sites.
+func (m *Machine) DefineStatic(name string, size uint32) trace.Addr {
+	if m.started {
+		panic("memsim: DefineStatic after Start")
+	}
+	if size == 0 {
+		panic("memsim: zero-size static " + name)
+	}
+	if _, dup := m.staticNames[name]; dup {
+		panic("memsim: duplicate static " + name)
+	}
+	addr := m.staticTop
+	// Align the next static to 16 bytes, like a linker would.
+	m.staticTop += trace.Addr((size + 15) &^ 15)
+	site := trace.SiteID(1<<24 + len(m.statics))
+	m.statics = append(m.statics, staticObj{name: name, site: site, addr: addr, size: size})
+	m.staticNames[name] = addr
+	return addr
+}
+
+// StaticAddr returns the address of a previously defined static object.
+func (m *Machine) StaticAddr(name string) trace.Addr {
+	a, ok := m.staticNames[name]
+	if !ok {
+		panic("memsim: unknown static " + name)
+	}
+	return a
+}
+
+// StaticSites returns (site, name) pairs for every defined static object, in
+// definition order. The OMC can use this to attach symbolic names to groups.
+func (m *Machine) StaticSites() map[trace.SiteID]string {
+	out := make(map[trace.SiteID]string, len(m.statics))
+	for _, s := range m.statics {
+		out[s.site] = s.name
+	}
+	return out
+}
+
+// Start emits the alloc probes for all static objects, modeling the paper's
+// "probes ... at the beginning ... of the program for all statically
+// allocated objects". It must be called exactly once before any access.
+func (m *Machine) Start() {
+	if m.started {
+		panic("memsim: Start called twice")
+	}
+	m.started = true
+	for _, s := range m.statics {
+		m.sink.Emit(trace.Event{Kind: trace.EvAlloc, Time: m.clock, Site: s.site, Addr: s.addr, Size: s.size})
+	}
+}
+
+// End emits free probes for all static objects (the "end of the program"
+// object probes) and for any leaked heap objects. It must be called exactly
+// once, after the workload finishes.
+func (m *Machine) End() {
+	if !m.started {
+		panic("memsim: End before Start")
+	}
+	if m.ended {
+		panic("memsim: End called twice")
+	}
+	m.ended = true
+	// Free leaked heap objects first (deterministic order), then statics,
+	// mirroring process teardown.
+	leaked := make([]trace.Addr, 0, len(m.live))
+	for a := range m.live {
+		leaked = append(leaked, a)
+	}
+	sort.Slice(leaked, func(i, j int) bool { return leaked[i] < leaked[j] })
+	for _, a := range leaked {
+		m.sink.Emit(trace.Event{Kind: trace.EvFree, Time: m.clock, Addr: a})
+	}
+	for _, s := range m.statics {
+		m.sink.Emit(trace.Event{Kind: trace.EvFree, Time: m.clock, Addr: s.addr})
+	}
+}
+
+// Alloc allocates a heap object of the given size at the given allocation
+// site and emits the object probe. Site IDs identify static program points;
+// objects allocated at the same site form one group.
+func (m *Machine) Alloc(site trace.SiteID, size uint32) trace.Addr {
+	if size == 0 {
+		panic("memsim: zero-size allocation")
+	}
+	if site >= 1<<24 {
+		panic(fmt.Sprintf("memsim: heap site %d collides with static site space", site))
+	}
+	addr := m.alloc.Alloc(size)
+	if addr < HeapBase {
+		panic(fmt.Sprintf("memsim: allocator returned %#x below heap base", uint64(addr)))
+	}
+	m.live[addr] = size
+	m.nAllocs++
+	m.sink.Emit(trace.Event{Kind: trace.EvAlloc, Time: m.clock, Site: site, Addr: addr, Size: size})
+	return addr
+}
+
+// Free releases a heap object and emits the object probe.
+func (m *Machine) Free(addr trace.Addr) {
+	size, ok := m.live[addr]
+	if !ok {
+		panic(fmt.Sprintf("memsim: free of non-live address %#x", uint64(addr)))
+	}
+	delete(m.live, addr)
+	m.alloc.Free(addr, size)
+	m.nFrees++
+	m.sink.Emit(trace.Event{Kind: trace.EvFree, Time: m.clock, Addr: addr})
+}
+
+// Load issues a load of size bytes at addr by static instruction instr and
+// emits the instruction probe. The logical clock advances by one, matching
+// the paper's time-stamp ("incremented after every collected access").
+func (m *Machine) Load(instr trace.InstrID, addr trace.Addr, size uint32) {
+	m.access(instr, addr, size, false)
+	m.nLoads++
+}
+
+// Store issues a store, analogous to Load.
+func (m *Machine) Store(instr trace.InstrID, addr trace.Addr, size uint32) {
+	m.access(instr, addr, size, true)
+	m.nStores++
+}
+
+func (m *Machine) access(instr trace.InstrID, addr trace.Addr, size uint32, store bool) {
+	if !m.started {
+		panic("memsim: access before Start")
+	}
+	m.sink.Emit(trace.Event{Kind: trace.EvAccess, Time: m.clock, Instr: instr, Addr: addr, Size: size, Store: store})
+	m.clock++
+}
+
+// Run executes prog on a fresh machine wired to sink, wrapping it with
+// Start/End, and returns the machine for counter inspection.
+func Run(prog Program, sink trace.Sink, opts ...Option) *Machine {
+	m := New(sink, opts...)
+	// Programs may define statics inside Run before touching memory; the
+	// convention is that Run calls m.Start() itself after statics are
+	// defined. To keep workloads simple we instead let Run be bracketed
+	// here and require programs to define statics via the Setup hook if
+	// they implement it.
+	if s, ok := prog.(interface{ Setup(m *Machine) }); ok {
+		s.Setup(m)
+	}
+	m.Start()
+	prog.Run(m)
+	m.End()
+	return m
+}

@@ -1,0 +1,162 @@
+package memsim
+
+import (
+	"testing"
+
+	"ormprof/internal/trace"
+)
+
+func TestStaticLifecycle(t *testing.T) {
+	var buf trace.Buffer
+	m := New(&buf)
+	a := m.DefineStatic("table", 100)
+	b := m.DefineStatic("board", 64)
+	if a < StaticBase || b <= a {
+		t.Fatalf("static layout wrong: %#x %#x", uint64(a), uint64(b))
+	}
+	if b-a != 112 { // 100 rounded up to 16-byte alignment
+		t.Errorf("static alignment: gap %d, want 112", b-a)
+	}
+	if m.StaticAddr("table") != a {
+		t.Error("StaticAddr mismatch")
+	}
+	m.Start()
+	m.Load(1, a, 8)
+	m.End()
+
+	st := trace.Collect(buf.Events)
+	if st.Allocs != 2 || st.Frees != 2 {
+		t.Errorf("static probes: %d allocs, %d frees", st.Allocs, st.Frees)
+	}
+	names := m.StaticSites()
+	if len(names) != 2 {
+		t.Errorf("StaticSites = %v", names)
+	}
+}
+
+func TestHeapLifecycleAndClock(t *testing.T) {
+	var buf trace.Buffer
+	m := New(&buf)
+	m.Start()
+	p := m.Alloc(1, 48)
+	if p < HeapBase {
+		t.Fatalf("heap alloc below heap base: %#x", uint64(p))
+	}
+	m.Load(1, p, 8)
+	m.Store(2, p+8, 8)
+	if m.Clock() != 2 {
+		t.Errorf("clock = %d, want 2 (one tick per access)", m.Clock())
+	}
+	m.Free(p)
+	m.End()
+
+	loads, stores, allocs, frees := m.Counters()
+	if loads != 1 || stores != 1 || allocs != 1 || frees != 1 {
+		t.Errorf("counters: %d %d %d %d", loads, stores, allocs, frees)
+	}
+	// Events: alloc, access, access, free; End adds nothing (no leaks, no
+	// statics).
+	if buf.Len() != 4 {
+		t.Errorf("event count = %d, want 4: %v", buf.Len(), buf.Events)
+	}
+}
+
+func TestLeakedObjectsFreedAtEnd(t *testing.T) {
+	var buf trace.Buffer
+	m := New(&buf)
+	m.Start()
+	m.Alloc(1, 16)
+	m.Alloc(1, 16)
+	m.End()
+	st := trace.Collect(buf.Events)
+	if st.Frees != 2 {
+		t.Errorf("End should free leaked objects: %d frees", st.Frees)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("access before Start", func() {
+		m := New(nil)
+		m.Load(1, HeapBase, 8)
+	})
+	expectPanic("double Start", func() {
+		m := New(nil)
+		m.Start()
+		m.Start()
+	})
+	expectPanic("End before Start", func() {
+		m := New(nil)
+		m.End()
+	})
+	expectPanic("double free", func() {
+		m := New(nil)
+		m.Start()
+		p := m.Alloc(1, 16)
+		m.Free(p)
+		m.Free(p)
+	})
+	expectPanic("DefineStatic after Start", func() {
+		m := New(nil)
+		m.Start()
+		m.DefineStatic("x", 8)
+	})
+	expectPanic("duplicate static", func() {
+		m := New(nil)
+		m.DefineStatic("x", 8)
+		m.DefineStatic("x", 8)
+	})
+	expectPanic("zero-size alloc", func() {
+		m := New(nil)
+		m.Start()
+		m.Alloc(1, 0)
+	})
+	expectPanic("heap site in static space", func() {
+		m := New(nil)
+		m.Start()
+		m.Alloc(1<<24, 16)
+	})
+	expectPanic("unknown static", func() {
+		m := New(nil)
+		m.StaticAddr("nope")
+	})
+}
+
+type probeProg struct {
+	setupCalled bool
+	ranAt       trace.Time
+}
+
+func (p *probeProg) Name() string { return "probe" }
+func (p *probeProg) Setup(m *Machine) {
+	p.setupCalled = true
+	m.DefineStatic("g", 32)
+}
+func (p *probeProg) Run(m *Machine) {
+	m.Load(1, m.StaticAddr("g"), 8)
+	p.ranAt = m.Clock()
+}
+
+func TestRunHelper(t *testing.T) {
+	var buf trace.Buffer
+	p := &probeProg{}
+	m := Run(p, &buf)
+	if !p.setupCalled {
+		t.Error("Setup hook not called")
+	}
+	if m.Clock() != 1 {
+		t.Errorf("clock = %d", m.Clock())
+	}
+	// Events: static alloc, access, static free.
+	if buf.Len() != 3 {
+		t.Errorf("event count = %d: %v", buf.Len(), buf.Events)
+	}
+}

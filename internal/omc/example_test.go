@@ -1,0 +1,26 @@
+package omc_test
+
+import (
+	"fmt"
+
+	"ormprof/internal/omc"
+)
+
+// Object-relative translation on the paper's linked-list scenario: two
+// nodes of the same allocation site at scattered addresses translate to the
+// same group with ascending serials and field offsets.
+func Example() {
+	o := omc.New(nil)
+	o.Alloc(7, 0x40001000, 48, 0) // first node
+	o.Alloc(7, 0x40001480, 48, 1) // second node, far away
+
+	fmt.Println(o.Translate(0x40001000)) // node 0, data field
+	fmt.Println(o.Translate(0x40001008)) // node 0, next field
+	fmt.Println(o.Translate(0x40001488)) // node 1, next field
+	fmt.Println(o.Translate(0xdeadbeef)) // no live object
+	// Output:
+	// (1, 0, 0)
+	// (1, 0, 8)
+	// (1, 1, 8)
+	// (unmapped, 0xdeadbeef)
+}

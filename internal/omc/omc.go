@@ -1,0 +1,256 @@
+// Package omc implements the paper's Object Management Component (§2.3).
+//
+// The OMC records every object allocated in the program — when it was
+// allocated and de-allocated, the address range it occupies, and its group —
+// and assigns identifiers: objects created at the same program point
+// (allocation site) form a group, and each object receives a serial number
+// within its group. Given a raw address, the OMC identifies the live object
+// containing it and translates the address into a (group, object, offset)
+// triple.
+//
+// Live objects are indexed by a B-tree keyed on start address (§3.1's
+// "auxiliary B-tree-like data structure"); translation is a floor search
+// plus a bounds check, valid because live objects never overlap.
+package omc
+
+import (
+	"fmt"
+	"sort"
+
+	"ormprof/internal/btree"
+	"ormprof/internal/trace"
+)
+
+// GroupID identifies a group: the collection of all objects allocated at one
+// static program point. Group 0 is reserved for unmapped addresses (accesses
+// that hit no live object, e.g. unprofiled stack accesses).
+type GroupID uint32
+
+// Unmapped is the reserved group for addresses outside every live object.
+const Unmapped GroupID = 0
+
+// Ref is the object-relative form of one address: which group, which object
+// in the group (its serial number), and the byte offset from the object's
+// start. For unmapped addresses Group and Object are zero and Offset holds
+// the raw address, which keeps the translated stream information-lossless.
+type Ref struct {
+	Group  GroupID
+	Object uint32
+	Offset uint64
+}
+
+// String renders the triple in the paper's (group, object, offset) notation.
+func (r Ref) String() string {
+	if r.Group == Unmapped {
+		return fmt.Sprintf("(unmapped, %#x)", r.Offset)
+	}
+	return fmt.Sprintf("(%d, %d, %d)", r.Group, r.Object, r.Offset)
+}
+
+// ObjectInfo is the per-object lifetime record kept by the OMC: the
+// run-dependent auxiliary information the profiler outputs separately from
+// the invariant object-relative tuples (§2.3).
+type ObjectInfo struct {
+	Group     GroupID
+	Serial    uint32
+	Start     trace.Addr
+	Size      uint32
+	AllocTime trace.Time
+	FreeTime  trace.Time // meaningful only if Freed
+	Freed     bool
+}
+
+// GroupInfo describes one group.
+type GroupInfo struct {
+	ID    GroupID
+	Site  trace.SiteID
+	Name  string // symbolic name when known (statics), else "site#N"
+	Count uint32 // objects allocated so far (== next serial)
+}
+
+// OMC is the object-management component. Not safe for concurrent use; the
+// paper's multi-threaded collection is an implementation convenience we do
+// not need.
+type OMC struct {
+	groups    map[trace.SiteID]GroupID
+	groupInfo []GroupInfo // index = GroupID-1
+	siteNames map[trace.SiteID]string
+	siteTypes map[trace.SiteID]string
+	typeGroup map[string]GroupID
+
+	live    btree.Map[*ObjectInfo] // start address -> live object
+	objects map[GroupID][]*ObjectInfo
+
+	translated uint64
+	unmapped   uint64
+}
+
+// New creates an empty OMC. siteNames optionally maps allocation sites to
+// symbolic names (e.g. static symbol names from the compiler's symbol
+// table); it may be nil.
+func New(siteNames map[trace.SiteID]string) *OMC {
+	return &OMC{
+		groups:    make(map[trace.SiteID]GroupID),
+		siteNames: siteNames,
+		objects:   make(map[GroupID][]*ObjectInfo),
+	}
+}
+
+// NewWithTypes creates an OMC that groups by *type* where the compiler has
+// provided type information: sites mapped to the same type name share one
+// group (§3.1: "the profiler groups allocated dynamic objects by static
+// instruction. The compiler can provide type information to further refine
+// this strategy."). Sites absent from siteTypes fall back to per-site
+// grouping.
+func NewWithTypes(siteNames map[trace.SiteID]string, siteTypes map[trace.SiteID]string) *OMC {
+	o := New(siteNames)
+	o.siteTypes = siteTypes
+	o.typeGroup = make(map[string]GroupID)
+	return o
+}
+
+// groupFor returns the group for an allocation site, creating it on first
+// use.
+func (o *OMC) groupFor(site trace.SiteID) GroupID {
+	if g, ok := o.groups[site]; ok {
+		return g
+	}
+	if o.siteTypes != nil {
+		if typ, ok := o.siteTypes[site]; ok && typ != "" {
+			if g, ok := o.typeGroup[typ]; ok {
+				o.groups[site] = g
+				return g
+			}
+			g := o.newGroup(site, typ)
+			o.typeGroup[typ] = g
+			return g
+		}
+	}
+	name := ""
+	if o.siteNames != nil {
+		name = o.siteNames[site]
+	}
+	if name == "" {
+		name = fmt.Sprintf("site#%d", site)
+	}
+	return o.newGroup(site, name)
+}
+
+func (o *OMC) newGroup(site trace.SiteID, name string) GroupID {
+	id := GroupID(len(o.groupInfo) + 1)
+	o.groups[site] = id
+	o.groupInfo = append(o.groupInfo, GroupInfo{ID: id, Site: site, Name: name})
+	return id
+}
+
+// Alloc records an object creation probe and returns the object's reference.
+func (o *OMC) Alloc(site trace.SiteID, addr trace.Addr, size uint32, t trace.Time) Ref {
+	g := o.groupFor(site)
+	gi := &o.groupInfo[g-1]
+	info := &ObjectInfo{
+		Group:     g,
+		Serial:    gi.Count,
+		Start:     addr,
+		Size:      size,
+		AllocTime: t,
+	}
+	gi.Count++
+	o.live.Set(uint64(addr), info)
+	o.objects[g] = append(o.objects[g], info)
+	return Ref{Group: g, Object: info.Serial}
+}
+
+// Free records an object destruction probe. Freeing an address with no live
+// object is ignored (a double free in the profiled program is its bug, not
+// the profiler's).
+func (o *OMC) Free(addr trace.Addr, t trace.Time) {
+	v, ok := o.live.Get(uint64(addr))
+	if !ok {
+		return
+	}
+	v.Freed = true
+	v.FreeTime = t
+	o.live.Delete(uint64(addr))
+}
+
+// HandleEvent dispatches an object-probe event to Alloc or Free. Access
+// events are ignored (they go through Translate).
+func (o *OMC) HandleEvent(e trace.Event) {
+	switch e.Kind {
+	case trace.EvAlloc:
+		o.Alloc(e.Site, e.Addr, e.Size, e.Time)
+	case trace.EvFree:
+		o.Free(e.Addr, e.Time)
+	}
+}
+
+// Translate converts a raw address to object-relative form against the
+// currently live objects. Addresses outside every live object translate to
+// the Unmapped group with the raw address preserved in Offset.
+func (o *OMC) Translate(addr trace.Addr) Ref {
+	start, info, ok := o.live.Floor(uint64(addr))
+	if ok && uint64(addr) < start+uint64(info.Size) {
+		o.translated++
+		return Ref{Group: info.Group, Object: info.Serial, Offset: uint64(addr) - start}
+	}
+	o.unmapped++
+	return Ref{Group: Unmapped, Offset: uint64(addr)}
+}
+
+// Lookup returns the lifetime record for (group, serial), or nil if the
+// object was never allocated.
+func (o *OMC) Lookup(g GroupID, serial uint32) *ObjectInfo {
+	objs := o.objects[g]
+	if int(serial) >= len(objs) {
+		return nil
+	}
+	return objs[serial]
+}
+
+// Invert maps an object-relative reference back to the raw address it was
+// translated from, using the object table. This is the reconstruction path
+// that makes a WHOMP profile lossless: OMSG + object table regenerate the
+// raw address trace.
+func (o *OMC) Invert(r Ref) (trace.Addr, bool) {
+	if r.Group == Unmapped {
+		return trace.Addr(r.Offset), true
+	}
+	info := o.Lookup(r.Group, r.Object)
+	if info == nil || r.Offset >= uint64(info.Size) {
+		return 0, false
+	}
+	return info.Start + trace.Addr(r.Offset), true
+}
+
+// Groups returns descriptions of all groups in ID order.
+func (o *OMC) Groups() []GroupInfo {
+	out := append([]GroupInfo(nil), o.groupInfo...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// GroupName returns the symbolic name of a group ("unmapped" for group 0).
+func (o *OMC) GroupName(g GroupID) string {
+	if g == Unmapped {
+		return "unmapped"
+	}
+	if int(g-1) < len(o.groupInfo) {
+		return o.groupInfo[g-1].Name
+	}
+	return fmt.Sprintf("group#%d", g)
+}
+
+// Objects returns the lifetime records of every object ever allocated in
+// group g, in serial order.
+func (o *OMC) Objects(g GroupID) []*ObjectInfo {
+	return o.objects[g]
+}
+
+// LiveCount reports the number of currently live objects.
+func (o *OMC) LiveCount() int { return o.live.Len() }
+
+// Stats reports how many translations hit a live object and how many were
+// unmapped.
+func (o *OMC) Stats() (translated, unmapped uint64) {
+	return o.translated, o.unmapped
+}

@@ -1,0 +1,274 @@
+package omc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ormprof/internal/trace"
+)
+
+func TestGroupAssignment(t *testing.T) {
+	o := New(map[trace.SiteID]string{7: "my_table"})
+	r1 := o.Alloc(7, 0x1000, 64, 0)
+	r2 := o.Alloc(7, 0x2000, 64, 1)
+	r3 := o.Alloc(9, 0x3000, 32, 2)
+
+	if r1.Group != r2.Group {
+		t.Error("same site must map to same group")
+	}
+	if r1.Group == r3.Group {
+		t.Error("different sites must map to different groups")
+	}
+	if r1.Object != 0 || r2.Object != 1 || r3.Object != 0 {
+		t.Errorf("serials: %d %d %d", r1.Object, r2.Object, r3.Object)
+	}
+	if o.GroupName(r1.Group) != "my_table" {
+		t.Errorf("GroupName = %q", o.GroupName(r1.Group))
+	}
+	if o.GroupName(r3.Group) != "site#9" {
+		t.Errorf("default GroupName = %q", o.GroupName(r3.Group))
+	}
+	if o.GroupName(Unmapped) != "unmapped" {
+		t.Errorf("unmapped GroupName = %q", o.GroupName(Unmapped))
+	}
+	groups := o.Groups()
+	if len(groups) != 2 || groups[0].Count != 2 || groups[1].Count != 1 {
+		t.Errorf("Groups = %+v", groups)
+	}
+}
+
+func TestTranslateBasics(t *testing.T) {
+	o := New(nil)
+	o.Alloc(1, 0x1000, 64, 0)
+
+	r := o.Translate(0x1000)
+	if r.Group == Unmapped || r.Object != 0 || r.Offset != 0 {
+		t.Errorf("Translate(start) = %v", r)
+	}
+	r = o.Translate(0x103f)
+	if r.Offset != 63 {
+		t.Errorf("Translate(last byte) = %v", r)
+	}
+	r = o.Translate(0x1040) // one past the end
+	if r.Group != Unmapped || r.Offset != 0x1040 {
+		t.Errorf("Translate(past end) = %v", r)
+	}
+	r = o.Translate(0xfff) // just before
+	if r.Group != Unmapped {
+		t.Errorf("Translate(before) = %v", r)
+	}
+	translated, unmapped := o.Stats()
+	if translated != 2 || unmapped != 2 {
+		t.Errorf("Stats = %d, %d", translated, unmapped)
+	}
+}
+
+func TestFreeRemovesFromIndex(t *testing.T) {
+	o := New(nil)
+	o.Alloc(1, 0x1000, 64, 0)
+	if o.LiveCount() != 1 {
+		t.Fatal("LiveCount != 1")
+	}
+	o.Free(0x1000, 5)
+	if o.LiveCount() != 0 {
+		t.Fatal("LiveCount != 0 after free")
+	}
+	if r := o.Translate(0x1000); r.Group != Unmapped {
+		t.Errorf("Translate after free = %v", r)
+	}
+	info := o.Lookup(1, 0)
+	if info == nil || !info.Freed || info.FreeTime != 5 {
+		t.Errorf("lifetime record = %+v", info)
+	}
+	// Freeing a non-live address is a no-op.
+	o.Free(0x9999, 6)
+}
+
+func TestAddressReuseGetsNewSerial(t *testing.T) {
+	// The false-aliasing scenario: the same raw address hosts two objects
+	// over time; they must be distinguishable in object-relative form.
+	o := New(nil)
+	o.Alloc(1, 0x1000, 64, 0)
+	first := o.Translate(0x1010)
+	o.Free(0x1000, 2)
+	o.Alloc(1, 0x1000, 64, 3)
+	second := o.Translate(0x1010)
+
+	if first.Group != second.Group {
+		t.Error("same site: groups must match")
+	}
+	if first.Object == second.Object {
+		t.Error("address reuse must yield a fresh object serial")
+	}
+	if first.Offset != 16 || second.Offset != 16 {
+		t.Error("offsets must be object-relative")
+	}
+}
+
+func TestHandleEvent(t *testing.T) {
+	o := New(nil)
+	o.HandleEvent(trace.Event{Kind: trace.EvAlloc, Site: 1, Addr: 0x1000, Size: 32, Time: 0})
+	if o.LiveCount() != 1 {
+		t.Error("alloc event not handled")
+	}
+	o.HandleEvent(trace.Event{Kind: trace.EvAccess, Addr: 0x1000}) // ignored
+	o.HandleEvent(trace.Event{Kind: trace.EvFree, Addr: 0x1000, Time: 1})
+	if o.LiveCount() != 0 {
+		t.Error("free event not handled")
+	}
+}
+
+func TestInvert(t *testing.T) {
+	o := New(nil)
+	ref := o.Alloc(1, 0x1000, 64, 0)
+	ref.Offset = 24
+
+	addr, ok := o.Invert(ref)
+	if !ok || addr != 0x1018 {
+		t.Errorf("Invert = %#x, %v", uint64(addr), ok)
+	}
+	// Unmapped refs invert to the raw address they carry.
+	addr, ok = o.Invert(Ref{Group: Unmapped, Offset: 0x5555})
+	if !ok || addr != 0x5555 {
+		t.Errorf("Invert(unmapped) = %#x, %v", uint64(addr), ok)
+	}
+	// Out-of-range offset fails.
+	if _, ok := o.Invert(Ref{Group: ref.Group, Object: 0, Offset: 64}); ok {
+		t.Error("Invert past object end should fail")
+	}
+	// Unknown object fails.
+	if _, ok := o.Invert(Ref{Group: ref.Group, Object: 99}); ok {
+		t.Error("Invert of unknown serial should fail")
+	}
+	if _, ok := o.Invert(Ref{Group: 42}); ok {
+		t.Error("Invert of unknown group should fail")
+	}
+}
+
+// Property: Translate and Invert are inverses for live objects.
+func TestQuickTranslateInvertRoundTrip(t *testing.T) {
+	o := New(nil)
+	rng := rand.New(rand.NewSource(1))
+	type obj struct {
+		start trace.Addr
+		size  uint32
+	}
+	var objs []obj
+	base := trace.Addr(0x10000)
+	for i := 0; i < 200; i++ {
+		size := uint32(8 + rng.Intn(120))
+		o.Alloc(trace.SiteID(1+rng.Intn(5)), base, size, trace.Time(i))
+		objs = append(objs, obj{base, size})
+		base += trace.Addr(size + uint32(rng.Intn(64)))
+	}
+	f := func(pick uint16, off uint16) bool {
+		ob := objs[int(pick)%len(objs)]
+		offset := uint64(off) % uint64(ob.size)
+		addr := ob.start + trace.Addr(offset)
+		ref := o.Translate(addr)
+		if ref.Group == Unmapped || ref.Offset != offset {
+			return false
+		}
+		back, ok := o.Invert(ref)
+		return ok && back == addr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefString(t *testing.T) {
+	if s := (Ref{Group: 2, Object: 3, Offset: 8}).String(); s != "(2, 3, 8)" {
+		t.Errorf("Ref.String = %q", s)
+	}
+	if s := (Ref{Group: Unmapped, Offset: 0x10}).String(); s != "(unmapped, 0x10)" {
+		t.Errorf("unmapped Ref.String = %q", s)
+	}
+}
+
+func TestManyLiveObjectsStress(t *testing.T) {
+	// Interleave allocs and frees; the B-tree index must stay consistent.
+	o := New(nil)
+	rng := rand.New(rand.NewSource(2))
+	live := make(map[trace.Addr]uint32)
+	next := trace.Addr(0x100000)
+	now := trace.Time(0)
+	for op := 0; op < 20000; op++ {
+		now++
+		if len(live) > 0 && rng.Intn(3) == 0 {
+			for a := range live {
+				o.Free(a, now)
+				delete(live, a)
+				break
+			}
+			continue
+		}
+		size := uint32(16 + rng.Intn(64))
+		o.Alloc(trace.SiteID(rng.Intn(10)), next, size, now)
+		live[next] = size
+		next += trace.Addr(size + 16)
+	}
+	if o.LiveCount() != len(live) {
+		t.Fatalf("LiveCount = %d, want %d", o.LiveCount(), len(live))
+	}
+	for a, size := range live {
+		r := o.Translate(a + trace.Addr(size-1))
+		if r.Group == Unmapped || r.Offset != uint64(size-1) {
+			t.Fatalf("Translate(%#x) = %v", uint64(a), r)
+		}
+	}
+}
+
+func TestTypeRefinedGrouping(t *testing.T) {
+	// Two sites allocate the same record type (e.g. two call sites of the
+	// same constructor); with compiler-provided type information they
+	// share one group, while an untyped site keeps its own.
+	o := NewWithTypes(nil, map[trace.SiteID]string{
+		1: "node_t",
+		2: "node_t",
+		3: "edge_t",
+	})
+	r1 := o.Alloc(1, 0x1000, 32, 0)
+	r2 := o.Alloc(2, 0x2000, 32, 1)
+	r3 := o.Alloc(3, 0x3000, 16, 2)
+	r4 := o.Alloc(9, 0x4000, 8, 3) // no type info: per-site fallback
+
+	if r1.Group != r2.Group {
+		t.Errorf("same-type sites split into groups %d and %d", r1.Group, r2.Group)
+	}
+	if r1.Object != 0 || r2.Object != 1 {
+		t.Errorf("shared group serials: %d, %d", r1.Object, r2.Object)
+	}
+	if r3.Group == r1.Group || r4.Group == r1.Group || r3.Group == r4.Group {
+		t.Errorf("distinct types must have distinct groups: %v %v %v", r1.Group, r3.Group, r4.Group)
+	}
+	if o.GroupName(r1.Group) != "node_t" {
+		t.Errorf("type group name = %q", o.GroupName(r1.Group))
+	}
+	if o.GroupName(r4.Group) != "site#9" {
+		t.Errorf("fallback name = %q", o.GroupName(r4.Group))
+	}
+	// Translation still resolves through the shared group.
+	if got := o.Translate(0x2008); got.Group != r1.Group || got.Object != 1 || got.Offset != 8 {
+		t.Errorf("Translate through type group = %v", got)
+	}
+}
+
+func BenchmarkTranslate(b *testing.B) {
+	o := New(nil)
+	rng := rand.New(rand.NewSource(9))
+	const nObjs = 10000
+	addrs := make([]trace.Addr, nObjs)
+	base := trace.Addr(0x100000)
+	for i := range addrs {
+		size := uint32(16 + rng.Intn(240))
+		o.Alloc(trace.SiteID(rng.Intn(32)), base, size, trace.Time(i))
+		addrs[i] = base + trace.Addr(rng.Intn(int(size)))
+		base += trace.Addr(size + 16)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Translate(addrs[i%nObjs])
+	}
+}

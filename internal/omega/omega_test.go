@@ -1,0 +1,208 @@
+package omega
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFloorCeilDiv(t *testing.T) {
+	cases := []struct {
+		a, b, floor, ceil int64
+	}{
+		{7, 2, 3, 4},
+		{-7, 2, -4, -3},
+		{7, -2, -4, -3},
+		{-7, -2, 3, 4},
+		{6, 3, 2, 2},
+		{-6, 3, -2, -2},
+		{0, 5, 0, 0},
+		{1, 1, 1, 1},
+		{-1, 1, -1, -1},
+	}
+	for _, c := range cases {
+		if got := FloorDiv(c.a, c.b); got != c.floor {
+			t.Errorf("FloorDiv(%d, %d) = %d, want %d", c.a, c.b, got, c.floor)
+		}
+		if got := CeilDiv(c.a, c.b); got != c.ceil {
+			t.Errorf("CeilDiv(%d, %d) = %d, want %d", c.a, c.b, got, c.ceil)
+		}
+	}
+}
+
+func TestExtGCD(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a := int64(rng.Intn(201) - 100)
+		b := int64(rng.Intn(201) - 100)
+		g, x, y := ExtGCD(a, b)
+		if g != GCD(a, b) {
+			t.Fatalf("ExtGCD(%d,%d) g=%d, GCD=%d", a, b, g, GCD(a, b))
+		}
+		if a*x+b*y != g {
+			t.Fatalf("ExtGCD(%d,%d) = (%d,%d,%d): %d·%d + %d·%d != %d", a, b, g, x, y, a, x, b, y, g)
+		}
+	}
+}
+
+// bruteSolutions enumerates solutions of a·x + b·y = c over a box.
+func bruteSolutions(a, b, c, lox, hix, loy, hiy int64) map[[2]int64]bool {
+	out := make(map[[2]int64]bool)
+	for x := lox; x <= hix; x++ {
+		for y := loy; y <= hiy; y++ {
+			if a*x+b*y == c {
+				out[[2]int64{x, y}] = true
+			}
+		}
+	}
+	return out
+}
+
+func TestSolveAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const lo, hi = -12, 12
+	for i := 0; i < 3000; i++ {
+		a := int64(rng.Intn(11) - 5)
+		b := int64(rng.Intn(11) - 5)
+		c := int64(rng.Intn(21) - 10)
+		want := bruteSolutions(a, b, c, lo, hi, lo, hi)
+		set := Solve(a, b, c)
+		got := make(map[[2]int64]bool)
+		switch set.Kind {
+		case None:
+		case All:
+			for x := int64(lo); x <= hi; x++ {
+				for y := int64(lo); y <= hi; y++ {
+					got[[2]int64{x, y}] = true
+				}
+			}
+		case Lin:
+			// The line must cover the box within a bounded parameter
+			// sweep: |t| ≤ large enough to leave the box.
+			for tpar := int64(-2000); tpar <= 2000; tpar++ {
+				x, y := set.Line.At(tpar)
+				if x >= lo && x <= hi && y >= lo && y <= hi {
+					got[[2]int64{x, y}] = true
+				}
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("Solve(%d,%d,%d): got %d box solutions, want %d", a, b, c, len(got), len(want))
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("Solve(%d,%d,%d): missing solution %v", a, b, c, k)
+			}
+		}
+	}
+}
+
+func TestIntersectLineAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 3000; i++ {
+		l := Line{
+			X0: int64(rng.Intn(21) - 10),
+			Y0: int64(rng.Intn(21) - 10),
+			Dx: int64(rng.Intn(7) - 3),
+			Dy: int64(rng.Intn(7) - 3),
+		}
+		a := int64(rng.Intn(7) - 3)
+		b := int64(rng.Intn(7) - 3)
+		c := int64(rng.Intn(21) - 10)
+
+		want := make(map[int64]bool)
+		for tpar := int64(-50); tpar <= 50; tpar++ {
+			x, y := l.At(tpar)
+			if a*x+b*y == c {
+				want[tpar] = true
+			}
+		}
+		kind, tval := IntersectLine(l, a, b, c)
+		switch kind {
+		case None:
+			if len(want) != 0 {
+				t.Fatalf("IntersectLine(%v, %d,%d,%d) = None, brute force found %d", l, a, b, c, len(want))
+			}
+		case All:
+			if len(want) != 101 {
+				t.Fatalf("IntersectLine(%v, %d,%d,%d) = All, brute force found %d/101", l, a, b, c, len(want))
+			}
+		case Lin:
+			// Exactly one t satisfies the equation; it may lie outside
+			// the brute-force sweep.
+			x, y := l.At(tval)
+			if a*x+b*y != c {
+				t.Fatalf("IntersectLine(%v, %d,%d,%d) = t=%d does not satisfy the equation", l, a, b, c, tval)
+			}
+			for tp := range want {
+				if tp != tval {
+					t.Fatalf("IntersectLine(%v, %d,%d,%d) = t=%d, but t=%d also satisfies", l, a, b, c, tval, tp)
+				}
+			}
+		}
+	}
+}
+
+func TestIntervalOps(t *testing.T) {
+	iv := Bounded(3, 7).Intersect(Bounded(5, 10))
+	if n, _ := iv.Count(); n != 3 {
+		t.Errorf("[3,7] ∩ [5,10] has %d ints, want 3", n)
+	}
+	if !Bounded(3, 7).Intersect(AtLeast(6)).Contains(7) {
+		t.Error("[3,7] ∩ [6,∞) should contain 7")
+	}
+	if got := Bounded(3, 7).Intersect(Bounded(8, 9)); !got.Empty {
+		t.Error("[3,7] ∩ [8,9] should be empty")
+	}
+	if got := AllInts().Intersect(Bounded(1, 2)); got.LoOpen || got.HiOpen {
+		t.Error("ℤ ∩ [1,2] should be bounded")
+	}
+	if _, ok := AtLeast(0).Count(); ok {
+		t.Error("Count of unbounded interval should report !ok")
+	}
+	if n, ok := EmptyInterval().Count(); !ok || n != 0 {
+		t.Error("Count of empty interval should be 0")
+	}
+}
+
+func TestLinearInequalitiesAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 5000; i++ {
+		a := int64(rng.Intn(9) - 4)
+		b := int64(rng.Intn(41) - 20)
+		ge := LinearGE(a, b)
+		lt := LinearLT(a, b)
+		for tpar := int64(-30); tpar <= 30; tpar++ {
+			v := a*tpar + b
+			if ge.Contains(tpar) != (v >= 0) {
+				t.Fatalf("LinearGE(%d,%d).Contains(%d) = %v, want %v", a, b, tpar, ge.Contains(tpar), v >= 0)
+			}
+			if lt.Contains(tpar) != (v < 0) {
+				t.Fatalf("LinearLT(%d,%d).Contains(%d) = %v, want %v", a, b, tpar, lt.Contains(tpar), v < 0)
+			}
+		}
+	}
+}
+
+func TestQuickFloorDivIdentity(t *testing.T) {
+	f := func(a int64, b int64) bool {
+		if b == 0 {
+			return true
+		}
+		// Clamp to avoid overflow in the check.
+		a %= 1 << 40
+		b %= 1 << 20
+		if b == 0 {
+			b = 1
+		}
+		q := FloorDiv(a, b)
+		r := a - q*b
+		if b > 0 {
+			return r >= 0 && r < b
+		}
+		return r <= 0 && r > b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

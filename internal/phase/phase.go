@@ -1,0 +1,162 @@
+// Package phase implements interval-based program phase detection in the
+// style of Sherwood, Sair and Calder's phase tracking — the direction the
+// paper's §6 names as future work ("make use of recent results on phase
+// detection and prediction to profile references in a phase cognizant
+// manner").
+//
+// Execution is split into fixed-length intervals of memory accesses. Each
+// interval's signature is its distribution of executed load/store
+// instructions; intervals whose signatures are close (Manhattan distance
+// under a threshold) belong to the same phase, clustered online with a
+// leader-follower scheme. Package phase also provides the phase-cognizant
+// LEAP collector built on top.
+package phase
+
+import (
+	"fmt"
+	"math"
+
+	"ormprof/internal/trace"
+)
+
+// Config tunes the detector.
+type Config struct {
+	// IntervalLen is the number of accesses per interval (default 4096).
+	IntervalLen int
+	// Threshold is the maximum normalized Manhattan distance (0..2) at
+	// which an interval joins an existing phase (default 0.5).
+	Threshold float64
+	// MaxPhases caps the number of phases; further outlier intervals are
+	// folded into the nearest phase (default 16).
+	MaxPhases int
+}
+
+func (c Config) normalized() Config {
+	if c.IntervalLen <= 0 {
+		c.IntervalLen = 4096
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 0.5
+	}
+	if c.MaxPhases <= 0 {
+		c.MaxPhases = 16
+	}
+	return c
+}
+
+// signature is a normalized instruction-frequency vector.
+type signature map[trace.InstrID]float64
+
+// distance is the Manhattan distance between two normalized signatures
+// (range 0..2).
+func distance(a, b signature) float64 {
+	d := 0.0
+	for k, av := range a {
+		d += math.Abs(av - b[k])
+	}
+	for k, bv := range b {
+		if _, ok := a[k]; !ok {
+			d += bv
+		}
+	}
+	return d
+}
+
+// Detector assigns each interval of the access stream to a phase.
+type Detector struct {
+	cfg Config
+
+	counts map[trace.InstrID]uint64
+	filled int
+
+	centroids []signature
+	weights   []uint64 // intervals per phase, for centroid updates
+
+	phaseOf []int // per completed interval
+}
+
+// NewDetector creates a detector.
+func NewDetector(cfg Config) *Detector {
+	cfg = cfg.normalized()
+	return &Detector{cfg: cfg, counts: make(map[trace.InstrID]uint64)}
+}
+
+// Observe feeds one executed access's instruction ID. It returns the phase
+// just assigned and true when this access completed an interval.
+func (d *Detector) Observe(instr trace.InstrID) (int, bool) {
+	d.counts[instr]++
+	d.filled++
+	if d.filled < d.cfg.IntervalLen {
+		return 0, false
+	}
+	p := d.closeInterval()
+	return p, true
+}
+
+// Finish classifies a trailing partial interval, if any.
+func (d *Detector) Finish() {
+	if d.filled > 0 {
+		d.closeInterval()
+	}
+}
+
+func (d *Detector) closeInterval() int {
+	sig := make(signature, len(d.counts))
+	total := float64(d.filled)
+	for k, v := range d.counts {
+		sig[k] = float64(v) / total
+	}
+	d.counts = make(map[trace.InstrID]uint64)
+	d.filled = 0
+
+	best, bestDist := -1, math.Inf(1)
+	for i, c := range d.centroids {
+		if dist := distance(sig, c); dist < bestDist {
+			best, bestDist = i, dist
+		}
+	}
+	if best >= 0 && (bestDist <= d.cfg.Threshold || len(d.centroids) >= d.cfg.MaxPhases) {
+		// Join: move the centroid toward the new signature.
+		w := float64(d.weights[best])
+		c := d.centroids[best]
+		for k := range c {
+			c[k] = (c[k]*w + sig[k]) / (w + 1)
+		}
+		for k, v := range sig {
+			if _, ok := c[k]; !ok {
+				c[k] = v / (w + 1)
+			}
+		}
+		d.weights[best]++
+		d.phaseOf = append(d.phaseOf, best)
+		return best
+	}
+	d.centroids = append(d.centroids, sig)
+	d.weights = append(d.weights, 1)
+	p := len(d.centroids) - 1
+	d.phaseOf = append(d.phaseOf, p)
+	return p
+}
+
+// NumPhases reports the phases discovered so far.
+func (d *Detector) NumPhases() int { return len(d.centroids) }
+
+// Intervals returns the per-interval phase assignments.
+func (d *Detector) Intervals() []int { return d.phaseOf }
+
+// Transitions counts phase changes between consecutive intervals.
+func (d *Detector) Transitions() int {
+	n := 0
+	for i := 1; i < len(d.phaseOf); i++ {
+		if d.phaseOf[i] != d.phaseOf[i-1] {
+			n++
+		}
+	}
+	return n
+}
+
+// String summarizes the detection.
+func (d *Detector) String() string {
+	return fmt.Sprintf("%d phases over %d intervals (%d transitions)",
+		d.NumPhases(), len(d.phaseOf), d.Transitions())
+}

@@ -1,0 +1,185 @@
+package phase
+
+import (
+	"testing"
+
+	"ormprof/internal/leap"
+	"ormprof/internal/memsim"
+	"ormprof/internal/omc"
+	"ormprof/internal/profiler"
+	"ormprof/internal/trace"
+	"ormprof/internal/workloads"
+)
+
+func TestDetectorTwoAlternatingPhases(t *testing.T) {
+	d := NewDetector(Config{IntervalLen: 100})
+	// Phase A: instructions 1-2. Phase B: instructions 50-51. Alternate
+	// A A B B A A B B …
+	for rep := 0; rep < 4; rep++ {
+		for i := 0; i < 200; i++ {
+			d.Observe(trace.InstrID(1 + i%2))
+		}
+		for i := 0; i < 200; i++ {
+			d.Observe(trace.InstrID(50 + i%2))
+		}
+	}
+	d.Finish()
+	if d.NumPhases() != 2 {
+		t.Fatalf("detected %d phases, want 2 (%s)", d.NumPhases(), d)
+	}
+	iv := d.Intervals()
+	if len(iv) != 16 {
+		t.Fatalf("intervals = %d, want 16", len(iv))
+	}
+	// Pattern: 2 of phase 0, 2 of phase 1, repeating.
+	for i, p := range iv {
+		want := (i / 2) % 2
+		if p != want {
+			t.Errorf("interval %d phase %d, want %d (%v)", i, p, want, iv)
+		}
+	}
+	if d.Transitions() != 7 {
+		t.Errorf("transitions = %d, want 7", d.Transitions())
+	}
+}
+
+func TestDetectorStablePhase(t *testing.T) {
+	d := NewDetector(Config{IntervalLen: 64})
+	for i := 0; i < 64*10; i++ {
+		d.Observe(trace.InstrID(i % 4))
+	}
+	d.Finish()
+	if d.NumPhases() != 1 {
+		t.Errorf("uniform stream split into %d phases", d.NumPhases())
+	}
+	if d.Transitions() != 0 {
+		t.Errorf("transitions = %d", d.Transitions())
+	}
+}
+
+func TestDetectorMaxPhases(t *testing.T) {
+	d := NewDetector(Config{IntervalLen: 10, MaxPhases: 3, Threshold: 0.01})
+	// Every interval uses a unique instruction: without the cap each would
+	// be its own phase.
+	for iv := 0; iv < 10; iv++ {
+		for i := 0; i < 10; i++ {
+			d.Observe(trace.InstrID(100 + iv))
+		}
+	}
+	d.Finish()
+	if d.NumPhases() > 3 {
+		t.Errorf("phases = %d exceeds cap 3", d.NumPhases())
+	}
+}
+
+func TestDetectorPartialInterval(t *testing.T) {
+	d := NewDetector(Config{IntervalLen: 1000})
+	for i := 0; i < 10; i++ {
+		d.Observe(1)
+	}
+	if len(d.Intervals()) != 0 {
+		t.Error("partial interval classified early")
+	}
+	d.Finish()
+	if len(d.Intervals()) != 1 {
+		t.Error("Finish did not classify the trailing interval")
+	}
+	d.Finish() // idempotent on empty state
+	if len(d.Intervals()) != 1 {
+		t.Error("second Finish added an interval")
+	}
+}
+
+func TestDistance(t *testing.T) {
+	a := signature{1: 0.5, 2: 0.5}
+	b := signature{1: 0.5, 2: 0.5}
+	if d := distance(a, b); d != 0 {
+		t.Errorf("identical signatures distance %v", d)
+	}
+	c := signature{9: 1.0}
+	if d := distance(a, c); d != 2 {
+		t.Errorf("disjoint signatures distance %v, want 2", d)
+	}
+}
+
+// phasedProgram alternates between two very different access behaviours.
+type phasedProgram struct{}
+
+func (phasedProgram) Name() string { return "phased" }
+
+func (phasedProgram) Run(m *memsim.Machine) {
+	arr := m.Alloc(1, 64*1024)
+	state := 1
+	for block := 0; block < 8; block++ {
+		// Phase A: strided sweep.
+		for i := 0; i < 8192; i++ {
+			m.Load(1, arr+trace.Addr(i%8192*8), 8)
+		}
+		// Phase B: pseudo-random probing with different instructions.
+		for i := 0; i < 8192; i++ {
+			state = (state*1103515245 + 12345) & 0x7fffffff
+			m.Load(2, arr+trace.Addr(state%8192*8), 8)
+			i++
+			m.Store(3, arr+trace.Addr(state%8192*8), 8)
+		}
+	}
+	m.Free(arr)
+}
+
+func TestCognizantLEAPSeparatesPhases(t *testing.T) {
+	buf := &trace.Buffer{}
+	memsim.Run(phasedProgram{}, buf)
+
+	o := omc.New(nil)
+	cog := NewCognizantLEAP(Config{IntervalLen: 4096}, 0)
+	cdc := profiler.NewCDC(o, cog)
+	buf.Replay(cdc)
+	cdc.Finish()
+
+	if cog.Detector().NumPhases() < 2 {
+		t.Fatalf("detected %d phases, want >= 2 (%s)", cog.Detector().NumPhases(), cog.Detector())
+	}
+	profiles := cog.Profiles("phased")
+	if len(profiles) != cog.Detector().NumPhases() {
+		t.Errorf("%d profiles for %d phases", len(profiles), cog.Detector().NumPhases())
+	}
+	var total uint64
+	for _, p := range profiles {
+		total += p.Records
+	}
+	want := trace.Collect(buf.Events).Accesses
+	if total != want {
+		t.Errorf("per-phase records sum to %d, trace has %d", total, want)
+	}
+}
+
+func TestCognizantAtLeastMonolithicCapture(t *testing.T) {
+	// On a phase-rich benchmark, phase-cognizant collection must capture
+	// at least as much as the monolithic profile (its streams are strictly
+	// more homogeneous).
+	prog, err := workloads.New("256.bzip2", workloads.Config{Scale: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := &trace.Buffer{}
+	memsim.Run(prog, buf)
+
+	mono := leap.New(nil, 0)
+	buf.Replay(mono)
+	monoAcc, _ := mono.Profile("bzip2").SampleQuality()
+
+	o := omc.New(nil)
+	cog := NewCognizantLEAP(Config{IntervalLen: 4096}, 0)
+	cdc := profiler.NewCDC(o, cog)
+	buf.Replay(cdc)
+	cdc.Finish()
+	cogAcc, records := Quality(cog.Profiles("bzip2"))
+
+	if records != mono.Profile("bzip2").Records {
+		t.Fatalf("record counts differ: %d vs %d", records, mono.Profile("bzip2").Records)
+	}
+	if cogAcc+1 < monoAcc { // tolerate a point of interval-boundary noise
+		t.Errorf("phase-cognizant capture %.1f%% below monolithic %.1f%%", cogAcc, monoAcc)
+	}
+	t.Logf("capture: monolithic %.1f%%, phase-cognizant %.1f%% (%s)", monoAcc, cogAcc, cog.Detector())
+}

@@ -1,0 +1,113 @@
+package phase
+
+// Phase prediction, the second half of the §6 citation (Sherwood, Sair and
+// Calder track *and predict* phases): given the phase of the current
+// interval, predict the next interval's phase so the profiler can switch
+// configuration (e.g., select the right per-phase LEAP collector) before
+// the interval runs rather than after.
+
+// Predictor is a second-order Markov predictor over phase IDs: the most
+// frequent successor of the last *two* phases, falling back to first-order
+// and then to last-phase prediction (Sherwood's baseline) while the longer
+// context is still unseen. Second order matters because phase sequences are
+// typically run patterns like A A B B …, on which the pair context is
+// deterministic while single-phase context is a coin flip.
+type Predictor struct {
+	second map[[2]int]map[int]uint64
+	first  map[int]map[int]uint64
+	last   [2]int
+	seen   int // how many observations so far (bounds context validity)
+
+	predictions uint64
+	correct     uint64
+}
+
+// NewPredictor returns an empty predictor.
+func NewPredictor() *Predictor {
+	return &Predictor{
+		second: make(map[[2]int]map[int]uint64),
+		first:  make(map[int]map[int]uint64),
+	}
+}
+
+// argmax returns the most frequent successor in row, with deterministic
+// tie-breaking toward fallback and then the smaller ID.
+func argmax(row map[int]uint64, fallback int) (int, bool) {
+	if len(row) == 0 {
+		return fallback, false
+	}
+	best, bestN, have := fallback, row[fallback], row[fallback] > 0
+	for next, n := range row {
+		if !have || n > bestN || (n == bestN && next < best) {
+			best, bestN, have = next, n, true
+		}
+	}
+	return best, true
+}
+
+// Predict returns the predicted next phase given the history so far.
+func (p *Predictor) Predict() int {
+	if p.seen == 0 {
+		return 0
+	}
+	lastPhase := p.last[1]
+	if p.seen >= 2 {
+		if next, ok := argmax(p.second[p.last], lastPhase); ok {
+			return next
+		}
+	}
+	if next, ok := argmax(p.first[lastPhase], lastPhase); ok {
+		return next
+	}
+	return lastPhase
+}
+
+// Observe feeds the actual phase of the interval that just completed,
+// scoring the pending prediction and updating the transition tables.
+func (p *Predictor) Observe(actual int) {
+	if p.seen > 0 {
+		p.predictions++
+		if p.Predict() == actual {
+			p.correct++
+		}
+		row := p.first[p.last[1]]
+		if row == nil {
+			row = make(map[int]uint64)
+			p.first[p.last[1]] = row
+		}
+		row[actual]++
+		if p.seen >= 2 {
+			row2 := p.second[p.last]
+			if row2 == nil {
+				row2 = make(map[int]uint64)
+				p.second[p.last] = row2
+			}
+			row2[actual]++
+		}
+	}
+	p.last[0], p.last[1] = p.last[1], actual
+	p.seen++
+}
+
+// Accuracy reports the fraction of scored predictions that were correct
+// (1.0 when nothing has been predicted yet).
+func (p *Predictor) Accuracy() float64 {
+	if p.predictions == 0 {
+		return 1
+	}
+	return float64(p.correct) / float64(p.predictions)
+}
+
+// Predictions reports how many predictions were scored.
+func (p *Predictor) Predictions() uint64 { return p.predictions }
+
+// EvaluatePrediction replays a detector's interval sequence through a fresh
+// predictor and reports its accuracy — the offline measure of how
+// predictable the workload's phase behaviour is.
+func EvaluatePrediction(intervals []int) float64 {
+	p := NewPredictor()
+	for _, ph := range intervals {
+		p.Observe(ph)
+	}
+	return p.Accuracy()
+}

@@ -1,0 +1,88 @@
+package phase
+
+import (
+	"testing"
+
+	"ormprof/internal/memsim"
+	"ormprof/internal/trace"
+	"ormprof/internal/workloads"
+)
+
+func TestPredictorAlternation(t *testing.T) {
+	// A strict A B A B … pattern is perfectly predictable by a first-order
+	// Markov predictor after it has seen each transition once.
+	p := NewPredictor()
+	seq := []int{0, 1, 0, 1, 0, 1, 0, 1, 0, 1}
+	for _, ph := range seq {
+		p.Observe(ph)
+	}
+	// 9 scored predictions; the first two transitions are unseen, the
+	// remaining 7 are predicted correctly.
+	if p.Predictions() != 9 {
+		t.Fatalf("predictions = %d", p.Predictions())
+	}
+	if acc := p.Accuracy(); acc < 7.0/9-1e-9 {
+		t.Errorf("accuracy = %v, want >= 7/9", acc)
+	}
+}
+
+func TestPredictorSteadyPhase(t *testing.T) {
+	p := NewPredictor()
+	for i := 0; i < 50; i++ {
+		p.Observe(3)
+	}
+	if p.Accuracy() != 1.0 {
+		t.Errorf("steady phase accuracy = %v", p.Accuracy())
+	}
+}
+
+func TestPredictorUnprimed(t *testing.T) {
+	p := NewPredictor()
+	if p.Predict() != 0 || p.Accuracy() != 1.0 {
+		t.Error("unprimed predictor defaults wrong")
+	}
+}
+
+func TestEvaluatePrediction(t *testing.T) {
+	if acc := EvaluatePrediction([]int{0, 0, 0, 0}); acc != 1.0 {
+		t.Errorf("steady accuracy = %v", acc)
+	}
+	if acc := EvaluatePrediction(nil); acc != 1.0 {
+		t.Errorf("empty accuracy = %v", acc)
+	}
+	// Repeating block pattern: highly predictable.
+	var seq []int
+	for i := 0; i < 20; i++ {
+		seq = append(seq, 0, 0, 1, 1)
+	}
+	if acc := EvaluatePrediction(seq); acc < 0.7 {
+		t.Errorf("block pattern accuracy = %v", acc)
+	}
+}
+
+func TestPredictionOnRealWorkload(t *testing.T) {
+	// bzip2's block pipeline gives a repeating phase sequence that the
+	// Markov predictor should predict well above chance.
+	prog, err := workloads.New("256.bzip2", workloads.Config{Scale: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := &trace.Buffer{}
+	memsim.Run(prog, buf)
+
+	d := NewDetector(Config{IntervalLen: 4096})
+	for _, e := range buf.Events {
+		if e.Kind == trace.EvAccess {
+			d.Observe(e.Instr)
+		}
+	}
+	d.Finish()
+
+	acc := EvaluatePrediction(d.Intervals())
+	chance := 1.0 / float64(d.NumPhases())
+	if acc <= chance {
+		t.Errorf("prediction accuracy %.2f not above chance %.2f (%s)", acc, chance, d)
+	}
+	t.Logf("phase prediction accuracy %.0f%% over %d intervals, %d phases",
+		100*acc, len(d.Intervals()), d.NumPhases())
+}

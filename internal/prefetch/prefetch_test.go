@@ -1,0 +1,107 @@
+package prefetch
+
+import (
+	"testing"
+
+	"ormprof/internal/cachesim"
+	"ormprof/internal/leap"
+	"ormprof/internal/memsim"
+	"ormprof/internal/profiler"
+	"ormprof/internal/trace"
+	"ormprof/internal/workloads"
+)
+
+// streamingTrace: a large array swept once with a 64-byte stride — every
+// access is a cold miss without prefetching; with stride prefetching the
+// demand misses collapse.
+func streamingTrace() *trace.Buffer {
+	buf := &trace.Buffer{}
+	m := memsim.New(buf)
+	m.Start()
+	const n = 4096
+	arr := m.Alloc(1, n*64)
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < n; i++ {
+			m.Load(1, arr+trace.Addr(i*64), 8)
+		}
+	}
+	m.Free(arr)
+	m.End()
+	return buf
+}
+
+func TestPrefetchRemovesStreamingMisses(t *testing.T) {
+	buf := streamingTrace()
+	lp := leap.New(nil, 0)
+	buf.Replay(lp)
+	profile := lp.Profile("stream")
+	recs, o := profiler.TranslateTrace(buf.Events, nil)
+
+	plan, res := EvaluateProfile(recs, o, profile, cachesim.L1D)
+	if _, ok := plan[1]; !ok {
+		t.Fatalf("instruction 1 not planned: %v", plan.Instrs())
+	}
+	// The 4096-line array doesn't fit a 512-line L1: both passes miss
+	// every line without prefetching.
+	if res.Baseline.Misses < 8000 {
+		t.Fatalf("baseline misses = %d, expected streaming misses", res.Baseline.Misses)
+	}
+	if red := res.MissReduction(); red < 90 {
+		t.Errorf("prefetching removed only %.1f%% of misses (%d -> %d)",
+			red, res.Baseline.Misses, res.Prefetched.Misses)
+	}
+	if acc := res.Accuracy(); acc < 0.9 {
+		t.Errorf("prefetch accuracy = %.2f", acc)
+	}
+}
+
+func TestPlanSkipsSmallStrides(t *testing.T) {
+	buf := &trace.Buffer{}
+	m := memsim.New(buf)
+	m.Start()
+	arr := m.Alloc(1, 4096)
+	for i := 0; i < 512; i++ {
+		m.Load(1, arr+trace.Addr(i), 1) // stride 1: stays in-line for 64 iters
+	}
+	m.Free(arr)
+	m.End()
+	lp := leap.New(nil, 0)
+	buf.Replay(lp)
+	plan := BuildPlan(lp.Profile("tiny"), 64, 16)
+	if len(plan) != 0 {
+		t.Errorf("stride-1 lookahead-16 should not be planned (16 < one line): %v", plan.Instrs())
+	}
+	// With a longer lookahead it becomes worth planning.
+	plan = BuildPlan(lp.Profile("tiny"), 64, 128)
+	if _, ok := plan[1]; !ok {
+		t.Errorf("stride-1 lookahead-128 should be planned")
+	}
+}
+
+func TestPrefetchOnBenchmark(t *testing.T) {
+	// On vpr (strided sweeps over cells/bboxes), LEAP-directed prefetching
+	// must not increase demand misses and should remove a visible share.
+	prog, err := workloads.New("175.vpr", workloads.Config{Scale: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := &trace.Buffer{}
+	memsim.Run(prog, buf)
+	lp := leap.New(nil, 0)
+	buf.Replay(lp)
+	recs, o := profiler.TranslateTrace(buf.Events, nil)
+
+	_, res := EvaluateProfile(recs, o, lp.Profile("vpr"), cachesim.L1D)
+	if res.Prefetched.Misses > res.Baseline.Misses {
+		t.Errorf("prefetching increased misses: %d -> %d", res.Baseline.Misses, res.Prefetched.Misses)
+	}
+	t.Logf("vpr: %d -> %d demand misses (%.1f%% reduction, %.0f%% accuracy, %d issued)",
+		res.Baseline.Misses, res.Prefetched.Misses, res.MissReduction(), 100*res.Accuracy(), res.Issued)
+}
+
+func TestResultZeroSafety(t *testing.T) {
+	var r Result
+	if r.MissReduction() != 0 || r.Accuracy() != 0 {
+		t.Error("zero result should report zeros")
+	}
+}

@@ -1,0 +1,99 @@
+package profiler
+
+import (
+	"sync"
+
+	"ormprof/internal/trace"
+)
+
+// Async decouples the instrumented program from the profiling pipeline the
+// way the paper's implementation does (§3.1: "Interactions between the
+// instrumented program and the CDC/OMC components take place via
+// thread-to-thread communication", §4.2.3: "used multiple threads to
+// collect and analyze data"). Probe events are batched into a buffered
+// channel; a collector goroutine drains them into the downstream sink
+// (typically a CDC). Close flushes and joins.
+//
+// Because the downstream sink runs in exactly one goroutine, it needs no
+// locking, and event order is preserved — the profile is identical to a
+// synchronous run (asserted in tests).
+type Async struct {
+	downstream trace.Sink
+
+	batch   []trace.Event
+	ch      chan []trace.Event
+	done    sync.WaitGroup
+	pool    sync.Pool
+	closed  bool
+	batchSz int
+}
+
+// asyncBatchSize balances channel traffic against latency; one synchronizing
+// send per 512 events keeps the probe-side overhead small.
+const asyncBatchSize = 512
+
+// asyncQueueDepth bounds memory when the collector falls behind; the probe
+// side blocks once the queue is full, exactly like a bounded pipe between
+// threads.
+const asyncQueueDepth = 64
+
+// NewAsync starts the collector goroutine draining into downstream.
+func NewAsync(downstream trace.Sink) *Async {
+	a := &Async{
+		downstream: downstream,
+		ch:         make(chan []trace.Event, asyncQueueDepth),
+		batchSz:    asyncBatchSize,
+		pool: sync.Pool{New: func() any {
+			s := make([]trace.Event, 0, asyncBatchSize)
+			return &s
+		}},
+	}
+	a.batch = (*a.pool.Get().(*[]trace.Event))[:0]
+	a.done.Add(1)
+	go a.collect()
+	return a
+}
+
+func (a *Async) collect() {
+	defer a.done.Done()
+	for batch := range a.ch {
+		for _, e := range batch {
+			a.downstream.Emit(e)
+		}
+		b := batch[:0]
+		a.pool.Put(&b)
+	}
+}
+
+// Emit implements trace.Sink. It must be called from a single producer
+// goroutine (the instrumented program), matching the paper's
+// one-program/one-collector structure.
+func (a *Async) Emit(e trace.Event) {
+	if a.closed {
+		panic("profiler: Emit after Close")
+	}
+	a.batch = append(a.batch, e)
+	if len(a.batch) == a.batchSz {
+		a.flush()
+	}
+}
+
+func (a *Async) flush() {
+	if len(a.batch) == 0 {
+		return
+	}
+	a.ch <- a.batch
+	a.batch = (*a.pool.Get().(*[]trace.Event))[:0]
+}
+
+// Close flushes outstanding events and waits for the collector to finish.
+// The downstream sink is safe to read afterwards.
+func (a *Async) Close() {
+	if a.closed {
+		return
+	}
+	a.closed = true
+	a.flush()
+	close(a.ch)
+	a.done.Wait()
+}

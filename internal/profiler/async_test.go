@@ -1,0 +1,113 @@
+package profiler_test
+
+import (
+	"testing"
+
+	"ormprof/internal/leap"
+	"ormprof/internal/memsim"
+	"ormprof/internal/profiler"
+	"ormprof/internal/trace"
+	"ormprof/internal/whomp"
+	"ormprof/internal/workloads"
+)
+
+func TestAsyncPreservesOrder(t *testing.T) {
+	var got trace.Buffer
+	a := profiler.NewAsync(&got)
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		a.Emit(trace.Event{Kind: trace.EvAccess, Time: trace.Time(i), Instr: trace.InstrID(i % 7), Addr: trace.Addr(i)})
+	}
+	a.Close()
+	if got.Len() != n {
+		t.Fatalf("collected %d events, want %d", got.Len(), n)
+	}
+	for i, e := range got.Events {
+		if e.Time != trace.Time(i) {
+			t.Fatalf("event %d out of order: time %d", i, e.Time)
+		}
+	}
+}
+
+func TestAsyncIdenticalProfiles(t *testing.T) {
+	// A WHOMP profile collected through the threaded pipeline must be
+	// identical to one collected synchronously.
+	prog := workloads.NewLinkedList(workloads.Config{Scale: 2, Seed: 4})
+	buf := &trace.Buffer{}
+	m := memsim.Run(prog, buf)
+	sites := m.StaticSites()
+
+	sync := whomp.New(sites)
+	buf.Replay(sync)
+	syncProfile := sync.Profile("ll")
+
+	asyncP := whomp.New(sites)
+	a := profiler.NewAsync(asyncP)
+	buf.Replay(a)
+	a.Close()
+	asyncProfile := asyncP.Profile("ll")
+
+	if syncProfile.Records != asyncProfile.Records {
+		t.Fatalf("records: %d vs %d", syncProfile.Records, asyncProfile.Records)
+	}
+	if syncProfile.Symbols() != asyncProfile.Symbols() {
+		t.Errorf("grammar sizes differ: %d vs %d", syncProfile.Symbols(), asyncProfile.Symbols())
+	}
+	i1, a1, err := syncProfile.ReconstructAccesses()
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, a2, err := asyncProfile.ReconstructAccesses()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range i1 {
+		if i1[i] != i2[i] || a1[i] != a2[i] {
+			t.Fatalf("reconstructed access %d differs", i)
+		}
+	}
+}
+
+func TestAsyncCloseIdempotent(t *testing.T) {
+	a := profiler.NewAsync(trace.Discard)
+	a.Emit(trace.Event{Kind: trace.EvAccess})
+	a.Close()
+	a.Close() // must not panic or deadlock
+}
+
+func TestAsyncEmitAfterClosePanics(t *testing.T) {
+	a := profiler.NewAsync(trace.Discard)
+	a.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("Emit after Close should panic")
+		}
+	}()
+	a.Emit(trace.Event{})
+}
+
+func BenchmarkAsyncVsSyncLEAP(b *testing.B) {
+	prog, err := workloads.New("197.parser", workloads.Config{Scale: 1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := &trace.Buffer{}
+	memsim.Run(prog, buf)
+
+	b.Run("sync", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := leap.New(nil, 0)
+			buf.Replay(p)
+			p.Profile("x")
+		}
+	})
+	b.Run("async", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := leap.New(nil, 0)
+			a := profiler.NewAsync(p)
+			buf.Replay(a)
+			a.Close()
+			p.Profile("x")
+		}
+	})
+}

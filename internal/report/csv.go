@@ -1,0 +1,25 @@
+package report
+
+import (
+	"encoding/csv"
+	"io"
+)
+
+// WriteCSV emits the table in CSV form (header row first), for feeding
+// results into external plotting tools.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.header); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		// Pad short rows so every record has the header's width.
+		padded := make([]string, len(t.header))
+		copy(padded, row)
+		if err := cw.Write(padded); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,128 @@
+// Package report renders the experiment results as plain-text tables and
+// bar charts, shared by the command-line tools and the benchmark harness.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; cells beyond the header width are dropped.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.header) {
+		cells = cells[:len(t.header)]
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// AddRowf appends a row of formatted cells: each argument is rendered with
+// %v except float64, which gets two decimals.
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.AddRow(row...)
+}
+
+// WriteTo renders the table.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var total int64
+	line := func(cells []string) error {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		n, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		total += int64(n)
+		return err
+	}
+	if err := line(t.header); err != nil {
+		return total, err
+	}
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(sep); err != nil {
+		return total, err
+	}
+	for _, r := range t.rows {
+		if err := line(r); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.WriteTo(&b) //nolint:errcheck // strings.Builder never fails
+	return b.String()
+}
+
+// BarChart renders labelled horizontal bars scaled to maxWidth characters,
+// used for the error-distribution figures.
+func BarChart(w io.Writer, labels []string, values []float64, maxWidth int) {
+	if maxWidth <= 0 {
+		maxWidth = 50
+	}
+	maxVal := 0.0
+	for _, v := range values {
+		if v > maxVal {
+			maxVal = v
+		}
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	for i, v := range values {
+		bar := 0
+		if maxVal > 0 {
+			bar = int(v / maxVal * float64(maxWidth))
+		}
+		fmt.Fprintf(w, "%*s | %s %.1f%%\n", labelW, labels[i], strings.Repeat("#", bar), 100*v)
+	}
+}
+
+// Pct formats a percentage with one decimal.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+
+// Ratio formats a compression ratio like Table 1 ("3539x").
+func Ratio(v float64) string { return fmt.Sprintf("%.0fx", v) }

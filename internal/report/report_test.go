@@ -1,0 +1,94 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tbl := NewTable("Name", "Value")
+	tbl.AddRow("short", "1")
+	tbl.AddRow("a-much-longer-name", "23456")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Name") {
+		t.Errorf("header line: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Errorf("separator line: %q", lines[1])
+	}
+	// The Value column must start at the same offset on every row.
+	idx := strings.Index(lines[0], "Value")
+	if !strings.Contains(lines[3][idx:], "23456") {
+		t.Errorf("misaligned column:\n%s", out)
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tbl := NewTable("A", "B", "C")
+	tbl.AddRowf("x", 3.14159, 42)
+	out := tbl.String()
+	if !strings.Contains(out, "3.14") || strings.Contains(out, "3.14159") {
+		t.Errorf("float formatting: %q", out)
+	}
+	if !strings.Contains(out, "42") {
+		t.Errorf("int formatting: %q", out)
+	}
+}
+
+func TestTableExtraCellsDropped(t *testing.T) {
+	tbl := NewTable("A")
+	tbl.AddRow("x", "dropped")
+	if strings.Contains(tbl.String(), "dropped") {
+		t.Error("extra cell not dropped")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	var b strings.Builder
+	BarChart(&b, []string{"a", "bb"}, []float64{0.5, 1.0}, 10)
+	out := b.String()
+	if !strings.Contains(out, "##########") {
+		t.Errorf("max bar not full width:\n%s", out)
+	}
+	if !strings.Contains(out, "#####") {
+		t.Errorf("half bar missing:\n%s", out)
+	}
+	if !strings.Contains(out, "50.0%") || !strings.Contains(out, "100.0%") {
+		t.Errorf("percentages missing:\n%s", out)
+	}
+}
+
+func TestBarChartZeroValues(t *testing.T) {
+	var b strings.Builder
+	BarChart(&b, []string{"a"}, []float64{0}, 0)
+	if !strings.Contains(b.String(), "0.0%") {
+		t.Error("zero bar not rendered")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(12.345) != "12.3%" {
+		t.Errorf("Pct = %q", Pct(12.345))
+	}
+	if Ratio(3539.4) != "3539x" {
+		t.Errorf("Ratio = %q", Ratio(3539.4))
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tbl := NewTable("A", "B")
+	tbl.AddRow("x", "1")
+	tbl.AddRow("y") // short row: padded
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "A,B\nx,1\ny,\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}

@@ -1,0 +1,188 @@
+package sequitur
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Grammar serialization: a compact varint wire format used both to persist
+// WHOMP profiles and to measure compressed profile size in bytes.
+//
+// Layout:
+//
+//	uvarint  ruleCount
+//	per rule, in ascending rule-ID order:
+//	  uvarint  bodyLen
+//	  per symbol:
+//	    uvarint  tag = value*2 + isRule
+//	             (terminals store the raw value; non-terminals store the
+//	             rule's *index* in the serialized order, so decoding needs
+//	             no ID table)
+//
+// Terminal values must fit in 63 bits so the tag does not overflow. Every
+// symbol a memory profiler compresses (instruction IDs, group IDs, object
+// serials, offsets, virtual addresses) is far below 2^63.
+//
+// Rule IDs are not preserved across a round trip — only structure is, which
+// is all losslessness requires.
+
+// EncodedSize returns the exact size in bytes of Encode's output without
+// materializing it.
+func (g *Grammar) EncodedSize() int {
+	ids := g.RuleIDs()
+	idx := make(map[uint32]uint64, len(ids))
+	for i, id := range ids {
+		idx[id] = uint64(i)
+	}
+	n := uvarintLen(uint64(len(ids)))
+	for _, id := range ids {
+		r := g.rules[id]
+		n += uvarintLen(uint64(r.Len()))
+		for s := r.first(); !s.guard; s = s.next {
+			if s.rule != nil {
+				n += uvarintLen(idx[s.rule.ID]*2 + 1)
+			} else {
+				n += uvarintLen(s.term * 2)
+			}
+		}
+	}
+	return n
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// Encode serializes the grammar.
+func (g *Grammar) Encode() []byte {
+	ids := g.RuleIDs()
+	idx := make(map[uint32]uint64, len(ids))
+	for i, id := range ids {
+		idx[id] = uint64(i)
+	}
+	buf := make([]byte, 0, g.EncodedSize())
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	for _, id := range ids {
+		r := g.rules[id]
+		buf = binary.AppendUvarint(buf, uint64(r.Len()))
+		for s := r.first(); !s.guard; s = s.next {
+			if s.rule != nil {
+				buf = binary.AppendUvarint(buf, idx[s.rule.ID]*2+1)
+			} else {
+				buf = binary.AppendUvarint(buf, s.term*2)
+			}
+		}
+	}
+	return buf
+}
+
+// Decoded is a grammar read back from its serialized form: rule bodies by
+// serialized index, with index 0 the start rule.
+type Decoded struct {
+	Rules [][]Sym
+}
+
+// ErrCorrupt reports a malformed serialized grammar.
+var ErrCorrupt = errors.New("sequitur: corrupt serialized grammar")
+
+// Decode parses the output of Encode.
+func Decode(buf []byte) (*Decoded, error) {
+	ruleCount, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: rule count", ErrCorrupt)
+	}
+	buf = buf[n:]
+	// Every rule needs at least one byte (its body length), so a count
+	// beyond the remaining input is corrupt — and must be rejected before
+	// it reaches make.
+	if ruleCount > uint64(len(buf)) {
+		return nil, fmt.Errorf("%w: rule count %d exceeds input", ErrCorrupt, ruleCount)
+	}
+	d := &Decoded{Rules: make([][]Sym, ruleCount)}
+	for i := range d.Rules {
+		bodyLen, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: body length of rule %d", ErrCorrupt, i)
+		}
+		buf = buf[n:]
+		// Each symbol costs at least one byte.
+		if bodyLen > uint64(len(buf)) {
+			return nil, fmt.Errorf("%w: rule %d body length %d exceeds input", ErrCorrupt, i, bodyLen)
+		}
+		body := make([]Sym, bodyLen)
+		for j := range body {
+			tag, n := binary.Uvarint(buf)
+			if n <= 0 {
+				return nil, fmt.Errorf("%w: symbol %d of rule %d", ErrCorrupt, j, i)
+			}
+			buf = buf[n:]
+			if tag&1 == 1 {
+				ref := tag >> 1
+				if ref >= ruleCount {
+					return nil, fmt.Errorf("%w: rule %d references out-of-range rule %d", ErrCorrupt, i, ref)
+				}
+				body[j] = Sym{Value: ref, IsRule: true}
+			} else {
+				body[j] = Sym{Value: tag >> 1}
+			}
+		}
+		d.Rules[i] = body
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(buf))
+	}
+	return d, nil
+}
+
+// Expand regenerates the original sequence from a decoded grammar.
+// It returns ErrCorrupt if expansion recurses through a rule cycle.
+func (d *Decoded) Expand() ([]uint64, error) {
+	return d.ExpandLimit(0)
+}
+
+// ExpandLimit is Expand with an output cap: a decoded grammar from an
+// untrusted source can be a "zip bomb" (n nested rules expand to 2ⁿ
+// symbols), so readers must bound the expansion. max ≤ 0 means unlimited.
+func (d *Decoded) ExpandLimit(max int) ([]uint64, error) {
+	if len(d.Rules) == 0 {
+		return nil, nil
+	}
+	var out []uint64
+	const (
+		unvisited = 0
+		inStack   = 1
+		done      = 2
+	)
+	state := make([]uint8, len(d.Rules))
+	var walk func(idx uint64) error
+	walk = func(idx uint64) error {
+		if state[idx] == inStack {
+			return fmt.Errorf("%w: rule cycle through %d", ErrCorrupt, idx)
+		}
+		state[idx] = inStack
+		for _, s := range d.Rules[idx] {
+			if s.IsRule {
+				if err := walk(s.Value); err != nil {
+					return err
+				}
+			} else {
+				if max > 0 && len(out) >= max {
+					return fmt.Errorf("%w: expansion exceeds %d symbols", ErrCorrupt, max)
+				}
+				out = append(out, s.Value)
+			}
+		}
+		state[idx] = done
+		return nil
+	}
+	if err := walk(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

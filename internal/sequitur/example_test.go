@@ -1,0 +1,30 @@
+package sequitur_test
+
+import (
+	"fmt"
+
+	"ormprof/internal/sequitur"
+)
+
+// The paper's §3.1 example: "abcbcabcbc" compresses to
+// S → AA; A → aBB; B → bc.
+func Example() {
+	g := sequitur.New()
+	for _, c := range "abcbcabcbc" {
+		g.Append(uint64(c))
+	}
+	fmt.Println("rules:", g.NumRules())
+	fmt.Println("grammar symbols:", g.Symbols())
+
+	// Losslessness: the grammar expands back to the input.
+	out := g.Expand()
+	s := make([]rune, len(out))
+	for i, v := range out {
+		s[i] = rune(v)
+	}
+	fmt.Println("expands to:", string(s))
+	// Output:
+	// rules: 3
+	// grammar symbols: 7
+	// expands to: abcbcabcbc
+}

@@ -1,0 +1,72 @@
+package sequitur
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzRoundTrip drives the full build → encode → decode → expand chain with
+// arbitrary byte sequences (mapped to a small alphabet to force heavy rule
+// churn) and checks losslessness plus grammar invariants.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte("abcbcabcbc"))
+	f.Add([]byte("aaaaaaaaaa"))
+	f.Add([]byte("abbbabcbb"))
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 0, 1, 0, 1, 0})
+	f.Add(bytes.Repeat([]byte{7, 7, 3}, 40))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in := make([]uint64, len(data))
+		for i, b := range data {
+			in[i] = uint64(b % 7)
+		}
+		g := New()
+		g.AppendAll(in)
+		if err := g.CheckInvariants(); err != nil {
+			t.Fatalf("invariants: %v", err)
+		}
+		out := g.Expand()
+		if len(in) == 0 {
+			if len(out) != 0 {
+				t.Fatal("empty input expanded to symbols")
+			}
+			return
+		}
+		if !reflect.DeepEqual(out, in) {
+			t.Fatal("expand mismatch")
+		}
+		dec, err := Decode(g.Encode())
+		if err != nil {
+			t.Fatalf("decode of own encoding: %v", err)
+		}
+		out2, err := dec.Expand()
+		if err != nil {
+			t.Fatalf("expand of decoded grammar: %v", err)
+		}
+		if !reflect.DeepEqual(out2, in) {
+			t.Fatal("decode/expand mismatch")
+		}
+	})
+}
+
+// FuzzDecode feeds arbitrary bytes to the grammar decoder: it must reject
+// or accept without panicking, and anything accepted must expand or report
+// a cycle error.
+func FuzzDecode(f *testing.F) {
+	g := New()
+	g.AppendAll([]uint64{1, 2, 1, 2, 3, 1, 2})
+	f.Add(g.Encode())
+	f.Add([]byte{})
+	f.Add([]byte{1, 1, 1})
+	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255, 255, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := Decode(data)
+		if err != nil {
+			return
+		}
+		dec.Expand() //nolint:errcheck // must only not panic
+	})
+}

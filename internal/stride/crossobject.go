@@ -1,0 +1,101 @@
+package stride
+
+import (
+	"ormprof/internal/leap"
+	"ormprof/internal/omc"
+	"ormprof/internal/trace"
+)
+
+// FromLEAPCrossObject implements the extension sketched at the end of
+// §4.2.2: strongly strided instructions *across* objects, recovered by
+// combining the LEAP descriptors with the OMC's auxiliary object lifetime
+// information (which is run- and allocator-dependent, as the paper notes —
+// the resulting strides hold for this run's layout).
+//
+// A descriptor whose object serial advances by a constant step corresponds
+// to a constant *address* stride exactly when the underlying objects are
+// evenly spaced in memory (e.g. same-site records laid out back to back by
+// the allocator). The object table tells us the realized spacing, so each
+// cross-object descriptor contributes its realized address strides to the
+// instruction's histogram alongside the within-object strides.
+func FromLEAPCrossObject(p *leap.Profile, table ObjectLocator) map[trace.InstrID]Info {
+	hist := make(map[trace.InstrID]map[int64]uint64)
+	events := make(map[trace.InstrID]uint64)
+	add := func(id trace.InstrID, stride int64, n uint64) {
+		h := hist[id]
+		if h == nil {
+			h = make(map[int64]uint64, 4)
+			hist[id] = h
+		}
+		h[stride] += n
+	}
+	for _, k := range p.Keys() {
+		s := p.Streams[k]
+		for i := range s.OffsetLMADs {
+			l := &s.OffsetLMADs[i]
+			if l.Count < 2 {
+				continue
+			}
+			inPattern := uint64(l.Count-1) * uint64(l.Reps)
+			events[k.Instr] += inPattern + uint64(l.Reps-1)
+
+			objStride := l.Stride[leap.DimObject]
+			offStride := l.Stride[leap.DimOffset]
+			if objStride == 0 {
+				add(k.Instr, offStride, inPattern)
+				continue
+			}
+			// Cross-object: realize the address stride between each pair
+			// of consecutive points via the object table. If the spacing
+			// is uniform, all deltas collapse into one histogram bucket
+			// and the instruction can qualify as strongly strided.
+			if k.Group == omc.Unmapped {
+				continue
+			}
+			for j := uint32(0); j+1 < l.Count; j++ {
+				a0, ok0 := table.ObjectStart(k.Group, uint32(l.At(j, leap.DimObject)))
+				a1, ok1 := table.ObjectStart(k.Group, uint32(l.At(j+1, leap.DimObject)))
+				if !ok0 || !ok1 {
+					continue
+				}
+				delta := int64(a1) - int64(a0) + offStride
+				add(k.Instr, delta, uint64(l.Reps))
+			}
+		}
+	}
+	out := make(map[trace.InstrID]Info)
+	for id, h := range hist {
+		total := events[id]
+		if total < minSample {
+			continue
+		}
+		stride, count := dominant(h)
+		frac := float64(count) / float64(total)
+		if frac >= StrongThreshold {
+			out[id] = Info{Stride: stride, Frac: frac}
+		}
+	}
+	return out
+}
+
+// ObjectLocator resolves an object's start address from the auxiliary
+// object table. *omc.OMC satisfies it via the adapter below; profile
+// consumers working from a serialized WHOMP object table can supply their
+// own.
+type ObjectLocator interface {
+	ObjectStart(g omc.GroupID, serial uint32) (trace.Addr, bool)
+}
+
+// OMCLocator adapts an OMC to the ObjectLocator interface.
+type OMCLocator struct {
+	OMC *omc.OMC
+}
+
+// ObjectStart implements ObjectLocator.
+func (l OMCLocator) ObjectStart(g omc.GroupID, serial uint32) (trace.Addr, bool) {
+	info := l.OMC.Lookup(g, serial)
+	if info == nil {
+		return 0, false
+	}
+	return info.Start, true
+}

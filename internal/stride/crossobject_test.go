@@ -1,0 +1,125 @@
+package stride
+
+import (
+	"testing"
+
+	"ormprof/internal/leap"
+	"ormprof/internal/memsim"
+	"ormprof/internal/trace"
+)
+
+// TestCrossObjectStrideRecovered: an instruction sweeping over a field of
+// consecutively allocated same-size records strides across objects. The
+// base post-process misses it (object stride ≠ 0); the cross-object
+// extension recovers it via the object table.
+func TestCrossObjectStrideRecovered(t *testing.T) {
+	buf := &trace.Buffer{}
+	m := memsim.New(buf, memsim.WithAllocator(memsim.NewBumpAllocator()))
+	m.Start()
+	const n = 64
+	recs := make([]trace.Addr, n)
+	for i := range recs {
+		recs[i] = m.Alloc(1, 32) // bump allocator: evenly spaced
+	}
+	// Five sweeps: instruction 1 reads field at offset 8 of every record.
+	for pass := 0; pass < 5; pass++ {
+		for i := 0; i < n; i++ {
+			m.Load(1, recs[i]+8, 8)
+		}
+	}
+	for _, r := range recs {
+		m.Free(r)
+	}
+	m.End()
+
+	// The raw-address reference sees the stride (records are 32 B apart).
+	ideal := NewIdeal()
+	buf.Replay(ideal)
+	real := ideal.StronglyStrided()
+	if info, ok := real[1]; !ok || info.Stride != 32 {
+		t.Fatalf("ideal should see stride 32: %+v %v", info, ok)
+	}
+
+	lp := leap.New(nil, 0)
+	buf.Replay(lp)
+	profile := lp.Profile("cross")
+
+	// Base post-process: within-object only — must miss it.
+	if base := FromLEAP(profile); len(base) != 0 {
+		t.Errorf("within-object post-process unexpectedly found %v", base)
+	}
+
+	// Extension: recovers the realized 32-byte stride.
+	ext := FromLEAPCrossObject(profile, OMCLocator{OMC: lp.OMC()})
+	info, ok := ext[1]
+	if !ok {
+		t.Fatalf("cross-object extension missed the instruction: %v", ext)
+	}
+	if info.Stride != 32 {
+		t.Errorf("stride = %d, want 32", info.Stride)
+	}
+	if Score(real, ext) != 100 {
+		t.Errorf("score = %v", Score(real, ext))
+	}
+}
+
+// TestCrossObjectKeepsWithinObjectResults: the extension must subsume the
+// base results on a within-object workload.
+func TestCrossObjectKeepsWithinObjectResults(t *testing.T) {
+	buf := &trace.Buffer{}
+	m := memsim.New(buf)
+	m.Start()
+	arr := m.Alloc(1, 4096)
+	for pass := 0; pass < 4; pass++ {
+		for i := 0; i < 256; i++ {
+			m.Load(1, arr+trace.Addr(i*16), 8)
+		}
+	}
+	m.Free(arr)
+	m.End()
+
+	lp := leap.New(nil, 0)
+	buf.Replay(lp)
+	profile := lp.Profile("within")
+
+	base := FromLEAP(profile)
+	ext := FromLEAPCrossObject(profile, OMCLocator{OMC: lp.OMC()})
+	for id, bi := range base {
+		ei, ok := ext[id]
+		if !ok || ei.Stride != bi.Stride {
+			t.Errorf("extension lost within-object instr %d: base %+v, ext %+v (%v)", id, bi, ei, ok)
+		}
+	}
+}
+
+// TestCrossObjectIrregularSpacingNotStrided: records at irregular spacing
+// must not be classified even though serials advance regularly.
+func TestCrossObjectIrregularSpacingNotStrided(t *testing.T) {
+	buf := &trace.Buffer{}
+	m := memsim.New(buf, memsim.WithAllocator(memsim.NewRandomizedAllocator(3)))
+	m.Start()
+	const n = 64
+	recs := make([]trace.Addr, n)
+	for i := range recs {
+		recs[i] = m.Alloc(1, 32) // randomized gaps: uneven spacing
+	}
+	for pass := 0; pass < 5; pass++ {
+		for i := 0; i < n; i++ {
+			m.Load(1, recs[i]+8, 8)
+		}
+	}
+	for _, r := range recs {
+		m.Free(r)
+	}
+	m.End()
+
+	lp := leap.New(nil, 0)
+	buf.Replay(lp)
+	profile := lp.Profile("uneven")
+	ext := FromLEAPCrossObject(profile, OMCLocator{OMC: lp.OMC()})
+	if info, ok := ext[1]; ok && info.Frac >= StrongThreshold {
+		// It may appear only if the randomized allocator happened to place
+		// ≥70% of gaps equally, which the seed above does not.
+		t.Errorf("irregularly spaced records classified as strongly strided: %+v", info)
+	}
+}

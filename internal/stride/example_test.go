@@ -1,0 +1,35 @@
+package stride_test
+
+import (
+	"fmt"
+
+	"ormprof/internal/leap"
+	"ormprof/internal/memsim"
+	"ormprof/internal/stride"
+	"ormprof/internal/trace"
+)
+
+// Identify a strongly strided instruction from a LEAP profile: instruction
+// 1 sweeps an array with stride 16 on every execution.
+func Example() {
+	buf := &trace.Buffer{}
+	m := memsim.New(buf)
+	m.Start()
+	arr := m.Alloc(1, 2048)
+	for pass := 0; pass < 4; pass++ {
+		for i := 0; i < 128; i++ {
+			m.Load(1, arr+trace.Addr(i*16), 8)
+		}
+	}
+	m.Free(arr)
+	m.End()
+
+	lp := leap.New(nil, 0)
+	buf.Replay(lp)
+	strong := stride.FromLEAP(lp.Profile("sweep"))
+
+	info := strong[1]
+	fmt.Printf("instruction 1: stride %d, %.0f%% of accesses\n", info.Stride, 100*info.Frac)
+	// Output:
+	// instruction 1: stride 16, 99% of accesses
+}

@@ -1,0 +1,128 @@
+package stride
+
+import (
+	"testing"
+
+	"ormprof/internal/leap"
+	"ormprof/internal/memsim"
+	"ormprof/internal/trace"
+)
+
+func access(instr trace.InstrID, addr trace.Addr, tm trace.Time) trace.Event {
+	return trace.Event{Kind: trace.EvAccess, Instr: instr, Addr: addr, Size: 8, Time: tm}
+}
+
+func TestIdealStronglyStrided(t *testing.T) {
+	p := NewIdeal()
+	now := trace.Time(0)
+	// Instruction 1: perfect stride 8.
+	for i := 0; i < 100; i++ {
+		p.Emit(access(1, trace.Addr(0x1000+i*8), now))
+		now++
+	}
+	// Instruction 2: stride 4 for 80% of accesses, jumps otherwise.
+	for i := 0; i < 100; i++ {
+		base := 0x2000 + (i/10)*1000 + (i%10)*4
+		p.Emit(access(2, trace.Addr(base), now))
+		now++
+	}
+	// Instruction 3: alternating strides (not strongly strided).
+	for i := 0; i < 100; i++ {
+		d := 8
+		if i%2 == 0 {
+			d = 24
+		}
+		p.Emit(access(3, trace.Addr(0x9000+i*d), now))
+		now++
+	}
+
+	strong := p.StronglyStrided()
+	if info, ok := strong[1]; !ok || info.Stride != 8 || info.Frac < 0.99 {
+		t.Errorf("instr 1: %+v, %v", info, ok)
+	}
+	if info, ok := strong[2]; !ok || info.Stride != 4 {
+		t.Errorf("instr 2: %+v, %v", info, ok)
+	}
+	if _, ok := strong[3]; ok {
+		t.Error("instr 3 should not be strongly strided")
+	}
+	if p.Execs()[1] != 100 {
+		t.Errorf("execs = %d", p.Execs()[1])
+	}
+}
+
+func TestIdealTinySamplesSkipped(t *testing.T) {
+	p := NewIdeal()
+	p.Emit(access(1, 0x1000, 0))
+	p.Emit(access(1, 0x1008, 1))
+	if len(p.StronglyStrided()) != 0 {
+		t.Error("2-access instruction classified")
+	}
+}
+
+func TestFromLEAPMatchesIdealOnStridedWorkload(t *testing.T) {
+	buf := &trace.Buffer{}
+	m := memsim.New(buf)
+	m.Start()
+	arr := m.Alloc(1, 4096)
+	// Instruction 1 sweeps the array 5 times with stride 16 (strongly
+	// strided within one object). Instruction 2 hits pseudo-random slots.
+	state := 1
+	for pass := 0; pass < 5; pass++ {
+		for i := 0; i < 256; i++ {
+			m.Load(1, arr+trace.Addr(i*16), 8)
+			state = (state*97 + 31) % 512
+			m.Load(2, arr+trace.Addr(state*8), 8)
+		}
+	}
+	m.Free(arr)
+	m.End()
+
+	ideal := NewIdeal()
+	buf.Replay(ideal)
+	real := ideal.StronglyStrided()
+	if info, ok := real[1]; !ok || info.Stride != 16 {
+		t.Fatalf("ideal missed instr 1: %+v %v", info, ok)
+	}
+
+	lp := leap.New(nil, 0)
+	buf.Replay(lp)
+	est := FromLEAP(lp.Profile("strided"))
+	if info, ok := est[1]; !ok || info.Stride != 16 {
+		t.Fatalf("LEAP missed instr 1: %+v %v (estimates: %v)", info, ok, est)
+	}
+	if _, ok := est[2]; ok {
+		t.Error("LEAP classified the random instruction as strongly strided")
+	}
+
+	if s := Score(real, est); s != 100 {
+		t.Errorf("Score = %v, want 100", s)
+	}
+}
+
+func TestScoreSemantics(t *testing.T) {
+	real := map[trace.InstrID]Info{
+		1: {Stride: 8},
+		2: {Stride: 16},
+		3: {Stride: 4},
+	}
+	est := map[trace.InstrID]Info{
+		1: {Stride: 8},  // hit
+		2: {Stride: 32}, // wrong stride: miss
+		9: {Stride: 8},  // extra: ignored by the score
+	}
+	if got := Score(real, est); got < 33.3 || got > 33.4 {
+		t.Errorf("Score = %v, want 33.3", got)
+	}
+	if Score(map[trace.InstrID]Info{}, est) != 100 {
+		t.Error("empty reference should score 100")
+	}
+}
+
+func TestSortedIDs(t *testing.T) {
+	m := map[trace.InstrID]Info{5: {}, 1: {}, 3: {}}
+	ids := SortedIDs(m)
+	if len(ids) != 3 || ids[0] != 1 || ids[1] != 3 || ids[2] != 5 {
+		t.Errorf("SortedIDs = %v", ids)
+	}
+}

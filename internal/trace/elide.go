@@ -1,0 +1,35 @@
+package trace
+
+// Elider drops the access events of instructions whose memory behaviour the
+// compiler already knows statically — the paper's first future-work item
+// (§6: "the compiler can improve profile performance by eliminating the
+// need to collect the information known statically"). A fully strided loop
+// over a known array needs no probes; its descriptor can be injected into
+// the profile afterwards (leap.InjectStatic). Object probes always pass.
+type Elider struct {
+	skip map[InstrID]bool
+	out  Sink
+
+	dropped uint64
+	kept    uint64
+}
+
+// NewElider forwards all events except accesses by the given instructions.
+func NewElider(skip map[InstrID]bool, out Sink) *Elider {
+	return &Elider{skip: skip, out: out}
+}
+
+// Emit implements Sink.
+func (e *Elider) Emit(ev Event) {
+	if ev.Kind == EvAccess && e.skip[ev.Instr] {
+		e.dropped++
+		return
+	}
+	if ev.Kind == EvAccess {
+		e.kept++
+	}
+	e.out.Emit(ev)
+}
+
+// Stats reports accesses dropped (statically known) and kept (profiled).
+func (e *Elider) Stats() (dropped, kept uint64) { return e.dropped, e.kept }

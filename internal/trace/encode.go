@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Trace file format ("collect once, profile many"): a compact binary event
+// log so traces can be captured once and replayed through any number of
+// profilers offline.
+//
+//	magic   "ORMTRACE"
+//	u8      version (1)
+//	events, each:
+//	  u8       kind (EvAccess | EvAlloc | EvFree) ORed with flag bits:
+//	           0x80 = store (access events only)
+//	  then per kind:
+//	    access: uvarint instr, varint addr delta, uvarint size
+//	            (time is implicit: it increments per access)
+//	    alloc:  uvarint site, varint addr delta, uvarint size
+//	    free:   varint addr delta
+//
+// Addresses are delta-encoded against the previous event's address, which
+// makes strided traces tiny.
+
+const traceMagic = "ORMTRACE"
+
+const traceVersion = 1
+
+// ErrBadTrace reports a malformed trace file.
+var ErrBadTrace = errors.New("trace: bad trace file")
+
+const storeFlag = 0x80
+
+// Writer streams events to a trace file. It is itself a Sink, so it can be
+// wired directly to the machine (or into a Tee alongside a live profiler).
+type Writer struct {
+	w        *bufio.Writer
+	lastAddr int64
+	err      error
+	n        int64
+}
+
+// NewWriter starts a trace file on w.
+func NewWriter(w io.Writer) *Writer {
+	tw := &Writer{w: bufio.NewWriter(w)}
+	tw.write([]byte(traceMagic))
+	tw.write([]byte{traceVersion})
+	return tw
+}
+
+func (t *Writer) write(b []byte) {
+	if t.err != nil {
+		return
+	}
+	n, err := t.w.Write(b)
+	t.n += int64(n)
+	t.err = err
+}
+
+func (t *Writer) uvarint(v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	t.write(buf[:binary.PutUvarint(buf[:], v)])
+}
+
+func (t *Writer) varint(v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	t.write(buf[:binary.PutVarint(buf[:], v)])
+}
+
+// Emit implements Sink.
+func (t *Writer) Emit(e Event) {
+	delta := int64(e.Addr) - t.lastAddr
+	t.lastAddr = int64(e.Addr)
+	switch e.Kind {
+	case EvAccess:
+		kind := byte(EvAccess)
+		if e.Store {
+			kind |= storeFlag
+		}
+		t.write([]byte{kind})
+		t.uvarint(uint64(e.Instr))
+		t.varint(delta)
+		t.uvarint(uint64(e.Size))
+	case EvAlloc:
+		t.write([]byte{byte(EvAlloc)})
+		t.uvarint(uint64(e.Site))
+		t.varint(delta)
+		t.uvarint(uint64(e.Size))
+	case EvFree:
+		t.write([]byte{byte(EvFree)})
+		t.varint(delta)
+	}
+}
+
+// Close flushes the file and returns the first error encountered, if any.
+func (t *Writer) Close() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// BytesWritten reports the bytes emitted so far (before buffering flush).
+func (t *Writer) BytesWritten() int64 { return t.n }
+
+// ReadTrace replays a trace file into sink, reconstructing time stamps, and
+// returns the number of events read.
+func ReadTrace(r io.Reader, sink Sink) (int, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if string(magic) != traceMagic {
+		return 0, fmt.Errorf("%w: bad magic %q", ErrBadTrace, magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if ver != traceVersion {
+		return 0, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, ver)
+	}
+
+	var (
+		lastAddr int64
+		now      Time
+		count    int
+	)
+	for {
+		kindByte, err := br.ReadByte()
+		if err == io.EOF {
+			return count, nil
+		}
+		if err != nil {
+			return count, fmt.Errorf("%w: %v", ErrBadTrace, err)
+		}
+		store := kindByte&storeFlag != 0
+		kind := EventKind(kindByte &^ storeFlag)
+		var e Event
+		switch kind {
+		case EvAccess:
+			instr, err := binary.ReadUvarint(br)
+			if err != nil {
+				return count, fmt.Errorf("%w: access instr: %v", ErrBadTrace, err)
+			}
+			delta, err := binary.ReadVarint(br)
+			if err != nil {
+				return count, fmt.Errorf("%w: access addr: %v", ErrBadTrace, err)
+			}
+			size, err := binary.ReadUvarint(br)
+			if err != nil {
+				return count, fmt.Errorf("%w: access size: %v", ErrBadTrace, err)
+			}
+			lastAddr += delta
+			e = Event{Kind: EvAccess, Time: now, Instr: InstrID(instr), Addr: Addr(lastAddr), Size: uint32(size), Store: store}
+			now++
+		case EvAlloc:
+			site, err := binary.ReadUvarint(br)
+			if err != nil {
+				return count, fmt.Errorf("%w: alloc site: %v", ErrBadTrace, err)
+			}
+			delta, err := binary.ReadVarint(br)
+			if err != nil {
+				return count, fmt.Errorf("%w: alloc addr: %v", ErrBadTrace, err)
+			}
+			size, err := binary.ReadUvarint(br)
+			if err != nil {
+				return count, fmt.Errorf("%w: alloc size: %v", ErrBadTrace, err)
+			}
+			lastAddr += delta
+			e = Event{Kind: EvAlloc, Time: now, Site: SiteID(site), Addr: Addr(lastAddr), Size: uint32(size)}
+		case EvFree:
+			delta, err := binary.ReadVarint(br)
+			if err != nil {
+				return count, fmt.Errorf("%w: free addr: %v", ErrBadTrace, err)
+			}
+			lastAddr += delta
+			e = Event{Kind: EvFree, Time: now, Addr: Addr(lastAddr)}
+		default:
+			return count, fmt.Errorf("%w: unknown event kind %d", ErrBadTrace, kindByte)
+		}
+		sink.Emit(e)
+		count++
+	}
+}

@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func randomEvents(rng *rand.Rand, n int) []Event {
+	events := make([]Event, 0, n)
+	now := Time(0)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			events = append(events, Event{
+				Kind: EvAlloc, Time: now,
+				Site: SiteID(rng.Intn(32)),
+				Addr: Addr(rng.Intn(1 << 30)),
+				Size: uint32(1 + rng.Intn(4096)),
+			})
+		case 1:
+			events = append(events, Event{Kind: EvFree, Time: now, Addr: Addr(rng.Intn(1 << 30))})
+		default:
+			events = append(events, Event{
+				Kind: EvAccess, Time: now,
+				Instr: InstrID(rng.Intn(1 << 12)),
+				Addr:  Addr(rng.Intn(1 << 30)),
+				Size:  uint32(1 << rng.Intn(4)),
+				Store: rng.Intn(2) == 0,
+			})
+			now++
+		}
+	}
+	return events
+}
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		events := randomEvents(rng, rng.Intn(2000))
+
+		var file bytes.Buffer
+		w := NewWriter(&file)
+		for _, e := range events {
+			w.Emit(e)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+
+		var got Buffer
+		n, err := ReadTrace(bytes.NewReader(file.Bytes()), &got)
+		if err != nil {
+			t.Fatalf("ReadTrace: %v", err)
+		}
+		if n != len(events) {
+			t.Fatalf("read %d events, wrote %d", n, len(events))
+		}
+		for i := range events {
+			if got.Events[i] != events[i] {
+				t.Fatalf("event %d: %v != %v", i, got.Events[i], events[i])
+			}
+		}
+	}
+}
+
+func TestTraceFileCompactForStrided(t *testing.T) {
+	// A strided access trace must delta-encode to ~3 bytes/event.
+	var file bytes.Buffer
+	w := NewWriter(&file)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		w.Emit(Event{Kind: EvAccess, Time: Time(i), Instr: 1, Addr: Addr(0x1000 + i*8), Size: 8})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	perEvent := float64(file.Len()) / n
+	if perEvent > 5 {
+		t.Errorf("strided trace costs %.1f bytes/event, want <= 5", perEvent)
+	}
+	if uint64(file.Len()) >= RawBytes(n) {
+		t.Errorf("trace file (%d B) not smaller than fixed-width encoding (%d B)", file.Len(), RawBytes(n))
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader(nil), Discard); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadTrace(bytes.NewReader([]byte("NOTTRACE\x01")), Discard); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ReadTrace(bytes.NewReader([]byte("ORMTRACE\xff")), Discard); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Unknown event kind.
+	bad := append([]byte("ORMTRACE\x01"), 0x7f)
+	if _, err := ReadTrace(bytes.NewReader(bad), Discard); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	// Truncated mid-event.
+	var file bytes.Buffer
+	w := NewWriter(&file)
+	w.Emit(Event{Kind: EvAccess, Instr: 300, Addr: 0x123456, Size: 8})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full := file.Bytes()
+	for cut := len(traceMagic) + 2; cut < len(full); cut++ {
+		if _, err := ReadTrace(bytes.NewReader(full[:cut]), Discard); err == nil {
+			t.Errorf("truncated trace (%d of %d bytes) accepted", cut, len(full))
+		}
+	}
+}
+
+func TestTraceTimestampsReconstructed(t *testing.T) {
+	// Time stamps are implicit in the file; the reader must regenerate the
+	// per-access counter exactly.
+	events := []Event{
+		{Kind: EvAlloc, Time: 0, Site: 1, Addr: 0x1000, Size: 64},
+		{Kind: EvAccess, Time: 0, Instr: 1, Addr: 0x1000, Size: 8},
+		{Kind: EvAccess, Time: 1, Instr: 2, Addr: 0x1008, Size: 8, Store: true},
+		{Kind: EvFree, Time: 2, Addr: 0x1000},
+		{Kind: EvAccess, Time: 2, Instr: 1, Addr: 0x2000, Size: 4},
+	}
+	var file bytes.Buffer
+	w := NewWriter(&file)
+	for _, e := range events {
+		w.Emit(e)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got Buffer
+	if _, err := ReadTrace(&file, &got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range events {
+		if got.Events[i] != events[i] {
+			t.Errorf("event %d: %v != %v", i, got.Events[i], events[i])
+		}
+	}
+}
+
+// FuzzReadTrace feeds arbitrary bytes to the trace reader: it must never
+// panic and must account events consistently.
+func FuzzReadTrace(f *testing.F) {
+	var file bytes.Buffer
+	w := NewWriter(&file)
+	w.Emit(Event{Kind: EvAlloc, Site: 1, Addr: 0x1000, Size: 64})
+	w.Emit(Event{Kind: EvAccess, Instr: 1, Addr: 0x1000, Size: 8})
+	w.Emit(Event{Kind: EvFree, Addr: 0x1000})
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(file.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("ORMTRACE\x01\x00"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var got Buffer
+		n, err := ReadTrace(bytes.NewReader(data), &got)
+		if n != got.Len() {
+			t.Fatalf("reported %d events, delivered %d", n, got.Len())
+		}
+		_ = err
+	})
+}

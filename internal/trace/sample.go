@@ -1,0 +1,45 @@
+package trace
+
+// Sampler forwards bursts of access events and drops the rest — the
+// standard burst-sampling reduction for profiling overhead (the paper's §6
+// names profile-collection cost as the thing a compiler integration would
+// attack; sampling is the runtime-side lever). Object probes always pass
+// through: the OMC must see every allocation and free or translation
+// becomes wrong, which is why sampling the *access* stream is safe but
+// sampling the *object* stream never is.
+type Sampler struct {
+	// Burst is how many consecutive accesses are forwarded per period.
+	Burst uint64
+	// Period is the access-stream cycle length (Period ≥ Burst).
+	Period uint64
+	// Out receives the sampled stream.
+	Out Sink
+
+	accesses uint64
+	kept     uint64
+}
+
+// NewSampler forwards burst accesses out of every period.
+func NewSampler(burst, period uint64, out Sink) *Sampler {
+	if burst == 0 || period < burst {
+		panic("trace: sampler needs 0 < burst <= period")
+	}
+	return &Sampler{Burst: burst, Period: period, Out: out}
+}
+
+// Emit implements Sink.
+func (s *Sampler) Emit(e Event) {
+	if e.Kind != EvAccess {
+		s.Out.Emit(e) // object probes are never sampled away
+		return
+	}
+	pos := s.accesses % s.Period
+	s.accesses++
+	if pos < s.Burst {
+		s.kept++
+		s.Out.Emit(e)
+	}
+}
+
+// Stats reports accesses seen and forwarded.
+func (s *Sampler) Stats() (seen, kept uint64) { return s.accesses, s.kept }

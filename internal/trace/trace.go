@@ -1,0 +1,197 @@
+// Package trace defines the event model shared by the simulated machine and
+// the profilers: memory access events produced by instruction probes and
+// object lifetime events produced by object probes.
+//
+// The event stream is the contract between the instrumentation front end
+// (package memsim in this repository, IA-64 assembly probes in the paper) and
+// the profiling framework. Everything above this package is independent of
+// how the events were produced.
+package trace
+
+import "fmt"
+
+// Addr is a virtual address in the simulated address space.
+type Addr uint64
+
+// InstrID identifies a static load or store instruction in the profiled
+// program. IDs are assigned by the program being profiled and are stable
+// across runs, like a PC in the paper's assembly-level instrumentation.
+type InstrID uint32
+
+// SiteID identifies a static allocation site. Objects allocated at the same
+// site belong to the same group (paper §3.1: "the profiler groups allocated
+// dynamic objects by static instruction").
+type SiteID uint32
+
+// Time is the logical time stamp: a counter starting at 0 and incremented
+// after every collected access (paper §2.2).
+type Time uint64
+
+// EventKind discriminates the probe that produced an event.
+type EventKind uint8
+
+const (
+	// EvAccess is an instruction-probe event: one executed load or store.
+	EvAccess EventKind = iota
+	// EvAlloc is an object-probe event: an object came into existence
+	// (heap allocation, or static object registration at program start).
+	EvAlloc
+	// EvFree is an object-probe event: an object was destroyed.
+	EvFree
+)
+
+// String returns the probe name.
+func (k EventKind) String() string {
+	switch k {
+	case EvAccess:
+		return "access"
+	case EvAlloc:
+		return "alloc"
+	case EvFree:
+		return "free"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is a single probe record. Access events populate Instr, Addr, Size
+// and Store; alloc events populate Site, Addr and Size; free events populate
+// Addr only. Time is set on every event.
+type Event struct {
+	Kind  EventKind
+	Time  Time
+	Instr InstrID // access: the static load/store instruction
+	Site  SiteID  // alloc: the static allocation site
+	Addr  Addr    // address accessed, or object start address
+	Size  uint32  // access width or object size in bytes
+	Store bool    // access: true for stores, false for loads
+}
+
+// String renders the event for debugging output.
+func (e Event) String() string {
+	switch e.Kind {
+	case EvAccess:
+		op := "ld"
+		if e.Store {
+			op = "st"
+		}
+		return fmt.Sprintf("t%d %s i%d [%#x,%d]", e.Time, op, e.Instr, uint64(e.Addr), e.Size)
+	case EvAlloc:
+		return fmt.Sprintf("t%d alloc s%d [%#x,%d]", e.Time, e.Site, uint64(e.Addr), e.Size)
+	case EvFree:
+		return fmt.Sprintf("t%d free [%#x]", e.Time, uint64(e.Addr))
+	default:
+		return fmt.Sprintf("t%d ?kind=%d", e.Time, e.Kind)
+	}
+}
+
+// Sink consumes probe events in program order. Implementations must not
+// retain the Event beyond the call (it may be reused by the producer).
+type Sink interface {
+	Emit(Event)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Event)
+
+// Emit calls f(e).
+func (f SinkFunc) Emit(e Event) { f(e) }
+
+// Tee fans one event stream out to several sinks, in order.
+func Tee(sinks ...Sink) Sink {
+	return SinkFunc(func(e Event) {
+		for _, s := range sinks {
+			s.Emit(e)
+		}
+	})
+}
+
+// Discard is a Sink that drops every event. Useful for measuring native
+// (uninstrumented) workload cost in dilation experiments.
+var Discard Sink = SinkFunc(func(Event) {})
+
+// Buffer is an in-memory trace: a Sink that records every event.
+// The zero value is ready to use.
+type Buffer struct {
+	Events []Event
+}
+
+// Emit appends e to the buffer.
+func (b *Buffer) Emit(e Event) { b.Events = append(b.Events, e) }
+
+// Len reports the number of recorded events.
+func (b *Buffer) Len() int { return len(b.Events) }
+
+// Replay feeds every recorded event to sink, in order.
+func (b *Buffer) Replay(sink Sink) {
+	for _, e := range b.Events {
+		sink.Emit(e)
+	}
+}
+
+// Accesses returns only the access events of the trace.
+func (b *Buffer) Accesses() []Event {
+	out := make([]Event, 0, len(b.Events))
+	for _, e := range b.Events {
+		if e.Kind == EvAccess {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Stats summarizes a trace.
+type Stats struct {
+	Accesses  uint64 // instruction-probe events
+	Loads     uint64
+	Stores    uint64
+	Allocs    uint64 // object-probe alloc events
+	Frees     uint64
+	BytesLive uint64 // peak concurrently allocated bytes
+	Instrs    int    // distinct static instructions observed
+	Sites     int    // distinct allocation sites observed
+}
+
+// Collect computes summary statistics over a recorded trace.
+func Collect(events []Event) Stats {
+	var st Stats
+	instrs := make(map[InstrID]struct{})
+	sites := make(map[SiteID]struct{})
+	liveBytes := uint64(0)
+	liveSize := make(map[Addr]uint32)
+	for _, e := range events {
+		switch e.Kind {
+		case EvAccess:
+			st.Accesses++
+			if e.Store {
+				st.Stores++
+			} else {
+				st.Loads++
+			}
+			instrs[e.Instr] = struct{}{}
+		case EvAlloc:
+			st.Allocs++
+			sites[e.Site] = struct{}{}
+			liveBytes += uint64(e.Size)
+			liveSize[e.Addr] = e.Size
+			if liveBytes > st.BytesLive {
+				st.BytesLive = liveBytes
+			}
+		case EvFree:
+			st.Frees++
+			if sz, ok := liveSize[e.Addr]; ok {
+				liveBytes -= uint64(sz)
+				delete(liveSize, e.Addr)
+			}
+		}
+	}
+	st.Instrs = len(instrs)
+	st.Sites = len(sites)
+	return st
+}
+
+// RawBytes reports the size in bytes of the uncompressed access trace when
+// stored as fixed-width (instruction-id, address) records — the "original
+// data trace" against which the paper's Table 1 compression ratios are
+// computed. Each record is 4 bytes of instruction ID plus 8 bytes of address.
+func RawBytes(accesses uint64) uint64 { return accesses * 12 }

@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEventString(t *testing.T) {
+	cases := []struct {
+		ev   Event
+		want string
+	}{
+		{Event{Kind: EvAccess, Time: 3, Instr: 7, Addr: 0x100, Size: 8}, "t3 ld i7 [0x100,8]"},
+		{Event{Kind: EvAccess, Time: 4, Instr: 7, Addr: 0x100, Size: 4, Store: true}, "t4 st i7 [0x100,4]"},
+		{Event{Kind: EvAlloc, Time: 0, Site: 2, Addr: 0x40, Size: 16}, "t0 alloc s2 [0x40,16]"},
+		{Event{Kind: EvFree, Time: 9, Addr: 0x40}, "t9 free [0x40]"},
+	}
+	for _, c := range cases {
+		if got := c.ev.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if EvAccess.String() != "access" || EvAlloc.String() != "alloc" || EvFree.String() != "free" {
+		t.Error("EventKind names wrong")
+	}
+	if !strings.Contains(EventKind(9).String(), "9") {
+		t.Error("unknown kind should include the numeric value")
+	}
+}
+
+func TestBufferAndReplay(t *testing.T) {
+	var b Buffer
+	events := []Event{
+		{Kind: EvAlloc, Site: 1, Addr: 0x1000, Size: 64},
+		{Kind: EvAccess, Time: 0, Instr: 1, Addr: 0x1000, Size: 8},
+		{Kind: EvAccess, Time: 1, Instr: 2, Addr: 0x1008, Size: 8, Store: true},
+		{Kind: EvFree, Addr: 0x1000},
+	}
+	for _, e := range events {
+		b.Emit(e)
+	}
+	if b.Len() != 4 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+
+	var replayed Buffer
+	b.Replay(&replayed)
+	if replayed.Len() != 4 {
+		t.Fatalf("replayed %d events", replayed.Len())
+	}
+	for i := range events {
+		if replayed.Events[i] != events[i] {
+			t.Errorf("event %d = %v, want %v", i, replayed.Events[i], events[i])
+		}
+	}
+
+	acc := b.Accesses()
+	if len(acc) != 2 || acc[0].Instr != 1 || acc[1].Instr != 2 {
+		t.Errorf("Accesses = %v", acc)
+	}
+}
+
+func TestTee(t *testing.T) {
+	var a, b Buffer
+	sink := Tee(&a, &b)
+	sink.Emit(Event{Kind: EvAccess, Instr: 5})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Errorf("Tee delivered %d/%d events", a.Len(), b.Len())
+	}
+}
+
+func TestDiscard(t *testing.T) {
+	// Must not panic, must accept anything.
+	Discard.Emit(Event{Kind: EvAccess})
+	Discard.Emit(Event{})
+}
+
+func TestCollect(t *testing.T) {
+	events := []Event{
+		{Kind: EvAlloc, Site: 1, Addr: 0x1000, Size: 64},
+		{Kind: EvAlloc, Site: 2, Addr: 0x2000, Size: 32},
+		{Kind: EvAccess, Instr: 1, Addr: 0x1000, Size: 8},
+		{Kind: EvAccess, Instr: 2, Addr: 0x1008, Size: 8, Store: true},
+		{Kind: EvAccess, Instr: 1, Addr: 0x2000, Size: 4},
+		{Kind: EvFree, Addr: 0x1000},
+		{Kind: EvAlloc, Site: 1, Addr: 0x3000, Size: 128},
+	}
+	st := Collect(events)
+	if st.Accesses != 3 || st.Loads != 2 || st.Stores != 1 {
+		t.Errorf("access counts: %+v", st)
+	}
+	if st.Allocs != 3 || st.Frees != 1 {
+		t.Errorf("object counts: %+v", st)
+	}
+	if st.Instrs != 2 || st.Sites != 2 {
+		t.Errorf("distinct counts: %+v", st)
+	}
+	// Peak live: 64+32 = 96 before the free, then 32+128 = 160 after.
+	if st.BytesLive != 160 {
+		t.Errorf("BytesLive = %d, want 160", st.BytesLive)
+	}
+}
+
+func TestRawBytes(t *testing.T) {
+	if RawBytes(100) != 1200 {
+		t.Errorf("RawBytes(100) = %d, want 1200 (12 bytes per access record)", RawBytes(100))
+	}
+}
+
+func TestSampler(t *testing.T) {
+	var out Buffer
+	s := NewSampler(2, 5, &out)
+	// 3 allocs interleaved with 10 accesses: all allocs pass, accesses
+	// pass in bursts of 2 per 5.
+	s.Emit(Event{Kind: EvAlloc, Addr: 0x1000, Size: 8})
+	for i := 0; i < 10; i++ {
+		s.Emit(Event{Kind: EvAccess, Time: Time(i), Instr: 1, Addr: Addr(i)})
+		if i == 4 {
+			s.Emit(Event{Kind: EvFree, Addr: 0x1000})
+			s.Emit(Event{Kind: EvAlloc, Addr: 0x2000, Size: 8})
+		}
+	}
+	seen, kept := s.Stats()
+	if seen != 10 || kept != 4 {
+		t.Errorf("Stats = %d, %d; want 10, 4", seen, kept)
+	}
+	st := Collect(out.Events)
+	if st.Allocs != 2 || st.Frees != 1 {
+		t.Errorf("object probes must always pass: %+v", st)
+	}
+	if st.Accesses != 4 {
+		t.Errorf("accesses forwarded = %d, want 4 (times 0,1,5,6)", st.Accesses)
+	}
+	for _, e := range out.Events {
+		if e.Kind == EvAccess && e.Time != 0 && e.Time != 1 && e.Time != 5 && e.Time != 6 {
+			t.Errorf("unexpected sampled access at time %d", e.Time)
+		}
+	}
+}
+
+func TestSamplerPanicsOnBadConfig(t *testing.T) {
+	for _, c := range [][2]uint64{{0, 5}, {6, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("burst=%d period=%d accepted", c[0], c[1])
+				}
+			}()
+			NewSampler(c[0], c[1], Discard)
+		}()
+	}
+}
+
+func TestElider(t *testing.T) {
+	var out Buffer
+	e := NewElider(map[InstrID]bool{7: true}, &out)
+	e.Emit(Event{Kind: EvAlloc, Addr: 0x1000, Size: 8})
+	e.Emit(Event{Kind: EvAccess, Instr: 7, Addr: 0x1000})
+	e.Emit(Event{Kind: EvAccess, Instr: 8, Addr: 0x1000})
+	e.Emit(Event{Kind: EvFree, Addr: 0x1000})
+	dropped, kept := e.Stats()
+	if dropped != 1 || kept != 1 {
+		t.Errorf("Stats = %d, %d", dropped, kept)
+	}
+	st := Collect(out.Events)
+	if st.Accesses != 1 || st.Allocs != 1 || st.Frees != 1 {
+		t.Errorf("forwarded events wrong: %+v", st)
+	}
+	if out.Accesses()[0].Instr != 8 {
+		t.Error("wrong instruction elided")
+	}
+}

@@ -1,0 +1,242 @@
+package whomp
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"ormprof/internal/decomp"
+	"ormprof/internal/omc"
+	"ormprof/internal/sequitur"
+	"ormprof/internal/trace"
+)
+
+// Profile file format:
+//
+//	magic    "ORMWHOMP"
+//	u8       version (1)
+//	string   workload (uvarint length + bytes)
+//	uvarint  record count
+//	4 ×      grammar blob (uvarint length + sequitur encoding), in
+//	         dimension order instr, group, object, offset
+//	object table:
+//	  uvarint  group count
+//	  per group: uvarint site, string name, uvarint object count,
+//	             per object: uvarint start, size, allocTime,
+//	                         freeTime+freed flag (2·t + freed)
+
+const profileMagic = "ORMWHOMP"
+
+// profileVersion is bumped on any incompatible format change.
+const profileVersion = 1
+
+// ErrBadProfile reports a malformed or unsupported profile file.
+var ErrBadProfile = errors.New("whomp: bad profile file")
+
+// maxReadRecords bounds the access count ReadProfile will materialize
+// (grammar expansions are one symbol per access per dimension).
+const maxReadRecords = 1 << 26
+
+// WriteTo serializes the profile. It returns the number of bytes written.
+func (p *Profile) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	n := &countingWriter{w: bw}
+
+	if _, err := n.Write([]byte(profileMagic)); err != nil {
+		return n.n, err
+	}
+	if _, err := n.Write([]byte{profileVersion}); err != nil {
+		return n.n, err
+	}
+	writeString(n, p.Workload)
+	writeUvarint(n, p.Records)
+	for _, d := range decomp.Dims {
+		blob := p.Grammars[d].Encode()
+		writeUvarint(n, uint64(len(blob)))
+		if _, err := n.Write(blob); err != nil {
+			return n.n, err
+		}
+	}
+	writeUvarint(n, uint64(len(p.Objects.Groups)))
+	for _, g := range p.Objects.Groups {
+		writeUvarint(n, uint64(g.Site))
+		writeString(n, g.Name)
+		writeUvarint(n, uint64(len(g.Objects)))
+		for _, o := range g.Objects {
+			writeUvarint(n, uint64(o.Start))
+			writeUvarint(n, uint64(o.Size))
+			writeUvarint(n, uint64(o.AllocTime))
+			ft := uint64(o.FreeTime) * 2
+			if o.Freed {
+				ft++
+			}
+			writeUvarint(n, ft)
+		}
+	}
+	if n.err != nil {
+		return n.n, n.err
+	}
+	if err := bw.Flush(); err != nil {
+		return n.n, err
+	}
+	return n.n, nil
+}
+
+// ReadProfile parses a profile written by WriteTo. The returned profile's
+// grammars are decoded grammar structures able to expand; they are stored
+// back as live grammars by re-feeding the expansion, so the result supports
+// the same operations as a freshly collected profile.
+func ReadProfile(r io.Reader) (*Profile, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(profileMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadProfile, err)
+	}
+	if string(magic) != profileMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadProfile, magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadProfile, err)
+	}
+	if ver != profileVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadProfile, ver)
+	}
+	p := &Profile{Grammars: make(map[decomp.Dimension]*sequitur.Grammar), Objects: &ObjectTable{}}
+	if p.Workload, err = readString(br); err != nil {
+		return nil, err
+	}
+	if p.Records, err = readUvarint(br); err != nil {
+		return nil, err
+	}
+	for _, d := range decomp.Dims {
+		blobLen, err := readUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if blobLen > 1<<26 {
+			return nil, fmt.Errorf("%w: unreasonable grammar size %d", ErrBadProfile, blobLen)
+		}
+		blob := make([]byte, blobLen)
+		if _, err := io.ReadFull(br, blob); err != nil {
+			return nil, fmt.Errorf("%w: grammar %v: %v", ErrBadProfile, d, err)
+		}
+		dec, err := sequitur.Decode(blob)
+		if err != nil {
+			return nil, fmt.Errorf("%w: grammar %v: %v", ErrBadProfile, d, err)
+		}
+		// Each dimension stream has exactly one symbol per recorded access;
+		// bounding the expansion by the declared record count blocks
+		// zip-bomb grammars from untrusted inputs.
+		if p.Records > maxReadRecords {
+			return nil, fmt.Errorf("%w: unreasonable record count %d", ErrBadProfile, p.Records)
+		}
+		seq, err := dec.ExpandLimit(int(p.Records))
+		if err != nil {
+			return nil, fmt.Errorf("%w: grammar %v: %v", ErrBadProfile, d, err)
+		}
+		if uint64(len(seq)) != p.Records {
+			return nil, fmt.Errorf("%w: grammar %v expands to %d symbols, profile declares %d records",
+				ErrBadProfile, d, len(seq), p.Records)
+		}
+		g := sequitur.New()
+		g.AppendAll(seq)
+		p.Grammars[d] = g
+	}
+	nGroups, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	for gi := uint64(0); gi < nGroups; gi++ {
+		var ge GroupEntry
+		ge.ID = omc.GroupID(gi + 1)
+		site, err := readUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		ge.Site = trace.SiteID(site)
+		if ge.Name, err = readString(br); err != nil {
+			return nil, err
+		}
+		nObjs, err := readUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		for oi := uint64(0); oi < nObjs; oi++ {
+			var oe ObjectEntry
+			v, err := readUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			oe.Start = trace.Addr(v)
+			if v, err = readUvarint(br); err != nil {
+				return nil, err
+			}
+			oe.Size = uint32(v)
+			if v, err = readUvarint(br); err != nil {
+				return nil, err
+			}
+			oe.AllocTime = trace.Time(v)
+			if v, err = readUvarint(br); err != nil {
+				return nil, err
+			}
+			oe.Freed = v&1 == 1
+			oe.FreeTime = trace.Time(v >> 1)
+			ge.Objects = append(ge.Objects, oe)
+		}
+		p.Objects.Groups = append(p.Objects.Groups, ge)
+	}
+	return p, nil
+}
+
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+	return n, err
+}
+
+func writeUvarint(w io.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n]) //nolint:errcheck // countingWriter latches the error
+}
+
+func writeString(w io.Writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	io.WriteString(w, s) //nolint:errcheck // countingWriter latches the error
+}
+
+func readUvarint(br *bufio.Reader) (uint64, error) {
+	v, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadProfile, err)
+	}
+	return v, nil
+}
+
+func readString(br *bufio.Reader) (string, error) {
+	n, err := readUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("%w: unreasonable string length %d", ErrBadProfile, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", fmt.Errorf("%w: %v", ErrBadProfile, err)
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,44 @@
+package whomp
+
+import (
+	"bytes"
+	"testing"
+
+	"ormprof/internal/memsim"
+	"ormprof/internal/trace"
+	"ormprof/internal/workloads"
+)
+
+// FuzzReadProfile feeds arbitrary bytes to the WHOMP profile decoder: it
+// must never panic, and anything accepted must reconstruct or fail cleanly.
+func FuzzReadProfile(f *testing.F) {
+	buf, sites := collectDemoForFuzz()
+	p := New(sites)
+	buf.Replay(p)
+	var enc bytes.Buffer
+	if _, err := p.Profile("seed").WriteTo(&enc); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(enc.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("ORMWHOMP"))
+	f.Add(append([]byte("ORMWHOMP"), 1, 0))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prof, err := ReadProfile(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted profiles must be internally navigable without panics.
+		prof.Symbols()
+		prof.EncodedBytes()
+		prof.ReconstructAccesses() //nolint:errcheck // may fail, must not panic
+	})
+}
+
+func collectDemoForFuzz() (*trace.Buffer, map[trace.SiteID]string) {
+	prog := workloads.NewLinkedList(workloads.Config{Scale: 1, Seed: 1})
+	buf := &trace.Buffer{}
+	m := memsim.Run(prog, buf)
+	return buf, m.StaticSites()
+}

@@ -1,0 +1,82 @@
+package whomp
+
+import (
+	"fmt"
+
+	"ormprof/internal/omc"
+	"ormprof/internal/trace"
+)
+
+// ObjectTable is the serializable snapshot of the OMC's object lifetime
+// information: for every group, the address range and lifetime of each of
+// its objects, in serial order. It is the run-dependent half of a WHOMP
+// profile; combined with the OMSG it makes the profile lossless.
+type ObjectTable struct {
+	Groups []GroupEntry
+}
+
+// GroupEntry is one group's objects.
+type GroupEntry struct {
+	ID      omc.GroupID
+	Site    trace.SiteID
+	Name    string
+	Objects []ObjectEntry
+}
+
+// ObjectEntry is one object's lifetime record.
+type ObjectEntry struct {
+	Start     trace.Addr
+	Size      uint32
+	AllocTime trace.Time
+	FreeTime  trace.Time
+	Freed     bool
+}
+
+// FromOMC snapshots an OMC's object table.
+func FromOMC(o *omc.OMC) *ObjectTable {
+	groups := o.Groups()
+	t := &ObjectTable{Groups: make([]GroupEntry, 0, len(groups))}
+	for _, g := range groups {
+		ge := GroupEntry{ID: g.ID, Site: g.Site, Name: g.Name}
+		for _, obj := range o.Objects(g.ID) {
+			ge.Objects = append(ge.Objects, ObjectEntry{
+				Start:     obj.Start,
+				Size:      obj.Size,
+				AllocTime: obj.AllocTime,
+				FreeTime:  obj.FreeTime,
+				Freed:     obj.Freed,
+			})
+		}
+		t.Groups = append(t.Groups, ge)
+	}
+	return t
+}
+
+// Invert maps an object-relative reference back to its raw address.
+func (t *ObjectTable) Invert(r omc.Ref) (trace.Addr, error) {
+	if r.Group == omc.Unmapped {
+		return trace.Addr(r.Offset), nil
+	}
+	gi := int(r.Group) - 1
+	if gi < 0 || gi >= len(t.Groups) {
+		return 0, fmt.Errorf("whomp: reference to unknown group %d", r.Group)
+	}
+	objs := t.Groups[gi].Objects
+	if int(r.Object) >= len(objs) {
+		return 0, fmt.Errorf("whomp: group %d has no object %d", r.Group, r.Object)
+	}
+	o := objs[r.Object]
+	if r.Offset >= uint64(o.Size) {
+		return 0, fmt.Errorf("whomp: offset %d out of object of size %d", r.Offset, o.Size)
+	}
+	return o.Start + trace.Addr(r.Offset), nil
+}
+
+// NumObjects reports the total object count across groups.
+func (t *ObjectTable) NumObjects() int {
+	n := 0
+	for _, g := range t.Groups {
+		n += len(g.Objects)
+	}
+	return n
+}

@@ -1,0 +1,94 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"ormprof/internal/memsim"
+	"ormprof/internal/trace"
+)
+
+// bzip2Like mimics 256.bzip2: block-sorting compression. Each block is
+// loaded sequentially, sorted with data-dependent comparisons and swaps
+// (irregular), then swept again for the move-to-front and RLE stages
+// (strided). The mix yields moderate LMAD capture with a high compression
+// ratio, as in Table 1.
+type bzip2Like struct {
+	cfg Config
+}
+
+func newBzip2(cfg Config) *bzip2Like { return &bzip2Like{cfg: cfg} }
+
+func (b *bzip2Like) Name() string { return "256.bzip2" }
+
+const (
+	bzLdBlockSeq trace.InstrID = iota + 600
+	bzStBlockSeq
+	bzLdSortA
+	bzLdSortB
+	bzStSortA
+	bzStSortB
+	bzLdPtr
+	bzStPtr
+	bzLdMTF
+	bzStFreq
+	bzLdFreq
+)
+
+const (
+	bzSiteBlock trace.SiteID = iota + 50
+	bzSitePtr
+	bzSiteFreq
+)
+
+func (b *bzip2Like) Run(m *memsim.Machine) {
+	rng := rand.New(rand.NewSource(b.cfg.Seed + 5))
+	blockLen := 2048 * b.cfg.Scale
+	nBlocks := 6
+
+	block := m.Alloc(bzSiteBlock, uint32(blockLen))
+	ptrs := m.Alloc(bzSitePtr, uint32(blockLen*4))
+	freq := m.Alloc(bzSiteFreq, 256*4)
+
+	for blk := 0; blk < nBlocks; blk++ {
+		// Fill the block (sequential stores) and initialize pointers.
+		for i := 0; i < blockLen; i++ {
+			m.Store(bzStBlockSeq, block+trace.Addr(i), 1)
+			m.Store(bzStPtr, ptrs+trace.Addr(i*4), 4)
+		}
+
+		// "Sort": shell-sort-like passes with data-dependent swaps of the
+		// pointer array, comparing bytes at pointed-to positions.
+		// Each gap level is a distinct specialization of the sort inner
+		// loop, as in bzip2's unrolled sorters (variant IDs per level).
+		level := 0
+		for gap := blockLen / 2; gap > 0; gap /= 4 {
+			v := trace.InstrID(1000 * (level % 3))
+			level++
+			for i := gap; i < blockLen; i += 1 + rng.Intn(3) {
+				pa := rng.Intn(blockLen)
+				pb := rng.Intn(blockLen)
+				m.Load(bzLdPtr+v, ptrs+trace.Addr(i*4), 4)
+				m.Load(bzLdSortA+v, block+trace.Addr(pa), 1)
+				m.Load(bzLdSortB+v, block+trace.Addr(pb), 1)
+				if pa > pb {
+					m.Store(bzStSortA+v, ptrs+trace.Addr(i*4), 4)
+					m.Store(bzStSortB+v, ptrs+trace.Addr((i-gap)*4), 4)
+				}
+			}
+		}
+
+		// MTF + frequency stage: sequential scan of sorted pointers with
+		// small-table frequency updates.
+		for i := 0; i < blockLen; i++ {
+			m.Load(bzLdMTF, ptrs+trace.Addr(i*4), 4)
+			sym := rng.Intn(256)
+			m.Load(bzLdFreq, freq+trace.Addr(sym*4), 4)
+			m.Store(bzStFreq, freq+trace.Addr(sym*4), 4)
+			m.Load(bzLdBlockSeq, block+trace.Addr(i), 1)
+		}
+	}
+
+	m.Free(freq)
+	m.Free(ptrs)
+	m.Free(block)
+}

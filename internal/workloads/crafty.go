@@ -1,0 +1,110 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"ormprof/internal/memsim"
+	"ormprof/internal/trace"
+)
+
+// craftyLike mimics 186.crafty: a chess searcher dominated by statically
+// allocated tables — bitboard attack tables read with data-dependent
+// indices, a transposition table probed by hash, and move lists filled and
+// scanned sequentially. Statics exercise WHOMP's symbol-table grouping path
+// (one group per static symbol).
+type craftyLike struct {
+	cfg Config
+}
+
+func newCrafty(cfg Config) *craftyLike { return &craftyLike{cfg: cfg} }
+
+func (c *craftyLike) Name() string { return "186.crafty" }
+
+const (
+	crLdAttackTable trace.InstrID = iota + 400
+	crLdPieceSquare
+	crLdTransTable
+	crStTransTable
+	crStMoveList
+	crLdMoveList
+	crLdHistory
+	crStHistory
+	crLdBoard
+	crStBoard
+	crStParams
+	crLdParams
+)
+
+// Setup registers crafty's static tables before the machine starts, the way
+// WHOMP reads sizes of statics from the compiler's symbol table (§3.1).
+func (c *craftyLike) Setup(m *memsim.Machine) {
+	m.DefineStatic("attack_table", 64*64*8)
+	m.DefineStatic("piece_square", 12*64*4)
+	m.DefineStatic("trans_table", 1<<14)
+	m.DefineStatic("history", 4096*4)
+	m.DefineStatic("board", 64*8)
+	m.DefineStatic("search_params", 64)
+}
+
+func (c *craftyLike) Run(m *memsim.Machine) {
+	rng := rand.New(rand.NewSource(c.cfg.Seed + 3))
+
+	attack := m.StaticAddr("attack_table")
+	pieceSquare := m.StaticAddr("piece_square")
+	trans := m.StaticAddr("trans_table")
+	history := m.StaticAddr("history")
+	board := m.StaticAddr("board")
+
+	moveList := m.Alloc(trace.SiteID(30), 256*8)
+
+	// Search parameters are configured once and re-read at every node — a
+	// loop-invariant load the §4 analysis should flag as removable.
+	params := m.StaticAddr("search_params")
+	m.Store(crStParams, params, 8)
+
+	positions := 900 * c.cfg.Scale
+	for p := 0; p < positions; p++ {
+		m.Load(crLdParams, params, 8)
+		// Opening/midgame/endgame evaluators are separate code, so their
+		// probes carry distinct instruction IDs.
+		v := trace.InstrID(1000 * (p % 3))
+		// Probe the transposition table (hashed, irregular).
+		h := rng.Intn(1 << 14 / 8)
+		m.Load(crLdTransTable+v, trans+trace.Addr(h*8), 8)
+		if rng.Intn(4) == 0 {
+			m.Store(crStTransTable+v, trans+trace.Addr(h*8), 8)
+		}
+
+		// Generate moves: scan the board sequentially, look up attack
+		// sets (data-dependent index), append to the move list (strided
+		// store).
+		nMoves := 0
+		for sq := 0; sq < 64; sq++ {
+			m.Load(crLdBoard+v, board+trace.Addr(sq*8), 8)
+			piece := rng.Intn(12)
+			m.Load(crLdPieceSquare+v, pieceSquare+trace.Addr((piece*64+sq)*4), 4)
+			if rng.Intn(3) == 0 {
+				att := rng.Intn(64 * 64)
+				m.Load(crLdAttackTable+v, attack+trace.Addr(att*8), 8)
+				m.Store(crStMoveList+v, moveList+trace.Addr(nMoves*8), 8)
+				nMoves++
+			}
+		}
+
+		// Score moves: sequential scan of the list plus history-heuristic
+		// lookups (irregular).
+		for i := 0; i < nMoves; i++ {
+			m.Load(crLdMoveList+v, moveList+trace.Addr(i*8), 8)
+			hh := rng.Intn(4096)
+			m.Load(crLdHistory+v, history+trace.Addr(hh*4), 4)
+			if rng.Intn(8) == 0 {
+				m.Store(crStHistory+v, history+trace.Addr(hh*4), 4)
+			}
+		}
+
+		// Make the best move on the board.
+		m.Store(crStBoard+v, board+trace.Addr(rng.Intn(64)*8), 8)
+	}
+
+	m.Free(moveList)
+}

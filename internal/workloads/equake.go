@@ -1,0 +1,104 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"ormprof/internal/memsim"
+	"ormprof/internal/trace"
+)
+
+// equakeLike mimics 183.equake (SPECfp): a sparse matrix-vector kernel in
+// CSR form iterated over time steps. The row-pointer and column-index
+// arrays are read with perfect stride, while the gathered vector loads
+// (x[col[j]]) are data-dependent — the canonical indirect-access mixture.
+// It is a bonus workload (not part of the paper's seven SPECint
+// benchmarks) used by tests and extension benchmarks; construct it by name
+// ("183.equake") via New.
+type equakeLike struct {
+	cfg Config
+}
+
+func newEquake(cfg Config) *equakeLike { return &equakeLike{cfg: cfg} }
+
+func (e *equakeLike) Name() string { return "183.equake" }
+
+const (
+	eqLdRowPtr trace.InstrID = iota + 800
+	eqLdColIdx
+	eqLdValue
+	eqLdXGather
+	eqStY
+	eqLdY
+	eqStX
+	eqLdM
+)
+
+const (
+	eqSiteRowPtr trace.SiteID = iota + 80
+	eqSiteColIdx
+	eqSiteValues
+	eqSiteX
+	eqSiteY
+	eqSiteM
+)
+
+func (e *equakeLike) Run(m *memsim.Machine) {
+	rng := rand.New(rand.NewSource(e.cfg.Seed + 8))
+	nRows := 512 * e.cfg.Scale
+	nnzPerRow := 8
+	nnz := nRows * nnzPerRow
+
+	rowPtr := m.Alloc(eqSiteRowPtr, uint32((nRows+1)*4))
+	colIdx := m.Alloc(eqSiteColIdx, uint32(nnz*4))
+	values := m.Alloc(eqSiteValues, uint32(nnz*8))
+	x := m.Alloc(eqSiteX, uint32(nRows*8))
+	y := m.Alloc(eqSiteY, uint32(nRows*8))
+	mass := m.Alloc(eqSiteM, uint32(nRows*8))
+
+	// Column structure: mostly near-diagonal with occasional far coupling,
+	// like a finite-element mesh.
+	cols := make([]int, nnz)
+	for r := 0; r < nRows; r++ {
+		for k := 0; k < nnzPerRow; k++ {
+			c := r + k - nnzPerRow/2
+			if rng.Intn(8) == 0 {
+				c = rng.Intn(nRows)
+			}
+			if c < 0 {
+				c = 0
+			}
+			if c >= nRows {
+				c = nRows - 1
+			}
+			cols[r*nnzPerRow+k] = c
+		}
+	}
+
+	timeSteps := 12
+	for step := 0; step < timeSteps; step++ {
+		// y = A·x : CSR traversal.
+		for r := 0; r < nRows; r++ {
+			m.Load(eqLdRowPtr, rowPtr+trace.Addr(r*4), 4)
+			for k := 0; k < nnzPerRow; k++ {
+				j := r*nnzPerRow + k
+				m.Load(eqLdColIdx, colIdx+trace.Addr(j*4), 4)
+				m.Load(eqLdValue, values+trace.Addr(j*8), 8)
+				m.Load(eqLdXGather, x+trace.Addr(cols[j]*8), 8) // gather
+			}
+			m.Store(eqStY, y+trace.Addr(r*8), 8)
+		}
+		// Time integration: x ← f(x, y, M), all strided.
+		for r := 0; r < nRows; r++ {
+			m.Load(eqLdY, y+trace.Addr(r*8), 8)
+			m.Load(eqLdM, mass+trace.Addr(r*8), 8)
+			m.Store(eqStX, x+trace.Addr(r*8), 8)
+		}
+	}
+
+	m.Free(mass)
+	m.Free(y)
+	m.Free(x)
+	m.Free(values)
+	m.Free(colIdx)
+	m.Free(rowPtr)
+}

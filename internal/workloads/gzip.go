@@ -1,0 +1,148 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"ormprof/internal/memsim"
+	"ormprof/internal/trace"
+)
+
+// gzipLike mimics 164.gzip: LZ77-style compression with a sliding window —
+// long sequential scans over the input buffer (strongly strided), hash-head
+// probes into a chain table (irregular), and sequential output writes.
+// Most accesses are strided, so LEAP captures the bulk of them (the paper
+// reports 57 % of accesses captured).
+type gzipLike struct {
+	cfg Config
+}
+
+func newGzip(cfg Config) *gzipLike { return &gzipLike{cfg: cfg} }
+
+func (g *gzipLike) Name() string { return "164.gzip" }
+
+// Instruction IDs. Each workload numbers its static loads/stores the way a
+// compiler would number probe sites.
+const (
+	gzLdInput trace.InstrID = iota + 100
+	gzLdWindow
+	gzLdHashHead
+	gzStHashHead
+	gzLdChain
+	gzStChain
+	gzStOutput
+	gzLdMatchA
+	gzLdMatchB
+	gzLdOutput
+	gzStFreq
+	gzLdFreq
+	gzStCode
+	gzLdCode
+	gzLdOutputEmit
+	gzStPacked
+)
+
+// Allocation sites.
+const (
+	gzSiteInput trace.SiteID = iota + 1
+	gzSiteHash
+	gzSiteChain
+	gzSiteOutput
+	gzSiteFreq
+	gzSiteCode
+	gzSitePacked
+)
+
+func (g *gzipLike) Run(m *memsim.Machine) {
+	rng := rand.New(rand.NewSource(g.cfg.Seed))
+	const (
+		hashBits  = 10
+		hashSize  = 1 << hashBits
+		windowLen = 1 << 12
+	)
+	inputLen := uint32(16*1024) * uint32(g.cfg.Scale)
+
+	input := m.Alloc(gzSiteInput, inputLen)
+	hash := m.Alloc(gzSiteHash, hashSize*4)
+	chain := m.Alloc(gzSiteChain, windowLen*4)
+	output := m.Alloc(gzSiteOutput, inputLen)
+
+	outPos := uint32(0)
+	// Deflate-style main loop: read input bytes, probe the hash chain, and
+	// emit literals/matches.
+	for pos := uint32(0); pos+4 < inputLen; pos++ {
+		// Sequential input scan (strongly strided, stride 1).
+		m.Load(gzLdInput, input+trace.Addr(pos), 1)
+
+		// Hash of the next 3 "bytes": irregular probe.
+		h := uint32(rng.Intn(hashSize))
+		m.Load(gzLdHashHead, hash+trace.Addr(h*4), 4)
+		m.Store(gzStHashHead, hash+trace.Addr(h*4), 4)
+
+		// Walk a short chain in the window (bounded, data dependent).
+		chainPos := pos % windowLen
+		m.Store(gzStChain, chain+trace.Addr(chainPos*4), 4)
+		for d := 0; d < rng.Intn(3); d++ {
+			p := uint32(rng.Intn(int(windowLen)))
+			m.Load(gzLdChain, chain+trace.Addr(p*4), 4)
+			// Compare candidate match bytes in the window region of the
+			// input (two pointers moving together: strided pair).
+			if pos >= windowLen {
+				back := pos - uint32(rng.Intn(int(windowLen)-1)) - 1
+				m.Load(gzLdMatchA, input+trace.Addr(pos), 1)
+				m.Load(gzLdMatchB, input+trace.Addr(back), 1)
+			} else {
+				m.Load(gzLdWindow, input+trace.Addr(pos%windowLen), 1)
+			}
+		}
+
+		// Emit one output byte per input position (strided store).
+		m.Store(gzStOutput, output+trace.Addr(outPos), 1)
+		outPos++
+
+		// Block flush: CRC over the output produced so far (long strided
+		// scan from a fixed base, like gzip's crc32 update over each
+		// flushed block).
+		if pos%4096 == 4095 {
+			for i := uint32(0); i < outPos; i++ {
+				m.Load(gzLdOutput, output+trace.Addr(i), 1)
+			}
+		}
+	}
+
+	// Huffman stage, as in deflate's fixed/dynamic block emission: count
+	// symbol frequencies over the emitted bytes, build the code table, then
+	// re-read the output and write the bit-packed stream. The table build
+	// and emit passes create high-frequency store→load pairs (the table is
+	// written once and read per symbol) for the dependence experiments.
+	freq := m.Alloc(gzSiteFreq, 286*4)
+	codes := m.Alloc(gzSiteCode, 286*8)
+	packed := m.Alloc(gzSitePacked, outPos)
+
+	// Symbol indices follow the emitted bytes; our synthetic byte stream
+	// cycles, so the table accesses stride through the table with
+	// wrap-around (a pattern LMADs capture) rather than thrashing it.
+	for i := uint32(0); i < outPos; i++ {
+		m.Load(gzLdOutput, output+trace.Addr(i), 1)
+		sym := i % 286
+		m.Load(gzLdFreq, freq+trace.Addr(sym*4), 4)
+		m.Store(gzStFreq, freq+trace.Addr(sym*4), 4)
+	}
+	for s := 0; s < 286; s++ {
+		m.Load(gzLdFreq, freq+trace.Addr(s*4), 4)
+		m.Store(gzStCode, codes+trace.Addr(s*8), 8)
+	}
+	for i := uint32(0); i < outPos; i++ {
+		m.Load(gzLdOutputEmit, output+trace.Addr(i), 1)
+		sym := (i * 7) % 286
+		m.Load(gzLdCode, codes+trace.Addr(sym*8), 8)
+		m.Store(gzStPacked, packed+trace.Addr(i), 1)
+	}
+
+	m.Free(packed)
+	m.Free(codes)
+	m.Free(freq)
+	m.Free(input)
+	m.Free(hash)
+	m.Free(chain)
+	m.Free(output)
+}

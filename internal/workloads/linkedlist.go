@@ -1,0 +1,91 @@
+package workloads
+
+import (
+	"ormprof/internal/memsim"
+	"ormprof/internal/trace"
+)
+
+// LinkedList is the paper's running example (Figures 1 and 3): a linked
+// list is built with interleaved unrelated allocations (so the nodes land at
+// scattered raw addresses), then traversed repeatedly — instruction 1 loads
+// node→data, instruction 2 loads node→next. In the raw address stream the
+// traversal looks structureless; in object-relative form every access is
+// (group 0-ish, ascending serial, fixed offset).
+type LinkedList struct {
+	cfg Config
+	// Nodes is the number of list elements.
+	Nodes int
+	// Traversals is how many times the list is walked.
+	Traversals int
+}
+
+// NewLinkedList builds the demo program with sizes derived from cfg.
+func NewLinkedList(cfg Config) *LinkedList {
+	cfg = cfg.normalized()
+	return &LinkedList{cfg: cfg, Nodes: 64 * cfg.Scale, Traversals: 16}
+}
+
+// Name implements memsim.Program.
+func (l *LinkedList) Name() string { return "linkedlist" }
+
+// Node layout (48 bytes): 0 data(8) 8 next(8) 16..47 payload. The paper's
+// Figure 3 shows instruction 1 reading offset 0 (data) and instruction 2
+// reading offset 8 (next).
+const (
+	llNodeSize = 48
+	llOffData  = 0
+	llOffNext  = 8
+)
+
+// Instruction IDs match the paper's Figure 3 numbering.
+const (
+	LLLdData trace.InstrID = 1 // instruction 1: load node→data
+	LLLdNext trace.InstrID = 2 // instruction 2: load node→next
+	LLStData trace.InstrID = 3 // update pass: store node→data
+)
+
+// Allocation sites: the list nodes (group 0 in the paper's figure) and the
+// unrelated clutter allocations that scatter the heap.
+const (
+	LLSiteNode    trace.SiteID = 70
+	LLSiteClutter trace.SiteID = 71
+)
+
+// Run implements memsim.Program.
+func (l *LinkedList) Run(m *memsim.Machine) {
+	nodes := make([]trace.Addr, l.Nodes)
+	clutter := make([]trace.Addr, 0, l.Nodes)
+	for i := range nodes {
+		nodes[i] = m.Alloc(LLSiteNode, llNodeSize)
+		// Unrelated allocations between nodes: the "confounding
+		// artifacts" that make raw node addresses non-contiguous.
+		if i%3 == 1 {
+			clutter = append(clutter, m.Alloc(LLSiteClutter, 16+uint32(i%5)*16))
+		}
+		if i%7 == 6 && len(clutter) > 0 {
+			m.Free(clutter[len(clutter)-1])
+			clutter = clutter[:len(clutter)-1]
+		}
+	}
+
+	for t := 0; t < l.Traversals; t++ {
+		// The paper's loop:  while (node) { ... = node->data; node = node->next; }
+		for i := range nodes {
+			m.Load(LLLdData, nodes[i]+llOffData, 8)
+			m.Load(LLLdNext, nodes[i]+llOffNext, 8)
+		}
+		// Update pass every other traversal: the store half of Figure 1.
+		if t%2 == 1 {
+			for i := range nodes {
+				m.Store(LLStData, nodes[i]+llOffData, 8)
+			}
+		}
+	}
+
+	for _, c := range clutter {
+		m.Free(c)
+	}
+	for _, n := range nodes {
+		m.Free(n)
+	}
+}

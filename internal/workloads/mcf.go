@@ -1,0 +1,145 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"ormprof/internal/memsim"
+	"ormprof/internal/trace"
+)
+
+// mcfLike mimics 181.mcf: network-simplex pricing over a graph of node and
+// arc records allocated on the heap and reached by pointer chasing. The
+// traversal order is data dependent and the raw address sequence looks
+// structureless, so LEAP captures very little of it in LMADs (the paper
+// reports only 6.5 % of accesses captured) while the object-relative form
+// still factors out the allocator artifacts.
+type mcfLike struct {
+	cfg Config
+}
+
+func newMCF(cfg Config) *mcfLike { return &mcfLike{cfg: cfg} }
+
+func (m *mcfLike) Name() string { return "181.mcf" }
+
+// Node record layout (48 bytes):
+//
+//	0  potential   (8)
+//	8  firstArc    (8, index of first outgoing arc)
+//	16 basicArc    (8)
+//	24 flow        (8)
+//	32 depth       (8)
+//	40 mark        (8)
+const (
+	mcfNodeSize     = 48
+	mcfOffPotential = 0
+	mcfOffFirstArc  = 8
+	mcfOffBasic     = 16
+	mcfOffFlow      = 24
+	mcfOffMark      = 40
+)
+
+// Arc record layout (40 bytes):
+//
+//	0  cost   (8)
+//	8  tail   (8)
+//	16 head   (8)
+//	24 nextOut(8)
+//	32 redCost(8)
+const (
+	mcfArcSize    = 40
+	mcfOffCost    = 0
+	mcfOffTail    = 8
+	mcfOffHead    = 16
+	mcfOffNextOut = 24
+	mcfOffRedCost = 32
+)
+
+const (
+	mcfLdNodePotential trace.InstrID = iota + 200
+	mcfStNodePotential
+	mcfLdNodeFirstArc
+	mcfLdArcCost
+	mcfLdArcHead
+	mcfLdArcNext
+	mcfStArcRedCost
+	mcfLdArcTail
+	mcfLdNodeFlow
+	mcfStNodeFlow
+	mcfStNodeMark
+)
+
+const (
+	mcfSiteNode trace.SiteID = iota + 10
+	mcfSiteArc
+)
+
+func (w *mcfLike) Run(m *memsim.Machine) {
+	rng := rand.New(rand.NewSource(w.cfg.Seed + 1))
+	nNodes := 600 * w.cfg.Scale
+	arcsPerNode := 4
+
+	// Build the network. As in the real 181.mcf, nodes and arcs live in
+	// two big calloc'd arrays; the linked structure is woven through them
+	// with indices, so pointer chasing stays *within* the two objects.
+	nodeArr := m.Alloc(mcfSiteNode, uint32(nNodes*mcfNodeSize))
+	arcArr := m.Alloc(mcfSiteArc, uint32(nNodes*arcsPerNode*mcfArcSize))
+	nodeAddr := func(i int) trace.Addr { return nodeArr + trace.Addr(i*mcfNodeSize) }
+	arcAddr := func(i int) trace.Addr { return arcArr + trace.Addr(i*mcfArcSize) }
+
+	type arcMeta struct {
+		head int
+		next int // index into arcs, -1 terminates
+	}
+	arcs := make([]arcMeta, 0, nNodes*arcsPerNode)
+	firstArc := make([]int, nNodes)
+	for i := range firstArc {
+		firstArc[i] = -1
+	}
+	for i := 0; i < nNodes; i++ {
+		for j := 0; j < arcsPerNode; j++ {
+			arcs = append(arcs, arcMeta{head: rng.Intn(nNodes), next: firstArc[i]})
+			firstArc[i] = len(arcs) - 1
+		}
+	}
+
+	// Pricing iterations: walk every node's arc list, compute reduced
+	// costs, occasionally pivot (update potentials along a random path).
+	iters := 12
+	for it := 0; it < iters; it++ {
+		// Alternate pricing strategies (mcf's primal/dual phases) carry
+		// distinct instruction IDs.
+		v := trace.InstrID(1000 * (it % 2))
+		for i := 0; i < nNodes; i++ {
+			m.Load(mcfLdNodeFirstArc+v, nodeAddr(i)+mcfOffFirstArc, 8)
+			m.Load(mcfLdNodePotential+v, nodeAddr(i)+mcfOffPotential, 8)
+			for ai := firstArc[i]; ai != -1; ai = arcs[ai].next {
+				arc := &arcs[ai]
+				a := arcAddr(ai)
+				m.Load(mcfLdArcCost+v, a+mcfOffCost, 8)
+				m.Load(mcfLdArcHead+v, a+mcfOffHead, 8)
+				// Chase to the head node's potential: the irregular hop.
+				m.Load(mcfLdNodePotential+v, nodeAddr(arc.head)+mcfOffPotential, 8)
+				m.Store(mcfStArcRedCost+v, a+mcfOffRedCost, 8)
+				m.Load(mcfLdArcNext+v, a+mcfOffNextOut, 8)
+			}
+		}
+		// Pivot: follow a random path updating flows and potentials.
+		cur := rng.Intn(nNodes)
+		for step := 0; step < 40; step++ {
+			ai := firstArc[cur]
+			if ai == -1 {
+				break
+			}
+			arc := &arcs[ai]
+			m.Load(mcfLdArcTail, arcAddr(ai)+mcfOffTail, 8)
+			m.Load(mcfLdNodeFlow, nodeAddr(cur)+mcfOffFlow, 8)
+			m.Store(mcfStNodeFlow, nodeAddr(cur)+mcfOffFlow, 8)
+			m.Store(mcfStNodePotential, nodeAddr(cur)+mcfOffPotential, 8)
+			m.Store(mcfStNodeMark, nodeAddr(cur)+mcfOffMark, 8)
+			cur = arc.head
+		}
+	}
+
+	m.Free(arcArr)
+	m.Free(nodeArr)
+}

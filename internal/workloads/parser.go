@@ -1,0 +1,158 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"ormprof/internal/memsim"
+	"ormprof/internal/trace"
+)
+
+// parserLike mimics 197.parser: per-sentence churn of small linked records
+// that are allocated, linked, traversed, and freed. Like the real 197.parser
+// (which carves records out of its own xalloc pools), each sentence's nodes
+// live in one pool allocation — and, per the paper's footnote 2, the
+// profiler treats the pool as a single object, so node accesses become
+// offsets within the pool. The free-list allocator recycles pool addresses
+// across sentences, so the raw address stream is full of false aliasing
+// while the object-relative stream stays clean — the scenario of the
+// paper's Figure 1. Traversals are field-regular (the paper reports 76 % of
+// accesses captured by LMADs).
+type parserLike struct {
+	cfg Config
+}
+
+func newParser(cfg Config) *parserLike { return &parserLike{cfg: cfg} }
+
+func (p *parserLike) Name() string { return "197.parser" }
+
+// Word node layout (40 bytes): 0 token(8) 8 next(8) 16 left(8) 24 right(8)
+// 32 score(8). The (token, score) field pair at offsets 0 and 32 is the
+// field-reordering opportunity the offset grammar exposes (§3.2).
+const (
+	parseNodeSize = 40
+	parseOffToken = 0
+	parseOffNext  = 8
+	parseOffLeft  = 16
+	parseOffRight = 24
+	parseOffScore = 32
+)
+
+// parsePoolWords is the pool capacity in nodes; sentences are at most this
+// long.
+const parsePoolWords = 32
+
+const (
+	paStToken trace.InstrID = iota + 500
+	paStNext
+	paLdToken
+	paLdNext
+	paLdLeft
+	paLdRight
+	paStScore
+	paLdScore
+	paLdDict
+	paStLink
+	paStScratch
+	paLdScratch
+)
+
+const (
+	paSitePool trace.SiteID = iota + 40
+	paSiteDict
+	paSiteLink
+	paSiteScratch
+)
+
+func (p *parserLike) Run(m *memsim.Machine) {
+	rng := rand.New(rand.NewSource(p.cfg.Seed + 4))
+
+	dict := m.Alloc(paSiteDict, 8192*8)
+	links := m.Alloc(paSiteLink, 512*8)
+
+	// The node arena persists across sentences, as xalloc's does: the pool
+	// is carved afresh for every sentence but the memory is reused in
+	// place, so node offsets recur sentence after sentence. Under the
+	// footnote-2 alternative policy (IndividualAlloc) every node is its
+	// own heap object instead.
+	var node func(i int) trace.Addr
+	var pool trace.Addr
+	var nodes []trace.Addr
+	if p.cfg.IndividualAlloc {
+		nodes = make([]trace.Addr, parsePoolWords)
+		node = func(i int) trace.Addr { return nodes[i] }
+	} else {
+		pool = m.Alloc(paSitePool, parsePoolWords*parseNodeSize)
+		node = func(i int) trace.Addr { return pool + trace.Addr(i*parseNodeSize) }
+	}
+
+	sentences := 120 * p.cfg.Scale
+	for s := 0; s < sentences; s++ {
+		nWords := 8 + rng.Intn(8)
+		if p.cfg.IndividualAlloc {
+			for i := 0; i < nWords; i++ {
+				nodes[i] = m.Alloc(paSitePool, parseNodeSize)
+			}
+		}
+
+		// Per-sentence scratch allocations (connector strings etc.): the
+		// churn that makes raw addresses alias across sentences.
+		scratch := m.Alloc(paSiteScratch, 64+uint32(rng.Intn(4))*32)
+		m.Store(paStScratch, scratch, 8)
+		m.Load(paLdScratch, scratch, 8)
+
+		// Build the sentence: store each node's fields and link it to the
+		// previous node.
+		for i := 0; i < nWords; i++ {
+			m.Store(paStToken, node(i)+parseOffToken, 8)
+			if i > 0 {
+				m.Store(paStNext, node(i-1)+parseOffNext, 8)
+			}
+			// Dictionary lookups for the word: hash probe plus a short
+			// collision chain (hashed, irregular).
+			probes := 2 + rng.Intn(3)
+			for pr := 0; pr < probes; pr++ {
+				m.Load(paLdDict, dict+trace.Addr(rng.Intn(8192)*8), 8)
+			}
+		}
+
+		// Parse passes: traverse the list several times, reading linked
+		// fields and scoring (the paper's Figure 3 access pattern).
+		// Each pass is a different parsing stage, so its loads and stores
+		// are distinct static instructions (variant IDs per stage).
+		passes := 3
+		for pass := 0; pass < passes; pass++ {
+			v := trace.InstrID(1000 * pass)
+			for i := 0; i < nWords; i++ {
+				m.Load(paLdToken+v, node(i)+parseOffToken, 8)
+				m.Load(paLdNext+v, node(i)+parseOffNext, 8)
+				if rng.Intn(2) == 0 {
+					m.Load(paLdLeft+v, node(i)+parseOffLeft, 8)
+				} else {
+					m.Load(paLdRight+v, node(i)+parseOffRight, 8)
+				}
+				m.Store(paStScore+v, node(i)+parseOffScore, 8)
+			}
+		}
+
+		// Linkage evaluation: read scores back and record link choices.
+		for i := 0; i < nWords; i++ {
+			m.Load(paLdScore, node(i)+parseOffScore, 8)
+			m.Store(paStLink, links+trace.Addr((i%512)*8), 8)
+		}
+
+		// Sentence done: release the scratch (free-list reuse next
+		// sentence — the Figure 1 false-aliasing source).
+		m.Free(scratch)
+		if p.cfg.IndividualAlloc {
+			for i := nWords - 1; i >= 0; i-- {
+				m.Free(nodes[i])
+			}
+		}
+	}
+
+	if !p.cfg.IndividualAlloc {
+		m.Free(pool)
+	}
+	m.Free(links)
+	m.Free(dict)
+}

@@ -1,0 +1,143 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"ormprof/internal/memsim"
+	"ormprof/internal/trace"
+)
+
+// twolfLike mimics 300.twolf: standard-cell placement and routing. Cells
+// are small heap records indexed through a grid occupancy array; the
+// annealer perturbs random cells and re-evaluates their neighbourhoods with
+// short strided scans over grid rows. Accesses split roughly evenly between
+// strided grid sweeps and irregular cell hops (Table 1 reports 66.5 % of
+// accesses captured).
+type twolfLike struct {
+	cfg Config
+}
+
+func newTwolf(cfg Config) *twolfLike { return &twolfLike{cfg: cfg} }
+
+func (t *twolfLike) Name() string { return "300.twolf" }
+
+// Cell record layout (24 bytes): 0 x(4) 4 y(4) 8 cost(8) 16 orient(4)
+// 20 pad(4).
+const (
+	twCellSize   = 24
+	twOffX       = 0
+	twOffY       = 4
+	twOffCost    = 8
+	twOffOrient  = 16
+	twGridStride = 4
+)
+
+const (
+	twLdGrid trace.InstrID = iota + 700
+	twStGrid
+	twLdCellX
+	twLdCellY
+	twStCellX
+	twStCellY
+	twLdCellCost
+	twStCellCost
+	twStCellOrient
+	twLdRowScan
+	twStRowCost
+	twLdRowCost
+	twLdGridWire
+)
+
+const (
+	twSiteCell trace.SiteID = iota + 60
+	twSiteGrid
+	twSiteRowCost
+)
+
+func (t *twolfLike) Run(m *memsim.Machine) {
+	rng := rand.New(rand.NewSource(t.cfg.Seed + 6))
+	gridW, gridH := 48, 32
+	nCells := 256 * t.cfg.Scale
+
+	grid := m.Alloc(twSiteGrid, uint32(gridW*gridH*twGridStride))
+	cells := make([]trace.Addr, nCells)
+	for i := range cells {
+		cells[i] = m.Alloc(twSiteCell, twCellSize)
+	}
+
+	gridAt := func(x, y int) trace.Addr {
+		return grid + trace.Addr((y*gridW+x)*twGridStride)
+	}
+
+	// Initial placement: write every cell and its grid slot.
+	for i, c := range cells {
+		m.Store(twStCellX, c+twOffX, 4)
+		m.Store(twStCellY, c+twOffY, 4)
+		m.Store(twStCellCost, c+twOffCost, 8)
+		m.Store(twStGrid, gridAt(i%gridW, (i/gridW)%gridH), 4)
+	}
+
+	// Perturbation loop, with a full cost sweep at each temperature step
+	// (twolf recomputes row costs and cell penalties wholesale), which is
+	// where most of its strided access mass comes from. The first sweep
+	// runs before any random move so the sweep patterns are established
+	// while descriptor budget remains.
+	moves := 60 * nCells
+	sweepEvery := nCells / 2
+	for mv := 0; mv < moves; mv++ {
+		if mv%sweepEvery == 0 {
+			for g := 0; g < gridW*gridH; g++ {
+				m.Load(twLdRowScan, grid+trace.Addr(g*twGridStride), 4)
+			}
+			for _, c := range cells {
+				m.Load(twLdCellCost, c+twOffCost, 8)
+				m.Store(twStCellCost, c+twOffCost, 8)
+			}
+		}
+		ci := rng.Intn(nCells)
+		c := cells[ci]
+		m.Load(twLdCellX, c+twOffX, 4)
+		m.Load(twLdCellY, c+twOffY, 4)
+
+		// Evaluate the neighbourhood: scan a grid row segment (strided).
+		x, y := rng.Intn(gridW-8), rng.Intn(gridH)
+		for dx := 0; dx < 8; dx++ {
+			m.Load(twLdRowScan, gridAt(x+dx, y), 4)
+		}
+		m.Load(twLdGrid, gridAt(rng.Intn(gridW), rng.Intn(gridH)), 4)
+
+		// Accept two thirds of moves.
+		if rng.Intn(3) != 0 {
+			m.Store(twStCellX, c+twOffX, 4)
+			m.Store(twStCellY, c+twOffY, 4)
+			m.Load(twLdCellCost, c+twOffCost, 8)
+			m.Store(twStCellCost, c+twOffCost, 8)
+			m.Store(twStGrid, gridAt(x, y), 4)
+		} else if rng.Intn(4) == 0 {
+			m.Store(twStCellOrient, c+twOffOrient, 4)
+		}
+	}
+
+	// Wire-length audit (twolf's dimbox/wirecosts pass): accumulate
+	// per-row costs from a full grid sweep, then read the summary back —
+	// strided store→load pairs over the small row-cost array.
+	rowCost := m.Alloc(twSiteRowCost, uint32(gridH*8))
+	for pass := 0; pass < 4; pass++ {
+		for y := 0; y < gridH; y++ {
+			for x := 0; x < gridW; x++ {
+				m.Load(twLdGridWire, gridAt(x, y), 4)
+			}
+			m.Load(twLdRowCost, rowCost+trace.Addr(y*8), 8)
+			m.Store(twStRowCost, rowCost+trace.Addr(y*8), 8)
+		}
+		for y := 0; y < gridH; y++ {
+			m.Load(twLdRowCost, rowCost+trace.Addr(y*8), 8)
+		}
+	}
+	m.Free(rowCost)
+
+	for _, c := range cells {
+		m.Free(c)
+	}
+	m.Free(grid)
+}

@@ -1,0 +1,168 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"ormprof/internal/memsim"
+	"ormprof/internal/trace"
+)
+
+// vprLike mimics 175.vpr: simulated-annealing placement. Cells live in one
+// large array-of-structs; nets are small heap arrays of cell indices. The
+// annealer proposes random swaps, reads the nets of both cells, and writes
+// positions back — random cell indexing (irregular at the object-serial
+// level but field-regular at the offset level) plus short strided net scans.
+type vprLike struct {
+	cfg Config
+}
+
+func newVPR(cfg Config) *vprLike { return &vprLike{cfg: cfg} }
+
+func (v *vprLike) Name() string { return "175.vpr" }
+
+// Cell record layout (32 bytes): 0 x(4) 4 y(4) 8 cost(8) 16 netCount(4)
+// 20 pad(4) 24 flags(8).
+const (
+	vprCellSize    = 32
+	vprOffX        = 0
+	vprOffY        = 4
+	vprOffCost     = 8
+	vprOffNetCount = 16
+	vprOffFlags    = 24
+)
+
+const (
+	vprLdCellX trace.InstrID = iota + 300
+	vprLdCellY
+	vprStCellX
+	vprStCellY
+	vprLdCellCost
+	vprStCellCost
+	vprLdCellNetCount
+	vprLdNetElem
+	vprLdNetBB
+	vprStNetBB
+	vprLdCellFlags
+	vprLdRRNode
+	vprStRRNode
+	vprLdRouteNet
+	vprStRouteLen
+	vprLdRouteLen
+)
+
+const (
+	vprSiteCells trace.SiteID = iota + 20
+	vprSiteNet
+	vprSiteBB
+	vprSiteRR
+	vprSiteRouteLen
+)
+
+func (v *vprLike) Run(m *memsim.Machine) {
+	rng := rand.New(rand.NewSource(v.cfg.Seed + 2))
+	nCells := 512 * v.cfg.Scale
+	nNets := nCells / 2
+	netLen := 6
+
+	cells := m.Alloc(vprSiteCells, uint32(nCells*vprCellSize))
+	nets := make([]trace.Addr, nNets)
+	for i := range nets {
+		nets[i] = m.Alloc(vprSiteNet, uint32(netLen*4))
+	}
+	bboxes := m.Alloc(vprSiteBB, uint32(nNets*16))
+
+	cellAddr := func(i int) trace.Addr { return cells + trace.Addr(i*vprCellSize) }
+
+	// Initial placement pass: sequential sweep writing every cell
+	// (strongly strided stores).
+	for i := 0; i < nCells; i++ {
+		m.Store(vprStCellX, cellAddr(i)+vprOffX, 4)
+		m.Store(vprStCellY, cellAddr(i)+vprOffY, 4)
+		m.Store(vprStCellCost, cellAddr(i)+vprOffCost, 8)
+	}
+
+	// Annealing: random swap proposals, with a full cost-recomputation
+	// sweep at each temperature step (vpr's recompute_bb_cost), which is
+	// where most of its strided access mass comes from.
+	moves := 18 * nCells
+	sweepEvery := nCells
+	for mv := 0; mv < moves; mv++ {
+		if mv%sweepEvery == 0 {
+			for n := 0; n < nNets; n++ {
+				m.Load(vprLdNetBB, bboxes+trace.Addr(n*16), 8)
+				m.Store(vprStNetBB, bboxes+trace.Addr(n*16), 8)
+			}
+			for i := 0; i < nCells; i++ {
+				m.Load(vprLdCellCost, cellAddr(i)+vprOffCost, 8)
+				m.Store(vprStCellCost, cellAddr(i)+vprOffCost, 8)
+			}
+		}
+		a := rng.Intn(nCells)
+		b := rng.Intn(nCells)
+
+		m.Load(vprLdCellX, cellAddr(a)+vprOffX, 4)
+		m.Load(vprLdCellY, cellAddr(a)+vprOffY, 4)
+		m.Load(vprLdCellX, cellAddr(b)+vprOffX, 4)
+		m.Load(vprLdCellY, cellAddr(b)+vprOffY, 4)
+		m.Load(vprLdCellNetCount, cellAddr(a)+vprOffNetCount, 4)
+
+		// Scan the nets touching cell a (model: a couple of random nets,
+		// each scanned sequentially — short strided runs).
+		for n := 0; n < 2; n++ {
+			net := rng.Intn(nNets)
+			for e := 0; e < netLen; e++ {
+				m.Load(vprLdNetElem, nets[net]+trace.Addr(e*4), 4)
+			}
+			m.Load(vprLdNetBB, bboxes+trace.Addr(net*16), 8)
+		}
+
+		// Accept roughly half the moves: swap positions and update cost.
+		if rng.Intn(2) == 0 {
+			m.Store(vprStCellX, cellAddr(a)+vprOffX, 4)
+			m.Store(vprStCellY, cellAddr(a)+vprOffY, 4)
+			m.Store(vprStCellX, cellAddr(b)+vprOffX, 4)
+			m.Store(vprStCellY, cellAddr(b)+vprOffY, 4)
+			m.Load(vprLdCellCost, cellAddr(a)+vprOffCost, 8)
+			m.Store(vprStCellCost, cellAddr(a)+vprOffCost, 8)
+			net := rng.Intn(nNets)
+			m.Store(vprStNetBB, bboxes+trace.Addr(net*16), 8)
+		} else {
+			m.Load(vprLdCellFlags, cellAddr(a)+vprOffFlags, 8)
+		}
+	}
+
+	// Routing stage (vpr's second half): walk each net through the
+	// routing-resource graph, marking occupancy along a meandering path,
+	// then a wire-length audit re-reads every recorded route length.
+	rrNodes := 4096
+	rr := m.Alloc(vprSiteRR, uint32(rrNodes*8))
+	routeLen := m.Alloc(vprSiteRouteLen, uint32(nNets*4))
+	for n := 0; n < nNets; n++ {
+		m.Load(vprLdRouteNet, nets[n], 4)
+		cur := rng.Intn(rrNodes)
+		hops := 4 + rng.Intn(12)
+		for h := 0; h < hops; h++ {
+			m.Load(vprLdRRNode, rr+trace.Addr(cur*8), 8)
+			m.Store(vprStRRNode, rr+trace.Addr(cur*8), 8)
+			// Mostly adjacent hops with occasional jumps, like expanding
+			// a routing wavefront.
+			if rng.Intn(8) == 0 {
+				cur = rng.Intn(rrNodes)
+			} else {
+				cur = (cur + 1) % rrNodes
+			}
+		}
+		m.Store(vprStRouteLen, routeLen+trace.Addr(n*4), 4)
+	}
+	for n := 0; n < nNets; n++ {
+		m.Load(vprLdRouteLen, routeLen+trace.Addr(n*4), 4)
+	}
+
+	m.Free(routeLen)
+	m.Free(rr)
+	for _, n := range nets {
+		m.Free(n)
+	}
+	m.Free(bboxes)
+	m.Free(cells)
+}
