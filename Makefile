@@ -1,0 +1,32 @@
+# Developer / CI entry points. Tier-1 is what every PR must keep green;
+# test-race is the tier-2 check for the concurrent pipeline stages.
+
+GO ?= go
+
+.PHONY: all build test test-race test-short bench vet
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+# Tier-1: the gate every change must pass (see ROADMAP.md).
+test: build
+	$(GO) test ./...
+
+# Tier-2: race-detect the parallel pipeline — the sharded/broadcast fan-out
+# stages and their consumers. Run this for any change touching
+# internal/profiler, internal/whomp, internal/leap, or internal/stride.
+test-race:
+	$(GO) test -race ./internal/profiler/... ./internal/whomp/... \
+		./internal/leap/... ./internal/stride/... ./internal/decomp/...
+
+# Skip the CLI integration tests (they build all binaries).
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+vet:
+	$(GO) vet ./...

@@ -18,6 +18,8 @@ import (
 
 	"ormprof/internal/depend"
 	"ormprof/internal/experiments"
+	"ormprof/internal/leap"
+	"ormprof/internal/whomp"
 	"ormprof/internal/workloads"
 )
 
@@ -199,6 +201,78 @@ func BenchmarkAblationDecomposition(b *testing.B) {
 	n := float64(len(rows))
 	b.ReportMetric(trans/n, "translation-only-gain%")
 	b.ReportMetric(full/n, "full-decomposition-gain%")
+}
+
+// BenchmarkParallelPipeline measures the parallel profiling pipeline
+// against the sequential path on a large synthetic workload: WHOMP with
+// concurrent dimension-grammar workers and LEAP with instruction-sharded
+// stream compression, at several worker counts. The trace is recorded once
+// outside the timed region, so the benchmark isolates the profile-
+// construction stage — the part the fan-out parallelizes (translation
+// stays sequential but overlaps the workers). Throughput is reported as
+// records/s; compare seq vs parN with benchstat. Speedup requires
+// GOMAXPROCS > 1: on a single-CPU host the parallel path only adds channel
+// overhead, which this benchmark then quantifies instead.
+func BenchmarkParallelPipeline(b *testing.B) {
+	// 181.mcf is the largest pointer-chasing workload; scale it up
+	// relative to the global -workload-scale so the grammar and LMAD
+	// stages dominate the per-iteration cost.
+	cfg := workloads.Config{Scale: *benchScale * 4, Seed: 42}
+	prog, err := workloads.New("181.mcf", cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf, sites := experiments.Record(prog, nil)
+	records := float64(len(buf.Accesses()))
+
+	reportThroughput := func(b *testing.B) {
+		b.ReportMetric(records*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+	}
+
+	b.Run("whomp/seq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := whomp.New(sites)
+			buf.Replay(p)
+			if got := p.Profile("bench").Records; got != uint64(records) {
+				b.Fatalf("profiled %d records, want %d", got, uint64(records))
+			}
+		}
+		reportThroughput(b)
+	})
+	b.Run("whomp/par4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := whomp.NewParallel(sites, 4)
+			buf.Replay(p)
+			if got := p.Profile("bench").Records; got != uint64(records) {
+				b.Fatalf("profiled %d records, want %d", got, uint64(records))
+			}
+		}
+		reportThroughput(b)
+	})
+
+	b.Run("leap/seq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := leap.New(sites, 0)
+			buf.Replay(p)
+			if got := p.Profile("bench").Records; got != uint64(records) {
+				b.Fatalf("profiled %d records, want %d", got, uint64(records))
+			}
+		}
+		reportThroughput(b)
+	})
+	for _, workers := range []int{2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("leap/par%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := leap.NewParallel(sites, 0, workers)
+				buf.Replay(p)
+				if got := p.Profile("bench").Records; got != uint64(records) {
+					b.Fatalf("profiled %d records, want %d", got, uint64(records))
+				}
+			}
+			reportThroughput(b)
+		})
+	}
 }
 
 func shortName(bench string) string {

@@ -6,6 +6,7 @@ package ormprof
 // formats) that package-level unit tests cannot see.
 
 import (
+	"bytes"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -89,6 +90,39 @@ func TestCLILeapSingleWorkload(t *testing.T) {
 
 	out = runTool(t, "ormprof", "inspect", profile)
 	wantContains(t, out, "LEAP profile", "streams", "sample quality")
+}
+
+func TestCLIWorkersFlagDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	// -workers must change only the wall-clock, never the bytes written:
+	// profiles collected with 1 and 4 workers are identical files.
+	dir := t.TempDir()
+	read := func(path string) []byte {
+		t.Helper()
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading %s: %v", path, err)
+		}
+		return b
+	}
+
+	w1 := filepath.Join(dir, "w1.whomp")
+	w4 := filepath.Join(dir, "w4.whomp")
+	runTool(t, "whomp", "-workload", "linkedlist", "-workers", "1", "-o", w1)
+	runTool(t, "whomp", "-workload", "linkedlist", "-workers", "4", "-o", w4)
+	if !bytes.Equal(read(w1), read(w4)) {
+		t.Errorf("whomp profiles differ between -workers 1 and -workers 4")
+	}
+
+	l1 := filepath.Join(dir, "l1.leap")
+	l4 := filepath.Join(dir, "l4.leap")
+	runTool(t, "leap", "-workload", "linkedlist", "-workers", "1", "-o", l1)
+	runTool(t, "leap", "-workload", "linkedlist", "-workers", "4", "-o", l4)
+	if !bytes.Equal(read(l1), read(l4)) {
+		t.Errorf("leap profiles differ between -workers 1 and -workers 4")
+	}
 }
 
 func TestCLIRecordAndReplay(t *testing.T) {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	leap [-workload NAME] [-scale N] [-seed N] [-max-lmads N] [-o profile.leap]
+//	leap [-workload NAME] [-scale N] [-seed N] [-max-lmads N] [-workers N] [-o profile.leap]
 package main
 
 import (
@@ -26,12 +26,13 @@ func main() {
 		maxLMADs = flag.Int("max-lmads", 0, "LMAD budget per (instruction, group) stream (0 = paper default of 30)")
 		out      = flag.String("o", "", "write the LEAP profile of the (single) workload to this file")
 		csvOut   = flag.Bool("csv", false, "emit the Table 1 rows as CSV (for plotting)")
+		workers  = flag.Int("workers", 0, "stream-compression workers (0 = GOMAXPROCS; profiles are identical for any count)")
 	)
 	flag.Parse()
 
 	cfg := workloads.Config{Scale: *scale, Seed: *seed}
 	if *workload != "" {
-		if err := runOne(*workload, cfg, *maxLMADs, *out); err != nil {
+		if err := runOne(*workload, cfg, *maxLMADs, *out, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, "leap:", err)
 			os.Exit(1)
 		}
@@ -56,14 +57,14 @@ func main() {
 	fmt.Printf("\nTable 1 (paper averages: 3539x compression, 11.5x dilation, 46.5%% accesses, 40.5%% instructions)\n")
 }
 
-func runOne(name string, cfg workloads.Config, maxLMADs int, out string) error {
+func runOne(name string, cfg workloads.Config, maxLMADs int, out string, workers int) error {
 	prog, err := workloads.New(name, cfg)
 	if err != nil {
 		return err
 	}
 	buf, sites := experiments.Record(prog, nil)
 
-	lp := leap.New(sites, maxLMADs)
+	lp := leap.NewParallel(sites, maxLMADs, workers)
 	buf.Replay(lp)
 	profile := lp.Profile(name)
 

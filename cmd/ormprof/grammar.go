@@ -17,6 +17,7 @@ func grammarCmd(args []string) error {
 	fs := flag.NewFlagSet("grammar", flag.ExitOnError)
 	w, scale, seed, n := workloadFlags(fs)
 	dimName := fs.String("dim", "offset", "dimension: instr, group, object, or offset")
+	workers := fs.Int("workers", 0, "grammar-construction workers (0 = GOMAXPROCS)")
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 
 	var dim decomp.Dimension
@@ -37,7 +38,7 @@ func grammarCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	wp := whomp.New(run.sites)
+	wp := whomp.NewParallel(run.sites, *workers)
 	run.buf.Replay(wp)
 	profile := wp.Profile(*w)
 	g := profile.Grammars[dim]

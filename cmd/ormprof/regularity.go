@@ -24,7 +24,7 @@ func regularityCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	lp := leap.New(run.sites, 0)
+	lp := leap.NewParallel(run.sites, 0, 0)
 	run.buf.Replay(lp)
 	profile := lp.Profile(*w)
 

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	stridescan [-scale N] [-seed N] [-max-lmads N] [-v]
+//	stridescan [-scale N] [-seed N] [-max-lmads N] [-workers N] [-v]
 package main
 
 import (
@@ -25,6 +25,7 @@ func main() {
 		seed     = flag.Int64("seed", 42, "workload random seed")
 		maxLMADs = flag.Int("max-lmads", 0, "LEAP LMAD budget (0 = paper default of 30)")
 		verbose  = flag.Bool("v", false, "list the strongly strided instructions per benchmark")
+		workers  = flag.Int("workers", 0, "profiling/post-processing workers (0 = GOMAXPROCS; reports are identical for any count)")
 	)
 	flag.Parse()
 
@@ -57,9 +58,9 @@ func main() {
 			buf, sites := experiments.Record(prog, nil)
 			ideal := stride.NewIdeal()
 			buf.Replay(ideal)
-			lp := leap.New(sites, *maxLMADs)
+			lp := leap.NewParallel(sites, *maxLMADs, *workers)
 			buf.Replay(lp)
-			est := stride.FromLEAP(lp.Profile(name))
+			est := stride.FromLEAPParallel(lp.Profile(name), *workers)
 			real := ideal.StronglyStrided()
 
 			fmt.Printf("\n%s:\n", name)

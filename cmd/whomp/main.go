@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	whomp [-workload NAME] [-scale N] [-seed N] [-o profile.whomp]
+//	whomp [-workload NAME] [-scale N] [-seed N] [-workers N] [-o profile.whomp]
 //
 // With no -workload, all seven benchmarks run and the Figure 5 table is
 // printed.
@@ -31,19 +31,20 @@ func main() {
 		out      = flag.String("o", "", "write the WHOMP profile of the (single) workload to this file")
 		traceIn  = flag.String("trace", "", "profile a recorded .ormtrace file instead of running a workload")
 		csvOut   = flag.Bool("csv", false, "emit the Figure 5 table as CSV (for plotting)")
+		workers  = flag.Int("workers", 0, "grammar-construction workers (0 = GOMAXPROCS; profiles are identical for any count)")
 	)
 	flag.Parse()
 
 	cfg := workloads.Config{Scale: *scale, Seed: *seed}
 	if *traceIn != "" {
-		if err := runTraceFile(*traceIn, *out); err != nil {
+		if err := runTraceFile(*traceIn, *out, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, "whomp:", err)
 			os.Exit(1)
 		}
 		return
 	}
 	if *workload != "" {
-		if err := runOne(*workload, cfg, *out); err != nil {
+		if err := runOne(*workload, cfg, *out, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, "whomp:", err)
 			os.Exit(1)
 		}
@@ -79,7 +80,7 @@ func main() {
 
 // runTraceFile profiles a previously recorded probe trace ("collect once,
 // profile many"): site names are unavailable, so groups get site#N names.
-func runTraceFile(path, out string) error {
+func runTraceFile(path, out string, workers int) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -92,7 +93,7 @@ func runTraceFile(path, out string) error {
 	}
 	fmt.Printf("replaying %d events from %s\n", n, path)
 
-	wp := whomp.New(nil)
+	wp := whomp.NewParallel(nil, workers)
 	buf.Replay(wp)
 	profile := wp.Profile(path)
 	rasg := whomp.NewRASG()
@@ -114,14 +115,14 @@ func runTraceFile(path, out string) error {
 	return nil
 }
 
-func runOne(name string, cfg workloads.Config, out string) error {
+func runOne(name string, cfg workloads.Config, out string, workers int) error {
 	prog, err := workloads.New(name, cfg)
 	if err != nil {
 		return err
 	}
 	buf, sites := experiments.Record(prog, nil)
 
-	wp := whomp.New(sites)
+	wp := whomp.NewParallel(sites, workers)
 	buf.Replay(wp)
 	profile := wp.Profile(name)
 

@@ -7,6 +7,10 @@
 // collects the tuples that share a value in one dimension (all accesses by
 // one instruction, say) into substreams; the time-stamp dimension keeps
 // every tuple uniquely identified so substreams can be recomposed.
+//
+// Vertical decomposition also defines the parallel pipeline's partitioning:
+// Shard assigns records to workers by instruction so that every substream
+// lands whole, and in order, on a single worker.
 package decomp
 
 import (
@@ -134,6 +138,19 @@ func (h Horizontal) Recompose() []profiler.Record {
 		}
 	}
 	return recs
+}
+
+// Shard assigns a record to one of n vertical shards by instruction ID.
+// All records of one instruction — and therefore of every
+// (instruction, group) substream — map to the same shard, so a sharded
+// consumer sees each vertically decomposed substream whole and in order.
+// This is the shard function the parallel LEAP pipeline uses; the
+// multiplicative hash spreads clustered instruction IDs evenly.
+func Shard(r profiler.Record, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int((uint32(r.Instr) * 0x9e3779b1) % uint32(n))
 }
 
 // InstrGroupKey keys vertical decomposition by instruction then group — the

@@ -10,6 +10,12 @@
 //
 // Two post-processors consume LEAP profiles: memory dependence frequency
 // (package depend) and stride patterns (package stride).
+//
+// Because streams are keyed by (instruction, group), compression shards
+// cleanly by instruction: NewParallel fans the record stream out across
+// workers and merges the disjoint shard profiles, producing a profile
+// identical to the sequential one (see ParallelSCC and
+// docs/ARCHITECTURE.md).
 package leap
 
 import (
@@ -163,11 +169,19 @@ func (s *SCC) BuildProfile(workload string) *Profile {
 	return p
 }
 
+// compressorSCC is the contract between the Profiler front end and a LEAP
+// compression stage: the sequential SCC and the ParallelSCC both satisfy
+// it and build identical profiles for the same input stream.
+type compressorSCC interface {
+	profiler.SCC
+	BuildProfile(workload string) *Profile
+}
+
 // Profiler bundles the full LEAP pipeline: OMC + CDC + SCC. It is a
 // trace.Sink.
 type Profiler struct {
 	omc *omc.OMC
-	scc *SCC
+	scc compressorSCC
 	cdc *profiler.CDC
 }
 
@@ -176,6 +190,22 @@ type Profiler struct {
 func New(siteNames map[trace.SiteID]string, maxLMADs int) *Profiler {
 	o := omc.New(siteNames)
 	scc := NewSCC(maxLMADs)
+	return &Profiler{omc: o, scc: scc, cdc: profiler.NewCDC(o, scc)}
+}
+
+// NewParallel creates a LEAP profiler whose per-(instruction, group) stream
+// compression fans out across the given number of workers, sharded by
+// instruction ID. workers ≤ 0 selects runtime.GOMAXPROCS(0); workers == 1
+// returns the plain sequential profiler. The resulting profile is identical
+// to the sequential one regardless of worker count (asserted by
+// TestParallelDeterminism).
+func NewParallel(siteNames map[trace.SiteID]string, maxLMADs, workers int) *Profiler {
+	workers = profiler.DefaultWorkers(workers)
+	if workers <= 1 {
+		return New(siteNames, maxLMADs)
+	}
+	o := omc.New(siteNames)
+	scc := NewParallelSCC(maxLMADs, workers)
 	return &Profiler{omc: o, scc: scc, cdc: profiler.NewCDC(o, scc)}
 }
 

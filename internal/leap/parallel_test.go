@@ -1,0 +1,84 @@
+package leap
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"ormprof/internal/memsim"
+	"ormprof/internal/trace"
+	"ormprof/internal/workloads"
+)
+
+func collectParallelDemo(t *testing.T) (*trace.Buffer, map[trace.SiteID]string) {
+	t.Helper()
+	prog := workloads.NewLinkedList(workloads.Config{Scale: 1, Seed: 7})
+	buf := &trace.Buffer{}
+	m := memsim.Run(prog, buf)
+	return buf, m.StaticSites()
+}
+
+// TestParallelDeterminism is the parallel pipeline's determinism gate: the
+// profile built with instruction-sharded workers must serialize
+// byte-identically to the sequential profile for every worker count.
+func TestParallelDeterminism(t *testing.T) {
+	buf, sites := collectParallelDemo(t)
+
+	seq := New(sites, 0)
+	buf.Replay(seq)
+	var seqBytes bytes.Buffer
+	if _, err := seq.Profile("linkedlist").WriteTo(&seqBytes); err != nil {
+		t.Fatalf("sequential WriteTo: %v", err)
+	}
+
+	for _, workers := range []int{1, 2, 8} {
+		par := NewParallel(sites, 0, workers)
+		buf.Replay(par)
+		profile := par.Profile("linkedlist")
+		var parBytes bytes.Buffer
+		if _, err := profile.WriteTo(&parBytes); err != nil {
+			t.Fatalf("workers=%d WriteTo: %v", workers, err)
+		}
+		if !bytes.Equal(seqBytes.Bytes(), parBytes.Bytes()) {
+			t.Fatalf("workers=%d: profile differs from sequential (%d vs %d bytes)",
+				workers, parBytes.Len(), seqBytes.Len())
+		}
+	}
+}
+
+// TestParallelProfileStructure checks the merged profile piecewise against
+// the sequential one — sharper diagnostics than the byte-level gate when a
+// merge bug slips in.
+func TestParallelProfileStructure(t *testing.T) {
+	buf, sites := collectParallelDemo(t)
+
+	seq := New(sites, 0)
+	buf.Replay(seq)
+	sp := seq.Profile("linkedlist")
+
+	par := NewParallel(sites, 0, 4)
+	buf.Replay(par)
+	pp := par.Profile("linkedlist")
+
+	if pp.Records != sp.Records {
+		t.Fatalf("records: parallel %d, sequential %d", pp.Records, sp.Records)
+	}
+	if !reflect.DeepEqual(pp.InstrExecs, sp.InstrExecs) {
+		t.Fatalf("InstrExecs differ")
+	}
+	if !reflect.DeepEqual(pp.InstrStore, sp.InstrStore) {
+		t.Fatalf("InstrStore differ")
+	}
+	if len(pp.Streams) != len(sp.Streams) {
+		t.Fatalf("streams: parallel %d, sequential %d", len(pp.Streams), len(sp.Streams))
+	}
+	for _, k := range sp.Keys() {
+		ps, ok := pp.Streams[k]
+		if !ok {
+			t.Fatalf("stream %v missing from parallel profile", k)
+		}
+		if !reflect.DeepEqual(ps, sp.Streams[k]) {
+			t.Fatalf("stream %v differs:\nparallel:   %+v\nsequential: %+v", k, ps, sp.Streams[k])
+		}
+	}
+}

@@ -11,6 +11,12 @@
 //   - the Separation and Compression Component (SCC), which separates the
 //     object-relative stream into substreams and compresses them. WHOMP and
 //     LEAP are the two SCC implementations in this repository.
+//
+// The CDC is sequential by nature (each translation depends on the
+// allocation history), but the SCC side parallelizes: the Sharded and
+// Broadcast stages in this package fan the translated record stream out
+// across worker goroutines with batched channels, deterministically — see
+// docs/ARCHITECTURE.md for the pipeline's concurrency design.
 package profiler
 
 import (

@@ -1,0 +1,221 @@
+package profiler
+
+import (
+	"runtime"
+	"sync"
+)
+
+// This file implements the parallel fan-out stages of the profiling
+// pipeline. The CDC itself is inherently sequential — the OMC is stateful
+// and every translation depends on the allocations that preceded it — but
+// everything downstream of translation decomposes: WHOMP's four dimension
+// grammars are data-independent, and LEAP's vertically decomposed
+// (instruction, group) streams only ever observe records of their own key.
+// Two fan-out shapes cover both:
+//
+//   - Sharded partitions the record stream by key: each record goes to
+//     exactly one worker, chosen by a ShardFunc. Records that share a shard
+//     stay in stream order, which is all a vertical decomposition needs to
+//     reproduce the sequential result exactly.
+//   - Broadcast replicates the record stream: every worker sees every
+//     record, in stream order. A horizontal decomposition needs the full
+//     stream per dimension, so WHOMP's grammar builders use this shape.
+//
+// Both stages batch records before the channel send (DefaultShardBatch,
+// following the async collector's design) so the per-record synchronization
+// cost is amortized to a fraction of a channel operation.
+
+// ShardFunc assigns a record to a worker shard. It must be deterministic —
+// the same record always maps to the same shard — and must send every
+// record of one vertically decomposed substream to the same shard, or the
+// per-substream ordering guarantee is lost.
+type ShardFunc func(Record, int) int
+
+// DefaultShardBatch is the per-worker record batch size. One channel send
+// per ~4096 records keeps synchronization overhead well under the cost of
+// compressing the batch.
+const DefaultShardBatch = 4096
+
+// shardQueueDepth bounds the per-worker queue: the producer blocks once a
+// worker is this many batches behind, bounding pipeline memory.
+const shardQueueDepth = 8
+
+// DefaultWorkers resolves a worker-count setting: values above zero are
+// taken as given, anything else selects runtime.GOMAXPROCS(0).
+func DefaultWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// shardWorker is one fan-out lane: a batch being filled by the producer, a
+// queue, and a goroutine draining the queue into an SCC.
+type shardWorker struct {
+	scc   SCC
+	ch    chan []Record
+	batch []Record
+}
+
+func (w *shardWorker) run(done *sync.WaitGroup, pool *sync.Pool, recycle bool) {
+	defer done.Done()
+	for batch := range w.ch {
+		for i := range batch {
+			w.scc.Consume(batch[i])
+		}
+		if recycle {
+			b := batch[:0]
+			pool.Put(&b)
+		}
+	}
+	w.scc.Finish()
+}
+
+// Sharded is a parallel SCC stage that partitions the record stream across
+// N workers by a shard function. Each worker owns one downstream SCC;
+// because a worker's queue is FIFO and filled by the single producer,
+// every shard observes its records in original stream order — the
+// per-substream order a vertical decomposition requires. Consume must be
+// called from a single goroutine (the CDC), like any SCC.
+type Sharded struct {
+	workers []shardWorker
+	shard   ShardFunc
+	batchSz int
+	pool    sync.Pool
+	done    sync.WaitGroup
+	records uint64
+}
+
+// NewSharded starts n workers, each draining into the SCC built by newSCC
+// for its shard index. shard routes records; batchSize ≤ 0 selects
+// DefaultShardBatch.
+func NewSharded(n, batchSize int, shard ShardFunc, newSCC func(shard int) SCC) *Sharded {
+	if n < 1 {
+		n = 1
+	}
+	if batchSize <= 0 {
+		batchSize = DefaultShardBatch
+	}
+	s := &Sharded{
+		workers: make([]shardWorker, n),
+		shard:   shard,
+		batchSz: batchSize,
+	}
+	s.pool.New = func() any {
+		b := make([]Record, 0, batchSize)
+		return &b
+	}
+	s.done.Add(n)
+	for i := range s.workers {
+		w := &s.workers[i]
+		w.scc = newSCC(i)
+		w.ch = make(chan []Record, shardQueueDepth)
+		w.batch = (*s.pool.Get().(*[]Record))[:0]
+		go w.run(&s.done, &s.pool, true)
+	}
+	return s
+}
+
+// Consume implements SCC: the record is routed to its shard's batch and the
+// batch is flushed to the worker when full.
+func (s *Sharded) Consume(r Record) {
+	s.records++
+	w := &s.workers[s.shard(r, len(s.workers))]
+	w.batch = append(w.batch, r)
+	if len(w.batch) == s.batchSz {
+		w.ch <- w.batch
+		w.batch = (*s.pool.Get().(*[]Record))[:0]
+	}
+}
+
+// Finish implements SCC: it flushes every partial batch, closes the queues,
+// and joins the workers. When it returns, every worker SCC has consumed its
+// full substream and had its own Finish called, and is safe to read.
+func (s *Sharded) Finish() {
+	for i := range s.workers {
+		w := &s.workers[i]
+		if len(w.batch) > 0 {
+			w.ch <- w.batch
+			w.batch = nil
+		}
+		close(w.ch)
+	}
+	s.done.Wait()
+}
+
+// Records reports how many records the stage has routed.
+func (s *Sharded) Records() uint64 { return s.records }
+
+// NumWorkers reports the shard count.
+func (s *Sharded) NumWorkers() int { return len(s.workers) }
+
+// SCC returns shard i's downstream SCC. Only call after Finish (the worker
+// goroutine owns the SCC until then).
+func (s *Sharded) SCC(i int) SCC { return s.workers[i].scc }
+
+// Broadcast is a parallel SCC stage that replicates the record stream to N
+// workers: every worker's SCC consumes every record, in original stream
+// order. Batches are shared read-only between the workers (and therefore
+// not pooled — each flush allocates a fresh batch the GC reclaims once the
+// slowest worker is done with it). Consume must be called from a single
+// goroutine.
+type Broadcast struct {
+	workers []shardWorker
+	batch   []Record
+	batchSz int
+	done    sync.WaitGroup
+	records uint64
+}
+
+// NewBroadcast starts one worker per downstream SCC. batchSize ≤ 0 selects
+// DefaultShardBatch.
+func NewBroadcast(batchSize int, sccs ...SCC) *Broadcast {
+	if batchSize <= 0 {
+		batchSize = DefaultShardBatch
+	}
+	b := &Broadcast{
+		workers: make([]shardWorker, len(sccs)),
+		batch:   make([]Record, 0, batchSize),
+		batchSz: batchSize,
+	}
+	b.done.Add(len(sccs))
+	for i := range b.workers {
+		w := &b.workers[i]
+		w.scc = sccs[i]
+		w.ch = make(chan []Record, shardQueueDepth)
+		go w.run(&b.done, nil, false)
+	}
+	return b
+}
+
+// Consume implements SCC.
+func (b *Broadcast) Consume(r Record) {
+	b.records++
+	b.batch = append(b.batch, r)
+	if len(b.batch) == b.batchSz {
+		b.flush()
+	}
+}
+
+func (b *Broadcast) flush() {
+	if len(b.batch) == 0 {
+		return
+	}
+	for i := range b.workers {
+		b.workers[i].ch <- b.batch
+	}
+	b.batch = make([]Record, 0, b.batchSz)
+}
+
+// Finish implements SCC: flush, close, join. When it returns every worker
+// SCC has seen the full stream, been finished, and is safe to read.
+func (b *Broadcast) Finish() {
+	b.flush()
+	for i := range b.workers {
+		close(b.workers[i].ch)
+	}
+	b.done.Wait()
+}
+
+// Records reports how many records the stage has broadcast.
+func (b *Broadcast) Records() uint64 { return b.records }

@@ -17,6 +17,12 @@
 //
 // The implementation follows the authors' classic linked-list formulation,
 // including the digram-index repair for runs of equal symbols ("triples").
+//
+// A Grammar is not safe for concurrent use, and its construction is
+// inherently sequential in its input (each Append depends on the digram
+// index the previous appends built); the parallel WHOMP pipeline therefore
+// parallelizes across grammars — one per decomposed dimension — never
+// within one.
 package sequitur
 
 import "fmt"

@@ -1,0 +1,66 @@
+package stride
+
+import (
+	"sync"
+
+	"ormprof/internal/decomp"
+	"ormprof/internal/leap"
+	"ormprof/internal/profiler"
+	"ormprof/internal/trace"
+)
+
+// parallelMinStreams gates the fan-out: below this many streams the
+// goroutine bookkeeping costs more than the work it spreads.
+const parallelMinStreams = 64
+
+// FromLEAPParallel is FromLEAP with the per-(instruction, group) stream
+// analysis fanned out across workers. Streams are partitioned by
+// instruction with the same shard function the parallel LEAP pipeline uses
+// (decomp.Shard), so each worker accumulates a disjoint set of
+// per-instruction histograms; the merge is a disjoint union and the result
+// is identical to FromLEAP for every worker count. workers ≤ 0 selects
+// runtime.GOMAXPROCS(0).
+func FromLEAPParallel(p *leap.Profile, workers int) map[trace.InstrID]Info {
+	workers = profiler.DefaultWorkers(workers)
+	keys := p.Keys()
+	if workers <= 1 || len(keys) < parallelMinStreams {
+		return FromLEAP(p)
+	}
+
+	parts := make([][]leap.StreamKey, workers)
+	for _, k := range keys {
+		w := decomp.Shard(profiler.Record{Instr: k.Instr}, workers)
+		parts[w] = append(parts[w], k)
+	}
+
+	type partial struct {
+		hist   map[trace.InstrID]map[int64]uint64
+		events map[trace.InstrID]uint64
+	}
+	partials := make([]partial, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		partials[i] = partial{
+			hist:   make(map[trace.InstrID]map[int64]uint64),
+			events: make(map[trace.InstrID]uint64),
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			accumulateLEAP(p, parts[i], partials[i].hist, partials[i].events)
+		}(i)
+	}
+	wg.Wait()
+
+	hist := make(map[trace.InstrID]map[int64]uint64)
+	events := make(map[trace.InstrID]uint64)
+	for _, pt := range partials {
+		for id, h := range pt.hist {
+			hist[id] = h
+		}
+		for id, n := range pt.events {
+			events[id] += n
+		}
+	}
+	return classify(hist, events)
+}

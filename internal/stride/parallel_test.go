@@ -1,0 +1,48 @@
+package stride
+
+import (
+	"reflect"
+	"testing"
+
+	"ormprof/internal/leap"
+	"ormprof/internal/memsim"
+	"ormprof/internal/trace"
+	"ormprof/internal/workloads"
+)
+
+// TestFromLEAPParallelMatchesSequential: the fanned-out post-processor must
+// report exactly the sequential result for every worker count.
+func TestFromLEAPParallelMatchesSequential(t *testing.T) {
+	prog := workloads.NewLinkedList(workloads.Config{Scale: 1, Seed: 11})
+	buf := &trace.Buffer{}
+	m := memsim.Run(prog, buf)
+	lp := leap.New(m.StaticSites(), 0)
+	buf.Replay(lp)
+	profile := lp.Profile("linkedlist")
+
+	want := FromLEAP(profile)
+	for _, workers := range []int{1, 2, 8} {
+		got := FromLEAPParallel(profile, workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: parallel report differs\ngot:  %v\nwant: %v", workers, got, want)
+		}
+	}
+}
+
+// TestFromLEAPParallelSmallProfile: below the fan-out gate the parallel
+// entry point must still answer (via the sequential path).
+func TestFromLEAPParallelSmallProfile(t *testing.T) {
+	lp := leap.New(nil, 0)
+	now := trace.Time(0)
+	lp.Emit(trace.Event{Kind: trace.EvAlloc, Site: 1, Addr: 0x1000, Size: 4096, Time: now})
+	for i := 0; i < 64; i++ {
+		now++
+		lp.Emit(access(1, trace.Addr(0x1000+i*8), now))
+	}
+	profile := lp.Profile("tiny")
+	want := FromLEAP(profile)
+	got := FromLEAPParallel(profile, 8)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parallel report differs on small profile\ngot:  %v\nwant: %v", got, want)
+	}
+}

@@ -116,7 +116,16 @@ const minSample = 4
 func FromLEAP(p *leap.Profile) map[trace.InstrID]Info {
 	hist := make(map[trace.InstrID]map[int64]uint64)
 	events := make(map[trace.InstrID]uint64)
-	for _, k := range p.Keys() {
+	accumulateLEAP(p, p.Keys(), hist, events)
+	return classify(hist, events)
+}
+
+// accumulateLEAP folds the given streams' offset-LMAD stride evidence into
+// the per-instruction histograms. It touches only the instructions that
+// appear in keys, so disjoint key partitions accumulate into disjoint map
+// entries — the property the parallel post-processor relies on.
+func accumulateLEAP(p *leap.Profile, keys []leap.StreamKey, hist map[trace.InstrID]map[int64]uint64, events map[trace.InstrID]uint64) {
+	for _, k := range keys {
 		s := p.Streams[k]
 		// The untimed (object, offset) descriptors carry the stride
 		// information; time strides are irrelevant here.
@@ -141,6 +150,10 @@ func FromLEAP(p *leap.Profile) map[trace.InstrID]Info {
 			h[l.Stride[leap.DimOffset]] += inPattern
 		}
 	}
+}
+
+// classify applies the strongly-strided test to accumulated histograms.
+func classify(hist map[trace.InstrID]map[int64]uint64, events map[trace.InstrID]uint64) map[trace.InstrID]Info {
 	out := make(map[trace.InstrID]Info)
 	for id, h := range hist {
 		total := events[id]

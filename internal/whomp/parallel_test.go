@@ -1,0 +1,58 @@
+package whomp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestParallelDeterminism is the parallel pipeline's determinism gate: the
+// profile built with concurrent dimension-grammar workers must serialize
+// byte-identically to the sequential profile.
+func TestParallelDeterminism(t *testing.T) {
+	buf, sites := collectDemo(t)
+
+	seq := New(sites)
+	buf.Replay(seq)
+	var seqBytes bytes.Buffer
+	if _, err := seq.Profile("linkedlist").WriteTo(&seqBytes); err != nil {
+		t.Fatalf("sequential WriteTo: %v", err)
+	}
+
+	for _, workers := range []int{1, 2, 8} {
+		par := NewParallel(sites, workers)
+		buf.Replay(par)
+		profile := par.Profile("linkedlist")
+		var parBytes bytes.Buffer
+		if _, err := profile.WriteTo(&parBytes); err != nil {
+			t.Fatalf("workers=%d WriteTo: %v", workers, err)
+		}
+		if !bytes.Equal(seqBytes.Bytes(), parBytes.Bytes()) {
+			t.Fatalf("workers=%d: profile differs from sequential (%d vs %d bytes)",
+				workers, parBytes.Len(), seqBytes.Len())
+		}
+	}
+}
+
+// TestParallelLossless re-runs the central §3 losslessness property through
+// the parallel pipeline: grammar workers must not reorder or drop symbols.
+func TestParallelLossless(t *testing.T) {
+	buf, sites := collectDemo(t)
+	p := NewParallel(sites, 4)
+	buf.Replay(p)
+	profile := p.Profile("linkedlist")
+
+	accesses := buf.Accesses()
+	if profile.Records != uint64(len(accesses)) {
+		t.Fatalf("profile has %d records, trace has %d accesses", profile.Records, len(accesses))
+	}
+	instrs, addrs, err := profile.ReconstructAccesses()
+	if err != nil {
+		t.Fatalf("ReconstructAccesses: %v", err)
+	}
+	for i, a := range accesses {
+		if instrs[i] != a.Instr || addrs[i] != a.Addr {
+			t.Fatalf("access %d: got (%d, %#x), want (%d, %#x)",
+				i, instrs[i], uint64(addrs[i]), a.Instr, uint64(a.Addr))
+		}
+	}
+}

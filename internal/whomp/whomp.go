@@ -8,6 +8,11 @@
 // grammar — plus the OMC's object lifetime table, which together losslessly
 // encode the entire trace. The package also provides the RASG baseline (the
 // conventional raw-address Sequitur grammar) that Figure 5 compares against.
+//
+// The four dimension grammars are data-independent and can build
+// concurrently: NewParallel runs one grammar worker per dimension behind a
+// broadcast stage, producing a profile byte-identical to the sequential
+// one (see ParallelSCC and docs/ARCHITECTURE.md).
 package whomp
 
 import (
@@ -62,11 +67,26 @@ func (s *SCC) Consume(r profiler.Record) {
 // Finish implements profiler.SCC.
 func (s *SCC) Finish() {}
 
+// Grammars exposes the dimension grammars (live; read after Finish).
+func (s *SCC) Grammars() map[decomp.Dimension]*sequitur.Grammar { return s.grammars }
+
+// Records reports how many records the SCC has consumed.
+func (s *SCC) Records() uint64 { return s.records }
+
+// grammarSCC is the contract between the Profiler front end and a WHOMP
+// compression stage: the sequential SCC and the ParallelSCC both satisfy
+// it and produce identical grammars for the same input stream.
+type grammarSCC interface {
+	profiler.SCC
+	Grammars() map[decomp.Dimension]*sequitur.Grammar
+	Records() uint64
+}
+
 // Profiler bundles the full WHOMP pipeline: OMC + CDC + SCC. It is a
 // trace.Sink; feed it the probe event stream and call Profile when done.
 type Profiler struct {
 	omc *omc.OMC
-	scc *SCC
+	scc grammarSCC
 	cdc *profiler.CDC
 }
 
@@ -78,19 +98,36 @@ func New(siteNames map[trace.SiteID]string) *Profiler {
 	return &Profiler{omc: o, scc: scc, cdc: profiler.NewCDC(o, scc)}
 }
 
+// NewParallel creates a WHOMP profiler whose four dimension grammars build
+// concurrently (one goroutine per dimension, fed by a broadcast stage).
+// workers ≤ 0 selects runtime.GOMAXPROCS(0); workers == 1 returns the plain
+// sequential profiler. The resulting profile is byte-identical to the
+// sequential one — each grammar consumes the same symbol stream in the same
+// order either way.
+func NewParallel(siteNames map[trace.SiteID]string, workers int) *Profiler {
+	if profiler.DefaultWorkers(workers) <= 1 {
+		return New(siteNames)
+	}
+	o := omc.New(siteNames)
+	scc := NewParallelSCC()
+	return &Profiler{omc: o, scc: scc, cdc: profiler.NewCDC(o, scc)}
+}
+
 // Emit implements trace.Sink.
 func (p *Profiler) Emit(e trace.Event) { p.cdc.Emit(e) }
 
 // OMC exposes the profiler's object-management component.
 func (p *Profiler) OMC() *omc.OMC { return p.omc }
 
-// Profile finalizes collection and returns the profile.
+// Profile finalizes collection and returns the profile. For a parallel
+// profiler this joins the grammar workers first, so the returned profile is
+// complete and safe to read.
 func (p *Profiler) Profile(workload string) *Profile {
 	p.cdc.Finish()
 	return &Profile{
 		Workload: workload,
-		Records:  p.scc.records,
-		Grammars: p.scc.grammars,
+		Records:  p.scc.Records(),
+		Grammars: p.scc.Grammars(),
 		Objects:  FromOMC(p.omc),
 	}
 }
