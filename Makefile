@@ -1,9 +1,11 @@
 # Developer / CI entry points. Tier-1 is what every PR must keep green;
-# test-race is the tier-2 check for the concurrent pipeline stages.
+# test-race (plus vet and fuzz-short) is the tier-2 check for the concurrent
+# pipeline stages and the binary decoders.
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all build test test-race test-short bench vet
+.PHONY: all build test test-race test-short bench vet fuzz-short
 
 all: build test
 
@@ -15,11 +17,15 @@ test: build
 	$(GO) test ./...
 
 # Tier-2: race-detect the parallel pipeline — the sharded/broadcast fan-out
-# stages and their consumers. Run this for any change touching
-# internal/profiler, internal/whomp, internal/leap, or internal/stride.
-test-race:
+# stages and their consumers — plus the trace codec and CLI plumbing, then
+# style checks and a short fuzz of every binary decoder. Run this for any
+# change touching internal/profiler, internal/whomp, internal/leap,
+# internal/stride, internal/tracefmt, or internal/cliutil.
+test-race: vet
 	$(GO) test -race ./internal/profiler/... ./internal/whomp/... \
-		./internal/leap/... ./internal/stride/... ./internal/decomp/...
+		./internal/leap/... ./internal/stride/... ./internal/decomp/... \
+		./internal/tracefmt/... ./internal/cliutil/...
+	$(MAKE) fuzz-short
 
 # Skip the CLI integration tests (they build all binaries).
 test-short:
@@ -30,3 +36,15 @@ bench:
 
 vet:
 	$(GO) vet ./...
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+
+# Short fuzz pass over every decoder that parses untrusted bytes: the trace
+# reader and the profile/grammar decoders. ~$(FUZZTIME) per target.
+fuzz-short:
+	$(GO) test -fuzz=FuzzReader -fuzztime=$(FUZZTIME) ./internal/tracefmt/
+	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=$(FUZZTIME) ./internal/tracefmt/
+	$(GO) test -fuzz=FuzzReadProfile -fuzztime=$(FUZZTIME) ./internal/whomp/
+	$(GO) test -fuzz=FuzzReadProfile -fuzztime=$(FUZZTIME) ./internal/leap/
+	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=$(FUZZTIME) ./internal/sequitur/
+	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/sequitur/

@@ -12,6 +12,7 @@
 package ormprof
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"testing"
@@ -19,6 +20,8 @@ import (
 	"ormprof/internal/depend"
 	"ormprof/internal/experiments"
 	"ormprof/internal/leap"
+	"ormprof/internal/trace"
+	"ormprof/internal/tracefmt"
 	"ormprof/internal/whomp"
 	"ormprof/internal/workloads"
 )
@@ -273,6 +276,120 @@ func BenchmarkParallelPipeline(b *testing.B) {
 			reportThroughput(b)
 		})
 	}
+}
+
+// BenchmarkTraceEncodeDecode measures the tracefmt codec on a recorded
+// workload trace: encode and decode throughput in MB/s (b.SetBytes) plus
+// the on-disk density in bytes/event. The format trades a little CPU for
+// traces small enough to keep ("collect once, profile many").
+func BenchmarkTraceEncodeDecode(b *testing.B) {
+	prog, err := workloads.New("181.mcf", benchCfg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf, sites := experiments.Record(prog, nil)
+
+	var enc bytes.Buffer
+	tw := tracefmt.NewWriter(&enc, tracefmt.WithName("bench"))
+	tw.SetSites(sites)
+	buf.Replay(tw)
+	if err := tw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	encoded := enc.Bytes()
+
+	b.Run("encode", func(b *testing.B) {
+		b.SetBytes(int64(len(encoded)))
+		b.ReportAllocs()
+		b.ReportMetric(float64(len(encoded))/float64(buf.Len()), "bytes/event")
+		for i := 0; i < b.N; i++ {
+			var out bytes.Buffer
+			out.Grow(len(encoded))
+			w := tracefmt.NewWriter(&out, tracefmt.WithName("bench"))
+			w.SetSites(sites)
+			buf.Replay(w)
+			if err := w.Close(); err != nil {
+				b.Fatal(err)
+			}
+			if out.Len() != len(encoded) {
+				b.Fatalf("encoded %d bytes, want %d", out.Len(), len(encoded))
+			}
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.SetBytes(int64(len(encoded)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n, err := tracefmt.Replay(bytes.NewReader(encoded), trace.Discard)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n != buf.Len() {
+				b.Fatalf("decoded %d events, want %d", n, buf.Len())
+			}
+		}
+	})
+}
+
+// BenchmarkReplayVsInProcess compares the three ways of feeding a profiler:
+// the in-process buffered stream, a materialized slice through the Source
+// adapter, and a streaming replay from the encoded trace. allocs/op is the
+// headline: the streaming path must stay O(frames), not O(events), proving
+// replay memory is bounded by the batch size.
+func BenchmarkReplayVsInProcess(b *testing.B) {
+	prog, err := workloads.New("181.mcf", benchCfg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf, sites := experiments.Record(prog, nil)
+	var enc bytes.Buffer
+	tw := tracefmt.NewWriter(&enc, tracefmt.WithName("bench"))
+	tw.SetSites(sites)
+	buf.Replay(tw)
+	if err := tw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	encoded := enc.Bytes()
+	events := buf.Len()
+
+	b.Run("inprocess", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			lp := leap.New(sites, 0)
+			buf.Replay(lp)
+			if got := lp.Profile("bench").Records; got == 0 {
+				b.Fatal("empty profile")
+			}
+		}
+	})
+	b.Run("slice-source", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			lp := leap.New(sites, 0)
+			if _, err := trace.Drain(buf.Source(), lp); err != nil {
+				b.Fatal(err)
+			}
+			if got := lp.Profile("bench").Records; got == 0 {
+				b.Fatal("empty profile")
+			}
+		}
+	})
+	b.Run("stream-replay", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			lp := leap.New(sites, 0)
+			n, err := tracefmt.Replay(bytes.NewReader(encoded), lp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n != events {
+				b.Fatalf("replayed %d events, want %d", n, events)
+			}
+			if got := lp.Profile("bench").Records; got == 0 {
+				b.Fatal("empty profile")
+			}
+		}
+	})
 }
 
 func shortName(bench string) string {

@@ -134,8 +134,46 @@ func TestCLIRecordAndReplay(t *testing.T) {
 	out := runTool(t, "ormprof", "record", "-workload", "linkedlist", "-o", tr)
 	wantContains(t, out, "recorded linkedlist", "loads", "stores")
 
-	// Profiling the recorded trace must agree with profiling the live
-	// workload (same seed): grab the OMSG byte count from both.
+	read := func(path string) []byte {
+		t.Helper()
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading %s: %v", path, err)
+		}
+		return b
+	}
+
+	// A trace teed off a live profiling run (-record) is byte-identical to
+	// one written by the dedicated record command.
+	teed := filepath.Join(dir, "teed.ormtrace")
+	runTool(t, "whomp", "-workload", "linkedlist", "-record", teed)
+	if !bytes.Equal(read(tr), read(teed)) {
+		t.Errorf("ormprof record and whomp -record wrote different traces")
+	}
+
+	// "Collect once, profile many": a profile built from the replayed trace
+	// must be byte-identical to one built live, for every worker count.
+	liveProfile := filepath.Join(dir, "live.whomp")
+	runTool(t, "whomp", "-workload", "linkedlist", "-o", liveProfile)
+	for _, workers := range []string{"1", "2", "8"} {
+		replayed := filepath.Join(dir, "replay-w"+workers+".whomp")
+		runTool(t, "whomp", "-replay", tr, "-workers", workers, "-o", replayed)
+		if !bytes.Equal(read(liveProfile), read(replayed)) {
+			t.Errorf("replayed profile (workers=%s) differs from live profile", workers)
+		}
+	}
+
+	lLive := filepath.Join(dir, "live.leap")
+	runTool(t, "leap", "-workload", "linkedlist", "-o", lLive)
+	for _, workers := range []string{"1", "2", "8"} {
+		replayed := filepath.Join(dir, "replay-w"+workers+".leap")
+		runTool(t, "leap", "-replay", tr, "-workers", workers, "-o", replayed)
+		if !bytes.Equal(read(lLive), read(replayed)) {
+			t.Errorf("replayed LEAP profile (workers=%s) differs from live profile", workers)
+		}
+	}
+
+	// The deprecated whomp -trace alias still replays: same OMSG line.
 	live := runTool(t, "whomp", "-workload", "linkedlist")
 	replay := runTool(t, "whomp", "-trace", tr)
 	pick := func(out string) string {
@@ -149,6 +187,85 @@ func TestCLIRecordAndReplay(t *testing.T) {
 	if pick(live) == "" || pick(live) != pick(replay) {
 		t.Errorf("live and replayed OMSG lines differ:\n live:   %q\n replay: %q", pick(live), pick(replay))
 	}
+
+	// inspect recognizes the trace file.
+	out = runTool(t, "ormprof", "inspect", tr)
+	wantContains(t, out, "ORMTRACE", `workload "linkedlist"`, "loads")
+}
+
+func TestCLITracecat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	dir := t.TempDir()
+	tr := filepath.Join(dir, "t.ormtrace")
+	runTool(t, "ormprof", "record", "-workload", "linkedlist", "-o", tr)
+
+	out := runTool(t, "tracecat", "-stats", tr)
+	wantContains(t, out, `workload "linkedlist"`, "events:", "loads", "distinct instructions")
+
+	// -count with a filter: allocs only.
+	count := strings.TrimSpace(runTool(t, "tracecat", "-count", "-kind", "alloc", tr))
+	if count == "0" || count == "" {
+		t.Errorf("expected a nonzero alloc count, got %q", count)
+	}
+
+	// Printing with a limit reports the remainder.
+	out = runTool(t, "tracecat", "-n", "3", tr)
+	wantContains(t, out, "more matching records")
+
+	// Time-range + instruction filters compose.
+	out = runTool(t, "tracecat", "-kind", "access", "-from", "0", "-to", "50", tr)
+	if !strings.Contains(out, "i") {
+		t.Errorf("expected access records in [0,50]:\n%s", out)
+	}
+}
+
+func TestCLIWorkersValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	for _, tc := range [][]string{
+		{"whomp", "-workload", "linkedlist", "-workers", "0"},
+		{"leap", "-workload", "linkedlist", "-workers", "-3"},
+		{"stridescan", "-workload", "linkedlist", "-workers", "0"},
+	} {
+		bin := filepath.Join(buildTools(t), tc[0])
+		out, err := exec.Command(bin, tc[1:]...).CombinedOutput()
+		if err == nil {
+			t.Errorf("%s accepted %v:\n%s", tc[0], tc[1:], out)
+			continue
+		}
+		if !strings.Contains(string(out), "-workers must be at least 1") {
+			t.Errorf("%s: unexpected error for bad -workers: %s", tc[0], out)
+		}
+	}
+}
+
+func TestCLIReplaySingleWorkloadTools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	dir := t.TempDir()
+	tr := filepath.Join(dir, "t.ormtrace")
+	runTool(t, "ormprof", "record", "-workload", "197.parser", "-o", tr)
+
+	// Every analysis tool accepts -replay and names the workload from the
+	// trace header.
+	out := runTool(t, "stridescan", "-replay", tr)
+	wantContains(t, out, "workload 197.parser")
+
+	out = runTool(t, "mdep", "-replay", tr)
+	wantContains(t, out, "197.parser", "LEAP", "Connors")
+
+	out = runTool(t, "layoutopt", "-replay", tr)
+	wantContains(t, out, "workload 197.parser", "original layout")
+
+	out = runTool(t, "phasescan", "-replay", tr)
+	wantContains(t, out, "197.parser", "Monolithic capture")
+
+	out = runTool(t, "ormprof", "groups", "-replay", tr)
+	wantContains(t, out, "Objects")
 }
 
 func TestCLIOrmprofSubcommands(t *testing.T) {
@@ -206,7 +323,7 @@ func TestCLIInspectRejectsGarbage(t *testing.T) {
 	if err == nil {
 		t.Fatalf("inspect accepted garbage:\n%s", out)
 	}
-	if !strings.Contains(string(out), "not a WHOMP or LEAP profile") {
+	if !strings.Contains(string(out), "not a WHOMP profile, LEAP profile, or ORMTRACE trace") {
 		t.Errorf("unexpected error output: %s", out)
 	}
 }

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	layoutopt [-workload NAME] [-scale N] [-seed N] [-cache l1|l2]
+//	          [-record trace.ormtrace | -replay trace.ormtrace]
 package main
 
 import (
@@ -15,9 +16,8 @@ import (
 	"os"
 
 	"ormprof/internal/cachesim"
-	"ormprof/internal/experiments"
+	"ormprof/internal/cliutil"
 	"ormprof/internal/layout"
-	"ormprof/internal/profiler"
 	"ormprof/internal/workloads"
 )
 
@@ -28,29 +28,37 @@ func main() {
 		seed     = flag.Int64("seed", 42, "workload random seed")
 		cache    = flag.String("cache", "l1", "cache model: l1 or l2")
 	)
+	tf := cliutil.RegisterTraceFlags(flag.CommandLine)
 	flag.Parse()
 
-	cfg := cachesim.L1D
-	if *cache == "l2" {
-		cfg = cachesim.L2
-	} else if *cache != "l1" {
-		fmt.Fprintln(os.Stderr, "layoutopt: unknown cache", *cache)
-		os.Exit(1)
-	}
-
-	prog, err := workloads.New(*workload, workloads.Config{Scale: *scale, Seed: *seed})
-	if err != nil {
+	if err := run(*workload, workloads.Config{Scale: *scale, Seed: *seed}, *cache, tf); err != nil {
 		fmt.Fprintln(os.Stderr, "layoutopt:", err)
 		os.Exit(1)
 	}
-	buf, sites := experiments.Record(prog, nil)
-	recs, o := profiler.TranslateTrace(buf.Events, sites)
+}
+
+func run(workload string, wcfg workloads.Config, cache string, tf *cliutil.TraceFlags) error {
+	cfg := cachesim.L1D
+	if cache == "l2" {
+		cfg = cachesim.L2
+	} else if cache != "l1" {
+		return fmt.Errorf("unknown cache %q", cache)
+	}
+
+	ev, err := tf.Load(workload, wcfg)
+	if err != nil {
+		return err
+	}
+	recs, o, err := ev.Translate()
+	if err != nil {
+		return err
+	}
 	info := layout.OMCInfo{OMC: o}
 	orig := layout.OriginalResolver(info)
 
 	before, _ := layout.Evaluate(recs, orig, cfg)
 	fmt.Printf("workload %s, %d accesses, cache %dKiB/%dB-line/%d-way\n\n",
-		*workload, len(recs), cfg.SizeBytes>>10, cfg.LineBytes, cfg.Ways)
+		ev.Name, len(recs), cfg.SizeBytes>>10, cfg.LineBytes, cfg.Ways)
 	fmt.Printf("original layout:   %8d misses (%.2f%% miss rate)\n", before.Misses, 100*before.MissRate())
 
 	// Field reordering: plan for every group whose objects share one size
@@ -109,5 +117,5 @@ func main() {
 	beforeAMAT, afterAMAT := amat(orig), amat(bothResolver)
 	fmt.Printf("\nAMAT (L1 4cy, L2 12cy, mem 200cy): %.2f -> %.2f cycles/access (%.1f%% faster)\n",
 		beforeAMAT, afterAMAT, 100*(1-afterAMAT/beforeAMAT))
-
+	return nil
 }

@@ -5,6 +5,11 @@
 // Usage:
 //
 //	leap [-workload NAME] [-scale N] [-seed N] [-max-lmads N] [-workers N] [-o profile.leap]
+//	     [-record trace.ormtrace | -replay trace.ormtrace]
+//
+// -record writes the probe trace alongside the live profile; -replay
+// profiles a recorded trace instead of running a workload and produces a
+// byte-identical profile.
 package main
 
 import (
@@ -12,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"ormprof/internal/cliutil"
 	"ormprof/internal/experiments"
 	"ormprof/internal/leap"
 	"ormprof/internal/report"
@@ -26,51 +32,55 @@ func main() {
 		maxLMADs = flag.Int("max-lmads", 0, "LMAD budget per (instruction, group) stream (0 = paper default of 30)")
 		out      = flag.String("o", "", "write the LEAP profile of the (single) workload to this file")
 		csvOut   = flag.Bool("csv", false, "emit the Table 1 rows as CSV (for plotting)")
-		workers  = flag.Int("workers", 0, "stream-compression workers (0 = GOMAXPROCS; profiles are identical for any count)")
 	)
+	workers := cliutil.WorkersFlag(flag.CommandLine)
+	tf := cliutil.RegisterTraceFlags(flag.CommandLine)
 	flag.Parse()
 
-	cfg := workloads.Config{Scale: *scale, Seed: *seed}
-	if *workload != "" {
-		if err := runOne(*workload, cfg, *maxLMADs, *out, *workers); err != nil {
-			fmt.Fprintln(os.Stderr, "leap:", err)
-			os.Exit(1)
-		}
-		return
+	if err := run(*workload, workloads.Config{Scale: *scale, Seed: *seed}, *maxLMADs, *out, *csvOut, *workers, tf); err != nil {
+		fmt.Fprintln(os.Stderr, "leap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload string, cfg workloads.Config, maxLMADs int, out string, csvOut bool, workers int, tf *cliutil.TraceFlags) error {
+	if err := cliutil.CheckWorkers(workers); err != nil {
+		return err
+	}
+	if workload != "" || tf.Active() {
+		return runOne(workload, cfg, maxLMADs, out, workers, tf)
 	}
 
-	rows := experiments.Table1(cfg, *maxLMADs)
+	rows := experiments.Table1(cfg, maxLMADs)
 	avg := experiments.Table1Average(rows)
 	tbl := report.NewTable("Benchmark", "Accesses", "Compression", "Dilation", "Accesses captured", "Instrs captured")
 	for _, r := range append(rows, avg) {
 		tbl.AddRowf(r.Benchmark, r.Accesses, report.Ratio(r.Compression),
 			fmt.Sprintf("%.1f", r.Dilation), report.Pct(r.AccPct), report.Pct(r.InstrPct))
 	}
-	if *csvOut {
-		if err := tbl.WriteCSV(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "leap:", err)
-			os.Exit(1)
-		}
-		return
+	if csvOut {
+		return tbl.WriteCSV(os.Stdout)
 	}
 	tbl.WriteTo(os.Stdout) //nolint:errcheck // stdout
 	fmt.Printf("\nTable 1 (paper averages: 3539x compression, 11.5x dilation, 46.5%% accesses, 40.5%% instructions)\n")
+	return nil
 }
 
-func runOne(name string, cfg workloads.Config, maxLMADs int, out string, workers int) error {
-	prog, err := workloads.New(name, cfg)
+func runOne(workload string, cfg workloads.Config, maxLMADs int, out string, workers int, tf *cliutil.TraceFlags) error {
+	ev, err := tf.Load(workload, cfg)
 	if err != nil {
 		return err
 	}
-	buf, sites := experiments.Record(prog, nil)
 
-	lp := leap.NewParallel(sites, maxLMADs, workers)
-	buf.Replay(lp)
-	profile := lp.Profile(name)
+	lp := leap.NewParallel(ev.Sites, maxLMADs, workers)
+	if _, err := ev.Pass(lp); err != nil {
+		return err
+	}
+	profile := lp.Profile(ev.Name)
 
 	accPct, instrPct := profile.SampleQuality()
 	fmt.Printf("workload %s: %d accesses, %d streams, %d LMADs\n",
-		name, profile.Records, len(profile.Streams), profile.TotalLMADs())
+		ev.Name, profile.Records, len(profile.Streams), profile.TotalLMADs())
 	fmt.Printf("  profile: %d bytes (compression %.0fx)\n", profile.EncodedSize(), profile.CompressionRatio())
 	fmt.Printf("  sample quality: %.1f%% of accesses, %.1f%% of instructions\n", accPct, instrPct)
 

@@ -6,6 +6,11 @@
 // Usage:
 //
 //	mdep [-scale N] [-seed N] [-max-lmads N] [-window N]
+//	     [-workload NAME] [-record trace.ormtrace | -replay trace.ormtrace]
+//
+// With no -workload (and no -replay) all seven benchmarks run. A single
+// workload — live or replayed from a recorded trace — prints that
+// benchmark's own error distributions.
 package main
 
 import (
@@ -13,26 +18,53 @@ import (
 	"fmt"
 	"os"
 
+	"ormprof/internal/cliutil"
 	"ormprof/internal/depend"
 	"ormprof/internal/experiments"
+	"ormprof/internal/leap"
 	"ormprof/internal/report"
 	"ormprof/internal/workloads"
 )
 
 func main() {
 	var (
+		workload = flag.String("workload", "", "analyze a single workload (default: all seven)")
 		scale    = flag.Int("scale", 1, "workload scale factor")
 		seed     = flag.Int64("seed", 42, "workload random seed")
 		maxLMADs = flag.Int("max-lmads", 0, "LEAP LMAD budget (0 = paper default of 30)")
 		window   = flag.Int("window", 0, "Connors store-history window (0 = default)")
 		bench    = flag.String("benchmark", "", "also print this benchmark's own distributions")
 	)
+	tf := cliutil.RegisterTraceFlags(flag.CommandLine)
 	flag.Parse()
 
+	if err := run(*workload, workloads.Config{Scale: *scale, Seed: *seed}, *maxLMADs, *window, *bench, tf); err != nil {
+		fmt.Fprintln(os.Stderr, "mdep:", err)
+		os.Exit(1)
+	}
+}
+
+func binLabels() []string {
+	labels := make([]string, depend.NumBins)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("%+d%%", depend.BinError(i))
+	}
+	return labels
+}
+
+func run(workload string, cfg workloads.Config, maxLMADs, window int, bench string, tf *cliutil.TraceFlags) error {
+	if workload != "" || tf.Active() {
+		ev, err := tf.Load(workload, cfg)
+		if err != nil {
+			return err
+		}
+		return depOne(ev, maxLMADs, window)
+	}
+
 	rows := experiments.Dependence(experiments.DepConfig{
-		Workloads: workloads.Config{Scale: *scale, Seed: *seed},
-		MaxLMADs:  *maxLMADs,
-		Window:    *window,
+		Workloads: cfg,
+		MaxLMADs:  maxLMADs,
+		Window:    window,
 	})
 
 	tbl := report.NewTable("Benchmark", "Pairs", "LEAP ±10%", "LEAP exact", "Connors ±10%", "Connors exact")
@@ -44,10 +76,7 @@ func main() {
 	tbl.WriteTo(os.Stdout) //nolint:errcheck // stdout
 
 	fig8 := experiments.Summarize(rows)
-	labels := make([]string, depend.NumBins)
-	for i := range labels {
-		labels[i] = fmt.Sprintf("%+d%%", depend.BinError(i))
-	}
+	labels := binLabels()
 
 	fmt.Println("\nFigure 6 — LEAP error distribution (average over benchmarks):")
 	report.BarChart(os.Stdout, labels, fig8.LEAP.Bins[:], 48)
@@ -59,18 +88,47 @@ func main() {
 		100*fig8.LEAPWithin10, 100*fig8.ConnWithin10, fig8.ImprovementPct)
 	fmt.Println("Paper: LEAP ~75% within 10%, 56% more pairs correct-or-within-10% than Connors.")
 
-	if *bench != "" {
+	if bench != "" {
 		for _, r := range rows {
-			if r.Benchmark != *bench {
+			if r.Benchmark != bench {
 				continue
 			}
-			fmt.Printf("\n%s — LEAP error distribution (%d pairs):\n", r.Benchmark, r.LEAP.Pairs)
-			report.BarChart(os.Stdout, labels, r.LEAP.Bins[:], 48)
-			fmt.Printf("\n%s — Connors error distribution:\n", r.Benchmark)
-			report.BarChart(os.Stdout, labels, r.Connors.Bins[:], 48)
-			return
+			printDistributions(r.Benchmark, r.LEAP, r.Connors)
+			return nil
 		}
-		fmt.Fprintf(os.Stderr, "mdep: unknown benchmark %q\n", *bench)
-		os.Exit(1)
+		return fmt.Errorf("unknown benchmark %q", bench)
 	}
+	return nil
+}
+
+// depOne runs the dependence comparison on a single event stream — three
+// streaming passes: the lossless baseline, the LEAP estimate, and Connors.
+func depOne(ev *cliutil.Events, maxLMADs, window int) error {
+	ideal := depend.NewIdeal()
+	if _, err := ev.Pass(ideal); err != nil {
+		return err
+	}
+	lp := leap.New(ev.Sites, maxLMADs)
+	if _, err := ev.Pass(lp); err != nil {
+		return err
+	}
+	leapRes := depend.FromLEAP(lp.Profile(ev.Name))
+	con := depend.NewConnors(window)
+	if _, err := ev.Pass(con); err != nil {
+		return err
+	}
+	printDistributions(ev.Name,
+		depend.Distribution(ideal.Result(), leapRes),
+		depend.Distribution(ideal.Result(), con.Result()))
+	return nil
+}
+
+func printDistributions(name string, leapDist, connDist depend.ErrorDist) {
+	labels := binLabels()
+	fmt.Printf("%s — LEAP error distribution (%d pairs):\n", name, leapDist.Pairs)
+	report.BarChart(os.Stdout, labels, leapDist.Bins[:], 48)
+	fmt.Printf("\n%s — Connors error distribution:\n", name)
+	report.BarChart(os.Stdout, labels, connDist.Bins[:], 48)
+	fmt.Printf("\ncorrect-or-within-10%%: LEAP %.1f%%, Connors %.1f%%\n",
+		100*leapDist.WithinTen(), 100*connDist.WithinTen())
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"ormprof/internal/cliutil"
 	"ormprof/internal/decomp"
 	"ormprof/internal/hotstream"
 	"ormprof/internal/whomp"
@@ -15,10 +16,13 @@ import (
 // the way §3.2 reads patterns like (0, 36)* out of the offset grammar.
 func grammarCmd(args []string) error {
 	fs := flag.NewFlagSet("grammar", flag.ExitOnError)
-	w, scale, seed, n := workloadFlags(fs)
+	w, scale, seed, n, tf := workloadFlags(fs)
 	dimName := fs.String("dim", "offset", "dimension: instr, group, object, or offset")
-	workers := fs.Int("workers", 0, "grammar-construction workers (0 = GOMAXPROCS)")
+	workers := cliutil.WorkersFlag(fs)
 	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if err := cliutil.CheckWorkers(*workers); err != nil {
+		return err
+	}
 
 	var dim decomp.Dimension
 	switch *dimName {
@@ -34,17 +38,19 @@ func grammarCmd(args []string) error {
 		return fmt.Errorf("unknown dimension %q", *dimName)
 	}
 
-	run, err := record(*w, *scale, *seed)
+	ev, err := load(*w, *scale, *seed, tf)
 	if err != nil {
 		return err
 	}
-	wp := whomp.NewParallel(run.sites, *workers)
-	run.buf.Replay(wp)
-	profile := wp.Profile(*w)
+	wp := whomp.NewParallel(ev.Sites, *workers)
+	if _, err := ev.Pass(wp); err != nil {
+		return err
+	}
+	profile := wp.Profile(ev.Name)
 	g := profile.Grammars[dim]
 
 	fmt.Printf("workload %s, %s-dimension grammar: %d rules, %d symbols for %d accesses (%.1fx)\n\n",
-		*w, dim, g.NumRules(), g.Symbols(), profile.Records, float64(profile.Records)/float64(g.Symbols()))
+		ev.Name, dim, g.NumRules(), g.Symbols(), profile.Records, float64(profile.Records)/float64(g.Symbols()))
 
 	streams := hotstream.Extract(g, hotstream.Options{
 		MinLength:  2,

@@ -6,7 +6,6 @@ import (
 	"os"
 
 	"ormprof/internal/locality"
-	"ormprof/internal/profiler"
 	"ormprof/internal/report"
 )
 
@@ -17,20 +16,27 @@ import (
 // cache behaviour exactly.
 func localityCmd(args []string) error {
 	fs := flag.NewFlagSet("locality", flag.ExitOnError)
-	w, scale, seed, _ := workloadFlags(fs)
+	w, scale, seed, _, tf := workloadFlags(fs)
 	line := fs.Uint("line", 64, "cache line size in bytes")
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 
-	run, err := record(*w, *scale, *seed)
+	ev, err := load(*w, *scale, *seed, tf)
 	if err != nil {
 		return err
 	}
-	lineHist := locality.LineHistogram(run.buf.Events, *line)
-	recs, _ := profiler.TranslateTrace(run.buf.Events, run.sites)
+	ls := locality.NewLineSink(*line)
+	if _, err := ev.Pass(ls); err != nil {
+		return err
+	}
+	lineHist := ls.Histogram()
+	recs, _, err := ev.Translate()
+	if err != nil {
+		return err
+	}
 	objHist := locality.ObjectHistogram(recs)
 
 	fmt.Printf("workload %s: reuse-distance analysis (%d line touches, %d object touches)\n\n",
-		*w, lineHist.Total, objHist.Total)
+		ev.Name, lineHist.Total, objHist.Total)
 	tbl := report.NewTable("LRU capacity", "Line miss ratio", "Object miss ratio")
 	for _, c := range []uint64{8, 32, 128, 512, 2048, 8192} {
 		tbl.AddRowf(c, report.Pct(100*lineHist.MissRatio(c)), report.Pct(100*objHist.MissRatio(c)))

@@ -1,13 +1,18 @@
 // Command ormprof is the umbrella inspection tool for the object-relative
 // memory profiling toolkit: dump raw probe traces, dump object-relative
-// translations, list groups, and inspect saved profile files.
+// translations, list groups, and inspect saved profile and trace files.
 //
 // Usage:
 //
+//	ormprof record    -workload NAME [-o FILE] [-scale S] [-seed S]
 //	ormprof trace     -workload NAME [-n N] [-scale S] [-seed S]
 //	ormprof translate -workload NAME [-n N] [-scale S] [-seed S]
 //	ormprof groups    -workload NAME [-scale S] [-seed S]
-//	ormprof inspect   FILE.whomp|FILE.leap
+//	ormprof inspect   FILE.whomp|FILE.leap|FILE.ormtrace
+//
+// Every workload-driven subcommand also accepts -replay FILE.ormtrace to
+// read a recorded trace instead of running the workload, and -record FILE
+// to tee the live probe stream to a trace file.
 package main
 
 import (
@@ -15,12 +20,12 @@ import (
 	"fmt"
 	"os"
 
-	"ormprof/internal/experiments"
+	"ormprof/internal/cliutil"
 	"ormprof/internal/leap"
 	"ormprof/internal/memsim"
-	"ormprof/internal/profiler"
 	"ormprof/internal/report"
 	"ormprof/internal/trace"
+	"ormprof/internal/tracefmt"
 	"ormprof/internal/whomp"
 	"ormprof/internal/workloads"
 )
@@ -65,45 +70,39 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: ormprof <command> [flags]
 
 commands:
-  record     run a workload and write its probe trace to a file
+  record     run a workload and stream its probe trace to a file
   trace      dump the raw probe event stream of a workload
   translate  dump the object-relative 5-tuple stream of a workload
   groups     list the groups and objects a workload allocates
   regularity show the regular/irregular sub-stream separation (Figure 2)
   locality   reuse-distance analysis at line and object granularity
   grammar    print a dimension's OMSG grammar rules (hot repeated patterns)
-  inspect    summarize a saved .whomp or .leap profile file
+  inspect    summarize a saved .whomp/.leap profile or .ormtrace trace file
   diff       compare two .leap profiles of the same program across runs
   regen      regenerate the raw access trace from a .whomp profile (losslessness)`)
 	os.Exit(2)
 }
 
-func workloadFlags(fs *flag.FlagSet) (*string, *int, *int64, *int) {
+// workloadFlags registers the flags every workload-driven subcommand
+// shares, including the -record/-replay trace pair.
+func workloadFlags(fs *flag.FlagSet) (*string, *int, *int64, *int, *cliutil.TraceFlags) {
 	w := fs.String("workload", "linkedlist", "workload name")
 	scale := fs.Int("scale", 1, "workload scale factor")
 	seed := fs.Int64("seed", 42, "workload random seed")
 	n := fs.Int("n", 20, "number of entries to print")
-	return w, scale, seed, n
+	tf := cliutil.RegisterTraceFlags(fs)
+	return w, scale, seed, n, tf
 }
 
-func record(name string, scale int, seed int64) (*workloadRun, error) {
-	prog, err := workloads.New(name, workloads.Config{Scale: scale, Seed: seed})
-	if err != nil {
-		return nil, err
-	}
-	buf, sites := experiments.Record(prog, nil)
-	return &workloadRun{name: name, buf: buf, sites: sites}, nil
-}
-
-type workloadRun struct {
-	name  string
-	buf   *trace.Buffer
-	sites map[trace.SiteID]string
+// load resolves the workload selection and trace flags into an event
+// stream: a live run (teeing to -record if set) or a replayed trace.
+func load(name string, scale int, seed int64, tf *cliutil.TraceFlags) (*cliutil.Events, error) {
+	return tf.Load(name, workloads.Config{Scale: scale, Seed: seed})
 }
 
 func recordCmd(args []string) error {
 	fs := flag.NewFlagSet("record", flag.ExitOnError)
-	w, scale, seed, _ := workloadFlags(fs)
+	w, scale, seed, _, _ := workloadFlags(fs)
 	out := fs.String("o", "trace.ormtrace", "output trace file")
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 	prog, err := workloads.New(*w, workloads.Config{Scale: *scale, Seed: *seed})
@@ -115,7 +114,9 @@ func recordCmd(args []string) error {
 		return err
 	}
 	defer f.Close()
-	tw := trace.NewWriter(f) // streamed straight from the probes
+	// Streamed straight from the probes: the writer batches events into
+	// frames, so recording never materializes the trace.
+	tw := tracefmt.NewWriter(f, tracefmt.WithName(*w))
 	m := memsim.Run(prog, tw)
 	if err := tw.Close(); err != nil {
 		return err
@@ -128,31 +129,40 @@ func recordCmd(args []string) error {
 
 func traceCmd(args []string) error {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
-	w, scale, seed, n := workloadFlags(fs)
+	w, scale, seed, n, tf := workloadFlags(fs)
 	fs.Parse(args) //nolint:errcheck // ExitOnError
-	run, err := record(*w, *scale, *seed)
+	ev, err := load(*w, *scale, *seed, tf)
 	if err != nil {
 		return err
 	}
-	for i, e := range run.buf.Events {
-		if i == *n {
-			fmt.Printf("… %d more events\n", run.buf.Len()-*n)
-			break
+	shown := 0
+	total, err := ev.Pass(trace.SinkFunc(func(e trace.Event) {
+		if shown < *n {
+			fmt.Println(e)
 		}
-		fmt.Println(e)
+		shown++
+	}))
+	if err != nil {
+		return err
+	}
+	if total > *n {
+		fmt.Printf("… %d more events\n", total-*n)
 	}
 	return nil
 }
 
 func translateCmd(args []string) error {
 	fs := flag.NewFlagSet("translate", flag.ExitOnError)
-	w, scale, seed, n := workloadFlags(fs)
+	w, scale, seed, n, tf := workloadFlags(fs)
 	fs.Parse(args) //nolint:errcheck // ExitOnError
-	run, err := record(*w, *scale, *seed)
+	ev, err := load(*w, *scale, *seed, tf)
 	if err != nil {
 		return err
 	}
-	recs, o := profiler.TranslateTrace(run.buf.Events, run.sites)
+	recs, o, err := ev.Translate()
+	if err != nil {
+		return err
+	}
 	for i, r := range recs {
 		if i == *n {
 			fmt.Printf("… %d more records\n", len(recs)-*n)
@@ -167,13 +177,16 @@ func translateCmd(args []string) error {
 
 func groupsCmd(args []string) error {
 	fs := flag.NewFlagSet("groups", flag.ExitOnError)
-	w, scale, seed, _ := workloadFlags(fs)
+	w, scale, seed, _, tf := workloadFlags(fs)
 	fs.Parse(args) //nolint:errcheck // ExitOnError
-	run, err := record(*w, *scale, *seed)
+	ev, err := load(*w, *scale, *seed, tf)
 	if err != nil {
 		return err
 	}
-	_, o := profiler.TranslateTrace(run.buf.Events, run.sites)
+	_, o, err := ev.Translate()
+	if err != nil {
+		return err
+	}
 	tbl := report.NewTable("Group", "Name", "Site", "Objects", "First object", "Sizes")
 	for _, g := range o.Groups() {
 		objs := o.Objects(g.ID)
@@ -204,7 +217,7 @@ func groupsCmd(args []string) error {
 
 func inspectCmd(args []string) error {
 	if len(args) != 1 {
-		return fmt.Errorf("inspect takes exactly one profile file")
+		return fmt.Errorf("inspect takes exactly one profile or trace file")
 	}
 	f, err := os.Open(args[0])
 	if err != nil {
@@ -212,7 +225,7 @@ func inspectCmd(args []string) error {
 	}
 	defer f.Close()
 
-	// Try WHOMP first, then LEAP (each checks its own magic).
+	// Try WHOMP, then LEAP, then a raw trace (each checks its own magic).
 	if p, err := whomp.ReadProfile(f); err == nil {
 		fmt.Printf("WHOMP profile: workload %q, %d accesses\n", p.Workload, p.Records)
 		fmt.Printf("  grammars: %d symbols, %d encoded bytes\n", p.Symbols(), p.EncodedBytes())
@@ -222,14 +235,29 @@ func inspectCmd(args []string) error {
 	if _, err := f.Seek(0, 0); err != nil {
 		return err
 	}
-	p, err := leap.ReadProfile(f)
-	if err != nil {
-		return fmt.Errorf("not a WHOMP or LEAP profile: %v", err)
+	if p, err := leap.ReadProfile(f); err == nil {
+		accPct, instrPct := p.SampleQuality()
+		fmt.Printf("LEAP profile: workload %q, %d accesses\n", p.Workload, p.Records)
+		fmt.Printf("  %d streams, %d timed LMADs, %d encoded bytes (%.0fx compression)\n",
+			len(p.Streams), p.TotalLMADs(), p.EncodedSize(), p.CompressionRatio())
+		fmt.Printf("  sample quality: %.1f%% accesses, %.1f%% instructions\n", accPct, instrPct)
+		return nil
 	}
-	accPct, instrPct := p.SampleQuality()
-	fmt.Printf("LEAP profile: workload %q, %d accesses\n", p.Workload, p.Records)
-	fmt.Printf("  %d streams, %d timed LMADs, %d encoded bytes (%.0fx compression)\n",
-		len(p.Streams), p.TotalLMADs(), p.EncodedSize(), p.CompressionRatio())
-	fmt.Printf("  sample quality: %.1f%% accesses, %.1f%% instructions\n", accPct, instrPct)
+	if _, err := f.Seek(0, 0); err != nil {
+		return err
+	}
+	r, err := tracefmt.NewReader(f)
+	if err != nil {
+		return fmt.Errorf("not a WHOMP profile, LEAP profile, or ORMTRACE trace: %v", err)
+	}
+	sb := &trace.StatsBuilder{}
+	if _, err := trace.Drain(r, sb); err != nil {
+		return err
+	}
+	s := sb.Stats()
+	fmt.Printf("ORMTRACE v%d trace: workload %q\n", tracefmt.Version, r.Name())
+	fmt.Printf("  %d events: %d loads, %d stores, %d allocs, %d frees\n",
+		s.Loads+s.Stores+s.Allocs+s.Frees, s.Loads, s.Stores, s.Allocs, s.Frees)
+	fmt.Printf("  %d named allocation sites, %d instructions\n", len(r.Sites()), s.Instrs)
 	return nil
 }

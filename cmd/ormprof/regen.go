@@ -6,6 +6,7 @@ import (
 	"os"
 
 	"ormprof/internal/trace"
+	"ormprof/internal/tracefmt"
 	"ormprof/internal/whomp"
 )
 
@@ -43,7 +44,7 @@ func regenCmd(args []string) error {
 			return err
 		}
 		defer of.Close()
-		tw := trace.NewWriter(of)
+		tw := tracefmt.NewWriter(of, tracefmt.WithName(p.Workload))
 		for i := range instrs {
 			// Access kinds and sizes are not part of the 5-tuple; the
 			// regenerated trace records loads of unknown width.

@@ -17,16 +17,18 @@ import (
 // separation that makes the profile useful.
 func regularityCmd(args []string) error {
 	fs := flag.NewFlagSet("regularity", flag.ExitOnError)
-	w, scale, seed, n := workloadFlags(fs)
+	w, scale, seed, n, tf := workloadFlags(fs)
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 
-	run, err := record(*w, *scale, *seed)
+	ev, err := load(*w, *scale, *seed, tf)
 	if err != nil {
 		return err
 	}
-	lp := leap.NewParallel(run.sites, 0, 0)
-	run.buf.Replay(lp)
-	profile := lp.Profile(*w)
+	lp := leap.NewParallel(ev.Sites, 0, 0)
+	if _, err := ev.Pass(lp); err != nil {
+		return err
+	}
+	profile := lp.Profile(ev.Name)
 
 	type row struct {
 		key     leap.StreamKey
@@ -52,7 +54,7 @@ func regularityCmd(args []string) error {
 	sort.Slice(rows, func(i, j int) bool { return rows[i].offered > rows[j].offered })
 
 	fmt.Printf("workload %s: %d accesses in %d vertically decomposed sub-streams\n\n",
-		*w, profile.Records, len(rows))
+		ev.Name, profile.Records, len(rows))
 	tbl := report.NewTable("Instr", "Group", "Accesses", "Descriptors", "Captured", "Verdict")
 	shown := 0
 	for _, r := range rows {

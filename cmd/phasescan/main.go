@@ -7,6 +7,7 @@
 // Usage:
 //
 //	phasescan [-workload NAME] [-scale N] [-seed N] [-interval N] [-max-lmads N]
+//	          [-record trace.ormtrace | -replay trace.ormtrace]
 package main
 
 import (
@@ -14,7 +15,7 @@ import (
 	"fmt"
 	"os"
 
-	"ormprof/internal/experiments"
+	"ormprof/internal/cliutil"
 	"ormprof/internal/leap"
 	"ormprof/internal/omc"
 	"ormprof/internal/phase"
@@ -31,37 +32,54 @@ func main() {
 		interval = flag.Int("interval", 4096, "accesses per phase-detection interval")
 		maxLMADs = flag.Int("max-lmads", 0, "LMAD budget per stream (0 = paper default)")
 	)
+	tf := cliutil.RegisterTraceFlags(flag.CommandLine)
 	flag.Parse()
 
+	if err := run(*workload, workloads.Config{Scale: *scale, Seed: *seed}, *interval, *maxLMADs, tf); err != nil {
+		fmt.Fprintln(os.Stderr, "phasescan:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload string, cfg workloads.Config, interval, maxLMADs int, tf *cliutil.TraceFlags) error {
 	names := workloads.Names()
-	if *workload != "" {
-		names = []string{*workload}
+	if workload != "" {
+		names = []string{workload}
+	} else if tf.Active() {
+		names = []string{""}
 	}
 
 	tbl := report.NewTable("Benchmark", "Phases", "Transitions", "Monolithic capture", "Phase-cognizant capture")
 	for _, name := range names {
-		prog, err := workloads.New(name, workloads.Config{Scale: *scale, Seed: *seed})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "phasescan:", err)
-			os.Exit(1)
+		flags := tf
+		if workload == "" && !tf.Active() {
+			flags = &cliutil.TraceFlags{}
 		}
-		buf, sites := experiments.Record(prog, nil)
+		ev, err := flags.Load(name, cfg)
+		if err != nil {
+			return err
+		}
 
-		mono := leap.New(sites, *maxLMADs)
-		buf.Replay(mono)
-		monoAcc, _ := mono.Profile(name).SampleQuality()
+		mono := leap.New(ev.Sites, maxLMADs)
+		if _, err := ev.Pass(mono); err != nil {
+			return err
+		}
+		monoAcc, _ := mono.Profile(ev.Name).SampleQuality()
 
-		cog := phase.NewCognizantLEAP(phase.Config{IntervalLen: *interval}, *maxLMADs)
-		cdc := profiler.NewCDC(omc.New(sites), cog)
-		buf.Replay(cdc)
+		cog := phase.NewCognizantLEAP(phase.Config{IntervalLen: interval}, maxLMADs)
+		cdc := profiler.NewCDC(omc.New(ev.Sites), cog)
+		if _, err := ev.Pass(cdc); err != nil {
+			return err
+		}
 		cdc.Finish()
-		cogAcc, _ := phase.Quality(cog.Profiles(name))
+		cogAcc, _ := phase.Quality(cog.Profiles(ev.Name))
 
 		det := cog.Detector()
-		tbl.AddRowf(name, det.NumPhases(), det.Transitions(),
+		tbl.AddRowf(ev.Name, det.NumPhases(), det.Transitions(),
 			report.Pct(monoAcc), report.Pct(cogAcc))
 	}
 	tbl.WriteTo(os.Stdout) //nolint:errcheck // stdout
 	fmt.Println("\nphase-cognizant streams are more homogeneous, so the same LMAD budget")
 	fmt.Println("captures at least as much per phase (§6 future work, implemented here).")
+	return nil
 }

@@ -5,6 +5,11 @@
 // Usage:
 //
 //	stridescan [-scale N] [-seed N] [-max-lmads N] [-workers N] [-v]
+//	           [-workload NAME] [-record trace.ormtrace | -replay trace.ormtrace]
+//
+// With no -workload (and no -replay) all seven benchmarks run and the
+// Figure 9 table is printed. A single workload — live or replayed from a
+// recorded trace — prints that benchmark's strided instructions and score.
 package main
 
 import (
@@ -12,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"ormprof/internal/cliutil"
 	"ormprof/internal/experiments"
 	"ormprof/internal/leap"
 	"ormprof/internal/report"
@@ -21,17 +27,35 @@ import (
 
 func main() {
 	var (
+		workload = flag.String("workload", "", "scan a single workload (default: all seven)")
 		scale    = flag.Int("scale", 1, "workload scale factor")
 		seed     = flag.Int64("seed", 42, "workload random seed")
 		maxLMADs = flag.Int("max-lmads", 0, "LEAP LMAD budget (0 = paper default of 30)")
 		verbose  = flag.Bool("v", false, "list the strongly strided instructions per benchmark")
-		workers  = flag.Int("workers", 0, "profiling/post-processing workers (0 = GOMAXPROCS; reports are identical for any count)")
 	)
+	workers := cliutil.WorkersFlag(flag.CommandLine)
+	tf := cliutil.RegisterTraceFlags(flag.CommandLine)
 	flag.Parse()
 
-	cfg := workloads.Config{Scale: *scale, Seed: *seed}
-	rows := experiments.Fig9(cfg, *maxLMADs)
+	if err := run(*workload, workloads.Config{Scale: *scale, Seed: *seed}, *maxLMADs, *verbose, *workers, tf); err != nil {
+		fmt.Fprintln(os.Stderr, "stridescan:", err)
+		os.Exit(1)
+	}
+}
 
+func run(workload string, cfg workloads.Config, maxLMADs int, verbose bool, workers int, tf *cliutil.TraceFlags) error {
+	if err := cliutil.CheckWorkers(workers); err != nil {
+		return err
+	}
+	if workload != "" || tf.Active() {
+		ev, err := tf.Load(workload, cfg)
+		if err != nil {
+			return err
+		}
+		return scanOne(ev, maxLMADs, workers)
+	}
+
+	rows := experiments.Fig9(cfg, maxLMADs)
 	tbl := report.NewTable("Benchmark", "Strongly strided (real)", "Identified by LEAP", "Score", "Cross-object ext")
 	for _, r := range rows {
 		tbl.AddRowf(r.Benchmark, r.Real, r.Found, report.Pct(r.Score), report.Pct(r.ExtScore))
@@ -48,30 +72,51 @@ func main() {
 	report.BarChart(os.Stdout, labels, scores, 40)
 	fmt.Printf("\nFigure 9: average stride score %.1f%% (paper: 88%%)\n", experiments.AverageScore(rows))
 
-	if *verbose {
+	if verbose {
 		for _, name := range workloads.Names() {
-			prog, err := workloads.New(name, cfg)
+			ev, err := (&cliutil.TraceFlags{}).Load(name, cfg)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "stridescan:", err)
-				os.Exit(1)
+				return err
 			}
-			buf, sites := experiments.Record(prog, nil)
-			ideal := stride.NewIdeal()
-			buf.Replay(ideal)
-			lp := leap.NewParallel(sites, *maxLMADs, *workers)
-			buf.Replay(lp)
-			est := stride.FromLEAPParallel(lp.Profile(name), *workers)
-			real := ideal.StronglyStrided()
-
 			fmt.Printf("\n%s:\n", name)
-			for _, id := range stride.SortedIDs(real) {
-				ri := real[id]
-				mark := "MISS"
-				if ei, ok := est[id]; ok && ei.Stride == ri.Stride {
-					mark = "ok"
-				}
-				fmt.Printf("  i%-4d stride %-6d (%.0f%% of accesses)  [%s]\n", id, ri.Stride, 100*ri.Frac, mark)
+			if err := scanOne(ev, maxLMADs, workers); err != nil {
+				return err
 			}
 		}
 	}
+	return nil
+}
+
+// scanOne scores LEAP's stride identification for one event stream against
+// the lossless reference profiler — two streaming passes.
+func scanOne(ev *cliutil.Events, maxLMADs, workers int) error {
+	ideal := stride.NewIdeal()
+	if _, err := ev.Pass(ideal); err != nil {
+		return err
+	}
+	lp := leap.NewParallel(ev.Sites, maxLMADs, workers)
+	if _, err := ev.Pass(lp); err != nil {
+		return err
+	}
+	est := stride.FromLEAPParallel(lp.Profile(ev.Name), workers)
+	strong := ideal.StronglyStrided()
+	real := stride.SortedIDs(strong)
+
+	found := 0
+	for _, id := range real {
+		ri := strong[id]
+		mark := "MISS"
+		if ei, ok := est[id]; ok && ei.Stride == ri.Stride {
+			mark = "ok"
+			found++
+		}
+		fmt.Printf("  i%-4d stride %-6d (%.0f%% of accesses)  [%s]\n", id, ri.Stride, 100*ri.Frac, mark)
+	}
+	if len(real) > 0 {
+		fmt.Printf("workload %s: %d/%d strongly strided instructions identified (%.0f%%)\n",
+			ev.Name, found, len(real), 100*float64(found)/float64(len(real)))
+	} else {
+		fmt.Printf("workload %s: no strongly strided instructions\n", ev.Name)
+	}
+	return nil
 }

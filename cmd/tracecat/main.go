@@ -1,0 +1,136 @@
+// Command tracecat prints, filters, and counts the records of a recorded
+// probe trace (the ORMTRACE format written by -record / ormprof record).
+//
+// Usage:
+//
+//	tracecat [-n N] [-kind access|alloc|free] [-instr ID] [-site ID]
+//	         [-from T] [-to T] [-count] [-stats] FILE.ormtrace
+//
+// With no flags it prints every record. Filters compose (logical AND);
+// -count prints only the number of matching records, -stats a summary of
+// the whole trace.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ormprof/internal/trace"
+	"ormprof/internal/tracefmt"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 0, "print at most N matching records (0 = all)")
+		kind  = flag.String("kind", "", "keep only records of this kind: access, alloc, or free")
+		instr = flag.Int("instr", -1, "keep only access records of this instruction ID")
+		site  = flag.Int("site", -1, "keep only alloc records of this allocation site ID")
+		from  = flag.Uint64("from", 0, "keep only records with time >= this")
+		to    = flag.Uint64("to", 0, "keep only records with time <= this (0 = no upper bound)")
+		count = flag.Bool("count", false, "print only the number of matching records")
+		stats = flag.Bool("stats", false, "print a summary of the whole trace instead of records")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecat [flags] FILE.ormtrace")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	if err := run(flag.Arg(0), *n, *kind, *instr, *site, *from, *to, *count, *stats); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, n int, kind string, instr, site int, from, to uint64, count, stats bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := tracefmt.NewReader(f)
+	if err != nil {
+		return err
+	}
+
+	var wantKind trace.EventKind
+	haveKind := kind != ""
+	switch kind {
+	case "":
+	case "access":
+		wantKind = trace.EvAccess
+	case "alloc":
+		wantKind = trace.EvAlloc
+	case "free":
+		wantKind = trace.EvFree
+	default:
+		return fmt.Errorf("unknown -kind %q (want access, alloc, or free)", kind)
+	}
+
+	match := func(e trace.Event) bool {
+		if haveKind && e.Kind != wantKind {
+			return false
+		}
+		if instr >= 0 && (e.Kind != trace.EvAccess || e.Instr != trace.InstrID(instr)) {
+			return false
+		}
+		if site >= 0 && (e.Kind != trace.EvAlloc || e.Site != trace.SiteID(site)) {
+			return false
+		}
+		if uint64(e.Time) < from {
+			return false
+		}
+		if to != 0 && uint64(e.Time) > to {
+			return false
+		}
+		return true
+	}
+
+	if stats {
+		sb := &trace.StatsBuilder{}
+		total, err := trace.Drain(r, sb)
+		if err != nil {
+			return err
+		}
+		s := sb.Stats()
+		fmt.Printf("trace %s: workload %q, format v%d\n", path, r.Name(), tracefmt.Version)
+		fmt.Printf("  %d events: %d loads, %d stores, %d allocs, %d frees\n",
+			total, s.Loads, s.Stores, s.Allocs, s.Frees)
+		fmt.Printf("  %d distinct instructions, %d distinct sites (%d named), peak %d bytes live\n",
+			s.Instrs, s.Sites, len(r.Sites()), s.BytesLive)
+		return nil
+	}
+
+	matched, printed := 0, 0
+	for {
+		e, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if !match(e) {
+			continue
+		}
+		matched++
+		if count {
+			continue
+		}
+		if n > 0 && printed == n {
+			continue
+		}
+		fmt.Println(e)
+		printed++
+	}
+	if count {
+		fmt.Println(matched)
+	} else if matched > printed {
+		fmt.Printf("… %d more matching records\n", matched-printed)
+	}
+	return nil
+}

@@ -6,9 +6,12 @@
 // Usage:
 //
 //	whomp [-workload NAME] [-scale N] [-seed N] [-workers N] [-o profile.whomp]
+//	      [-record trace.ormtrace | -replay trace.ormtrace]
 //
-// With no -workload, all seven benchmarks run and the Figure 5 table is
-// printed.
+// With no -workload (and no -replay), all seven benchmarks run and the
+// Figure 5 table is printed. -record writes the probe trace alongside the
+// live profile; -replay profiles a recorded trace instead of running a
+// workload and produces a byte-identical profile.
 package main
 
 import (
@@ -16,9 +19,9 @@ import (
 	"fmt"
 	"os"
 
+	"ormprof/internal/cliutil"
 	"ormprof/internal/experiments"
 	"ormprof/internal/report"
-	"ormprof/internal/trace"
 	"ormprof/internal/whomp"
 	"ormprof/internal/workloads"
 )
@@ -29,26 +32,28 @@ func main() {
 		scale    = flag.Int("scale", 1, "workload scale factor")
 		seed     = flag.Int64("seed", 42, "workload random seed")
 		out      = flag.String("o", "", "write the WHOMP profile of the (single) workload to this file")
-		traceIn  = flag.String("trace", "", "profile a recorded .ormtrace file instead of running a workload")
+		traceIn  = flag.String("trace", "", "deprecated alias for -replay")
 		csvOut   = flag.Bool("csv", false, "emit the Figure 5 table as CSV (for plotting)")
-		workers  = flag.Int("workers", 0, "grammar-construction workers (0 = GOMAXPROCS; profiles are identical for any count)")
 	)
+	workers := cliutil.WorkersFlag(flag.CommandLine)
+	tf := cliutil.RegisterTraceFlags(flag.CommandLine)
 	flag.Parse()
 
-	cfg := workloads.Config{Scale: *scale, Seed: *seed}
-	if *traceIn != "" {
-		if err := runTraceFile(*traceIn, *out, *workers); err != nil {
-			fmt.Fprintln(os.Stderr, "whomp:", err)
-			os.Exit(1)
-		}
-		return
+	if err := run(*workload, workloads.Config{Scale: *scale, Seed: *seed}, *out, *traceIn, *csvOut, *workers, tf); err != nil {
+		fmt.Fprintln(os.Stderr, "whomp:", err)
+		os.Exit(1)
 	}
-	if *workload != "" {
-		if err := runOne(*workload, cfg, *out, *workers); err != nil {
-			fmt.Fprintln(os.Stderr, "whomp:", err)
-			os.Exit(1)
-		}
-		return
+}
+
+func run(workload string, cfg workloads.Config, out, traceIn string, csvOut bool, workers int, tf *cliutil.TraceFlags) error {
+	if err := cliutil.CheckWorkers(workers); err != nil {
+		return err
+	}
+	if traceIn != "" && tf.Replay == "" {
+		tf.Replay = traceIn
+	}
+	if workload != "" || tf.Active() {
+		return runOne(workload, cfg, out, workers, tf)
 	}
 
 	rows := experiments.Fig5(cfg)
@@ -57,12 +62,8 @@ func main() {
 		tbl.AddRowf(r.Benchmark, r.Accesses, r.RASGSymbols, r.OMSGSymbols, r.RASGBytes, r.OMSGBytes,
 			r.FlateBytes, report.Pct(r.GainPct), r.RASGTime.Round(1e6), r.OMSGTime.Round(1e6))
 	}
-	if *csvOut {
-		if err := tbl.WriteCSV(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "whomp:", err)
-			os.Exit(1)
-		}
-		return
+	if csvOut {
+		return tbl.WriteCSV(os.Stdout)
 	}
 	tbl.WriteTo(os.Stdout) //nolint:errcheck // stdout
 
@@ -76,61 +77,32 @@ func main() {
 	report.BarChart(os.Stdout, labels, gains, 40)
 	fmt.Printf("\nFigure 5: OMSG is on average %.1f%% more compact than RASG (paper: 22%%)\n",
 		experiments.AverageGain(rows))
-}
-
-// runTraceFile profiles a previously recorded probe trace ("collect once,
-// profile many"): site names are unavailable, so groups get site#N names.
-func runTraceFile(path, out string, workers int) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	buf := &trace.Buffer{}
-	n, err := trace.ReadTrace(f, buf)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("replaying %d events from %s\n", n, path)
-
-	wp := whomp.NewParallel(nil, workers)
-	buf.Replay(wp)
-	profile := wp.Profile(path)
-	rasg := whomp.NewRASG()
-	buf.Replay(rasg)
-	fmt.Printf("  RASG: %8d symbols  %8d bytes\n", rasg.Symbols(), rasg.EncodedBytes())
-	fmt.Printf("  OMSG: %8d symbols  %8d bytes  (%.1f%% smaller)\n",
-		profile.Symbols(), profile.EncodedBytes(), whomp.CompressionGain(profile, rasg))
-	if out != "" {
-		of, err := os.Create(out)
-		if err != nil {
-			return err
-		}
-		defer of.Close()
-		if _, err := profile.WriteTo(of); err != nil {
-			return err
-		}
-		fmt.Printf("  wrote profile to %s\n", out)
-	}
 	return nil
 }
 
-func runOne(name string, cfg workloads.Config, out string, workers int) error {
-	prog, err := workloads.New(name, cfg)
+// runOne profiles a single event stream — a live workload run or a
+// replayed trace ("collect once, profile many") — and, because the trace
+// header carries the workload name and site table, both paths produce
+// byte-identical profiles.
+func runOne(workload string, cfg workloads.Config, out string, workers int, tf *cliutil.TraceFlags) error {
+	ev, err := tf.Load(workload, cfg)
 	if err != nil {
 		return err
 	}
-	buf, sites := experiments.Record(prog, nil)
 
-	wp := whomp.NewParallel(sites, workers)
-	buf.Replay(wp)
-	profile := wp.Profile(name)
+	wp := whomp.NewParallel(ev.Sites, workers)
+	if _, err := ev.Pass(wp); err != nil {
+		return err
+	}
+	profile := wp.Profile(ev.Name)
 
 	rasg := whomp.NewRASG()
-	buf.Replay(rasg)
+	if _, err := ev.Pass(rasg); err != nil {
+		return err
+	}
 
 	fmt.Printf("workload %s: %d accesses, %d objects in %d groups\n",
-		name, profile.Records, profile.Objects.NumObjects(), len(profile.Objects.Groups))
+		ev.Name, profile.Records, profile.Objects.NumObjects(), len(profile.Objects.Groups))
 	fmt.Printf("  RASG: %8d symbols  %8d bytes\n", rasg.Symbols(), rasg.EncodedBytes())
 	fmt.Printf("  OMSG: %8d symbols  %8d bytes  (%.1f%% smaller)\n",
 		profile.Symbols(), profile.EncodedBytes(), whomp.CompressionGain(profile, rasg))

@@ -1,0 +1,179 @@
+// Package cliutil factors the flag handling and event-stream plumbing
+// shared by every cmd tool: the -workers flag with its validation, and the
+// -record / -replay pair that connects the tools to the on-disk trace
+// layer (internal/tracefmt).
+//
+// The central type is Events: a replayable event source that is either a
+// live workload run (optionally teeing its probe stream to a trace file)
+// or a recorded trace. Each Pass streams the whole event stream into a
+// sink; replay passes read the file with O(batch) memory, so profiling a
+// recorded trace never materializes it.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"ormprof/internal/memsim"
+	"ormprof/internal/omc"
+	"ormprof/internal/profiler"
+	"ormprof/internal/trace"
+	"ormprof/internal/tracefmt"
+	"ormprof/internal/workloads"
+)
+
+// WorkersFlag registers the shared -workers flag on fs. The default is
+// runtime.GOMAXPROCS(0); CheckWorkers rejects anything below 1.
+func WorkersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("workers", runtime.GOMAXPROCS(0),
+		"worker goroutines for profile construction (>= 1; profiles are identical for any count)")
+}
+
+// CheckWorkers validates a -workers value: the pipeline needs at least one
+// worker, and a silent fallback would hide typos like -workers -3.
+func CheckWorkers(n int) error {
+	if n < 1 {
+		return fmt.Errorf("-workers must be at least 1 (got %d)", n)
+	}
+	return nil
+}
+
+// TraceFlags holds the record/replay pair every tool exposes.
+type TraceFlags struct {
+	// Record: while running a live workload, also stream its probe trace
+	// to this file.
+	Record string
+	// Replay: read events from this trace file instead of running a
+	// workload.
+	Replay string
+}
+
+// RegisterTraceFlags adds -record and -replay to fs.
+func RegisterTraceFlags(fs *flag.FlagSet) *TraceFlags {
+	t := &TraceFlags{}
+	fs.StringVar(&t.Record, "record", "",
+		"also record the probe trace of the live workload run to this file")
+	fs.StringVar(&t.Replay, "replay", "",
+		"profile a recorded trace file instead of running a workload")
+	return t
+}
+
+// Active reports whether either trace flag was set.
+func (t *TraceFlags) Active() bool { return t.Record != "" || t.Replay != "" }
+
+// Events is a replayable probe-event stream: either an in-memory live run
+// or a pointer to a recorded trace file. Passes over a live run replay the
+// buffered events; passes over a recording stream from disk.
+type Events struct {
+	// Name labels the stream: the workload name, recovered from the trace
+	// header on replay (falling back to the file name for traces recorded
+	// without one).
+	Name string
+	// Sites is the static allocation-site name table.
+	Sites map[trace.SiteID]string
+
+	buf  *trace.Buffer // live mode
+	path string        // replay mode
+}
+
+// Load resolves the trace flags into an event stream. With -replay it
+// opens the trace file (validating the header) and any workload selection
+// is ignored — the trace header names its workload. Otherwise it runs
+// workload under cfg, teeing the probe stream to -record if set.
+func (t *TraceFlags) Load(workload string, cfg workloads.Config) (*Events, error) {
+	if t.Replay != "" {
+		if t.Record != "" {
+			return nil, fmt.Errorf("-record and -replay are mutually exclusive")
+		}
+		return openReplay(t.Replay)
+	}
+	if workload == "" {
+		return nil, fmt.Errorf("no workload selected")
+	}
+	prog, err := workloads.New(workload, cfg)
+	if err != nil {
+		return nil, err
+	}
+	buf := &trace.Buffer{}
+	sink := trace.Sink(buf)
+	var tw *tracefmt.Writer
+	var f *os.File
+	if t.Record != "" {
+		f, err = os.Create(t.Record)
+		if err != nil {
+			return nil, err
+		}
+		tw = tracefmt.NewWriter(f, tracefmt.WithName(workload))
+		sink = trace.Tee(buf, tw)
+	}
+	m := memsim.Run(prog, sink)
+	if tw != nil {
+		if err := tw.Close(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("recording trace: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return nil, fmt.Errorf("recording trace: %w", err)
+		}
+	}
+	return &Events{Name: workload, Sites: m.StaticSites(), buf: buf}, nil
+}
+
+// openReplay validates the header and captures the metadata; events are
+// streamed per Pass.
+func openReplay(path string) (*Events, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := tracefmt.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	name := r.Name()
+	if name == "" {
+		name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	}
+	return &Events{Name: name, Sites: r.Sites(), path: path}, nil
+}
+
+// Pass streams one complete pass of the event stream into sink and reports
+// the number of events delivered. Replay passes hold O(batch) events in
+// memory; live passes replay the run's buffer.
+func (ev *Events) Pass(sink trace.Sink) (int, error) {
+	if ev.path == "" {
+		ev.buf.Replay(sink)
+		return ev.buf.Len(), nil
+	}
+	f, err := os.Open(ev.path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	n, err := tracefmt.Replay(f, sink)
+	if err != nil {
+		return n, fmt.Errorf("%s: %w", ev.path, err)
+	}
+	return n, nil
+}
+
+// Translate runs one pass through a fresh OMC and returns the
+// object-relative record stream plus the OMC.
+func (ev *Events) Translate() ([]profiler.Record, *omc.OMC, error) {
+	o := omc.New(ev.Sites)
+	col := &profiler.Collector{}
+	cdc := profiler.NewCDC(o, col)
+	if _, err := ev.Pass(cdc); err != nil {
+		return nil, nil, err
+	}
+	cdc.Finish()
+	return col.Records, o, nil
+}
+
+// Replayed reports whether the events come from a recorded trace file.
+func (ev *Events) Replayed() bool { return ev.path != "" }

@@ -1,0 +1,140 @@
+package cliutil
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ormprof/internal/trace"
+	"ormprof/internal/workloads"
+)
+
+func TestCheckWorkers(t *testing.T) {
+	for _, n := range []int{1, 2, 64} {
+		if err := CheckWorkers(n); err != nil {
+			t.Errorf("CheckWorkers(%d) = %v, want nil", n, err)
+		}
+	}
+	for _, n := range []int{0, -1, -100} {
+		if err := CheckWorkers(n); err == nil {
+			t.Errorf("CheckWorkers(%d) accepted", n)
+		}
+	}
+}
+
+func TestWorkersFlagDefault(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	w := WorkersFlag(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckWorkers(*w); err != nil {
+		t.Errorf("default -workers value %d rejected: %v", *w, err)
+	}
+}
+
+func TestRecordReplayMutuallyExclusive(t *testing.T) {
+	tf := &TraceFlags{Record: "a", Replay: "b"}
+	if _, err := tf.Load("linkedlist", workloads.Config{Scale: 1, Seed: 42}); err == nil {
+		t.Error("Load accepted -record together with -replay")
+	}
+}
+
+func TestLoadRequiresWorkloadOrReplay(t *testing.T) {
+	tf := &TraceFlags{}
+	if _, err := tf.Load("", workloads.Config{}); err == nil {
+		t.Error("Load accepted neither workload nor -replay")
+	}
+}
+
+func TestLiveRecordReplayAgree(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.ormtrace")
+	cfg := workloads.Config{Scale: 1, Seed: 42}
+
+	// Live run teeing to a trace file.
+	live, err := (&TraceFlags{Record: path}).Load("linkedlist", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Replayed() {
+		t.Error("live run claims to be replayed")
+	}
+	var liveBuf trace.Buffer
+	n, err := live.Pass(&liveBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("live pass delivered no events")
+	}
+
+	// Replay of the recorded file: same name, same sites, same events.
+	rep, err := (&TraceFlags{Replay: path}).Load("ignored-name", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Replayed() {
+		t.Error("replay run claims to be live")
+	}
+	if rep.Name != live.Name {
+		t.Errorf("replay Name = %q, live %q", rep.Name, live.Name)
+	}
+	if len(rep.Sites) != len(live.Sites) {
+		t.Errorf("replay Sites = %v, live %v", rep.Sites, live.Sites)
+	}
+	for id, name := range live.Sites {
+		if rep.Sites[id] != name {
+			t.Errorf("site %d = %q, want %q", id, rep.Sites[id], name)
+		}
+	}
+	var repBuf trace.Buffer
+	m, err := rep.Pass(&repBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != n {
+		t.Fatalf("replay pass delivered %d events, live %d", m, n)
+	}
+	for i := range liveBuf.Events {
+		if repBuf.Events[i] != liveBuf.Events[i] {
+			t.Fatalf("event %d: replay %+v, live %+v", i, repBuf.Events[i], liveBuf.Events[i])
+		}
+	}
+
+	// Passes are repeatable on both paths (multi-pass profiling).
+	var again trace.Buffer
+	if m2, err := rep.Pass(&again); err != nil || m2 != n {
+		t.Fatalf("second replay pass: %d events, err %v", m2, err)
+	}
+
+	// Translations agree record-for-record.
+	liveRecs, _, err := live.Translate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	repRecs, _, err := rep.Translate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(liveRecs) != len(repRecs) {
+		t.Fatalf("translate: live %d records, replay %d", len(liveRecs), len(repRecs))
+	}
+	for i := range liveRecs {
+		if liveRecs[i] != repRecs[i] {
+			t.Fatalf("record %d: live %+v, replay %+v", i, liveRecs[i], repRecs[i])
+		}
+	}
+}
+
+func TestReplayRejectsGarbageFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.ormtrace")
+	if err := os.WriteFile(path, []byte("this is not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (&TraceFlags{Replay: path}).Load("", workloads.Config{}); err == nil {
+		t.Error("Load accepted a garbage trace file")
+	}
+}

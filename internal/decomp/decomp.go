@@ -83,20 +83,27 @@ type Horizontal struct {
 	Offset []uint64
 }
 
+// Add appends one record's dimension symbols — the streaming form of
+// Decompose, usable as the body of a profiler.SCCFunc so decomposition can
+// ride directly on the translated record stream.
+func (h *Horizontal) Add(r profiler.Record) {
+	h.Instr = append(h.Instr, uint64(r.Instr))
+	h.Group = append(h.Group, uint64(r.Ref.Group))
+	h.Object = append(h.Object, uint64(r.Ref.Object))
+	h.Offset = append(h.Offset, r.Ref.Offset)
+}
+
 // Decompose splits the object-relative stream into its four dimension
 // streams.
 func Decompose(recs []profiler.Record) Horizontal {
 	h := Horizontal{
-		Instr:  make([]uint64, len(recs)),
-		Group:  make([]uint64, len(recs)),
-		Object: make([]uint64, len(recs)),
-		Offset: make([]uint64, len(recs)),
+		Instr:  make([]uint64, 0, len(recs)),
+		Group:  make([]uint64, 0, len(recs)),
+		Object: make([]uint64, 0, len(recs)),
+		Offset: make([]uint64, 0, len(recs)),
 	}
-	for i, r := range recs {
-		h.Instr[i] = uint64(r.Instr)
-		h.Group[i] = uint64(r.Ref.Group)
-		h.Object[i] = uint64(r.Ref.Object)
-		h.Offset[i] = r.Ref.Offset
+	for _, r := range recs {
+		h.Add(r)
 	}
 	return h
 }

@@ -5,29 +5,50 @@ import (
 	"ormprof/internal/trace"
 )
 
-// LineHistogram computes the cache-line reuse-distance distribution of a
-// raw access trace (the hardware-level locality view).
-func LineHistogram(events []trace.Event, lineBytes uint) Histogram {
+// LineSink is a trace.Sink that feeds every touched cache line of the raw
+// access stream into a reuse-distance analyzer (the hardware-level locality
+// view).
+type LineSink struct {
+	a     *Analyzer
+	shift uint
+}
+
+// NewLineSink returns a sink analyzing reuse at lineBytes granularity.
+func NewLineSink(lineBytes uint) *LineSink {
 	shift := uint(0)
 	for b := lineBytes; b > 1; b >>= 1 {
 		shift++
 	}
-	a := NewAnalyzer()
-	for _, e := range events {
-		if e.Kind != trace.EvAccess {
-			continue
-		}
-		first := uint64(e.Addr) >> shift
-		size := e.Size
-		if size == 0 {
-			size = 1
-		}
-		last := (uint64(e.Addr) + uint64(size) - 1) >> shift
-		for line := first; line <= last; line++ {
-			a.Touch(line)
-		}
+	return &LineSink{a: NewAnalyzer(), shift: shift}
+}
+
+// Emit implements trace.Sink.
+func (s *LineSink) Emit(e trace.Event) {
+	if e.Kind != trace.EvAccess {
+		return
 	}
-	return a.Histogram()
+	first := uint64(e.Addr) >> s.shift
+	size := e.Size
+	if size == 0 {
+		size = 1
+	}
+	last := (uint64(e.Addr) + uint64(size) - 1) >> s.shift
+	for line := first; line <= last; line++ {
+		s.a.Touch(line)
+	}
+}
+
+// Histogram returns the distances observed so far.
+func (s *LineSink) Histogram() Histogram { return s.a.Histogram() }
+
+// LineHistogram computes the cache-line reuse-distance distribution of a
+// materialized access trace — the slice adapter over LineSink.
+func LineHistogram(events []trace.Event, lineBytes uint) Histogram {
+	s := NewLineSink(lineBytes)
+	for _, e := range events {
+		s.Emit(e)
+	}
+	return s.Histogram()
 }
 
 // ObjectHistogram computes the object-level reuse-distance distribution of

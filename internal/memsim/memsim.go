@@ -152,11 +152,22 @@ func (m *Machine) StaticSites() map[trace.SiteID]string {
 // Start emits the alloc probes for all static objects, modeling the paper's
 // "probes ... at the beginning ... of the program for all statically
 // allocated objects". It must be called exactly once before any access.
+//
+// Before the first probe fires, Start announces every static site's
+// symbolic name to the sink if it implements trace.SiteNamer — this is how
+// a trace writer (tracefmt.Writer) riding on the probe stream captures the
+// site table, so a replayed trace reconstructs the same group names as the
+// live run.
 func (m *Machine) Start() {
 	if m.started {
 		panic("memsim: Start called twice")
 	}
 	m.started = true
+	if namer, ok := m.sink.(trace.SiteNamer); ok {
+		for _, s := range m.statics {
+			namer.NameSite(s.site, s.name)
+		}
+	}
 	for _, s := range m.statics {
 		m.sink.Emit(trace.Event{Kind: trace.EvAlloc, Time: m.clock, Site: s.site, Addr: s.addr, Size: s.size})
 	}

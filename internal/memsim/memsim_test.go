@@ -34,6 +34,48 @@ func TestStaticLifecycle(t *testing.T) {
 	}
 }
 
+// namerSink records NameSite calls and the number of events seen before
+// each one, verifying the machine announces every static site to a
+// SiteNamer sink before the first probe event.
+type namerSink struct {
+	trace.Buffer
+	named       map[trace.SiteID]string
+	eventsFirst bool
+}
+
+func (n *namerSink) NameSite(site trace.SiteID, name string) {
+	if n.Len() > 0 {
+		n.eventsFirst = true
+	}
+	if n.named == nil {
+		n.named = make(map[trace.SiteID]string)
+	}
+	n.named[site] = name
+}
+
+func TestStartAnnouncesSiteNames(t *testing.T) {
+	sink := &namerSink{}
+	m := New(sink)
+	m.DefineStatic("table", 100)
+	m.DefineStatic("board", 64)
+	m.Start()
+	m.Load(1, m.StaticAddr("table"), 8)
+	m.End()
+
+	if sink.eventsFirst {
+		t.Error("NameSite arrived after the first event")
+	}
+	want := m.StaticSites()
+	if len(sink.named) != len(want) {
+		t.Fatalf("sink named %v, machine has %v", sink.named, want)
+	}
+	for id, name := range want {
+		if sink.named[id] != name {
+			t.Errorf("site %d named %q, want %q", id, sink.named[id], name)
+		}
+	}
+}
+
 func TestHeapLifecycleAndClock(t *testing.T) {
 	var buf trace.Buffer
 	m := New(&buf)

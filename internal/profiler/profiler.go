@@ -115,16 +115,24 @@ func (c *Collector) Consume(r Record) { c.Records = append(c.Records, r) }
 // Finish implements SCC.
 func (c *Collector) Finish() {}
 
-// TranslateTrace replays a recorded event trace through a fresh OMC and
-// returns the object-relative stream and the OMC (whose object table holds
-// the auxiliary lifetime information). siteNames may be nil.
-func TranslateTrace(events []trace.Event, siteNames map[trace.SiteID]string) ([]Record, *omc.OMC) {
+// TranslateSource streams an event source through a fresh OMC and returns
+// the object-relative stream and the OMC (whose object table holds the
+// auxiliary lifetime information). siteNames may be nil. The translation
+// itself is streaming — only the returned record slice grows with the
+// trace; callers that stream all the way down should wire a CDC to their
+// own SCC instead.
+func TranslateSource(src trace.Source, siteNames map[trace.SiteID]string) ([]Record, *omc.OMC, error) {
 	o := omc.New(siteNames)
 	col := &Collector{}
 	cdc := NewCDC(o, col)
-	for _, e := range events {
-		cdc.Emit(e)
-	}
+	_, err := trace.Drain(src, cdc)
 	cdc.Finish()
-	return col.Records, o
+	return col.Records, o, err
+}
+
+// TranslateTrace replays a recorded event trace through a fresh OMC — the
+// slice adapter over TranslateSource.
+func TranslateTrace(events []trace.Event, siteNames map[trace.SiteID]string) ([]Record, *omc.OMC) {
+	recs, o, _ := TranslateSource(trace.NewSliceSource(events), siteNames)
+	return recs, o
 }

@@ -1,0 +1,78 @@
+package trace
+
+import "io"
+
+// Source is the pull side of the event contract: a stream of probe events
+// delivered one at a time, in program order. Next returns io.EOF after the
+// last event; any other error means the stream is broken (a corrupt trace
+// file, for instance) and no further events will be delivered.
+//
+// Source is the streaming dual of Sink. Producers that materialize a trace
+// expose it through SliceSource / Buffer.Source; producers that stream
+// (tracefmt.Reader) hold only O(batch) events in memory, so a profiler
+// driven from a Source never needs the whole trace resident.
+type Source interface {
+	Next() (Event, error)
+}
+
+// SourceFunc adapts a function to the Source interface.
+type SourceFunc func() (Event, error)
+
+// Next calls f.
+func (f SourceFunc) Next() (Event, error) { return f() }
+
+// Drain pulls every event from src into sink and reports how many events
+// were delivered. It is the bridge between the pull (Source) and push
+// (Sink) halves of the pipeline: every profiler in this repository is a
+// Sink, so Drain is how a recorded trace — or any other stream — is fed
+// through one.
+func Drain(src Source, sink Sink) (int, error) {
+	n := 0
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		sink.Emit(e)
+		n++
+	}
+}
+
+// ReadAll collects the remaining events of src into a slice.
+func ReadAll(src Source) ([]Event, error) {
+	var buf Buffer
+	_, err := Drain(src, &buf)
+	return buf.Events, err
+}
+
+// SliceSource adapts a materialized event slice to the Source interface —
+// the trivial (in-memory) event source the streaming consumers fall back
+// to when the trace is already resident.
+type SliceSource struct {
+	events []Event
+	i      int
+}
+
+// NewSliceSource returns a Source that yields events in order.
+func NewSliceSource(events []Event) *SliceSource {
+	return &SliceSource{events: events}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (Event, error) {
+	if s.i >= len(s.events) {
+		return Event{}, io.EOF
+	}
+	e := s.events[s.i]
+	s.i++
+	return e, nil
+}
+
+// Reset rewinds the source to the first event.
+func (s *SliceSource) Reset() { s.i = 0 }
+
+// Source returns a fresh Source over the buffered events.
+func (b *Buffer) Source() *SliceSource { return NewSliceSource(b.Events) }

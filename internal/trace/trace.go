@@ -101,13 +101,38 @@ type SinkFunc func(Event)
 // Emit calls f(e).
 func (f SinkFunc) Emit(e Event) { f(e) }
 
-// Tee fans one event stream out to several sinks, in order.
-func Tee(sinks ...Sink) Sink {
-	return SinkFunc(func(e Event) {
-		for _, s := range sinks {
-			s.Emit(e)
+// SiteNamer is implemented by sinks that want the static allocation-site
+// name table before events start flowing — trace writers persist it so a
+// replayed trace reconstructs the same symbolic group names as a live run.
+// The instrumentation front end (memsim.Machine.Start) announces every
+// static site to its sink via NameSite, once, before the first event.
+type SiteNamer interface {
+	NameSite(site SiteID, name string)
+}
+
+type teeSink struct{ sinks []Sink }
+
+// Emit implements Sink.
+func (t teeSink) Emit(e Event) {
+	for _, s := range t.sinks {
+		s.Emit(e)
+	}
+}
+
+// NameSite implements SiteNamer, forwarding to every child that cares.
+func (t teeSink) NameSite(site SiteID, name string) {
+	for _, s := range t.sinks {
+		if n, ok := s.(SiteNamer); ok {
+			n.NameSite(site, name)
 		}
-	})
+	}
+}
+
+// Tee fans one event stream out to several sinks, in order. The returned
+// sink forwards site names (SiteNamer) to every child that implements it,
+// so a trace writer can ride alongside a live profiler.
+func Tee(sinks ...Sink) Sink {
+	return teeSink{sinks: sinks}
 }
 
 // Discard is a Sink that drops every event. Useful for measuring native
@@ -156,42 +181,67 @@ type Stats struct {
 	Sites     int    // distinct allocation sites observed
 }
 
-// Collect computes summary statistics over a recorded trace.
-func Collect(events []Event) Stats {
-	var st Stats
-	instrs := make(map[InstrID]struct{})
-	sites := make(map[SiteID]struct{})
-	liveBytes := uint64(0)
-	liveSize := make(map[Addr]uint32)
-	for _, e := range events {
-		switch e.Kind {
-		case EvAccess:
-			st.Accesses++
-			if e.Store {
-				st.Stores++
-			} else {
-				st.Loads++
-			}
-			instrs[e.Instr] = struct{}{}
-		case EvAlloc:
-			st.Allocs++
-			sites[e.Site] = struct{}{}
-			liveBytes += uint64(e.Size)
-			liveSize[e.Addr] = e.Size
-			if liveBytes > st.BytesLive {
-				st.BytesLive = liveBytes
-			}
-		case EvFree:
-			st.Frees++
-			if sz, ok := liveSize[e.Addr]; ok {
-				liveBytes -= uint64(sz)
-				delete(liveSize, e.Addr)
-			}
+// StatsBuilder accumulates Stats incrementally — it is a Sink, so summary
+// statistics stream with O(live objects) memory instead of requiring the
+// materialized trace. The zero value is ready to use.
+type StatsBuilder struct {
+	st        Stats
+	instrs    map[InstrID]struct{}
+	sites     map[SiteID]struct{}
+	liveBytes uint64
+	liveSize  map[Addr]uint32
+}
+
+// Emit implements Sink.
+func (b *StatsBuilder) Emit(e Event) {
+	switch e.Kind {
+	case EvAccess:
+		b.st.Accesses++
+		if e.Store {
+			b.st.Stores++
+		} else {
+			b.st.Loads++
+		}
+		if b.instrs == nil {
+			b.instrs = make(map[InstrID]struct{})
+		}
+		b.instrs[e.Instr] = struct{}{}
+	case EvAlloc:
+		b.st.Allocs++
+		if b.sites == nil {
+			b.sites = make(map[SiteID]struct{})
+			b.liveSize = make(map[Addr]uint32)
+		}
+		b.sites[e.Site] = struct{}{}
+		b.liveBytes += uint64(e.Size)
+		b.liveSize[e.Addr] = e.Size
+		if b.liveBytes > b.st.BytesLive {
+			b.st.BytesLive = b.liveBytes
+		}
+	case EvFree:
+		b.st.Frees++
+		if sz, ok := b.liveSize[e.Addr]; ok {
+			b.liveBytes -= uint64(sz)
+			delete(b.liveSize, e.Addr)
 		}
 	}
-	st.Instrs = len(instrs)
-	st.Sites = len(sites)
+}
+
+// Stats returns the statistics accumulated so far.
+func (b *StatsBuilder) Stats() Stats {
+	st := b.st
+	st.Instrs = len(b.instrs)
+	st.Sites = len(b.sites)
 	return st
+}
+
+// Collect computes summary statistics over a recorded trace.
+func Collect(events []Event) Stats {
+	var b StatsBuilder
+	for _, e := range events {
+		b.Emit(e)
+	}
+	return b.Stats()
 }
 
 // RawBytes reports the size in bytes of the uncompressed access trace when

@@ -1,0 +1,289 @@
+package tracefmt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"ormprof/internal/trace"
+)
+
+// Reader streams events out of a trace file. It implements trace.Source:
+// profilers pull events one at a time while the reader holds only the
+// current frame in memory, so replaying an arbitrarily long trace costs
+// O(batch) memory, never O(trace).
+//
+// Every decode error wraps ErrBadTrace. The reader is deliberately
+// paranoid — lengths and counts are bounded before any allocation, so a
+// corrupt or hostile file produces an error, never a panic or an
+// unbounded allocation (see FuzzReader).
+type Reader struct {
+	br    *bufio.Reader
+	name  string
+	sites map[trace.SiteID]string
+
+	payload []byte // current frame payload (reused between frames)
+	off     int    // decode offset into payload
+	left    int    // records remaining in the current frame
+
+	lastAddr trace.Addr
+	lastTime trace.Time
+
+	events int64
+	err    error
+}
+
+// NewReader parses the trace header of r and returns a Reader positioned
+// at the first event.
+func NewReader(r io.Reader) (*Reader, error) {
+	t := &Reader{br: bufio.NewReader(r)}
+	if err := t.readHeader(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func badf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadTrace, fmt.Sprintf(format, args...))
+}
+
+func (t *Reader) readHeader() error {
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(t.br, magic); err != nil {
+		return badf("header: %v", err)
+	}
+	if string(magic) != Magic {
+		return badf("bad magic %q", magic)
+	}
+	ver, err := t.br.ReadByte()
+	if err != nil {
+		return badf("version: %v", err)
+	}
+	if ver != Version {
+		return badf("unsupported version %d (want %d)", ver, Version)
+	}
+	if t.name, err = t.readString(MaxNameLen); err != nil {
+		return fmt.Errorf("%w (workload name)", err)
+	}
+	nSites, err := binary.ReadUvarint(t.br)
+	if err != nil {
+		return badf("site count: %v", err)
+	}
+	if nSites > MaxSites {
+		return badf("unreasonable site count %d", nSites)
+	}
+	if nSites > 0 {
+		t.sites = make(map[trace.SiteID]string, nSites)
+	}
+	for i := uint64(0); i < nSites; i++ {
+		id, err := binary.ReadUvarint(t.br)
+		if err != nil {
+			return badf("site id: %v", err)
+		}
+		if id > uint64(^trace.SiteID(0)) {
+			return badf("site id %d overflows SiteID", id)
+		}
+		name, err := t.readString(MaxNameLen)
+		if err != nil {
+			return fmt.Errorf("%w (site name)", err)
+		}
+		t.sites[trace.SiteID(id)] = name
+	}
+	return nil
+}
+
+func (t *Reader) readString(maxLen uint64) (string, error) {
+	n, err := binary.ReadUvarint(t.br)
+	if err != nil {
+		return "", badf("string length: %v", err)
+	}
+	if n > maxLen {
+		return "", badf("string length %d exceeds limit %d", n, maxLen)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(t.br, buf); err != nil {
+		return "", badf("string body: %v", err)
+	}
+	return string(buf), nil
+}
+
+// Name returns the workload name recorded in the header ("" if none).
+func (t *Reader) Name() string { return t.name }
+
+// Sites returns the static allocation-site name table from the header.
+// The map may be nil; the caller must not modify it.
+func (t *Reader) Sites() map[trace.SiteID]string { return t.sites }
+
+// Events reports how many events have been decoded so far.
+func (t *Reader) Events() int64 { return t.events }
+
+// nextFrame loads and validates the next frame. Returns io.EOF on a clean
+// end of trace.
+func (t *Reader) nextFrame() error {
+	pl, err := binary.ReadUvarint(t.br)
+	if err == io.EOF {
+		return io.EOF // clean end: trace ends on a frame boundary
+	}
+	if err != nil {
+		return badf("frame length: %v", err)
+	}
+	if pl == 0 || pl > MaxFramePayload {
+		return badf("frame payload %d outside (0, %d]", pl, MaxFramePayload)
+	}
+	if uint64(cap(t.payload)) < pl {
+		t.payload = make([]byte, pl)
+	}
+	t.payload = t.payload[:pl]
+	if _, err := io.ReadFull(t.br, t.payload); err != nil {
+		return badf("frame body: %v", err)
+	}
+	t.off = 0
+	cnt, err := t.uvarint()
+	if err != nil {
+		return badf("record count: %v", err)
+	}
+	// Every record costs at least 3 payload bytes (kind + Δtime + Δaddr),
+	// so a count beyond the payload length is corrupt, not just large.
+	if cnt == 0 || cnt > pl {
+		return badf("record count %d impossible for %d-byte frame", cnt, pl)
+	}
+	t.left = int(cnt)
+	t.lastAddr = 0
+	t.lastTime = 0
+	return nil
+}
+
+// uvarint decodes from the current frame payload.
+func (t *Reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(t.payload[t.off:])
+	if n <= 0 {
+		return 0, badf("truncated or oversized uvarint in frame")
+	}
+	t.off += n
+	return v, nil
+}
+
+func (t *Reader) varint() (int64, error) {
+	v, n := binary.Varint(t.payload[t.off:])
+	if n <= 0 {
+		return 0, badf("truncated or oversized varint in frame")
+	}
+	t.off += n
+	return v, nil
+}
+
+// Next implements trace.Source: decode the next event, loading the next
+// frame when the current one is exhausted. Returns io.EOF at a clean end
+// of trace, or an ErrBadTrace-wrapped error on corruption.
+func (t *Reader) Next() (trace.Event, error) {
+	if t.err != nil {
+		return trace.Event{}, t.err
+	}
+	e, err := t.next()
+	if err != nil {
+		t.err = err // sticky: a broken stream stays broken
+		return trace.Event{}, err
+	}
+	t.events++
+	return e, nil
+}
+
+func (t *Reader) next() (trace.Event, error) {
+	if t.left == 0 {
+		if err := t.nextFrame(); err != nil {
+			return trace.Event{}, err
+		}
+	}
+	if t.off >= len(t.payload) {
+		return trace.Event{}, badf("frame ends after %d of %d records", t.events, t.left)
+	}
+	kindByte := t.payload[t.off]
+	t.off++
+	store := kindByte&storeFlag != 0
+	kind := trace.EventKind(kindByte &^ storeFlag)
+
+	dt, err := t.varint()
+	if err != nil {
+		return trace.Event{}, err
+	}
+	t.lastTime += trace.Time(dt)
+
+	var e trace.Event
+	switch kind {
+	case trace.EvAccess:
+		instr, err := t.uvarint()
+		if err != nil {
+			return trace.Event{}, err
+		}
+		if instr > uint64(^trace.InstrID(0)) {
+			return trace.Event{}, badf("instruction id %d overflows InstrID", instr)
+		}
+		da, err := t.varint()
+		if err != nil {
+			return trace.Event{}, err
+		}
+		size, err := t.uvarint()
+		if err != nil {
+			return trace.Event{}, err
+		}
+		if size > uint64(^uint32(0)) {
+			return trace.Event{}, badf("access size %d overflows uint32", size)
+		}
+		t.lastAddr += trace.Addr(da)
+		e = trace.Event{Kind: trace.EvAccess, Time: t.lastTime, Instr: trace.InstrID(instr),
+			Addr: t.lastAddr, Size: uint32(size), Store: store}
+	case trace.EvAlloc:
+		if store {
+			return trace.Event{}, badf("store flag on alloc event")
+		}
+		site, err := t.uvarint()
+		if err != nil {
+			return trace.Event{}, err
+		}
+		if site > uint64(^trace.SiteID(0)) {
+			return trace.Event{}, badf("site id %d overflows SiteID", site)
+		}
+		da, err := t.varint()
+		if err != nil {
+			return trace.Event{}, err
+		}
+		size, err := t.uvarint()
+		if err != nil {
+			return trace.Event{}, badf("alloc size: %v", err)
+		}
+		if size > uint64(^uint32(0)) {
+			return trace.Event{}, badf("alloc size %d overflows uint32", size)
+		}
+		t.lastAddr += trace.Addr(da)
+		e = trace.Event{Kind: trace.EvAlloc, Time: t.lastTime, Site: trace.SiteID(site),
+			Addr: t.lastAddr, Size: uint32(size)}
+	case trace.EvFree:
+		if store {
+			return trace.Event{}, badf("store flag on free event")
+		}
+		da, err := t.varint()
+		if err != nil {
+			return trace.Event{}, err
+		}
+		t.lastAddr += trace.Addr(da)
+		e = trace.Event{Kind: trace.EvFree, Time: t.lastTime, Addr: t.lastAddr}
+	default:
+		return trace.Event{}, badf("unknown event kind %d", kindByte)
+	}
+	t.left--
+	if t.left == 0 && t.off != len(t.payload) {
+		return trace.Event{}, badf("%d trailing bytes after last record of frame", len(t.payload)-t.off)
+	}
+	return e, nil
+}
+
+// Replay decodes a whole trace from r into sink, returning the event count
+// and the header metadata. It is the push-style convenience over Reader.
+func Replay(r io.Reader, sink trace.Sink) (int, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return 0, err
+	}
+	return trace.Drain(tr, sink)
+}

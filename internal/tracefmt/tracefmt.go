@@ -1,0 +1,61 @@
+// Package tracefmt implements the on-disk probe-trace encoding — the
+// persisted form of the (instruction-id, address) + object-event contract
+// between the instrumentation front end and the profiling framework.
+//
+// A trace is captured once, while the workload runs, and replayed any
+// number of times through any profiler ("collect once, profile many").
+// The encoding is designed for that workflow:
+//
+//   - self-describing: the header carries the format version, the workload
+//     name, and the static allocation-site name table, so a replayed trace
+//     reconstructs exactly the profile a live run would have built —
+//     byte-identical, including symbolic group names;
+//   - streaming: the Writer is a trace.Sink fed straight from the machine's
+//     probes, the Reader is a trace.Source pulled by the profilers; neither
+//     side ever holds more than one frame of events in memory, so replay is
+//     O(batch), not O(trace);
+//   - compact: fields are LEB128 varints, times and addresses are
+//     delta-encoded within each frame, so strided access traces cost a few
+//     bytes per event.
+//
+// See docs/FORMATS.md for the byte-level layout and the versioning policy.
+package tracefmt
+
+import "errors"
+
+// Magic identifies a probe-trace file.
+const Magic = "ORMTRACE"
+
+// Version is the current format version. Version 1 was the unframed
+// encoding with implicit time stamps (pre-streaming layer); it is no
+// longer written or read. Any change to the byte layout below must bump
+// this constant — the golden-file test pins the layout.
+const Version = 2
+
+// DefaultBatch is the default number of events per frame. Replay memory
+// is bounded by the frame size, so this is the streaming layer's
+// memory/syscall trade-off knob.
+const DefaultBatch = 4096
+
+// MaxBatch caps the writer's events-per-frame setting so that frames
+// always stay decodable within MaxFramePayload.
+const MaxBatch = 1 << 16
+
+// MaxFramePayload is the largest frame payload a reader accepts. Frames
+// written with any legal batch size are far smaller; the cap exists so a
+// corrupt or hostile length field cannot make the reader allocate
+// unboundedly.
+const MaxFramePayload = 1 << 22
+
+// MaxSites and MaxNameLen bound the header's site-name table for the same
+// reason.
+const (
+	MaxSites   = 1 << 20
+	MaxNameLen = 1 << 12
+)
+
+// ErrBadTrace reports a malformed trace file.
+var ErrBadTrace = errors.New("tracefmt: bad trace file")
+
+// storeFlag is ORed into the kind byte of store accesses.
+const storeFlag = 0x80
