@@ -1,11 +1,13 @@
 # Developer / CI entry points. Tier-1 is what every PR must keep green;
 # test-race (plus vet and fuzz-short) is the tier-2 check for the concurrent
-# pipeline stages and the binary decoders.
+# pipeline stages and the binary decoders; test-soak drives every workload
+# through every fault class (corruption, truncation, field flips, panics,
+# stalls) and must never hang, leak, or let a panic escape.
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test test-race test-short bench vet fuzz-short
+.PHONY: all build test test-race test-short test-soak bench vet fuzz-short ci
 
 all: build test
 
@@ -27,6 +29,16 @@ test-race: vet
 		./internal/tracefmt/... ./internal/cliutil/...
 	$(MAKE) fuzz-short
 
+# Fault-tolerance soak: every workload × every fault class (corrupt byte,
+# truncation, field flip, producer/worker panic, stall + deadline) through
+# the salvage paths, with goroutine-leak checks. Run this for any change
+# touching the error model, tracefmt resync, or the salvage entry points.
+test-soak: build
+	$(GO) test -run 'TestSoak' -timeout 600s -v .
+
+# Everything a CI run should gate on: tier-1, tier-2, and the soak.
+ci: test test-race test-soak
+
 # Skip the CLI integration tests (they build all binaries).
 test-short:
 	$(GO) test -short ./...
@@ -42,7 +54,8 @@ vet:
 # Short fuzz pass over every decoder that parses untrusted bytes: the trace
 # reader and the profile/grammar decoders. ~$(FUZZTIME) per target.
 fuzz-short:
-	$(GO) test -fuzz=FuzzReader -fuzztime=$(FUZZTIME) ./internal/tracefmt/
+	$(GO) test -fuzz='^FuzzReader$$' -fuzztime=$(FUZZTIME) ./internal/tracefmt/
+	$(GO) test -fuzz='^FuzzReaderResync$$' -fuzztime=$(FUZZTIME) ./internal/tracefmt/
 	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=$(FUZZTIME) ./internal/tracefmt/
 	$(GO) test -fuzz=FuzzReadProfile -fuzztime=$(FUZZTIME) ./internal/whomp/
 	$(GO) test -fuzz=FuzzReadProfile -fuzztime=$(FUZZTIME) ./internal/leap/

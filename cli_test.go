@@ -13,6 +13,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"ormprof/internal/tracefmt"
 )
 
 var (
@@ -387,4 +389,132 @@ func TestCLICSVOutput(t *testing.T) {
 	if strings.Contains(out, "paper averages") {
 		t.Error("CSV mode should suppress prose")
 	}
+}
+
+// runToolExit executes a built binary and asserts its exact exit code —
+// the tools' 0/1/2 (clean/hard-failure/salvaged) convention is part of
+// their contract.
+func runToolExit(t *testing.T, wantCode int, name string, args ...string) string {
+	t.Helper()
+	bin := filepath.Join(buildTools(t), name)
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+		}
+		code = ee.ExitCode()
+	}
+	if code != wantCode {
+		t.Fatalf("%s %v: exit code %d, want %d\n%s", name, args, code, wantCode, out)
+	}
+	return string(out)
+}
+
+// corruptTrace writes a many-frame linkedlist trace and returns both the
+// pristine path and a copy with one payload byte of the second frame
+// flipped. The small batch size guarantees multiple frames, so the damage
+// costs one frame and the rest salvages.
+func corruptTrace(t *testing.T, dir string) (clean, damaged string) {
+	t.Helper()
+	buf, sites, _ := recordWorkload(t, "linkedlist")
+	var enc bytes.Buffer
+	tw := tracefmt.NewWriter(&enc, tracefmt.WithName("linkedlist"), tracefmt.WithBatch(64))
+	tw.SetSites(sites)
+	for _, e := range buf.Events {
+		tw.Emit(e)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := enc.Bytes()
+	clean = filepath.Join(dir, "clean.ormtrace")
+	if err := os.WriteFile(clean, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	idx := bytes.Index(data, []byte(tracefmt.FrameMagic))
+	if idx < 0 {
+		t.Fatal("no frame marker in recorded trace")
+	}
+	second := bytes.Index(data[idx+1:], []byte(tracefmt.FrameMagic))
+	if second < 0 {
+		t.Fatal("trace has only one frame")
+	}
+	bad := bytes.Clone(data)
+	bad[idx+1+second+12] ^= 0x5a // inside the second frame's payload
+	damaged = filepath.Join(dir, "damaged.ormtrace")
+	if err := os.WriteFile(damaged, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return clean, damaged
+}
+
+func TestCLITracecatVerify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	dir := t.TempDir()
+	clean, damaged := corruptTrace(t, dir)
+
+	// Clean trace: exit 0 with an OK verdict.
+	out := runToolExit(t, 0, "tracecat", "-verify", clean)
+	wantContains(t, out, "OK:", "no damage")
+
+	// Damaged trace: exit 2 with a damage report naming what was lost.
+	out = runToolExit(t, 2, "tracecat", "-verify", damaged)
+	wantContains(t, out, "DAMAGED", "corruption incident", "salvaged", "frames skipped")
+
+	// Unreadable file: exit 1.
+	garbage := filepath.Join(dir, "garbage.ormtrace")
+	if err := os.WriteFile(garbage, []byte("not a trace at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runToolExit(t, 1, "tracecat", "-verify", garbage)
+}
+
+func TestCLILenientExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	dir := t.TempDir()
+	_, damaged := corruptTrace(t, dir)
+
+	// Strict mode fails fast: exit 1, no salvage.
+	out := runToolExit(t, 1, "tracecat", "-count", damaged)
+	wantContains(t, out, "tracecat:")
+
+	// Lenient tracecat salvages the readable records and exits 2.
+	out = runToolExit(t, 2, "tracecat", "-lenient", "-count", damaged)
+	if !strings.Contains(out, "damaged but salvaged") {
+		t.Errorf("lenient tracecat should report the corruption:\n%s", out)
+	}
+
+	// Strict replay through a profiler: exit 1.
+	runToolExit(t, 1, "whomp", "-replay", damaged)
+
+	// Lenient replay: the partial profile still prints, exit 2.
+	out = runToolExit(t, 2, "whomp", "-replay", damaged, "-lenient")
+	wantContains(t, out, "OMSG:")
+
+	out = runToolExit(t, 2, "leap", "-replay", damaged, "-lenient")
+	wantContains(t, out, "sample quality")
+
+	out = runToolExit(t, 2, "ormprof", "translate", "-replay", damaged, "-lenient")
+	wantContains(t, out, "translated")
+}
+
+func TestCLIDeadlineExitCode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	dir := t.TempDir()
+	clean, _ := corruptTrace(t, dir)
+
+	// An immediate deadline cuts every pass short: still a report, exit 2.
+	out := runToolExit(t, 2, "whomp", "-replay", clean, "-deadline", "1ns")
+	wantContains(t, out, "deadline exceeded")
+
+	// A generous deadline changes nothing: clean exit.
+	runToolExit(t, 0, "whomp", "-replay", clean, "-deadline", "5m")
 }

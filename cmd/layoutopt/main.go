@@ -13,7 +13,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
 	"ormprof/internal/cachesim"
 	"ormprof/internal/cliutil"
@@ -32,8 +31,7 @@ func main() {
 	flag.Parse()
 
 	if err := run(*workload, workloads.Config{Scale: *scale, Seed: *seed}, *cache, tf); err != nil {
-		fmt.Fprintln(os.Stderr, "layoutopt:", err)
-		os.Exit(1)
+		cliutil.Fatal("layoutopt", err)
 	}
 }
 
@@ -49,8 +47,11 @@ func run(workload string, wcfg workloads.Config, cache string, tf *cliutil.Trace
 	if err != nil {
 		return err
 	}
+	// Translate degrades gracefully: a salvaged pass still yields the
+	// partial record stream, and the remembered error makes the tool exit 2.
 	recs, o, err := ev.Translate()
-	if err != nil {
+	var deg cliutil.Degraded
+	if err := deg.Check(err); err != nil {
 		return err
 	}
 	info := layout.OMCInfo{OMC: o}
@@ -117,5 +118,5 @@ func run(workload string, wcfg workloads.Config, cache string, tf *cliutil.Trace
 	beforeAMAT, afterAMAT := amat(orig), amat(bothResolver)
 	fmt.Printf("\nAMAT (L1 4cy, L2 12cy, mem 200cy): %.2f -> %.2f cycles/access (%.1f%% faster)\n",
 		beforeAMAT, afterAMAT, 100*(1-afterAMAT/beforeAMAT))
-	return nil
+	return deg.Err()
 }

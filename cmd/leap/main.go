@@ -38,8 +38,7 @@ func main() {
 	flag.Parse()
 
 	if err := run(*workload, workloads.Config{Scale: *scale, Seed: *seed}, *maxLMADs, *out, *csvOut, *workers, tf); err != nil {
-		fmt.Fprintln(os.Stderr, "leap:", err)
-		os.Exit(1)
+		cliutil.Fatal("leap", err)
 	}
 }
 
@@ -72,8 +71,10 @@ func runOne(workload string, cfg workloads.Config, maxLMADs int, out string, wor
 		return err
 	}
 
+	var deg cliutil.Degraded
 	lp := leap.NewParallel(ev.Sites, maxLMADs, workers)
-	if _, err := ev.Pass(lp); err != nil {
+	_, perr := ev.Pass(lp)
+	if err := deg.Check(perr); err != nil {
 		return err
 	}
 	profile := lp.Profile(ev.Name)
@@ -95,5 +96,5 @@ func runOne(workload string, cfg workloads.Config, maxLMADs int, out string, wor
 		}
 		fmt.Printf("  wrote profile to %s\n", out)
 	}
-	return nil
+	return deg.Err()
 }

@@ -39,8 +39,7 @@ func main() {
 	flag.Parse()
 
 	if err := run(*workload, workloads.Config{Scale: *scale, Seed: *seed}, *maxLMADs, *window, *bench, tf); err != nil {
-		fmt.Fprintln(os.Stderr, "mdep:", err)
-		os.Exit(1)
+		cliutil.Fatal("mdep", err)
 	}
 }
 
@@ -103,24 +102,30 @@ func run(workload string, cfg workloads.Config, maxLMADs, window int, bench stri
 
 // depOne runs the dependence comparison on a single event stream — three
 // streaming passes: the lossless baseline, the LEAP estimate, and Connors.
+// Salvaged passes still print the comparison over the partial stream; the
+// remembered error makes the tool exit 2.
 func depOne(ev *cliutil.Events, maxLMADs, window int) error {
+	var deg cliutil.Degraded
 	ideal := depend.NewIdeal()
-	if _, err := ev.Pass(ideal); err != nil {
+	_, perr := ev.Pass(ideal)
+	if err := deg.Check(perr); err != nil {
 		return err
 	}
 	lp := leap.New(ev.Sites, maxLMADs)
-	if _, err := ev.Pass(lp); err != nil {
+	_, perr = ev.Pass(lp)
+	if err := deg.Check(perr); err != nil {
 		return err
 	}
 	leapRes := depend.FromLEAP(lp.Profile(ev.Name))
 	con := depend.NewConnors(window)
-	if _, err := ev.Pass(con); err != nil {
+	_, perr = ev.Pass(con)
+	if err := deg.Check(perr); err != nil {
 		return err
 	}
 	printDistributions(ev.Name,
 		depend.Distribution(ideal.Result(), leapRes),
 		depend.Distribution(ideal.Result(), con.Result()))
-	return nil
+	return deg.Err()
 }
 
 func printDistributions(name string, leapDist, connDist depend.ErrorDist) {

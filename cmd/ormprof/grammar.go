@@ -42,8 +42,10 @@ func grammarCmd(args []string) error {
 	if err != nil {
 		return err
 	}
+	var deg cliutil.Degraded
 	wp := whomp.NewParallel(ev.Sites, *workers)
-	if _, err := ev.Pass(wp); err != nil {
+	_, perr := ev.Pass(wp)
+	if err := deg.Check(perr); err != nil {
 		return err
 	}
 	profile := wp.Profile(ev.Name)
@@ -75,5 +77,5 @@ func grammarCmd(args []string) error {
 	if len(streams) == 0 {
 		fmt.Println("  (no repeated subsequences — the stream is unique throughout)")
 	}
-	return nil
+	return deg.Err()
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 
+	"ormprof/internal/cliutil"
 	"ormprof/internal/locality"
 	"ormprof/internal/report"
 )
@@ -24,13 +25,15 @@ func localityCmd(args []string) error {
 	if err != nil {
 		return err
 	}
+	var deg cliutil.Degraded
 	ls := locality.NewLineSink(*line)
-	if _, err := ev.Pass(ls); err != nil {
+	_, perr := ev.Pass(ls)
+	if err := deg.Check(perr); err != nil {
 		return err
 	}
 	lineHist := ls.Histogram()
 	recs, _, err := ev.Translate()
-	if err != nil {
+	if err := deg.Check(err); err != nil {
 		return err
 	}
 	objHist := locality.ObjectHistogram(recs)
@@ -45,5 +48,5 @@ func localityCmd(args []string) error {
 	fmt.Println("\nline rows predict a fully associative LRU cache of that many lines")
 	fmt.Println("exactly; object rows measure locality of the object-relative stream,")
 	fmt.Println("independent of allocator placement.")
-	return nil
+	return deg.Err()
 }

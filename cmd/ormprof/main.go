@@ -61,8 +61,7 @@ func main() {
 		usage()
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ormprof:", err)
-		os.Exit(1)
+		cliutil.Fatal("ormprof", err)
 	}
 }
 
@@ -135,20 +134,21 @@ func traceCmd(args []string) error {
 	if err != nil {
 		return err
 	}
+	var deg cliutil.Degraded
 	shown := 0
-	total, err := ev.Pass(trace.SinkFunc(func(e trace.Event) {
+	total, perr := ev.Pass(trace.SinkFunc(func(e trace.Event) {
 		if shown < *n {
 			fmt.Println(e)
 		}
 		shown++
 	}))
-	if err != nil {
+	if err := deg.Check(perr); err != nil {
 		return err
 	}
 	if total > *n {
 		fmt.Printf("… %d more events\n", total-*n)
 	}
-	return nil
+	return deg.Err()
 }
 
 func translateCmd(args []string) error {
@@ -160,7 +160,8 @@ func translateCmd(args []string) error {
 		return err
 	}
 	recs, o, err := ev.Translate()
-	if err != nil {
+	var deg cliutil.Degraded
+	if err := deg.Check(err); err != nil {
 		return err
 	}
 	for i, r := range recs {
@@ -172,7 +173,7 @@ func translateCmd(args []string) error {
 	}
 	translated, unmapped := o.Stats()
 	fmt.Printf("translated %d accesses (%d unmapped)\n", translated+unmapped, unmapped)
-	return nil
+	return deg.Err()
 }
 
 func groupsCmd(args []string) error {
@@ -184,7 +185,8 @@ func groupsCmd(args []string) error {
 		return err
 	}
 	_, o, err := ev.Translate()
-	if err != nil {
+	var deg cliutil.Degraded
+	if err := deg.Check(err); err != nil {
 		return err
 	}
 	tbl := report.NewTable("Group", "Name", "Site", "Objects", "First object", "Sizes")
@@ -212,7 +214,7 @@ func groupsCmd(args []string) error {
 		tbl.AddRowf(g.ID, g.Name, g.Site, g.Count, first, sizes)
 	}
 	tbl.WriteTo(os.Stdout) //nolint:errcheck // stdout
-	return nil
+	return deg.Err()
 }
 
 func inspectCmd(args []string) error {
@@ -255,7 +257,7 @@ func inspectCmd(args []string) error {
 		return err
 	}
 	s := sb.Stats()
-	fmt.Printf("ORMTRACE v%d trace: workload %q\n", tracefmt.Version, r.Name())
+	fmt.Printf("ORMTRACE v%d trace: workload %q\n", r.Version(), r.Name())
 	fmt.Printf("  %d events: %d loads, %d stores, %d allocs, %d frees\n",
 		s.Loads+s.Stores+s.Allocs+s.Frees, s.Loads, s.Stores, s.Allocs, s.Frees)
 	fmt.Printf("  %d named allocation sites, %d instructions\n", len(r.Sites()), s.Instrs)

@@ -6,6 +6,7 @@ import (
 	"os"
 	"sort"
 
+	"ormprof/internal/cliutil"
 	"ormprof/internal/leap"
 	"ormprof/internal/report"
 )
@@ -24,8 +25,10 @@ func regularityCmd(args []string) error {
 	if err != nil {
 		return err
 	}
+	var deg cliutil.Degraded
 	lp := leap.NewParallel(ev.Sites, 0, 0)
-	if _, err := ev.Pass(lp); err != nil {
+	_, perr := ev.Pass(lp)
+	if err := deg.Check(perr); err != nil {
 		return err
 	}
 	profile := lp.Profile(ev.Name)
@@ -76,5 +79,5 @@ func regularityCmd(args []string) error {
 	fmt.Printf("\nseparation (Figure 2): %.0f%% of accesses in regular sub-streams, %.0f%% irregular\n",
 		100*float64(regular)/float64(profile.Records),
 		100*float64(irregular)/float64(profile.Records))
-	return nil
+	return deg.Err()
 }

@@ -36,8 +36,7 @@ func main() {
 	flag.Parse()
 
 	if err := run(*workload, workloads.Config{Scale: *scale, Seed: *seed}, *interval, *maxLMADs, tf); err != nil {
-		fmt.Fprintln(os.Stderr, "phasescan:", err)
-		os.Exit(1)
+		cliutil.Fatal("phasescan", err)
 	}
 }
 
@@ -49,6 +48,7 @@ func run(workload string, cfg workloads.Config, interval, maxLMADs int, tf *cliu
 		names = []string{""}
 	}
 
+	var deg cliutil.Degraded
 	tbl := report.NewTable("Benchmark", "Phases", "Transitions", "Monolithic capture", "Phase-cognizant capture")
 	for _, name := range names {
 		flags := tf
@@ -61,14 +61,16 @@ func run(workload string, cfg workloads.Config, interval, maxLMADs int, tf *cliu
 		}
 
 		mono := leap.New(ev.Sites, maxLMADs)
-		if _, err := ev.Pass(mono); err != nil {
+		_, perr := ev.Pass(mono)
+		if err := deg.Check(perr); err != nil {
 			return err
 		}
 		monoAcc, _ := mono.Profile(ev.Name).SampleQuality()
 
 		cog := phase.NewCognizantLEAP(phase.Config{IntervalLen: interval}, maxLMADs)
 		cdc := profiler.NewCDC(omc.New(ev.Sites), cog)
-		if _, err := ev.Pass(cdc); err != nil {
+		_, perr = ev.Pass(cdc)
+		if err := deg.Check(perr); err != nil {
 			return err
 		}
 		cdc.Finish()
@@ -81,5 +83,5 @@ func run(workload string, cfg workloads.Config, interval, maxLMADs int, tf *cliu
 	tbl.WriteTo(os.Stdout) //nolint:errcheck // stdout
 	fmt.Println("\nphase-cognizant streams are more homogeneous, so the same LMAD budget")
 	fmt.Println("captures at least as much per phase (§6 future work, implemented here).")
-	return nil
+	return deg.Err()
 }

@@ -38,8 +38,7 @@ func main() {
 	flag.Parse()
 
 	if err := run(*workload, workloads.Config{Scale: *scale, Seed: *seed}, *maxLMADs, *verbose, *workers, tf); err != nil {
-		fmt.Fprintln(os.Stderr, "stridescan:", err)
-		os.Exit(1)
+		cliutil.Fatal("stridescan", err)
 	}
 }
 
@@ -88,14 +87,18 @@ func run(workload string, cfg workloads.Config, maxLMADs int, verbose bool, work
 }
 
 // scanOne scores LEAP's stride identification for one event stream against
-// the lossless reference profiler — two streaming passes.
+// the lossless reference profiler — two streaming passes. Salvaged passes
+// still print the comparison; the remembered error makes the tool exit 2.
 func scanOne(ev *cliutil.Events, maxLMADs, workers int) error {
+	var deg cliutil.Degraded
 	ideal := stride.NewIdeal()
-	if _, err := ev.Pass(ideal); err != nil {
+	_, perr := ev.Pass(ideal)
+	if err := deg.Check(perr); err != nil {
 		return err
 	}
 	lp := leap.NewParallel(ev.Sites, maxLMADs, workers)
-	if _, err := ev.Pass(lp); err != nil {
+	_, perr = ev.Pass(lp)
+	if err := deg.Check(perr); err != nil {
 		return err
 	}
 	est := stride.FromLEAPParallel(lp.Profile(ev.Name), workers)
@@ -118,5 +121,5 @@ func scanOne(ev *cliutil.Events, maxLMADs, workers int) error {
 	} else {
 		fmt.Printf("workload %s: no strongly strided instructions\n", ev.Name)
 	}
-	return nil
+	return deg.Err()
 }

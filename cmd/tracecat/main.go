@@ -1,14 +1,19 @@
-// Command tracecat prints, filters, and counts the records of a recorded
-// probe trace (the ORMTRACE format written by -record / ormprof record).
+// Command tracecat prints, filters, counts, and verifies the records of a
+// recorded probe trace (the ORMTRACE format written by -record / ormprof
+// record).
 //
 // Usage:
 //
 //	tracecat [-n N] [-kind access|alloc|free] [-instr ID] [-site ID]
-//	         [-from T] [-to T] [-count] [-stats] FILE.ormtrace
+//	         [-from T] [-to T] [-count] [-stats] [-lenient] [-verify]
+//	         FILE.ormtrace
 //
 // With no flags it prints every record. Filters compose (logical AND);
 // -count prints only the number of matching records, -stats a summary of
-// the whole trace.
+// the whole trace. -lenient skips damaged frames instead of aborting;
+// -verify checks trace integrity end to end and reports a damage summary.
+// Exit codes: 0 clean, 1 unreadable or hard error, 2 readable but damaged
+// (some events were lost).
 package main
 
 import (
@@ -18,20 +23,23 @@ import (
 	"io"
 	"os"
 
+	"ormprof/internal/cliutil"
 	"ormprof/internal/trace"
 	"ormprof/internal/tracefmt"
 )
 
 func main() {
 	var (
-		n     = flag.Int("n", 0, "print at most N matching records (0 = all)")
-		kind  = flag.String("kind", "", "keep only records of this kind: access, alloc, or free")
-		instr = flag.Int("instr", -1, "keep only access records of this instruction ID")
-		site  = flag.Int("site", -1, "keep only alloc records of this allocation site ID")
-		from  = flag.Uint64("from", 0, "keep only records with time >= this")
-		to    = flag.Uint64("to", 0, "keep only records with time <= this (0 = no upper bound)")
-		count = flag.Bool("count", false, "print only the number of matching records")
-		stats = flag.Bool("stats", false, "print a summary of the whole trace instead of records")
+		n       = flag.Int("n", 0, "print at most N matching records (0 = all)")
+		kind    = flag.String("kind", "", "keep only records of this kind: access, alloc, or free")
+		instr   = flag.Int("instr", -1, "keep only access records of this instruction ID")
+		site    = flag.Int("site", -1, "keep only alloc records of this allocation site ID")
+		from    = flag.Uint64("from", 0, "keep only records with time >= this")
+		to      = flag.Uint64("to", 0, "keep only records with time <= this (0 = no upper bound)")
+		count   = flag.Bool("count", false, "print only the number of matching records")
+		stats   = flag.Bool("stats", false, "print a summary of the whole trace instead of records")
+		lenient = flag.Bool("lenient", false, "skip damaged frames instead of aborting (exit code 2 if events were lost)")
+		verify  = flag.Bool("verify", false, "verify trace integrity end to end and print a damage report")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -40,19 +48,60 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(flag.Arg(0), *n, *kind, *instr, *site, *from, *to, *count, *stats); err != nil {
-		fmt.Fprintln(os.Stderr, "tracecat:", err)
-		os.Exit(1)
+	var err error
+	if *verify {
+		err = verifyTrace(flag.Arg(0))
+	} else {
+		err = run(flag.Arg(0), *n, *kind, *instr, *site, *from, *to, *count, *stats, *lenient)
+	}
+	if err != nil {
+		cliutil.Fatal("tracecat", err)
 	}
 }
 
-func run(path string, n int, kind string, instr, site int, from, to uint64, count, stats bool) error {
+// verifyTrace reads the whole trace in lenient mode and reports its
+// integrity: a clean pass returns nil (exit 0); a damaged-but-salvageable
+// trace prints what was lost and returns the *tracefmt.CorruptionError
+// (exit 2); an unreadable header is a hard error (exit 1).
+func verifyTrace(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	r, err := tracefmt.NewReader(f)
+	r, err := tracefmt.NewReader(f, tracefmt.WithLenient())
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	_, err = trace.Drain(r, trace.SinkFunc(func(trace.Event) {}))
+	st := r.Stats()
+	fmt.Printf("%s: ORMTRACE v%d, workload %q\n", path, r.Version(), r.Name())
+	if err == nil && !st.Damaged() {
+		fmt.Printf("  OK: %d frames, %d events, no damage\n", st.Frames, st.Events)
+		return nil
+	}
+	fmt.Printf("  DAMAGED: %d corruption incident(s)\n", st.Corruptions)
+	fmt.Printf("  salvaged %d events in %d frames; lost >=%d events (%d frames skipped, %d bytes discarded)\n",
+		st.Events, st.Frames, st.SkippedEvents, st.SkippedFrames, st.SkippedBytes)
+	if err == nil {
+		// Damage without a terminal error should not happen, but never
+		// report a damaged trace as clean.
+		err = &tracefmt.CorruptionError{Stats: st}
+	}
+	return err
+}
+
+func run(path string, n int, kind string, instr, site int, from, to uint64, count, stats, lenient bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var opts []tracefmt.ReaderOption
+	if lenient {
+		opts = append(opts, tracefmt.WithLenient())
+	}
+	r, err := tracefmt.NewReader(f, opts...)
 	if err != nil {
 		return err
 	}
@@ -90,19 +139,24 @@ func run(path string, n int, kind string, instr, site int, from, to uint64, coun
 		return true
 	}
 
+	// In lenient mode a damaged trace still streams everything salvageable;
+	// the terminal *tracefmt.CorruptionError is remembered so results print
+	// before the tool exits 2.
+	var deg cliutil.Degraded
+
 	if stats {
 		sb := &trace.StatsBuilder{}
-		total, err := trace.Drain(r, sb)
-		if err != nil {
+		total, derr := trace.Drain(r, sb)
+		if err := deg.Check(derr); err != nil {
 			return err
 		}
 		s := sb.Stats()
-		fmt.Printf("trace %s: workload %q, format v%d\n", path, r.Name(), tracefmt.Version)
+		fmt.Printf("trace %s: workload %q, format v%d\n", path, r.Name(), r.Version())
 		fmt.Printf("  %d events: %d loads, %d stores, %d allocs, %d frees\n",
 			total, s.Loads, s.Stores, s.Allocs, s.Frees)
 		fmt.Printf("  %d distinct instructions, %d distinct sites (%d named), peak %d bytes live\n",
 			s.Instrs, s.Sites, len(r.Sites()), s.BytesLive)
-		return nil
+		return deg.Err()
 	}
 
 	matched, printed := 0, 0
@@ -112,7 +166,10 @@ func run(path string, n int, kind string, instr, site int, from, to uint64, coun
 			break
 		}
 		if err != nil {
-			return err
+			if herr := deg.Check(err); herr != nil {
+				return herr
+			}
+			break // salvaged: everything readable has been delivered
 		}
 		if !match(e) {
 			continue
@@ -132,5 +189,5 @@ func run(path string, n int, kind string, instr, site int, from, to uint64, coun
 	} else if matched > printed {
 		fmt.Printf("… %d more matching records\n", matched-printed)
 	}
-	return nil
+	return deg.Err()
 }

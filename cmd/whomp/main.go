@@ -40,8 +40,7 @@ func main() {
 	flag.Parse()
 
 	if err := run(*workload, workloads.Config{Scale: *scale, Seed: *seed}, *out, *traceIn, *csvOut, *workers, tf); err != nil {
-		fmt.Fprintln(os.Stderr, "whomp:", err)
-		os.Exit(1)
+		cliutil.Fatal("whomp", err)
 	}
 }
 
@@ -83,21 +82,25 @@ func run(workload string, cfg workloads.Config, out, traceIn string, csvOut bool
 // runOne profiles a single event stream — a live workload run or a
 // replayed trace ("collect once, profile many") — and, because the trace
 // header carries the workload name and site table, both paths produce
-// byte-identical profiles.
+// byte-identical profiles. Salvaged passes (-lenient, -deadline) still
+// print the partial profile; the remembered error makes the tool exit 2.
 func runOne(workload string, cfg workloads.Config, out string, workers int, tf *cliutil.TraceFlags) error {
 	ev, err := tf.Load(workload, cfg)
 	if err != nil {
 		return err
 	}
+	var deg cliutil.Degraded
 
 	wp := whomp.NewParallel(ev.Sites, workers)
-	if _, err := ev.Pass(wp); err != nil {
+	_, perr := ev.Pass(wp)
+	if err := deg.Check(perr); err != nil {
 		return err
 	}
 	profile := wp.Profile(ev.Name)
 
 	rasg := whomp.NewRASG()
-	if _, err := ev.Pass(rasg); err != nil {
+	_, perr = ev.Pass(rasg)
+	if err := deg.Check(perr); err != nil {
 		return err
 	}
 
@@ -119,5 +122,5 @@ func runOne(workload string, cfg workloads.Config, out string, workers int, tf *
 		}
 		fmt.Printf("  wrote %d-byte profile (grammars + object table) to %s\n", n, out)
 	}
-	return nil
+	return deg.Err()
 }

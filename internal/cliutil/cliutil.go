@@ -11,12 +11,15 @@
 package cliutil
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"time"
 
 	"ormprof/internal/memsim"
 	"ormprof/internal/omc"
@@ -42,7 +45,8 @@ func CheckWorkers(n int) error {
 	return nil
 }
 
-// TraceFlags holds the record/replay pair every tool exposes.
+// TraceFlags holds the record/replay pair every tool exposes, plus the
+// degraded-mode knobs (-lenient, -deadline).
 type TraceFlags struct {
 	// Record: while running a live workload, also stream its probe trace
 	// to this file.
@@ -50,15 +54,24 @@ type TraceFlags struct {
 	// Replay: read events from this trace file instead of running a
 	// workload.
 	Replay string
+	// Lenient: tolerate damaged trace frames on replay, resynchronizing
+	// past corruption and salvaging every frame that still decodes.
+	Lenient bool
+	// Deadline bounds each pass over the event stream; 0 means none.
+	Deadline time.Duration
 }
 
-// RegisterTraceFlags adds -record and -replay to fs.
+// RegisterTraceFlags adds -record, -replay, -lenient, and -deadline to fs.
 func RegisterTraceFlags(fs *flag.FlagSet) *TraceFlags {
 	t := &TraceFlags{}
 	fs.StringVar(&t.Record, "record", "",
 		"also record the probe trace of the live workload run to this file")
 	fs.StringVar(&t.Replay, "replay", "",
 		"profile a recorded trace file instead of running a workload")
+	fs.BoolVar(&t.Lenient, "lenient", false,
+		"tolerate corrupt frames in the -replay trace: skip damage, salvage the rest (exit code 2 if events were lost)")
+	fs.DurationVar(&t.Deadline, "deadline", 0,
+		"per-pass deadline (e.g. 30s); an overrunning pass stops and reports the partial result (exit code 2)")
 	return t
 }
 
@@ -78,6 +91,10 @@ type Events struct {
 
 	buf  *trace.Buffer // live mode
 	path string        // replay mode
+
+	lenient  bool
+	deadline time.Duration
+	stats    tracefmt.Stats // reader stats from the most recent replay pass
 }
 
 // Load resolves the trace flags into an event stream. With -replay it
@@ -89,7 +106,13 @@ func (t *TraceFlags) Load(workload string, cfg workloads.Config) (*Events, error
 		if t.Record != "" {
 			return nil, fmt.Errorf("-record and -replay are mutually exclusive")
 		}
-		return openReplay(t.Replay)
+		ev, err := openReplay(t.Replay)
+		if err != nil {
+			return nil, err
+		}
+		ev.lenient = t.Lenient
+		ev.deadline = t.Deadline
+		return ev, nil
 	}
 	if workload == "" {
 		return nil, fmt.Errorf("no workload selected")
@@ -120,7 +143,7 @@ func (t *TraceFlags) Load(workload string, cfg workloads.Config) (*Events, error
 			return nil, fmt.Errorf("recording trace: %w", err)
 		}
 	}
-	return &Events{Name: workload, Sites: m.StaticSites(), buf: buf}, nil
+	return &Events{Name: workload, Sites: m.StaticSites(), buf: buf, deadline: t.Deadline}, nil
 }
 
 // openReplay validates the header and captures the metadata; events are
@@ -144,36 +167,136 @@ func openReplay(path string) (*Events, error) {
 
 // Pass streams one complete pass of the event stream into sink and reports
 // the number of events delivered. Replay passes hold O(batch) events in
-// memory; live passes replay the run's buffer.
+// memory; live passes replay the run's buffer. Each pass gets a fresh
+// deadline context when -deadline is set; with -lenient the replay reader
+// resynchronizes past damaged frames and the pass returns the salvaged
+// count alongside a *tracefmt.CorruptionError. Either way a non-nil error
+// accompanied by n > 0 means partial results were delivered, not none.
 func (ev *Events) Pass(sink trace.Sink) (int, error) {
+	ctx := context.Background()
+	if ev.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, ev.deadline)
+		defer cancel()
+	}
 	if ev.path == "" {
-		ev.buf.Replay(sink)
-		return ev.buf.Len(), nil
+		if ev.deadline <= 0 {
+			ev.buf.Replay(sink)
+			return ev.buf.Len(), nil
+		}
+		return trace.DrainContext(ctx, ev.buf.Source(), sink)
 	}
 	f, err := os.Open(ev.path)
 	if err != nil {
 		return 0, err
 	}
 	defer f.Close()
-	n, err := tracefmt.Replay(f, sink)
+	var opts []tracefmt.ReaderOption
+	if ev.lenient {
+		opts = append(opts, tracefmt.WithLenient())
+	}
+	r, err := tracefmt.NewReader(f, opts...)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", ev.path, err)
+	}
+	n, err := trace.DrainContext(ctx, r, sink)
+	ev.stats = r.Stats()
 	if err != nil {
 		return n, fmt.Errorf("%s: %w", ev.path, err)
 	}
 	return n, nil
 }
 
+// Stats reports the trace reader's counters from the most recent replay
+// pass — in lenient mode this is the damage report (skipped frames, skipped
+// events, corruption incidents). Zero for live streams.
+func (ev *Events) Stats() tracefmt.Stats { return ev.stats }
+
 // Translate runs one pass through a fresh OMC and returns the
-// object-relative record stream plus the OMC.
+// object-relative record stream plus the OMC. A salvaged pass (lenient
+// corruption skip, deadline overrun) still returns the partial record
+// stream alongside its error; only hard failures return nil.
 func (ev *Events) Translate() ([]profiler.Record, *omc.OMC, error) {
 	o := omc.New(ev.Sites)
 	col := &profiler.Collector{}
 	cdc := profiler.NewCDC(o, col)
-	if _, err := ev.Pass(cdc); err != nil {
+	_, err := ev.Pass(cdc)
+	if err != nil && !Salvaged(err) {
 		return nil, nil, err
 	}
 	cdc.Finish()
-	return col.Records, o, nil
+	return col.Records, o, err
 }
 
 // Replayed reports whether the events come from a recorded trace file.
 func (ev *Events) Replayed() bool { return ev.path != "" }
+
+// Salvaged reports whether err is a degraded-mode error: the pipeline lost
+// part of the stream but contained the fault and salvaged the rest. These
+// are exactly the typed errors of the fault-tolerant layer — trace
+// corruption skipped by a lenient reader, a contained panic in the drain or
+// a worker, or a deadline/cancellation that cut the pass short. Anything
+// else (unreadable file, bad flags, strict-mode decode failure) is a hard
+// error.
+func Salvaged(err error) bool {
+	var ce *tracefmt.CorruptionError
+	var pe *trace.PanicError
+	var we *profiler.WorkerError
+	return errors.As(err, &ce) || errors.As(err, &pe) || errors.As(err, &we) ||
+		errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}
+
+// Degraded accumulates the first salvaged error across a tool's passes so
+// partial results still print before the tool exits with code 2. The idiom:
+//
+//	var deg Degraded
+//	_, err := ev.Pass(sink)
+//	if err := deg.Check(err); err != nil {
+//		return err // hard failure, abort
+//	}
+//	... render (possibly partial) results ...
+//	return deg.Err() // nil, or the remembered salvaged error
+type Degraded struct{ err error }
+
+// Check filters a pass error: hard errors come back to abort the tool;
+// salvaged errors are remembered (first wins) and nil is returned so the
+// tool keeps going with the partial data.
+func (d *Degraded) Check(err error) error {
+	if err == nil {
+		return nil
+	}
+	if !Salvaged(err) {
+		return err
+	}
+	if d.err == nil {
+		d.err = err
+	}
+	return nil
+}
+
+// Err reports the remembered salvaged error, nil after a clean run.
+func (d *Degraded) Err() error { return d.err }
+
+// ExitCode maps an error to the tools' shared exit-code convention:
+// 0 for a clean run, 2 for a salvaged run (partial results were produced
+// but data was lost), 1 for a hard failure.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case Salvaged(err):
+		return 2
+	default:
+		return 1
+	}
+}
+
+// Fatal prints err prefixed with the tool name and exits with the
+// ExitCode convention. A nil err exits 0 silently.
+func Fatal(tool string, err error) {
+	if err == nil {
+		os.Exit(0)
+	}
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	os.Exit(ExitCode(err))
+}

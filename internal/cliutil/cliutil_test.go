@@ -1,12 +1,17 @@
 package cliutil
 
 import (
+	"context"
+	"errors"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"ormprof/internal/profiler"
 	"ormprof/internal/trace"
+	"ormprof/internal/tracefmt"
 	"ormprof/internal/workloads"
 )
 
@@ -136,5 +141,148 @@ func TestReplayRejectsGarbageFile(t *testing.T) {
 	}
 	if _, err := (&TraceFlags{Replay: path}).Load("", workloads.Config{}); err == nil {
 		t.Error("Load accepted a garbage trace file")
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nope.ormtrace")
+	if _, err := (&TraceFlags{Replay: path}).Load("", workloads.Config{}); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("Load(missing file) = %v, want ErrNotExist", err)
+	}
+}
+
+func TestReplayZeroByteFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.ormtrace")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// An empty file fails header validation on both strict and lenient
+	// paths — lenient mode never excuses a missing header.
+	for _, lenient := range []bool{false, true} {
+		tf := &TraceFlags{Replay: path, Lenient: lenient}
+		if _, err := tf.Load("", workloads.Config{}); !errors.Is(err, tracefmt.ErrBadTrace) {
+			t.Errorf("lenient=%v: Load(empty file) = %v, want ErrBadTrace", lenient, err)
+		}
+	}
+}
+
+func TestReplayTruncatedFile(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.ormtrace")
+	cfg := workloads.Config{Scale: 1, Seed: 42}
+	// Encode with a small batch so the trace spans many frames — a
+	// truncated tail then costs only the last frame, not everything.
+	live, err := (&TraceFlags{}).Load("linkedlist", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events trace.Buffer
+	if _, err := live.Pass(&events); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw := tracefmt.NewWriter(f, tracefmt.WithName("linkedlist"), tracefmt.WithBatch(64))
+	tw.SetSites(live.Sites)
+	for _, e := range events.Events {
+		tw.Emit(e)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cut inside the header: unreadable even leniently.
+	header := filepath.Join(dir, "header.ormtrace")
+	if err := os.WriteFile(header, data[:4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (&TraceFlags{Replay: header, Lenient: true}).Load("", cfg); err == nil {
+		t.Error("Load accepted a header-truncated trace")
+	}
+
+	// Cut mid-body: the header opens, the strict pass fails, and a lenient
+	// pass salvages every complete frame with a typed damage report.
+	body := filepath.Join(dir, "body.ormtrace")
+	if err := os.WriteFile(body, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	strictEv, err := (&TraceFlags{Replay: body}).Load("", cfg)
+	if err != nil {
+		t.Fatalf("strict Load(truncated body) failed at open: %v", err)
+	}
+	if _, err := strictEv.Pass(&trace.Buffer{}); err == nil {
+		t.Error("strict pass accepted a truncated trace body")
+	}
+
+	ev, err := (&TraceFlags{Replay: body, Lenient: true}).Load("", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf trace.Buffer
+	n, err := ev.Pass(&buf)
+	var ce *tracefmt.CorruptionError
+	if !errors.As(err, &ce) {
+		t.Fatalf("lenient pass error = %v, want *CorruptionError", err)
+	}
+	if !Salvaged(err) || ExitCode(err) != 2 {
+		t.Errorf("truncation error not classified as salvaged/exit 2: %v", err)
+	}
+	if n == 0 || buf.Len() != n {
+		t.Errorf("lenient pass delivered %d events, buffered %d", n, buf.Len())
+	}
+	if st := ev.Stats(); !st.Damaged() || st.Events != int64(n) {
+		t.Errorf("Stats() = %+v, want damaged with Events == %d", st, n)
+	}
+}
+
+func TestExitCodeConvention(t *testing.T) {
+	if got := ExitCode(nil); got != 0 {
+		t.Errorf("ExitCode(nil) = %d, want 0", got)
+	}
+	if got := ExitCode(os.ErrNotExist); got != 1 {
+		t.Errorf("ExitCode(hard error) = %d, want 1", got)
+	}
+	salvaged := []error{
+		&tracefmt.CorruptionError{},
+		&trace.PanicError{Value: "boom"},
+		&profiler.WorkerError{Worker: 3, Value: "boom"},
+		context.DeadlineExceeded,
+		context.Canceled,
+		fmt.Errorf("wrapped: %w", &tracefmt.CorruptionError{}),
+	}
+	for _, err := range salvaged {
+		if !Salvaged(err) || ExitCode(err) != 2 {
+			t.Errorf("%v: Salvaged=%v ExitCode=%d, want true/2", err, Salvaged(err), ExitCode(err))
+		}
+	}
+}
+
+func TestDegradedAccumulator(t *testing.T) {
+	var deg Degraded
+	if err := deg.Check(nil); err != nil || deg.Err() != nil {
+		t.Fatal("clean Check must stay clean")
+	}
+	first := &tracefmt.CorruptionError{}
+	if err := deg.Check(first); err != nil {
+		t.Fatalf("salvaged error returned as hard: %v", err)
+	}
+	if err := deg.Check(context.DeadlineExceeded); err != nil {
+		t.Fatalf("second salvaged error returned as hard: %v", err)
+	}
+	if deg.Err() != error(first) {
+		t.Errorf("Err() = %v, want the first salvaged error", deg.Err())
+	}
+	hard := os.ErrNotExist
+	if err := deg.Check(hard); err != hard {
+		t.Errorf("hard error filtered: %v", err)
 	}
 }

@@ -1,0 +1,24 @@
+package depend
+
+import (
+	"context"
+
+	"ormprof/internal/trace"
+)
+
+// IdealFromSourceSalvage is the fault-tolerant IdealFromSource: the
+// profiler built from the events delivered before any fault is returned
+// alongside the typed error, instead of being discarded.
+func IdealFromSourceSalvage(ctx context.Context, src trace.Source) (*Ideal, error) {
+	p := NewIdeal()
+	_, err := trace.DrainSalvage(ctx, src, p)
+	return p, err
+}
+
+// ConnorsFromSourceSalvage is the fault-tolerant ConnorsFromSource,
+// mirroring IdealFromSourceSalvage.
+func ConnorsFromSourceSalvage(ctx context.Context, src trace.Source, window int) (*Connors, error) {
+	p := NewConnors(window)
+	_, err := trace.DrainSalvage(ctx, src, p)
+	return p, err
+}

@@ -1,0 +1,139 @@
+// Package faultinject wraps the streaming pipeline's interfaces with
+// deliberately broken implementations — the hostile-input half of the
+// robustness test suite. Each wrapper injects exactly one fault class the
+// fault-tolerant pipeline must survive:
+//
+//   - CorruptByte / Truncate damage the encoded byte stream, exercising
+//     the lenient reader's checksum detection and frame resynchronization;
+//   - FlipField, PanicAfter, ErrorAfter, and Stall damage the decoded
+//     event stream, exercising salvage drains, panic containment, and
+//     deadline enforcement;
+//   - PanicSCC crashes a downstream compression stage, exercising the
+//     fan-out stages' worker containment.
+//
+// Everything here is deterministic: the same wrapper parameters produce
+// the same fault at the same position, so a soak failure replays exactly.
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ormprof/internal/profiler"
+	"ormprof/internal/trace"
+)
+
+// CorruptByte returns a reader that delivers r's bytes with the byte at
+// the given offset XORed with mask (mask 0 is promoted to 0xFF so the
+// byte always actually changes).
+func CorruptByte(r io.Reader, offset int64, mask byte) io.Reader {
+	if mask == 0 {
+		mask = 0xff
+	}
+	return &corruptReader{r: r, offset: offset, mask: mask}
+}
+
+type corruptReader struct {
+	r      io.Reader
+	offset int64
+	mask   byte
+	pos    int64
+}
+
+func (c *corruptReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if n > 0 && c.offset >= c.pos && c.offset < c.pos+int64(n) {
+		p[c.offset-c.pos] ^= c.mask
+	}
+	c.pos += int64(n)
+	return n, err
+}
+
+// Truncate returns a reader that ends the stream (clean io.EOF) after n
+// bytes — a partially written or torn trace file.
+func Truncate(r io.Reader, n int64) io.Reader {
+	return io.LimitReader(r, n)
+}
+
+// FlipField returns a source that delivers src's events with the Nth
+// (0-based) event passed through mutate — bit rot that slipped past the
+// encoding layer, or a buggy producer.
+func FlipField(src trace.Source, n int64, mutate func(*trace.Event)) trace.Source {
+	var i int64
+	return trace.SourceFunc(func() (trace.Event, error) {
+		e, err := src.Next()
+		if err == nil {
+			if i == n {
+				mutate(&e)
+			}
+			i++
+		}
+		return e, err
+	})
+}
+
+// PanicAfter returns a source that panics on the Nth (0-based) call to
+// Next — a crashing producer inside the pipeline's own goroutine.
+func PanicAfter(src trace.Source, n int64) trace.Source {
+	var i int64
+	return trace.SourceFunc(func() (trace.Event, error) {
+		if i == n {
+			panic(fmt.Sprintf("faultinject: injected panic at event %d", n))
+		}
+		i++
+		return src.Next()
+	})
+}
+
+// ErrorAfter returns a source that fails with err after delivering n
+// events — a typed mid-stream failure.
+func ErrorAfter(src trace.Source, n int64, err error) trace.Source {
+	var i int64
+	return trace.SourceFunc(func() (trace.Event, error) {
+		if i >= n {
+			return trace.Event{}, err
+		}
+		i++
+		return src.Next()
+	})
+}
+
+// Stall returns a source that blocks for d before delivering the Nth
+// (0-based) event — a stalled producer. The stall is duration-bounded by
+// construction: cooperative cancellation cannot preempt a blocked Next, so
+// an unbounded stall is indistinguishable from a hang; what a deadline
+// buys is that the pipeline notices the overrun at the next delivered
+// event and stops there (see trace.DrainContext).
+func Stall(src trace.Source, n int64, d time.Duration) trace.Source {
+	var i int64
+	return trace.SourceFunc(func() (trace.Event, error) {
+		if i == n {
+			time.Sleep(d)
+		}
+		i++
+		return src.Next()
+	})
+}
+
+// PanicSCC returns an SCC that consumes into next but panics on the Nth
+// (0-based) record — a crashing compression worker.
+func PanicSCC(next profiler.SCC, n uint64) profiler.SCC {
+	return &panicSCC{next: next, n: n}
+}
+
+type panicSCC struct {
+	next profiler.SCC
+	n    uint64
+	i    uint64
+}
+
+func (p *panicSCC) Consume(r profiler.Record) {
+	if p.i == p.n {
+		panic(fmt.Sprintf("faultinject: injected SCC panic at record %d", p.n))
+	}
+	p.i++
+	p.next.Consume(r)
+}
+
+func (p *panicSCC) Finish() { p.next.Finish() }

@@ -1,6 +1,8 @@
 package leap
 
 import (
+	"context"
+
 	"ormprof/internal/decomp"
 	"ormprof/internal/profiler"
 	"ormprof/internal/trace"
@@ -27,11 +29,17 @@ type ParallelSCC struct {
 // LMAD budget (≤ 0 selects lmad.DefaultMax) fanned out across workers
 // shards.
 func NewParallelSCC(maxLMADs, workers int) *ParallelSCC {
+	return NewParallelSCCContext(context.Background(), maxLMADs, workers)
+}
+
+// NewParallelSCCContext is NewParallelSCC with cooperative cancellation
+// wired into the sharded stage (see profiler.NewShardedContext).
+func NewParallelSCCContext(ctx context.Context, maxLMADs, workers int) *ParallelSCC {
 	if workers < 1 {
 		workers = 1
 	}
 	p := &ParallelSCC{shards: make([]*SCC, workers)}
-	p.sh = profiler.NewSharded(workers, profiler.DefaultShardBatch,
+	p.sh = profiler.NewShardedContext(ctx, workers, profiler.DefaultShardBatch,
 		func(r profiler.Record, n int) int { return decomp.Shard(r, n) },
 		func(i int) profiler.SCC {
 			s := NewSCC(maxLMADs)
@@ -48,6 +56,9 @@ func (p *ParallelSCC) Consume(r profiler.Record) { p.sh.Consume(r) }
 // Finish implements profiler.SCC: it flushes the shard queues and joins the
 // workers; afterwards the shard SCCs are complete and safe to read.
 func (p *ParallelSCC) Finish() { p.sh.Finish() }
+
+// Err reports the sharded stage's first fault (nil after a clean run).
+func (p *ParallelSCC) Err() error { return p.sh.Err() }
 
 // BuildProfile merges the shard profiles into one Profile. The shards
 // partition the key space by instruction, so the merge is a disjoint union:

@@ -1,0 +1,68 @@
+package leap
+
+import (
+	"context"
+	"runtime/debug"
+
+	"ormprof/internal/omc"
+	"ormprof/internal/profiler"
+	"ormprof/internal/trace"
+)
+
+// This file is the degraded-mode surface of the LEAP pipeline, mirroring
+// the WHOMP one: context-aware construction and a FromSource variant that
+// keeps the partial profile when the stream breaks.
+
+// NewParallelContext is NewParallel with cooperative cancellation wired
+// into the sharded fan-out stage: once ctx is done the producer stops
+// queueing instead of blocking on a stalled compression worker, and Err
+// reports the cancellation. workers ≤ 1 still selects the sequential
+// profiler (which has no stage to cancel).
+func NewParallelContext(ctx context.Context, siteNames map[trace.SiteID]string, maxLMADs, workers int) *Profiler {
+	workers = profiler.DefaultWorkers(workers)
+	if workers <= 1 {
+		return New(siteNames, maxLMADs)
+	}
+	o := omc.New(siteNames)
+	scc := NewParallelSCCContext(ctx, maxLMADs, workers)
+	return &Profiler{omc: o, scc: scc, cdc: profiler.NewCDC(o, scc)}
+}
+
+// Err reports the profiler's first pipeline fault — a *profiler.WorkerError
+// if a compression worker panicked, or the context's error if cancellation
+// cut the stream short. Sequential profilers always report nil. Call after
+// Profile for the final verdict.
+func (p *Profiler) Err() error {
+	if e, ok := p.scc.(interface{ Err() error }); ok {
+		return e.Err()
+	}
+	return nil
+}
+
+// FromSourceSalvage is the fault-tolerant FromSource: it drains src with
+// panic containment and cooperative cancellation, always finalizes, and
+// returns the profile built from the events delivered before any fault
+// alongside the typed error (nil after a clean run).
+func FromSourceSalvage(ctx context.Context, workload string, src trace.Source, siteNames map[trace.SiteID]string, maxLMADs, workers int) (*Profile, error) {
+	p := NewParallelContext(ctx, siteNames, maxLMADs, workers)
+	_, err := trace.DrainSalvage(ctx, src, p)
+	prof, ferr := finalizeSalvage(p, workload)
+	if err == nil {
+		err = ferr
+	}
+	if err == nil {
+		err = p.Err()
+	}
+	return prof, err
+}
+
+// finalizeSalvage finalizes the profile with panic containment, so a crash
+// while finalizing inconsistent post-fault state cannot unwind the caller.
+func finalizeSalvage(p *Profiler, workload string) (prof *Profile, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			prof, err = nil, &trace.PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return p.Profile(workload), nil
+}

@@ -1,0 +1,35 @@
+package phase
+
+import (
+	"context"
+	"runtime/debug"
+
+	"ormprof/internal/omc"
+	"ormprof/internal/profiler"
+	"ormprof/internal/trace"
+)
+
+// CognizantFromSourceSalvage is the fault-tolerant CognizantFromSource:
+// the drain runs with cooperative cancellation and panic containment, the
+// collector is always finalized (itself under containment — post-fault
+// state may be inconsistent), and the phase profiles built from the events
+// delivered before any fault are returned alongside the typed error.
+func CognizantFromSourceSalvage(ctx context.Context, src trace.Source, siteNames map[trace.SiteID]string, cfg Config, maxLMADs int) (*CognizantLEAP, error) {
+	cog := NewCognizantLEAP(cfg, maxLMADs)
+	cdc := profiler.NewCDC(omc.New(siteNames), cog)
+	_, err := trace.DrainSalvage(ctx, src, cdc)
+	if ferr := finishSalvage(cdc); err == nil {
+		err = ferr
+	}
+	return cog, err
+}
+
+func finishSalvage(cdc *profiler.CDC) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &trace.PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	cdc.Finish()
+	return nil
+}

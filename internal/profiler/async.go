@@ -1,10 +1,19 @@
 package profiler
 
 import (
+	"errors"
+	"fmt"
 	"sync"
 
 	"ormprof/internal/trace"
 )
+
+// ErrEmitAfterClose reports that a producer kept emitting events after the
+// collector was closed. The late events are dropped, not profiled; the
+// condition is recorded and surfaced at Close/Err rather than panicking the
+// producer, which in a live instrumented program would take down the very
+// process being observed.
+var ErrEmitAfterClose = errors.New("profiler: Emit after Close")
 
 // Async decouples the instrumented program from the profiling pipeline the
 // way the paper's implementation does (§3.1: "Interactions between the
@@ -26,6 +35,8 @@ type Async struct {
 	pool    sync.Pool
 	closed  bool
 	batchSz int
+	err     error // first recorded fault (late Emit), surfaced at Close/Err
+	late    int64 // events dropped after Close
 }
 
 // asyncBatchSize balances channel traffic against latency; one synchronizing
@@ -67,10 +78,16 @@ func (a *Async) collect() {
 
 // Emit implements trace.Sink. It must be called from a single producer
 // goroutine (the instrumented program), matching the paper's
-// one-program/one-collector structure.
+// one-program/one-collector structure. An Emit after Close drops the event
+// and records ErrEmitAfterClose — returned by Close and Err — instead of
+// panicking the producer.
 func (a *Async) Emit(e trace.Event) {
 	if a.closed {
-		panic("profiler: Emit after Close")
+		a.late++
+		if a.err == nil {
+			a.err = ErrEmitAfterClose
+		}
+		return
 	}
 	a.batch = append(a.batch, e)
 	if len(a.batch) == a.batchSz {
@@ -87,13 +104,23 @@ func (a *Async) flush() {
 }
 
 // Close flushes outstanding events and waits for the collector to finish.
-// The downstream sink is safe to read afterwards.
-func (a *Async) Close() {
-	if a.closed {
-		return
+// The downstream sink is safe to read afterwards. It returns the first
+// recorded fault — ErrEmitAfterClose (wrapped, with the drop count) if the
+// producer emitted after an earlier Close — or nil.
+func (a *Async) Close() error {
+	if !a.closed {
+		a.closed = true
+		a.flush()
+		close(a.ch)
+		a.done.Wait()
 	}
-	a.closed = true
-	a.flush()
-	close(a.ch)
-	a.done.Wait()
+	return a.Err()
+}
+
+// Err reports the first recorded fault without closing.
+func (a *Async) Err() error {
+	if a.err != nil && a.late > 0 {
+		return fmt.Errorf("%w (%d event(s) dropped)", a.err, a.late)
+	}
+	return a.err
 }

@@ -1,6 +1,8 @@
 package profiler_test
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"ormprof/internal/leap"
@@ -71,19 +73,41 @@ func TestAsyncIdenticalProfiles(t *testing.T) {
 func TestAsyncCloseIdempotent(t *testing.T) {
 	a := profiler.NewAsync(trace.Discard)
 	a.Emit(trace.Event{Kind: trace.EvAccess})
-	a.Close()
-	a.Close() // must not panic or deadlock
+	if err := a.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := a.Close(); err != nil { // must not panic or deadlock
+		t.Fatalf("second Close: %v", err)
+	}
 }
 
-func TestAsyncEmitAfterClosePanics(t *testing.T) {
-	a := profiler.NewAsync(trace.Discard)
-	a.Close()
-	defer func() {
-		if recover() == nil {
-			t.Error("Emit after Close should panic")
-		}
-	}()
-	a.Emit(trace.Event{})
+func TestAsyncEmitAfterCloseRecordsError(t *testing.T) {
+	// Regression: a late Emit used to panic the producer goroutine — in a
+	// live instrumented program, the very process being profiled. It must
+	// instead drop the event and surface a recorded error at Close/Err.
+	var got trace.Buffer
+	a := profiler.NewAsync(&got)
+	a.Emit(trace.Event{Kind: trace.EvAccess, Time: 1})
+	if err := a.Close(); err != nil {
+		t.Fatalf("clean Close: %v", err)
+	}
+
+	a.Emit(trace.Event{Kind: trace.EvAccess, Time: 2})
+	a.Emit(trace.Event{Kind: trace.EvAccess, Time: 3})
+
+	if err := a.Err(); !errors.Is(err, profiler.ErrEmitAfterClose) {
+		t.Fatalf("Err = %v, want ErrEmitAfterClose", err)
+	}
+	err := a.Close()
+	if !errors.Is(err, profiler.ErrEmitAfterClose) {
+		t.Fatalf("Close = %v, want ErrEmitAfterClose", err)
+	}
+	if !strings.Contains(err.Error(), "2 event(s) dropped") {
+		t.Errorf("Close error %q does not report the drop count", err)
+	}
+	if got.Len() != 1 {
+		t.Errorf("collected %d events, want only the pre-Close event", got.Len())
+	}
 }
 
 func BenchmarkAsyncVsSyncLEAP(b *testing.B) {

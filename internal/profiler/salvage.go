@@ -1,0 +1,24 @@
+package profiler
+
+import (
+	"context"
+
+	"ormprof/internal/omc"
+	"ormprof/internal/trace"
+)
+
+// TranslateSourceSalvage is the fault-tolerant TranslateSource: the drain
+// runs with cooperative cancellation and panic containment, and the
+// records translated before any fault are returned alongside the typed
+// error (*tracefmt.CorruptionError from a lenient reader,
+// *trace.PanicError for a contained crash, ctx.Err() for cancellation).
+// The OMC is returned too — its object table reflects every allocation
+// seen before the fault, which is exactly what a salvaged profile needs.
+func TranslateSourceSalvage(ctx context.Context, src trace.Source, siteNames map[trace.SiteID]string) ([]Record, *omc.OMC, error) {
+	o := omc.New(siteNames)
+	col := &Collector{}
+	cdc := NewCDC(o, col)
+	_, err := trace.DrainSalvage(ctx, src, cdc)
+	cdc.Finish()
+	return col.Records, o, err
+}

@@ -1,7 +1,10 @@
 package profiler
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -24,6 +27,14 @@ import (
 // Both stages batch records before the channel send (DefaultShardBatch,
 // following the async collector's design) so the per-record synchronization
 // cost is amortized to a fraction of a channel operation.
+//
+// Fault containment: a panic inside a worker's SCC is recovered, recorded
+// as a *WorkerError, and the dead lane keeps draining its queue — the
+// single producer can never block on a crashed worker, Finish still joins
+// every goroutine (no leaks), and the surviving shards' state remains
+// readable. The NewShardedContext/NewBroadcastContext variants additionally
+// honor context cancellation: once the context is done, queue sends stop
+// blocking, further records are dropped, and Err reports ctx.Err().
 
 // ShardFunc assigns a record to a worker shard. It must be deterministic —
 // the same record always maps to the same shard — and must send every
@@ -49,6 +60,43 @@ func DefaultWorkers(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// WorkerError is the typed error a fan-out stage reports when a worker's
+// SCC panicked. The panic is contained in that worker: its lane drains
+// without consuming further, and the stage's Finish still joins cleanly.
+type WorkerError struct {
+	// Worker is the index of the crashed lane.
+	Worker int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the worker goroutine's stack at recovery time.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *WorkerError) Error() string {
+	return fmt.Sprintf("profiler: worker %d panicked: %v", e.Worker, e.Value)
+}
+
+// stageErr is the shared first-error slot of a fan-out stage.
+type stageErr struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (s *stageErr) set(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+func (s *stageErr) get() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
 // shardWorker is one fan-out lane: a batch being filled by the producer, a
 // queue, and a goroutine draining the queue into an SCC.
 type shardWorker struct {
@@ -57,8 +105,26 @@ type shardWorker struct {
 	batch []Record
 }
 
-func (w *shardWorker) run(done *sync.WaitGroup, pool *sync.Pool, recycle bool) {
+func (w *shardWorker) run(idx int, done *sync.WaitGroup, pool *sync.Pool, recycle bool, fail *stageErr) {
 	defer done.Done()
+	if err := w.work(pool, recycle); err != nil {
+		err.Worker = idx
+		fail.set(err)
+		// The lane is dead, but the single producer must never block on
+		// it: keep draining (and discarding) until the queue closes.
+		for range w.ch {
+		}
+	}
+}
+
+// work consumes the lane's queue into the SCC and finishes it, converting
+// a panic anywhere in the SCC into a *WorkerError.
+func (w *shardWorker) work(pool *sync.Pool, recycle bool) (werr *WorkerError) {
+	defer func() {
+		if v := recover(); v != nil {
+			werr = &WorkerError{Value: v, Stack: debug.Stack()}
+		}
+	}()
 	for batch := range w.ch {
 		for i := range batch {
 			w.scc.Consume(batch[i])
@@ -69,6 +135,7 @@ func (w *shardWorker) run(done *sync.WaitGroup, pool *sync.Pool, recycle bool) {
 		}
 	}
 	w.scc.Finish()
+	return nil
 }
 
 // Sharded is a parallel SCC stage that partitions the record stream across
@@ -84,12 +151,25 @@ type Sharded struct {
 	pool    sync.Pool
 	done    sync.WaitGroup
 	records uint64
+
+	ctxDone <-chan struct{} // nil without a context
+	ctxErr  func() error
+	stopped bool // context fired: drop instead of queue
+	fail    stageErr
 }
 
 // NewSharded starts n workers, each draining into the SCC built by newSCC
 // for its shard index. shard routes records; batchSize ≤ 0 selects
 // DefaultShardBatch.
 func NewSharded(n, batchSize int, shard ShardFunc, newSCC func(shard int) SCC) *Sharded {
+	return NewShardedContext(context.Background(), n, batchSize, shard, newSCC)
+}
+
+// NewShardedContext is NewSharded with cooperative cancellation: once ctx
+// is done the producer stops queueing (dropping further records instead of
+// blocking on a stalled worker), Finish still joins every worker, and Err
+// reports ctx.Err() if nothing worse happened first.
+func NewShardedContext(ctx context.Context, n, batchSize int, shard ShardFunc, newSCC func(shard int) SCC) *Sharded {
 	if n < 1 {
 		n = 1
 	}
@@ -101,6 +181,10 @@ func NewSharded(n, batchSize int, shard ShardFunc, newSCC func(shard int) SCC) *
 		shard:   shard,
 		batchSz: batchSize,
 	}
+	// A background context's Done is nil, which routes send to the
+	// plain blocking path — the context machinery costs nothing there.
+	s.ctxDone = ctx.Done()
+	s.ctxErr = ctx.Err
 	s.pool.New = func() any {
 		b := make([]Record, 0, batchSize)
 		return &b
@@ -111,7 +195,7 @@ func NewSharded(n, batchSize int, shard ShardFunc, newSCC func(shard int) SCC) *
 		w.scc = newSCC(i)
 		w.ch = make(chan []Record, shardQueueDepth)
 		w.batch = (*s.pool.Get().(*[]Record))[:0]
-		go w.run(&s.done, &s.pool, true)
+		go w.run(i, &s.done, &s.pool, true, &s.fail)
 	}
 	return s
 }
@@ -120,28 +204,55 @@ func NewSharded(n, batchSize int, shard ShardFunc, newSCC func(shard int) SCC) *
 // batch is flushed to the worker when full.
 func (s *Sharded) Consume(r Record) {
 	s.records++
+	if s.stopped {
+		return
+	}
 	w := &s.workers[s.shard(r, len(s.workers))]
 	w.batch = append(w.batch, r)
 	if len(w.batch) == s.batchSz {
-		w.ch <- w.batch
-		w.batch = (*s.pool.Get().(*[]Record))[:0]
+		s.send(w)
 	}
+}
+
+// send queues the worker's full batch, giving up (and dropping it) if the
+// context fires while the queue is full.
+func (s *Sharded) send(w *shardWorker) {
+	if s.ctxDone == nil {
+		w.ch <- w.batch
+	} else {
+		select {
+		case w.ch <- w.batch:
+		case <-s.ctxDone:
+			s.fail.set(s.ctxErr())
+			s.stopped = true
+		}
+	}
+	w.batch = (*s.pool.Get().(*[]Record))[:0]
 }
 
 // Finish implements SCC: it flushes every partial batch, closes the queues,
 // and joins the workers. When it returns, every worker SCC has consumed its
-// full substream and had its own Finish called, and is safe to read.
+// full substream and had its own Finish called (crashed or cancelled lanes
+// excepted), and is safe to read. Check Err for faults.
 func (s *Sharded) Finish() {
 	for i := range s.workers {
 		w := &s.workers[i]
-		if len(w.batch) > 0 {
-			w.ch <- w.batch
-			w.batch = nil
+		if !s.stopped && len(w.batch) > 0 {
+			s.send(w)
 		}
+		w.batch = nil
 		close(w.ch)
 	}
 	s.done.Wait()
+	if err := s.ctxErr(); err != nil {
+		s.fail.set(err)
+	}
 }
+
+// Err reports the stage's first fault — a *WorkerError if an SCC panicked,
+// or the context's error if cancellation cut the stream short. It is nil
+// after a clean run. Call after Finish for the final verdict.
+func (s *Sharded) Err() error { return s.fail.get() }
 
 // Records reports how many records the stage has routed.
 func (s *Sharded) Records() uint64 { return s.records }
@@ -165,11 +276,22 @@ type Broadcast struct {
 	batchSz int
 	done    sync.WaitGroup
 	records uint64
+
+	ctxDone <-chan struct{}
+	ctxErr  func() error
+	stopped bool
+	fail    stageErr
 }
 
 // NewBroadcast starts one worker per downstream SCC. batchSize ≤ 0 selects
 // DefaultShardBatch.
 func NewBroadcast(batchSize int, sccs ...SCC) *Broadcast {
+	return NewBroadcastContext(context.Background(), batchSize, sccs...)
+}
+
+// NewBroadcastContext is NewBroadcast with cooperative cancellation,
+// mirroring NewShardedContext.
+func NewBroadcastContext(ctx context.Context, batchSize int, sccs ...SCC) *Broadcast {
 	if batchSize <= 0 {
 		batchSize = DefaultShardBatch
 	}
@@ -178,12 +300,14 @@ func NewBroadcast(batchSize int, sccs ...SCC) *Broadcast {
 		batch:   make([]Record, 0, batchSize),
 		batchSz: batchSize,
 	}
+	b.ctxDone = ctx.Done()
+	b.ctxErr = ctx.Err
 	b.done.Add(len(sccs))
 	for i := range b.workers {
 		w := &b.workers[i]
 		w.scc = sccs[i]
 		w.ch = make(chan []Record, shardQueueDepth)
-		go w.run(&b.done, nil, false)
+		go w.run(i, &b.done, nil, false, &b.fail)
 	}
 	return b
 }
@@ -191,6 +315,9 @@ func NewBroadcast(batchSize int, sccs ...SCC) *Broadcast {
 // Consume implements SCC.
 func (b *Broadcast) Consume(r Record) {
 	b.records++
+	if b.stopped {
+		return
+	}
 	b.batch = append(b.batch, r)
 	if len(b.batch) == b.batchSz {
 		b.flush()
@@ -202,20 +329,42 @@ func (b *Broadcast) flush() {
 		return
 	}
 	for i := range b.workers {
-		b.workers[i].ch <- b.batch
+		if b.ctxDone == nil {
+			b.workers[i].ch <- b.batch
+		} else {
+			select {
+			case b.workers[i].ch <- b.batch:
+			case <-b.ctxDone:
+				b.fail.set(b.ctxErr())
+				b.stopped = true
+				b.batch = b.batch[:0]
+				return
+			}
+		}
 	}
 	b.batch = make([]Record, 0, b.batchSz)
 }
 
 // Finish implements SCC: flush, close, join. When it returns every worker
-// SCC has seen the full stream, been finished, and is safe to read.
+// SCC has seen the full stream, been finished (crashed or cancelled lanes
+// excepted), and is safe to read. Check Err for faults.
 func (b *Broadcast) Finish() {
-	b.flush()
+	if !b.stopped {
+		b.flush()
+	}
 	for i := range b.workers {
 		close(b.workers[i].ch)
 	}
 	b.done.Wait()
+	if err := b.ctxErr(); err != nil {
+		b.fail.set(err)
+	}
 }
+
+// Err reports the stage's first fault — a *WorkerError if an SCC panicked,
+// or the context's error if cancellation cut the stream short. It is nil
+// after a clean run. Call after Finish for the final verdict.
+func (b *Broadcast) Err() error { return b.fail.get() }
 
 // Records reports how many records the stage has broadcast.
 func (b *Broadcast) Records() uint64 { return b.records }

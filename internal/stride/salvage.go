@@ -1,0 +1,105 @@
+package stride
+
+import (
+	"context"
+	"runtime/debug"
+	"sync"
+
+	"ormprof/internal/decomp"
+	"ormprof/internal/leap"
+	"ormprof/internal/profiler"
+	"ormprof/internal/trace"
+)
+
+// IdealFromSourceSalvage is the fault-tolerant IdealFromSource: the
+// profiler built from the events delivered before any fault is returned
+// alongside the typed error, instead of being discarded.
+func IdealFromSourceSalvage(ctx context.Context, src trace.Source) (*Ideal, error) {
+	p := NewIdeal()
+	_, err := trace.DrainSalvage(ctx, src, p)
+	return p, err
+}
+
+// ctxKeyChunk is how many streams a post-processing worker analyzes
+// between cancellation checks.
+const ctxKeyChunk = 64
+
+// FromLEAPParallelContext is FromLEAPParallel with cooperative cancellation
+// and worker panic containment: each analysis worker checks ctx between
+// stream chunks and recovers its own panics into a *profiler.WorkerError.
+// The classification built from the streams analyzed before the fault is
+// returned alongside the error (nil after a clean run).
+func FromLEAPParallelContext(ctx context.Context, p *leap.Profile, workers int) (map[trace.InstrID]Info, error) {
+	workers = profiler.DefaultWorkers(workers)
+	keys := p.Keys()
+	if workers <= 1 || len(keys) < parallelMinStreams {
+		if err := ctx.Err(); err != nil {
+			return map[trace.InstrID]Info{}, err
+		}
+		return FromLEAP(p), nil
+	}
+
+	parts := make([][]leap.StreamKey, workers)
+	for _, k := range keys {
+		w := decomp.Shard(profiler.Record{Instr: k.Instr}, workers)
+		parts[w] = append(parts[w], k)
+	}
+
+	type partial struct {
+		hist   map[trace.InstrID]map[int64]uint64
+		events map[trace.InstrID]uint64
+	}
+	partials := make([]partial, workers)
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		partials[i] = partial{
+			hist:   make(map[trace.InstrID]map[int64]uint64),
+			events: make(map[trace.InstrID]uint64),
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					fail(&profiler.WorkerError{Worker: i, Value: v, Stack: debug.Stack()})
+				}
+			}()
+			ks := parts[i]
+			for start := 0; start < len(ks); start += ctxKeyChunk {
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				end := start + ctxKeyChunk
+				if end > len(ks) {
+					end = len(ks)
+				}
+				accumulateLEAP(p, ks[start:end], partials[i].hist, partials[i].events)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	hist := make(map[trace.InstrID]map[int64]uint64)
+	events := make(map[trace.InstrID]uint64)
+	for _, pt := range partials {
+		for id, h := range pt.hist {
+			hist[id] = h
+		}
+		for id, n := range pt.events {
+			events[id] += n
+		}
+	}
+	return classify(hist, events), firstErr
+}

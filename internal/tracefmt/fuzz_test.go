@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"ormprof/internal/trace"
@@ -63,6 +65,98 @@ func FuzzReader(f *testing.F) {
 			if r.Events() > max {
 				t.Fatalf("decoded %d events from %d input bytes", r.Events(), len(data))
 			}
+		}
+	})
+}
+
+// FuzzReaderResync throws mutated traces at the lenient reader. The
+// invariants: it never panics, never loops forever (every scan step either
+// consumes input or ends the trace), never yields more events than the
+// input could hold, terminates in exactly io.EOF or *CorruptionError, and
+// its Stats stay consistent with what was actually delivered.
+func FuzzReaderResync(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, WithName("seed"), WithBatch(8))
+	w.NameSite(1, "site_one")
+	for _, e := range randomEvents(64, 42) {
+		w.Emit(e)
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	// Truncations, single-byte damage at various depths, and injected junk.
+	f.Add(valid[:len(valid)*3/4])
+	f.Add(valid[:len(valid)/2+3])
+	for _, off := range []int{20, 40, len(valid) / 2, len(valid) - 10} {
+		bad := bytes.Clone(valid)
+		bad[off] ^= 0xff
+		f.Add(bad)
+	}
+	mid := len(valid) / 2
+	f.Add(append(append(append([]byte(nil), valid[:mid]...), "JUNKJUNK"...), valid[mid:]...))
+	// A legacy v2 trace (and a damaged one) exercise the structural scan.
+	if v2, err := os.ReadFile(filepath.Join("testdata", "golden_v2.ormtrace")); err == nil {
+		f.Add(v2)
+		bad := bytes.Clone(v2)
+		bad[len(bad)/2] ^= 0xff
+		f.Add(bad)
+	}
+	f.Add([]byte{})
+	f.Add(append([]byte(Magic), Version, 0))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data), WithLenient())
+		if err != nil {
+			if !errors.Is(err, ErrBadTrace) {
+				t.Fatalf("header error %v does not wrap ErrBadTrace", err)
+			}
+			return
+		}
+		max := int64(len(data)) + 1
+		var n int64
+		for {
+			_, err := r.Next()
+			if err == nil {
+				n++
+				if n > max {
+					t.Fatalf("decoded %d events from %d input bytes", n, len(data))
+				}
+				continue
+			}
+			var ce *CorruptionError
+			switch {
+			case err == io.EOF:
+				if r.Stats().Damaged() {
+					t.Fatalf("clean io.EOF but stats report damage: %+v", r.Stats())
+				}
+			case errors.As(err, &ce):
+				if !ce.Stats.Damaged() {
+					t.Fatalf("CorruptionError with no recorded corruption: %+v", ce.Stats)
+				}
+				if !errors.Is(err, ErrBadTrace) {
+					t.Fatalf("CorruptionError does not wrap ErrBadTrace: %v", err)
+				}
+			default:
+				t.Fatalf("lenient terminal error = %v, want io.EOF or *CorruptionError", err)
+			}
+			st := r.Stats()
+			if st.Events != n {
+				t.Fatalf("Stats.Events = %d, delivered %d", st.Events, n)
+			}
+			if st.Frames < 0 || st.Corruptions < 0 || st.SkippedFrames < 0 ||
+				st.SkippedEvents < 0 || st.SkippedBytes < 0 {
+				t.Fatalf("negative stats: %+v", st)
+			}
+			if st.SkippedBytes > int64(len(data)) {
+				t.Fatalf("SkippedBytes %d exceeds input %d", st.SkippedBytes, len(data))
+			}
+			// Terminal errors are sticky.
+			if _, err2 := r.Next(); err2 != err {
+				t.Fatalf("terminal error not sticky: %v then %v", err, err2)
+			}
+			return
 		}
 	})
 }

@@ -50,7 +50,7 @@ func goldenBytes(t *testing.T) []byte {
 // format changed — bump Version and regenerate with -update-golden rather
 // than silently breaking old traces.
 func TestGoldenFile(t *testing.T) {
-	path := filepath.Join("testdata", "golden_v2.ormtrace")
+	path := filepath.Join("testdata", "golden_v3.ormtrace")
 	got := goldenBytes(t)
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
@@ -70,9 +70,40 @@ func TestGoldenFile(t *testing.T) {
 	}
 
 	// And the committed fixture must still decode to the original events.
-	r, err := NewReader(bytes.NewReader(want))
+	decodeGolden(t, want, Version)
+}
+
+// TestGoldenFileV2 pins backward compatibility: the committed checksum-less
+// v2 fixture must keep decoding even though we no longer write that layout.
+func TestGoldenFileV2(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_v2.ormtrace"))
 	if err != nil {
 		t.Fatal(err)
+	}
+	decodeGolden(t, want, VersionNoChecksum)
+
+	// The legacy layout must also survive a lenient-mode pass unscathed.
+	r, err := NewReader(bytes.NewReader(want), WithLenient())
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := trace.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(goldenEvents()) || r.Stats().Damaged() {
+		t.Errorf("lenient v2 decode: %d events, stats %+v", len(events), r.Stats())
+	}
+}
+
+func decodeGolden(t *testing.T, data []byte, version int) {
+	t.Helper()
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Version() != version {
+		t.Errorf("Version = %d, want %d", r.Version(), version)
 	}
 	if r.Name() != "golden" {
 		t.Errorf("Name = %q, want golden", r.Name())
@@ -84,13 +115,13 @@ func TestGoldenFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want2 := goldenEvents()
-	if len(events) != len(want2) {
-		t.Fatalf("decoded %d events, want %d", len(events), len(want2))
+	want := goldenEvents()
+	if len(events) != len(want) {
+		t.Fatalf("decoded %d events, want %d", len(events), len(want))
 	}
-	for i := range want2 {
-		if events[i] != want2[i] {
-			t.Errorf("event %d = %+v, want %+v", i, events[i], want2[i])
+	for i := range want {
+		if events[i] != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, events[i], want[i])
 		}
 	}
 }

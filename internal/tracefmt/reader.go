@@ -2,8 +2,11 @@ package tracefmt
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"ormprof/internal/trace"
@@ -18,26 +21,64 @@ import (
 // paranoid — lengths and counts are bounded before any allocation, so a
 // corrupt or hostile file produces an error, never a panic or an
 // unbounded allocation (see FuzzReader).
+//
+// The reader has two fault policies:
+//
+//   - strict (the default): the first corrupt, truncated, or
+//     checksum-failed frame is fatal. The error is sticky; no further
+//     events are delivered.
+//   - lenient (WithLenient): a damaged frame is abandoned and the reader
+//     resynchronizes to the next valid frame boundary — for v3 traces by
+//     scanning for the frame sync marker and verifying the CRC32C, for
+//     legacy v2 traces by a structural scan that fully decodes each
+//     candidate frame. Events keep flowing; only the damaged frame's
+//     records are lost. Skips are accounted in Stats, and once the input
+//     is exhausted Next returns a *CorruptionError (instead of io.EOF)
+//     summarizing the damage — the salvage signal consumed by
+//     trace.DrainSalvage and the tools' -lenient mode.
+//
+// Header damage is fatal in both modes: without the version byte and the
+// site table there is no way to interpret, or correctly label, whatever
+// frames might follow.
 type Reader struct {
 	br    *bufio.Reader
 	name  string
 	sites map[trace.SiteID]string
+	ver   byte
 
+	lenient  bool
+	stats    Stats
+	firstErr error
+
+	cur     frameDecoder
+	inFrame bool
 	payload []byte // current frame payload (reused between frames)
-	off     int    // decode offset into payload
-	left    int    // records remaining in the current frame
 
-	lastAddr trace.Addr
-	lastTime trace.Time
+	pend    []byte // lenient mode: buffered input awaiting frame validation
+	pendOff int
 
-	events int64
-	err    error
+	scratch [8]byte // frame magic + checksum reads (avoids per-frame allocs)
+
+	err error
+}
+
+// ReaderOption configures a Reader.
+type ReaderOption func(*Reader)
+
+// WithLenient selects the lenient fault policy: resynchronize past damaged
+// frames instead of failing on the first one. See the Reader documentation
+// for the exact semantics.
+func WithLenient() ReaderOption {
+	return func(t *Reader) { t.lenient = true }
 }
 
 // NewReader parses the trace header of r and returns a Reader positioned
 // at the first event.
-func NewReader(r io.Reader) (*Reader, error) {
+func NewReader(r io.Reader, opts ...ReaderOption) (*Reader, error) {
 	t := &Reader{br: bufio.NewReader(r)}
+	for _, o := range opts {
+		o(t)
+	}
 	if err := t.readHeader(); err != nil {
 		return nil, err
 	}
@@ -60,9 +101,11 @@ func (t *Reader) readHeader() error {
 	if err != nil {
 		return badf("version: %v", err)
 	}
-	if ver != Version {
+	if ver != Version && ver != VersionNoChecksum {
 		return badf("unsupported version %d (want %d)", ver, Version)
 	}
+	t.ver = ver
+	t.stats.Version = int(ver)
 	if t.name, err = t.readString(MaxNameLen); err != nil {
 		return fmt.Errorf("%w (workload name)", err)
 	}
@@ -116,11 +159,227 @@ func (t *Reader) Name() string { return t.name }
 func (t *Reader) Sites() map[trace.SiteID]string { return t.sites }
 
 // Events reports how many events have been decoded so far.
-func (t *Reader) Events() int64 { return t.events }
+func (t *Reader) Events() int64 { return t.stats.Events }
 
-// nextFrame loads and validates the next frame. Returns io.EOF on a clean
-// end of trace.
+// Version reports the format version of the trace being read (2 or 3).
+func (t *Reader) Version() int { return int(t.ver) }
+
+// Stats returns the reader's delivery and damage accounting so far. In
+// strict mode the skip counters are always zero.
+func (t *Reader) Stats() Stats { return t.stats }
+
+// frameDecoder decodes the records of one self-contained frame payload.
+// Frames reset the delta baselines to 0, so a decoder needs nothing beyond
+// the payload bytes — which is what lets the lenient reader validate a
+// candidate frame found mid-scan before committing to it.
+type frameDecoder struct {
+	payload  []byte
+	off      int
+	left     int
+	total    int
+	lastAddr trace.Addr
+	lastTime trace.Time
+}
+
+// start parses and bounds the record count, resetting the delta baselines.
+func (d *frameDecoder) start(payload []byte) error {
+	d.payload = payload
+	d.off = 0
+	d.lastAddr = 0
+	d.lastTime = 0
+	cnt, err := d.uvarint()
+	if err != nil {
+		return badf("record count: %v", err)
+	}
+	// Every record costs at least 3 payload bytes (kind + Δtime + Δaddr),
+	// so a count beyond the payload length is corrupt, not just large.
+	if cnt == 0 || cnt > uint64(len(payload)) {
+		return badf("record count %d impossible for %d-byte frame", cnt, len(payload))
+	}
+	d.left = int(cnt)
+	d.total = int(cnt)
+	return nil
+}
+
+// uvarint decodes from the current frame payload.
+func (d *frameDecoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.payload[d.off:])
+	if n <= 0 {
+		return 0, badf("truncated or oversized uvarint in frame")
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *frameDecoder) varint() (int64, error) {
+	v, n := binary.Varint(d.payload[d.off:])
+	if n <= 0 {
+		return 0, badf("truncated or oversized varint in frame")
+	}
+	d.off += n
+	return v, nil
+}
+
+// next decodes one record. delivered is the reader's running event count,
+// used only to label truncation errors.
+func (d *frameDecoder) next(delivered int64) (trace.Event, error) {
+	if d.off >= len(d.payload) {
+		return trace.Event{}, badf("frame ends after %d of %d records", delivered, d.left)
+	}
+	kindByte := d.payload[d.off]
+	d.off++
+	store := kindByte&storeFlag != 0
+	kind := trace.EventKind(kindByte &^ storeFlag)
+
+	dt, err := d.varint()
+	if err != nil {
+		return trace.Event{}, err
+	}
+	d.lastTime += trace.Time(dt)
+
+	var e trace.Event
+	switch kind {
+	case trace.EvAccess:
+		instr, err := d.uvarint()
+		if err != nil {
+			return trace.Event{}, err
+		}
+		if instr > uint64(^trace.InstrID(0)) {
+			return trace.Event{}, badf("instruction id %d overflows InstrID", instr)
+		}
+		da, err := d.varint()
+		if err != nil {
+			return trace.Event{}, err
+		}
+		size, err := d.uvarint()
+		if err != nil {
+			return trace.Event{}, err
+		}
+		if size > uint64(^uint32(0)) {
+			return trace.Event{}, badf("access size %d overflows uint32", size)
+		}
+		d.lastAddr += trace.Addr(da)
+		e = trace.Event{Kind: trace.EvAccess, Time: d.lastTime, Instr: trace.InstrID(instr),
+			Addr: d.lastAddr, Size: uint32(size), Store: store}
+	case trace.EvAlloc:
+		if store {
+			return trace.Event{}, badf("store flag on alloc event")
+		}
+		site, err := d.uvarint()
+		if err != nil {
+			return trace.Event{}, err
+		}
+		if site > uint64(^trace.SiteID(0)) {
+			return trace.Event{}, badf("site id %d overflows SiteID", site)
+		}
+		da, err := d.varint()
+		if err != nil {
+			return trace.Event{}, err
+		}
+		size, err := d.uvarint()
+		if err != nil {
+			return trace.Event{}, badf("alloc size: %v", err)
+		}
+		if size > uint64(^uint32(0)) {
+			return trace.Event{}, badf("alloc size %d overflows uint32", size)
+		}
+		d.lastAddr += trace.Addr(da)
+		e = trace.Event{Kind: trace.EvAlloc, Time: d.lastTime, Site: trace.SiteID(site),
+			Addr: d.lastAddr, Size: uint32(size)}
+	case trace.EvFree:
+		if store {
+			return trace.Event{}, badf("store flag on free event")
+		}
+		da, err := d.varint()
+		if err != nil {
+			return trace.Event{}, err
+		}
+		d.lastAddr += trace.Addr(da)
+		e = trace.Event{Kind: trace.EvFree, Time: d.lastTime, Addr: d.lastAddr}
+	default:
+		return trace.Event{}, badf("unknown event kind %d", kindByte)
+	}
+	d.left--
+	if d.left == 0 && d.off != len(d.payload) {
+		return trace.Event{}, badf("%d trailing bytes after last record of frame", len(d.payload)-d.off)
+	}
+	return e, nil
+}
+
+// grow returns buf resized to n bytes, reallocating only when needed.
+func grow(buf []byte, n int) []byte {
+	if cap(buf) < n {
+		return make([]byte, n)
+	}
+	return buf[:n]
+}
+
+// Next implements trace.Source: decode the next event, loading the next
+// frame when the current one is exhausted. Returns io.EOF at a clean end
+// of trace. In strict mode any corruption surfaces immediately as an
+// ErrBadTrace-wrapped error; in lenient mode corruption is skipped and the
+// end of input surfaces as a *CorruptionError if anything was lost.
+// Terminal errors are sticky.
+func (t *Reader) Next() (trace.Event, error) {
+	if t.err != nil {
+		return trace.Event{}, t.err
+	}
+	e, err := t.next()
+	if err != nil {
+		t.err = err // sticky: a broken (or exhausted) stream stays that way
+		return trace.Event{}, err
+	}
+	t.stats.Events++
+	return e, nil
+}
+
+func (t *Reader) next() (trace.Event, error) {
+	for {
+		if !t.inFrame {
+			if err := t.nextFrame(); err != nil {
+				return trace.Event{}, err
+			}
+		}
+		e, err := t.cur.next(t.stats.Events)
+		if err == nil {
+			if t.cur.left == 0 {
+				t.inFrame = false
+			}
+			return e, nil
+		}
+		if !t.lenient {
+			return trace.Event{}, err
+		}
+		// Lenient: a frame that validated still failed to decode — only
+		// possible for checksum-less v2 traces raced mid-scan or a forged
+		// v3 checksum. Abandon the rest of the frame and resynchronize.
+		t.recordCorruption(err, int64(t.cur.left))
+		t.stats.SkippedFrames++
+		t.inFrame = false
+	}
+}
+
+func (t *Reader) recordCorruption(err error, lostEvents int64) {
+	t.stats.Corruptions++
+	t.stats.SkippedEvents += lostEvents
+	if t.firstErr == nil {
+		t.firstErr = err
+	}
+}
+
 func (t *Reader) nextFrame() error {
+	if t.lenient {
+		return t.lenientNextFrame()
+	}
+	if t.ver == VersionNoChecksum {
+		return t.strictNextFrameV2()
+	}
+	return t.strictNextFrameV3()
+}
+
+// strictNextFrameV2 loads and validates the next checksum-less legacy
+// frame. Returns io.EOF on a clean end of trace.
+func (t *Reader) strictNextFrameV2() error {
 	pl, err := binary.ReadUvarint(t.br)
 	if err == io.EOF {
 		return io.EOF // clean end: trace ends on a frame boundary
@@ -131,151 +390,261 @@ func (t *Reader) nextFrame() error {
 	if pl == 0 || pl > MaxFramePayload {
 		return badf("frame payload %d outside (0, %d]", pl, MaxFramePayload)
 	}
-	if uint64(cap(t.payload)) < pl {
-		t.payload = make([]byte, pl)
-	}
-	t.payload = t.payload[:pl]
+	t.payload = grow(t.payload, int(pl))
 	if _, err := io.ReadFull(t.br, t.payload); err != nil {
 		return badf("frame body: %v", err)
 	}
-	t.off = 0
-	cnt, err := t.uvarint()
-	if err != nil {
-		return badf("record count: %v", err)
+	if err := t.cur.start(t.payload); err != nil {
+		return err
 	}
-	// Every record costs at least 3 payload bytes (kind + Δtime + Δaddr),
-	// so a count beyond the payload length is corrupt, not just large.
-	if cnt == 0 || cnt > pl {
-		return badf("record count %d impossible for %d-byte frame", cnt, pl)
-	}
-	t.left = int(cnt)
-	t.lastAddr = 0
-	t.lastTime = 0
+	t.inFrame = true
+	t.stats.Frames++
 	return nil
 }
 
-// uvarint decodes from the current frame payload.
-func (t *Reader) uvarint() (uint64, error) {
-	v, n := binary.Uvarint(t.payload[t.off:])
-	if n <= 0 {
-		return 0, badf("truncated or oversized uvarint in frame")
+// strictNextFrameV3 loads the next checksummed frame: sync marker, payload
+// length, CRC32C, payload. Returns io.EOF on a clean end of trace.
+func (t *Reader) strictNextFrameV3() error {
+	magic := t.scratch[:len(FrameMagic)]
+	if _, err := io.ReadFull(t.br, magic); err != nil {
+		if err == io.EOF {
+			return io.EOF // clean end: trace ends on a frame boundary
+		}
+		return badf("frame magic: %v", err)
 	}
-	t.off += n
-	return v, nil
-}
-
-func (t *Reader) varint() (int64, error) {
-	v, n := binary.Varint(t.payload[t.off:])
-	if n <= 0 {
-		return 0, badf("truncated or oversized varint in frame")
+	if string(magic) != FrameMagic {
+		return badf("bad frame magic %x", magic)
 	}
-	t.off += n
-	return v, nil
-}
-
-// Next implements trace.Source: decode the next event, loading the next
-// frame when the current one is exhausted. Returns io.EOF at a clean end
-// of trace, or an ErrBadTrace-wrapped error on corruption.
-func (t *Reader) Next() (trace.Event, error) {
-	if t.err != nil {
-		return trace.Event{}, t.err
-	}
-	e, err := t.next()
+	pl, err := binary.ReadUvarint(t.br)
 	if err != nil {
-		t.err = err // sticky: a broken stream stays broken
-		return trace.Event{}, err
+		return badf("frame length: %v", err)
 	}
-	t.events++
-	return e, nil
+	if pl == 0 || pl > MaxFramePayload {
+		return badf("frame payload %d outside (0, %d]", pl, MaxFramePayload)
+	}
+	crcBuf := t.scratch[4:8]
+	if _, err := io.ReadFull(t.br, crcBuf); err != nil {
+		return badf("frame checksum: %v", err)
+	}
+	t.payload = grow(t.payload, int(pl))
+	if _, err := io.ReadFull(t.br, t.payload); err != nil {
+		return badf("frame body: %v", err)
+	}
+	want := binary.LittleEndian.Uint32(crcBuf)
+	if got := crc32.Checksum(t.payload, crcTable); got != want {
+		return badf("frame checksum mismatch: payload %08x, header %08x", got, want)
+	}
+	if err := t.cur.start(t.payload); err != nil {
+		return err
+	}
+	t.inFrame = true
+	t.stats.Frames++
+	return nil
 }
 
-func (t *Reader) next() (trace.Event, error) {
-	if t.left == 0 {
-		if err := t.nextFrame(); err != nil {
-			return trace.Event{}, err
-		}
-	}
-	if t.off >= len(t.payload) {
-		return trace.Event{}, badf("frame ends after %d of %d records", t.events, t.left)
-	}
-	kindByte := t.payload[t.off]
-	t.off++
-	store := kindByte&storeFlag != 0
-	kind := trace.EventKind(kindByte &^ storeFlag)
+// fillChunk is how much input the lenient reader pulls per refill while
+// validating or scanning.
+const fillChunk = 64 << 10
 
-	dt, err := t.varint()
-	if err != nil {
-		return trace.Event{}, err
-	}
-	t.lastTime += trace.Time(dt)
+// errNeedMore signals that the buffered window is too short to decide
+// whether a frame starts at the current offset.
+var errNeedMore = errors.New("tracefmt: need more data")
 
-	var e trace.Event
-	switch kind {
-	case trace.EvAccess:
-		instr, err := t.uvarint()
-		if err != nil {
-			return trace.Event{}, err
-		}
-		if instr > uint64(^trace.InstrID(0)) {
-			return trace.Event{}, badf("instruction id %d overflows InstrID", instr)
-		}
-		da, err := t.varint()
-		if err != nil {
-			return trace.Event{}, err
-		}
-		size, err := t.uvarint()
-		if err != nil {
-			return trace.Event{}, err
-		}
-		if size > uint64(^uint32(0)) {
-			return trace.Event{}, badf("access size %d overflows uint32", size)
-		}
-		t.lastAddr += trace.Addr(da)
-		e = trace.Event{Kind: trace.EvAccess, Time: t.lastTime, Instr: trace.InstrID(instr),
-			Addr: t.lastAddr, Size: uint32(size), Store: store}
-	case trace.EvAlloc:
-		if store {
-			return trace.Event{}, badf("store flag on alloc event")
-		}
-		site, err := t.uvarint()
-		if err != nil {
-			return trace.Event{}, err
-		}
-		if site > uint64(^trace.SiteID(0)) {
-			return trace.Event{}, badf("site id %d overflows SiteID", site)
-		}
-		da, err := t.varint()
-		if err != nil {
-			return trace.Event{}, err
-		}
-		size, err := t.uvarint()
-		if err != nil {
-			return trace.Event{}, badf("alloc size: %v", err)
-		}
-		if size > uint64(^uint32(0)) {
-			return trace.Event{}, badf("alloc size %d overflows uint32", size)
-		}
-		t.lastAddr += trace.Addr(da)
-		e = trace.Event{Kind: trace.EvAlloc, Time: t.lastTime, Site: trace.SiteID(site),
-			Addr: t.lastAddr, Size: uint32(size)}
-	case trace.EvFree:
-		if store {
-			return trace.Event{}, badf("store flag on free event")
-		}
-		da, err := t.varint()
-		if err != nil {
-			return trace.Event{}, err
-		}
-		t.lastAddr += trace.Addr(da)
-		e = trace.Event{Kind: trace.EvFree, Time: t.lastTime, Addr: t.lastAddr}
-	default:
-		return trace.Event{}, badf("unknown event kind %d", kindByte)
+// fill grows the lenient read-ahead buffer, compacting consumed bytes
+// first. io.EOF means the underlying stream is exhausted.
+func (t *Reader) fill() error {
+	if t.pendOff > 0 {
+		n := copy(t.pend, t.pend[t.pendOff:])
+		t.pend = t.pend[:n]
+		t.pendOff = 0
 	}
-	t.left--
-	if t.left == 0 && t.off != len(t.payload) {
-		return trace.Event{}, badf("%d trailing bytes after last record of frame", len(t.payload)-t.off)
+	start := len(t.pend)
+	t.pend = append(t.pend, make([]byte, fillChunk)...)
+	n, err := t.br.Read(t.pend[start:])
+	t.pend = t.pend[:start+n]
+	if n > 0 {
+		return nil
 	}
-	return e, nil
+	if err == nil || err == io.EOF {
+		return io.EOF
+	}
+	return err
+}
+
+// lenientNextFrame acquires the next valid frame, skipping damage. All
+// input flows through the pend buffer so that a frame mis-parse (a corrupt
+// length field claiming megabytes, say) never consumes bytes that a later
+// scan could still recognize as real frames.
+func (t *Reader) lenientNextFrame() error {
+	scanning := false
+	for {
+		lost, err := t.tryFrame()
+		if err == nil {
+			return nil
+		}
+		if err == errNeedMore {
+			ferr := t.fill()
+			if ferr == nil {
+				continue
+			}
+			if ferr != io.EOF {
+				return ferr // a real I/O error, not trace damage
+			}
+			// Input exhausted: whatever remains cannot form a frame.
+			rem := int64(len(t.pend) - t.pendOff)
+			if rem > 0 && !scanning {
+				t.recordCorruption(badf("truncated frame at end of trace"), lost)
+				t.stats.SkippedFrames++
+			}
+			t.stats.SkippedBytes += rem
+			t.pendOff = len(t.pend)
+			return t.endOfTrace()
+		}
+		// No valid frame starts here. The first failure at an expected
+		// frame boundary is the corruption incident; subsequent failures
+		// are just the scan walking over garbage.
+		if !scanning {
+			scanning = true
+			t.recordCorruption(err, lost)
+			t.stats.SkippedFrames++
+		}
+		t.skipForward()
+	}
+}
+
+func (t *Reader) endOfTrace() error {
+	if t.stats.Damaged() {
+		return &CorruptionError{Stats: t.stats, First: t.firstErr}
+	}
+	return io.EOF
+}
+
+// tryFrame attempts to parse one complete frame at the current buffer
+// offset, consuming it on success. It returns errNeedMore when the window
+// must grow, or the decode error when no valid frame starts here — along
+// with a best-effort count of the events the failed frame claimed to hold
+// (0 when the count itself is unreadable).
+func (t *Reader) tryFrame() (int64, error) {
+	w := t.pend[t.pendOff:]
+	if t.ver == VersionNoChecksum {
+		return t.tryFrameV2(w)
+	}
+	return t.tryFrameV3(w)
+}
+
+// claimedCount best-effort-parses a damaged payload's record count for the
+// skipped-events accounting.
+func claimedCount(payload []byte) int64 {
+	cnt, n := binary.Uvarint(payload)
+	if n > 0 && cnt > 0 && cnt <= uint64(len(payload)) {
+		return int64(cnt)
+	}
+	return 0
+}
+
+func (t *Reader) tryFrameV3(w []byte) (int64, error) {
+	if len(w) < len(FrameMagic) {
+		return 0, errNeedMore
+	}
+	if string(w[:len(FrameMagic)]) != FrameMagic {
+		return 0, badf("bad frame magic %x", w[:len(FrameMagic)])
+	}
+	rest := w[len(FrameMagic):]
+	pl, n := binary.Uvarint(rest)
+	if n == 0 {
+		if len(rest) < binary.MaxVarintLen64 {
+			return 0, errNeedMore
+		}
+		return 0, badf("frame length: malformed varint")
+	}
+	if n < 0 || pl == 0 || pl > MaxFramePayload {
+		return 0, badf("frame payload %d outside (0, %d]", pl, MaxFramePayload)
+	}
+	rest = rest[n:]
+	if len(rest) < 4+int(pl) {
+		return 0, errNeedMore
+	}
+	want := binary.LittleEndian.Uint32(rest[:4])
+	payload := rest[4 : 4+pl]
+	if got := crc32.Checksum(payload, crcTable); got != want {
+		return claimedCount(payload), badf("frame checksum mismatch: payload %08x, header %08x", got, want)
+	}
+	t.payload = append(t.payload[:0], payload...)
+	if err := t.cur.start(t.payload); err != nil {
+		return claimedCount(payload), err
+	}
+	t.pendOff += len(FrameMagic) + n + 4 + int(pl)
+	t.inFrame = true
+	t.stats.Frames++
+	return 0, nil
+}
+
+func (t *Reader) tryFrameV2(w []byte) (int64, error) {
+	pl, n := binary.Uvarint(w)
+	if n == 0 {
+		if len(w) < binary.MaxVarintLen64 {
+			return 0, errNeedMore
+		}
+		return 0, badf("frame length: malformed varint")
+	}
+	if n < 0 || pl == 0 || pl > MaxFramePayload {
+		return 0, badf("frame payload %d outside (0, %d]", pl, MaxFramePayload)
+	}
+	if uint64(len(w)-n) < pl {
+		return 0, errNeedMore
+	}
+	payload := w[n : n+int(pl)]
+	// A checksum-less candidate proves itself structurally: every record
+	// must decode and consume the payload exactly.
+	if err := validatePayload(payload); err != nil {
+		return claimedCount(payload), err
+	}
+	t.payload = append(t.payload[:0], payload...)
+	if err := t.cur.start(t.payload); err != nil {
+		return claimedCount(payload), err
+	}
+	t.pendOff += n + int(pl)
+	t.inFrame = true
+	t.stats.Frames++
+	return 0, nil
+}
+
+// validatePayload decodes every record of a candidate v2 frame payload —
+// the structural stand-in for a checksum when resynchronizing a
+// checksum-less trace.
+func validatePayload(payload []byte) error {
+	var d frameDecoder
+	if err := d.start(payload); err != nil {
+		return err
+	}
+	for d.left > 0 {
+		if _, err := d.next(0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// skipForward advances the scan past an offset where no frame starts. For
+// checksummed traces it jumps straight to the next sync-marker candidate;
+// for legacy traces every offset is a candidate, so it steps one byte.
+func (t *Reader) skipForward() {
+	w := t.pend[t.pendOff:]
+	if t.ver == VersionNoChecksum {
+		t.pendOff++
+		t.stats.SkippedBytes++
+		return
+	}
+	skip := 1
+	if i := bytes.Index(w[1:], []byte(FrameMagic)); i >= 0 {
+		skip = 1 + i
+	} else if d := len(w) - (len(FrameMagic) - 1); d > 1 {
+		// No marker in the window: drop everything except a tail short
+		// enough that a marker could still straddle the next refill.
+		skip = d
+	}
+	t.pendOff += skip
+	t.stats.SkippedBytes += int64(skip)
 }
 
 // Replay decodes a whole trace from r into sink, returning the event count

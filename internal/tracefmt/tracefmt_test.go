@@ -204,12 +204,23 @@ func TestStridedCompactness(t *testing.T) {
 
 func TestVersionRejected(t *testing.T) {
 	data := encode(t, randomEvents(10, 3))
-	for _, ver := range []byte{0, 1, 3, 255} {
+	for _, ver := range []byte{0, 1, 4, 255} {
 		bad := bytes.Clone(data)
 		bad[len(Magic)] = ver
 		if _, err := NewReader(bytes.NewReader(bad)); !errors.Is(err, ErrBadTrace) {
 			t.Errorf("version %d: err = %v, want ErrBadTrace", ver, err)
 		}
+	}
+	// The legacy version byte is accepted at the header (frame layouts
+	// differ, so decoding the body is the v2 golden test's job).
+	bad := bytes.Clone(data)
+	bad[len(Magic)] = VersionNoChecksum
+	r, err := NewReader(bytes.NewReader(bad))
+	if err != nil {
+		t.Fatalf("version %d header rejected: %v", VersionNoChecksum, err)
+	}
+	if r.Version() != VersionNoChecksum {
+		t.Errorf("Version = %d, want %d", r.Version(), VersionNoChecksum)
 	}
 }
 

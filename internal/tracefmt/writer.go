@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sort"
 
@@ -187,14 +188,22 @@ func (t *Writer) Emit(e trace.Event) {
 	}
 }
 
-// flushFrame writes the open frame: payload length, record count, records.
+// flushFrame writes the open frame: sync marker, payload length, CRC32C of
+// the payload, record count, records. The marker lets a lenient reader find
+// the next frame boundary after corruption; the checksum tells it whether a
+// candidate boundary really is one.
 func (t *Writer) flushFrame() {
 	if t.inFrame == 0 {
 		return
 	}
 	var cnt [binary.MaxVarintLen64]byte
 	cn := binary.PutUvarint(cnt[:], uint64(t.inFrame))
+	crc := crc32.Update(crc32.Checksum(cnt[:cn], crcTable), crcTable, t.frame)
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc)
+	t.write([]byte(FrameMagic))
 	t.uvarint(uint64(cn + len(t.frame)))
+	t.write(crcBuf[:])
 	t.write(cnt[:cn])
 	t.write(t.frame)
 	t.frame = t.frame[:0]

@@ -1,6 +1,8 @@
 package whomp
 
 import (
+	"context"
+
 	"ormprof/internal/decomp"
 	"ormprof/internal/profiler"
 	"ormprof/internal/sequitur"
@@ -29,6 +31,12 @@ type ParallelSCC struct {
 
 // NewParallelSCC starts one grammar worker per decomposed dimension.
 func NewParallelSCC() *ParallelSCC {
+	return NewParallelSCCContext(context.Background())
+}
+
+// NewParallelSCCContext is NewParallelSCC with cooperative cancellation
+// wired into the broadcast stage (see profiler.NewBroadcastContext).
+func NewParallelSCCContext(ctx context.Context) *ParallelSCC {
 	grammars := make(map[decomp.Dimension]*sequitur.Grammar, len(decomp.Dims))
 	sccs := make([]profiler.SCC, 0, len(decomp.Dims))
 	for _, d := range decomp.Dims {
@@ -40,7 +48,7 @@ func NewParallelSCC() *ParallelSCC {
 		}))
 	}
 	return &ParallelSCC{
-		bc:       profiler.NewBroadcast(profiler.DefaultShardBatch, sccs...),
+		bc:       profiler.NewBroadcastContext(ctx, profiler.DefaultShardBatch, sccs...),
 		grammars: grammars,
 	}
 }
@@ -59,3 +67,6 @@ func (p *ParallelSCC) Grammars() map[decomp.Dimension]*sequitur.Grammar { return
 
 // Records reports how many records the SCC has consumed.
 func (p *ParallelSCC) Records() uint64 { return p.bc.Records() }
+
+// Err reports the broadcast stage's first fault (nil after a clean run).
+func (p *ParallelSCC) Err() error { return p.bc.Err() }

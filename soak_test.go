@@ -1,0 +1,345 @@
+package ormprof
+
+// Fault-injection soak: every workload's recorded trace is replayed through
+// the fault-tolerant pipeline under a randomized (but seeded, hence
+// reproducible) schedule of injected faults — corrupt bytes, truncation,
+// field flips, producer panics, worker panics, stalls against deadlines.
+// The contract under test is the robustness tentpole: the pipeline never
+// hangs, never lets a panic escape, never leaks goroutines, and always
+// yields either a (possibly partial) profile or a typed error. With a
+// single corrupted frame, exactly that frame's events are lost — asserted
+// via Reader.Stats().
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"ormprof/internal/faultinject"
+	"ormprof/internal/leap"
+	"ormprof/internal/profiler"
+	"ormprof/internal/stride"
+	"ormprof/internal/trace"
+	"ormprof/internal/tracefmt"
+	"ormprof/internal/whomp"
+	"ormprof/internal/workloads"
+)
+
+// isTypedFault reports whether err is one of the pipeline's sanctioned
+// degraded-mode errors — the "typed error" arm of the soak contract.
+func isTypedFault(err error) bool {
+	var ce *tracefmt.CorruptionError
+	var pe *trace.PanicError
+	var we *profiler.WorkerError
+	return errors.As(err, &ce) || errors.As(err, &pe) || errors.As(err, &we) ||
+		errors.Is(err, tracefmt.ErrBadTrace) ||
+		errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}
+
+// soakLeakCheck polls the goroutine count back to its baseline, failing on
+// a leak. Dependency-free stand-in for a leak detector.
+func soakLeakCheck(t *testing.T) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(10 * time.Second)
+		for runtime.NumGoroutine() > base {
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Errorf("goroutine leak: %d goroutines, baseline %d\n%s",
+					runtime.NumGoroutine(), base, buf[:n])
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	})
+}
+
+// lenientSource opens encoded bytes as a lenient trace reader. A header
+// too damaged to open is a legitimate outcome for header-offset faults;
+// those cases return (nil, err).
+func lenientSource(data []byte) (*tracefmt.Reader, error) {
+	return tracefmt.NewReader(bytes.NewReader(data), tracefmt.WithLenient())
+}
+
+// runSalvage replays a (possibly damaged) encoded trace through the whomp
+// and leap salvage paths and enforces the soak contract on the outcome.
+func runSalvage(t *testing.T, data []byte, sites map[trace.SiteID]string, totalEvents int64) {
+	t.Helper()
+	for _, prof := range []string{"whomp", "leap"} {
+		r, err := lenientSource(data)
+		if err != nil {
+			if !errors.Is(err, tracefmt.ErrBadTrace) {
+				t.Fatalf("header error not typed: %v", err)
+			}
+			return // unreadable header is a clean typed failure
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		switch prof {
+		case "whomp":
+			p, err := whomp.FromSourceSalvage(ctx, "soak", r, sites, 4)
+			if err != nil && !isTypedFault(err) {
+				t.Fatalf("whomp salvage error not typed: %v", err)
+			}
+			if p == nil && err == nil {
+				t.Fatal("whomp salvage returned neither profile nor error")
+			}
+			if p != nil && int64(p.Records) > totalEvents {
+				t.Fatalf("whomp salvaged %d records from %d events", p.Records, totalEvents)
+			}
+		case "leap":
+			p, err := leap.FromSourceSalvage(ctx, "soak", r, sites, 0, 4)
+			if err != nil && !isTypedFault(err) {
+				t.Fatalf("leap salvage error not typed: %v", err)
+			}
+			if p == nil && err == nil {
+				t.Fatal("leap salvage returned neither profile nor error")
+			}
+		}
+		cancel()
+		st := r.Stats()
+		if st.Events < 0 || st.Events > totalEvents {
+			t.Fatalf("reader stats inconsistent: delivered %d of %d", st.Events, totalEvents)
+		}
+	}
+}
+
+func soakWorkloads(t *testing.T) []string {
+	if testing.Short() {
+		return []string{"linkedlist", "181.mcf"}
+	}
+	return append(workloads.Names(), "linkedlist")
+}
+
+func soakOffsets(rng *rand.Rand, size int64, n int) []int64 {
+	offs := make([]int64, n)
+	for i := range offs {
+		offs[i] = rng.Int63n(size)
+	}
+	return offs
+}
+
+// TestSoakCorruptByte: single flipped bytes at random offsets, including
+// inside the header.
+func TestSoakCorruptByte(t *testing.T) {
+	soakLeakCheck(t)
+	rng := rand.New(rand.NewSource(1))
+	nOffsets := 6
+	if testing.Short() {
+		nOffsets = 2
+	}
+	for _, name := range soakWorkloads(t) {
+		buf, sites, encoded := recordWorkload(t, name)
+		total := int64(buf.Len())
+		for _, off := range soakOffsets(rng, int64(len(encoded)), nOffsets) {
+			damaged, err := io.ReadAll(faultinject.CorruptByte(bytes.NewReader(encoded), off, byte(rng.Intn(256))))
+			if err != nil {
+				t.Fatal(err)
+			}
+			runSalvage(t, damaged, sites, total)
+		}
+	}
+}
+
+// TestSoakTruncation: traces cut off at random points, including inside
+// the header and mid-frame.
+func TestSoakTruncation(t *testing.T) {
+	soakLeakCheck(t)
+	rng := rand.New(rand.NewSource(2))
+	nOffsets := 6
+	if testing.Short() {
+		nOffsets = 2
+	}
+	for _, name := range soakWorkloads(t) {
+		buf, sites, encoded := recordWorkload(t, name)
+		total := int64(buf.Len())
+		for _, cut := range soakOffsets(rng, int64(len(encoded)), nOffsets) {
+			damaged, err := io.ReadAll(faultinject.Truncate(bytes.NewReader(encoded), cut))
+			if err != nil {
+				t.Fatal(err)
+			}
+			runSalvage(t, damaged, sites, total)
+		}
+	}
+}
+
+// TestSoakFieldFlip: decoded events mutated in flight — wrong kinds,
+// garbage addresses, zero sizes. The pipeline must absorb them (they are
+// semantically wrong but structurally deliverable) without crashing.
+func TestSoakFieldFlip(t *testing.T) {
+	soakLeakCheck(t)
+	rng := rand.New(rand.NewSource(3))
+	mutations := []func(*trace.Event){
+		func(e *trace.Event) { e.Kind = trace.EventKind(250) },
+		func(e *trace.Event) { e.Addr = ^trace.Addr(0) },
+		func(e *trace.Event) { e.Size = 0 },
+		func(e *trace.Event) { e.Kind, e.Size = trace.EvAlloc, 0 },
+		func(e *trace.Event) { e.Kind = trace.EvFree },
+	}
+	for _, name := range soakWorkloads(t) {
+		buf, sites, _ := recordWorkload(t, name)
+		for i, mutate := range mutations {
+			n := rng.Int63n(int64(buf.Len()))
+			ctx := context.Background()
+			src := faultinject.FlipField(buf.Source(), n, mutate)
+			p, err := whomp.FromSourceSalvage(ctx, "soak", src, sites, 2)
+			if err != nil && !isTypedFault(err) {
+				t.Fatalf("mutation %d: error not typed: %v", i, err)
+			}
+			if p == nil && err == nil {
+				t.Fatalf("mutation %d: neither profile nor error", i)
+			}
+		}
+	}
+}
+
+// TestSoakProducerPanic: the source itself panics mid-stream; DrainSalvage
+// must contain it and hand back the partial profile with a *PanicError.
+func TestSoakProducerPanic(t *testing.T) {
+	soakLeakCheck(t)
+	rng := rand.New(rand.NewSource(4))
+	for _, name := range soakWorkloads(t) {
+		buf, sites, _ := recordWorkload(t, name)
+		n := 1 + rng.Int63n(int64(buf.Len())-1)
+		src := faultinject.PanicAfter(buf.Source(), n)
+		p, err := leap.FromSourceSalvage(context.Background(), "soak", src, sites, 0, 4)
+		var pe *trace.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("%s: err = %v, want *trace.PanicError", name, err)
+		}
+		if p == nil {
+			t.Fatalf("%s: no partial profile", name)
+		}
+	}
+}
+
+// TestSoakWorkerPanic: a compression worker crashes on a random record;
+// the sharded stage must contain it, finish the surviving shards, and
+// report a *WorkerError.
+func TestSoakWorkerPanic(t *testing.T) {
+	soakLeakCheck(t)
+	rng := rand.New(rand.NewSource(5))
+	for _, name := range soakWorkloads(t) {
+		buf, sites, _ := recordWorkload(t, name)
+		records, _, err := profiler.TranslateSourceSalvage(context.Background(), buf.Source(), sites)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(records) < 4 {
+			continue
+		}
+		// Round-robin sharding guarantees worker 0 sees len/4 records, so a
+		// crash index drawn from that range always fires.
+		crashAt := uint64(rng.Int63n(int64(len(records) / 4)))
+		var rr int
+		sh := profiler.NewSharded(4, 64, func(r profiler.Record, n int) int {
+			rr++
+			return rr % n
+		}, func(i int) profiler.SCC {
+			scc := leap.NewSCC(0)
+			if i == 0 {
+				return faultinject.PanicSCC(scc, crashAt)
+			}
+			return scc
+		})
+		for _, r := range records {
+			sh.Consume(r)
+		}
+		sh.Finish()
+		var we *profiler.WorkerError
+		if err := sh.Err(); !errors.As(err, &we) {
+			t.Fatalf("%s: Err = %v, want *WorkerError", name, err)
+		} else if we.Worker != 0 {
+			t.Fatalf("%s: crashed worker = %d, want 0", name, we.Worker)
+		}
+	}
+}
+
+// TestSoakStallDeadline: a producer stalls mid-stream against a deadline;
+// the drain must notice the overrun at the next event and return
+// DeadlineExceeded with the partial profile, promptly.
+func TestSoakStallDeadline(t *testing.T) {
+	soakLeakCheck(t)
+	rng := rand.New(rand.NewSource(6))
+	for _, name := range soakWorkloads(t) {
+		buf, sites, _ := recordWorkload(t, name)
+		n := rng.Int63n(int64(buf.Len()))
+		src := faultinject.Stall(buf.Source(), n, 300*time.Millisecond)
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		start := time.Now()
+		p, err := whomp.FromSourceSalvage(ctx, "soak", src, sites, 2)
+		cancel()
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("%s: err = %v, want DeadlineExceeded", name, err)
+		}
+		if p == nil {
+			t.Fatalf("%s: no partial profile", name)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("%s: salvage took %v after a 300ms stall", name, elapsed)
+		}
+	}
+}
+
+// TestSoakSingleFrameLossIsExact pins the headline guarantee at the pipeline
+// level: corrupt exactly one frame of a recorded trace and the salvaged
+// profile is built from exactly every other frame's events.
+func TestSoakSingleFrameLossIsExact(t *testing.T) {
+	soakLeakCheck(t)
+	buf, sites, _ := recordWorkload(t, "linkedlist")
+	// Re-encode with a small fixed batch so the trace has many frames.
+	const batch = 64
+	var enc bytes.Buffer
+	tw := tracefmt.NewWriter(&enc, tracefmt.WithName("exact"), tracefmt.WithBatch(batch))
+	tw.SetSites(sites)
+	for _, e := range buf.Events {
+		tw.Emit(e)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	encoded := enc.Bytes()
+	total := int64(buf.Len())
+
+	// Find the third frame by scanning for the sync marker and corrupt a
+	// payload byte well inside it.
+	off := 0
+	for i := 0; i < 3; i++ {
+		idx := bytes.Index(encoded[off+1:], []byte(tracefmt.FrameMagic))
+		if idx < 0 {
+			t.Fatal("trace has too few frames")
+		}
+		off += 1 + idx
+	}
+	damaged := bytes.Clone(encoded)
+	damaged[off+16] ^= 0xa5
+
+	r, err := lenientSource(damaged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, serr := stride.IdealFromSourceSalvage(context.Background(), r)
+	var ce *tracefmt.CorruptionError
+	if !errors.As(serr, &ce) {
+		t.Fatalf("err = %v, want *CorruptionError", serr)
+	}
+	st := r.Stats()
+	if st.SkippedFrames != 1 || st.Corruptions != 1 {
+		t.Fatalf("SkippedFrames/Corruptions = %d/%d, want 1/1", st.SkippedFrames, st.Corruptions)
+	}
+	if st.SkippedEvents != batch {
+		t.Fatalf("SkippedEvents = %d, want exactly one frame (%d)", st.SkippedEvents, batch)
+	}
+	if st.Events != total-batch {
+		t.Fatalf("delivered %d events, want %d (all but one frame)", st.Events, total-batch)
+	}
+	if p == nil {
+		t.Fatal("no salvaged profiler")
+	}
+}
