@@ -19,20 +19,26 @@ test: build
 	$(GO) test ./...
 
 # Tier-2: race-detect the parallel pipeline — the sharded/broadcast fan-out
-# stages and their consumers — plus the trace codec and CLI plumbing, then
+# stages and their consumers — plus the trace codec, the CLI plumbing, and
+# the networked service layer (server, sessions, client, checkpoints), then
 # style checks and a short fuzz of every binary decoder. Run this for any
 # change touching internal/profiler, internal/whomp, internal/leap,
-# internal/stride, internal/tracefmt, or internal/cliutil.
+# internal/stride, internal/tracefmt, internal/cliutil, internal/serve, or
+# internal/checkpoint.
 test-race: vet
 	$(GO) test -race ./internal/profiler/... ./internal/whomp/... \
 		./internal/leap/... ./internal/stride/... ./internal/decomp/... \
-		./internal/tracefmt/... ./internal/cliutil/...
+		./internal/tracefmt/... ./internal/cliutil/... \
+		./internal/serve/... ./internal/checkpoint/...
 	$(MAKE) fuzz-short
 
 # Fault-tolerance soak: every workload × every fault class (corrupt byte,
 # truncation, field flip, producer/worker panic, stall + deadline) through
-# the salvage paths, with goroutine-leak checks. Run this for any change
-# touching the error model, tracefmt resync, or the salvage entry points.
+# the salvage paths, plus the network soak (daemon kill/restart with
+# resume, connection resets, stalled reads, partial writes, refused
+# connections), with goroutine-leak checks. Run this for any change
+# touching the error model, tracefmt resync, the salvage entry points, or
+# the service layer.
 test-soak: build
 	$(GO) test -run 'TestSoak' -timeout 600s -v .
 

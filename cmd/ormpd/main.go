@@ -1,0 +1,98 @@
+// Command ormpd is the networked trace-ingestion daemon: it accepts
+// ORMTRACE-v3 frames over TCP (the ORMP/1 protocol, see docs/FORMATS.md),
+// feeds them through the streaming WHOMP/LEAP/stride pipelines, and
+// writes the finished profiles to the output directory. Sessions are
+// periodically checkpointed to disk; after a crash, restarting with
+// -resume lets clients continue from the last durable frame with no
+// profile difference versus an uninterrupted run.
+//
+// Usage:
+//
+//	ormpd -listen 127.0.0.1:7417 -checkpoints ck/ -out profiles/ [-resume]
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: live sessions drain until
+// -drain-timeout, then everything is checkpointed and partial profiles
+// are flushed. Exit codes: 0 clean, 2 if the drain deadline cut sessions
+// short (their state is still durable), 1 on hard errors.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ormprof/internal/cliutil"
+	"ormprof/internal/serve"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", "127.0.0.1:7417", "TCP address to listen on")
+		ckDir      = flag.String("checkpoints", "ormpd-checkpoints", "directory for session checkpoints")
+		outDir     = flag.String("out", "ormpd-profiles", "directory for finished profiles")
+		resume     = flag.Bool("resume", false, "load existing checkpoints so interrupted sessions continue where they left off")
+		maxSess    = flag.Int("max-sessions", 16, "maximum concurrently connected sessions (excess connections are told to retry)")
+		maxQueued  = flag.Int64("max-queued-bytes", 64<<20, "maximum queued-but-unapplied frame bytes across all sessions before new connections are told to retry")
+		ckEvery    = flag.Int("checkpoint-every", 32, "checkpoint (and acknowledge) after this many frames")
+		ckInterval = flag.Duration("checkpoint-interval", time.Second, "also checkpoint this long after the first unacknowledged frame")
+		idle       = flag.Duration("idle-timeout", 30*time.Second, "disconnect (and checkpoint) a session after this long without a message")
+		retryAfter = flag.Duration("retry-after", 500*time.Millisecond, "retry-after hint sent with admission rejections")
+		maxLMADs   = flag.Int("max-lmads", 0, "LEAP descriptor budget per stream (0 = paper default)")
+		drain      = flag.Duration("drain-timeout", 10*time.Second, "how long a graceful shutdown waits for live sessions to finish")
+		quiet      = flag.Bool("quiet", false, "suppress per-session log lines")
+	)
+	flag.Parse()
+	cliutil.Fatal("ormpd", run(*listen, serve.Config{
+		CheckpointDir:      *ckDir,
+		OutputDir:          *outDir,
+		Resume:             *resume,
+		MaxSessions:        *maxSess,
+		MaxQueuedBytes:     *maxQueued,
+		CheckpointEvery:    *ckEvery,
+		CheckpointInterval: *ckInterval,
+		IdleTimeout:        *idle,
+		RetryAfter:         *retryAfter,
+		MaxLMADs:           *maxLMADs,
+	}, *drain, *quiet))
+}
+
+func run(listen string, cfg serve.Config, drain time.Duration, quiet bool) error {
+	if !quiet {
+		logger := log.New(os.Stderr, "ormpd: ", log.LstdFlags)
+		cfg.Logf = logger.Printf
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	srv, err := serve.New(ln, cfg)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "ormpd: listening on %s\n", srv.Addr())
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-sigCtx.Done():
+	}
+	stop()
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err = srv.Shutdown(ctx)
+	<-serveErr
+	return err // nil, or DeadlineExceeded (degraded: sessions cut short but durable)
+}

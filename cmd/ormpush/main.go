@@ -1,0 +1,164 @@
+// Command ormpush streams a trace into an ormpd daemon: either a
+// recorded .ormtrace file (-replay) or a live workload run. The stream
+// is cut into standalone ORMTRACE-v3 frames and pushed over the ORMP/1
+// protocol with per-attempt timeouts, exponential backoff with jitter,
+// and resume-from-last-acknowledged-frame across reconnects — a daemon
+// restart mid-stream costs a retry, not the run.
+//
+// Usage:
+//
+//	ormpush -addr 127.0.0.1:7417 -workload linkedlist
+//	ormpush -addr 127.0.0.1:7417 -replay trace.ormtrace -session run7
+//
+// Exit codes: 0 when the server confirms the complete stream, 2 when the
+// retry budget is exhausted (the server keeps what was acknowledged;
+// re-running the same -session resumes), 1 on hard errors.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ormprof/internal/cliutil"
+	"ormprof/internal/memsim"
+	"ormprof/internal/serve"
+	"ormprof/internal/trace"
+	"ormprof/internal/tracefmt"
+	"ormprof/internal/workloads"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7417", "ormpd TCP address")
+		session  = flag.String("session", "", "session identifier for resume across reconnects and daemon restarts (default: the workload name)")
+		workload = flag.String("workload", "", "run this workload live and push its trace")
+		scale    = flag.Int("scale", 1, "workload scale factor")
+		seed     = flag.Int64("seed", 42, "workload random seed")
+		replay   = flag.String("replay", "", "push a recorded trace file instead of running a workload")
+		batch    = flag.Int("batch", tracefmt.DefaultBatch, "events per pushed frame")
+		window   = flag.Int("window", 64, "maximum unacknowledged frames in flight")
+		attempt  = flag.Duration("attempt-timeout", 10*time.Second, "timeout for each network operation")
+		retries  = flag.Int("max-attempts", 8, "consecutive failed attempts before giving up (progress resets the count)")
+		backoff  = flag.Duration("backoff", 50*time.Millisecond, "base delay between attempts (doubles per failure, with jitter)")
+		backMax  = flag.Duration("backoff-max", 2*time.Second, "backoff cap")
+		jitter   = flag.Int64("jitter-seed", 0, "seed for backoff jitter (0 = default; fixed seeds reproduce retry schedules)")
+		quiet    = flag.Bool("quiet", false, "suppress per-attempt log lines")
+	)
+	flag.Parse()
+	if err := run(*addr, *session, *workload, workloads.Config{Scale: *scale, Seed: *seed},
+		*replay, *batch, *window, *attempt, *retries, *backoff, *backMax, *jitter, *quiet); err != nil {
+		fmt.Fprintf(os.Stderr, "ormpush: %v\n", err)
+		var ex *serve.ExhaustedError
+		if errors.As(err, &ex) {
+			os.Exit(2) // degraded: acknowledged frames are durable server-side
+		}
+		os.Exit(cliutil.ExitCode(err))
+	}
+}
+
+func run(addr, session, workload string, cfg workloads.Config, replay string,
+	batch, window int, attempt time.Duration, retries int,
+	backoff, backMax time.Duration, jitter int64, quiet bool) error {
+	if batch < 1 || batch > tracefmt.MaxBatch {
+		return fmt.Errorf("-batch must be in [1, %d]", tracefmt.MaxBatch)
+	}
+	name, sites, events, err := loadEvents(workload, cfg, replay)
+	if err != nil {
+		return err
+	}
+	frames, err := cutFrames(events, batch)
+	if err != nil {
+		return err
+	}
+	if session == "" {
+		session = name
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	ccfg := serve.ClientConfig{
+		Addr:           addr,
+		SessionID:      session,
+		Workload:       name,
+		Sites:          sites,
+		AttemptTimeout: attempt,
+		MaxAttempts:    retries,
+		BackoffBase:    backoff,
+		BackoffMax:     backMax,
+		JitterSeed:     jitter,
+		Window:         window,
+	}
+	if !quiet {
+		ccfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "ormpush: "+format+"\n", args...)
+		}
+	}
+	stats, err := serve.Push(ctx, ccfg, frames)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pushed %s: %d frames (%d events) in %d attempt(s)\n",
+		name, len(frames), len(events), stats.Attempts)
+	return nil
+}
+
+// loadEvents materializes the event stream to push: a recorded trace's
+// events (strict read — a damaged trace should be salvaged with tracecat
+// first, not silently pushed) or a live workload run.
+func loadEvents(workload string, cfg workloads.Config, replay string) (string, map[trace.SiteID]string, []trace.Event, error) {
+	if replay != "" {
+		if workload != "" {
+			return "", nil, nil, fmt.Errorf("-workload and -replay are mutually exclusive")
+		}
+		f, err := os.Open(replay)
+		if err != nil {
+			return "", nil, nil, err
+		}
+		defer f.Close()
+		r, err := tracefmt.NewReader(f)
+		if err != nil {
+			return "", nil, nil, fmt.Errorf("%s: %w", replay, err)
+		}
+		buf := &trace.Buffer{}
+		if _, err := trace.Drain(r, buf); err != nil {
+			return "", nil, nil, fmt.Errorf("%s: %w", replay, err)
+		}
+		name := r.Name()
+		if name == "" {
+			name = "trace"
+		}
+		return name, r.Sites(), buf.Events, nil
+	}
+	if workload == "" {
+		return "", nil, nil, fmt.Errorf("one of -workload or -replay is required")
+	}
+	prog, err := workloads.New(workload, cfg)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	buf := &trace.Buffer{}
+	m := memsim.Run(prog, buf)
+	return workload, m.StaticSites(), buf.Events, nil
+}
+
+// cutFrames slices events into standalone v3 frames of the batch size.
+func cutFrames(events []trace.Event, batch int) (serve.SliceFrames, error) {
+	var frames serve.SliceFrames
+	for i := 0; i < len(events); i += batch {
+		end := i + batch
+		if end > len(events) {
+			end = len(events)
+		}
+		f, err := tracefmt.EncodeFrame(events[i:end])
+		if err != nil {
+			return nil, err
+		}
+		frames = append(frames, f)
+	}
+	return frames, nil
+}

@@ -1,0 +1,221 @@
+package checkpoint
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ormprof/internal/leap"
+	"ormprof/internal/omc"
+	"ormprof/internal/profiler"
+	"ormprof/internal/stride"
+	"ormprof/internal/trace"
+	"ormprof/internal/whomp"
+)
+
+// buildState assembles a State from real mid-stream profiler pipelines, so
+// round-trip tests cover the actual snapshot types end to end.
+func buildState(t *testing.T, events int) *State {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	sites := map[trace.SiteID]string{1: "alpha", 2: "beta"}
+
+	wOMC := omc.New(sites)
+	wSCC := whomp.NewSCC()
+	wCDC := profiler.NewCDC(wOMC, wSCC)
+	lOMC := omc.New(sites)
+	lSCC := leap.NewSCC(8)
+	lCDC := profiler.NewCDC(lOMC, lSCC)
+	ideal := stride.NewIdeal()
+
+	for i := 0; i < events; i++ {
+		var e trace.Event
+		switch rng.Intn(8) {
+		case 0:
+			e = trace.Event{Kind: trace.EvAlloc, Site: trace.SiteID(rng.Intn(2) + 1),
+				Addr: trace.Addr(0x1000 + rng.Intn(32)*0x100), Size: 128, Time: trace.Time(i)}
+		case 1:
+			e = trace.Event{Kind: trace.EvFree, Addr: trace.Addr(0x1000 + rng.Intn(32)*0x100), Time: trace.Time(i)}
+		default:
+			e = trace.Event{Kind: trace.EvAccess, Instr: trace.InstrID(rng.Intn(5) + 1),
+				Addr: trace.Addr(0x1000 + rng.Intn(0x2200)), Time: trace.Time(i)}
+		}
+		wCDC.Emit(e)
+		lCDC.Emit(e)
+		ideal.Emit(e)
+	}
+
+	wo, err := wOMC.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := wSCC.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := lOMC.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &State{
+		SessionID:     "sess-1",
+		Workload:      "synthetic",
+		Sites:         SortSites(sites),
+		FramesApplied: 7,
+		EventsApplied: uint64(events),
+		WhompOMC:      wo,
+		Whomp:         ws,
+		LeapOMC:       lo,
+		Leap:          lSCC.Snapshot(),
+		Stride:        ideal.Snapshot(),
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	st := buildState(t, 3000)
+	path := PathFor(t.TempDir(), st.SessionID)
+	if err := Save(path, st); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Error("Save left its temp file behind")
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, st) {
+		t.Error("loaded state differs from saved state")
+	}
+	// The restored snapshots must actually reconstruct working pipelines.
+	if _, err := omc.FromSnapshot(got.WhompOMC); err != nil {
+		t.Errorf("restored WHOMP OMC: %v", err)
+	}
+	if _, err := whomp.SCCFromSnapshot(got.Whomp); err != nil {
+		t.Errorf("restored WHOMP SCC: %v", err)
+	}
+	if _, err := leap.SCCFromSnapshot(got.Leap); err != nil {
+		t.Errorf("restored LEAP SCC: %v", err)
+	}
+	if _, err := stride.FromSnapshot(got.Stride); err != nil {
+		t.Errorf("restored stride profiler: %v", err)
+	}
+}
+
+// TestLoadRejectsDamage flips or truncates bytes all over the file and
+// requires every damaged variant to fail with *CorruptError — never decode
+// silently, never panic.
+func TestLoadRejectsDamage(t *testing.T) {
+	st := buildState(t, 400)
+	dir := t.TempDir()
+	path := PathFor(dir, st.SessionID)
+	if err := Save(path, st); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := len(orig)/64 + 1
+	for off := 0; off < len(orig); off += step {
+		bad := append([]byte(nil), orig...)
+		bad[off] ^= 0x41
+		p := filepath.Join(dir, "bad.ckpt")
+		if err := os.WriteFile(p, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(p); err == nil {
+			t.Fatalf("flip at %d: Load accepted a damaged checkpoint", off)
+		} else if !IsCorrupt(err) {
+			t.Fatalf("flip at %d: error %v is not a CorruptError", off, err)
+		}
+	}
+	for _, n := range []int{0, 3, len(Magic), len(Magic) + 5, len(orig) / 2, len(orig) - 1} {
+		p := filepath.Join(dir, "trunc.ckpt")
+		if err := os.WriteFile(p, orig[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(p); !IsCorrupt(err) {
+			t.Fatalf("truncation to %d: want CorruptError, got %v", n, err)
+		}
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	_, err := Load(filepath.Join(t.TempDir(), "nope.ckpt"))
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("want os.ErrNotExist, got %v", err)
+	}
+}
+
+// TestSaveOverwriteAtomic: overwriting a checkpoint leaves either the old
+// or the new state readable at every step (no in-place truncation window).
+func TestSaveOverwriteAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := PathFor(dir, "s")
+	st1 := buildState(t, 200)
+	st2 := buildState(t, 900)
+	st2.FramesApplied = 99
+	if err := Save(path, st1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(path, st2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FramesApplied != 99 {
+		t.Errorf("FramesApplied = %d, want the newer state's 99", got.FramesApplied)
+	}
+}
+
+// TestLoadDirSkipsCorrupt: one damaged checkpoint must not block resuming
+// the healthy sessions.
+func TestLoadDirSkipsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	good := buildState(t, 300)
+	if err := Save(PathFor(dir, good.SessionID), good); err != nil {
+		t.Fatal(err)
+	}
+	other := buildState(t, 100)
+	other.SessionID = "sess-2"
+	if err := Save(PathFor(dir, other.SessionID), other); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "junk.ckpt"), []byte("ORMCKPTgarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("ignore me"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	states, skipped, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 2 || states["sess-1"] == nil || states["sess-2"] == nil {
+		t.Errorf("LoadDir found sessions %v, want sess-1 and sess-2", keysOf(states))
+	}
+	if len(skipped) != 1 {
+		t.Errorf("skipped %v, want exactly the junk file", skipped)
+	}
+}
+
+func keysOf(m map[string]*State) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+func TestPathForSanitizes(t *testing.T) {
+	p := PathFor("/tmp/ckpt", "../../etc/passwd")
+	if filepath.Dir(p) != "/tmp/ckpt" {
+		t.Fatalf("PathFor escaped the checkpoint directory: %s", p)
+	}
+}

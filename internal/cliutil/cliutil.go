@@ -57,7 +57,10 @@ type TraceFlags struct {
 	// Lenient: tolerate damaged trace frames on replay, resynchronizing
 	// past corruption and salvaging every frame that still decodes.
 	Lenient bool
-	// Deadline bounds each pass over the event stream; 0 means none.
+	// Deadline is a total time budget for the invocation's event-stream
+	// work, shared by every pass; 0 means none. The clock starts at the
+	// first pass, so a tool that makes three passes gets one budget, not
+	// three.
 	Deadline time.Duration
 }
 
@@ -71,7 +74,7 @@ func RegisterTraceFlags(fs *flag.FlagSet) *TraceFlags {
 	fs.BoolVar(&t.Lenient, "lenient", false,
 		"tolerate corrupt frames in the -replay trace: skip damage, salvage the rest (exit code 2 if events were lost)")
 	fs.DurationVar(&t.Deadline, "deadline", 0,
-		"per-pass deadline (e.g. 30s); an overrunning pass stops and reports the partial result (exit code 2)")
+		"total time budget (e.g. 30s) shared by all passes over the event stream; an overrunning pass stops and reports the partial result (exit code 2)")
 	return t
 }
 
@@ -94,6 +97,7 @@ type Events struct {
 
 	lenient  bool
 	deadline time.Duration
+	budget   time.Time      // absolute cutoff shared by all passes; set at the first pass
 	stats    tracefmt.Stats // reader stats from the most recent replay pass
 }
 
@@ -167,16 +171,22 @@ func openReplay(path string) (*Events, error) {
 
 // Pass streams one complete pass of the event stream into sink and reports
 // the number of events delivered. Replay passes hold O(batch) events in
-// memory; live passes replay the run's buffer. Each pass gets a fresh
-// deadline context when -deadline is set; with -lenient the replay reader
-// resynchronizes past damaged frames and the pass returns the salvaged
-// count alongside a *tracefmt.CorruptionError. Either way a non-nil error
-// accompanied by n > 0 means partial results were delivered, not none.
+// memory; live passes replay the run's buffer. When -deadline is set, all
+// passes of the invocation share one time budget (the clock starts at the
+// first pass), so -deadline bounds the tool's total event-stream work
+// rather than multiplying by the pass count; with -lenient the replay
+// reader resynchronizes past damaged frames and the pass returns the
+// salvaged count alongside a *tracefmt.CorruptionError. Either way a
+// non-nil error accompanied by n > 0 means partial results were
+// delivered, not none.
 func (ev *Events) Pass(sink trace.Sink) (int, error) {
 	ctx := context.Background()
 	if ev.deadline > 0 {
+		if ev.budget.IsZero() {
+			ev.budget = time.Now().Add(ev.deadline)
+		}
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, ev.deadline)
+		ctx, cancel = context.WithDeadline(ctx, ev.budget)
 		defer cancel()
 	}
 	if ev.path == "" {

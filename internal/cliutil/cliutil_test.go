@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"ormprof/internal/profiler"
 	"ormprof/internal/trace"
@@ -284,5 +285,46 @@ func TestDegradedAccumulator(t *testing.T) {
 	hard := os.ErrNotExist
 	if err := deg.Check(hard); err != hard {
 		t.Errorf("hard error filtered: %v", err)
+	}
+}
+
+// TestDeadlineSharedAcrossPasses: -deadline is one budget for the whole
+// invocation, not a fresh allowance per pass. A budget generous enough
+// for the first pass but exhausted afterwards must cut the second pass
+// short with a salvaged (deadline) error, while without a deadline both
+// passes complete.
+func TestDeadlineSharedAcrossPasses(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.ormtrace")
+	cfg := workloads.Config{Scale: 1, Seed: 42}
+	if _, err := (&TraceFlags{Record: path}).Load("linkedlist", cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	ev, err := (&TraceFlags{Replay: path, Deadline: 5 * time.Minute}).Load("", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Pass(trace.Discard); err != nil {
+		t.Fatalf("first pass within budget: %v", err)
+	}
+	// Exhaust the shared budget; the next pass must hit the same clock.
+	ev.budget = time.Now().Add(-time.Second)
+	if _, err := ev.Pass(trace.Discard); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("second pass after budget exhaustion: got %v, want DeadlineExceeded", err)
+	}
+	if !Salvaged(err) && err != nil {
+		t.Fatalf("deadline overrun not salvaged: %v", err)
+	}
+
+	// Sanity: with no deadline, repeated passes never expire.
+	ev2, err := (&TraceFlags{Replay: path}).Load("", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := ev2.Pass(trace.Discard); err != nil {
+			t.Fatalf("pass %d without deadline: %v", i, err)
+		}
 	}
 }

@@ -1,0 +1,150 @@
+package faultinject
+
+// Network fault injection for the ormpd service layer: deterministic
+// net.Conn and net.Listener wrappers covering the fault classes a
+// trace-pushing client must survive — connections reset mid-frame,
+// reads that stall against deadlines, writes that land partially before
+// failing, and listeners that refuse service. As with the stream
+// wrappers above, the same parameters always produce the same fault at
+// the same byte position.
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjectedReset is the error surfaced by connections cut by
+// ResetAfterBytes and PartialWrite — a stand-in for ECONNRESET.
+var ErrInjectedReset = errors.New("faultinject: injected connection reset")
+
+// ErrRefused is the error surfaced by RefuseListener for refused
+// connections — a stand-in for ECONNREFUSED.
+var ErrRefused = errors.New("faultinject: injected connection refusal")
+
+// ResetAfterBytes wraps conn so the connection dies (both directions,
+// ErrInjectedReset) once n total bytes have been written through it. The
+// cut lands mid-frame for any n that is not a frame boundary, which is
+// exactly the interesting case.
+func ResetAfterBytes(conn net.Conn, n int64) net.Conn {
+	return &resetConn{Conn: conn, budget: n}
+}
+
+type resetConn struct {
+	net.Conn
+	budget int64 // remaining write bytes before the reset
+	dead   atomic.Bool
+}
+
+func (c *resetConn) Write(p []byte) (int, error) {
+	if c.dead.Load() {
+		return 0, ErrInjectedReset
+	}
+	if int64(len(p)) >= c.budget {
+		k := int(c.budget)
+		if k > 0 {
+			c.Conn.Write(p[:k])
+		}
+		c.dead.Store(true)
+		c.Conn.Close()
+		return k, ErrInjectedReset
+	}
+	c.budget -= int64(len(p))
+	return c.Conn.Write(p)
+}
+
+func (c *resetConn) Read(p []byte) (int, error) {
+	if c.dead.Load() {
+		return 0, ErrInjectedReset
+	}
+	return c.Conn.Read(p)
+}
+
+// StallConn wraps conn so that after n bytes have been read through it,
+// every subsequent Read blocks for d before touching the network — a
+// peer that stops talking. Reads still honor the connection deadline,
+// so the victim's idle timeout is what cuts the stall short.
+func StallConn(conn net.Conn, n int64, d time.Duration) net.Conn {
+	return &stallConn{Conn: conn, after: n, d: d}
+}
+
+type stallConn struct {
+	net.Conn
+	after int64
+	d     time.Duration
+	got   atomic.Int64
+}
+
+func (c *stallConn) Read(p []byte) (int, error) {
+	if c.got.Load() >= c.after {
+		time.Sleep(c.d)
+	}
+	n, err := c.Conn.Read(p)
+	c.got.Add(int64(n))
+	return n, err
+}
+
+// PartialWrite wraps conn so its k-th Write (1-based) delivers only half
+// the buffer before failing with ErrInjectedReset and killing the
+// connection — a send buffer torn mid-flush.
+func PartialWrite(conn net.Conn, k int) net.Conn {
+	return &partialConn{Conn: conn, k: int64(k)}
+}
+
+type partialConn struct {
+	net.Conn
+	k      int64
+	writes atomic.Int64
+}
+
+func (c *partialConn) Write(p []byte) (int, error) {
+	if c.writes.Add(1) == c.k {
+		n, _ := c.Conn.Write(p[:len(p)/2])
+		c.Conn.Close()
+		return n, ErrInjectedReset
+	}
+	return c.Conn.Write(p)
+}
+
+// RefuseListener wraps ln so its first n accepted connections are closed
+// immediately — from the client's perspective, the dial succeeds and the
+// first read or write then fails, which is how a refusing or crashing
+// server commonly manifests through loopback.
+func RefuseListener(ln net.Listener, n int) net.Listener {
+	return &refuseListener{Listener: ln, budget: int64(n)}
+}
+
+type refuseListener struct {
+	net.Listener
+	budget int64
+	done   atomic.Int64
+}
+
+func (l *refuseListener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		if l.done.Add(1) > l.budget {
+			return conn, nil
+		}
+		conn.Close()
+	}
+}
+
+// FaultyDialer composes a dial function whose i-th connection (1-based)
+// is wrapped by wrap(i, conn). It is the hook Push's Dial option wants:
+// schedule a different fault per attempt and the whole scenario stays
+// reproducible.
+func FaultyDialer(dial func() (net.Conn, error), wrap func(attempt int, conn net.Conn) net.Conn) func() (net.Conn, error) {
+	var attempts atomic.Int64
+	return func() (net.Conn, error) {
+		conn, err := dial()
+		if err != nil {
+			return nil, err
+		}
+		return wrap(int(attempts.Add(1)), conn), nil
+	}
+}

@@ -1,0 +1,104 @@
+package leap
+
+import (
+	"fmt"
+
+	"ormprof/internal/decomp"
+	"ormprof/internal/lmad"
+	"ormprof/internal/trace"
+)
+
+// This file implements exact SCC snapshots for checkpoint/resume
+// (internal/checkpoint): the per-(instruction, group) compressor states —
+// including their in-progress pattern cursors — plus the execution and
+// store-kind tables, captured as pure data.
+
+// StreamSnapshot is the complete state of one (instruction, group) stream.
+type StreamSnapshot struct {
+	Key     StreamKey
+	Store   bool
+	Timed   *lmad.CompressorSnapshot
+	Untimed *lmad.RepeatSnapshot
+}
+
+// InstrCount is one instruction's execution count.
+type InstrCount struct {
+	Instr trace.InstrID
+	Execs uint64
+	Store bool
+}
+
+// SCCSnapshot is the complete mutable state of a LEAP SCC. Streams and
+// Instrs are sorted by key so equal SCCs produce equal snapshots.
+type SCCSnapshot struct {
+	MaxLMADs int
+	Records  uint64
+	Streams  []StreamSnapshot
+	Instrs   []InstrCount
+}
+
+// Snapshot captures the SCC's complete state; the result shares no memory
+// with the live SCC.
+func (s *SCC) Snapshot() *SCCSnapshot {
+	snap := &SCCSnapshot{
+		MaxLMADs: s.maxLMADs,
+		Records:  s.records,
+		Streams:  make([]StreamSnapshot, 0, len(s.compressors)),
+		Instrs:   make([]InstrCount, 0, len(s.instrExecs)),
+	}
+	for _, k := range decomp.SortedKeys(s.compressors) {
+		c := s.compressors[k]
+		snap.Streams = append(snap.Streams, StreamSnapshot{
+			Key:     k,
+			Store:   c.store,
+			Timed:   c.timed.Snapshot(),
+			Untimed: c.untimed.Snapshot(),
+		})
+	}
+	for _, instr := range decomp.SortedInstrs(s.instrExecs) {
+		snap.Instrs = append(snap.Instrs, InstrCount{
+			Instr: instr,
+			Execs: s.instrExecs[instr],
+			Store: s.instrStore[instr],
+		})
+	}
+	return snap
+}
+
+// SCCFromSnapshot reconstructs an SCC that behaves identically to the
+// snapshotted one for all future records.
+func SCCFromSnapshot(snap *SCCSnapshot) (*SCC, error) {
+	s := NewSCC(snap.MaxLMADs)
+	s.records = snap.Records
+	for _, ss := range snap.Streams {
+		if _, dup := s.compressors[ss.Key]; dup {
+			return nil, fmt.Errorf("leap: duplicate stream %v in snapshot", ss.Key)
+		}
+		if ss.Timed == nil || ss.Untimed == nil {
+			return nil, fmt.Errorf("leap: stream %v missing compressor state", ss.Key)
+		}
+		if ss.Timed.Dims != NumDims {
+			return nil, fmt.Errorf("leap: stream %v timed compressor has %d dims, want %d", ss.Key, ss.Timed.Dims, NumDims)
+		}
+		if ss.Untimed.Dims != 2 {
+			return nil, fmt.Errorf("leap: stream %v untimed compressor has %d dims, want 2", ss.Key, ss.Untimed.Dims)
+		}
+		timed, err := lmad.CompressorFromSnapshot(ss.Timed)
+		if err != nil {
+			return nil, fmt.Errorf("leap: stream %v timed: %w", ss.Key, err)
+		}
+		untimed, err := lmad.RepeatFromSnapshot(ss.Untimed)
+		if err != nil {
+			return nil, fmt.Errorf("leap: stream %v untimed: %w", ss.Key, err)
+		}
+		s.compressors[ss.Key] = &streamState{timed: timed, untimed: untimed, store: ss.Store}
+	}
+	for _, ic := range snap.Instrs {
+		if _, dup := s.instrExecs[ic.Instr]; dup {
+			return nil, fmt.Errorf("leap: duplicate instruction %d in snapshot", ic.Instr)
+		}
+		s.instrExecs[ic.Instr] = ic.Execs
+		s.instrStore[ic.Instr] = ic.Store
+	}
+	return s, nil
+}

@@ -1,0 +1,93 @@
+package leap
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ormprof/internal/omc"
+	"ormprof/internal/profiler"
+	"ormprof/internal/trace"
+)
+
+func snapshotRecords(n int) []profiler.Record {
+	rng := rand.New(rand.NewSource(5))
+	recs := make([]profiler.Record, n)
+	for i := range recs {
+		instr := trace.InstrID(rng.Intn(6) + 1)
+		var ref omc.Ref
+		switch rng.Intn(3) {
+		case 0: // linear sweep within one object
+			ref = omc.Ref{Group: 1, Object: 0, Offset: uint64(i%64) * 8}
+		case 1: // object-hopping
+			ref = omc.Ref{Group: 2, Object: uint32(i % 5), Offset: uint64(i % 16)}
+		default: // noise
+			ref = omc.Ref{Group: omc.GroupID(rng.Intn(3) + 1), Object: uint32(rng.Intn(8)), Offset: uint64(rng.Intn(4096))}
+		}
+		recs[i] = profiler.Record{
+			Instr: instr,
+			Ref:   ref,
+			Time:  trace.Time(i),
+			Store: instr%2 == 0,
+		}
+	}
+	return recs
+}
+
+// TestSCCSnapshotResumeExact: an SCC restored mid-stream and fed the rest of
+// the records must build exactly the profile of an uninterrupted SCC.
+func TestSCCSnapshotResumeExact(t *testing.T) {
+	recs := snapshotRecords(5000)
+	cuts := []int{0, 1, 10, len(recs) / 3, len(recs) / 2, len(recs) - 1, len(recs)}
+	for _, cut := range cuts {
+		full := NewSCC(8)
+		for _, r := range recs {
+			full.Consume(r)
+		}
+
+		s := NewSCC(8)
+		for _, r := range recs[:cut] {
+			s.Consume(r)
+		}
+		restored, err := SCCFromSnapshot(s.Snapshot())
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		for _, r := range recs[cut:] {
+			restored.Consume(r)
+		}
+
+		if !reflect.DeepEqual(restored.Snapshot(), full.Snapshot()) {
+			t.Errorf("cut %d: resumed SCC state differs from uninterrupted run", cut)
+		}
+		if !reflect.DeepEqual(restored.BuildProfile("w"), full.BuildProfile("w")) {
+			t.Errorf("cut %d: resumed profile differs from uninterrupted run", cut)
+		}
+	}
+}
+
+// TestSCCFromSnapshotRejectsCorrupt: broken snapshots error, never panic.
+func TestSCCFromSnapshotRejectsCorrupt(t *testing.T) {
+	mk := func() *SCCSnapshot {
+		s := NewSCC(8)
+		for _, r := range snapshotRecords(500) {
+			s.Consume(r)
+		}
+		return s.Snapshot()
+	}
+	cases := map[string]func(*SCCSnapshot){
+		"dup stream":  func(s *SCCSnapshot) { s.Streams = append(s.Streams, s.Streams[0]) },
+		"nil timed":   func(s *SCCSnapshot) { s.Streams[0].Timed = nil },
+		"nil untimed": func(s *SCCSnapshot) { s.Streams[0].Untimed = nil },
+		"timed dims":  func(s *SCCSnapshot) { s.Streams[0].Timed.Dims = 2 },
+		"dup instr":   func(s *SCCSnapshot) { s.Instrs = append(s.Instrs, s.Instrs[0]) },
+		"bad lmad":    func(s *SCCSnapshot) { s.Streams[0].Untimed.Active = 99 },
+	}
+	for name, corrupt := range cases {
+		s := mk()
+		corrupt(s)
+		if _, err := SCCFromSnapshot(s); err == nil {
+			t.Errorf("%s: SCCFromSnapshot accepted a corrupt snapshot", name)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package lmad
+
+import "fmt"
+
+// This file implements exact compressor snapshots for checkpoint/resume
+// (internal/checkpoint): every piece of mutable state both compressors
+// carry — including the in-progress pattern cursors and the lastSeen point
+// the overflow summary's granularity tracking depends on — captured as
+// pure data, with a restore that reproduces the original's behavior for
+// all future Adds.
+
+func cloneLMADs(ls []LMAD) []LMAD {
+	out := make([]LMAD, len(ls))
+	for i, l := range ls {
+		out[i] = LMAD{
+			Start:  append([]int64(nil), l.Start...),
+			Stride: append([]int64(nil), l.Stride...),
+			Count:  l.Count,
+		}
+	}
+	return out
+}
+
+func cloneSummary(s Summary) Summary {
+	return Summary{
+		Min:         append([]int64(nil), s.Min...),
+		Max:         append([]int64(nil), s.Max...),
+		Granularity: append([]int64(nil), s.Granularity...),
+		Points:      s.Points,
+	}
+}
+
+func checkLMADs(dims int, ls []LMAD) error {
+	for i := range ls {
+		if len(ls[i].Start) != dims || len(ls[i].Stride) != dims {
+			return fmt.Errorf("lmad: descriptor %d has %d/%d dims, want %d",
+				i, len(ls[i].Start), len(ls[i].Stride), dims)
+		}
+		if ls[i].Count == 0 {
+			return fmt.Errorf("lmad: descriptor %d has zero count", i)
+		}
+	}
+	return nil
+}
+
+func checkSummary(dims int, s Summary) error {
+	if s.Min == nil && s.Max == nil && s.Granularity == nil {
+		return nil
+	}
+	if len(s.Min) != dims || len(s.Max) != dims || len(s.Granularity) != dims {
+		return fmt.Errorf("lmad: summary has %d/%d/%d dims, want %d",
+			len(s.Min), len(s.Max), len(s.Granularity), dims)
+	}
+	return nil
+}
+
+// CompressorSnapshot is the complete mutable state of a Compressor.
+type CompressorSnapshot struct {
+	Dims, Max int
+	LMADs     []LMAD
+	Active    int // descriptor being extended, -1 none
+	Overflow  bool
+	Summary   Summary
+	LastSeen  []int64 // previous point (nil before the first Add)
+	Offered   uint64
+	Captured  uint64
+}
+
+// Snapshot captures the compressor's state; the result shares no memory
+// with the live compressor.
+func (c *Compressor) Snapshot() *CompressorSnapshot {
+	return &CompressorSnapshot{
+		Dims:     c.dims,
+		Max:      c.max,
+		LMADs:    cloneLMADs(c.lmads),
+		Active:   c.active,
+		Overflow: c.overflow,
+		Summary:  cloneSummary(c.summary),
+		LastSeen: append([]int64(nil), c.lastSeen...),
+		Offered:  c.offered,
+		Captured: c.captured,
+	}
+}
+
+// CompressorFromSnapshot reconstructs a compressor that behaves identically
+// to the snapshotted one for all future Adds.
+func CompressorFromSnapshot(s *CompressorSnapshot) (*Compressor, error) {
+	if s.Dims <= 0 {
+		return nil, fmt.Errorf("lmad: snapshot dims %d not positive", s.Dims)
+	}
+	if s.Max <= 0 {
+		return nil, fmt.Errorf("lmad: snapshot max %d not positive", s.Max)
+	}
+	if len(s.LMADs) > s.Max {
+		return nil, fmt.Errorf("lmad: snapshot has %d descriptors over budget %d", len(s.LMADs), s.Max)
+	}
+	if s.Active < -1 || s.Active >= len(s.LMADs) {
+		return nil, fmt.Errorf("lmad: snapshot active index %d out of range", s.Active)
+	}
+	if err := checkLMADs(s.Dims, s.LMADs); err != nil {
+		return nil, err
+	}
+	if err := checkSummary(s.Dims, s.Summary); err != nil {
+		return nil, err
+	}
+	if s.LastSeen != nil && len(s.LastSeen) != s.Dims {
+		return nil, fmt.Errorf("lmad: snapshot lastSeen has %d dims, want %d", len(s.LastSeen), s.Dims)
+	}
+	return &Compressor{
+		dims:     s.Dims,
+		max:      s.Max,
+		lmads:    cloneLMADs(s.LMADs),
+		active:   s.Active,
+		overflow: s.Overflow,
+		summary:  cloneSummary(s.Summary),
+		lastSeen: append([]int64(nil), s.LastSeen...),
+		offered:  s.Offered,
+		captured: s.Captured,
+	}, nil
+}
+
+// RepeatSnapshot is the complete mutable state of a RepeatCompressor. The
+// start-point index is not stored: it is derivable (each descriptor is
+// indexed under its start point) and rebuilt on restore.
+type RepeatSnapshot struct {
+	Dims, Max   int
+	LMADs       []RepLMAD
+	Active      int
+	Follow      int
+	FollowPhase uint32
+	Overflow    bool
+	Summary     Summary
+	LastSeen    []int64
+	Offered     uint64
+	Captured    uint64
+	Partials    uint64
+}
+
+func cloneRepLMADs(ls []RepLMAD) []RepLMAD {
+	out := make([]RepLMAD, len(ls))
+	for i, l := range ls {
+		out[i] = RepLMAD{
+			LMAD: LMAD{
+				Start:  append([]int64(nil), l.Start...),
+				Stride: append([]int64(nil), l.Stride...),
+				Count:  l.Count,
+			},
+			Reps: l.Reps,
+		}
+	}
+	return out
+}
+
+// Snapshot captures the compressor's state; the result shares no memory
+// with the live compressor.
+func (c *RepeatCompressor) Snapshot() *RepeatSnapshot {
+	return &RepeatSnapshot{
+		Dims:        c.dims,
+		Max:         c.max,
+		LMADs:       cloneRepLMADs(c.lmads),
+		Active:      c.active,
+		Follow:      c.follow,
+		FollowPhase: c.followPhase,
+		Overflow:    c.overflow,
+		Summary:     cloneSummary(c.summary),
+		LastSeen:    append([]int64(nil), c.lastSeen...),
+		Offered:     c.offered,
+		Captured:    c.captured,
+		Partials:    c.partials,
+	}
+}
+
+// RepeatFromSnapshot reconstructs a repeat-aware compressor that behaves
+// identically to the snapshotted one for all future Adds.
+func RepeatFromSnapshot(s *RepeatSnapshot) (*RepeatCompressor, error) {
+	if s.Dims <= 0 || s.Dims > 4 {
+		return nil, fmt.Errorf("lmad: snapshot dims %d outside 1..4", s.Dims)
+	}
+	if s.Max <= 0 {
+		return nil, fmt.Errorf("lmad: snapshot max %d not positive", s.Max)
+	}
+	if len(s.LMADs) > s.Max {
+		return nil, fmt.Errorf("lmad: snapshot has %d descriptors over budget %d", len(s.LMADs), s.Max)
+	}
+	if s.Active < -1 || s.Active >= len(s.LMADs) {
+		return nil, fmt.Errorf("lmad: snapshot active index %d out of range", s.Active)
+	}
+	if s.Follow < -1 || s.Follow >= len(s.LMADs) {
+		return nil, fmt.Errorf("lmad: snapshot follow index %d out of range", s.Follow)
+	}
+	if s.Follow >= 0 && s.FollowPhase >= s.LMADs[s.Follow].Count {
+		return nil, fmt.Errorf("lmad: snapshot follow phase %d beyond pattern length %d",
+			s.FollowPhase, s.LMADs[s.Follow].Count)
+	}
+	plain := make([]LMAD, len(s.LMADs))
+	for i := range s.LMADs {
+		plain[i] = s.LMADs[i].LMAD
+		if s.LMADs[i].Reps == 0 {
+			return nil, fmt.Errorf("lmad: descriptor %d has zero reps", i)
+		}
+	}
+	if err := checkLMADs(s.Dims, plain); err != nil {
+		return nil, err
+	}
+	if err := checkSummary(s.Dims, s.Summary); err != nil {
+		return nil, err
+	}
+	if s.LastSeen != nil && len(s.LastSeen) != s.Dims {
+		return nil, fmt.Errorf("lmad: snapshot lastSeen has %d dims, want %d", len(s.LastSeen), s.Dims)
+	}
+	c := &RepeatCompressor{
+		dims:        s.Dims,
+		max:         s.Max,
+		lmads:       cloneRepLMADs(s.LMADs),
+		starts:      make(map[startKey]int, len(s.LMADs)),
+		active:      s.Active,
+		follow:      s.Follow,
+		followPhase: s.FollowPhase,
+		overflow:    s.Overflow,
+		summary:     cloneSummary(s.Summary),
+		lastSeen:    append([]int64(nil), s.LastSeen...),
+		offered:     s.Offered,
+		captured:    s.Captured,
+		partials:    s.Partials,
+	}
+	// Each descriptor was indexed under its start point at creation and
+	// entries are never deleted, so the index is exactly this.
+	for i := range c.lmads {
+		k := keyOf(c.lmads[i].Start)
+		if j, dup := c.starts[k]; dup {
+			return nil, fmt.Errorf("lmad: descriptors %d and %d share a start point", j, i)
+		}
+		c.starts[k] = i
+	}
+	return c, nil
+}

@@ -1,0 +1,197 @@
+package lmad
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// snapshotPoints returns point streams exercising every compressor regime:
+// pure linear runs (one big LMAD), pattern restarts (repeat matching),
+// partial re-walks, random points (budget overflow + summary), and a mix.
+func snapshotPoints(dims int) map[string][][]int64 {
+	rng := rand.New(rand.NewSource(11))
+	pt := func(vals ...int64) []int64 { return vals[:dims] }
+
+	var linear [][]int64
+	for i := int64(0); i < 500; i++ {
+		linear = append(linear, pt(i*8, i, i*3))
+	}
+
+	var sweeps [][]int64
+	for rep := 0; rep < 6; rep++ {
+		for i := int64(0); i < 64; i++ {
+			sweeps = append(sweeps, pt(i*8, 100+i, 7))
+		}
+	}
+	// One partial re-walk that breaks off mid-pattern.
+	for i := int64(0); i < 10; i++ {
+		sweeps = append(sweeps, pt(i*8, 100+i, 7))
+	}
+	sweeps = append(sweeps, pt(-1, -1, -1))
+
+	var noise [][]int64
+	for i := 0; i < 400; i++ {
+		noise = append(noise, pt(rng.Int63n(1000), rng.Int63n(1000), rng.Int63n(1000)))
+	}
+
+	mixed := append(append(append([][]int64{}, linear[:100]...), noise[:100]...), sweeps...)
+	return map[string][][]int64{
+		"linear": linear,
+		"sweeps": sweeps,
+		"noise":  noise,
+		"mixed":  mixed,
+	}
+}
+
+// TestCompressorSnapshotResumeExact: a compressor restored mid-stream and fed
+// the remainder must end in exactly the state of an uninterrupted run.
+func TestCompressorSnapshotResumeExact(t *testing.T) {
+	for _, dims := range []int{2, 3} {
+		for name, pts := range snapshotPoints(dims) {
+			cuts := []int{0, 1, 2, 10, len(pts) / 3, len(pts) / 2, len(pts) - 1, len(pts)}
+			for _, cut := range cuts {
+				full := NewCompressor(dims, 8)
+				for _, p := range pts {
+					full.Add(p)
+				}
+
+				c := NewCompressor(dims, 8)
+				for _, p := range pts[:cut] {
+					c.Add(p)
+				}
+				restored, err := CompressorFromSnapshot(c.Snapshot())
+				if err != nil {
+					t.Fatalf("%s/d%d/%d: %v", name, dims, cut, err)
+				}
+				for _, p := range pts[cut:] {
+					restored.Add(p)
+				}
+
+				if !reflect.DeepEqual(restored.Snapshot(), full.Snapshot()) {
+					t.Errorf("%s/d%d/cut %d: resumed compressor state differs from uninterrupted run",
+						name, dims, cut)
+				}
+			}
+		}
+	}
+}
+
+// TestRepeatSnapshotResumeExact: same property for the repeat-aware
+// compressor, whose follow/phase cursors make resume genuinely stateful.
+func TestRepeatSnapshotResumeExact(t *testing.T) {
+	for _, dims := range []int{2, 3} {
+		for name, pts := range snapshotPoints(dims) {
+			cuts := []int{0, 1, 2, 10, len(pts) / 3, len(pts) / 2, len(pts) - 1, len(pts)}
+			for _, cut := range cuts {
+				full := NewRepeatCompressor(dims, 8)
+				for _, p := range pts {
+					full.Add(p)
+				}
+
+				c := NewRepeatCompressor(dims, 8)
+				for _, p := range pts[:cut] {
+					c.Add(p)
+				}
+				restored, err := RepeatFromSnapshot(c.Snapshot())
+				if err != nil {
+					t.Fatalf("%s/d%d/%d: %v", name, dims, cut, err)
+				}
+				for _, p := range pts[cut:] {
+					restored.Add(p)
+				}
+
+				if !reflect.DeepEqual(restored.Snapshot(), full.Snapshot()) {
+					t.Errorf("%s/d%d/cut %d: resumed repeat compressor differs from uninterrupted run",
+						name, dims, cut)
+				}
+			}
+		}
+	}
+}
+
+// TestLMADSnapshotIndependent: snapshots must not alias live state.
+func TestLMADSnapshotIndependent(t *testing.T) {
+	c := NewCompressor(2, 4)
+	for i := int64(0); i < 20; i++ {
+		c.Add([]int64{i, i * 2})
+	}
+	s := c.Snapshot()
+	before := *s
+	beforeLMADs := cloneLMADs(s.LMADs)
+	for i := int64(0); i < 50; i++ {
+		c.Add([]int64{i * 7, i})
+	}
+	if s.Offered != before.Offered || !reflect.DeepEqual(s.LMADs, beforeLMADs) {
+		t.Error("compressor snapshot aliased live state")
+	}
+
+	rc := NewRepeatCompressor(2, 4)
+	for rep := 0; rep < 3; rep++ {
+		for i := int64(0); i < 8; i++ {
+			rc.Add([]int64{i, i})
+		}
+	}
+	rs := rc.Snapshot()
+	beforeRep := cloneRepLMADs(rs.LMADs)
+	for i := int64(0); i < 8; i++ {
+		rc.Add([]int64{i, i})
+	}
+	if !reflect.DeepEqual(rs.LMADs, beforeRep) {
+		t.Error("repeat compressor snapshot aliased live state")
+	}
+}
+
+// TestLMADFromSnapshotRejectsCorrupt: broken snapshots are errors, not panics.
+func TestLMADFromSnapshotRejectsCorrupt(t *testing.T) {
+	mk := func() *RepeatSnapshot {
+		c := NewRepeatCompressor(2, 4)
+		for rep := 0; rep < 3; rep++ {
+			for i := int64(0); i < 8; i++ {
+				c.Add([]int64{i, i * 3})
+			}
+		}
+		return c.Snapshot()
+	}
+	cases := map[string]func(*RepeatSnapshot){
+		"bad dims":       func(s *RepeatSnapshot) { s.Dims = 0 },
+		"bad max":        func(s *RepeatSnapshot) { s.Max = 0 },
+		"over budget":    func(s *RepeatSnapshot) { s.Max = len(s.LMADs) - 1 },
+		"active oob":     func(s *RepeatSnapshot) { s.Active = 99 },
+		"follow oob":     func(s *RepeatSnapshot) { s.Follow = 99 },
+		"phase oob":      func(s *RepeatSnapshot) { s.Follow = 0; s.FollowPhase = s.LMADs[0].Count },
+		"zero count":     func(s *RepeatSnapshot) { s.LMADs[0].Count = 0 },
+		"zero reps":      func(s *RepeatSnapshot) { s.LMADs[0].Reps = 0 },
+		"dim mismatch":   func(s *RepeatSnapshot) { s.LMADs[0].Start = s.LMADs[0].Start[:1] },
+		"lastSeen dims":  func(s *RepeatSnapshot) { s.LastSeen = []int64{1} },
+		"dup start":      func(s *RepeatSnapshot) { s.LMADs = append(s.LMADs, s.LMADs[0]) },
+		"summary broken": func(s *RepeatSnapshot) { s.Summary.Min = []int64{1} },
+	}
+	for name, corrupt := range cases {
+		s := mk()
+		corrupt(s)
+		if _, err := RepeatFromSnapshot(s); err == nil {
+			t.Errorf("%s: RepeatFromSnapshot accepted a corrupt snapshot", name)
+		}
+	}
+
+	plain := func() *CompressorSnapshot {
+		c := NewCompressor(2, 4)
+		for i := int64(0); i < 30; i++ {
+			c.Add([]int64{i, i})
+		}
+		return c.Snapshot()
+	}
+	plainCases := map[string]func(*CompressorSnapshot){
+		"bad dims":   func(s *CompressorSnapshot) { s.Dims = -1 },
+		"active oob": func(s *CompressorSnapshot) { s.Active = 7 },
+		"zero count": func(s *CompressorSnapshot) { s.LMADs[0].Count = 0 },
+	}
+	for name, corrupt := range plainCases {
+		s := plain()
+		corrupt(s)
+		if _, err := CompressorFromSnapshot(s); err == nil {
+			t.Errorf("%s: CompressorFromSnapshot accepted a corrupt snapshot", name)
+		}
+	}
+}

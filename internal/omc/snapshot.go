@@ -1,0 +1,207 @@
+package omc
+
+import (
+	"fmt"
+	"sort"
+
+	"ormprof/internal/trace"
+)
+
+// This file implements exact OMC snapshots for checkpoint/resume
+// (internal/checkpoint). The one structural subtlety: the live B-tree and
+// the per-group object tables share *ObjectInfo pointers (Free mutates an
+// object through its live entry), and the live set cannot be recomputed
+// from the tables — a re-allocation at an address whose previous occupant
+// was never freed leaves two un-Freed records of which only the newer is
+// live. The snapshot therefore stores the live set explicitly as
+// (address, group, serial) references, and restore re-links them to the
+// rebuilt records so the pointer sharing is reconstructed exactly.
+
+// ObjectRecord is one object's lifetime record; its serial is its index in
+// the enclosing GroupObjects.
+type ObjectRecord struct {
+	Start     trace.Addr
+	Size      uint32
+	AllocTime trace.Time
+	FreeTime  trace.Time
+	Freed     bool
+}
+
+// GroupSnapshot is one group's descriptor plus all its objects.
+type GroupSnapshot struct {
+	ID      GroupID
+	Site    trace.SiteID
+	Name    string
+	Objects []ObjectRecord
+}
+
+// SiteEntry maps one allocation site to a value (group or name).
+type SiteEntry struct {
+	Site trace.SiteID
+	Name string
+}
+
+// SiteGroup maps one allocation site to its group.
+type SiteGroup struct {
+	Site  trace.SiteID
+	Group GroupID
+}
+
+// TypeGroup maps one type name to its group (type-based grouping only).
+type TypeGroup struct {
+	Type  string
+	Group GroupID
+}
+
+// LiveRef identifies one live object by address and identity.
+type LiveRef struct {
+	Addr   uint64
+	Group  GroupID
+	Serial uint32
+}
+
+// Snapshot is the complete mutable state of an OMC. All slices are sorted
+// (by site, type, ID, or address) so equal OMCs produce equal snapshots.
+type Snapshot struct {
+	Groups     []GroupSnapshot
+	SiteGroups []SiteGroup
+	SiteNames  []SiteEntry
+	SiteTypes  []SiteEntry
+	TypeGroups []TypeGroup
+	Typed      bool // whether the OMC was built with NewWithTypes
+	Live       []LiveRef
+	Translated uint64
+	Unmapped   uint64
+}
+
+// Snapshot captures the OMC's complete state; the result shares no memory
+// with the live OMC.
+func (o *OMC) Snapshot() (*Snapshot, error) {
+	snap := &Snapshot{
+		Typed:      o.typeGroup != nil,
+		Translated: o.translated,
+		Unmapped:   o.unmapped,
+	}
+	for _, gi := range o.groupInfo {
+		g := GroupSnapshot{ID: gi.ID, Site: gi.Site, Name: gi.Name}
+		objs := o.objects[gi.ID]
+		if uint32(len(objs)) != gi.Count {
+			return nil, fmt.Errorf("omc: group %d has %d objects but count %d", gi.ID, len(objs), gi.Count)
+		}
+		g.Objects = make([]ObjectRecord, len(objs))
+		for s, info := range objs {
+			if info.Group != gi.ID || info.Serial != uint32(s) {
+				return nil, fmt.Errorf("omc: object table entry (%d, %d) holds object (%d, %d)",
+					gi.ID, s, info.Group, info.Serial)
+			}
+			g.Objects[s] = ObjectRecord{
+				Start:     info.Start,
+				Size:      info.Size,
+				AllocTime: info.AllocTime,
+				FreeTime:  info.FreeTime,
+				Freed:     info.Freed,
+			}
+		}
+		snap.Groups = append(snap.Groups, g)
+	}
+	for site, g := range o.groups {
+		snap.SiteGroups = append(snap.SiteGroups, SiteGroup{Site: site, Group: g})
+	}
+	sort.Slice(snap.SiteGroups, func(i, j int) bool { return snap.SiteGroups[i].Site < snap.SiteGroups[j].Site })
+	for site, name := range o.siteNames {
+		snap.SiteNames = append(snap.SiteNames, SiteEntry{Site: site, Name: name})
+	}
+	sort.Slice(snap.SiteNames, func(i, j int) bool { return snap.SiteNames[i].Site < snap.SiteNames[j].Site })
+	for site, typ := range o.siteTypes {
+		snap.SiteTypes = append(snap.SiteTypes, SiteEntry{Site: site, Name: typ})
+	}
+	sort.Slice(snap.SiteTypes, func(i, j int) bool { return snap.SiteTypes[i].Site < snap.SiteTypes[j].Site })
+	for typ, g := range o.typeGroup {
+		snap.TypeGroups = append(snap.TypeGroups, TypeGroup{Type: typ, Group: g})
+	}
+	sort.Slice(snap.TypeGroups, func(i, j int) bool { return snap.TypeGroups[i].Type < snap.TypeGroups[j].Type })
+	var liveErr error
+	o.live.Ascend(func(addr uint64, info *ObjectInfo) bool {
+		if uint64(info.Start) != addr {
+			liveErr = fmt.Errorf("omc: live entry at %#x holds object starting at %#x", addr, info.Start)
+			return false
+		}
+		snap.Live = append(snap.Live, LiveRef{Addr: addr, Group: info.Group, Serial: info.Serial})
+		return true
+	})
+	if liveErr != nil {
+		return nil, liveErr
+	}
+	return snap, nil
+}
+
+// FromSnapshot reconstructs an OMC that behaves identically to the
+// snapshotted one for all future events and translations.
+func FromSnapshot(snap *Snapshot) (*OMC, error) {
+	o := New(nil)
+	if len(snap.SiteNames) > 0 {
+		o.siteNames = make(map[trace.SiteID]string, len(snap.SiteNames))
+		for _, e := range snap.SiteNames {
+			o.siteNames[e.Site] = e.Name
+		}
+	}
+	if snap.Typed || len(snap.SiteTypes) > 0 || len(snap.TypeGroups) > 0 {
+		o.siteTypes = make(map[trace.SiteID]string, len(snap.SiteTypes))
+		for _, e := range snap.SiteTypes {
+			o.siteTypes[e.Site] = e.Name
+		}
+		o.typeGroup = make(map[string]GroupID, len(snap.TypeGroups))
+		for _, e := range snap.TypeGroups {
+			if int(e.Group) < 1 || int(e.Group) > len(snap.Groups) {
+				return nil, fmt.Errorf("omc: type %q maps to unknown group %d", e.Type, e.Group)
+			}
+			o.typeGroup[e.Type] = e.Group
+		}
+	}
+	o.translated = snap.Translated
+	o.unmapped = snap.Unmapped
+	for i, g := range snap.Groups {
+		if g.ID != GroupID(i+1) {
+			return nil, fmt.Errorf("omc: group at index %d has ID %d, want %d", i, g.ID, i+1)
+		}
+		o.groupInfo = append(o.groupInfo, GroupInfo{
+			ID: g.ID, Site: g.Site, Name: g.Name, Count: uint32(len(g.Objects)),
+		})
+		objs := make([]*ObjectInfo, len(g.Objects))
+		for s, rec := range g.Objects {
+			objs[s] = &ObjectInfo{
+				Group:     g.ID,
+				Serial:    uint32(s),
+				Start:     rec.Start,
+				Size:      rec.Size,
+				AllocTime: rec.AllocTime,
+				FreeTime:  rec.FreeTime,
+				Freed:     rec.Freed,
+			}
+		}
+		o.objects[g.ID] = objs
+	}
+	for _, e := range snap.SiteGroups {
+		if int(e.Group) < 1 || int(e.Group) > len(snap.Groups) {
+			return nil, fmt.Errorf("omc: site %d maps to unknown group %d", e.Site, e.Group)
+		}
+		o.groups[e.Site] = e.Group
+	}
+	for _, ref := range snap.Live {
+		info := o.Lookup(ref.Group, ref.Serial)
+		if info == nil {
+			return nil, fmt.Errorf("omc: live ref (%d, %d) names an unknown object", ref.Group, ref.Serial)
+		}
+		if uint64(info.Start) != ref.Addr {
+			return nil, fmt.Errorf("omc: live ref at %#x names object starting at %#x", ref.Addr, info.Start)
+		}
+		if info.Freed {
+			return nil, fmt.Errorf("omc: live ref (%d, %d) names a freed object", ref.Group, ref.Serial)
+		}
+		if _, dup := o.live.Get(ref.Addr); dup {
+			return nil, fmt.Errorf("omc: duplicate live ref at %#x", ref.Addr)
+		}
+		o.live.Set(ref.Addr, info)
+	}
+	return o, nil
+}

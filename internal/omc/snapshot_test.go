@@ -1,0 +1,179 @@
+package omc
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ormprof/internal/trace"
+)
+
+// omcOp is one scripted OMC operation for the resume tests.
+type omcOp struct {
+	kind byte // 'a' alloc, 'f' free, 't' translate
+	site trace.SiteID
+	addr trace.Addr
+	size uint32
+	t    trace.Time
+}
+
+// snapshotOps builds a stream that exercises the tricky OMC states:
+// interleaved alloc/free, unmapped translations, double frees, and
+// re-allocation at an address whose previous occupant was never freed
+// (the overwritten-live case the explicit live-set serialization exists
+// for).
+func snapshotOps() []omcOp {
+	rng := rand.New(rand.NewSource(3))
+	var ops []omcOp
+	now := trace.Time(0)
+	live := []trace.Addr{}
+	for i := 0; i < 3000; i++ {
+		now++
+		switch rng.Intn(10) {
+		case 0, 1, 2:
+			addr := trace.Addr(0x1000 + rng.Intn(64)*0x100)
+			ops = append(ops, omcOp{kind: 'a', site: trace.SiteID(rng.Intn(6) + 1), addr: addr, size: uint32(rng.Intn(200) + 8), t: now})
+			live = append(live, addr)
+		case 3:
+			if len(live) > 0 {
+				j := rng.Intn(len(live))
+				ops = append(ops, omcOp{kind: 'f', addr: live[j], t: now})
+				live = append(live[:j], live[j+1:]...)
+			} else {
+				ops = append(ops, omcOp{kind: 'f', addr: 0xdead, t: now})
+			}
+		default:
+			ops = append(ops, omcOp{kind: 't', addr: trace.Addr(0x1000 + rng.Intn(64*0x100+0x200))})
+		}
+	}
+	return ops
+}
+
+func apply(o *OMC, ops []omcOp) []Ref {
+	var refs []Ref
+	for _, op := range ops {
+		switch op.kind {
+		case 'a':
+			o.Alloc(op.site, op.addr, op.size, op.t)
+		case 'f':
+			o.Free(op.addr, op.t)
+		case 't':
+			refs = append(refs, o.Translate(op.addr))
+		}
+	}
+	return refs
+}
+
+// TestOMCSnapshotResumeExact: an OMC restored from a mid-stream snapshot and
+// fed the remaining operations must translate identically to an
+// uninterrupted OMC and end in exactly the same state.
+func TestOMCSnapshotResumeExact(t *testing.T) {
+	ops := snapshotOps()
+	for _, typed := range []bool{false, true} {
+		mk := func() *OMC {
+			names := map[trace.SiteID]string{1: "alpha", 2: "beta"}
+			if typed {
+				return NewWithTypes(names, map[trace.SiteID]string{1: "node", 3: "node", 4: "leaf"})
+			}
+			return New(names)
+		}
+		cuts := []int{0, 1, 10, len(ops) / 3, len(ops) / 2, len(ops) - 1, len(ops)}
+		for _, cut := range cuts {
+			full := mk()
+			fullRefs := apply(full, ops)
+
+			o := mk()
+			prefixRefs := apply(o, ops[:cut])
+			snap, err := o.Snapshot()
+			if err != nil {
+				t.Fatalf("typed=%v cut=%d: Snapshot: %v", typed, cut, err)
+			}
+			restored, err := FromSnapshot(snap)
+			if err != nil {
+				t.Fatalf("typed=%v cut=%d: FromSnapshot: %v", typed, cut, err)
+			}
+			resumedRefs := append(prefixRefs, apply(restored, ops[cut:])...)
+
+			if !reflect.DeepEqual(resumedRefs, fullRefs) {
+				t.Errorf("typed=%v cut=%d: resumed translations differ from uninterrupted run", typed, cut)
+			}
+			s1, err := restored.Snapshot()
+			if err != nil {
+				t.Fatalf("typed=%v cut=%d: final Snapshot: %v", typed, cut, err)
+			}
+			s2, err := full.Snapshot()
+			if err != nil {
+				t.Fatalf("typed=%v cut=%d: full Snapshot: %v", typed, cut, err)
+			}
+			if !reflect.DeepEqual(s1, s2) {
+				t.Errorf("typed=%v cut=%d: resumed OMC state differs from uninterrupted run", typed, cut)
+			}
+		}
+	}
+}
+
+// TestOMCSnapshotOverwrittenLive pins the case that forces the explicit
+// live-set serialization: two allocations at one address with no free in
+// between leave two un-Freed records of which only the newer is live.
+func TestOMCSnapshotOverwrittenLive(t *testing.T) {
+	o := New(nil)
+	o.Alloc(1, 0x1000, 64, 1)
+	o.Alloc(2, 0x1000, 32, 2) // overwrites the live entry; first object never freed
+	snap, err := o.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Live) != 1 {
+		t.Fatalf("want 1 live ref, got %d", len(snap.Live))
+	}
+	if snap.Live[0].Group != 2 {
+		t.Fatalf("live ref names group %d, want the newer object's group 2", snap.Live[0].Group)
+	}
+	restored, err := FromSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := restored.Translate(0x1008); r.Group != 2 {
+		t.Errorf("restored OMC translates into group %d, want 2", r.Group)
+	}
+	// Freeing must mutate the record shared with the object table.
+	restored.Free(0x1000, 9)
+	objs := restored.Objects(2)
+	if len(objs) != 1 || !objs[0].Freed || objs[0].FreeTime != 9 {
+		t.Error("Free after restore did not mutate the shared object record")
+	}
+	if first := restored.Objects(1); len(first) != 1 || first[0].Freed {
+		t.Error("overwritten (never freed) object gained a Freed mark")
+	}
+}
+
+// TestOMCFromSnapshotRejectsCorrupt: broken snapshots error, never panic.
+func TestOMCFromSnapshotRejectsCorrupt(t *testing.T) {
+	mk := func() *Snapshot {
+		o := New(nil)
+		o.Alloc(1, 0x1000, 64, 1)
+		o.Alloc(2, 0x2000, 64, 2)
+		o.Free(0x2000, 3)
+		s, err := o.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	cases := map[string]func(*Snapshot){
+		"group id gap":    func(s *Snapshot) { s.Groups[1].ID = 7 },
+		"site bad group":  func(s *Snapshot) { s.SiteGroups[0].Group = 99 },
+		"live bad object": func(s *Snapshot) { s.Live[0].Serial = 42 },
+		"live bad addr":   func(s *Snapshot) { s.Live[0].Addr = 0x9999 },
+		"live freed":      func(s *Snapshot) { s.Groups[0].Objects[0].Freed = true },
+		"live dup":        func(s *Snapshot) { s.Live = append(s.Live, s.Live[0]) },
+		"type bad group":  func(s *Snapshot) { s.TypeGroups = append(s.TypeGroups, TypeGroup{Type: "x", Group: 99}) },
+	}
+	for name, corrupt := range cases {
+		s := mk()
+		corrupt(s)
+		if _, err := FromSnapshot(s); err == nil {
+			t.Errorf("%s: FromSnapshot accepted a corrupt snapshot", name)
+		}
+	}
+}

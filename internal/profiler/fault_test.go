@@ -5,6 +5,7 @@ import (
 	"errors"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -164,37 +165,46 @@ func TestShardedCleanRunNoError(t *testing.T) {
 }
 
 // stallSCC blocks in Consume until released, simulating a wedged worker
-// whose queue backs up to the producer.
+// whose queue backs up to the producer. It closes started on the first
+// Consume so tests can synchronize on "the worker is now wedged" instead
+// of sleeping and hoping.
 type stallSCC struct {
+	started chan struct{}
 	release chan struct{}
+	once    sync.Once
 }
 
-func (s *stallSCC) Consume(profiler.Record) { <-s.release }
-func (s *stallSCC) Finish()                 {}
+func newStallSCC() *stallSCC {
+	return &stallSCC{started: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (s *stallSCC) Consume(profiler.Record) {
+	s.once.Do(func() { close(s.started) })
+	<-s.release
+}
+func (s *stallSCC) Finish() {}
 
 func TestShardedContextCancelUnblocksProducer(t *testing.T) {
 	checkNoGoroutineLeak(t)
 	ctx, cancel := context.WithCancel(context.Background())
-	stall := &stallSCC{release: make(chan struct{})}
+	defer cancel()
+	stall := newStallSCC()
 
 	s := profiler.NewShardedContext(ctx, 1, 4, func(profiler.Record, int) int { return 0 },
 		func(int) profiler.SCC { return stall })
 
-	// The worker wedges on its first record, the queue backs up, and the
-	// producer blocks in send — until cancellation fires. The stall is
-	// released afterwards so Finish can join the worker (cancellation is
-	// cooperative: it unblocks the producer, not a wedged SCC).
-	go func() {
-		time.Sleep(50 * time.Millisecond)
-		cancel()
-		time.Sleep(50 * time.Millisecond)
-		close(stall.release)
-	}()
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		feed(s, 1_000_000)
 	}()
+	// The worker wedges on its first record, the queue backs up, and the
+	// producer blocks in send — until cancellation fires. Only then is
+	// the stall released, so Finish can join the worker (cancellation is
+	// cooperative: it unblocks the producer, not a wedged SCC).
+	<-stall.started
+	cancel()
+	close(stall.release)
 	select {
 	case <-done:
 	case <-time.After(10 * time.Second):
@@ -209,11 +219,13 @@ func TestBroadcastContextDeadline(t *testing.T) {
 	checkNoGoroutineLeak(t)
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
-	stall := &stallSCC{release: make(chan struct{})}
+	stall := newStallSCC()
 
 	b := profiler.NewBroadcastContext(ctx, 4, stall)
+	// Release the stall only once the deadline has actually fired, so the
+	// deadline — not the release — is what unblocks the producer.
 	go func() {
-		time.Sleep(150 * time.Millisecond)
+		<-ctx.Done()
 		close(stall.release)
 	}()
 	done := make(chan struct{})

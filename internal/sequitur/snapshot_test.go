@@ -1,0 +1,147 @@
+package sequitur
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// streams returns a spread of symbol streams chosen to exercise every
+// grammar mechanism: repeats (rule creation), runs of equal symbols (the
+// triples fix-up), rule reuse, rule inlining (utility), and plain noise.
+func snapshotStreams() map[string][]uint64 {
+	rng := rand.New(rand.NewSource(7))
+	noise := make([]uint64, 4000)
+	for i := range noise {
+		noise[i] = uint64(rng.Intn(50))
+	}
+	runs := make([]uint64, 2000)
+	for i := range runs {
+		runs[i] = uint64(i / 37 % 3)
+	}
+	period := make([]uint64, 3000)
+	for i := range period {
+		period[i] = uint64(i % 17)
+	}
+	mixed := append(append(append([]uint64{}, period[:800]...), noise[:800]...), runs...)
+	return map[string][]uint64{
+		"noise":    noise,
+		"runs":     runs,
+		"periodic": period,
+		"mixed":    mixed,
+	}
+}
+
+// TestSnapshotResumeExact is the load-bearing test for checkpointing: a
+// grammar restored from a mid-stream snapshot and fed the rest of the input
+// must serialize byte-identically to one that saw the whole stream
+// uninterrupted — at every cut point tried.
+func TestSnapshotResumeExact(t *testing.T) {
+	for name, stream := range snapshotStreams() {
+		cuts := []int{0, 1, 2, 3, 10, len(stream) / 3, len(stream) / 2, len(stream) - 1, len(stream)}
+		for _, cut := range cuts {
+			full := New()
+			full.AppendAll(stream)
+
+			g := New()
+			g.AppendAll(stream[:cut])
+			snap, err := g.Snapshot()
+			if err != nil {
+				t.Fatalf("%s/%d: Snapshot: %v", name, cut, err)
+			}
+			restored, err := FromSnapshot(snap)
+			if err != nil {
+				t.Fatalf("%s/%d: FromSnapshot: %v", name, cut, err)
+			}
+			restored.AppendAll(stream[cut:])
+
+			if got, want := restored.Encode(), full.Encode(); !bytes.Equal(got, want) {
+				t.Errorf("%s/%d: resumed grammar differs from uninterrupted one\nresumed: %s\nfull:    %s",
+					name, cut, restored, full)
+			}
+			if got, want := restored.InputLen(), full.InputLen(); got != want {
+				t.Errorf("%s/%d: InputLen = %d, want %d", name, cut, got, want)
+			}
+			if !reflect.DeepEqual(restored.Expand(), full.Expand()) {
+				t.Errorf("%s/%d: expansion differs after resume", name, cut)
+			}
+		}
+	}
+}
+
+// TestSnapshotRoundTrip: snapshot → restore → snapshot is a fixed point.
+func TestSnapshotRoundTrip(t *testing.T) {
+	for name, stream := range snapshotStreams() {
+		g := New()
+		g.AppendAll(stream)
+		s1, err := g.Snapshot()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		r, err := FromSnapshot(s1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := r.CheckInvariants(); err != nil {
+			t.Fatalf("%s: restored grammar invariants: %v", name, err)
+		}
+		s2, err := r.Snapshot()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(s1, s2) {
+			t.Errorf("%s: snapshot not a fixed point", name)
+		}
+	}
+}
+
+// TestSnapshotIndependent: mutating the grammar after Snapshot must not
+// change the snapshot.
+func TestSnapshotIndependent(t *testing.T) {
+	g := New()
+	g.AppendAll([]uint64{1, 2, 1, 2, 3, 1, 2})
+	s1, err := g.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := *s1
+	beforeRules := append([]SnapshotRule(nil), s1.Rules...)
+	g.AppendAll([]uint64{9, 9, 9, 9, 1, 2, 1, 2})
+	if before.NextID != s1.NextID || before.Input != s1.Input || !reflect.DeepEqual(beforeRules, s1.Rules) {
+		t.Error("snapshot aliased live grammar state")
+	}
+}
+
+// TestFromSnapshotRejectsCorrupt: structurally broken snapshots are typed
+// errors, never panics or silently wrong grammars.
+func TestFromSnapshotRejectsCorrupt(t *testing.T) {
+	mk := func() *Snapshot {
+		g := New()
+		g.AppendAll([]uint64{1, 2, 1, 2, 1, 2, 3, 4, 3, 4})
+		s, err := g.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	cases := map[string]func(*Snapshot){
+		"no start rule":     func(s *Snapshot) { s.Rules = s.Rules[1:] },
+		"duplicate rule":    func(s *Snapshot) { s.Rules = append(s.Rules, s.Rules[0]) },
+		"dangling rule ref": func(s *Snapshot) { s.Rules[0].Body[0] = Sym{Value: 999, IsRule: true} },
+		"digram oob pos": func(s *Snapshot) {
+			s.Digrams = append(s.Digrams, DigramRef{Rule: 0, Pos: 1 << 20})
+		},
+		"digram bad rule": func(s *Snapshot) {
+			s.Digrams = append(s.Digrams, DigramRef{Rule: 999, Pos: 0})
+		},
+		"rule above nextID": func(s *Snapshot) { s.NextID = 0 },
+	}
+	for name, corrupt := range cases {
+		s := mk()
+		corrupt(s)
+		if _, err := FromSnapshot(s); err == nil {
+			t.Errorf("%s: FromSnapshot accepted a corrupt snapshot", name)
+		}
+	}
+}

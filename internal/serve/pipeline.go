@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ormprof/internal/checkpoint"
+	"ormprof/internal/leap"
+	"ormprof/internal/omc"
+	"ormprof/internal/profiler"
+	"ormprof/internal/stride"
+	"ormprof/internal/trace"
+	"ormprof/internal/whomp"
+)
+
+// pipeline is one session's profiling state: the WHOMP and LEAP pipelines
+// (each with its own OMC, mirroring the offline tools) plus the lossless
+// stride profiler. It is what checkpoints snapshot and what the final
+// profiles are built from. The SCCs are deliberately the sequential ones:
+// exact snapshots need single-threaded state, and the parallel stages are
+// defined to produce byte-identical profiles anyway, so daemon output
+// matches offline runs at any worker count.
+type pipeline struct {
+	workload string
+	sites    map[trace.SiteID]string
+
+	whompOMC *omc.OMC
+	whompSCC *whomp.SCC
+	whompCDC *profiler.CDC
+
+	leapOMC *omc.OMC
+	leapSCC *leap.SCC
+	leapCDC *profiler.CDC
+
+	ideal *stride.Ideal
+
+	framesApplied uint64
+	eventsApplied uint64
+}
+
+// newPipeline builds a fresh pipeline for a session.
+func newPipeline(workload string, sites map[trace.SiteID]string, maxLMADs int) *pipeline {
+	p := &pipeline{
+		workload: workload,
+		sites:    sites,
+		whompOMC: omc.New(sites),
+		whompSCC: whomp.NewSCC(),
+		leapOMC:  omc.New(sites),
+		leapSCC:  leap.NewSCC(maxLMADs),
+		ideal:    stride.NewIdeal(),
+	}
+	p.whompCDC = profiler.NewCDC(p.whompOMC, p.whompSCC)
+	p.leapCDC = profiler.NewCDC(p.leapOMC, p.leapSCC)
+	return p
+}
+
+// pipelineFromState reconstructs a pipeline from a checkpoint.
+func pipelineFromState(st *checkpoint.State) (*pipeline, error) {
+	wOMC, err := omc.FromSnapshot(st.WhompOMC)
+	if err != nil {
+		return nil, fmt.Errorf("serve: restore WHOMP OMC: %w", err)
+	}
+	wSCC, err := whomp.SCCFromSnapshot(st.Whomp)
+	if err != nil {
+		return nil, fmt.Errorf("serve: restore WHOMP SCC: %w", err)
+	}
+	lOMC, err := omc.FromSnapshot(st.LeapOMC)
+	if err != nil {
+		return nil, fmt.Errorf("serve: restore LEAP OMC: %w", err)
+	}
+	lSCC, err := leap.SCCFromSnapshot(st.Leap)
+	if err != nil {
+		return nil, fmt.Errorf("serve: restore LEAP SCC: %w", err)
+	}
+	ideal, err := stride.FromSnapshot(st.Stride)
+	if err != nil {
+		return nil, fmt.Errorf("serve: restore stride profiler: %w", err)
+	}
+	p := &pipeline{
+		workload:      st.Workload,
+		sites:         st.SitesMap(),
+		whompOMC:      wOMC,
+		whompSCC:      wSCC,
+		leapOMC:       lOMC,
+		leapSCC:       lSCC,
+		ideal:         ideal,
+		framesApplied: st.FramesApplied,
+		eventsApplied: st.EventsApplied,
+	}
+	p.whompCDC = profiler.NewCDC(p.whompOMC, p.whompSCC)
+	p.leapCDC = profiler.NewCDC(p.leapOMC, p.leapSCC)
+	return p, nil
+}
+
+// applyFrame feeds one decoded frame's events through every profiler and
+// advances the cursor.
+func (p *pipeline) applyFrame(events []trace.Event) {
+	for _, e := range events {
+		p.whompCDC.Emit(e)
+		p.leapCDC.Emit(e)
+		p.ideal.Emit(e)
+	}
+	p.framesApplied++
+	p.eventsApplied += uint64(len(events))
+}
+
+// state snapshots the pipeline into checkpoint form.
+func (p *pipeline) state(sessionID string) (*checkpoint.State, error) {
+	wo, err := p.whompOMC.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("serve: snapshot WHOMP OMC: %w", err)
+	}
+	ws, err := p.whompSCC.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("serve: snapshot WHOMP SCC: %w", err)
+	}
+	lo, err := p.leapOMC.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("serve: snapshot LEAP OMC: %w", err)
+	}
+	return &checkpoint.State{
+		SessionID:     sessionID,
+		Workload:      p.workload,
+		Sites:         checkpoint.SortSites(p.sites),
+		FramesApplied: p.framesApplied,
+		EventsApplied: p.eventsApplied,
+		WhompOMC:      wo,
+		Whomp:         ws,
+		LeapOMC:       lo,
+		Leap:          p.leapSCC.Snapshot(),
+		Stride:        p.ideal.Snapshot(),
+	}, nil
+}
+
+// profiles finalizes the pipeline into its three profile artifacts.
+func (p *pipeline) profiles() (*whomp.Profile, *leap.Profile, *stride.Ideal) {
+	p.whompCDC.Finish()
+	p.leapCDC.Finish()
+	wp := &whomp.Profile{
+		Workload: p.workload,
+		Records:  p.whompSCC.Records(),
+		Grammars: p.whompSCC.Grammars(),
+		Objects:  whomp.FromOMC(p.whompOMC),
+	}
+	return wp, p.leapSCC.BuildProfile(p.workload), p.ideal
+}
+
+// WriteStrideReport serializes a stride report deterministically: the
+// lossless profiler's strongly strided instructions and the LEAP-derived
+// estimate, one instruction per line. Both the daemon and offline
+// comparisons use this one serialization, so byte equality is meaningful.
+func WriteStrideReport(w *bufio.Writer, ideal map[trace.InstrID]stride.Info, est map[trace.InstrID]stride.Info) error {
+	fmt.Fprintf(w, "# stride report\n")
+	fmt.Fprintf(w, "ideal %d\n", len(ideal))
+	for _, id := range stride.SortedIDs(ideal) {
+		in := ideal[id]
+		fmt.Fprintf(w, "%d %d %.4f\n", id, in.Stride, in.Frac)
+	}
+	fmt.Fprintf(w, "leap %d\n", len(est))
+	for _, id := range stride.SortedIDs(est) {
+		in := est[id]
+		fmt.Fprintf(w, "%d %d %.4f\n", id, in.Stride, in.Frac)
+	}
+	fmt.Fprintf(w, "score %.2f\n", stride.Score(ideal, est))
+	return w.Flush()
+}
+
+// writeArtifact writes bytes atomically (tmp + rename) so a reader never
+// sees a half-written profile.
+func writeArtifact(path string, write func(*bufio.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := write(bw); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// writeProfiles renders the three final artifacts into dir:
+// <workload>.whomp, <workload>.leap, and <workload>.stride.
+func (p *pipeline) writeProfiles(dir string) error {
+	wp, lp, ideal := p.profiles()
+	base := filepath.Join(dir, sanitizeName(p.workload))
+	if err := writeArtifact(base+".whomp", func(w *bufio.Writer) error {
+		_, err := wp.WriteTo(w)
+		return err
+	}); err != nil {
+		return fmt.Errorf("serve: write WHOMP profile: %w", err)
+	}
+	if err := writeArtifact(base+".leap", func(w *bufio.Writer) error {
+		_, err := lp.WriteTo(w)
+		return err
+	}); err != nil {
+		return fmt.Errorf("serve: write LEAP profile: %w", err)
+	}
+	if err := writeArtifact(base+".stride", func(w *bufio.Writer) error {
+		return WriteStrideReport(w, ideal.StronglyStrided(), stride.FromLEAP(lp))
+	}); err != nil {
+		return fmt.Errorf("serve: write stride report: %w", err)
+	}
+	return nil
+}
+
+// sanitizeName makes a workload name safe as a file-name stem.
+func sanitizeName(name string) string {
+	if name == "" {
+		return "workload"
+	}
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

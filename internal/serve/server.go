@@ -1,0 +1,404 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ormprof/internal/checkpoint"
+)
+
+// Config configures a Server. Zero values select the documented defaults.
+type Config struct {
+	// CheckpointDir is where session checkpoints live (required).
+	CheckpointDir string
+	// OutputDir is where finished profiles are written (required).
+	OutputDir string
+	// Resume loads existing checkpoints from CheckpointDir at startup, so
+	// returning clients continue from their durable cursor.
+	Resume bool
+
+	// MaxSessions bounds concurrently connected sessions; connections
+	// beyond it receive Retry. Default 16.
+	MaxSessions int
+	// MaxQueuedBytes bounds the total bytes of queued-but-unapplied
+	// frames across all sessions; new connections beyond it receive
+	// Retry. Default 64 MiB.
+	MaxQueuedBytes int64
+	// QueueFrames is the per-session frame queue capacity. When the
+	// queue is full the session's reader stops reading the socket, so a
+	// slow pipeline back-pressures the sender through TCP instead of
+	// buffering without bound. Default 8.
+	QueueFrames int
+	// CheckpointEvery checkpoints after this many frames. Default 32.
+	CheckpointEvery int
+	// CheckpointInterval forces a checkpoint this long after the first
+	// unacknowledged frame, so a client waiting on its ack window never
+	// deadlocks against the frame-count cadence. Default 1s.
+	CheckpointInterval time.Duration
+	// IdleTimeout bounds each read from a client; a stalled connection
+	// is checkpointed and parked rather than held open forever.
+	// Default 30s.
+	IdleTimeout time.Duration
+	// RetryAfter is the backoff hint carried by Retry responses.
+	// Default 500ms.
+	RetryAfter time.Duration
+	// MaxLMADs is the LEAP descriptor budget (≤ 0 = paper default).
+	MaxLMADs int
+	// Logf, when set, receives one line per session lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.MaxSessions <= 0 {
+		out.MaxSessions = 16
+	}
+	if out.MaxQueuedBytes <= 0 {
+		out.MaxQueuedBytes = 64 << 20
+	}
+	if out.QueueFrames <= 0 {
+		out.QueueFrames = 8
+	}
+	if out.CheckpointEvery <= 0 {
+		out.CheckpointEvery = 32
+	}
+	if out.CheckpointInterval <= 0 {
+		out.CheckpointInterval = time.Second
+	}
+	if out.IdleTimeout <= 0 {
+		out.IdleTimeout = 30 * time.Second
+	}
+	if out.RetryAfter <= 0 {
+		out.RetryAfter = 500 * time.Millisecond
+	}
+	if out.Logf == nil {
+		out.Logf = func(string, ...any) {}
+	}
+	return out
+}
+
+// sessionState is one session's profiling state, active or parked. A
+// session survives its connections: a dropped connection parks the
+// state in memory, and a reconnect with the same session ID adopts it.
+type sessionState struct {
+	id     string
+	pl     *pipeline
+	acked  uint64 // durable cursor: FramesApplied at the last checkpoint
+	dirty  bool   // frames applied since the last checkpoint
+	active bool   // a connection currently owns this session
+}
+
+// Server is the ormpd ingestion service.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+
+	mu       sync.Mutex
+	sessions map[string]*sessionState
+	resumed  map[string]*checkpoint.State // disk checkpoints not yet adopted
+	draining bool
+	drainCh  chan struct{} // closed when Shutdown begins
+	killed   bool
+	killCh   chan struct{} // closed by Kill
+	conns    map[net.Conn]struct{}
+
+	queuedBytes atomic.Int64
+	wg          sync.WaitGroup
+}
+
+// New creates a Server listening on ln. With cfg.Resume it loads every
+// readable checkpoint in cfg.CheckpointDir; corrupt checkpoints are
+// skipped (those sessions restart from zero, which the protocol makes
+// safe — the client simply re-sends everything).
+func New(ln net.Listener, cfg Config) (*Server, error) {
+	c := cfg.withDefaults()
+	if c.CheckpointDir == "" || c.OutputDir == "" {
+		return nil, fmt.Errorf("serve: CheckpointDir and OutputDir are required")
+	}
+	for _, dir := range []string{c.CheckpointDir, c.OutputDir} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+	}
+	s := &Server{
+		cfg:      c,
+		ln:       ln,
+		sessions: make(map[string]*sessionState),
+		resumed:  make(map[string]*checkpoint.State),
+		drainCh:  make(chan struct{}),
+		killCh:   make(chan struct{}),
+		conns:    make(map[net.Conn]struct{}),
+	}
+	if c.Resume {
+		states, skipped, err := checkpoint.LoadDir(c.CheckpointDir)
+		if err != nil {
+			return nil, fmt.Errorf("serve: resume: %w", err)
+		}
+		for _, p := range skipped {
+			c.Logf("resume: skipping unusable checkpoint %s", p)
+		}
+		s.resumed = states
+		c.Logf("resume: loaded %d checkpoint(s)", len(states))
+	}
+	return s, nil
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Serve accepts connections until the listener closes (via Shutdown or
+// Kill). It returns nil on clean shutdown.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closing := s.draining || s.killed
+			s.mu.Unlock()
+			if closing {
+				return nil
+			}
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining || s.killed {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+}
+
+// admit decides whether a new connection may start a session right now.
+func (s *Server) admit() bool {
+	if s.queuedBytes.Load() > s.cfg.MaxQueuedBytes {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	active := 0
+	for _, st := range s.sessions {
+		if st.active {
+			active++
+		}
+	}
+	return active < s.cfg.MaxSessions && !s.draining
+}
+
+// resolveSession finds or creates the session state for a Hello,
+// claiming it for this connection. It returns nil if the session is
+// already owned by a live connection.
+func (s *Server) resolveSession(h *Hello) (*sessionState, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.sessions[h.SessionID]; ok {
+		if st.active {
+			return nil, nil
+		}
+		st.active = true
+		return st, nil
+	}
+	if ck, ok := s.resumed[h.SessionID]; ok {
+		delete(s.resumed, h.SessionID)
+		pl, err := pipelineFromState(ck)
+		if err != nil {
+			// The checkpoint decoded but its state does not reconstruct:
+			// treat it as unusable and restart the session from zero.
+			s.cfg.Logf("session %s: checkpoint unusable (%v), starting fresh", h.SessionID, err)
+		} else {
+			st := &sessionState{id: h.SessionID, pl: pl, acked: ck.FramesApplied, active: true}
+			s.sessions[h.SessionID] = st
+			return st, nil
+		}
+	}
+	st := &sessionState{
+		id:     h.SessionID,
+		pl:     newPipeline(h.Workload, h.Sites, s.cfg.MaxLMADs),
+		active: true,
+	}
+	s.sessions[h.SessionID] = st
+	return st, nil
+}
+
+// release parks a session after its connection ends.
+func (s *Server) release(st *sessionState) {
+	s.mu.Lock()
+	st.active = false
+	s.mu.Unlock()
+}
+
+// complete removes a finished session and its checkpoint file.
+func (s *Server) complete(st *sessionState) {
+	s.mu.Lock()
+	delete(s.sessions, st.id)
+	s.mu.Unlock()
+	os.Remove(checkpoint.PathFor(s.cfg.CheckpointDir, st.id))
+}
+
+// Shutdown stops accepting, then drains live sessions: each keeps
+// applying frames until its client finishes or ctx expires, at which
+// point it is checkpointed and its partial profiles are flushed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining || s.killed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	close(s.drainCh)
+	s.mu.Unlock()
+	s.ln.Close()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Deadline passed: sessions were told to wrap up when drainCh
+		// closed; force the stragglers off the network.
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		err = ctx.Err()
+	}
+	// Checkpoint and flush whatever state remains (parked sessions
+	// included) so nothing collected is lost.
+	s.mu.Lock()
+	states := make([]*sessionState, 0, len(s.sessions))
+	for _, st := range s.sessions {
+		states = append(states, st)
+	}
+	s.mu.Unlock()
+	for _, st := range states {
+		if st.dirty {
+			if ck, cerr := st.pl.state(st.id); cerr == nil {
+				if serr := checkpoint.Save(checkpoint.PathFor(s.cfg.CheckpointDir, st.id), ck); serr == nil {
+					st.acked = st.pl.framesApplied
+					st.dirty = false
+				}
+			}
+		}
+		if werr := st.pl.writeProfiles(s.cfg.OutputDir); werr != nil {
+			s.cfg.Logf("session %s: flush profiles: %v", st.id, werr)
+		}
+	}
+	return err
+}
+
+// Kill simulates a crash (SIGKILL): the listener and every connection
+// close immediately and all state that is not already durably
+// checkpointed is discarded — no final checkpoint, no profile flush. It
+// blocks until every session goroutine has exited, so tests can assert
+// the absence of leaks before restarting.
+func (s *Server) Kill() {
+	s.mu.Lock()
+	if s.killed {
+		s.mu.Unlock()
+		return
+	}
+	s.killed = true
+	close(s.killCh)
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	s.wg.Wait()
+	s.mu.Lock()
+	s.sessions = make(map[string]*sessionState)
+	s.resumed = make(map[string]*checkpoint.State)
+	s.mu.Unlock()
+}
+
+// readPreamble validates the 5-byte connection preamble.
+func readPreamble(br *bufio.Reader) error {
+	buf := make([]byte, len(ProtoMagic))
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return protof("preamble: %v", err)
+	}
+	if string(buf) != ProtoMagic {
+		return protof("bad preamble %x", buf)
+	}
+	return nil
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.dropConn(conn)
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+
+	conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+	if err := readPreamble(br); err != nil {
+		return
+	}
+	mt, body, err := readMsg(br)
+	if err != nil || mt != MsgHello {
+		return
+	}
+	hello, err := decodeHello(body)
+	if err != nil {
+		writeMsg(bw, MsgErr, []byte(err.Error()))
+		bw.Flush()
+		return
+	}
+	retry := func() {
+		writeMsg(bw, MsgRetry, uvarintBody(uint64(s.cfg.RetryAfter.Milliseconds())))
+		bw.Flush()
+	}
+	if !s.admit() {
+		s.cfg.Logf("session %s: admission rejected (busy)", hello.SessionID)
+		retry()
+		return
+	}
+	st, err := s.resolveSession(hello)
+	if err != nil {
+		writeMsg(bw, MsgErr, []byte(err.Error()))
+		bw.Flush()
+		return
+	}
+	if st == nil {
+		s.cfg.Logf("session %s: already connected", hello.SessionID)
+		retry()
+		return
+	}
+	defer s.release(st)
+	s.cfg.Logf("session %s: connected, resuming at frame %d", st.id, st.pl.framesApplied)
+	if err := writeMsg(bw, MsgWelcome, uvarintBody(st.pl.framesApplied)); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+	s.runSession(conn, br, bw, st)
+}

@@ -1,0 +1,270 @@
+// Package serve implements the ormpd trace-ingestion service: a TCP
+// server that feeds ORMTRACE-v3 frames into the streaming profiling
+// pipelines, with bounded per-session queues (backpressure), admission
+// control, periodic crash-consistent checkpoints, and a reconnecting
+// client that resumes from the last acknowledged frame.
+//
+// # Wire protocol (ORMP/1)
+//
+// A connection starts with the 5-byte preamble "ORMP" + version (1),
+// sent by the client. Both directions then exchange messages framed as
+//
+//	type   1 byte
+//	length uvarint (body byte count, bounded by MaxBody)
+//	body   length bytes
+//
+// Client→server: Hello (session ID, workload, site table), Frame
+// (uvarint frame index + one standalone ORMTRACE-v3 frame, CRC and all),
+// Done (uvarint total frame count). Server→client: Welcome (uvarint
+// durable cursor — the index the client must resume sending from), Retry
+// (uvarint suggested retry-after in milliseconds; sent instead of
+// Welcome when admission control rejects the connection), Ack (uvarint
+// durable cursor), Bye (uvarint frames applied; the session completed
+// and profiles are flushed), Err (UTF-8 reason; terminal).
+//
+// The server acknowledges a frame only after a checkpoint holding it has
+// been durably written (atomic rename + fsync), so the Welcome cursor
+// after a crash is always ≤ every Ack the client ever saw — the client's
+// unacked-frame window is guaranteed to cover the gap. See
+// docs/FORMATS.md ("ORMP/1 wire protocol") and docs/ARCHITECTURE.md
+// ("Service layer").
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"ormprof/internal/trace"
+	"ormprof/internal/tracefmt"
+)
+
+// ProtoMagic is the connection preamble: protocol name + version byte.
+const ProtoMagic = "ORMP\x01"
+
+// MsgType identifies one wire message.
+type MsgType byte
+
+// Client→server and server→client message types.
+const (
+	MsgHello MsgType = 0x01
+	MsgFrame MsgType = 0x02
+	MsgDone  MsgType = 0x03
+
+	MsgWelcome MsgType = 0x10
+	MsgRetry   MsgType = 0x11
+	MsgAck     MsgType = 0x12
+	MsgBye     MsgType = 0x13
+	MsgErr     MsgType = 0x1F
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "Hello"
+	case MsgFrame:
+		return "Frame"
+	case MsgDone:
+		return "Done"
+	case MsgWelcome:
+		return "Welcome"
+	case MsgRetry:
+		return "Retry"
+	case MsgAck:
+		return "Ack"
+	case MsgBye:
+		return "Bye"
+	case MsgErr:
+		return "Err"
+	}
+	return fmt.Sprintf("MsgType(%#02x)", byte(t))
+}
+
+// MaxBody bounds every message body: the largest legitimate message is a
+// Frame carrying a full-size trace frame plus its index.
+const MaxBody = tracefmt.MaxFramePayload + 64
+
+// MaxSessionIDLen bounds the client-chosen session identifier.
+const MaxSessionIDLen = 256
+
+// ErrProtocol wraps every wire-level violation (bad preamble, oversized
+// body, malformed message). It is terminal for the connection but not for
+// the session: the peer may reconnect and resume.
+var ErrProtocol = errors.New("serve: protocol error")
+
+func protof(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrProtocol, fmt.Sprintf(format, args...))
+}
+
+// writeMsg frames and writes one message.
+func writeMsg(w io.Writer, t MsgType, body []byte) error {
+	if len(body) > MaxBody {
+		return protof("%s body %d bytes exceeds limit %d", t, len(body), MaxBody)
+	}
+	var hdr [1 + binary.MaxVarintLen64]byte
+	hdr[0] = byte(t)
+	n := binary.PutUvarint(hdr[1:], uint64(len(body)))
+	if _, err := w.Write(hdr[:1+n]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readMsg reads one message. The returned body is freshly allocated.
+func readMsg(br *bufio.Reader) (MsgType, []byte, error) {
+	tb, err := br.ReadByte()
+	if err != nil {
+		return 0, nil, err
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, nil, protof("message length: %v", err)
+	}
+	if n > MaxBody {
+		return 0, nil, protof("message body %d bytes exceeds limit %d", n, MaxBody)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return 0, nil, protof("message body: %v", err)
+	}
+	return MsgType(tb), body, nil
+}
+
+// uvarintBody encodes the single-uvarint body shared by Welcome, Retry,
+// Ack, Bye, Done, and the Frame index prefix.
+func uvarintBody(v uint64) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	return append([]byte(nil), buf[:binary.PutUvarint(buf[:], v)]...)
+}
+
+func parseUvarintBody(t MsgType, body []byte) (uint64, error) {
+	v, n := binary.Uvarint(body)
+	if n <= 0 || n != len(body) {
+		return 0, protof("%s body is not a single uvarint", t)
+	}
+	return v, nil
+}
+
+// Hello is the session handshake: who is connecting and what trace
+// metadata the profiles should carry.
+type Hello struct {
+	SessionID string
+	Workload  string
+	Sites     map[trace.SiteID]string
+}
+
+func appendString(b []byte, s string) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	b = append(b, buf[:binary.PutUvarint(buf[:], uint64(len(s)))]...)
+	return append(b, s...)
+}
+
+func encodeHello(h *Hello) []byte {
+	var b []byte
+	b = appendString(b, h.SessionID)
+	b = appendString(b, h.Workload)
+	ids := make([]trace.SiteID, 0, len(h.Sites))
+	for id := range h.Sites {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var buf [binary.MaxVarintLen64]byte
+	b = append(b, buf[:binary.PutUvarint(buf[:], uint64(len(ids)))]...)
+	for _, id := range ids {
+		b = append(b, buf[:binary.PutUvarint(buf[:], uint64(id))]...)
+		b = appendString(b, h.Sites[id])
+	}
+	return b
+}
+
+type byteScanner struct {
+	data []byte
+	off  int
+}
+
+func (s *byteScanner) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(s.data[s.off:])
+	if n <= 0 {
+		return 0, protof("malformed uvarint in handshake")
+	}
+	s.off += n
+	return v, nil
+}
+
+func (s *byteScanner) str(maxLen uint64) (string, error) {
+	n, err := s.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > maxLen {
+		return "", protof("handshake string %d bytes exceeds limit %d", n, maxLen)
+	}
+	if uint64(len(s.data)-s.off) < n {
+		return "", protof("truncated handshake string")
+	}
+	out := string(s.data[s.off : s.off+int(n)])
+	s.off += int(n)
+	return out, nil
+}
+
+func decodeHello(body []byte) (*Hello, error) {
+	sc := &byteScanner{data: body}
+	h := &Hello{}
+	var err error
+	if h.SessionID, err = sc.str(MaxSessionIDLen); err != nil {
+		return nil, err
+	}
+	if h.SessionID == "" {
+		return nil, protof("empty session ID")
+	}
+	if h.Workload, err = sc.str(tracefmt.MaxNameLen); err != nil {
+		return nil, err
+	}
+	nSites, err := sc.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nSites > tracefmt.MaxSites {
+		return nil, protof("unreasonable site count %d", nSites)
+	}
+	if nSites > 0 {
+		h.Sites = make(map[trace.SiteID]string, nSites)
+	}
+	for i := uint64(0); i < nSites; i++ {
+		id, err := sc.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if id > uint64(^trace.SiteID(0)) {
+			return nil, protof("site id %d overflows SiteID", id)
+		}
+		name, err := sc.str(tracefmt.MaxNameLen)
+		if err != nil {
+			return nil, err
+		}
+		h.Sites[trace.SiteID(id)] = name
+	}
+	if sc.off != len(body) {
+		return nil, protof("%d trailing bytes after handshake", len(body)-sc.off)
+	}
+	return h, nil
+}
+
+// encodeFrameMsg builds a Frame message body: the frame's index followed
+// by its raw bytes.
+func encodeFrameMsg(index uint64, frame []byte) []byte {
+	b := uvarintBody(index)
+	return append(b, frame...)
+}
+
+func decodeFrameMsg(body []byte) (index uint64, frame []byte, err error) {
+	v, n := binary.Uvarint(body)
+	if n <= 0 {
+		return 0, nil, protof("Frame body lacks an index")
+	}
+	return v, body[n:], nil
+}

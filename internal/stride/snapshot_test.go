@@ -1,0 +1,86 @@
+package stride
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ormprof/internal/trace"
+)
+
+func snapshotEvents(n int) []trace.Event {
+	rng := rand.New(rand.NewSource(9))
+	evs := make([]trace.Event, n)
+	for i := range evs {
+		instr := trace.InstrID(rng.Intn(8) + 1)
+		var addr trace.Addr
+		if instr <= 4 {
+			addr = trace.Addr(0x1000 + uint64(i)*uint64(instr)*8) // strided
+		} else {
+			addr = trace.Addr(rng.Int63n(1 << 20)) // noise
+		}
+		kind := trace.EvAccess
+		if i%97 == 0 {
+			kind = trace.EvAlloc // must be ignored by the profiler
+		}
+		evs[i] = trace.Event{Kind: kind, Instr: instr, Addr: addr, Time: trace.Time(i)}
+	}
+	return evs
+}
+
+// TestIdealSnapshotResumeExact: a profiler restored mid-stream and fed the
+// rest must report exactly what an uninterrupted profiler reports.
+func TestIdealSnapshotResumeExact(t *testing.T) {
+	evs := snapshotEvents(4000)
+	cuts := []int{0, 1, 10, len(evs) / 3, len(evs) / 2, len(evs) - 1, len(evs)}
+	for _, cut := range cuts {
+		full := NewIdeal()
+		for _, e := range evs {
+			full.Emit(e)
+		}
+
+		p := NewIdeal()
+		for _, e := range evs[:cut] {
+			p.Emit(e)
+		}
+		restored, err := FromSnapshot(p.Snapshot())
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		for _, e := range evs[cut:] {
+			restored.Emit(e)
+		}
+
+		if !reflect.DeepEqual(restored.Snapshot(), full.Snapshot()) {
+			t.Errorf("cut %d: resumed profiler state differs from uninterrupted run", cut)
+		}
+		if !reflect.DeepEqual(restored.StronglyStrided(), full.StronglyStrided()) {
+			t.Errorf("cut %d: resumed stride report differs from uninterrupted run", cut)
+		}
+	}
+}
+
+// TestIdealFromSnapshotRejectsCorrupt: broken snapshots error, never panic.
+func TestIdealFromSnapshotRejectsCorrupt(t *testing.T) {
+	mk := func() *Snapshot {
+		p := NewIdeal()
+		for _, e := range snapshotEvents(500) {
+			p.Emit(e)
+		}
+		return p.Snapshot()
+	}
+	cases := map[string]func(*Snapshot){
+		"dup instr":    func(s *Snapshot) { s.Instrs = append(s.Instrs, s.Instrs[0]) },
+		"hist no last": func(s *Snapshot) { s.Instrs[0].HasLast = false },
+		"dup bin": func(s *Snapshot) {
+			s.Instrs[0].Hist = append(s.Instrs[0].Hist, s.Instrs[0].Hist[0])
+		},
+	}
+	for name, corrupt := range cases {
+		s := mk()
+		corrupt(s)
+		if _, err := FromSnapshot(s); err == nil {
+			t.Errorf("%s: FromSnapshot accepted a corrupt snapshot", name)
+		}
+	}
+}

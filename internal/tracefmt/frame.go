@@ -1,0 +1,141 @@
+package tracefmt
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+
+	"ormprof/internal/trace"
+)
+
+// This file factors the v3 frame envelope into a standalone codec, so a
+// frame is a first-class unit independent of the file Writer/Reader: the
+// ormpd wire protocol ships each batch of events as exactly one of these
+// frames, inheriting the per-frame CRC-32C end-to-end (a frame corrupted
+// anywhere between sender and profiler is detected by the same check that
+// guards trace files).
+
+// appendEvent encodes one event in the record layout shared by every v3
+// producer, updating the caller's delta baselines. It returns false for an
+// unencodable event kind.
+func appendEvent(frame []byte, e trace.Event, lastAddr *trace.Addr, lastTime *trace.Time) ([]byte, bool) {
+	dt := int64(e.Time - *lastTime)
+	da := int64(e.Addr - *lastAddr)
+
+	kind := byte(e.Kind)
+	if e.Store {
+		kind |= storeFlag
+	}
+	switch e.Kind {
+	case trace.EvAccess:
+		frame = append(frame, kind)
+		frame = appendVarint(frame, dt)
+		frame = appendUvarint(frame, uint64(e.Instr))
+		frame = appendVarint(frame, da)
+		frame = appendUvarint(frame, uint64(e.Size))
+	case trace.EvAlloc:
+		frame = append(frame, kind)
+		frame = appendVarint(frame, dt)
+		frame = appendUvarint(frame, uint64(e.Site))
+		frame = appendVarint(frame, da)
+		frame = appendUvarint(frame, uint64(e.Size))
+	case trace.EvFree:
+		frame = append(frame, kind)
+		frame = appendVarint(frame, dt)
+		frame = appendVarint(frame, da)
+	default:
+		return frame, false
+	}
+	*lastTime = e.Time
+	*lastAddr = e.Addr
+	return frame, true
+}
+
+// appendFrame appends the complete v3 frame envelope — sync marker, payload
+// length, CRC-32C, record count, records — to dst.
+func appendFrame(dst []byte, records []byte, count int) []byte {
+	var cnt [binary.MaxVarintLen64]byte
+	cn := binary.PutUvarint(cnt[:], uint64(count))
+	crc := crc32.Update(crc32.Checksum(cnt[:cn], crcTable), crcTable, records)
+	dst = append(dst, FrameMagic...)
+	dst = appendUvarint(dst, uint64(cn+len(records)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc)
+	dst = append(dst, cnt[:cn]...)
+	dst = append(dst, records...)
+	return dst
+}
+
+// EncodeFrame encodes a batch of events as one standalone v3 frame. Frames
+// are self-contained (delta baselines start at zero), so the result is
+// byte-identical to what a Writer with this exact batch would emit. The
+// batch must be non-empty, hold at most MaxBatch events, and encode within
+// MaxFramePayload bytes.
+func EncodeFrame(events []trace.Event) ([]byte, error) {
+	if len(events) == 0 {
+		return nil, badf("cannot encode an empty frame")
+	}
+	if len(events) > MaxBatch {
+		return nil, badf("frame of %d events exceeds batch limit %d", len(events), MaxBatch)
+	}
+	var records []byte
+	var lastAddr trace.Addr
+	var lastTime trace.Time
+	for _, e := range events {
+		var ok bool
+		records, ok = appendEvent(records, e, &lastAddr, &lastTime)
+		if !ok {
+			return nil, badf("cannot encode event kind %d", e.Kind)
+		}
+	}
+	var cnt [binary.MaxVarintLen64]byte
+	cn := binary.PutUvarint(cnt[:], uint64(len(events)))
+	if cn+len(records) > MaxFramePayload {
+		return nil, badf("frame payload %d exceeds limit %d", cn+len(records), MaxFramePayload)
+	}
+	return appendFrame(nil, records, len(events)), nil
+}
+
+// DecodeFrame decodes one standalone v3 frame produced by EncodeFrame (or
+// cut from a v3 trace file). The slice must hold exactly one frame; the
+// CRC is verified before any record is decoded, and every decode error
+// wraps ErrBadTrace.
+func DecodeFrame(data []byte) ([]trace.Event, error) {
+	if len(data) < len(FrameMagic) {
+		return nil, badf("frame shorter than its sync marker")
+	}
+	if string(data[:len(FrameMagic)]) != FrameMagic {
+		return nil, badf("bad frame magic %x", data[:len(FrameMagic)])
+	}
+	rest := data[len(FrameMagic):]
+	pl, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, badf("frame length: malformed varint")
+	}
+	if pl == 0 || pl > MaxFramePayload {
+		return nil, badf("frame payload %d outside (0, %d]", pl, MaxFramePayload)
+	}
+	rest = rest[n:]
+	if uint64(len(rest)) < 4+pl {
+		return nil, badf("frame truncated: %d bytes, want %d", len(rest), 4+pl)
+	}
+	if uint64(len(rest)) > 4+pl {
+		return nil, badf("%d trailing bytes after frame", uint64(len(rest))-(4+pl))
+	}
+	want := binary.LittleEndian.Uint32(rest[:4])
+	payload := rest[4 : 4+pl]
+	if got := crc32.Checksum(payload, crcTable); got != want {
+		return nil, badf("frame checksum mismatch: payload %08x, header %08x", got, want)
+	}
+	var d frameDecoder
+	if err := d.start(payload); err != nil {
+		return nil, err
+	}
+	events := make([]trace.Event, 0, d.total)
+	for d.left > 0 {
+		e, err := d.next(int64(len(events)))
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, e)
+	}
+	return events, nil
+}

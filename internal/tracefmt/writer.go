@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"sort"
 
@@ -155,29 +154,9 @@ func (t *Writer) Emit(e trace.Event) {
 	}
 	// Deltas use two's-complement wrap-around so every 64-bit value round-
 	// trips; frames reset the baselines to 0 to stay self-contained.
-	dt := int64(e.Time - t.lastTime)
-	da := int64(e.Addr - t.lastAddr)
-	t.lastTime = e.Time
-	t.lastAddr = e.Addr
-
-	kind := byte(e.Kind)
-	if e.Store {
-		kind |= storeFlag
-	}
-	t.frame = append(t.frame, kind)
-	t.frame = appendVarint(t.frame, dt)
-	switch e.Kind {
-	case trace.EvAccess:
-		t.frame = appendUvarint(t.frame, uint64(e.Instr))
-		t.frame = appendVarint(t.frame, da)
-		t.frame = appendUvarint(t.frame, uint64(e.Size))
-	case trace.EvAlloc:
-		t.frame = appendUvarint(t.frame, uint64(e.Site))
-		t.frame = appendVarint(t.frame, da)
-		t.frame = appendUvarint(t.frame, uint64(e.Size))
-	case trace.EvFree:
-		t.frame = appendVarint(t.frame, da)
-	default:
+	var ok bool
+	t.frame, ok = appendEvent(t.frame, e, &t.lastAddr, &t.lastTime)
+	if !ok {
 		t.fail(fmt.Errorf("tracefmt: cannot encode event kind %d", e.Kind))
 		return
 	}
@@ -196,16 +175,7 @@ func (t *Writer) flushFrame() {
 	if t.inFrame == 0 {
 		return
 	}
-	var cnt [binary.MaxVarintLen64]byte
-	cn := binary.PutUvarint(cnt[:], uint64(t.inFrame))
-	crc := crc32.Update(crc32.Checksum(cnt[:cn], crcTable), crcTable, t.frame)
-	var crcBuf [4]byte
-	binary.LittleEndian.PutUint32(crcBuf[:], crc)
-	t.write([]byte(FrameMagic))
-	t.uvarint(uint64(cn + len(t.frame)))
-	t.write(crcBuf[:])
-	t.write(cnt[:cn])
-	t.write(t.frame)
+	t.write(appendFrame(nil, t.frame, t.inFrame))
 	t.frame = t.frame[:0]
 	t.inFrame = 0
 	t.lastAddr = 0

@@ -1,0 +1,56 @@
+package whomp
+
+import (
+	"fmt"
+
+	"ormprof/internal/decomp"
+	"ormprof/internal/sequitur"
+)
+
+// This file implements exact SCC snapshots for checkpoint/resume
+// (internal/checkpoint): the four dimension grammars (in decomp.Dims order)
+// plus the record counter.
+
+// SCCSnapshot is the complete mutable state of a WHOMP SCC. Grammars are
+// indexed parallel to decomp.Dims.
+type SCCSnapshot struct {
+	Records  uint64
+	Grammars []*sequitur.Snapshot
+}
+
+// Snapshot captures the SCC's complete state; the result shares no memory
+// with the live SCC.
+func (s *SCC) Snapshot() (*SCCSnapshot, error) {
+	snap := &SCCSnapshot{
+		Records:  s.records,
+		Grammars: make([]*sequitur.Snapshot, 0, len(decomp.Dims)),
+	}
+	for _, d := range decomp.Dims {
+		gs, err := s.grammars[d].Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("whomp: dimension %v: %w", d, err)
+		}
+		snap.Grammars = append(snap.Grammars, gs)
+	}
+	return snap, nil
+}
+
+// SCCFromSnapshot reconstructs an SCC that behaves identically to the
+// snapshotted one for all future records.
+func SCCFromSnapshot(snap *SCCSnapshot) (*SCC, error) {
+	if len(snap.Grammars) != len(decomp.Dims) {
+		return nil, fmt.Errorf("whomp: snapshot has %d grammars, want %d", len(snap.Grammars), len(decomp.Dims))
+	}
+	s := &SCC{
+		grammars: make(map[decomp.Dimension]*sequitur.Grammar, len(decomp.Dims)),
+		records:  snap.Records,
+	}
+	for i, d := range decomp.Dims {
+		g, err := sequitur.FromSnapshot(snap.Grammars[i])
+		if err != nil {
+			return nil, fmt.Errorf("whomp: dimension %v: %w", d, err)
+		}
+		s.grammars[d] = g
+	}
+	return s, nil
+}

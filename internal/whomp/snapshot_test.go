@@ -1,0 +1,95 @@
+package whomp
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ormprof/internal/omc"
+	"ormprof/internal/profiler"
+	"ormprof/internal/trace"
+)
+
+func snapshotRecords(n int) []profiler.Record {
+	rng := rand.New(rand.NewSource(13))
+	recs := make([]profiler.Record, n)
+	for i := range recs {
+		recs[i] = profiler.Record{
+			Instr: trace.InstrID(rng.Intn(5) + 1),
+			Ref: omc.Ref{
+				Group:  omc.GroupID(rng.Intn(3)),
+				Object: uint32(rng.Intn(4)),
+				Offset: uint64(i % 128 * 8),
+			},
+			Time: trace.Time(i),
+		}
+	}
+	return recs
+}
+
+// TestWhompSCCSnapshotResumeExact: an SCC restored mid-stream and fed the
+// rest of the records must end with grammars byte-identical to an
+// uninterrupted run — this is the WHOMP half of the daemon's
+// resume-is-byte-identical guarantee.
+func TestWhompSCCSnapshotResumeExact(t *testing.T) {
+	recs := snapshotRecords(4000)
+	cuts := []int{0, 1, 10, len(recs) / 3, len(recs) / 2, len(recs) - 1, len(recs)}
+	for _, cut := range cuts {
+		full := NewSCC()
+		for _, r := range recs {
+			full.Consume(r)
+		}
+
+		s := NewSCC()
+		for _, r := range recs[:cut] {
+			s.Consume(r)
+		}
+		snap, err := s.Snapshot()
+		if err != nil {
+			t.Fatalf("cut %d: Snapshot: %v", cut, err)
+		}
+		restored, err := SCCFromSnapshot(snap)
+		if err != nil {
+			t.Fatalf("cut %d: SCCFromSnapshot: %v", cut, err)
+		}
+		for _, r := range recs[cut:] {
+			restored.Consume(r)
+		}
+
+		if restored.Records() != full.Records() {
+			t.Errorf("cut %d: records = %d, want %d", cut, restored.Records(), full.Records())
+		}
+		s1, err := restored.Snapshot()
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		s2, err := full.Snapshot()
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if !reflect.DeepEqual(s1, s2) {
+			t.Errorf("cut %d: resumed grammars differ from uninterrupted run", cut)
+		}
+	}
+}
+
+// TestWhompSCCFromSnapshotRejectsCorrupt: broken snapshots error, not panic.
+func TestWhompSCCFromSnapshotRejectsCorrupt(t *testing.T) {
+	s := NewSCC()
+	for _, r := range snapshotRecords(300) {
+		s.Consume(r)
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Grammars = snap.Grammars[:2]
+	if _, err := SCCFromSnapshot(snap); err == nil {
+		t.Error("SCCFromSnapshot accepted a snapshot with missing grammars")
+	}
+	snap2, _ := s.Snapshot()
+	snap2.Grammars[0].Rules = nil
+	if _, err := SCCFromSnapshot(snap2); err == nil {
+		t.Error("SCCFromSnapshot accepted a snapshot with an empty rule set")
+	}
+}
