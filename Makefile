@@ -7,7 +7,11 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test test-race test-short test-soak bench vet fuzz-short ci
+.PHONY: all build test test-race test-short test-soak bench vet lint fuzz-short ci
+
+# Pinned linter versions — keep in sync with .github/workflows/ci.yml.
+STATICCHECK_VERSION ?= 2025.1
+GOVULNCHECK_VERSION ?= v1.1.4
 
 all: build test
 
@@ -42,8 +46,26 @@ test-race: vet
 test-soak: build
 	$(GO) test -run 'TestSoak' -timeout 600s -v .
 
-# Everything a CI run should gate on: tier-1, tier-2, and the soak.
-ci: test test-race test-soak
+# Everything a CI run should gate on: tier-1, tier-2, static analysis,
+# and the soak.
+ci: test test-race lint test-soak
+
+# Static analysis + known-vulnerability scan. The tools are not vendored;
+# if they are missing locally the target says how to get them and skips
+# (CI installs the pinned versions, so the gate is real there).
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipping" \
+			"(go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed; skipping" \
+			"(go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION))"; \
+	fi
 
 # Skip the CLI integration tests (they build all binaries).
 test-short:

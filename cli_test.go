@@ -223,23 +223,61 @@ func TestCLITracecat(t *testing.T) {
 	}
 }
 
-func TestCLIWorkersValidation(t *testing.T) {
+// TestCLIFlagValidation drives every tool with malformed -workers and
+// -mem-budget values. The contract is uniform: the parse-time error and
+// the tool's usage text go to stderr (stdout stays empty — nothing ran),
+// and the process exits 2. Self-validating flag.Values under
+// flag.ExitOnError give every binary this behavior without per-main code.
+func TestCLIFlagValidation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and runs binaries")
 	}
-	for _, tc := range [][]string{
-		{"whomp", "-workload", "linkedlist", "-workers", "0"},
-		{"leap", "-workload", "linkedlist", "-workers", "-3"},
-		{"stridescan", "-workload", "linkedlist", "-workers", "0"},
-	} {
-		bin := filepath.Join(buildTools(t), tc[0])
-		out, err := exec.Command(bin, tc[1:]...).CombinedOutput()
+	cases := []struct {
+		tool string
+		args []string
+		want string // substring of the stderr error line
+	}{
+		{"whomp", []string{"-workers", "0"}, "must be at least 1"},
+		{"whomp", []string{"-mem-budget", "banana"}, "not a size"},
+		{"leap", []string{"-workers", "-3"}, "must be at least 1"},
+		{"leap", []string{"-mem-budget", "-4K"}, "must be non-negative"},
+		{"stridescan", []string{"-workers", "x"}, "must be an integer"},
+		{"stridescan", []string{"-mem-budget", "10Q"}, "not a size"},
+		{"mdep", []string{"-mem-budget", "1.5M"}, "not a size"},
+		{"phasescan", []string{"-mem-budget", ""}, "not a size"},
+		{"layoutopt", []string{"-mem-budget", "nope"}, "not a size"},
+		{"ormprof", []string{"translate", "-mem-budget", "zz"}, "not a size"},
+		{"ormprof", []string{"grammar", "-workers", "0"}, "must be at least 1"},
+		{"tracecat", []string{"-mem-budget", "huge"}, "not a size"},
+		{"ormpd", []string{"-mem-budget", "-1"}, "must be non-negative"},
+		{"ormpd", []string{"-global-mem-budget", "lots"}, "not a size"},
+	}
+	for _, tc := range cases {
+		bin := filepath.Join(buildTools(t), tc.tool)
+		var stdout, stderr bytes.Buffer
+		cmd := exec.Command(bin, tc.args...)
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		err := cmd.Run()
 		if err == nil {
-			t.Errorf("%s accepted %v:\n%s", tc[0], tc[1:], out)
+			t.Errorf("%s %v: accepted invalid flag\nstdout:\n%s", tc.tool, tc.args, stdout.String())
 			continue
 		}
-		if !strings.Contains(string(out), "-workers must be at least 1") {
-			t.Errorf("%s: unexpected error for bad -workers: %s", tc[0], out)
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Errorf("%s %v: %v", tc.tool, tc.args, err)
+			continue
+		}
+		if code := ee.ExitCode(); code != 2 {
+			t.Errorf("%s %v: exit code %d, want 2\nstderr:\n%s", tc.tool, tc.args, code, stderr.String())
+		}
+		if got := stderr.String(); !strings.Contains(got, tc.want) {
+			t.Errorf("%s %v: stderr missing %q:\n%s", tc.tool, tc.args, tc.want, got)
+		} else if !strings.Contains(got, "Usage of") {
+			t.Errorf("%s %v: stderr missing usage text:\n%s", tc.tool, tc.args, got)
+		}
+		if stdout.Len() != 0 {
+			t.Errorf("%s %v: flag errors must not write to stdout, got:\n%s", tc.tool, tc.args, stdout.String())
 		}
 	}
 }

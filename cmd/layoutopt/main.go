@@ -13,10 +13,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"ormprof/internal/cachesim"
 	"ormprof/internal/cliutil"
+	"ormprof/internal/govern"
 	"ormprof/internal/layout"
+	"ormprof/internal/omc"
+	"ormprof/internal/profiler"
 	"ormprof/internal/workloads"
 )
 
@@ -49,10 +53,30 @@ func run(workload string, wcfg workloads.Config, cache string, tf *cliutil.Trace
 	}
 	// Translate degrades gracefully: a salvaged pass still yields the
 	// partial record stream, and the remembered error makes the tool exit 2.
-	recs, o, err := ev.Translate()
+	// Under -mem-budget the record collector itself is governed — once the
+	// ladder drops below the sampled rung the materialized stream is gone
+	// and only the governance report renders.
 	var deg cliutil.Degraded
+	var recs []profiler.Record
+	var o *omc.OMC
+	var lad *govern.Ladder
+	if ev.Governed() {
+		lad, recs, o, err = ev.TranslateGoverned(uint64(wcfg.Seed))
+	} else {
+		recs, o, err = ev.Translate()
+	}
 	if err := deg.Check(err); err != nil {
 		return err
+	}
+	if lad != nil && o == nil {
+		fmt.Printf("workload %s: layout analysis unavailable (degraded to %s)\n", ev.Name, lad.Rung())
+		if err := cliutil.WriteGovernance(os.Stdout, lad); err != nil {
+			return err
+		}
+		if err := deg.Check(lad.Err()); err != nil {
+			return err
+		}
+		return deg.Err()
 	}
 	info := layout.OMCInfo{OMC: o}
 	orig := layout.OriginalResolver(info)
@@ -118,5 +142,13 @@ func run(workload string, wcfg workloads.Config, cache string, tf *cliutil.Trace
 	beforeAMAT, afterAMAT := amat(orig), amat(bothResolver)
 	fmt.Printf("\nAMAT (L1 4cy, L2 12cy, mem 200cy): %.2f -> %.2f cycles/access (%.1f%% faster)\n",
 		beforeAMAT, afterAMAT, 100*(1-afterAMAT/beforeAMAT))
+	if lad != nil {
+		if err := cliutil.WriteGovernance(os.Stdout, lad); err != nil {
+			return err
+		}
+		if err := deg.Check(lad.Err()); err != nil {
+			return err
+		}
+	}
 	return deg.Err()
 }

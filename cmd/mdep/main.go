@@ -21,6 +21,7 @@ import (
 	"ormprof/internal/cliutil"
 	"ormprof/internal/depend"
 	"ormprof/internal/experiments"
+	"ormprof/internal/govern"
 	"ormprof/internal/leap"
 	"ormprof/internal/report"
 	"ormprof/internal/workloads"
@@ -57,7 +58,7 @@ func run(workload string, cfg workloads.Config, maxLMADs, window int, bench stri
 		if err != nil {
 			return err
 		}
-		return depOne(ev, maxLMADs, window)
+		return depOne(ev, maxLMADs, window, uint64(cfg.Seed))
 	}
 
 	rows := experiments.Dependence(experiments.DepConfig{
@@ -104,27 +105,58 @@ func run(workload string, cfg workloads.Config, maxLMADs, window int, bench stri
 // streaming passes: the lossless baseline, the LEAP estimate, and Connors.
 // Salvaged passes still print the comparison over the partial stream; the
 // remembered error makes the tool exit 2.
-func depOne(ev *cliutil.Events, maxLMADs, window int) error {
+func depOne(ev *cliutil.Events, maxLMADs, window int, seed uint64) error {
 	var deg cliutil.Degraded
 	ideal := depend.NewIdeal()
 	_, perr := ev.Pass(ideal)
 	if err := deg.Check(perr); err != nil {
 		return err
 	}
-	lp := leap.New(ev.Sites, maxLMADs)
-	_, perr = ev.Pass(lp)
-	if err := deg.Check(perr); err != nil {
-		return err
+	// Only the LEAP estimate is governed by -mem-budget: the lossless
+	// baseline and the Connors profiler ARE the experiment's ground truth,
+	// so degrading them would corrupt the comparison rather than bound it.
+	var llad *govern.Ladder
+	var leapRes *depend.Result
+	if ev.Governed() {
+		llad, _, perr = ev.GovernedPass(seed, func() govern.Mode { return leap.New(ev.Sites, maxLMADs) })
+		if err := deg.Check(perr); err != nil {
+			return err
+		}
+		if lp, ok := llad.FullMode().(*leap.Profiler); ok {
+			leapRes = depend.FromLEAP(lp.Profile(ev.Name))
+		}
+	} else {
+		lp := leap.New(ev.Sites, maxLMADs)
+		_, perr = ev.Pass(lp)
+		if err := deg.Check(perr); err != nil {
+			return err
+		}
+		leapRes = depend.FromLEAP(lp.Profile(ev.Name))
 	}
-	leapRes := depend.FromLEAP(lp.Profile(ev.Name))
 	con := depend.NewConnors(window)
 	_, perr = ev.Pass(con)
 	if err := deg.Check(perr); err != nil {
 		return err
 	}
-	printDistributions(ev.Name,
-		depend.Distribution(ideal.Result(), leapRes),
-		depend.Distribution(ideal.Result(), con.Result()))
+	if leapRes == nil {
+		fmt.Printf("workload %s: LEAP estimate unavailable (degraded to %s); Connors only\n",
+			ev.Name, llad.Rung())
+		printDistributions(ev.Name,
+			depend.ErrorDist{},
+			depend.Distribution(ideal.Result(), con.Result()))
+	} else {
+		printDistributions(ev.Name,
+			depend.Distribution(ideal.Result(), leapRes),
+			depend.Distribution(ideal.Result(), con.Result()))
+	}
+	if llad != nil {
+		if err := cliutil.WriteGovernance(os.Stdout, llad); err != nil {
+			return err
+		}
+		if err := deg.Check(llad.Err()); err != nil {
+			return err
+		}
+	}
 	return deg.Err()
 }
 

@@ -47,6 +47,10 @@ func main() {
 		drain      = flag.Duration("drain-timeout", 10*time.Second, "how long a graceful shutdown waits for live sessions to finish")
 		quiet      = flag.Bool("quiet", false, "suppress per-session log lines")
 	)
+	memBudget := cliutil.SizeFlag(flag.CommandLine, "mem-budget",
+		"per-session memory budget (e.g. 64M); over budget the session's pipeline degrades (0 = unlimited)")
+	globalBudget := cliutil.SizeFlag(flag.CommandLine, "global-mem-budget",
+		"memory budget (e.g. 512M) across all sessions; over its watermark new sessions are told to retry and the heaviest session is stepped down (0 = unlimited)")
 	flag.Parse()
 	cliutil.Fatal("ormpd", run(*listen, serve.Config{
 		CheckpointDir:      *ckDir,
@@ -59,6 +63,8 @@ func main() {
 		IdleTimeout:        *idle,
 		RetryAfter:         *retryAfter,
 		MaxLMADs:           *maxLMADs,
+		SessionMemBudget:   *memBudget,
+		GlobalMemBudget:    *globalBudget,
 	}, *drain, *quiet))
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"ormprof/internal/cliutil"
 	"ormprof/internal/decomp"
+	"ormprof/internal/govern"
 	"ormprof/internal/hotstream"
 	"ormprof/internal/whomp"
 )
@@ -43,12 +44,28 @@ func grammarCmd(args []string) error {
 		return err
 	}
 	var deg cliutil.Degraded
-	wp := whomp.NewParallel(ev.Sites, *workers)
-	_, perr := ev.Pass(wp)
-	if err := deg.Check(perr); err != nil {
-		return err
+	var profile *whomp.Profile
+	var lad *govern.Ladder
+	if ev.Governed() {
+		var perr error
+		lad, _, perr = ev.GovernedPass(uint64(*seed), func() govern.Mode { return whomp.New(ev.Sites) })
+		if err := deg.Check(perr); err != nil {
+			return err
+		}
+		wp, ok := lad.FullMode().(*whomp.Profiler)
+		if !ok {
+			fmt.Printf("workload %s: grammar unavailable (degraded to %s)\n", ev.Name, lad.Rung())
+			return finishGoverned(&deg, lad)
+		}
+		profile = wp.Profile(ev.Name)
+	} else {
+		wp := whomp.NewParallel(ev.Sites, *workers)
+		_, perr := ev.Pass(wp)
+		if err := deg.Check(perr); err != nil {
+			return err
+		}
+		profile = wp.Profile(ev.Name)
 	}
-	profile := wp.Profile(ev.Name)
 	g := profile.Grammars[dim]
 
 	fmt.Printf("workload %s, %s-dimension grammar: %d rules, %d symbols for %d accesses (%.1fx)\n\n",
@@ -77,5 +94,5 @@ func grammarCmd(args []string) error {
 	if len(streams) == 0 {
 		fmt.Println("  (no repeated subsequences — the stream is unique throughout)")
 	}
-	return deg.Err()
+	return finishGoverned(&deg, lad)
 }

@@ -19,9 +19,11 @@ import (
 
 	"ormprof/internal/cliutil"
 	"ormprof/internal/experiments"
+	"ormprof/internal/govern"
 	"ormprof/internal/leap"
 	"ormprof/internal/report"
 	"ormprof/internal/stride"
+	"ormprof/internal/trace"
 	"ormprof/internal/workloads"
 )
 
@@ -51,7 +53,7 @@ func run(workload string, cfg workloads.Config, maxLMADs int, verbose bool, work
 		if err != nil {
 			return err
 		}
-		return scanOne(ev, maxLMADs, workers)
+		return scanOne(ev, maxLMADs, workers, uint64(cfg.Seed))
 	}
 
 	rows := experiments.Fig9(cfg, maxLMADs)
@@ -78,7 +80,7 @@ func run(workload string, cfg workloads.Config, maxLMADs int, verbose bool, work
 				return err
 			}
 			fmt.Printf("\n%s:\n", name)
-			if err := scanOne(ev, maxLMADs, workers); err != nil {
+			if err := scanOne(ev, maxLMADs, workers, uint64(cfg.Seed)); err != nil {
 				return err
 			}
 		}
@@ -89,7 +91,10 @@ func run(workload string, cfg workloads.Config, maxLMADs int, verbose bool, work
 // scanOne scores LEAP's stride identification for one event stream against
 // the lossless reference profiler — two streaming passes. Salvaged passes
 // still print the comparison; the remembered error makes the tool exit 2.
-func scanOne(ev *cliutil.Events, maxLMADs, workers int) error {
+func scanOne(ev *cliutil.Events, maxLMADs, workers int, seed uint64) error {
+	if ev.Governed() {
+		return scanOneGoverned(ev, maxLMADs, seed)
+	}
 	var deg cliutil.Degraded
 	ideal := stride.NewIdeal()
 	_, perr := ev.Pass(ideal)
@@ -105,6 +110,58 @@ func scanOne(ev *cliutil.Events, maxLMADs, workers int) error {
 	strong := ideal.StronglyStrided()
 	real := stride.SortedIDs(strong)
 
+	printScan(ev, strong, real, est)
+	return deg.Err()
+}
+
+// scanOneGoverned runs both passes behind degradation ladders. The
+// reference pass is special: its own stride-only rung IS the reference
+// profiler, so the comparison survives two step-downs of that ladder.
+func scanOneGoverned(ev *cliutil.Events, maxLMADs int, seed uint64) error {
+	var deg cliutil.Degraded
+	ilad, _, perr := ev.GovernedPass(seed, func() govern.Mode { return stride.NewIdeal() })
+	if err := deg.Check(perr); err != nil {
+		return err
+	}
+	llad, _, perr := ev.GovernedPass(seed, func() govern.Mode { return leap.New(ev.Sites, maxLMADs) })
+	if err := deg.Check(perr); err != nil {
+		return err
+	}
+
+	ideal, _ := ilad.FullMode().(*stride.Ideal)
+	if ideal == nil {
+		ideal = ilad.StrideProfiler()
+	}
+	var est map[trace.InstrID]stride.Info
+	if lp, ok := llad.FullMode().(*leap.Profiler); ok {
+		est = stride.FromLEAP(lp.Profile(ev.Name))
+	}
+	switch {
+	case ideal == nil:
+		fmt.Printf("workload %s: stride reference unavailable (degraded to %s)\n", ev.Name, ilad.Rung())
+	case est == nil:
+		fmt.Printf("workload %s: LEAP estimate unavailable (degraded to %s); reference only\n", ev.Name, llad.Rung())
+		fallthrough
+	default:
+		strong := ideal.StronglyStrided()
+		printScan(ev, strong, stride.SortedIDs(strong), est)
+	}
+	if err := cliutil.WriteGovernance(os.Stdout, ilad, llad); err != nil {
+		return err
+	}
+	if err := deg.Check(ilad.Err()); err != nil {
+		return err
+	}
+	if err := deg.Check(llad.Err()); err != nil {
+		return err
+	}
+	return deg.Err()
+}
+
+// printScan renders the per-instruction comparison table and summary. A
+// nil est (governed run degraded below stride capture) marks every real
+// strided instruction MISS, which is exactly what the profile would say.
+func printScan(ev *cliutil.Events, strong map[trace.InstrID]stride.Info, real []trace.InstrID, est map[trace.InstrID]stride.Info) {
 	found := 0
 	for _, id := range real {
 		ri := strong[id]
@@ -121,5 +178,4 @@ func scanOne(ev *cliutil.Events, maxLMADs, workers int) error {
 	} else {
 		fmt.Printf("workload %s: no strongly strided instructions\n", ev.Name)
 	}
-	return deg.Err()
 }

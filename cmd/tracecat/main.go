@@ -24,6 +24,7 @@ import (
 	"os"
 
 	"ormprof/internal/cliutil"
+	"ormprof/internal/govern"
 	"ormprof/internal/trace"
 	"ormprof/internal/tracefmt"
 )
@@ -41,6 +42,8 @@ func main() {
 		lenient = flag.Bool("lenient", false, "skip damaged frames instead of aborting (exit code 2 if events were lost)")
 		verify  = flag.Bool("verify", false, "verify trace integrity end to end and print a damage report")
 	)
+	memBudget := cliutil.SizeFlag(flag.CommandLine, "mem-budget",
+		"memory budget (e.g. 64M) for -stats; over budget the summary degrades and the tool exits 2 (0 = unlimited)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: tracecat [flags] FILE.ormtrace")
@@ -52,7 +55,7 @@ func main() {
 	if *verify {
 		err = verifyTrace(flag.Arg(0))
 	} else {
-		err = run(flag.Arg(0), *n, *kind, *instr, *site, *from, *to, *count, *stats, *lenient)
+		err = run(flag.Arg(0), *n, *kind, *instr, *site, *from, *to, *count, *stats, *lenient, *memBudget)
 	}
 	if err != nil {
 		cliutil.Fatal("tracecat", err)
@@ -91,7 +94,7 @@ func verifyTrace(path string) error {
 	return err
 }
 
-func run(path string, n int, kind string, instr, site int, from, to uint64, count, stats, lenient bool) error {
+func run(path string, n int, kind string, instr, site int, from, to uint64, count, stats, lenient bool, memBudget int64) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -145,17 +148,36 @@ func run(path string, n int, kind string, instr, site int, from, to uint64, coun
 	var deg cliutil.Degraded
 
 	if stats {
+		if memBudget > 0 {
+			// The stats builder's instruction/site/live tables are the only
+			// unbounded state here; a directly built ladder governs them.
+			lad := govern.NewLadder(govern.Config{
+				Budget: govern.NewBudget(memBudget),
+				Full:   func() govern.Mode { return &trace.StatsBuilder{} },
+			})
+			total, derr := trace.Drain(r, lad)
+			if err := deg.Check(derr); err != nil {
+				return err
+			}
+			if sb, ok := lad.FullMode().(*trace.StatsBuilder); ok {
+				printStats(path, r, sb, total)
+			} else {
+				fmt.Printf("trace %s: summary unavailable (degraded to %s)\n", path, lad.Rung())
+			}
+			if err := cliutil.WriteGovernance(os.Stdout, lad); err != nil {
+				return err
+			}
+			if err := deg.Check(lad.Err()); err != nil {
+				return err
+			}
+			return deg.Err()
+		}
 		sb := &trace.StatsBuilder{}
 		total, derr := trace.Drain(r, sb)
 		if err := deg.Check(derr); err != nil {
 			return err
 		}
-		s := sb.Stats()
-		fmt.Printf("trace %s: workload %q, format v%d\n", path, r.Name(), r.Version())
-		fmt.Printf("  %d events: %d loads, %d stores, %d allocs, %d frees\n",
-			total, s.Loads, s.Stores, s.Allocs, s.Frees)
-		fmt.Printf("  %d distinct instructions, %d distinct sites (%d named), peak %d bytes live\n",
-			s.Instrs, s.Sites, len(r.Sites()), s.BytesLive)
+		printStats(path, r, sb, total)
 		return deg.Err()
 	}
 
@@ -190,4 +212,13 @@ func run(path string, n int, kind string, instr, site int, from, to uint64, coun
 		fmt.Printf("… %d more matching records\n", matched-printed)
 	}
 	return deg.Err()
+}
+
+func printStats(path string, r *tracefmt.Reader, sb *trace.StatsBuilder, total int) {
+	s := sb.Stats()
+	fmt.Printf("trace %s: workload %q, format v%d\n", path, r.Name(), r.Version())
+	fmt.Printf("  %d events: %d loads, %d stores, %d allocs, %d frees\n",
+		total, s.Loads, s.Stores, s.Allocs, s.Frees)
+	fmt.Printf("  %d distinct instructions, %d distinct sites (%d named), peak %d bytes live\n",
+		s.Instrs, s.Sites, len(r.Sites()), s.BytesLive)
 }

@@ -21,6 +21,7 @@ import (
 
 	"ormprof/internal/cliutil"
 	"ormprof/internal/experiments"
+	"ormprof/internal/govern"
 	"ormprof/internal/report"
 	"ormprof/internal/whomp"
 	"ormprof/internal/workloads"
@@ -89,6 +90,12 @@ func runOne(workload string, cfg workloads.Config, out string, workers int, tf *
 	if err != nil {
 		return err
 	}
+	if ev.Governed() {
+		// Governed runs are sequential: degradation trip points are then a
+		// pure function of (stream, budget, seed), so output is identical
+		// for every -workers setting.
+		return runOneGoverned(ev, out, uint64(cfg.Seed))
+	}
 	var deg cliutil.Degraded
 
 	wp := whomp.NewParallel(ev.Sites, workers)
@@ -121,6 +128,60 @@ func runOne(workload string, cfg workloads.Config, out string, workers int, tf *
 			return err
 		}
 		fmt.Printf("  wrote %d-byte profile (grammars + object table) to %s\n", n, out)
+	}
+	return deg.Err()
+}
+
+// runOneGoverned is runOne under a memory budget: both passes run behind
+// degradation ladders sharing the invocation budget. Whatever survives
+// still renders — a sampled profile, or just the governance report — and
+// a degraded run exits 2 via the ladder's typed error.
+func runOneGoverned(ev *cliutil.Events, out string, seed uint64) error {
+	var deg cliutil.Degraded
+	wlad, _, perr := ev.GovernedPass(seed, func() govern.Mode { return whomp.New(ev.Sites) })
+	if err := deg.Check(perr); err != nil {
+		return err
+	}
+	rlad, _, perr := ev.GovernedPass(seed, func() govern.Mode { return whomp.NewRASG() })
+	if err := deg.Check(perr); err != nil {
+		return err
+	}
+
+	if wp, ok := wlad.FullMode().(*whomp.Profiler); ok {
+		profile := wp.Profile(ev.Name)
+		fmt.Printf("workload %s: %d accesses, %d objects in %d groups\n",
+			ev.Name, profile.Records, profile.Objects.NumObjects(), len(profile.Objects.Groups))
+		if rasg, ok := rlad.FullMode().(*whomp.RASG); ok {
+			fmt.Printf("  RASG: %8d symbols  %8d bytes\n", rasg.Symbols(), rasg.EncodedBytes())
+			fmt.Printf("  OMSG: %8d symbols  %8d bytes  (%.1f%% smaller)\n",
+				profile.Symbols(), profile.EncodedBytes(), whomp.CompressionGain(profile, rasg))
+		} else {
+			fmt.Printf("  OMSG: %8d symbols  %8d bytes  (RASG degraded to %s; no comparison)\n",
+				profile.Symbols(), profile.EncodedBytes(), rlad.Rung())
+		}
+		if out != "" {
+			f, err := os.Create(out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			n, err := profile.WriteTo(f)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  wrote %d-byte profile (grammars + object table) to %s\n", n, out)
+		}
+	} else {
+		fmt.Printf("workload %s: full profile unavailable (degraded to %s)\n", ev.Name, wlad.Rung())
+	}
+	if err := cliutil.WriteGovernance(os.Stdout, wlad, rlad); err != nil {
+		return err
+	}
+	if err := deg.Check(wlad.Err()); err != nil {
+		return err
+	}
+	if err := deg.Check(rlad.Err()); err != nil {
+		return err
 	}
 	return deg.Err()
 }

@@ -1,0 +1,308 @@
+package ormprof
+
+// Resource-governance soak: the adversarial workload is built to make the
+// WHOMP grammars grow near-linearly, so an unbounded profiling run's
+// footprint dwarfs any sensible budget. The contract under test is the
+// governance tentpole: with a budget, the accounted peak stays under it
+// (and live heap under a matching ceiling) while the pipeline steps down
+// the degradation ladder instead of growing; degraded runs still render
+// partial output and exit 2; output is byte-identical across worker
+// counts at every rung; and a daemon killed mid-degradation resumes on
+// the same rung and finishes with byte-identical output.
+//
+// All budgets are calibrated at runtime from the measured per-rung peaks,
+// so the test tracks the workload instead of hard-coding footprints.
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"ormprof/internal/checkpoint"
+	"ormprof/internal/govern"
+	"ormprof/internal/serve"
+	"ormprof/internal/trace"
+	"ormprof/internal/whomp"
+)
+
+// rungPeak measures the accounted peak of a whomp profiling run forced to
+// start at the given rung, with no budget (account-only).
+func rungPeak(t *testing.T, buf *trace.Buffer, sites map[trace.SiteID]string, steps int) (int64, govern.Rung) {
+	t.Helper()
+	lad := govern.NewLadder(govern.Config{
+		Seed: 42,
+		Full: func() govern.Mode { return whomp.New(sites) },
+	})
+	for i := 0; i < steps; i++ {
+		lad.ForceStep()
+	}
+	buf.Replay(lad)
+	return lad.Budget().Peak(), lad.Rung()
+}
+
+// liveHeap settles the collector and reads the live heap size.
+func liveHeap() int64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.HeapAlloc)
+}
+
+// governedRun replays the buffer through a budgeted whomp ladder and
+// returns the ladder.
+func governedRun(buf *trace.Buffer, sites map[trace.SiteID]string, budget int64) *govern.Ladder {
+	lad := govern.NewLadder(govern.Config{
+		Budget: govern.NewBudget(budget),
+		Seed:   42,
+		Full:   func() govern.Mode { return whomp.New(sites) },
+	})
+	buf.Replay(lad)
+	return lad
+}
+
+// calibrateBudgets derives one budget per degraded rung from the measured
+// per-rung peaks: twice the rung's own peak (so the ladder settles there)
+// for sampled and stride-only, half the stride peak for the counters
+// floor. Premises that the workload must satisfy are asserted, not
+// assumed.
+func calibrateBudgets(t *testing.T, buf *trace.Buffer, sites map[trace.SiteID]string) (peakFull int64, budgets map[govern.Rung]int64) {
+	t.Helper()
+	peakFull, _ = rungPeak(t, buf, sites, 0)
+	sampledPeak, r1 := rungPeak(t, buf, sites, 1)
+	stridePeak, r2 := rungPeak(t, buf, sites, 2)
+	if r1 != govern.RungSampled || r2 != govern.RungStrideOnly {
+		t.Fatalf("forced rungs drifted: %s, %s", r1, r2)
+	}
+	t.Logf("peaks: full %d, sampled %d, stride %d", peakFull, sampledPeak, stridePeak)
+	// Each rung's peak must clear the next rung's budget watermark
+	// (budget − budget/8 = 1.75x the next peak), or the ladder would
+	// settle early; 2x keeps margin over that.
+	if peakFull/2 < sampledPeak || sampledPeak/2 < stridePeak {
+		t.Fatalf("adversarial workload lost its rung separation: full %d, sampled %d, stride %d",
+			peakFull, sampledPeak, stridePeak)
+	}
+	budgets = map[govern.Rung]int64{
+		govern.RungSampled:    2 * sampledPeak,
+		govern.RungStrideOnly: 2 * stridePeak,
+		govern.RungCounters:   stridePeak / 2,
+	}
+	// The headline ratio: the unbounded run needs at least 10x the
+	// tightest budget this soak enforces.
+	if tight := budgets[govern.RungCounters]; peakFull < 10*tight {
+		t.Fatalf("unbounded peak %d is under 10x the tight budget %d", peakFull, tight)
+	}
+	return peakFull, budgets
+}
+
+// TestSoakGovernBudgetEnforced: for every rung of the ladder, a run under
+// that rung's budget keeps its accounted peak within the budget and ends
+// on the expected rung; the tight-budget run also keeps the process's
+// live heap an order of magnitude below the unbounded run's.
+func TestSoakGovernBudgetEnforced(t *testing.T) {
+	buf, sites, _ := recordWorkload(t, "adversarial")
+	_, budgets := calibrateBudgets(t, buf, sites)
+
+	base := liveHeap()
+	unbounded := governedRun(buf, sites, 0)
+	unboundedHeap := liveHeap() - base
+	if unbounded.Rung() != govern.RungFull {
+		t.Fatalf("unbounded run degraded to %s", unbounded.Rung())
+	}
+	unbounded = nil //nolint:wastedassign // release before the governed heap measurement
+	_ = unbounded
+
+	for rung, budget := range budgets {
+		lad := governedRun(buf, sites, budget)
+		if lad.Rung() != rung {
+			t.Errorf("budget %d: ended at %s, want %s", budget, lad.Rung(), rung)
+		}
+		if peak := lad.Budget().Peak(); peak > budget {
+			t.Errorf("budget %d: accounted peak %d exceeds the budget", budget, peak)
+		}
+		if lad.Err() == nil {
+			t.Errorf("budget %d: degraded run reported no DegradedError", budget)
+		}
+	}
+
+	// Live-heap ceiling under the tight budget: the collector must
+	// actually get the stepped-down structures back.
+	tight := budgets[govern.RungCounters]
+	base = liveHeap()
+	lad := governedRun(buf, sites, tight)
+	governedHeap := liveHeap() - base
+	if lad.Rung() != govern.RungCounters {
+		t.Fatalf("tight budget ended at %s", lad.Rung())
+	}
+	if governedHeap > unboundedHeap/4 {
+		t.Errorf("governed live heap %d not well under unbounded %d", governedHeap, unboundedHeap)
+	}
+	if governedHeap > tight+(4<<20) {
+		t.Errorf("governed live heap %d far above the %d budget", governedHeap, tight)
+	}
+}
+
+// TestSoakGovernWorkersByteIdentical: a governed CLI run exits 2, renders
+// the partial output plus the governance report, and produces
+// byte-identical output for workers 1, 2, and 8 — at every rung.
+func TestSoakGovernWorkersByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	buf, sites, encoded := recordWorkload(t, "adversarial")
+	_, budgets := calibrateBudgets(t, buf, sites)
+	dir := t.TempDir()
+	tr := filepath.Join(dir, "adv.ormtrace")
+	if err := os.WriteFile(tr, encoded, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for rung, budget := range budgets {
+		t.Run(rung.String(), func(t *testing.T) {
+			var wantOut string
+			var wantProfile []byte
+			for _, workers := range []string{"1", "2", "8"} {
+				args := []string{"-replay", tr, "-mem-budget", strconv.FormatInt(budget, 10), "-workers", workers}
+				profile := ""
+				if rung <= govern.RungSampled {
+					// Same path for every worker count: the tool echoes it
+					// to stdout, which must stay byte-identical.
+					profile = filepath.Join(dir, rung.String()+".whomp")
+					args = append(args, "-o", profile)
+				}
+				out := runToolExit(t, 2, "whomp", args...)
+				wantContains(t, out, "# resource governance", "mode "+rung.String())
+				if mode := strings.Index(out, "mode "); mode < 0 || !strings.HasPrefix(out[mode+5:], rung.String()) {
+					t.Errorf("workers=%s: first governed pass not at %s:\n%s", workers, rung, out)
+				}
+				var prof []byte
+				if profile != "" {
+					b, err := os.ReadFile(profile)
+					if err != nil {
+						t.Fatalf("workers=%s: partial profile not written: %v", workers, err)
+					}
+					prof = b
+				}
+				if wantOut == "" {
+					wantOut, wantProfile = out, prof
+					continue
+				}
+				if out != wantOut {
+					t.Errorf("workers=%s: stdout differs from workers=1", workers)
+				}
+				if !bytes.Equal(prof, wantProfile) {
+					t.Errorf("workers=%s: profile differs from workers=1", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestSoakGovernKillRestartMidDegradation: a daemon session pushed over
+// its budget is killed after it has stepped down, restarted with resume,
+// and must finish on the same rung with final artifacts byte-identical to
+// an uninterrupted governed run of the same session.
+func TestSoakGovernKillRestartMidDegradation(t *testing.T) {
+	soakLeakCheck(t)
+	const workload = "adversarial"
+	frames, sites, buf := netSoakFrames(t, workload, 256)
+	_, budgets := calibrateBudgets(t, buf, sites)
+	budget := budgets[govern.RungStrideOnly]
+	cfg := serve.Config{
+		CheckpointEvery: 2, CheckpointInterval: 10 * time.Millisecond,
+		SessionMemBudget: budget,
+	}
+	ccfg := serve.ClientConfig{
+		SessionID: "soak-gov", Workload: workload, Sites: sites,
+		MaxAttempts: 50, BackoffBase: 5 * time.Millisecond, BackoffMax: 50 * time.Millisecond,
+		AttemptTimeout: 5 * time.Second,
+	}
+
+	// Reference: the same governed session, uninterrupted.
+	refOut := filepath.Join(t.TempDir(), "out")
+	refCfg := cfg
+	refCfg.CheckpointDir, refCfg.OutputDir = filepath.Join(t.TempDir(), "ck"), refOut
+	ref := startNetSoakServer(t, "127.0.0.1:0", refCfg)
+	ccfg.Addr = ref.addr
+	if _, err := serve.Push(context.Background(), ccfg, frames); err != nil {
+		t.Fatalf("reference push: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := ref.srv.Shutdown(ctx); err != nil {
+		t.Fatalf("reference shutdown: %v", err)
+	}
+	<-ref.done
+	refGov, err := os.ReadFile(filepath.Join(refOut, workload+".govern"))
+	if err != nil {
+		t.Fatalf("reference governance artifact: %v", err)
+	}
+	if !strings.Contains(string(refGov), "mode "+govern.RungStrideOnly.String()) {
+		t.Fatalf("reference session did not settle at stride-only:\n%s", refGov)
+	}
+
+	// Interrupted: kill once a checkpoint is durable, then verify the kill
+	// really landed mid-degradation before restarting.
+	ckDir := filepath.Join(t.TempDir(), "ck")
+	outDir := filepath.Join(t.TempDir(), "out")
+	kcfg := cfg
+	kcfg.CheckpointDir, kcfg.OutputDir = ckDir, outDir
+	s1 := startNetSoakServer(t, "127.0.0.1:0", kcfg)
+	ccfg.Addr = s1.addr
+	pushDone := make(chan error, 1)
+	go func() {
+		_, err := serve.Push(context.Background(), ccfg, frames)
+		pushDone <- err
+	}()
+	// Kill only once a checkpoint recording a degraded rung is durable:
+	// rungs are monotonic, so the restart then provably resumes
+	// mid-degradation rather than re-tripping from scratch.
+	ckPath := filepath.Join(ckDir, "soak-gov.ckpt")
+	waitFor := time.Now().Add(30 * time.Second)
+	for {
+		if ck, err := checkpoint.Load(ckPath); err == nil &&
+			ck.Ladder != nil && ck.Ladder.Rung > govern.RungFull {
+			break
+		}
+		if time.Now().After(waitFor) {
+			t.Fatal("no mid-degradation checkpoint appeared before the kill")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s1.srv.Kill()
+	<-s1.done
+	ck, err := checkpoint.Load(ckPath)
+	if err != nil {
+		t.Fatalf("checkpoint after kill: %v", err)
+	}
+	if ck.Ladder == nil || ck.Ladder.Rung == govern.RungFull {
+		t.Fatalf("kill landed before any degradation (rung %v); the soak premise needs a mid-degradation kill", ck.Ladder)
+	}
+	t.Logf("killed at rung %s, frame cursor %d", ck.Ladder.Rung, ck.FramesApplied)
+
+	rcfg := kcfg
+	rcfg.Resume = true
+	s2 := startNetSoakServer(t, s1.addr, rcfg)
+	if err := <-pushDone; err != nil {
+		t.Fatalf("push across kill/restart: %v", err)
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel2()
+	if err := s2.srv.Shutdown(ctx2); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	<-s2.done
+
+	gotGov, err := os.ReadFile(filepath.Join(outDir, workload+".govern"))
+	if err != nil {
+		t.Fatalf("governance artifact after resume: %v", err)
+	}
+	if !bytes.Equal(gotGov, refGov) {
+		t.Errorf("resumed governance report differs from uninterrupted run:\n--- resumed\n%s--- reference\n%s", gotGov, refGov)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"ormprof/internal/govern"
 	"ormprof/internal/leap"
 	"ormprof/internal/omc"
 	"ormprof/internal/stride"
@@ -106,6 +107,14 @@ type State struct {
 	LeapOMC  *omc.Snapshot
 	Leap     *leap.SCCSnapshot
 	Stride   *stride.Snapshot
+
+	// Ladder is the resource-governance state: the degradation rung the
+	// session was on, its step history, and the degraded modes' own state.
+	// nil in checkpoints written before governance existed (gob leaves the
+	// field unset), which restores as an ungoverned full-rung session. At
+	// rungs below object-sampled the pipeline snapshots above are nil: the
+	// session's entire output lives in the ladder.
+	Ladder *govern.Snapshot
 }
 
 // SitesMap converts the sorted site table back to map form.
@@ -241,10 +250,19 @@ func PathFor(dir, sessionID string) string {
 	return filepath.Join(dir, sanitize(sessionID)+".ckpt")
 }
 
+// Skipped describes one unusable checkpoint file LoadDir left behind:
+// the path and the typed error (usually a *CorruptError) explaining why.
+type Skipped struct {
+	Path string
+	Err  error
+}
+
+func (s Skipped) Error() string { return s.Err.Error() }
+
 // LoadDir loads every readable checkpoint in dir, keyed by session ID.
-// Corrupt or unreadable files are skipped (reported in skipped), so one
-// damaged checkpoint never blocks resuming the others.
-func LoadDir(dir string) (states map[string]*State, skipped []string, err error) {
+// Corrupt or unreadable files are skipped with a typed per-file error, so
+// one damaged checkpoint never blocks resuming the others.
+func LoadDir(dir string) (states map[string]*State, skipped []Skipped, err error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, nil, err
@@ -257,7 +275,7 @@ func LoadDir(dir string) (states map[string]*State, skipped []string, err error)
 		p := filepath.Join(dir, e.Name())
 		st, err := Load(p)
 		if err != nil {
-			skipped = append(skipped, p)
+			skipped = append(skipped, Skipped{Path: p, Err: err})
 			continue
 		}
 		states[st.SessionID] = st

@@ -18,9 +18,11 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
+	"ormprof/internal/govern"
 	"ormprof/internal/memsim"
 	"ormprof/internal/omc"
 	"ormprof/internal/profiler"
@@ -29,11 +31,35 @@ import (
 	"ormprof/internal/workloads"
 )
 
+// workersValue is a self-validating flag.Value for -workers: rejecting a
+// bad value in Set means every tool gets the FlagSet's own error handling
+// — message plus usage on stderr, exit code 2 — instead of each main
+// hand-rolling (and subtly diverging on) the failure path.
+type workersValue int
+
+func (v *workersValue) String() string { return strconv.Itoa(int(*v)) }
+
+func (v *workersValue) Set(s string) error {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return fmt.Errorf("must be an integer (got %q)", s)
+	}
+	if n < 1 {
+		return fmt.Errorf("must be at least 1 (got %d)", n)
+	}
+	*v = workersValue(n)
+	return nil
+}
+
 // WorkersFlag registers the shared -workers flag on fs. The default is
-// runtime.GOMAXPROCS(0); CheckWorkers rejects anything below 1.
+// runtime.GOMAXPROCS(0); values below 1 are rejected at parse time (usage
+// on stderr, exit 2 under flag.ExitOnError). CheckWorkers remains for
+// values that arrive outside flag parsing.
 func WorkersFlag(fs *flag.FlagSet) *int {
-	return fs.Int("workers", runtime.GOMAXPROCS(0),
+	v := workersValue(runtime.GOMAXPROCS(0))
+	fs.Var(&v, "workers",
 		"worker goroutines for profile construction (>= 1; profiles are identical for any count)")
+	return (*int)(&v)
 }
 
 // CheckWorkers validates a -workers value: the pipeline needs at least one
@@ -62,9 +88,15 @@ type TraceFlags struct {
 	// first pass, so a tool that makes three passes gets one budget, not
 	// three.
 	Deadline time.Duration
+	// MemBudget is the invocation's memory budget in bytes, shared by
+	// every governed pass; 0 means none. When a pass's accounted footprint
+	// trips the budget, the pipeline steps down the degradation ladder
+	// (internal/govern) and the tool exits 2 with partial output.
+	MemBudget int64
 }
 
-// RegisterTraceFlags adds -record, -replay, -lenient, and -deadline to fs.
+// RegisterTraceFlags adds -record, -replay, -lenient, -deadline, and
+// -mem-budget to fs.
 func RegisterTraceFlags(fs *flag.FlagSet) *TraceFlags {
 	t := &TraceFlags{}
 	fs.StringVar(&t.Record, "record", "",
@@ -75,6 +107,8 @@ func RegisterTraceFlags(fs *flag.FlagSet) *TraceFlags {
 		"tolerate corrupt frames in the -replay trace: skip damage, salvage the rest (exit code 2 if events were lost)")
 	fs.DurationVar(&t.Deadline, "deadline", 0,
 		"total time budget (e.g. 30s) shared by all passes over the event stream; an overrunning pass stops and reports the partial result (exit code 2)")
+	fs.Var(sizeFlag{&t.MemBudget}, "mem-budget",
+		"memory budget (e.g. 64M) shared by all profiling passes; over budget the pipeline degrades (full -> object-sampled -> stride-only -> counters) and the tool exits 2 with partial output (0 = unlimited)")
 	return t
 }
 
@@ -95,10 +129,12 @@ type Events struct {
 	buf  *trace.Buffer // live mode
 	path string        // replay mode
 
-	lenient  bool
-	deadline time.Duration
-	budget   time.Time      // absolute cutoff shared by all passes; set at the first pass
-	stats    tracefmt.Stats // reader stats from the most recent replay pass
+	lenient   bool
+	deadline  time.Duration
+	budget    time.Time      // absolute cutoff shared by all passes; set at the first pass
+	stats     tracefmt.Stats // reader stats from the most recent replay pass
+	memBudget int64          // memory budget shared by all governed passes
+	govBudget *govern.Budget // lazily created parent budget; see GovernedPass
 }
 
 // Load resolves the trace flags into an event stream. With -replay it
@@ -116,6 +152,7 @@ func (t *TraceFlags) Load(workload string, cfg workloads.Config) (*Events, error
 		}
 		ev.lenient = t.Lenient
 		ev.deadline = t.Deadline
+		ev.memBudget = t.MemBudget
 		return ev, nil
 	}
 	if workload == "" {
@@ -147,7 +184,7 @@ func (t *TraceFlags) Load(workload string, cfg workloads.Config) (*Events, error
 			return nil, fmt.Errorf("recording trace: %w", err)
 		}
 	}
-	return &Events{Name: workload, Sites: m.StaticSites(), buf: buf, deadline: t.Deadline}, nil
+	return &Events{Name: workload, Sites: m.StaticSites(), buf: buf, deadline: t.Deadline, memBudget: t.MemBudget}, nil
 }
 
 // openReplay validates the header and captures the metadata; events are
@@ -245,14 +282,16 @@ func (ev *Events) Replayed() bool { return ev.path != "" }
 // part of the stream but contained the fault and salvaged the rest. These
 // are exactly the typed errors of the fault-tolerant layer — trace
 // corruption skipped by a lenient reader, a contained panic in the drain or
-// a worker, or a deadline/cancellation that cut the pass short. Anything
-// else (unreadable file, bad flags, strict-mode decode failure) is a hard
-// error.
+// a worker, a deadline/cancellation that cut the pass short, or a memory
+// budget that degraded the profiling mode. Anything else (unreadable file,
+// bad flags, strict-mode decode failure) is a hard error.
 func Salvaged(err error) bool {
 	var ce *tracefmt.CorruptionError
 	var pe *trace.PanicError
 	var we *profiler.WorkerError
+	var de *govern.DegradedError
 	return errors.As(err, &ce) || errors.As(err, &pe) || errors.As(err, &we) ||
+		errors.As(err, &de) ||
 		errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
 }
 

@@ -1,0 +1,126 @@
+package cliutil
+
+import (
+	"flag"
+	"io"
+
+	"ormprof/internal/govern"
+	"ormprof/internal/omc"
+	"ormprof/internal/profiler"
+	"ormprof/internal/trace"
+)
+
+// sizeFlag is a self-validating flag.Value for byte-size flags
+// (-mem-budget): malformed or negative sizes are rejected in Set, so the
+// FlagSet's own error handling prints the message plus usage and exits 2
+// uniformly across all tools.
+type sizeFlag struct{ n *int64 }
+
+var _ flag.Value = sizeFlag{}
+
+func (v sizeFlag) String() string {
+	if v.n == nil {
+		return "0"
+	}
+	return govern.FormatSize(*v.n)
+}
+
+func (v sizeFlag) Set(s string) error {
+	n, err := govern.ParseSize(s)
+	if err != nil {
+		return err
+	}
+	*v.n = n
+	return nil
+}
+
+// SizeFlag registers a self-validating byte-size flag on fs and returns
+// its destination. Tools that do not use RegisterTraceFlags (tracecat's
+// positional-file interface) still get the same -mem-budget syntax and
+// the same parse-time validation.
+func SizeFlag(fs *flag.FlagSet, name, usage string) *int64 {
+	n := new(int64)
+	fs.Var(sizeFlag{n}, name, usage)
+	return n
+}
+
+// Governed reports whether -mem-budget was set: governed tools should use
+// the sequential ladder path (trip points are deterministic only on a
+// sequential pipeline) and render the governance report.
+func (ev *Events) Governed() bool { return ev.memBudget > 0 }
+
+// MemBudget reports the configured memory budget (0 = unlimited).
+func (ev *Events) MemBudget() int64 { return ev.memBudget }
+
+// GovernedPass streams one complete pass through a degradation ladder
+// built around full. All governed passes of the invocation share one
+// parent budget — like -deadline, -mem-budget bounds the tool's total
+// footprint, not each pass's — so a second pass's structures count
+// against what the first pass still holds live.
+//
+// The returned error is the pass error (corruption, deadline), not the
+// degradation: check ladder.Err() separately, typically feeding both
+// through Degraded.Check so partial output still renders before exit 2.
+func (ev *Events) GovernedPass(seed uint64, full func() govern.Mode) (*govern.Ladder, int, error) {
+	if ev.govBudget == nil {
+		ev.govBudget = govern.NewBudget(ev.memBudget)
+	}
+	lad := govern.NewLadder(govern.Config{
+		Budget: ev.govBudget.Sub(0),
+		Seed:   seed,
+		Full:   full,
+	})
+	n, err := ev.Pass(lad)
+	return lad, n, err
+}
+
+// translateMode is the govern.Mode for tools whose pipeline starts from a
+// materialized object-relative record stream: OMC translation plus a
+// record collector.
+type translateMode struct {
+	o   *omc.OMC
+	col *profiler.Collector
+	cdc *profiler.CDC
+}
+
+func newTranslateMode(sites map[trace.SiteID]string) *translateMode {
+	o := omc.New(sites)
+	col := &profiler.Collector{}
+	return &translateMode{o: o, col: col, cdc: profiler.NewCDC(o, col)}
+}
+
+func (m *translateMode) Emit(e trace.Event) { m.cdc.Emit(e) }
+func (m *translateMode) Footprint() int64   { return m.o.Footprint() + m.col.Footprint() }
+
+// TranslateGoverned is Translate under a memory budget: it returns the
+// ladder alongside the records. If the budget forced the ladder below the
+// sampled rung, the record stream is gone — records and OMC come back nil
+// and the caller renders the ladder's own report instead. The error is
+// the pass error; degradation is ladder.Err().
+func (ev *Events) TranslateGoverned(seed uint64) (*govern.Ladder, []profiler.Record, *omc.OMC, error) {
+	lad, _, err := ev.GovernedPass(seed, func() govern.Mode { return newTranslateMode(ev.Sites) })
+	if err != nil && !Salvaged(err) {
+		return nil, nil, nil, err
+	}
+	if m, ok := lad.FullMode().(*translateMode); ok {
+		m.cdc.Finish()
+		return lad, m.col.Records, m.o, err
+	}
+	return lad, nil, nil, err
+}
+
+// WriteGovernance renders each ladder's governance report to w — the
+// standard tail section of a governed tool's output. Reports are
+// deterministic, so governed output remains byte-comparable across
+// worker counts and restarts.
+func WriteGovernance(w io.Writer, lads ...*govern.Ladder) error {
+	for _, lad := range lads {
+		if lad == nil {
+			continue
+		}
+		if err := lad.WriteReport(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,8 @@
+package decomp
+
+// Footprint reports the decomposition's approximate live bytes in O(1):
+// four uint64 slices. len (not cap) keeps the estimate identical across a
+// checkpoint/restore cycle, where restored slices are exact-sized.
+func (h *Horizontal) Footprint() int64 {
+	return 128 + int64(len(h.Instr)+len(h.Group)+len(h.Object)+len(h.Offset))*8
+}

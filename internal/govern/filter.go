@@ -1,0 +1,82 @@
+package govern
+
+import (
+	"ormprof/internal/btree"
+	"ormprof/internal/trace"
+)
+
+// siteFilter implements RungSampled: it passes through the events of a
+// deterministic, seeded subset of allocation sites and drops everything
+// else. Accesses are filtered against the *sampled live objects* (a floor
+// search in a B-tree keyed by start address, mirroring the OMC), not just
+// the alloc events: an access outside every sampled object is dropped
+// entirely rather than forwarded as an unmapped raw address, because the
+// raw-address stream is exactly what makes grammars explode (Fig. 5) —
+// forwarding it would defeat the step-down.
+type siteFilter struct {
+	seed  uint64
+	mod   uint64
+	inner Mode
+	live  btree.Map[uint32] // sampled object start address -> size
+}
+
+func newSiteFilter(seed, mod uint64, inner Mode) *siteFilter {
+	return &siteFilter{seed: seed, mod: mod, inner: inner}
+}
+
+// mix is splitmix64's finalizer: a cheap, well-distributed hash so the
+// kept subset is insensitive to site-ID clustering.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// keep reports whether a site is in the sampled subset — a pure function
+// of (seed, site), so every worker count and every resumed run keeps the
+// same sites.
+func (f *siteFilter) keep(site trace.SiteID) bool {
+	if f.mod <= 1 {
+		return true
+	}
+	return mix(f.seed^uint64(site))%f.mod == 0
+}
+
+// Emit implements trace.Sink.
+func (f *siteFilter) Emit(e trace.Event) {
+	switch e.Kind {
+	case trace.EvAlloc:
+		if !f.keep(e.Site) {
+			return
+		}
+		f.live.Set(uint64(e.Addr), e.Size)
+	case trace.EvFree:
+		if _, ok := f.live.Get(uint64(e.Addr)); !ok {
+			return
+		}
+		f.live.Delete(uint64(e.Addr))
+	case trace.EvAccess:
+		start, size, ok := f.live.Floor(uint64(e.Addr))
+		if !ok || uint64(e.Addr) >= start+uint64(size) {
+			return
+		}
+	}
+	f.inner.Emit(e)
+}
+
+// NameSite forwards the site-name table to the inner mode.
+func (f *siteFilter) NameSite(site trace.SiteID, name string) {
+	if n, ok := f.inner.(trace.SiteNamer); ok {
+		n.NameSite(site, name)
+	}
+}
+
+// filterEntryBytes approximates one live-object entry in the filter's
+// B-tree (key + value + node share).
+const filterEntryBytes = 32
+
+// Footprint implements Mode.
+func (f *siteFilter) Footprint() int64 {
+	return f.inner.Footprint() + int64(f.live.Len())*filterEntryBytes + 64
+}

@@ -1,0 +1,150 @@
+// Package govern implements resource governance for long-running
+// profiling: accounted memory budgets and a deterministic degradation
+// ladder.
+//
+// The paper's central evidence (Figs. 5–7) is that raw-address Sequitur
+// grammars explode on irregular streams while object-relative ones stay
+// compact — but "stay compact" is a property of the workload, not a
+// guarantee. One pathological stream can grow a grammar without bound and
+// take the whole process with it. This package turns that failure mode
+// into a controlled one: every core profiling structure reports an
+// incrementally maintained Footprint (approximate live bytes, updated on
+// mutation, never a walk), the footprints accumulate into a Budget, and
+// when the budget trips, a Ladder steps the pipeline down a fixed
+// sequence of cheaper modes:
+//
+//	full profiling            everything the pipeline normally builds
+//	object-sampled            a fresh full pipeline behind a deterministic,
+//	                          seeded subset of allocation sites
+//	stride-only               the lossless stride profiler alone
+//	per-site counters         allocation counts per site plus access totals
+//
+// Every step-down is recorded; a degraded run surfaces as a typed
+// *DegradedError that the CLI's Salvaged/exit-2 convention carries, so
+// partial output still renders and the report says exactly which mode
+// produced it.
+//
+// Determinism contract: a governed pipeline is sequential, so the trip
+// points — which event tripped the budget, which rung produced the
+// output — are a pure function of (event stream, budget, seed). Parallel
+// profile construction is defined elsewhere to be byte-identical to
+// sequential construction, so governed output is also independent of the
+// -workers setting.
+package govern
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Rung is one level of the degradation ladder, ordered from most to least
+// expensive.
+type Rung int
+
+const (
+	// RungFull is ordinary, ungoverned-quality profiling.
+	RungFull Rung = iota
+	// RungSampled profiles a deterministic, seeded subset of allocation
+	// sites with a fresh full pipeline; accesses outside the sampled live
+	// objects are dropped so the unmapped-address stream cannot regrow
+	// the grammars.
+	RungSampled
+	// RungStrideOnly keeps only the lossless per-instruction stride
+	// histograms.
+	RungStrideOnly
+	// RungCounters keeps only per-site allocation counts and access
+	// totals. It is the ladder's floor: it cannot trip further.
+	RungCounters
+)
+
+// String returns the rung's report name.
+func (r Rung) String() string {
+	switch r {
+	case RungFull:
+		return "full"
+	case RungSampled:
+		return "object-sampled"
+	case RungStrideOnly:
+		return "stride-only"
+	case RungCounters:
+		return "per-site-counters"
+	default:
+		return fmt.Sprintf("rung(%d)", int(r))
+	}
+}
+
+// Step records one ladder step-down.
+type Step struct {
+	From, To Rung
+	// Event is the 1-based index of the event whose footprint growth
+	// tripped the budget.
+	Event uint64
+	// Used is the accounted footprint at the moment of the trip.
+	Used int64
+}
+
+// DegradedError is the typed error a degraded run reports: the budget, the
+// rung that produced the final output, and the full step history. It rides
+// the same Salvaged/exit-2 convention as the fault-tolerance layer's typed
+// errors — partial output still renders, and the error says which mode
+// produced it.
+type DegradedError struct {
+	Limit int64
+	Rung  Rung
+	Steps []Step
+}
+
+func (e *DegradedError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mem budget %s: profiling degraded to %s (", FormatSize(e.Limit), e.Rung)
+	for i, s := range e.Steps {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s→%s at event %d", s.From, s.To, s.Event)
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// ParseSize parses a byte-count flag value: a non-negative integer with an
+// optional K, M, or G suffix (powers of 1024). 0 means unlimited.
+func ParseSize(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(t, "K"), strings.HasSuffix(t, "k"):
+		mult, t = 1<<10, t[:len(t)-1]
+	case strings.HasSuffix(t, "M"), strings.HasSuffix(t, "m"):
+		mult, t = 1<<20, t[:len(t)-1]
+	case strings.HasSuffix(t, "G"), strings.HasSuffix(t, "g"):
+		mult, t = 1<<30, t[:len(t)-1]
+	}
+	n, err := strconv.ParseInt(t, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("not a size (want bytes with optional K/M/G suffix): %q", s)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("size must be non-negative: %q", s)
+	}
+	if mult > 1 && n > (1<<62)/mult {
+		return 0, fmt.Errorf("size overflows: %q", s)
+	}
+	return n * mult, nil
+}
+
+// FormatSize renders a byte count the way ParseSize reads it, using the
+// largest suffix that divides it exactly.
+func FormatSize(n int64) string {
+	switch {
+	case n >= 1<<30 && n%(1<<30) == 0:
+		return fmt.Sprintf("%dG", n>>30)
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,58 @@
+package govern
+
+import (
+	"ormprof/internal/stride"
+	"ormprof/internal/trace"
+)
+
+// strideMode implements RungStrideOnly: the lossless stride profiler
+// alone. Its state is O(distinct instructions × distinct strides), far
+// below the grammars' O(stream irregularity).
+type strideMode struct {
+	ideal *stride.Ideal
+}
+
+func newStrideMode() *strideMode {
+	return &strideMode{ideal: stride.NewIdeal()}
+}
+
+func (m *strideMode) Emit(e trace.Event) { m.ideal.Emit(e) }
+func (m *strideMode) Footprint() int64   { return m.ideal.Footprint() }
+
+// countersMode implements RungCounters, the ladder's floor: per-site
+// allocation counts plus access/load/store/free totals. Its state is
+// O(distinct allocation sites).
+type countersMode struct {
+	siteAllocs map[trace.SiteID]uint64
+	frees      uint64
+	loads      uint64
+	stores     uint64
+	foot       int64
+}
+
+func newCountersMode() *countersMode {
+	return &countersMode{siteAllocs: make(map[trace.SiteID]uint64)}
+}
+
+// counterEntryBytes approximates one per-site map entry.
+const counterEntryBytes = 48
+
+func (m *countersMode) Emit(e trace.Event) {
+	switch e.Kind {
+	case trace.EvAlloc:
+		if _, ok := m.siteAllocs[e.Site]; !ok {
+			m.foot += counterEntryBytes
+		}
+		m.siteAllocs[e.Site]++
+	case trace.EvFree:
+		m.frees++
+	case trace.EvAccess:
+		if e.Store {
+			m.stores++
+		} else {
+			m.loads++
+		}
+	}
+}
+
+func (m *countersMode) Footprint() int64 { return 96 + m.foot }

@@ -1,0 +1,61 @@
+package govern
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ormprof/internal/stride"
+	"ormprof/internal/trace"
+)
+
+// WriteReport writes the deterministic governance report: which mode
+// produced the output, the budget, and the full step history — plus, at
+// the rungs whose output lives inside the ladder (stride-only and
+// per-site counters), that output itself. The daemon and the CLI tools
+// both use this one serialization, so byte comparisons across worker
+// counts and across a kill/restart are meaningful.
+func (l *Ladder) WriteReport(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# resource governance\nmode %s\nbudget %d\nused %d\nsteps %d\n",
+		l.rung, l.cfg.Budget.EffectiveLimit(), l.cfg.Budget.Used(), len(l.steps)); err != nil {
+		return err
+	}
+	for i, s := range l.steps {
+		if _, err := fmt.Fprintf(w, "step %d %s -> %s event %d used %d\n",
+			i+1, s.From, s.To, s.Event, s.Used); err != nil {
+			return err
+		}
+	}
+	switch l.rung {
+	case RungStrideOnly:
+		strided := l.stride.ideal.StronglyStrided()
+		if _, err := fmt.Fprintf(w, "stride %d\n", len(strided)); err != nil {
+			return err
+		}
+		for _, id := range stride.SortedIDs(strided) {
+			in := strided[id]
+			if _, err := fmt.Fprintf(w, "%d %d %.4f\n", id, in.Stride, in.Frac); err != nil {
+				return err
+			}
+		}
+	case RungCounters:
+		c := l.counters
+		sites := make([]trace.SiteID, 0, len(c.siteAllocs))
+		for site := range c.siteAllocs {
+			sites = append(sites, site)
+		}
+		sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+		if _, err := fmt.Fprintf(w, "alloc-sites %d\n", len(sites)); err != nil {
+			return err
+		}
+		for _, site := range sites {
+			if _, err := fmt.Fprintf(w, "site %d allocs %d\n", site, c.siteAllocs[site]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "frees %d\nloads %d\nstores %d\n", c.frees, c.loads, c.stores); err != nil {
+			return err
+		}
+	}
+	return nil
+}

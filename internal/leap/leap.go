@@ -98,7 +98,24 @@ type SCC struct {
 	instrExecs  map[trace.InstrID]uint64
 	instrStore  map[trace.InstrID]bool
 	records     uint64
+	foot        int64 // incremental byte estimate, see Footprint
 }
+
+// Approximate per-element live sizes for budget accounting.
+const (
+	sccBase        = 192
+	sccStreamBytes = 96 // streamState + stream-map entry
+	sccInstrBytes  = 56 // instrExecs + instrStore entries
+)
+
+// footprint is one stream's compressor contribution to the estimate.
+func (c *streamState) footprint() int64 {
+	return c.timed.Footprint() + c.untimed.Footprint()
+}
+
+// Footprint reports the SCC's approximate live bytes in O(1); the estimate
+// is maintained incrementally in Consume.
+func (s *SCC) Footprint() int64 { return sccBase + s.foot }
 
 type streamState struct {
 	timed   *lmad.Compressor       // (object, offset, time)
@@ -120,6 +137,9 @@ func NewSCC(maxLMADs int) *SCC {
 // Consume implements profiler.SCC.
 func (s *SCC) Consume(r profiler.Record) {
 	s.records++
+	if _, seen := s.instrExecs[r.Instr]; !seen {
+		s.foot += sccInstrBytes
+	}
 	s.instrExecs[r.Instr]++
 	s.instrStore[r.Instr] = r.Store
 	k := StreamKey{Instr: r.Instr, Group: r.Ref.Group}
@@ -131,13 +151,16 @@ func (s *SCC) Consume(r profiler.Record) {
 			store:   r.Store,
 		}
 		s.compressors[k] = c
+		s.foot += sccStreamBytes + c.footprint()
 	}
 	var p [NumDims]int64
 	p[DimObject] = int64(r.Ref.Object)
 	p[DimOffset] = int64(r.Ref.Offset)
 	p[DimTime] = int64(r.Time)
+	pre := c.footprint()
 	c.timed.Add(p[:])
 	c.untimed.Add(p[:2])
+	s.foot += c.footprint() - pre
 }
 
 // Finish implements profiler.SCC.
@@ -226,6 +249,17 @@ func FromSource(workload string, src trace.Source, siteNames map[trace.SiteID]st
 
 // OMC exposes the profiler's object-management component.
 func (p *Profiler) OMC() *omc.OMC { return p.omc }
+
+// Footprint reports the pipeline's approximate live bytes (OMC + SCC).
+// The parallel SCC does not account — governed runs are sequential — so
+// it contributes zero.
+func (p *Profiler) Footprint() int64 {
+	n := p.omc.Footprint()
+	if f, ok := p.scc.(interface{ Footprint() int64 }); ok {
+		n += f.Footprint()
+	}
+	return n
+}
 
 // Profile finalizes collection and returns the profile.
 func (p *Profiler) Profile(workload string) *Profile {

@@ -91,7 +91,9 @@ func SCCFromSnapshot(snap *SCCSnapshot) (*SCC, error) {
 		if err != nil {
 			return nil, fmt.Errorf("leap: stream %v untimed: %w", ss.Key, err)
 		}
-		s.compressors[ss.Key] = &streamState{timed: timed, untimed: untimed, store: ss.Store}
+		c := &streamState{timed: timed, untimed: untimed, store: ss.Store}
+		s.compressors[ss.Key] = c
+		s.foot += sccStreamBytes + c.footprint()
 	}
 	for _, ic := range snap.Instrs {
 		if _, dup := s.instrExecs[ic.Instr]; dup {
@@ -99,6 +101,7 @@ func SCCFromSnapshot(snap *SCCSnapshot) (*SCC, error) {
 		}
 		s.instrExecs[ic.Instr] = ic.Execs
 		s.instrStore[ic.Instr] = ic.Store
+		s.foot += sccInstrBytes
 	}
 	return s, nil
 }

@@ -1,0 +1,25 @@
+package lmad
+
+// Approximate sizes for budget accounting.
+const (
+	compressorBase = 160
+	startKeyBytes  = 56 // startKey + index + map bucket share
+)
+
+// lmadBytes approximates one descriptor of the given dimensionality: the
+// struct plus its Start and Stride backing arrays.
+func lmadBytes(dims int) int64 { return 64 + int64(16*dims) }
+
+// Footprint reports the compressor's approximate live bytes in O(1): the
+// state is the descriptor list plus fixed-size summary/last-point slices.
+func (c *Compressor) Footprint() int64 {
+	return compressorBase + int64(8*c.dims)*4 + int64(len(c.lmads))*lmadBytes(c.dims)
+}
+
+// Footprint reports the repeat compressor's approximate live bytes in
+// O(1). Every descriptor owns one start-key index entry, so the index is
+// covered by the descriptor count.
+func (c *RepeatCompressor) Footprint() int64 {
+	return compressorBase + int64(8*c.dims)*4 +
+		int64(len(c.lmads))*(lmadBytes(c.dims)+8+startKeyBytes)
+}

@@ -1,0 +1,20 @@
+package omc
+
+// Approximate per-element live sizes for budget accounting (struct +
+// pointer + container share).
+const (
+	objectBytes = 96  // ObjectInfo + object-table slot
+	groupBytes  = 128 // GroupInfo + site-map entry + object-table header
+	liveBytes   = 40  // live B-tree entry share
+	omcBase     = 256
+)
+
+// Footprint reports the OMC's approximate live bytes in O(1): its state
+// grows with groups, allocated objects, and live objects, all of which
+// are counted incrementally.
+func (o *OMC) Footprint() int64 {
+	return omcBase +
+		int64(len(o.groupInfo))*groupBytes +
+		int64(o.objCount)*objectBytes +
+		int64(o.live.Len())*liveBytes
+}

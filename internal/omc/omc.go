@@ -81,6 +81,7 @@ type OMC struct {
 	live    btree.Map[*ObjectInfo] // start address -> live object
 	objects map[GroupID][]*ObjectInfo
 
+	objCount   int // total objects ever allocated, for O(1) Footprint
 	translated uint64
 	unmapped   uint64
 }
@@ -155,6 +156,7 @@ func (o *OMC) Alloc(site trace.SiteID, addr trace.Addr, size uint32, t trace.Tim
 		AllocTime: t,
 	}
 	gi.Count++
+	o.objCount++
 	o.live.Set(uint64(addr), info)
 	o.objects[g] = append(o.objects[g], info)
 	return Ref{Group: g, Object: info.Serial}

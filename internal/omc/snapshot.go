@@ -180,6 +180,7 @@ func FromSnapshot(snap *Snapshot) (*OMC, error) {
 			}
 		}
 		o.objects[g.ID] = objs
+		o.objCount += len(objs)
 	}
 	for _, e := range snap.SiteGroups {
 		if int(e.Group) < 1 || int(e.Group) > len(snap.Groups) {

@@ -1,0 +1,11 @@
+package profiler
+
+// recordBytes approximates one collected Record (struct plus slice slot
+// share).
+const recordBytes = 40
+
+// Footprint reports the collector's approximate live bytes in O(1). len
+// (not cap) keeps the estimate stable across checkpoint/restore.
+func (c *Collector) Footprint() int64 {
+	return 64 + int64(len(c.Records))*recordBytes
+}

@@ -1,0 +1,22 @@
+package sequitur
+
+// Approximate per-element live sizes, including allocator and map-bucket
+// overhead. Footprints are budget-accounting estimates, not exact heap
+// measurements; what matters is that they are O(1) to read and grow
+// linearly with the structures that actually grow.
+const (
+	symbolBytes = 48 // symbol struct (two pointers, value, rule pointer, flag)
+	ruleBytes   = 88 // Rule struct + its guard symbol + map entry share
+	digramBytes = 64 // digram key + pointer + map bucket share
+	grammarBase = 256
+)
+
+// Footprint reports the grammar's approximate live bytes. It is O(1):
+// the symbol count is maintained incrementally by every mutation, so the
+// governance layer can read it after each appended terminal.
+func (g *Grammar) Footprint() int64 {
+	return grammarBase +
+		int64(g.symCount)*symbolBytes +
+		int64(len(g.rules))*ruleBytes +
+		int64(len(g.digrams))*digramBytes
+}

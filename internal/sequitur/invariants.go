@@ -65,6 +65,12 @@ func (g *Grammar) CheckInvariants() error {
 		}
 	}
 
+	// The incremental symbol count backing Footprint must agree with a
+	// full walk.
+	if n := g.Symbols(); n != g.symCount {
+		return fmt.Errorf("sequitur: incremental symbol count %d != walked count %d", g.symCount, n)
+	}
+
 	// The digram index must point at live, correctly keyed occurrences.
 	for k, s := range g.digrams {
 		if s.next == nil || s.prev == nil {

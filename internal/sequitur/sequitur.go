@@ -85,6 +85,9 @@ type Grammar struct {
 	digrams map[digram]*symbol
 	nextID  uint32
 	input   uint64 // terminals appended so far
+	// symCount tracks the live body symbols (== Symbols(), maintained
+	// incrementally so Footprint never walks the grammar).
+	symCount int
 }
 
 // New returns an empty grammar.
@@ -171,6 +174,7 @@ func (g *Grammar) destroy(s *symbol) {
 		if s.rule != nil {
 			s.rule.refs--
 		}
+		g.symCount--
 	}
 	s.next, s.prev = nil, nil
 }
@@ -202,6 +206,7 @@ func (g *Grammar) copySym(s *symbol) *symbol {
 	if n.rule != nil {
 		n.rule.refs++
 	}
+	g.symCount++
 	return n
 }
 
@@ -236,6 +241,7 @@ func (g *Grammar) substitute(s *symbol, r *Rule) {
 	g.destroy(q.next)
 	n := &symbol{rule: r}
 	r.refs++
+	g.symCount++
 	g.insertAfter(q, n)
 	if !g.check(q) {
 		g.check(n)
@@ -251,6 +257,7 @@ func (g *Grammar) expand(s *symbol) {
 
 	g.deleteDigram(s)
 	g.join(left, right) // unlink s (also removes digram (left, s))
+	g.symCount--        // s dies here without going through destroy
 	delete(g.rules, r.ID)
 
 	g.join(left, f)
@@ -262,6 +269,7 @@ func (g *Grammar) expand(s *symbol) {
 func (g *Grammar) Append(v uint64) {
 	g.input++
 	s := &symbol{term: v}
+	g.symCount++
 	g.insertAfter(g.start.last(), s)
 	g.check(s.prev)
 }

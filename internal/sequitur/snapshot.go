@@ -125,6 +125,7 @@ func FromSnapshot(snap *Snapshot) (*Grammar, error) {
 	// the index is restored verbatim below.
 	for _, sr := range snap.Rules {
 		r := g.rules[sr.ID]
+		g.symCount += len(sr.Body)
 		for _, sym := range sr.Body {
 			s := &symbol{}
 			if sym.IsRule {

@@ -1,0 +1,474 @@
+package serve
+
+// Tests for resource governance in the daemon: per-session budgets that
+// step a pipeline down the degradation ladder, deterministic global load
+// shedding, admission rejection at the global watermark, ladder state in
+// checkpoints, resilience to corrupt checkpoints on resume, and a fuzzer
+// over the raw connection bytes.
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ormprof/internal/checkpoint"
+	"ormprof/internal/govern"
+)
+
+// newBareServer builds a Server without running its accept loop, for
+// tests that drive resolveSession/enforceGlobal directly.
+func newBareServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.CheckpointDir == "" {
+		cfg.CheckpointDir = filepath.Join(t.TempDir(), "ck")
+	}
+	if cfg.OutputDir == "" {
+		cfg.OutputDir = filepath.Join(t.TempDir(), "out")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	srv, err := New(ln, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// govReport reads and minimally parses a .govern artifact.
+func govReport(t *testing.T, dir, workload string) (mode string, steps int, raw string) {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join(dir, sanitizeName(workload)+".govern"))
+	if err != nil {
+		t.Fatalf("governance artifact: %v", err)
+	}
+	raw = string(b)
+	for _, line := range strings.Split(raw, "\n") {
+		if s, ok := strings.CutPrefix(line, "mode "); ok {
+			mode = s
+		}
+		if s, ok := strings.CutPrefix(line, "steps "); ok {
+			fmt.Sscanf(s, "%d", &steps)
+		}
+	}
+	if mode == "" {
+		t.Fatalf("no mode line in governance artifact:\n%s", raw)
+	}
+	return mode, steps, raw
+}
+
+// TestSessionBudgetDegrades: a session over its memory budget steps down
+// the ladder instead of growing without bound; the push still completes,
+// and the .govern artifact records which mode produced the output.
+func TestSessionBudgetDegrades(t *testing.T) {
+	leakCheck(t)
+	frames, sites, _ := makeFrames(t, "linkedlist", 256)
+	ts := startServer(t, Config{SessionMemBudget: 16 << 10})
+	stats, err := Push(t.Context(), ClientConfig{
+		Addr: ts.addr, SessionID: "tight", Workload: "linkedlist", Sites: sites,
+	}, frames)
+	if err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	if stats.FramesAcked != len(frames) {
+		t.Errorf("acked %d of %d frames", stats.FramesAcked, len(frames))
+	}
+	ts.shutdown(t)
+
+	mode, steps, raw := govReport(t, ts.outDir, "linkedlist")
+	if mode == "full" || steps == 0 {
+		t.Errorf("16K budget did not degrade the session:\n%s", raw)
+	}
+	// The full-profile artifacts exist exactly when the final rung still
+	// runs a full pipeline (full or object-sampled).
+	_, werr := os.Stat(filepath.Join(ts.outDir, "linkedlist.whomp"))
+	fullLive := mode == "full" || mode == "object-sampled"
+	if fullLive && werr != nil {
+		t.Errorf("mode %s but no WHOMP artifact: %v", mode, werr)
+	}
+	if !fullLive && !errors.Is(werr, os.ErrNotExist) {
+		t.Errorf("mode %s but WHOMP artifact present (err=%v)", mode, werr)
+	}
+}
+
+// TestGlobalSheddingDeterministic: when the summed footprint crosses the
+// global watermark, the heaviest session sheds first; ties break on the
+// smaller session ID. Parked sessions step immediately; a session owned
+// by a live connection is only flagged.
+func TestGlobalSheddingDeterministic(t *testing.T) {
+	_, sites, events := makeFrames(t, "linkedlist", 256)
+
+	srv := newBareServer(t, Config{GlobalMemBudget: 1 << 40})
+	sa, _ := srv.resolveSession(&Hello{SessionID: "a", Workload: "w", Sites: sites})
+	sb, _ := srv.resolveSession(&Hello{SessionID: "b", Workload: "w", Sites: sites})
+	sa.active, sb.active = false, false // parked
+	sa.pl.applyFrame(events)            // heavy
+	sb.pl.applyFrame(events[:64])       // light
+	usedA, usedB := sa.pl.lad.Budget().Used(), sb.pl.lad.Budget().Used()
+	if usedA <= usedB {
+		t.Fatalf("test premise broken: usedA=%d usedB=%d", usedA, usedB)
+	}
+	srv.cfg.GlobalMemBudget = usedA + usedB // watermark is below current use
+	srv.enforceGlobal(nil)
+	if sa.pl.lad.Rung() == govern.RungFull {
+		t.Error("heaviest session was not stepped down")
+	}
+	if sb.pl.lad.Rung() != govern.RungFull {
+		t.Errorf("lighter session stepped to %s; only the heaviest should shed", sb.pl.lad.Rung())
+	}
+
+	// Equal footprints: the smaller session ID sheds, every time.
+	srv2 := newBareServer(t, Config{GlobalMemBudget: 1 << 40})
+	ta, _ := srv2.resolveSession(&Hello{SessionID: "a", Workload: "w", Sites: sites})
+	tb, _ := srv2.resolveSession(&Hello{SessionID: "b", Workload: "w", Sites: sites})
+	ta.active, tb.active = false, false
+	ta.pl.applyFrame(events)
+	tb.pl.applyFrame(events)
+	ua, ub := ta.pl.lad.Budget().Used(), tb.pl.lad.Budget().Used()
+	if ua != ub {
+		t.Fatalf("identical inputs accounted differently: %d vs %d", ua, ub)
+	}
+	srv2.cfg.GlobalMemBudget = ua + ub
+	srv2.enforceGlobal(nil)
+	if ta.pl.lad.Rung() == govern.RungFull {
+		t.Error("tie-break: session a (smaller ID) should shed first")
+	}
+	if tb.pl.lad.Rung() != govern.RungFull {
+		t.Error("tie-break: session b should be untouched")
+	}
+
+	// An active session owned by another connection is flagged, not
+	// stepped: only its own worker may touch the ladder.
+	srv3 := newBareServer(t, Config{GlobalMemBudget: 1 << 40})
+	oa, _ := srv3.resolveSession(&Hello{SessionID: "a", Workload: "w", Sites: sites})
+	oa.pl.applyFrame(events) // heaviest, and active (resolveSession claimed it)
+	srv3.cfg.GlobalMemBudget = oa.pl.lad.Budget().Used()
+	srv3.enforceGlobal(nil)
+	if oa.pl.lad.Rung() != govern.RungFull {
+		t.Errorf("active session stepped to %s by another goroutine", oa.pl.lad.Rung())
+	}
+	if !oa.stepReq.Load() {
+		t.Error("active session was not flagged for step-down at its next frame")
+	}
+}
+
+// TestAdmissionRejectedOverGlobalWatermark: once the accounted footprint
+// holds the global budget over its watermark even after shedding, new
+// sessions get Retry instead of Welcome.
+func TestAdmissionRejectedOverGlobalWatermark(t *testing.T) {
+	leakCheck(t)
+	frames, sites, _ := makeFrames(t, "linkedlist", 128)
+	ts := startServer(t, Config{GlobalMemBudget: 1, CheckpointEvery: 1, RetryAfter: 7 * time.Millisecond})
+	defer ts.shutdown(t)
+
+	conn, err := net.Dial("tcp", ts.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br, bw := bufio.NewReader(conn), bufio.NewWriter(conn)
+	conn.Write([]byte(ProtoMagic))
+	writeMsg(bw, MsgHello, encodeHello(&Hello{SessionID: "g1", Workload: "w", Sites: sites}))
+	bw.Flush()
+	if mt, _, err := readMsg(br); err != nil || mt != MsgWelcome {
+		t.Fatalf("handshake: %v %v", mt, err)
+	}
+	writeMsg(bw, MsgFrame, encodeFrameMsg(0, frames[0]))
+	bw.Flush()
+	if mt, _, err := readMsg(br); err != nil || mt != MsgAck {
+		t.Fatalf("expected Ack after frame, got %v %v", mt, err)
+	}
+
+	// Even the counters floor accounts nonzero bytes, so a 1-byte global
+	// budget stays over its watermark: the next session must be refused.
+	conn2, err := net.Dial("tcp", ts.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	br2, bw2 := bufio.NewReader(conn2), bufio.NewWriter(conn2)
+	conn2.Write([]byte(ProtoMagic))
+	writeMsg(bw2, MsgHello, encodeHello(&Hello{SessionID: "g2", Workload: "w"}))
+	bw2.Flush()
+	mt, body, err := readMsg(br2)
+	if err != nil || mt != MsgRetry {
+		t.Fatalf("over watermark: got %v %v, want Retry", mt, err)
+	}
+	if ms, err := parseUvarintBody(mt, body); err != nil || ms != 7 {
+		t.Errorf("retry hint: got %d %v, want 7ms", ms, err)
+	}
+}
+
+// TestLadderCheckpointRoundTrip: a checkpoint taken at every rung restores
+// to the same rung with the same cursor, re-accounts its footprint, and
+// renders byte-identical artifacts. Below the sampled rung the component
+// snapshots must be absent — the ladder carries the whole session.
+func TestLadderCheckpointRoundTrip(t *testing.T) {
+	_, sites, events := makeFrames(t, "linkedlist", 256)
+	for _, target := range []govern.Rung{
+		govern.RungFull, govern.RungSampled, govern.RungStrideOnly, govern.RungCounters,
+	} {
+		t.Run(target.String(), func(t *testing.T) {
+			p := newPipeline("linkedlist", sites, 0, govern.NewBudget(0), sessionSeed("rt"), true)
+			p.applyFrame(events[:1024])
+			for p.lad.Rung() < target {
+				p.lad.ForceStep()
+			}
+			p.applyFrame(events[1024:])
+
+			st, err := p.state("rt")
+			if err != nil {
+				t.Fatal(err)
+			}
+			hasComponents := st.Whomp != nil && st.WhompOMC != nil && st.Stride != nil
+			if wantComponents := target <= govern.RungSampled; hasComponents != wantComponents {
+				t.Errorf("rung %s: component snapshots present=%v, want %v", target, hasComponents, wantComponents)
+			}
+			if st.Ladder == nil {
+				t.Fatal("checkpoint lost the ladder snapshot")
+			}
+
+			// Through the real on-disk format, not just the struct.
+			dir := t.TempDir()
+			path := checkpoint.PathFor(dir, "rt")
+			if err := checkpoint.Save(path, st); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := checkpoint.Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			budget := govern.NewBudget(0)
+			p2, err := pipelineFromState(loaded, 0, budget, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p2.lad.Rung() != target {
+				t.Errorf("restored rung %s, want %s", p2.lad.Rung(), target)
+			}
+			if p2.framesApplied != p.framesApplied || p2.eventsApplied != p.eventsApplied {
+				t.Errorf("cursor: got %d/%d, want %d/%d",
+					p2.framesApplied, p2.eventsApplied, p.framesApplied, p.eventsApplied)
+			}
+			if p.lad.Budget().Used() > 0 && budget.Used() == 0 {
+				t.Error("restored footprint was not re-accounted into the budget")
+			}
+
+			d1, d2 := t.TempDir(), t.TempDir()
+			if err := p.writeProfiles(d1); err != nil {
+				t.Fatal(err)
+			}
+			if err := p2.writeProfiles(d2); err != nil {
+				t.Fatal(err)
+			}
+			compareDirs(t, d1, d2)
+		})
+	}
+}
+
+// compareDirs asserts two artifact directories hold identical file sets
+// with identical bytes.
+func compareDirs(t *testing.T, d1, d2 string) {
+	t.Helper()
+	l1, err := os.ReadDir(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := os.ReadDir(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l1) != len(l2) {
+		t.Fatalf("artifact sets differ: %d vs %d files", len(l1), len(l2))
+	}
+	for _, e := range l1 {
+		b1, err := os.ReadFile(filepath.Join(d1, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := os.ReadFile(filepath.Join(d2, e.Name()))
+		if err != nil {
+			t.Fatalf("artifact %s missing from second run: %v", e.Name(), err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Errorf("artifact %s differs", e.Name())
+		}
+	}
+}
+
+// TestResumeSkipsCorruptCheckpoints: truncated and bit-flipped checkpoint
+// files are reported (typed, per file), skipped, and do not stop the
+// server from resuming healthy sessions or serving fresh ones.
+func TestResumeSkipsCorruptCheckpoints(t *testing.T) {
+	leakCheck(t)
+	frames, sites, events := makeFrames(t, "linkedlist", 128)
+	ckDir := t.TempDir()
+
+	save := func(id string, n int) *checkpoint.State {
+		p := newPipeline("linkedlist", sites, 0, nil, 0, false)
+		p.applyFrame(events[:n])
+		st, err := p.state(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := checkpoint.Save(checkpoint.PathFor(ckDir, id), st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	good := save("good", 512)
+	save("trunc", 256)
+	save("crcflip", 256)
+
+	// Damage: cut the truncated one in half; flip a payload byte of the
+	// other so its CRC no longer matches.
+	truncPath := checkpoint.PathFor(ckDir, "trunc")
+	b, err := os.ReadFile(truncPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(truncPath, b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	flipPath := checkpoint.PathFor(ckDir, "crcflip")
+	b, err = os.ReadFile(flipPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0x01
+	if err := os.WriteFile(flipPath, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The loader reports each damaged file with the typed CorruptError.
+	states, skipped, err := checkpoint.LoadDir(ckDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 1 || states["good"] == nil {
+		t.Fatalf("LoadDir kept %d states, want only the healthy one", len(states))
+	}
+	if len(skipped) != 2 {
+		t.Fatalf("LoadDir skipped %d files, want 2: %v", len(skipped), skipped)
+	}
+	for _, sk := range skipped {
+		var ce *checkpoint.CorruptError
+		if !errors.As(sk.Err, &ce) {
+			t.Errorf("%s: skip reason %v is not a CorruptError", sk.Path, sk.Err)
+		}
+	}
+
+	// The server resumes over the same directory: one log line per bad
+	// file, healthy session resumed at its cursor, fresh sessions served.
+	var logMu sync.Mutex
+	var logBuf bytes.Buffer
+	ts := startServer(t, Config{
+		CheckpointDir: ckDir, OutputDir: filepath.Join(t.TempDir(), "out"), Resume: true,
+		Logf: func(format string, args ...any) {
+			logMu.Lock()
+			fmt.Fprintf(&logBuf, format+"\n", args...)
+			logMu.Unlock()
+		},
+	})
+	logMu.Lock()
+	logs := logBuf.String()
+	logMu.Unlock()
+	for _, path := range []string{truncPath, flipPath} {
+		if !strings.Contains(logs, "skipping unusable checkpoint "+path) {
+			t.Errorf("no skip report for %s in logs:\n%s", path, logs)
+		}
+	}
+
+	conn, err := net.Dial("tcp", ts.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br, bw := bufio.NewReader(conn), bufio.NewWriter(conn)
+	conn.Write([]byte(ProtoMagic))
+	writeMsg(bw, MsgHello, encodeHello(&Hello{SessionID: "good", Workload: "linkedlist", Sites: sites}))
+	bw.Flush()
+	mt, body, err := readMsg(br)
+	if err != nil || mt != MsgWelcome {
+		t.Fatalf("resumed handshake: %v %v", mt, err)
+	}
+	if cur, err := parseUvarintBody(mt, body); err != nil || cur != good.FramesApplied {
+		t.Errorf("resume cursor: got %d %v, want %d", cur, err, good.FramesApplied)
+	}
+	conn.Close()
+
+	stats, err := Push(t.Context(), ClientConfig{
+		Addr: ts.addr, SessionID: "fresh", Workload: "linkedlist", Sites: sites,
+	}, frames)
+	if err != nil {
+		t.Fatalf("fresh session after corrupt resume: %v", err)
+	}
+	if stats.FramesAcked != len(frames) {
+		t.Errorf("fresh session acked %d of %d", stats.FramesAcked, len(frames))
+	}
+	ts.shutdown(t)
+}
+
+// FuzzSession throws arbitrary bytes at a live server connection. The
+// invariant is structural, not behavioral: the server never panics, never
+// leaks the session goroutines, and always settles the connection.
+func FuzzSession(f *testing.F) {
+	frames, _, _ := makeFrames(f, "linkedlist", 256)
+	hello := encodeHello(&Hello{SessionID: "fz", Workload: "w"})
+
+	var valid bytes.Buffer
+	valid.WriteString(ProtoMagic)
+	writeMsg(&valid, MsgHello, hello)
+
+	f.Add([]byte{})                             // nothing at all
+	f.Add([]byte("GET / HTTP/1.1"))             // wrong protocol entirely
+	f.Add([]byte("ORMP\x02"))                   // wrong version byte
+	f.Add(valid.Bytes())                        // clean handshake, then EOF
+	f.Add(valid.Bytes()[:len(valid.Bytes())-3]) // truncated Hello
+	// Oversized length prefix: claims a body far beyond MaxBody.
+	f.Add(append([]byte(ProtoMagic), byte(MsgHello), 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f))
+	// Garbage after a valid frame.
+	var g bytes.Buffer
+	g.Write(valid.Bytes())
+	writeMsg(&g, MsgFrame, encodeFrameMsg(0, frames[0]))
+	g.WriteString("\xde\xad\xbe\xef not a message")
+	f.Add(g.Bytes())
+	// A frame whose payload is slashed mid-record.
+	var h bytes.Buffer
+	h.Write(valid.Bytes())
+	writeMsg(&h, MsgFrame, encodeFrameMsg(0, frames[0][:len(frames[0])/2]))
+	f.Add(h.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		leakCheck(t)
+		ts := startServer(t, Config{
+			IdleTimeout: 250 * time.Millisecond, RetryAfter: time.Millisecond,
+		})
+		conn, err := net.Dial("tcp", ts.addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.Write(data)
+		// Drain whatever the server says until it hangs up; the read
+		// deadline bounds the whole exchange.
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		br := bufio.NewReader(conn)
+		for {
+			if _, _, err := readMsg(br); err != nil {
+				break
+			}
+		}
+		conn.Close()
+		ts.shutdown(t)
+	})
+}

@@ -3,10 +3,12 @@ package serve
 import (
 	"bufio"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 
 	"ormprof/internal/checkpoint"
+	"ormprof/internal/govern"
 	"ormprof/internal/leap"
 	"ormprof/internal/omc"
 	"ormprof/internal/profiler"
@@ -15,17 +17,17 @@ import (
 	"ormprof/internal/whomp"
 )
 
-// pipeline is one session's profiling state: the WHOMP and LEAP pipelines
-// (each with its own OMC, mirroring the offline tools) plus the lossless
-// stride profiler. It is what checkpoints snapshot and what the final
-// profiles are built from. The SCCs are deliberately the sequential ones:
-// exact snapshots need single-threaded state, and the parallel stages are
-// defined to produce byte-identical profiles anyway, so daemon output
-// matches offline runs at any worker count.
-type pipeline struct {
-	workload string
-	sites    map[trace.SiteID]string
-
+// pipelineMode is one session's full profiling state: the WHOMP and LEAP
+// pipelines (each with its own OMC, mirroring the offline tools) plus the
+// lossless stride profiler. It is what checkpoints snapshot and what the
+// final profiles are built from. The SCCs are deliberately the sequential
+// ones: exact snapshots need single-threaded state, and the parallel
+// stages are defined to produce byte-identical profiles anyway, so daemon
+// output matches offline runs at any worker count.
+//
+// It implements govern.Mode, so a session's degradation ladder can
+// account and, over budget, discard it.
+type pipelineMode struct {
 	whompOMC *omc.OMC
 	whompSCC *whomp.SCC
 	whompCDC *profiler.CDC
@@ -35,116 +37,208 @@ type pipeline struct {
 	leapCDC *profiler.CDC
 
 	ideal *stride.Ideal
-
-	framesApplied uint64
-	eventsApplied uint64
 }
 
-// newPipeline builds a fresh pipeline for a session.
-func newPipeline(workload string, sites map[trace.SiteID]string, maxLMADs int) *pipeline {
-	p := &pipeline{
-		workload: workload,
-		sites:    sites,
+func newPipelineMode(sites map[trace.SiteID]string, maxLMADs int) *pipelineMode {
+	m := &pipelineMode{
 		whompOMC: omc.New(sites),
 		whompSCC: whomp.NewSCC(),
 		leapOMC:  omc.New(sites),
 		leapSCC:  leap.NewSCC(maxLMADs),
 		ideal:    stride.NewIdeal(),
 	}
-	p.whompCDC = profiler.NewCDC(p.whompOMC, p.whompSCC)
-	p.leapCDC = profiler.NewCDC(p.leapOMC, p.leapSCC)
+	m.whompCDC = profiler.NewCDC(m.whompOMC, m.whompSCC)
+	m.leapCDC = profiler.NewCDC(m.leapOMC, m.leapSCC)
+	return m
+}
+
+func (m *pipelineMode) Emit(e trace.Event) {
+	m.whompCDC.Emit(e)
+	m.leapCDC.Emit(e)
+	m.ideal.Emit(e)
+}
+
+func (m *pipelineMode) Footprint() int64 {
+	return m.whompOMC.Footprint() + m.whompSCC.Footprint() +
+		m.leapOMC.Footprint() + m.leapSCC.Footprint() + m.ideal.Footprint()
+}
+
+// profiles finalizes the mode into its three profile artifacts.
+func (m *pipelineMode) profiles(workload string) (*whomp.Profile, *leap.Profile, *stride.Ideal) {
+	m.whompCDC.Finish()
+	m.leapCDC.Finish()
+	wp := &whomp.Profile{
+		Workload: workload,
+		Records:  m.whompSCC.Records(),
+		Grammars: m.whompSCC.Grammars(),
+		Objects:  whomp.FromOMC(m.whompOMC),
+	}
+	return wp, m.leapSCC.BuildProfile(workload), m.ideal
+}
+
+// pipeline is one session's profiling state behind its degradation
+// ladder. Every session is governed — with no budget configured the
+// ladder accounts footprint but never trips, so ungoverned behavior is
+// unchanged — and the ladder is what checkpoints capture alongside the
+// pipeline snapshots, so a resumed session continues on the same rung.
+type pipeline struct {
+	workload string
+	sites    map[trace.SiteID]string
+	maxLMADs int
+
+	lad      *govern.Ladder
+	governed bool // a session or global budget is configured
+
+	framesApplied uint64
+	eventsApplied uint64
+}
+
+// sessionSeed derives the deterministic site-sampling seed from the
+// session ID, so the sampled-rung subset is stable across reconnects and
+// server restarts of the same session.
+func sessionSeed(id string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return h.Sum64()
+}
+
+// newPipeline builds a fresh pipeline for a session. budget may be nil
+// (account-only).
+func newPipeline(workload string, sites map[trace.SiteID]string, maxLMADs int, budget *govern.Budget, seed uint64, governed bool) *pipeline {
+	p := &pipeline{
+		workload: workload,
+		sites:    sites,
+		maxLMADs: maxLMADs,
+		governed: governed,
+	}
+	p.lad = govern.NewLadder(govern.Config{
+		Budget: budget,
+		Seed:   seed,
+		Full:   func() govern.Mode { return newPipelineMode(sites, maxLMADs) },
+	})
 	return p
 }
 
-// pipelineFromState reconstructs a pipeline from a checkpoint.
-func pipelineFromState(st *checkpoint.State) (*pipeline, error) {
-	wOMC, err := omc.FromSnapshot(st.WhompOMC)
-	if err != nil {
-		return nil, fmt.Errorf("serve: restore WHOMP OMC: %w", err)
+// pipelineFromState reconstructs a pipeline from a checkpoint. The
+// restored footprint is re-accounted into budget, and the ladder resumes
+// on the checkpointed rung — a degraded session never silently
+// re-escalates to full profiling across a restart.
+func pipelineFromState(st *checkpoint.State, maxLMADs int, budget *govern.Budget, governed bool) (*pipeline, error) {
+	var mode *pipelineMode
+	if st.Ladder == nil || st.Ladder.Rung <= govern.RungSampled {
+		wOMC, err := omc.FromSnapshot(st.WhompOMC)
+		if err != nil {
+			return nil, fmt.Errorf("serve: restore WHOMP OMC: %w", err)
+		}
+		wSCC, err := whomp.SCCFromSnapshot(st.Whomp)
+		if err != nil {
+			return nil, fmt.Errorf("serve: restore WHOMP SCC: %w", err)
+		}
+		lOMC, err := omc.FromSnapshot(st.LeapOMC)
+		if err != nil {
+			return nil, fmt.Errorf("serve: restore LEAP OMC: %w", err)
+		}
+		lSCC, err := leap.SCCFromSnapshot(st.Leap)
+		if err != nil {
+			return nil, fmt.Errorf("serve: restore LEAP SCC: %w", err)
+		}
+		ideal, err := stride.FromSnapshot(st.Stride)
+		if err != nil {
+			return nil, fmt.Errorf("serve: restore stride profiler: %w", err)
+		}
+		mode = &pipelineMode{
+			whompOMC: wOMC,
+			whompSCC: wSCC,
+			leapOMC:  lOMC,
+			leapSCC:  lSCC,
+			ideal:    ideal,
+		}
+		mode.whompCDC = profiler.NewCDC(mode.whompOMC, mode.whompSCC)
+		mode.leapCDC = profiler.NewCDC(mode.leapOMC, mode.leapSCC)
 	}
-	wSCC, err := whomp.SCCFromSnapshot(st.Whomp)
-	if err != nil {
-		return nil, fmt.Errorf("serve: restore WHOMP SCC: %w", err)
+	sites := st.SitesMap()
+	cfg := govern.Config{
+		Budget: budget,
+		Seed:   sessionSeed(st.SessionID),
+		Full:   func() govern.Mode { return newPipelineMode(sites, maxLMADs) },
 	}
-	lOMC, err := omc.FromSnapshot(st.LeapOMC)
-	if err != nil {
-		return nil, fmt.Errorf("serve: restore LEAP OMC: %w", err)
+	var full govern.Mode
+	if mode != nil {
+		full = mode
 	}
-	lSCC, err := leap.SCCFromSnapshot(st.Leap)
+	lad, err := govern.RestoreLadder(cfg, st.Ladder, full)
 	if err != nil {
-		return nil, fmt.Errorf("serve: restore LEAP SCC: %w", err)
+		return nil, fmt.Errorf("serve: restore governance ladder: %w", err)
 	}
-	ideal, err := stride.FromSnapshot(st.Stride)
-	if err != nil {
-		return nil, fmt.Errorf("serve: restore stride profiler: %w", err)
-	}
-	p := &pipeline{
+	return &pipeline{
 		workload:      st.Workload,
-		sites:         st.SitesMap(),
-		whompOMC:      wOMC,
-		whompSCC:      wSCC,
-		leapOMC:       lOMC,
-		leapSCC:       lSCC,
-		ideal:         ideal,
+		sites:         sites,
+		maxLMADs:      maxLMADs,
+		lad:           lad,
+		governed:      governed,
 		framesApplied: st.FramesApplied,
 		eventsApplied: st.EventsApplied,
-	}
-	p.whompCDC = profiler.NewCDC(p.whompOMC, p.whompSCC)
-	p.leapCDC = profiler.NewCDC(p.leapOMC, p.leapSCC)
-	return p, nil
+	}, nil
 }
 
-// applyFrame feeds one decoded frame's events through every profiler and
+// applyFrame feeds one decoded frame's events through the ladder and
 // advances the cursor.
 func (p *pipeline) applyFrame(events []trace.Event) {
 	for _, e := range events {
-		p.whompCDC.Emit(e)
-		p.leapCDC.Emit(e)
-		p.ideal.Emit(e)
+		p.lad.Emit(e)
 	}
 	p.framesApplied++
 	p.eventsApplied += uint64(len(events))
 }
 
-// state snapshots the pipeline into checkpoint form.
+// fullMode returns the live full pipeline, or nil below the sampled rung.
+func (p *pipeline) fullMode() *pipelineMode {
+	m, _ := p.lad.FullMode().(*pipelineMode)
+	return m
+}
+
+// release returns the pipeline's accounted bytes to the budget tree when
+// the session retires, so a long-running server's global watermark tracks
+// live sessions only.
+func (p *pipeline) release() {
+	b := p.lad.Budget()
+	b.Add(-b.Used())
+}
+
+// state snapshots the pipeline into checkpoint form. Below the sampled
+// rung the component snapshots are nil — the session's remaining output
+// lives entirely in the ladder snapshot.
 func (p *pipeline) state(sessionID string) (*checkpoint.State, error) {
-	wo, err := p.whompOMC.Snapshot()
-	if err != nil {
-		return nil, fmt.Errorf("serve: snapshot WHOMP OMC: %w", err)
-	}
-	ws, err := p.whompSCC.Snapshot()
-	if err != nil {
-		return nil, fmt.Errorf("serve: snapshot WHOMP SCC: %w", err)
-	}
-	lo, err := p.leapOMC.Snapshot()
-	if err != nil {
-		return nil, fmt.Errorf("serve: snapshot LEAP OMC: %w", err)
-	}
-	return &checkpoint.State{
+	st := &checkpoint.State{
 		SessionID:     sessionID,
 		Workload:      p.workload,
 		Sites:         checkpoint.SortSites(p.sites),
 		FramesApplied: p.framesApplied,
 		EventsApplied: p.eventsApplied,
-		WhompOMC:      wo,
-		Whomp:         ws,
-		LeapOMC:       lo,
-		Leap:          p.leapSCC.Snapshot(),
-		Stride:        p.ideal.Snapshot(),
-	}, nil
-}
-
-// profiles finalizes the pipeline into its three profile artifacts.
-func (p *pipeline) profiles() (*whomp.Profile, *leap.Profile, *stride.Ideal) {
-	p.whompCDC.Finish()
-	p.leapCDC.Finish()
-	wp := &whomp.Profile{
-		Workload: p.workload,
-		Records:  p.whompSCC.Records(),
-		Grammars: p.whompSCC.Grammars(),
-		Objects:  whomp.FromOMC(p.whompOMC),
+		Ladder:        p.lad.Snapshot(),
 	}
-	return wp, p.leapSCC.BuildProfile(p.workload), p.ideal
+	m := p.fullMode()
+	if m == nil {
+		return st, nil
+	}
+	wo, err := m.whompOMC.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("serve: snapshot WHOMP OMC: %w", err)
+	}
+	ws, err := m.whompSCC.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("serve: snapshot WHOMP SCC: %w", err)
+	}
+	lo, err := m.leapOMC.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("serve: snapshot LEAP OMC: %w", err)
+	}
+	st.WhompOMC = wo
+	st.Whomp = ws
+	st.LeapOMC = lo
+	st.Leap = m.leapSCC.Snapshot()
+	st.Stride = m.ideal.Snapshot()
+	return st, nil
 }
 
 // WriteStrideReport serializes a stride report deterministically: the
@@ -193,27 +287,40 @@ func writeArtifact(path string, write func(*bufio.Writer) error) error {
 	return os.Rename(tmp, path)
 }
 
-// writeProfiles renders the three final artifacts into dir:
-// <workload>.whomp, <workload>.leap, and <workload>.stride.
+// writeProfiles renders the final artifacts into dir: <workload>.whomp,
+// <workload>.leap, and <workload>.stride while the full pipeline is live
+// (full or object-sampled rung), plus <workload>.govern — which mode
+// produced the output and the full step history — whenever the session is
+// governed or has degraded. Below the sampled rung the .govern report IS
+// the output.
 func (p *pipeline) writeProfiles(dir string) error {
-	wp, lp, ideal := p.profiles()
 	base := filepath.Join(dir, sanitizeName(p.workload))
-	if err := writeArtifact(base+".whomp", func(w *bufio.Writer) error {
-		_, err := wp.WriteTo(w)
-		return err
-	}); err != nil {
-		return fmt.Errorf("serve: write WHOMP profile: %w", err)
+	if m := p.fullMode(); m != nil {
+		wp, lp, ideal := m.profiles(p.workload)
+		if err := writeArtifact(base+".whomp", func(w *bufio.Writer) error {
+			_, err := wp.WriteTo(w)
+			return err
+		}); err != nil {
+			return fmt.Errorf("serve: write WHOMP profile: %w", err)
+		}
+		if err := writeArtifact(base+".leap", func(w *bufio.Writer) error {
+			_, err := lp.WriteTo(w)
+			return err
+		}); err != nil {
+			return fmt.Errorf("serve: write LEAP profile: %w", err)
+		}
+		if err := writeArtifact(base+".stride", func(w *bufio.Writer) error {
+			return WriteStrideReport(w, ideal.StronglyStrided(), stride.FromLEAP(lp))
+		}); err != nil {
+			return fmt.Errorf("serve: write stride report: %w", err)
+		}
 	}
-	if err := writeArtifact(base+".leap", func(w *bufio.Writer) error {
-		_, err := lp.WriteTo(w)
-		return err
-	}); err != nil {
-		return fmt.Errorf("serve: write LEAP profile: %w", err)
-	}
-	if err := writeArtifact(base+".stride", func(w *bufio.Writer) error {
-		return WriteStrideReport(w, ideal.StronglyStrided(), stride.FromLEAP(lp))
-	}); err != nil {
-		return fmt.Errorf("serve: write stride report: %w", err)
+	if p.governed || p.lad.Rung() != govern.RungFull {
+		if err := writeArtifact(base+".govern", func(w *bufio.Writer) error {
+			return p.lad.WriteReport(w)
+		}); err != nil {
+			return fmt.Errorf("serve: write governance report: %w", err)
+		}
 	}
 	return nil
 }

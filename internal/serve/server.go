@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"ormprof/internal/checkpoint"
+	"ormprof/internal/govern"
 )
 
 // Config configures a Server. Zero values select the documented defaults.
@@ -51,6 +52,16 @@ type Config struct {
 	RetryAfter time.Duration
 	// MaxLMADs is the LEAP descriptor budget (≤ 0 = paper default).
 	MaxLMADs int
+	// SessionMemBudget bounds each session's accounted profiling
+	// footprint; over it the session's pipeline steps down the
+	// degradation ladder (0 = unlimited).
+	SessionMemBudget int64
+	// GlobalMemBudget bounds the accounted footprint summed across all
+	// sessions. Over its watermark, new sessions are rejected with Retry
+	// and the heaviest live session is stepped down first — largest
+	// accounted footprint, ties broken by smallest session ID, so the
+	// shedding choice is deterministic (0 = unlimited).
+	GlobalMemBudget int64
 	// Logf, when set, receives one line per session lifecycle event.
 	Logf func(format string, args ...any)
 }
@@ -93,6 +104,11 @@ type sessionState struct {
 	acked  uint64 // durable cursor: FramesApplied at the last checkpoint
 	dirty  bool   // frames applied since the last checkpoint
 	active bool   // a connection currently owns this session
+
+	// stepReq asks the session's worker to step its ladder down at the
+	// next frame boundary: global load shedding may not touch a ladder
+	// owned by another goroutine directly.
+	stepReq atomic.Bool
 }
 
 // Server is the ormpd ingestion service.
@@ -111,6 +127,12 @@ type Server struct {
 
 	queuedBytes atomic.Int64
 	wg          sync.WaitGroup
+
+	// govRoot accounts the summed profiling footprint of every session.
+	// Its own limit is 0 (pure accounting): the global trip is checked by
+	// the server, which sheds the heaviest session deterministically,
+	// rather than by whichever session happens to emit first.
+	govRoot *govern.Budget
 }
 
 // New creates a Server listening on ln. With cfg.Resume it loads every
@@ -135,14 +157,15 @@ func New(ln net.Listener, cfg Config) (*Server, error) {
 		drainCh:  make(chan struct{}),
 		killCh:   make(chan struct{}),
 		conns:    make(map[net.Conn]struct{}),
+		govRoot:  govern.NewBudget(0),
 	}
 	if c.Resume {
 		states, skipped, err := checkpoint.LoadDir(c.CheckpointDir)
 		if err != nil {
 			return nil, fmt.Errorf("serve: resume: %w", err)
 		}
-		for _, p := range skipped {
-			c.Logf("resume: skipping unusable checkpoint %s", p)
+		for _, sk := range skipped {
+			c.Logf("resume: skipping unusable checkpoint %s: %v", sk.Path, sk.Err)
 		}
 		s.resumed = states
 		c.Logf("resume: loaded %d checkpoint(s)", len(states))
@@ -193,10 +216,27 @@ func (s *Server) dropConn(conn net.Conn) {
 	conn.Close()
 }
 
+// governed reports whether any memory budget is configured.
+func (s *Server) governed() bool {
+	return s.cfg.SessionMemBudget > 0 || s.cfg.GlobalMemBudget > 0
+}
+
+// globalOver reports whether the summed accounted footprint has reached
+// the global budget's high watermark (limit minus one eighth, matching
+// govern.Budget's margin).
+func (s *Server) globalOver() bool {
+	g := s.cfg.GlobalMemBudget
+	return g > 0 && s.govRoot.Used() >= g-g/8
+}
+
 // admit decides whether a new connection may start a session right now.
-func (s *Server) admit() bool {
+// A non-empty reason means the connection gets a Retry.
+func (s *Server) admit() (ok bool, reason string) {
 	if s.queuedBytes.Load() > s.cfg.MaxQueuedBytes {
-		return false
+		return false, "queued bytes over limit"
+	}
+	if s.globalOver() {
+		return false, "global memory budget over watermark"
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -206,7 +246,63 @@ func (s *Server) admit() bool {
 			active++
 		}
 	}
-	return active < s.cfg.MaxSessions && !s.draining
+	if active >= s.cfg.MaxSessions {
+		return false, "session limit reached"
+	}
+	if s.draining {
+		return false, "draining"
+	}
+	return true, ""
+}
+
+// enforceGlobal sheds load while the summed accounted footprint is over
+// the global watermark: the heaviest session — largest accounted
+// footprint, ties broken by smallest session ID — steps its ladder down
+// first, so which session degrades is a deterministic property of the
+// accounted state, not of goroutine timing. The calling session and
+// parked sessions step immediately (nothing else owns their ladders);
+// sessions owned by other connections are flagged and step at their next
+// frame boundary.
+func (s *Server) enforceGlobal(self *sessionState) {
+	if s.cfg.GlobalMemBudget <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	skip := make(map[*sessionState]bool)
+	for s.globalOver() {
+		var heaviest *sessionState
+		for _, st := range s.sessions {
+			if skip[st] {
+				continue
+			}
+			if heaviest == nil || heavier(st, heaviest) {
+				heaviest = st
+			}
+		}
+		if heaviest == nil {
+			return // everything is flagged or at the floor
+		}
+		if heaviest == self || !heaviest.active {
+			if !heaviest.pl.lad.ForceStep() {
+				skip[heaviest] = true // at the floor; nothing left to free
+			} else {
+				s.cfg.Logf("session %s: stepped down to %s (global budget)", heaviest.id, heaviest.pl.lad.Rung())
+			}
+			continue
+		}
+		heaviest.stepReq.Store(true)
+		skip[heaviest] = true // it frees memory at its next frame, not now
+	}
+}
+
+// heavier reports whether a should shed before b.
+func heavier(a, b *sessionState) bool {
+	au, bu := a.pl.lad.Budget().Used(), b.pl.lad.Budget().Used()
+	if au != bu {
+		return au > bu
+	}
+	return a.id < b.id
 }
 
 // resolveSession finds or creates the session state for a Hello,
@@ -224,7 +320,7 @@ func (s *Server) resolveSession(h *Hello) (*sessionState, error) {
 	}
 	if ck, ok := s.resumed[h.SessionID]; ok {
 		delete(s.resumed, h.SessionID)
-		pl, err := pipelineFromState(ck)
+		pl, err := pipelineFromState(ck, s.cfg.MaxLMADs, s.govRoot.Sub(s.cfg.SessionMemBudget), s.governed())
 		if err != nil {
 			// The checkpoint decoded but its state does not reconstruct:
 			// treat it as unusable and restart the session from zero.
@@ -236,8 +332,9 @@ func (s *Server) resolveSession(h *Hello) (*sessionState, error) {
 		}
 	}
 	st := &sessionState{
-		id:     h.SessionID,
-		pl:     newPipeline(h.Workload, h.Sites, s.cfg.MaxLMADs),
+		id: h.SessionID,
+		pl: newPipeline(h.Workload, h.Sites, s.cfg.MaxLMADs,
+			s.govRoot.Sub(s.cfg.SessionMemBudget), sessionSeed(h.SessionID), s.governed()),
 		active: true,
 	}
 	s.sessions[h.SessionID] = st
@@ -251,11 +348,13 @@ func (s *Server) release(st *sessionState) {
 	s.mu.Unlock()
 }
 
-// complete removes a finished session and its checkpoint file.
+// complete removes a finished session and its checkpoint file, returning
+// its accounted footprint to the global budget.
 func (s *Server) complete(st *sessionState) {
 	s.mu.Lock()
 	delete(s.sessions, st.id)
 	s.mu.Unlock()
+	st.pl.release()
 	os.Remove(checkpoint.PathFor(s.cfg.CheckpointDir, st.id))
 }
 
@@ -376,8 +475,8 @@ func (s *Server) handleConn(conn net.Conn) {
 		writeMsg(bw, MsgRetry, uvarintBody(uint64(s.cfg.RetryAfter.Milliseconds())))
 		bw.Flush()
 	}
-	if !s.admit() {
-		s.cfg.Logf("session %s: admission rejected (busy)", hello.SessionID)
+	if ok, reason := s.admit(); !ok {
+		s.cfg.Logf("session %s: admission rejected (%s)", hello.SessionID, reason)
 		retry()
 		return
 	}

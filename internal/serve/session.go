@@ -190,8 +190,16 @@ func (s *Server) applySessionFrame(conn net.Conn, bw *bufio.Writer, st *sessionS
 		s.sendMsg(conn, bw, MsgErr, []byte(fmt.Sprintf("frame %d: %v", it.index, err)))
 		return false
 	}
+	// Frame boundary: honor a pending load-shedding request before
+	// applying more events (only this worker may touch the ladder).
+	if st.stepReq.Swap(false) {
+		if st.pl.lad.ForceStep() {
+			s.cfg.Logf("session %s: stepped down to %s (global budget)", st.id, st.pl.lad.Rung())
+		}
+	}
 	st.pl.applyFrame(events)
 	st.dirty = true
+	s.enforceGlobal(st)
 	if st.pl.framesApplied-st.acked >= uint64(s.cfg.CheckpointEvery) {
 		return s.checkpointAndAck(conn, bw, st)
 	}

@@ -83,7 +83,9 @@ func FromSnapshot(snap *Snapshot) (*Ideal, error) {
 				h[sc.Stride] = sc.Count
 			}
 			p.hist[st.Instr] = h
+			p.foot += idealHistBytes + int64(len(st.Hist))*idealBinBytes
 		}
+		p.foot += idealInstrBytes
 	}
 	return p, nil
 }

@@ -36,7 +36,20 @@ type Ideal struct {
 	last  map[trace.InstrID]trace.Addr
 	hist  map[trace.InstrID]map[int64]uint64
 	execs map[trace.InstrID]uint64
+	foot  int64 // incremental byte estimate, see Footprint
 }
+
+// Approximate per-element live sizes for budget accounting.
+const (
+	idealBase       = 192
+	idealInstrBytes = 80 // last + execs + hist-pointer map entries
+	idealHistBytes  = 96 // per-instruction histogram map header
+	idealBinBytes   = 32 // one histogram bin
+)
+
+// Footprint reports the profiler's approximate live bytes in O(1); the
+// estimate is maintained incrementally in Emit.
+func (p *Ideal) Footprint() int64 { return idealBase + p.foot }
 
 // IdealFromSource drains a streaming event source through a fresh lossless
 // stride profiler. Per-instruction state is O(instructions), so streaming a
@@ -63,6 +76,9 @@ func (p *Ideal) Emit(e trace.Event) {
 	if e.Kind != trace.EvAccess {
 		return
 	}
+	if _, seen := p.execs[e.Instr]; !seen {
+		p.foot += idealInstrBytes
+	}
 	p.execs[e.Instr]++
 	if prev, ok := p.last[e.Instr]; ok {
 		d := int64(e.Addr) - int64(prev)
@@ -70,6 +86,10 @@ func (p *Ideal) Emit(e trace.Event) {
 		if h == nil {
 			h = make(map[int64]uint64, 4)
 			p.hist[e.Instr] = h
+			p.foot += idealHistBytes
+		}
+		if _, seen := h[d]; !seen {
+			p.foot += idealBinBytes
 		}
 		h[d]++
 	}

@@ -1,0 +1,17 @@
+package trace
+
+// Approximate per-entry live sizes for budget accounting.
+const (
+	statsInstrBytes = 24 // instrs set entry
+	statsSiteBytes  = 24 // sites set entry
+	statsLiveBytes  = 32 // liveSize map entry
+)
+
+// Footprint reports the builder's approximate live bytes in O(1): its
+// state is three maps whose lengths are tracked by the runtime.
+func (b *StatsBuilder) Footprint() int64 {
+	return 192 +
+		int64(len(b.instrs))*statsInstrBytes +
+		int64(len(b.sites))*statsSiteBytes +
+		int64(len(b.liveSize))*statsLiveBytes
+}

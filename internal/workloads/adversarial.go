@@ -1,0 +1,104 @@
+package workloads
+
+import (
+	"ormprof/internal/memsim"
+	"ormprof/internal/trace"
+)
+
+// Adversarial is the resource-governance stress workload: it is built to
+// maximize grammar growth in every WHOMP dimension at once. Accesses walk
+// objects, offsets, and instructions in a seeded pseudo-random order, so
+// digrams almost never repeat and the Sequitur grammars grow nearly
+// linearly with the trace instead of compressing — the worst realistic
+// case for the profiler's memory footprint. Allocation churn keeps the
+// OMC's serial counters and live-object table moving too.
+//
+// The distinct-instruction and distinct-site counts stay bounded (the
+// diversity is in the ordering, not the alphabet), so the cheaper
+// degradation rungs — stride-only profiling and per-site counters — have
+// small, stable footprints. That separation is what the governance soak
+// relies on: each rung of the ladder is reachable with a budget an order
+// of magnitude below the rung above it.
+type Adversarial struct {
+	cfg Config
+	// Accesses is the number of load/store events.
+	Accesses int
+	// Objects is the size of the live-object working set.
+	Objects int
+}
+
+// Alphabet sizes. Sites and instructions are bounded so the degraded
+// rungs stay cheap; objects churn so serials keep climbing.
+const (
+	advSites  = 96
+	advInstrs = 192
+
+	// advSiteBase keeps the adversarial site IDs clear of the static
+	// sites the Machine defines.
+	advSiteBase trace.SiteID = 1000
+)
+
+// NewAdversarial builds the stress program with sizes derived from cfg.
+func NewAdversarial(cfg Config) *Adversarial {
+	cfg = cfg.normalized()
+	return &Adversarial{
+		cfg:      cfg,
+		Accesses: 100_000 * cfg.Scale,
+		Objects:  512,
+	}
+}
+
+// Name implements memsim.Program.
+func (a *Adversarial) Name() string { return "adversarial" }
+
+// advRand is a splitmix64 step: deterministic, uniform enough to defeat
+// digram reuse, and independent of math/rand's generator changes.
+func advRand(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Run implements memsim.Program.
+func (a *Adversarial) Run(m *memsim.Machine) {
+	rng := uint64(a.cfg.Seed)*0x9e3779b97f4a7c15 + 1
+	type obj struct {
+		addr trace.Addr
+		size uint32
+	}
+	live := make([]obj, a.Objects)
+	alloc := func(i int) {
+		r := advRand(&rng)
+		site := advSiteBase + trace.SiteID(r%advSites)
+		size := 64 + uint32(r>>32%8)*64 // 64..512 bytes, 8-aligned offsets fit
+		live[i] = obj{addr: m.Alloc(site, size), size: size}
+	}
+	for i := range live {
+		alloc(i)
+	}
+
+	for n := 0; n < a.Accesses; n++ {
+		r := advRand(&rng)
+		o := live[r%uint64(a.Objects)]
+		instr := trace.InstrID(1 + (r>>24)%advInstrs)
+		off := trace.Addr((r >> 40 % uint64(o.size/8)) * 8)
+		if r>>16%4 == 0 {
+			m.Store(instr, o.addr+off, 8)
+		} else {
+			m.Load(instr, o.addr+off, 8)
+		}
+		// Churn: replace one object every few accesses, so serial numbers
+		// keep advancing and the OMC table never goes quiet.
+		if r%8 == 0 {
+			i := int(r >> 8 % uint64(a.Objects))
+			m.Free(live[i].addr)
+			alloc(i)
+		}
+	}
+
+	for _, o := range live {
+		m.Free(o.addr)
+	}
+}

@@ -70,9 +70,11 @@ func New(name string, cfg Config) (memsim.Program, error) {
 		return newEquake(cfg), nil
 	case "linkedlist":
 		return NewLinkedList(cfg), nil
+	case "adversarial":
+		return NewAdversarial(cfg), nil
 	default:
 		return nil, fmt.Errorf("workloads: unknown workload %q (known: %v)",
-			name, append(Names(), "183.equake", "linkedlist"))
+			name, append(Names(), "183.equake", "linkedlist", "adversarial"))
 	}
 }
 
