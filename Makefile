@@ -7,7 +7,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test test-race test-short test-soak bench vet lint fuzz-short ci
+.PHONY: all build test test-race test-short test-soak bench bench-json bench-allocs vet lint fuzz-short ci
 
 # Pinned linter versions — keep in sync with .github/workflows/ci.yml.
 STATICCHECK_VERSION ?= 2025.1
@@ -47,8 +47,8 @@ test-soak: build
 	$(GO) test -run 'TestSoak' -timeout 600s -v .
 
 # Everything a CI run should gate on: tier-1, tier-2, static analysis,
-# and the soak.
-ci: test test-race lint test-soak
+# the zero-alloc hot-path gate, and the soak.
+ci: test test-race lint bench-allocs test-soak
 
 # Static analysis + known-vulnerability scan. The tools are not vendored;
 # if they are missing locally the target says how to get them and skips
@@ -71,8 +71,34 @@ lint:
 test-short:
 	$(GO) test -short ./...
 
+# Hot-path + end-to-end benchmarks (see docs/PERFORMANCE.md for the
+# methodology and the maintained baseline table). -count defaults to 6 so
+# the output feeds straight into benchstat; BENCH_OUT captures the run for
+# comparison, e.g.
+#   make bench BENCH_OUT=before.txt
+#   ...change...
+#   make bench BENCH_OUT=after.txt && benchstat before.txt after.txt
+# To emit benchmark JSON for dashboards: make bench-json (BENCH_hotpath.json).
+BENCH ?= BenchmarkEventLoop|BenchmarkIngestEndToEnd|BenchmarkWorkloadIngest
+BENCH_COUNT ?= 6
+BENCH_OUT ?= /dev/stdout
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -run=xxx -bench='$(BENCH)' -benchmem -count=$(BENCH_COUNT) \
+		-timeout 60m . | tee $(BENCH_OUT)
+
+# Same suite once, as `go test -json` output, for machine consumption.
+bench-json:
+	$(GO) test -run=xxx -bench='$(BENCH)' -benchmem -timeout 60m -json . \
+		> BENCH_hotpath.json
+
+# The zero-alloc gate: fails if the steady-state event loop (translate +
+# WHOMP/LEAP/stride consumption, alloc/free churn included) performs any
+# per-event heap allocation, or if the soabtree steady state allocates.
+# Cheap enough to run on every CI push — catches alloc regressions at the
+# PR that introduces them, not at the next quarterly profile.
+bench-allocs:
+	$(GO) test -run 'TestEventLoopSteadyStateAllocs' -count=1 .
+	$(GO) test -run 'TestZeroAllocSteadyState' -count=1 ./internal/soabtree/
 
 vet:
 	$(GO) vet ./...
@@ -89,3 +115,4 @@ fuzz-short:
 	$(GO) test -fuzz=FuzzReadProfile -fuzztime=$(FUZZTIME) ./internal/leap/
 	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=$(FUZZTIME) ./internal/sequitur/
 	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/sequitur/
+	$(GO) test -fuzz=FuzzTreeOps -fuzztime=$(FUZZTIME) ./internal/soabtree/

@@ -1,0 +1,167 @@
+package ormprof
+
+// Seed-profile golden gate: the serialized WHOMP and LEAP profiles of all
+// seven workloads are pinned by SHA-256 against testdata/seed_profiles.json,
+// at every supported worker count. The hashes were generated before the
+// hot-path rework (flat SoA B+Tree object map, pooled event loop), so any
+// change to translation, decomposition, or compression that alters even one
+// output byte fails here — performance work must not move the profiles.
+//
+// Regenerate (only when an intentional format change lands):
+//
+//	go test -run TestSeedProfileGolden -update-golden .
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ormprof/internal/experiments"
+	"ormprof/internal/leap"
+	"ormprof/internal/omc"
+	"ormprof/internal/profiler"
+	"ormprof/internal/trace"
+	"ormprof/internal/whomp"
+	"ormprof/internal/workloads"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/seed_profiles.json from the current code")
+
+const seedGoldenPath = "testdata/seed_profiles.json"
+
+// seedGolden is one workload's pinned profile hashes.
+type seedGolden struct {
+	Whomp string `json:"whomp"`
+	Leap  string `json:"leap"`
+}
+
+func sha(b []byte) string {
+	h := sha256.Sum256(b)
+	return hex.EncodeToString(h[:])
+}
+
+// profileHashes profiles one recorded workload with the given worker count
+// and returns the SHA-256 of the serialized WHOMP and LEAP profiles.
+func profileHashes(t *testing.T, name string, buf *trace.Buffer, sites map[trace.SiteID]string, workers int) seedGolden {
+	t.Helper()
+	wp := whomp.NewParallel(sites, workers)
+	buf.Replay(wp)
+	var wb bytes.Buffer
+	if _, err := wp.Profile(name).WriteTo(&wb); err != nil {
+		t.Fatalf("%s workers=%d: whomp WriteTo: %v", name, workers, err)
+	}
+	lp := leap.NewParallel(sites, 0, workers)
+	buf.Replay(lp)
+	var lb bytes.Buffer
+	if _, err := lp.Profile(name).WriteTo(&lb); err != nil {
+		t.Fatalf("%s workers=%d: leap WriteTo: %v", name, workers, err)
+	}
+	return seedGolden{Whomp: sha(wb.Bytes()), Leap: sha(lb.Bytes())}
+}
+
+func TestSeedProfileGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiles all seven workloads at three worker counts")
+	}
+	got := make(map[string]seedGolden)
+	for _, name := range workloads.Names() {
+		prog, err := workloads.New(name, workloads.Config{Scale: 1, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, sites := experiments.Record(prog, nil)
+		ref := profileHashes(t, name, buf, sites, 1)
+		for _, workers := range []int{2, 8} {
+			if h := profileHashes(t, name, buf, sites, workers); h != ref {
+				t.Errorf("%s: workers=%d profile hashes differ from workers=1", name, workers)
+			}
+		}
+		got[name] = ref
+	}
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "\t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(seedGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(seedGoldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", seedGoldenPath)
+		return
+	}
+
+	data, err := os.ReadFile(seedGoldenPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update-golden): %v", err)
+	}
+	want := make(map[string]seedGolden)
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	for name, ref := range got {
+		w, ok := want[name]
+		if !ok {
+			t.Errorf("%s: missing from %s", name, seedGoldenPath)
+			continue
+		}
+		if ref != w {
+			t.Errorf("%s: profile hashes changed from seed:\n got  %+v\n want %+v", name, ref, w)
+		}
+	}
+}
+
+// TestSeedProfileGoldenAfterResume proves the translation layer survives a
+// mid-stream checkpoint cycle without changing a single record: the OMC is
+// snapshotted halfway through each workload's trace, restored into a fresh
+// OMC, and the second half translated against the restored state must equal
+// the records of an uninterrupted run. (The service layer's per-cut resume
+// tests cover the full pipeline; this pins the object map specifically.)
+func TestSeedProfileGoldenAfterResume(t *testing.T) {
+	for _, name := range workloads.Names() {
+		prog, err := workloads.New(name, workloads.Config{Scale: 1, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, sites := experiments.Record(prog, nil)
+		events := buf.Events
+
+		full, _ := profiler.TranslateTrace(events, sites)
+
+		cut := len(events) / 2
+		half := &profiler.Collector{}
+		cdc := profiler.NewCDC(omc.New(sites), half)
+		for _, e := range events[:cut] {
+			cdc.Emit(e)
+		}
+		snap, err := cdc.OMC.Snapshot()
+		if err != nil {
+			t.Fatalf("%s: snapshot: %v", name, err)
+		}
+		restored, err := omc.FromSnapshot(snap)
+		if err != nil {
+			t.Fatalf("%s: restore: %v", name, err)
+		}
+		cdc2 := profiler.NewCDC(restored, half)
+		for _, e := range events[cut:] {
+			cdc2.Emit(e)
+		}
+		cdc2.Finish()
+
+		if len(half.Records) != len(full) {
+			t.Fatalf("%s: resumed run translated %d records, want %d", name, len(half.Records), len(full))
+		}
+		for i := range full {
+			if half.Records[i] != full[i] {
+				t.Fatalf("%s: record %d differs after resume:\n got  %v\n want %v", name, i, half.Records[i], full[i])
+			}
+		}
+	}
+}

@@ -1,14 +1,14 @@
 package govern
 
 import (
-	"ormprof/internal/btree"
+	"ormprof/internal/soabtree"
 	"ormprof/internal/trace"
 )
 
 // siteFilter implements RungSampled: it passes through the events of a
 // deterministic, seeded subset of allocation sites and drops everything
 // else. Accesses are filtered against the *sampled live objects* (a floor
-// search in a B-tree keyed by start address, mirroring the OMC), not just
+// search in a flat B+Tree keyed by start address, mirroring the OMC), not just
 // the alloc events: an access outside every sampled object is dropped
 // entirely rather than forwarded as an unmapped raw address, because the
 // raw-address stream is exactly what makes grammars explode (Fig. 5) —
@@ -17,7 +17,7 @@ type siteFilter struct {
 	seed  uint64
 	mod   uint64
 	inner Mode
-	live  btree.Map[uint32] // sampled object start address -> size
+	live  soabtree.Map // sampled object start address -> size
 }
 
 func newSiteFilter(seed, mod uint64, inner Mode) *siteFilter {
@@ -50,7 +50,7 @@ func (f *siteFilter) Emit(e trace.Event) {
 		if !f.keep(e.Site) {
 			return
 		}
-		f.live.Set(uint64(e.Addr), e.Size)
+		f.live.Set(uint64(e.Addr), uint64(e.Size))
 	case trace.EvFree:
 		if _, ok := f.live.Get(uint64(e.Addr)); !ok {
 			return
@@ -58,7 +58,7 @@ func (f *siteFilter) Emit(e trace.Event) {
 		f.live.Delete(uint64(e.Addr))
 	case trace.EvAccess:
 		start, size, ok := f.live.Floor(uint64(e.Addr))
-		if !ok || uint64(e.Addr) >= start+uint64(size) {
+		if !ok || uint64(e.Addr) >= start+size {
 			return
 		}
 	}
@@ -73,7 +73,9 @@ func (f *siteFilter) NameSite(site trace.SiteID, name string) {
 }
 
 // filterEntryBytes approximates one live-object entry in the filter's
-// B-tree (key + value + node share).
+// tree (key + value + node share). Logical-count accounting, like the
+// OMC's (see internal/omc/footprint.go): rung decisions must resume
+// deterministically, so physical arena capacity is not charged.
 const filterEntryBytes = 32
 
 // Footprint implements Mode.

@@ -66,8 +66,8 @@ func (l *Ladder) Snapshot() *Snapshot {
 	switch l.rung {
 	case RungSampled:
 		snap.Filter = make([]FilterObject, 0, l.filter.live.Len())
-		l.filter.live.Ascend(func(start uint64, size uint32) bool {
-			snap.Filter = append(snap.Filter, FilterObject{Start: start, Size: size})
+		l.filter.live.Ascend(func(start, size uint64) bool {
+			snap.Filter = append(snap.Filter, FilterObject{Start: start, Size: uint32(size)})
 			return true
 		})
 	case RungStrideOnly:
@@ -135,7 +135,7 @@ func RestoreLadder(cfg Config, snap *Snapshot, full Mode) (*Ladder, error) {
 		}
 		l.filter = newSiteFilter(cfg.Seed, cfg.SampleMod, full)
 		for _, o := range snap.Filter {
-			l.filter.live.Set(o.Start, o.Size)
+			l.filter.live.Set(o.Start, uint64(o.Size))
 		}
 		l.cur = l.filter
 	case RungStrideOnly:

@@ -1,20 +1,29 @@
 package omc
 
 // Approximate per-element live sizes for budget accounting (struct +
-// pointer + container share).
+// container share). These charge *logical* state — groups, objects ever
+// allocated, live objects — not physical capacity: the governance ladder
+// (internal/govern) compares Footprint against budgets to pick a rung, and
+// that decision must be identical across worker counts and across a
+// checkpoint/resume, whereas physical capacity (arena high-water marks,
+// pooled buffers) depends on the path taken to reach the current state. A
+// resumed OMC rebuilds its tree compactly and would report a different
+// physical size than the original — and a different rung would change the
+// output. Logical counts are state, so they resume exactly.
 const (
-	objectBytes = 96  // ObjectInfo + object-table slot
+	objectBytes = 96  // ObjectInfo arena slot + object-table index share
 	groupBytes  = 128 // GroupInfo + site-map entry + object-table header
-	liveBytes   = 40  // live B-tree entry share
+	liveBytes   = 40  // live-tree entry share (key + value + node overhead)
 	omcBase     = 256
 )
 
 // Footprint reports the OMC's approximate live bytes in O(1): its state
 // grows with groups, allocated objects, and live objects, all of which
-// are counted incrementally.
+// are counted incrementally. For the physical high-water mark of the live
+// tree's arena (observability, not governance), see soabtree.Map.Footprint.
 func (o *OMC) Footprint() int64 {
 	return omcBase +
 		int64(len(o.groupInfo))*groupBytes +
-		int64(o.objCount)*objectBytes +
+		int64(o.recs.n)*objectBytes +
 		int64(o.live.Len())*liveBytes
 }

@@ -8,16 +8,30 @@
 // containing it and translates the address into a (group, object, offset)
 // triple.
 //
-// Live objects are indexed by a B-tree keyed on start address (§3.1's
-// "auxiliary B-tree-like data structure"); translation is a floor search
-// plus a bounds check, valid because live objects never overlap.
+// Live objects are indexed by a flat structure-of-arrays B+Tree keyed on
+// start address (§3.1's "auxiliary B-tree-like data structure", see
+// internal/soabtree); translation is a floor search plus a bounds check,
+// valid because live objects never overlap.
+//
+// # Memory layout & ownership
+//
+// Object lifetime records live in a chunked arena (recArena): fixed-size
+// chunks allocated full-size up front, so record addresses are stable for
+// the OMC's lifetime and allocating a record is pointer-bump cheap. The
+// live tree and the per-group object tables both store compact *indices*
+// into the arena rather than pointers, which keeps the hot structures
+// pointer-free (nothing for the garbage collector to trace) and makes the
+// steady-state event loop allocation-free: an alloc/free/access cycle
+// touches only pre-grown arena slots and recycled tree nodes. The OMC is
+// single-goroutine, matching the trace.Sink contract — one translation
+// loop owns it; snapshots hand out copies, never aliases.
 package omc
 
 import (
 	"fmt"
 	"sort"
 
-	"ormprof/internal/btree"
+	"ormprof/internal/soabtree"
 	"ormprof/internal/trace"
 )
 
@@ -49,7 +63,9 @@ func (r Ref) String() string {
 
 // ObjectInfo is the per-object lifetime record kept by the OMC: the
 // run-dependent auxiliary information the profiler outputs separately from
-// the invariant object-relative tuples (§2.3).
+// the invariant object-relative tuples (§2.3). Pointers returned by Lookup
+// and Objects reference the OMC's record arena directly and stay valid (and
+// observe later Free updates) for the OMC's lifetime.
 type ObjectInfo struct {
 	Group     GroupID
 	Serial    uint32
@@ -68,6 +84,33 @@ type GroupInfo struct {
 	Count uint32 // objects allocated so far (== next serial)
 }
 
+// recChunk is the record-arena chunk size. Chunks are allocated at full
+// size so &chunk[i] stays valid forever; growth costs one slice allocation
+// per recChunk objects — amortized to nothing on the event loop.
+const recChunk = 1024
+
+// recArena is a chunked, address-stable store of ObjectInfo records,
+// addressed by dense global index in allocation order.
+type recArena struct {
+	chunks [][]ObjectInfo
+	n      int
+}
+
+// alloc reserves the next record and returns its global index and address.
+func (a *recArena) alloc() (uint32, *ObjectInfo) {
+	if a.n%recChunk == 0 {
+		a.chunks = append(a.chunks, make([]ObjectInfo, recChunk))
+	}
+	idx := a.n
+	a.n++
+	return uint32(idx), &a.chunks[idx/recChunk][idx%recChunk]
+}
+
+// at returns the record at a global index.
+func (a *recArena) at(idx uint32) *ObjectInfo {
+	return &a.chunks[int(idx)/recChunk][int(idx)%recChunk]
+}
+
 // OMC is the object-management component. Not safe for concurrent use; the
 // paper's multi-threaded collection is an implementation convenience we do
 // not need.
@@ -78,10 +121,10 @@ type OMC struct {
 	siteTypes map[trace.SiteID]string
 	typeGroup map[string]GroupID
 
-	live    btree.Map[*ObjectInfo] // start address -> live object
-	objects map[GroupID][]*ObjectInfo
+	live    soabtree.Map // start address -> global record index
+	recs    recArena
+	objects map[GroupID][]uint32 // group -> record indices, serial order
 
-	objCount   int // total objects ever allocated, for O(1) Footprint
 	translated uint64
 	unmapped   uint64
 }
@@ -93,7 +136,7 @@ func New(siteNames map[trace.SiteID]string) *OMC {
 	return &OMC{
 		groups:    make(map[trace.SiteID]GroupID),
 		siteNames: siteNames,
-		objects:   make(map[GroupID][]*ObjectInfo),
+		objects:   make(map[GroupID][]uint32),
 	}
 }
 
@@ -148,7 +191,8 @@ func (o *OMC) newGroup(site trace.SiteID, name string) GroupID {
 func (o *OMC) Alloc(site trace.SiteID, addr trace.Addr, size uint32, t trace.Time) Ref {
 	g := o.groupFor(site)
 	gi := &o.groupInfo[g-1]
-	info := &ObjectInfo{
+	idx, info := o.recs.alloc()
+	*info = ObjectInfo{
 		Group:     g,
 		Serial:    gi.Count,
 		Start:     addr,
@@ -156,9 +200,8 @@ func (o *OMC) Alloc(site trace.SiteID, addr trace.Addr, size uint32, t trace.Tim
 		AllocTime: t,
 	}
 	gi.Count++
-	o.objCount++
-	o.live.Set(uint64(addr), info)
-	o.objects[g] = append(o.objects[g], info)
+	o.live.Set(uint64(addr), uint64(idx))
+	o.objects[g] = append(o.objects[g], idx)
 	return Ref{Group: g, Object: info.Serial}
 }
 
@@ -166,12 +209,13 @@ func (o *OMC) Alloc(site trace.SiteID, addr trace.Addr, size uint32, t trace.Tim
 // object is ignored (a double free in the profiled program is its bug, not
 // the profiler's).
 func (o *OMC) Free(addr trace.Addr, t trace.Time) {
-	v, ok := o.live.Get(uint64(addr))
+	idx, ok := o.live.Get(uint64(addr))
 	if !ok {
 		return
 	}
-	v.Freed = true
-	v.FreeTime = t
+	info := o.recs.at(uint32(idx))
+	info.Freed = true
+	info.FreeTime = t
 	o.live.Delete(uint64(addr))
 }
 
@@ -190,23 +234,27 @@ func (o *OMC) HandleEvent(e trace.Event) {
 // currently live objects. Addresses outside every live object translate to
 // the Unmapped group with the raw address preserved in Offset.
 func (o *OMC) Translate(addr trace.Addr) Ref {
-	start, info, ok := o.live.Floor(uint64(addr))
-	if ok && uint64(addr) < start+uint64(info.Size) {
-		o.translated++
-		return Ref{Group: info.Group, Object: info.Serial, Offset: uint64(addr) - start}
+	start, idx, ok := o.live.Floor(uint64(addr))
+	if ok {
+		info := o.recs.at(uint32(idx))
+		if uint64(addr) < start+uint64(info.Size) {
+			o.translated++
+			return Ref{Group: info.Group, Object: info.Serial, Offset: uint64(addr) - start}
+		}
 	}
 	o.unmapped++
 	return Ref{Group: Unmapped, Offset: uint64(addr)}
 }
 
 // Lookup returns the lifetime record for (group, serial), or nil if the
-// object was never allocated.
+// object was never allocated. The pointer references the OMC's arena and
+// remains valid for the OMC's lifetime.
 func (o *OMC) Lookup(g GroupID, serial uint32) *ObjectInfo {
-	objs := o.objects[g]
-	if int(serial) >= len(objs) {
+	idxs := o.objects[g]
+	if int(serial) >= len(idxs) {
 		return nil
 	}
-	return objs[serial]
+	return o.recs.at(idxs[serial])
 }
 
 // Invert maps an object-relative reference back to the raw address it was
@@ -243,9 +291,18 @@ func (o *OMC) GroupName(g GroupID) string {
 }
 
 // Objects returns the lifetime records of every object ever allocated in
-// group g, in serial order.
+// group g, in serial order. The slice is materialized per call (reporting
+// path, not the event loop); the records it points at are the arena's.
 func (o *OMC) Objects(g GroupID) []*ObjectInfo {
-	return o.objects[g]
+	idxs := o.objects[g]
+	if idxs == nil {
+		return nil
+	}
+	out := make([]*ObjectInfo, len(idxs))
+	for i, idx := range idxs {
+		out[i] = o.recs.at(idx)
+	}
+	return out
 }
 
 // LiveCount reports the number of currently live objects.

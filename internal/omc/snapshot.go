@@ -8,14 +8,16 @@ import (
 )
 
 // This file implements exact OMC snapshots for checkpoint/resume
-// (internal/checkpoint). The one structural subtlety: the live B-tree and
-// the per-group object tables share *ObjectInfo pointers (Free mutates an
-// object through its live entry), and the live set cannot be recomputed
-// from the tables — a re-allocation at an address whose previous occupant
-// was never freed leaves two un-Freed records of which only the newer is
-// live. The snapshot therefore stores the live set explicitly as
-// (address, group, serial) references, and restore re-links them to the
-// rebuilt records so the pointer sharing is reconstructed exactly.
+// (internal/checkpoint). The one structural subtlety: the live tree and
+// the per-group object tables reference the same arena records (Free
+// mutates a record through its live entry), and the live set cannot be
+// recomputed from the tables — a re-allocation at an address whose
+// previous occupant was never freed leaves two un-Freed records of which
+// only the newer is live. The snapshot therefore stores the live set
+// explicitly as (address, group, serial) references, and restore re-links
+// them to the rebuilt arena records so the sharing is reconstructed
+// exactly. The wire format is unchanged from the pointer-tree era, so old
+// checkpoints restore into the arena-backed OMC byte-for-byte.
 
 // ObjectRecord is one object's lifetime record; its serial is its index in
 // the enclosing GroupObjects.
@@ -84,12 +86,13 @@ func (o *OMC) Snapshot() (*Snapshot, error) {
 	}
 	for _, gi := range o.groupInfo {
 		g := GroupSnapshot{ID: gi.ID, Site: gi.Site, Name: gi.Name}
-		objs := o.objects[gi.ID]
-		if uint32(len(objs)) != gi.Count {
-			return nil, fmt.Errorf("omc: group %d has %d objects but count %d", gi.ID, len(objs), gi.Count)
+		idxs := o.objects[gi.ID]
+		if uint32(len(idxs)) != gi.Count {
+			return nil, fmt.Errorf("omc: group %d has %d objects but count %d", gi.ID, len(idxs), gi.Count)
 		}
-		g.Objects = make([]ObjectRecord, len(objs))
-		for s, info := range objs {
+		g.Objects = make([]ObjectRecord, len(idxs))
+		for s, idx := range idxs {
+			info := o.recs.at(idx)
 			if info.Group != gi.ID || info.Serial != uint32(s) {
 				return nil, fmt.Errorf("omc: object table entry (%d, %d) holds object (%d, %d)",
 					gi.ID, s, info.Group, info.Serial)
@@ -121,7 +124,8 @@ func (o *OMC) Snapshot() (*Snapshot, error) {
 	}
 	sort.Slice(snap.TypeGroups, func(i, j int) bool { return snap.TypeGroups[i].Type < snap.TypeGroups[j].Type })
 	var liveErr error
-	o.live.Ascend(func(addr uint64, info *ObjectInfo) bool {
+	o.live.Ascend(func(addr, idx uint64) bool {
+		info := o.recs.at(uint32(idx))
 		if uint64(info.Start) != addr {
 			liveErr = fmt.Errorf("omc: live entry at %#x holds object starting at %#x", addr, info.Start)
 			return false
@@ -167,9 +171,10 @@ func FromSnapshot(snap *Snapshot) (*OMC, error) {
 		o.groupInfo = append(o.groupInfo, GroupInfo{
 			ID: g.ID, Site: g.Site, Name: g.Name, Count: uint32(len(g.Objects)),
 		})
-		objs := make([]*ObjectInfo, len(g.Objects))
+		idxs := make([]uint32, len(g.Objects))
 		for s, rec := range g.Objects {
-			objs[s] = &ObjectInfo{
+			idx, info := o.recs.alloc()
+			*info = ObjectInfo{
 				Group:     g.ID,
 				Serial:    uint32(s),
 				Start:     rec.Start,
@@ -178,9 +183,9 @@ func FromSnapshot(snap *Snapshot) (*OMC, error) {
 				FreeTime:  rec.FreeTime,
 				Freed:     rec.Freed,
 			}
+			idxs[s] = idx
 		}
-		o.objects[g.ID] = objs
-		o.objCount += len(objs)
+		o.objects[g.ID] = idxs
 	}
 	for _, e := range snap.SiteGroups {
 		if int(e.Group) < 1 || int(e.Group) > len(snap.Groups) {
@@ -189,10 +194,12 @@ func FromSnapshot(snap *Snapshot) (*OMC, error) {
 		o.groups[e.Site] = e.Group
 	}
 	for _, ref := range snap.Live {
-		info := o.Lookup(ref.Group, ref.Serial)
-		if info == nil {
+		idxs := o.objects[ref.Group]
+		if int(ref.Serial) >= len(idxs) {
 			return nil, fmt.Errorf("omc: live ref (%d, %d) names an unknown object", ref.Group, ref.Serial)
 		}
+		idx := idxs[ref.Serial]
+		info := o.recs.at(idx)
 		if uint64(info.Start) != ref.Addr {
 			return nil, fmt.Errorf("omc: live ref at %#x names object starting at %#x", ref.Addr, info.Start)
 		}
@@ -202,7 +209,7 @@ func FromSnapshot(snap *Snapshot) (*OMC, error) {
 		if _, dup := o.live.Get(ref.Addr); dup {
 			return nil, fmt.Errorf("omc: duplicate live ref at %#x", ref.Addr)
 		}
-		o.live.Set(ref.Addr, info)
+		o.live.Set(ref.Addr, uint64(idx))
 	}
 	return o, nil
 }

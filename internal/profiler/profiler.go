@@ -17,6 +17,19 @@
 // Broadcast stages in this package fan the translated record stream out
 // across worker goroutines with batched channels, deterministically — see
 // docs/ARCHITECTURE.md for the pipeline's concurrency design.
+//
+// # Concurrency and buffer ownership
+//
+// Every SCC (and every trace.Sink) is fed by exactly one goroutine; the
+// fan-out stages are that contract's multiplexers, not an exception to
+// it — Consume on a Sharded/Broadcast stage must itself come from a
+// single goroutine, and each worker lane is the single feeder of its
+// downstream SCC. Record batches handed across lanes are pooled and
+// reference-counted (see shard.go): the producer owns a batch while
+// filling it, lanes borrow it read-only, and the last lane to release
+// it recycles it. Steady-state fan-out therefore performs no per-batch
+// allocation; docs/PERFORMANCE.md documents the ownership rules and the
+// CI gate that enforces the zero-alloc event loop.
 package profiler
 
 import (

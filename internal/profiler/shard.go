@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 )
 
 // This file implements the parallel fan-out stages of the profiling
@@ -27,6 +28,17 @@ import (
 // Both stages batch records before the channel send (DefaultShardBatch,
 // following the async collector's design) so the per-record synchronization
 // cost is amortized to a fraction of a channel operation.
+//
+// Batch ownership: batches are reference-counted (recBatch) and recycled
+// through a per-stage pool. The producer fills a batch, sets its refcount
+// to the number of receiving lanes (1 for Sharded, N for Broadcast), and
+// sends the same pointer to each; every lane — including a crashed lane's
+// drain loop — releases its reference when done, and the last release
+// returns the batch to the pool. The steady-state fan-out therefore
+// allocates nothing: batches cycle between the producer and the pool. The
+// one exception is a cancelled broadcast, where lanes that never received
+// the in-flight batch can't release it; that batch falls to the GC, which
+// is fine — cancellation ends the stage.
 //
 // Fault containment: a panic inside a worker's SCC is recovered, recorded
 // as a *WorkerError, and the dead lane keeps draining its queue — the
@@ -97,42 +109,69 @@ func (s *stageErr) get() error {
 	return s.err
 }
 
+// recBatch is a reference-counted record batch shared between fan-out
+// lanes. The producer sets refs to the number of receivers before sending;
+// each receiver treats the records as read-only and calls release when
+// done. The last release recycles the batch through the stage pool.
+type recBatch struct {
+	recs []Record
+	refs atomic.Int32
+}
+
+func (b *recBatch) release(pool *sync.Pool) {
+	if b.refs.Add(-1) == 0 {
+		b.recs = b.recs[:0]
+		pool.Put(b)
+	}
+}
+
+// getBatch draws an empty batch from the stage pool.
+func getBatch(pool *sync.Pool) *recBatch {
+	return pool.Get().(*recBatch)
+}
+
+// newBatchPool builds a stage's batch pool.
+func newBatchPool(batchSize int) sync.Pool {
+	return sync.Pool{New: func() any {
+		return &recBatch{recs: make([]Record, 0, batchSize)}
+	}}
+}
+
 // shardWorker is one fan-out lane: a batch being filled by the producer, a
 // queue, and a goroutine draining the queue into an SCC.
 type shardWorker struct {
 	scc   SCC
-	ch    chan []Record
-	batch []Record
+	ch    chan *recBatch
+	batch *recBatch
 }
 
-func (w *shardWorker) run(idx int, done *sync.WaitGroup, pool *sync.Pool, recycle bool, fail *stageErr) {
+func (w *shardWorker) run(idx int, done *sync.WaitGroup, pool *sync.Pool, fail *stageErr) {
 	defer done.Done()
-	if err := w.work(pool, recycle); err != nil {
+	if err := w.work(pool); err != nil {
 		err.Worker = idx
 		fail.set(err)
 		// The lane is dead, but the single producer must never block on
-		// it: keep draining (and discarding) until the queue closes.
-		for range w.ch {
+		// it: keep draining until the queue closes, still releasing each
+		// batch so the surviving lanes' recycling keeps working.
+		for batch := range w.ch {
+			batch.release(pool)
 		}
 	}
 }
 
 // work consumes the lane's queue into the SCC and finishes it, converting
 // a panic anywhere in the SCC into a *WorkerError.
-func (w *shardWorker) work(pool *sync.Pool, recycle bool) (werr *WorkerError) {
+func (w *shardWorker) work(pool *sync.Pool) (werr *WorkerError) {
 	defer func() {
 		if v := recover(); v != nil {
 			werr = &WorkerError{Value: v, Stack: debug.Stack()}
 		}
 	}()
 	for batch := range w.ch {
-		for i := range batch {
-			w.scc.Consume(batch[i])
+		for i := range batch.recs {
+			w.scc.Consume(batch.recs[i])
 		}
-		if recycle {
-			b := batch[:0]
-			pool.Put(&b)
-		}
+		batch.release(pool)
 	}
 	w.scc.Finish()
 	return nil
@@ -185,17 +224,14 @@ func NewShardedContext(ctx context.Context, n, batchSize int, shard ShardFunc, n
 	// plain blocking path — the context machinery costs nothing there.
 	s.ctxDone = ctx.Done()
 	s.ctxErr = ctx.Err
-	s.pool.New = func() any {
-		b := make([]Record, 0, batchSize)
-		return &b
-	}
+	s.pool = newBatchPool(batchSize)
 	s.done.Add(n)
 	for i := range s.workers {
 		w := &s.workers[i]
 		w.scc = newSCC(i)
-		w.ch = make(chan []Record, shardQueueDepth)
-		w.batch = (*s.pool.Get().(*[]Record))[:0]
-		go w.run(i, &s.done, &s.pool, true, &s.fail)
+		w.ch = make(chan *recBatch, shardQueueDepth)
+		w.batch = getBatch(&s.pool)
+		go w.run(i, &s.done, &s.pool, &s.fail)
 	}
 	return s
 }
@@ -208,8 +244,8 @@ func (s *Sharded) Consume(r Record) {
 		return
 	}
 	w := &s.workers[s.shard(r, len(s.workers))]
-	w.batch = append(w.batch, r)
-	if len(w.batch) == s.batchSz {
+	w.batch.recs = append(w.batch.recs, r)
+	if len(w.batch.recs) == s.batchSz {
 		s.send(w)
 	}
 }
@@ -217,6 +253,7 @@ func (s *Sharded) Consume(r Record) {
 // send queues the worker's full batch, giving up (and dropping it) if the
 // context fires while the queue is full.
 func (s *Sharded) send(w *shardWorker) {
+	w.batch.refs.Store(1)
 	if s.ctxDone == nil {
 		w.ch <- w.batch
 	} else {
@@ -227,7 +264,7 @@ func (s *Sharded) send(w *shardWorker) {
 			s.stopped = true
 		}
 	}
-	w.batch = (*s.pool.Get().(*[]Record))[:0]
+	w.batch = getBatch(&s.pool)
 }
 
 // Finish implements SCC: it flushes every partial batch, closes the queues,
@@ -237,7 +274,7 @@ func (s *Sharded) send(w *shardWorker) {
 func (s *Sharded) Finish() {
 	for i := range s.workers {
 		w := &s.workers[i]
-		if !s.stopped && len(w.batch) > 0 {
+		if !s.stopped && len(w.batch.recs) > 0 {
 			s.send(w)
 		}
 		w.batch = nil
@@ -266,14 +303,15 @@ func (s *Sharded) SCC(i int) SCC { return s.workers[i].scc }
 
 // Broadcast is a parallel SCC stage that replicates the record stream to N
 // workers: every worker's SCC consumes every record, in original stream
-// order. Batches are shared read-only between the workers (and therefore
-// not pooled — each flush allocates a fresh batch the GC reclaims once the
-// slowest worker is done with it). Consume must be called from a single
-// goroutine.
+// order. Batches are shared read-only between the workers, with a
+// reference count set to the worker count per flush; the last worker done
+// with a batch recycles it, so the steady state allocates nothing.
+// Consume must be called from a single goroutine.
 type Broadcast struct {
 	workers []shardWorker
-	batch   []Record
+	batch   *recBatch
 	batchSz int
+	pool    sync.Pool
 	done    sync.WaitGroup
 	records uint64
 
@@ -297,17 +335,18 @@ func NewBroadcastContext(ctx context.Context, batchSize int, sccs ...SCC) *Broad
 	}
 	b := &Broadcast{
 		workers: make([]shardWorker, len(sccs)),
-		batch:   make([]Record, 0, batchSize),
 		batchSz: batchSize,
 	}
+	b.pool = newBatchPool(batchSize)
+	b.batch = getBatch(&b.pool)
 	b.ctxDone = ctx.Done()
 	b.ctxErr = ctx.Err
 	b.done.Add(len(sccs))
 	for i := range b.workers {
 		w := &b.workers[i]
 		w.scc = sccs[i]
-		w.ch = make(chan []Record, shardQueueDepth)
-		go w.run(i, &b.done, nil, false, &b.fail)
+		w.ch = make(chan *recBatch, shardQueueDepth)
+		go w.run(i, &b.done, &b.pool, &b.fail)
 	}
 	return b
 }
@@ -318,16 +357,19 @@ func (b *Broadcast) Consume(r Record) {
 	if b.stopped {
 		return
 	}
-	b.batch = append(b.batch, r)
-	if len(b.batch) == b.batchSz {
+	b.batch.recs = append(b.batch.recs, r)
+	if len(b.batch.recs) == b.batchSz {
 		b.flush()
 	}
 }
 
 func (b *Broadcast) flush() {
-	if len(b.batch) == 0 {
+	if len(b.batch.recs) == 0 {
 		return
 	}
+	// Refs must cover every lane before the first send: a fast worker may
+	// release its reference while later sends are still in flight.
+	b.batch.refs.Store(int32(len(b.workers)))
 	for i := range b.workers {
 		if b.ctxDone == nil {
 			b.workers[i].ch <- b.batch
@@ -337,12 +379,14 @@ func (b *Broadcast) flush() {
 			case <-b.ctxDone:
 				b.fail.set(b.ctxErr())
 				b.stopped = true
-				b.batch = b.batch[:0]
+				// Lanes that never got the batch can't release it; the
+				// partially-sent batch is abandoned to the GC.
+				b.batch = nil
 				return
 			}
 		}
 	}
-	b.batch = make([]Record, 0, b.batchSz)
+	b.batch = getBatch(&b.pool)
 }
 
 // Finish implements SCC: flush, close, join. When it returns every worker

@@ -13,6 +13,7 @@ import (
 
 	"ormprof/internal/checkpoint"
 	"ormprof/internal/govern"
+	"ormprof/internal/trace"
 )
 
 // Config configures a Server. Zero values select the documented defaults.
@@ -109,6 +110,12 @@ type sessionState struct {
 	// next frame boundary: global load shedding may not touch a ladder
 	// owned by another goroutine directly.
 	stepReq atomic.Bool
+
+	// evbuf is the session's reusable frame-decode buffer. Only the
+	// connection goroutine that owns the session touches it, and
+	// applyFrame consumes the events synchronously, so one buffer per
+	// session amortizes decode allocations to zero.
+	evbuf []trace.Event
 }
 
 // Server is the ormpd ingestion service.

@@ -183,7 +183,7 @@ func (s *Server) applySessionFrame(conn net.Conn, bw *bufio.Writer, st *sessionS
 			[]byte(fmt.Sprintf("frame gap: got %d, expected %d", it.index, st.pl.framesApplied)))
 		return false
 	}
-	events, err := tracefmt.DecodeFrame(it.frame)
+	events, err := tracefmt.DecodeFrameInto(st.evbuf[:0], it.frame)
 	if err != nil {
 		// The frame was damaged in transit; the connection is suspect.
 		// Drop it — the client re-sends from the durable cursor.
@@ -198,6 +198,7 @@ func (s *Server) applySessionFrame(conn net.Conn, bw *bufio.Writer, st *sessionS
 		}
 	}
 	st.pl.applyFrame(events)
+	st.evbuf = events // keep the grown buffer for the next frame
 	st.dirty = true
 	s.enforceGlobal(st)
 	if st.pl.framesApplied-st.acked >= uint64(s.cfg.CheckpointEvery) {

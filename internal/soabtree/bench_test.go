@@ -1,0 +1,61 @@
+package soabtree
+
+import "testing"
+
+// benchTree builds a tree with n live 64-byte-spaced keys, mirroring the
+// OMC's live-set shape (object start addresses).
+func benchTree(n int) *Map {
+	var m Map
+	for i := 0; i < n; i++ {
+		m.Set(0x10000+uint64(i)*64, uint64(i))
+	}
+	return &m
+}
+
+func BenchmarkFloor(b *testing.B) {
+	m := benchTree(1 << 16)
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		// Hit the interior of object i — the Translate pattern.
+		_, v, _ := m.Floor(0x10000 + uint64(i%(1<<16))*64 + 17)
+		sink += v
+	}
+	_ = sink
+}
+
+func BenchmarkGet(b *testing.B) {
+	m := benchTree(1 << 16)
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		v, _ := m.Get(0x10000 + uint64(i%(1<<16))*64)
+		sink += v
+	}
+	_ = sink
+}
+
+func BenchmarkChurn(b *testing.B) {
+	// Steady-state delete + re-insert at constant live size: the OMC's
+	// alloc/free pattern. Must report 0 allocs/op.
+	m := benchTree(1 << 14)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := 0x10000 + uint64(i%(1<<14))*64
+		m.Delete(k)
+		m.Set(k, uint64(i))
+	}
+}
+
+func BenchmarkCursorScan(b *testing.B) {
+	m := benchTree(1 << 12)
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		c := m.Min()
+		for c.Next() {
+			sink += c.Value()
+		}
+	}
+	_ = sink
+}

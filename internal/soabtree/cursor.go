@@ -1,0 +1,78 @@
+package soabtree
+
+// Cursor iterates key/value pairs in ascending order by walking the leaf
+// chain. Cursors are plain values — obtaining or advancing one never
+// allocates. The tree must not be mutated while a cursor is in use.
+//
+//	c := m.From(start)
+//	for c.Next() {
+//		use(c.Key(), c.Value())
+//	}
+type Cursor struct {
+	m   *Map
+	pid uint32 // leaf holding the *next* entry, 0 when exhausted
+	i   int    // index of the next entry within that leaf
+	key uint64 // current entry, valid after Next() returns true
+	val uint64
+}
+
+// Key returns the current entry's key. Valid after Next() returned true.
+func (c *Cursor) Key() uint64 { return c.key }
+
+// Value returns the current entry's value. Valid after Next() returned true.
+func (c *Cursor) Value() uint64 { return c.val }
+
+// Next advances to the next entry, reporting whether one exists.
+func (c *Cursor) Next() bool {
+	if c.pid == 0 {
+		return false
+	}
+	b := c.m.base(c.pid)
+	for c.i >= c.m.count(b) {
+		c.pid = uint32(c.m.words[b+offNext])
+		if c.pid == 0 {
+			return false
+		}
+		b = c.m.base(c.pid)
+		c.i = 0
+	}
+	c.key = c.m.words[b+offKeys+c.i]
+	c.val = c.m.words[b+offVals+c.i]
+	c.i++
+	return true
+}
+
+// Min returns a cursor positioned before the smallest key.
+func (m *Map) Min() Cursor {
+	if m.root == 0 {
+		return Cursor{}
+	}
+	b := m.base(m.root)
+	for !m.isLeaf(b) {
+		b = m.base(m.child(b, 0))
+	}
+	return Cursor{m: m, pid: uint32(b / nodeWords)}
+}
+
+// From returns a cursor positioned before the smallest key ≥ key.
+func (m *Map) From(key uint64) Cursor {
+	if m.root == 0 {
+		return Cursor{}
+	}
+	b := m.base(m.root)
+	for !m.isLeaf(b) {
+		b = m.base(m.child(b, m.upperBound(b, m.count(b), key)))
+	}
+	return Cursor{m: m, pid: uint32(b / nodeWords), i: m.lowerBound(b, m.count(b), key)}
+}
+
+// Ascend visits every (key, value) pair in ascending key order. The
+// visitor returns false to stop early.
+func (m *Map) Ascend(visit func(key, val uint64) bool) {
+	c := m.Min()
+	for c.Next() {
+		if !visit(c.key, c.val) {
+			return
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Package soabtree implements a flat, structure-of-arrays B+Tree map from
+// uint64 keys to uint64 values with floor search and cheap in-order
+// cursors. It is the zero-allocation replacement for the pointer-based
+// B-tree the OMC used to key live objects by start address (the paper's
+// "auxiliary B-tree-like data structure", §3.1): translating a raw address
+// is a Floor lookup (greatest start ≤ addr) plus a bounds check, executed
+// once per traced memory access, which makes this structure the single
+// hottest lookup in the repository.
+//
+// # Memory layout
+//
+// The entire tree lives in one flat []uint64 arena. There are no node
+// objects and no pointers — a node is a fixed 64-word (512-byte) slot in
+// the arena, identified by its slot index ("pid"), and child links are
+// pids, not pointers:
+//
+//	word 0        header: key count (low 32 bits), leaf flag (bit 32)
+//	words 1..31   keys, sorted ascending
+//	words 32..62  leaf: values (value i belongs to key i)
+//	              internal: child pids 0..count (one more child than keys)
+//	word 63       leaf: pid of the next leaf (0 = last leaf)
+//	              internal: child pid slot 31
+//
+// Keys and values are separate runs within the slot (structure of arrays),
+// so a search touches only the key words — at most one or two cache lines
+// per node — and value words load only on a hit. Fan-out is 31 keys per
+// node; a million live objects fit in four levels.
+//
+// Because the arena is a single pointer-free slice, the garbage collector
+// scans none of it, growth is one amortized append, and node recycling is
+// a free list threaded through the headers of deleted slots. Once the tree
+// has reached its steady-state size, Set, Get, Floor, Delete, and cursor
+// scans perform zero allocations (asserted by TestZeroAllocSteadyState and
+// gated in CI via the event-loop benchmarks — see docs/PERFORMANCE.md).
+//
+// Arenas are pooled package-wide: Release returns a map's arena for reuse
+// by the next New/first-insert, so churning short-lived trees (one per
+// profiled session, say) does not re-grow from scratch.
+//
+// # Semantics
+//
+// The zero Map is an empty map ready for use, like the built-in map after
+// make. Keys are unique; Set replaces. The tree is not safe for concurrent
+// use — every caller in this repository mutates it from exactly one
+// goroutine (the CDC's translation loop), matching the trace.Sink
+// single-producer contract. Cursors and Ascend observe a snapshot only as
+// long as the tree is not mutated mid-iteration.
+package soabtree

@@ -1,0 +1,83 @@
+package soabtree
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzTreeOps decodes the fuzz input as a stream of (op, key) pairs and
+// replays it against both the tree and a map oracle, validating the full
+// structural invariants — node fill, separator bounds, leaf chain, free
+// list — after every mutation. Keys are folded into a small space so the
+// fuzzer can actually hit delete/merge and duplicate-insert paths instead
+// of wandering a 64-bit keyspace.
+func FuzzTreeOps(f *testing.F) {
+	seed := func(ops ...byte) []byte { return ops }
+	f.Add(seed())
+	// Ascending inserts force repeated right-edge leaf splits.
+	asc := make([]byte, 0, 200*3)
+	for i := 0; i < 200; i++ {
+		asc = append(asc, 0, byte(i), byte(i>>8))
+	}
+	f.Add(asc)
+	// Insert-all-then-delete-all exercises merge and root collapse.
+	cycle := append([]byte(nil), asc...)
+	for i := 0; i < 200; i++ {
+		cycle = append(cycle, 1, byte(i), byte(i>>8))
+	}
+	f.Add(cycle)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Map
+		oracle := make(map[uint64]uint64)
+		for len(data) >= 3 {
+			op := data[0] % 4
+			key := uint64(binary.LittleEndian.Uint16(data[1:3])) % 1024
+			data = data[3:]
+			switch op {
+			case 0:
+				val := key*2 + 1
+				m.Set(key, val)
+				oracle[key] = val
+			case 1:
+				if got, want := m.Delete(key), contains(oracle, key); got != want {
+					t.Fatalf("Delete(%d) = %v, oracle %v", key, got, want)
+				}
+				delete(oracle, key)
+			case 2:
+				v, ok := m.Get(key)
+				ov, ook := oracle[key]
+				if ok != ook || v != ov {
+					t.Fatalf("Get(%d) = (%d, %v), oracle (%d, %v)", key, v, ok, ov, ook)
+				}
+				continue // reads cannot break structure; skip the re-check
+			case 3:
+				fk, fv, ok := m.Floor(key)
+				ok2, wk, wv := oracleFloor(oracle, key)
+				if ok != ok2 || (ok && (fk != wk || fv != wv)) {
+					t.Fatalf("Floor(%d) = (%d, %d, %v), oracle (%d, %d, %v)", key, fk, fv, ok, wk, wv, ok2)
+				}
+				continue
+			}
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			if m.Len() != len(oracle) {
+				t.Fatalf("Len() = %d, oracle %d", m.Len(), len(oracle))
+			}
+		}
+		// Final sweep: every surviving key must be reachable both by point
+		// lookup and in the cursor walk.
+		n := 0
+		m.Ascend(func(k, v uint64) bool {
+			if ov, ok := oracle[k]; !ok || ov != v {
+				t.Fatalf("Ascend yields (%d, %d), oracle (%d, %v)", k, v, ov, ok)
+			}
+			n++
+			return true
+		})
+		if n != len(oracle) {
+			t.Fatalf("Ascend visited %d entries, oracle holds %d", n, len(oracle))
+		}
+	})
+}

@@ -1,0 +1,125 @@
+package soabtree
+
+import "fmt"
+
+// CheckInvariants verifies the full B+Tree shape — node fill bounds, key
+// ordering, separator bounds, uniform leaf depth, leaf-chain consistency,
+// free-list sanity, and size/node accounting — returning the first
+// violation. Property tests and the fuzzer call it after every mutation.
+func (m *Map) CheckInvariants() error {
+	if m.root == 0 {
+		if m.size != 0 {
+			return fmt.Errorf("soabtree: empty tree reports size %d", m.size)
+		}
+		if m.nodes != 0 {
+			return fmt.Errorf("soabtree: empty tree reports %d nodes", m.nodes)
+		}
+		return nil
+	}
+	ck := &checker{m: m}
+	depth := 0
+	for b := m.base(m.root); !m.isLeaf(b); b = m.base(m.child(b, 0)) {
+		depth++
+	}
+	var lo, hi *uint64
+	if err := ck.node(m.root, true, lo, hi, depth); err != nil {
+		return err
+	}
+	if ck.keys != m.size {
+		return fmt.Errorf("soabtree: tree holds %d keys but size is %d", ck.keys, m.size)
+	}
+	if ck.nodes != m.nodes {
+		return fmt.Errorf("soabtree: tree has %d nodes but accounting says %d", ck.nodes, m.nodes)
+	}
+	return ck.chain()
+}
+
+type checker struct {
+	m      *Map
+	keys   int
+	nodes  int
+	leaves []uint32 // leaf pids in tree order, for the chain check
+}
+
+func (ck *checker) node(pid uint32, isRoot bool, lo, hi *uint64, depthLeft int) error {
+	m := ck.m
+	if pid == 0 || int(pid)*nodeWords >= len(m.words) {
+		return fmt.Errorf("soabtree: child pid %d out of arena", pid)
+	}
+	ck.nodes++
+	b := m.base(pid)
+	n := m.count(b)
+	if n > maxKeys {
+		return fmt.Errorf("soabtree: node %d overfull (%d keys)", pid, n)
+	}
+	if !isRoot && n < minKeys {
+		return fmt.Errorf("soabtree: node %d underfull (%d keys)", pid, n)
+	}
+	if isRoot && n < 1 {
+		return fmt.Errorf("soabtree: root %d has no keys", pid)
+	}
+	for i := 0; i < n; i++ {
+		k := m.words[b+offKeys+i]
+		if i > 0 && m.words[b+offKeys+i-1] >= k {
+			return fmt.Errorf("soabtree: node %d keys not strictly ascending at %d", pid, i)
+		}
+		if lo != nil && k < *lo {
+			return fmt.Errorf("soabtree: node %d key %#x below subtree bound %#x", pid, k, *lo)
+		}
+		if hi != nil && k >= *hi {
+			return fmt.Errorf("soabtree: node %d key %#x at or above subtree bound %#x", pid, k, *hi)
+		}
+	}
+	if m.isLeaf(b) {
+		if depthLeft != 0 {
+			return fmt.Errorf("soabtree: leaf %d at depth deficit %d", pid, depthLeft)
+		}
+		ck.keys += n
+		ck.leaves = append(ck.leaves, pid)
+		return nil
+	}
+	for i := 0; i <= n; i++ {
+		clo, chi := lo, hi
+		if i > 0 {
+			clo = &m.words[b+offKeys+i-1]
+		}
+		if i < n {
+			chi = &m.words[b+offKeys+i]
+		}
+		if err := ck.node(m.child(b, i), false, clo, chi, depthLeft-1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chain verifies the leaf next-pointers thread every leaf exactly once, in
+// tree order, and that the free list references only freed slots.
+func (ck *checker) chain() error {
+	m := ck.m
+	pid := ck.leaves[0]
+	for i, want := range ck.leaves {
+		if pid != want {
+			return fmt.Errorf("soabtree: leaf chain visits %d at position %d, want %d", pid, i, want)
+		}
+		pid = uint32(m.words[m.base(pid)+offNext])
+	}
+	if pid != 0 {
+		return fmt.Errorf("soabtree: leaf chain continues past the last leaf into %d", pid)
+	}
+	seen := make(map[uint32]bool)
+	for f := m.free; f != 0; f = uint32(m.words[m.base(f)]) {
+		if int(f)*nodeWords >= len(m.words) {
+			return fmt.Errorf("soabtree: free-list pid %d out of arena", f)
+		}
+		if seen[f] {
+			return fmt.Errorf("soabtree: free-list cycle at %d", f)
+		}
+		seen[f] = true
+	}
+	total := len(m.words)/nodeWords - 1 // minus the reserved pid 0
+	if ck.nodes+len(seen) != total {
+		return fmt.Errorf("soabtree: %d live + %d free nodes, arena holds %d", ck.nodes, len(seen), total)
+	}
+	return nil
+}

@@ -1,0 +1,434 @@
+package soabtree
+
+import "sync"
+
+// Node geometry. A node occupies nodeWords consecutive arena words; see
+// doc.go for the slot layout. 31 keys keeps the key run inside two cache
+// lines behind the header word and makes a slot exactly 512 bytes.
+const (
+	maxKeys   = 31
+	minKeys   = 15 // every node but the root keeps at least this many keys
+	nodeWords = 64
+
+	offKeys  = 1  // words 1..31: keys
+	offVals  = 32 // words 32..62: leaf values / internal child pids
+	offNext  = 63 // leaf: next-leaf pid (0 = none); internal: child slot 31
+	leafBit  = 1 << 32
+	countLow = 1<<32 - 1
+)
+
+// zeroNode is the append source for fresh slots: appending it extends the
+// arena by exactly one zeroed node with a single amortized append.
+var zeroNode [nodeWords]uint64
+
+// arenaPool recycles arenas across Map lifetimes (Release → next first
+// insert), so short-lived trees reach steady state without re-growing.
+var arenaPool sync.Pool
+
+// Map is a B+Tree map from uint64 keys to uint64 values over a flat arena.
+// The zero value is an empty map ready for use. Not safe for concurrent
+// use.
+type Map struct {
+	words []uint64 // the arena: node slots, pid 0 reserved as nil
+	root  uint32   // root pid, 0 while empty
+	free  uint32   // head of the freed-slot list, 0 when empty
+	size  int      // stored keys
+	nodes int      // live (non-freed) nodes, for Footprint and invariants
+}
+
+// Len reports the number of keys stored.
+func (m *Map) Len() int { return m.size }
+
+// base returns the arena offset of node pid.
+func (m *Map) base(pid uint32) int { return int(pid) * nodeWords }
+
+func (m *Map) count(b int) int   { return int(uint32(m.words[b])) }
+func (m *Map) isLeaf(b int) bool { return m.words[b]&leafBit != 0 }
+
+func (m *Map) setCount(b, n int) {
+	m.words[b] = m.words[b]&^uint64(countLow) | uint64(uint32(n))
+}
+
+// child returns the pid of child i of the internal node at base b.
+func (m *Map) child(b, i int) uint32 { return uint32(m.words[b+offVals+i]) }
+
+// lowerBound returns the first index in [0, n) whose key is ≥ key, else n.
+func (m *Map) lowerBound(b, n int, key uint64) int {
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if m.words[b+offKeys+mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// upperBound returns the first index in [0, n) whose key is > key, else n.
+func (m *Map) upperBound(b, n int, key uint64) int {
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if m.words[b+offKeys+mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// newNode carves a fresh slot out of the free list or the arena tail and
+// returns its pid. The slot comes back zeroed except for the header flags.
+func (m *Map) newNode(leaf bool) uint32 {
+	var pid uint32
+	if m.free != 0 {
+		pid = m.free
+		b := m.base(pid)
+		m.free = uint32(m.words[b])
+		clear(m.words[b : b+nodeWords])
+	} else {
+		if m.words == nil {
+			if p, _ := arenaPool.Get().(*[]uint64); p != nil {
+				m.words = (*p)[:0]
+			}
+			m.words = append(m.words, zeroNode[:]...) // reserve pid 0 as nil
+		}
+		pid = uint32(len(m.words) / nodeWords)
+		m.words = append(m.words, zeroNode[:]...)
+	}
+	if leaf {
+		m.words[m.base(pid)] = leafBit
+	}
+	m.nodes++
+	return pid
+}
+
+// freeNode pushes a slot onto the free list.
+func (m *Map) freeNode(pid uint32) {
+	m.words[m.base(pid)] = uint64(m.free)
+	m.free = pid
+	m.nodes--
+}
+
+// Get returns the value stored at key.
+func (m *Map) Get(key uint64) (uint64, bool) {
+	if m.root == 0 {
+		return 0, false
+	}
+	b := m.base(m.root)
+	for !m.isLeaf(b) {
+		i := m.upperBound(b, m.count(b), key)
+		b = m.base(m.child(b, i))
+	}
+	n := m.count(b)
+	i := m.lowerBound(b, n, key)
+	if i < n && m.words[b+offKeys+i] == key {
+		return m.words[b+offVals+i], true
+	}
+	return 0, false
+}
+
+// Floor returns the greatest key ≤ key and its value. ok is false if no
+// such key exists. This is the per-access lookup of the OMC's translation
+// loop: it allocates nothing and touches O(log n) nodes.
+func (m *Map) Floor(key uint64) (k, v uint64, ok bool) {
+	if m.root == 0 || m.size == 0 {
+		return 0, 0, false
+	}
+	// Descend, remembering the deepest point where a left sibling subtree
+	// exists: if the leaf holds no key ≤ key (possible after deletions
+	// leave a stale separator), the floor is the maximum of that subtree.
+	b := m.base(m.root)
+	branchB, branchIdx := -1, 0
+	for !m.isLeaf(b) {
+		i := m.upperBound(b, m.count(b), key)
+		if i > 0 {
+			branchB, branchIdx = b, i
+		}
+		b = m.base(m.child(b, i))
+	}
+	if i := m.upperBound(b, m.count(b), key); i > 0 {
+		return m.words[b+offKeys+i-1], m.words[b+offVals+i-1], true
+	}
+	if branchB < 0 {
+		return 0, 0, false
+	}
+	b = m.base(m.child(branchB, branchIdx-1))
+	for !m.isLeaf(b) {
+		b = m.base(m.child(b, m.count(b)))
+	}
+	n := m.count(b)
+	return m.words[b+offKeys+n-1], m.words[b+offVals+n-1], true
+}
+
+// Set inserts or replaces the value at key.
+func (m *Map) Set(key, val uint64) {
+	if m.root == 0 {
+		m.root = m.newNode(true)
+		b := m.base(m.root)
+		m.words[b+offKeys] = key
+		m.words[b+offVals] = val
+		m.setCount(b, 1)
+		m.size = 1
+		return
+	}
+	if m.count(m.base(m.root)) == maxKeys {
+		// Grow the tree: a fresh internal root over the old one, then
+		// split the old root as its child 0.
+		old := m.root
+		newRoot := m.newNode(false)
+		m.words[m.base(newRoot)+offVals] = uint64(old)
+		m.root = newRoot
+		m.splitChild(newRoot, 0)
+	}
+	// Split-on-the-way-down: every node we descend into has room, so a
+	// leaf insert never propagates back up.
+	pid := m.root
+	for {
+		b := m.base(pid)
+		n := m.count(b)
+		if m.isLeaf(b) {
+			i := m.lowerBound(b, n, key)
+			if i < n && m.words[b+offKeys+i] == key {
+				m.words[b+offVals+i] = val
+				return
+			}
+			copy(m.words[b+offKeys+i+1:b+offKeys+n+1], m.words[b+offKeys+i:b+offKeys+n])
+			copy(m.words[b+offVals+i+1:b+offVals+n+1], m.words[b+offVals+i:b+offVals+n])
+			m.words[b+offKeys+i] = key
+			m.words[b+offVals+i] = val
+			m.setCount(b, n+1)
+			m.size++
+			return
+		}
+		i := m.upperBound(b, n, key)
+		if m.count(m.base(m.child(b, i))) == maxKeys {
+			m.splitChild(pid, i)
+			// The new separator landed at index i; equal keys live in the
+			// right half (separator = its smallest key at split time).
+			if key >= m.words[b+offKeys+i] {
+				i++
+			}
+		}
+		pid = m.child(b, i)
+	}
+}
+
+// splitChild splits the full child at index i of the (non-full) internal
+// node parent, inserting the separator key at parent index i. For a leaf
+// child the separator is a copy of the right half's first key and the
+// right half is linked into the leaf chain; for an internal child the
+// median key moves up and out of the children.
+func (m *Map) splitChild(parent uint32, i int) {
+	// Allocate first: newNode may grow the arena, so compute offsets after.
+	pb := m.base(parent)
+	cpid := m.child(pb, i)
+	leaf := m.isLeaf(m.base(cpid))
+	rpid := m.newNode(leaf)
+	pb = m.base(parent)
+	cb, rb := m.base(cpid), m.base(rpid)
+
+	var sep uint64
+	if leaf {
+		// 31 keys split 16/15; the separator is right's first key, which
+		// stays in the leaf.
+		left, right := 16, maxKeys-16
+		copy(m.words[rb+offKeys:rb+offKeys+right], m.words[cb+offKeys+left:cb+offKeys+maxKeys])
+		copy(m.words[rb+offVals:rb+offVals+right], m.words[cb+offVals+left:cb+offVals+maxKeys])
+		sep = m.words[rb+offKeys]
+		m.setCount(cb, left)
+		m.setCount(rb, right)
+		m.words[rb+offNext] = m.words[cb+offNext]
+		m.words[cb+offNext] = uint64(rpid)
+	} else {
+		// 31 keys split 15/15 around the median, which moves up.
+		const mid = maxKeys / 2
+		sep = m.words[cb+offKeys+mid]
+		right := maxKeys - mid - 1
+		copy(m.words[rb+offKeys:rb+offKeys+right], m.words[cb+offKeys+mid+1:cb+offKeys+maxKeys])
+		copy(m.words[rb+offVals:rb+offVals+right+1], m.words[cb+offVals+mid+1:cb+offVals+maxKeys+1])
+		m.setCount(cb, mid)
+		m.setCount(rb, right)
+	}
+	n := m.count(pb)
+	copy(m.words[pb+offKeys+i+1:pb+offKeys+n+1], m.words[pb+offKeys+i:pb+offKeys+n])
+	copy(m.words[pb+offVals+i+2:pb+offVals+n+2], m.words[pb+offVals+i+1:pb+offVals+n+1])
+	m.words[pb+offKeys+i] = sep
+	m.words[pb+offVals+i+1] = uint64(rpid)
+	m.setCount(pb, n+1)
+}
+
+// Delete removes key, reporting whether it was present.
+func (m *Map) Delete(key uint64) bool {
+	if m.root == 0 {
+		return false
+	}
+	// Rebalance-on-the-way-down: every node we descend into has more than
+	// minKeys keys (root excepted), so the leaf deletion never underflows
+	// an ancestor.
+	pid := m.root
+	for {
+		b := m.base(pid)
+		if m.isLeaf(b) {
+			break
+		}
+		i := m.upperBound(b, m.count(b), key)
+		if m.count(m.base(m.child(b, i))) == minKeys {
+			i = m.fixChild(pid, i)
+			if pid == m.root && m.count(m.base(pid)) == 0 {
+				// The root lost its last separator in a merge: collapse.
+				only := m.child(m.base(pid), 0)
+				m.freeNode(pid)
+				m.root = only
+				pid = only
+				continue
+			}
+			b = m.base(pid)
+		}
+		pid = m.child(b, i)
+	}
+	b := m.base(pid)
+	n := m.count(b)
+	i := m.lowerBound(b, n, key)
+	if i >= n || m.words[b+offKeys+i] != key {
+		return false
+	}
+	copy(m.words[b+offKeys+i:b+offKeys+n-1], m.words[b+offKeys+i+1:b+offKeys+n])
+	copy(m.words[b+offVals+i:b+offVals+n-1], m.words[b+offVals+i+1:b+offVals+n])
+	m.setCount(b, n-1)
+	m.size--
+	if m.size == 0 {
+		m.freeNode(pid)
+		m.root = 0
+	}
+	return true
+}
+
+// fixChild gives child i of the internal node parent more than minKeys
+// keys — borrowing from a sibling or merging with one — and returns the
+// (possibly shifted) index of the child now covering the deletion path.
+func (m *Map) fixChild(parent uint32, i int) int {
+	pb := m.base(parent)
+	n := m.count(pb)
+	if i > 0 && m.count(m.base(m.child(pb, i-1))) > minKeys {
+		m.borrowFromLeft(pb, i)
+		return i
+	}
+	if i < n && m.count(m.base(m.child(pb, i+1))) > minKeys {
+		m.borrowFromRight(pb, i)
+		return i
+	}
+	if i > 0 {
+		m.mergeChildren(pb, i-1)
+		return i - 1
+	}
+	m.mergeChildren(pb, i)
+	return i
+}
+
+// borrowFromLeft moves one entry from child i-1 into child i through the
+// separator at parent index i-1.
+func (m *Map) borrowFromLeft(pb, i int) {
+	lb := m.base(m.child(pb, i-1))
+	cb := m.base(m.child(pb, i))
+	ln, cn := m.count(lb), m.count(cb)
+	if m.isLeaf(cb) {
+		copy(m.words[cb+offKeys+1:cb+offKeys+cn+1], m.words[cb+offKeys:cb+offKeys+cn])
+		copy(m.words[cb+offVals+1:cb+offVals+cn+1], m.words[cb+offVals:cb+offVals+cn])
+		m.words[cb+offKeys] = m.words[lb+offKeys+ln-1]
+		m.words[cb+offVals] = m.words[lb+offVals+ln-1]
+		m.words[pb+offKeys+i-1] = m.words[cb+offKeys]
+	} else {
+		copy(m.words[cb+offKeys+1:cb+offKeys+cn+1], m.words[cb+offKeys:cb+offKeys+cn])
+		copy(m.words[cb+offVals+1:cb+offVals+cn+2], m.words[cb+offVals:cb+offVals+cn+1])
+		m.words[cb+offKeys] = m.words[pb+offKeys+i-1]
+		m.words[cb+offVals] = m.words[lb+offVals+ln]
+		m.words[pb+offKeys+i-1] = m.words[lb+offKeys+ln-1]
+	}
+	m.setCount(lb, ln-1)
+	m.setCount(cb, cn+1)
+}
+
+// borrowFromRight moves one entry from child i+1 into child i through the
+// separator at parent index i.
+func (m *Map) borrowFromRight(pb, i int) {
+	cb := m.base(m.child(pb, i))
+	rb := m.base(m.child(pb, i+1))
+	cn, rn := m.count(cb), m.count(rb)
+	if m.isLeaf(cb) {
+		m.words[cb+offKeys+cn] = m.words[rb+offKeys]
+		m.words[cb+offVals+cn] = m.words[rb+offVals]
+		copy(m.words[rb+offKeys:rb+offKeys+rn-1], m.words[rb+offKeys+1:rb+offKeys+rn])
+		copy(m.words[rb+offVals:rb+offVals+rn-1], m.words[rb+offVals+1:rb+offVals+rn])
+		m.words[pb+offKeys+i] = m.words[rb+offKeys]
+	} else {
+		m.words[cb+offKeys+cn] = m.words[pb+offKeys+i]
+		m.words[cb+offVals+cn+1] = m.words[rb+offVals]
+		m.words[pb+offKeys+i] = m.words[rb+offKeys]
+		copy(m.words[rb+offKeys:rb+offKeys+rn-1], m.words[rb+offKeys+1:rb+offKeys+rn])
+		copy(m.words[rb+offVals:rb+offVals+rn], m.words[rb+offVals+1:rb+offVals+rn+1])
+	}
+	m.setCount(rb, rn-1)
+	m.setCount(cb, cn+1)
+}
+
+// mergeChildren folds child i+1 (and, for internal children, the separator
+// at parent index i) into child i and frees the right slot.
+func (m *Map) mergeChildren(pb, i int) {
+	cpid, rpid := m.child(pb, i), m.child(pb, i+1)
+	cb, rb := m.base(cpid), m.base(rpid)
+	cn, rn := m.count(cb), m.count(rb)
+	if m.isLeaf(cb) {
+		copy(m.words[cb+offKeys+cn:cb+offKeys+cn+rn], m.words[rb+offKeys:rb+offKeys+rn])
+		copy(m.words[cb+offVals+cn:cb+offVals+cn+rn], m.words[rb+offVals:rb+offVals+rn])
+		m.words[cb+offNext] = m.words[rb+offNext]
+		m.setCount(cb, cn+rn)
+	} else {
+		m.words[cb+offKeys+cn] = m.words[pb+offKeys+i]
+		copy(m.words[cb+offKeys+cn+1:cb+offKeys+cn+1+rn], m.words[rb+offKeys:rb+offKeys+rn])
+		copy(m.words[cb+offVals+cn+1:cb+offVals+cn+2+rn], m.words[rb+offVals:rb+offVals+rn+1])
+		m.setCount(cb, cn+1+rn)
+	}
+	n := m.count(pb)
+	copy(m.words[pb+offKeys+i:pb+offKeys+n-1], m.words[pb+offKeys+i+1:pb+offKeys+n])
+	copy(m.words[pb+offVals+i+1:pb+offVals+n], m.words[pb+offVals+i+2:pb+offVals+n+1])
+	m.setCount(pb, n-1)
+	m.freeNode(rpid)
+}
+
+// Reset empties the map, keeping its arena for reuse.
+func (m *Map) Reset() {
+	if m.words != nil {
+		m.words = m.words[:nodeWords]
+	}
+	m.root, m.free, m.size, m.nodes = 0, 0, 0, 0
+}
+
+// Release empties the map and returns its arena to the package pool, where
+// the next tree's first insert picks it up. The map remains usable (as a
+// fresh empty map that will draw a new arena).
+func (m *Map) Release() {
+	if m.words != nil {
+		w := m.words[:0]
+		arenaPool.Put(&w)
+	}
+	*m = Map{}
+}
+
+// mapBase approximates the Map header itself for footprint accounting.
+const mapBase = 64
+
+// Footprint reports the arena's physical size in bytes, in O(1). Note for
+// governance callers: physical capacity depends on the exact mutation
+// history (growth doubling, free-list state), so budget accounting that
+// must stay deterministic across checkpoint/resume should charge per
+// logical entry instead — see internal/omc's footprint accounting.
+func (m *Map) Footprint() int64 {
+	return mapBase + int64(cap(m.words))*8
+}
+
+// Nodes reports the number of live node slots (tests and diagnostics).
+func (m *Map) Nodes() int { return m.nodes }

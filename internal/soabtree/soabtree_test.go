@@ -1,0 +1,231 @@
+package soabtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestMapOracle drives the tree against a plain map under randomized
+// workloads — mixed inserts, replacements, deletions, floor queries, point
+// lookups, and range scans — checking full invariants as it goes. Several
+// key distributions exercise different tree shapes: dense sequential keys
+// (long right-edge splits), sparse random keys, and a small hot set (heavy
+// replacement and delete/re-insert churn, the OMC's live-set pattern).
+func TestMapOracle(t *testing.T) {
+	distributions := []struct {
+		name string
+		key  func(r *rand.Rand) uint64
+	}{
+		{"dense", func(r *rand.Rand) uint64 { return uint64(r.Intn(512)) }},
+		{"sparse", func(r *rand.Rand) uint64 { return r.Uint64() }},
+		{"hotset", func(r *rand.Rand) uint64 { return 0x1000 + 64*uint64(r.Intn(64)) }},
+	}
+	for _, dist := range distributions {
+		t.Run(dist.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(42))
+			var m Map
+			oracle := make(map[uint64]uint64)
+			for op := 0; op < 20000; op++ {
+				k := dist.key(r)
+				switch r.Intn(10) {
+				case 0, 1, 2, 3: // insert / replace
+					v := r.Uint64()
+					m.Set(k, v)
+					oracle[k] = v
+				case 4, 5: // delete
+					if got, want := m.Delete(k), oracle[k] != 0 || contains(oracle, k); got != want {
+						t.Fatalf("op %d: Delete(%#x) = %v, oracle %v", op, k, got, want)
+					}
+					delete(oracle, k)
+				case 6: // get
+					v, ok := m.Get(k)
+					ov, ook := oracle[k]
+					if ok != ook || v != ov {
+						t.Fatalf("op %d: Get(%#x) = (%d, %v), oracle (%d, %v)", op, k, v, ok, ov, ook)
+					}
+				case 7, 8: // floor
+					fk, fv, ok := m.Floor(k)
+					ok2, wk, wv := oracleFloor(oracle, k)
+					if ok != ok2 || (ok && (fk != wk || fv != wv)) {
+						t.Fatalf("op %d: Floor(%#x) = (%#x, %d, %v), oracle (%#x, %d, %v)",
+							op, k, fk, fv, ok, wk, wv, ok2)
+					}
+				case 9: // range scan from k
+					c := m.From(k)
+					want := sortedFrom(oracle, k)
+					for i, wk := range want {
+						if !c.Next() {
+							t.Fatalf("op %d: scan from %#x ended at %d of %d", op, k, i, len(want))
+						}
+						if c.Key() != wk || c.Value() != oracle[wk] {
+							t.Fatalf("op %d: scan from %#x entry %d = (%#x, %d), want (%#x, %d)",
+								op, k, i, c.Key(), c.Value(), wk, oracle[wk])
+						}
+					}
+					if c.Next() {
+						t.Fatalf("op %d: scan from %#x yields entries past the oracle's %d", op, k, len(want))
+					}
+				}
+				if m.Len() != len(oracle) {
+					t.Fatalf("op %d: Len() = %d, oracle %d", op, m.Len(), len(oracle))
+				}
+				if op%251 == 0 {
+					if err := m.CheckInvariants(); err != nil {
+						t.Fatalf("op %d: %v", op, err)
+					}
+				}
+			}
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			// Drain to empty through the oracle, invariants intact.
+			keys := sortedFrom(oracle, 0)
+			for i, k := range keys {
+				if !m.Delete(k) {
+					t.Fatalf("drain: Delete(%#x) missed", k)
+				}
+				if i%97 == 0 {
+					if err := m.CheckInvariants(); err != nil {
+						t.Fatalf("drain %d: %v", i, err)
+					}
+				}
+			}
+			if m.Len() != 0 {
+				t.Fatalf("drained tree reports Len %d", m.Len())
+			}
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func contains(m map[uint64]uint64, k uint64) bool {
+	_, ok := m[k]
+	return ok
+}
+
+func oracleFloor(m map[uint64]uint64, k uint64) (ok bool, fk, fv uint64) {
+	for mk, mv := range m {
+		if mk <= k && (!ok || mk > fk) {
+			ok, fk, fv = true, mk, mv
+		}
+	}
+	return ok, fk, fv
+}
+
+func sortedFrom(m map[uint64]uint64, k uint64) []uint64 {
+	var keys []uint64
+	for mk := range m {
+		if mk >= k {
+			keys = append(keys, mk)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// TestAscend pins full-tree iteration order and early stop.
+func TestAscend(t *testing.T) {
+	var m Map
+	const n = 1000
+	for i := n - 1; i >= 0; i-- {
+		m.Set(uint64(i*3), uint64(i))
+	}
+	next := uint64(0)
+	m.Ascend(func(k, v uint64) bool {
+		if k != next*3 || v != next {
+			t.Fatalf("visit (%d, %d), want (%d, %d)", k, v, next*3, next)
+		}
+		next++
+		return true
+	})
+	if next != n {
+		t.Fatalf("visited %d entries, want %d", next, n)
+	}
+	stops := 0
+	m.Ascend(func(k, v uint64) bool { stops++; return false })
+	if stops != 1 {
+		t.Fatalf("early-stop visitor ran %d times", stops)
+	}
+}
+
+// TestZeroValueAndReset covers the empty-map paths and arena reuse.
+func TestZeroValueAndReset(t *testing.T) {
+	var m Map
+	if _, ok := m.Get(1); ok {
+		t.Fatal("Get on empty map")
+	}
+	if _, _, ok := m.Floor(1); ok {
+		t.Fatal("Floor on empty map")
+	}
+	if m.Delete(1) {
+		t.Fatal("Delete on empty map")
+	}
+	m.Ascend(func(uint64, uint64) bool { t.Fatal("visit on empty map"); return false })
+
+	for i := 0; i < 100; i++ {
+		m.Set(uint64(i), uint64(i))
+	}
+	m.Reset()
+	if m.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", m.Len())
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	m.Set(7, 9)
+	if v, ok := m.Get(7); !ok || v != 9 {
+		t.Fatalf("Get(7) after Reset = (%d, %v)", v, ok)
+	}
+	m.Release()
+	if m.Len() != 0 || m.words != nil {
+		t.Fatal("Release left state behind")
+	}
+	m.Set(1, 2) // draws the pooled arena back
+	if v, ok := m.Get(1); !ok || v != 2 {
+		t.Fatalf("Get(1) after Release = (%d, %v)", v, ok)
+	}
+}
+
+// TestZeroAllocSteadyState asserts the core claim: once the tree has grown
+// to its working size, a churn of Set/Delete/Floor/Get allocates nothing.
+func TestZeroAllocSteadyState(t *testing.T) {
+	var m Map
+	const live = 4096
+	for i := 0; i < live; i++ {
+		m.Set(uint64(i)*64, uint64(i))
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		k := uint64(i%live) * 64
+		m.Delete(k)
+		m.Set(k, uint64(i))
+		if _, _, ok := m.Floor(k + 63); !ok {
+			t.Fatal("floor miss")
+		}
+		if _, ok := m.Get(k); !ok {
+			t.Fatal("get miss")
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state churn allocates %v times per op, want 0", allocs)
+	}
+}
+
+// TestFootprint sanity-checks the O(1) accounting against arena geometry.
+func TestFootprint(t *testing.T) {
+	var m Map
+	if f := m.Footprint(); f != mapBase {
+		t.Fatalf("empty Footprint = %d, want %d", f, mapBase)
+	}
+	for i := 0; i < 10000; i++ {
+		m.Set(uint64(i), uint64(i))
+	}
+	f := m.Footprint()
+	if min := int64(m.Nodes()) * nodeWords * 8; f < min {
+		t.Fatalf("Footprint %d below live node bytes %d", f, min)
+	}
+}

@@ -6,6 +6,18 @@
 // (package memsim in this repository, IA-64 assembly probes in the paper) and
 // the profiling framework. Everything above this package is independent of
 // how the events were produced.
+//
+// # Concurrency and buffer ownership
+//
+// A Sink is fed by exactly one goroutine at a time: Emit calls are never
+// concurrent, and an Event is owned by the callee only for the duration
+// of the call (it is a value type — retain copies, not aliases). Sources
+// are likewise single-consumer. Components that cross goroutines (the
+// async collector, the fan-out stages in internal/profiler) batch events
+// into pooled buffers whose ownership transfers with the channel send;
+// a consumer must not touch a batch after returning it to its pool. The
+// profiling event loop is zero-allocation at steady state under these
+// rules — see docs/PERFORMANCE.md.
 package trace
 
 import "fmt"

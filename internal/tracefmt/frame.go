@@ -99,41 +99,56 @@ func EncodeFrame(events []trace.Event) ([]byte, error) {
 // CRC is verified before any record is decoded, and every decode error
 // wraps ErrBadTrace.
 func DecodeFrame(data []byte) ([]trace.Event, error) {
+	return DecodeFrameInto(nil, data)
+}
+
+// DecodeFrameInto is DecodeFrame appending into dst's capacity, so a
+// caller decoding frames in a loop (the ormpd session reader, replay
+// tools) can reuse one buffer across frames instead of allocating per
+// frame: pass the previous result re-sliced to [:0]. On error the
+// returned slice is dst unchanged.
+func DecodeFrameInto(dst []trace.Event, data []byte) ([]trace.Event, error) {
 	if len(data) < len(FrameMagic) {
-		return nil, badf("frame shorter than its sync marker")
+		return dst, badf("frame shorter than its sync marker")
 	}
 	if string(data[:len(FrameMagic)]) != FrameMagic {
-		return nil, badf("bad frame magic %x", data[:len(FrameMagic)])
+		return dst, badf("bad frame magic %x", data[:len(FrameMagic)])
 	}
 	rest := data[len(FrameMagic):]
 	pl, n := binary.Uvarint(rest)
 	if n <= 0 {
-		return nil, badf("frame length: malformed varint")
+		return dst, badf("frame length: malformed varint")
 	}
 	if pl == 0 || pl > MaxFramePayload {
-		return nil, badf("frame payload %d outside (0, %d]", pl, MaxFramePayload)
+		return dst, badf("frame payload %d outside (0, %d]", pl, MaxFramePayload)
 	}
 	rest = rest[n:]
 	if uint64(len(rest)) < 4+pl {
-		return nil, badf("frame truncated: %d bytes, want %d", len(rest), 4+pl)
+		return dst, badf("frame truncated: %d bytes, want %d", len(rest), 4+pl)
 	}
 	if uint64(len(rest)) > 4+pl {
-		return nil, badf("%d trailing bytes after frame", uint64(len(rest))-(4+pl))
+		return dst, badf("%d trailing bytes after frame", uint64(len(rest))-(4+pl))
 	}
 	want := binary.LittleEndian.Uint32(rest[:4])
 	payload := rest[4 : 4+pl]
 	if got := crc32.Checksum(payload, crcTable); got != want {
-		return nil, badf("frame checksum mismatch: payload %08x, header %08x", got, want)
+		return dst, badf("frame checksum mismatch: payload %08x, header %08x", got, want)
 	}
 	var d frameDecoder
 	if err := d.start(payload); err != nil {
-		return nil, err
+		return dst, err
 	}
-	events := make([]trace.Event, 0, d.total)
+	events := dst
+	base := len(events)
+	if cap(events)-base < d.total {
+		grown := make([]trace.Event, base, base+d.total)
+		copy(grown, events)
+		events = grown
+	}
 	for d.left > 0 {
-		e, err := d.next(int64(len(events)))
+		e, err := d.next(int64(len(events) - base))
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
 		events = append(events, e)
 	}

@@ -27,6 +27,7 @@ type Writer struct {
 	wroteHeader bool
 
 	frame    []byte // encoded records of the open frame
+	out      []byte // reusable envelope buffer for flushFrame
 	inFrame  int    // records in the open frame
 	lastAddr trace.Addr
 	lastTime trace.Time
@@ -175,7 +176,10 @@ func (t *Writer) flushFrame() {
 	if t.inFrame == 0 {
 		return
 	}
-	t.write(appendFrame(nil, t.frame, t.inFrame))
+	// Reuse one envelope buffer across frames: bufio copies the bytes out
+	// synchronously, so the writer's steady state allocates nothing.
+	t.out = appendFrame(t.out[:0], t.frame, t.inFrame)
+	t.write(t.out)
 	t.frame = t.frame[:0]
 	t.inFrame = 0
 	t.lastAddr = 0
