@@ -7,7 +7,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test test-race test-short test-soak bench bench-json bench-allocs vet lint fuzz-short ci
+.PHONY: all build test test-race test-short test-soak bench bench-json bench-allocs vet lint fuzz-short experiments ci
 
 # Pinned linter versions — keep in sync with .github/workflows/ci.yml.
 STATICCHECK_VERSION ?= 2025.1
@@ -79,7 +79,7 @@ test-short:
 #   ...change...
 #   make bench BENCH_OUT=after.txt && benchstat before.txt after.txt
 # To emit benchmark JSON for dashboards: make bench-json (BENCH_hotpath.json).
-BENCH ?= BenchmarkEventLoop|BenchmarkIngestEndToEnd|BenchmarkWorkloadIngest
+BENCH ?= BenchmarkEventLoop|BenchmarkIngestEndToEnd|BenchmarkWorkloadIngest|BenchmarkOptimizePipeline
 BENCH_COUNT ?= 6
 BENCH_OUT ?= /dev/stdout
 bench:
@@ -100,6 +100,18 @@ bench-allocs:
 	$(GO) test -run 'TestEventLoopSteadyStateAllocs' -count=1 .
 	$(GO) test -run 'TestZeroAllocSteadyState' -count=1 ./internal/soabtree/
 
+# Regenerate the before/after optimization tables (the "Closing the loop"
+# section of EXPERIMENTS.md): one `ormprof optimize` run per workload —
+# the seven Table 1 benchmarks plus the two layout showcases. Output is
+# deterministic (byte-identical for any -workers), so diffs against the
+# committed tables are real changes, not noise.
+experiments: build
+	@for w in 164.gzip 175.vpr 181.mcf 186.crafty 197.parser 256.bzip2 300.twolf hotcold chase; do \
+		echo "== $$w =="; \
+		$(GO) run ./cmd/ormprof optimize -workload $$w -plan none; \
+		echo; \
+	done
+
 vet:
 	$(GO) vet ./...
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
@@ -116,3 +128,4 @@ fuzz-short:
 	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=$(FUZZTIME) ./internal/sequitur/
 	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/sequitur/
 	$(GO) test -fuzz=FuzzTreeOps -fuzztime=$(FUZZTIME) ./internal/soabtree/
+	$(GO) test -fuzz=FuzzPlanReader -fuzztime=$(FUZZTIME) ./internal/plan/

@@ -246,8 +246,12 @@ func TestCLIFlagValidation(t *testing.T) {
 		{"mdep", []string{"-mem-budget", "1.5M"}, "not a size"},
 		{"phasescan", []string{"-mem-budget", ""}, "not a size"},
 		{"layoutopt", []string{"-mem-budget", "nope"}, "not a size"},
+		{"layoutopt", []string{"-deadline", "soon"}, "invalid value"},
 		{"ormprof", []string{"translate", "-mem-budget", "zz"}, "not a size"},
 		{"ormprof", []string{"grammar", "-workers", "0"}, "must be at least 1"},
+		{"ormprof", []string{"optimize", "-workers", "0"}, "must be at least 1"},
+		{"ormprof", []string{"optimize", "-workers", "two"}, "must be an integer"},
+		{"ormprof", []string{"optimize", "-mem-budget", "plenty"}, "not a size"},
 		{"tracecat", []string{"-mem-budget", "huge"}, "not a size"},
 		{"ormpd", []string{"-mem-budget", "-1"}, "must be non-negative"},
 		{"ormpd", []string{"-global-mem-budget", "lots"}, "not a size"},
@@ -339,6 +343,63 @@ func TestCLILayoutOpt(t *testing.T) {
 	}
 	out := runTool(t, "layoutopt", "-workload", "197.parser")
 	wantContains(t, out, "original layout", "field reordering", "object clustering")
+}
+
+// TestCLIOptimize drives the closed PGO loop end-to-end: the text report
+// is byte-identical for any -workers count, the ORMPLAN artifacts from a
+// live run and a recorded-trace replay of the same workload are
+// byte-identical, the clustering showcase improves, and the documented
+// unimprovable pointer chase does not.
+func TestCLIOptimize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	dir := t.TempDir()
+	tr := filepath.Join(dir, "hc.ormtrace")
+	runTool(t, "ormprof", "record", "-workload", "hotcold", "-o", tr)
+
+	livePlan := filepath.Join(dir, "live.ormplan")
+	liveOut := runTool(t, "ormprof", "optimize", "-workload", "hotcold", "-plan", livePlan, "-workers", "1")
+	wantContains(t, liveOut, "workload hotcold", "field orders", "placements",
+		"applied via live re-run", "L1D", "L2", "AMAT")
+
+	// Byte-identical output across worker counts.
+	for _, n := range []string{"2", "8"} {
+		out := runTool(t, "ormprof", "optimize", "-workload", "hotcold", "-plan", "none", "-workers", n)
+		// The only difference vs liveOut is the plan-path suffix; strip it.
+		if want := strings.ReplaceAll(liveOut, " -> "+livePlan, ""); out != want {
+			t.Errorf("-workers %s output differs:\n--- workers=1 ---\n%s--- workers=%s ---\n%s", n, want, n, out)
+		}
+	}
+
+	// Replay of the recorded trace derives the byte-identical plan.
+	replayPlan := filepath.Join(dir, "replay.ormplan")
+	replayOut := runTool(t, "ormprof", "optimize", "-replay", tr, "-plan", replayPlan)
+	wantContains(t, replayOut, "applied via replay resolution")
+	lp, err := os.ReadFile(livePlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := os.ReadFile(replayPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(lp, rp) {
+		t.Errorf("live and replay plans differ (%d vs %d bytes)", len(lp), len(rp))
+	}
+
+	// hotcold is built so clustering wins visibly; chase so it can't.
+	if !strings.Contains(liveOut, "-69.6%") {
+		t.Errorf("hotcold L1 miss reduction missing:\n%s", liveOut)
+	}
+	chaseOut := runTool(t, "ormprof", "optimize", "-workload", "chase", "-plan", "none")
+	if !strings.Contains(chaseOut, "(0.0% faster)") {
+		t.Errorf("chase should be unimprovable:\n%s", chaseOut)
+	}
+
+	// CSV rendering of the delta table.
+	csvOut := runTool(t, "ormprof", "optimize", "-workload", "chase", "-plan", "none", "-csv")
+	wantContains(t, csvOut, "level,geometry,before-misses", "L1D,")
 }
 
 func TestCLIPhaseScan(t *testing.T) {

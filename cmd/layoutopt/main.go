@@ -4,6 +4,12 @@
 // each evaluated by replaying the object-relative stream through a cache
 // simulator under the original and optimized layouts.
 //
+// It is a thin wrapper over the shared optimize pipeline (internal/cliutil):
+// one derivation pass feeds the streaming layout planner, and the field and
+// clustering halves of the resulting plan are evaluated separately and
+// together. `ormprof optimize` runs the same pipeline end-to-end (ORMPLAN
+// serialization, live re-run, per-level deltas).
+//
 // Usage:
 //
 //	layoutopt [-workload NAME] [-scale N] [-seed N] [-cache l1|l2]
@@ -17,10 +23,8 @@ import (
 
 	"ormprof/internal/cachesim"
 	"ormprof/internal/cliutil"
-	"ormprof/internal/govern"
 	"ormprof/internal/layout"
-	"ormprof/internal/omc"
-	"ormprof/internal/profiler"
+	"ormprof/internal/plan"
 	"ormprof/internal/workloads"
 )
 
@@ -51,79 +55,47 @@ func run(workload string, wcfg workloads.Config, cache string, tf *cliutil.Trace
 	if err != nil {
 		return err
 	}
-	// Translate degrades gracefully: a salvaged pass still yields the
-	// partial record stream, and the remembered error makes the tool exit 2.
-	// Under -mem-budget the record collector itself is governed — once the
-	// ladder drops below the sampled rung the materialized stream is gone
-	// and only the governance report renders.
+	// One shared derivation pass: OMC translation, the record stream, and
+	// the streaming layout planner. Salvaged errors (lenient corruption
+	// skip, deadline, budget degradation) still yield partial results and
+	// exit 2 through deg.
 	var deg cliutil.Degraded
-	var recs []profiler.Record
-	var o *omc.OMC
-	var lad *govern.Ladder
-	if ev.Governed() {
-		lad, recs, o, err = ev.TranslateGoverned(uint64(wcfg.Seed))
-	} else {
-		recs, o, err = ev.Translate()
-	}
+	d, err := ev.DeriveLayout(uint64(wcfg.Seed))
 	if err := deg.Check(err); err != nil {
 		return err
 	}
-	if lad != nil && o == nil {
-		fmt.Printf("workload %s: layout analysis unavailable (degraded to %s)\n", ev.Name, lad.Rung())
-		if err := cliutil.WriteGovernance(os.Stdout, lad); err != nil {
+	if d.OMC == nil {
+		fmt.Printf("workload %s: layout analysis unavailable (degraded to %s)\n", ev.Name, d.Ladder.Rung())
+		if err := cliutil.WriteGovernance(os.Stdout, d.Ladder); err != nil {
 			return err
 		}
-		if err := deg.Check(lad.Err()); err != nil {
+		if err := deg.Check(d.Ladder.Err()); err != nil {
 			return err
 		}
 		return deg.Err()
 	}
-	info := layout.OMCInfo{OMC: o}
-	orig := layout.OriginalResolver(info)
+	recs, o := d.Records, d.OMC
+	full := d.Planner.BuildPlan(ev.Name, o)
+	orig := layout.OriginalResolver(layout.OMCInfo{OMC: o})
 
 	before, _ := layout.Evaluate(recs, orig, cfg)
 	fmt.Printf("workload %s, %d accesses, cache %dKiB/%dB-line/%d-way\n\n",
 		ev.Name, len(recs), cfg.SizeBytes>>10, cfg.LineBytes, cfg.Ways)
 	fmt.Printf("original layout:   %8d misses (%.2f%% miss rate)\n", before.Misses, 100*before.MissRate())
 
-	// Field reordering: plan for every group whose objects share one size
-	// (record size = object size; pool groups would need the record size
-	// supplied, as cmd-line knob — kept simple here).
-	var plans []*layout.FieldPlan
-	for _, g := range o.Groups() {
-		objs := o.Objects(g.ID)
-		if len(objs) == 0 {
-			continue
-		}
-		size := objs[0].Size
-		uniform := true
-		for _, ob := range objs {
-			if ob.Size != size {
-				uniform = false
-				break
-			}
-		}
-		if !uniform || size%layout.SlotSize != 0 || size < 2*layout.SlotSize {
-			continue
-		}
-		plan, err := layout.PlanFields(recs, g.ID, size)
-		if err != nil {
-			continue
-		}
-		plans = append(plans, plan)
-	}
-	afterF, _ := layout.Evaluate(recs, layout.FieldResolver(orig, plans...), cfg)
-	fmt.Printf("field reordering:  %8d misses (%.2f%%)  — %+.1f%% misses, %d groups replanned\n",
-		afterF.Misses, 100*afterF.MissRate(), -layout.Improvement(before, afterF), len(plans))
+	// The plan's two halves, evaluated separately: field reordering alone,
+	// clustering alone, then the full plan.
+	fieldsOnly := &plan.Plan{Workload: full.Workload, Region: full.Region, Fields: full.Fields}
+	afterF, _ := layout.Evaluate(recs, layout.PlanResolver(fieldsOnly, o), cfg)
+	fmt.Printf("field reordering:  %8d misses (%.2f%%)  — %+.1f%% misses, %d sites replanned\n",
+		afterF.Misses, 100*afterF.MissRate(), -layout.Improvement(before, afterF), len(full.Fields))
 
-	// Object clustering.
-	plan := layout.PlanClusters(recs, info)
-	afterC, _ := layout.Evaluate(recs, layout.ClusterResolver(orig, plan), cfg)
+	clusterOnly := &plan.Plan{Workload: full.Workload, Region: full.Region, Placements: full.Placements}
+	afterC, _ := layout.Evaluate(recs, layout.PlanResolver(clusterOnly, o), cfg)
 	fmt.Printf("object clustering: %8d misses (%.2f%%)  — %+.1f%% misses, %d objects packed\n",
-		afterC.Misses, 100*afterC.MissRate(), -layout.Improvement(before, afterC), plan.Packed)
+		afterC.Misses, 100*afterC.MissRate(), -layout.Improvement(before, afterC), len(full.Placements))
 
-	// Both.
-	bothResolver := layout.FieldResolver(layout.ClusterResolver(orig, plan), plans...)
+	bothResolver := layout.PlanResolver(full, o)
 	both, _ := layout.Evaluate(recs, bothResolver, cfg)
 	fmt.Printf("both:              %8d misses (%.2f%%)  — %+.1f%% misses\n",
 		both.Misses, 100*both.MissRate(), -layout.Improvement(before, both))
@@ -132,21 +104,17 @@ func run(workload string, wcfg workloads.Config, cache string, tf *cliutil.Trace
 	// latencies): the end-to-end payoff of the layout changes.
 	amat := func(res layout.Resolver) float64 {
 		h := cachesim.NewHierarchy(cachesim.L1D, cachesim.L2)
-		for _, r := range recs {
-			if addr, ok := res(r.Ref); ok {
-				h.Access(addr, r.Size)
-			}
-		}
+		h.ReplayRecords(recs, res)
 		return h.AMAT(4, 12, 200)
 	}
 	beforeAMAT, afterAMAT := amat(orig), amat(bothResolver)
 	fmt.Printf("\nAMAT (L1 4cy, L2 12cy, mem 200cy): %.2f -> %.2f cycles/access (%.1f%% faster)\n",
 		beforeAMAT, afterAMAT, 100*(1-afterAMAT/beforeAMAT))
-	if lad != nil {
-		if err := cliutil.WriteGovernance(os.Stdout, lad); err != nil {
+	if d.Ladder != nil {
+		if err := cliutil.WriteGovernance(os.Stdout, d.Ladder); err != nil {
 			return err
 		}
-		if err := deg.Check(lad.Err()); err != nil {
+		if err := deg.Check(d.Ladder.Err()); err != nil {
 			return err
 		}
 	}

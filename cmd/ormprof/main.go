@@ -9,6 +9,7 @@
 //	ormprof translate -workload NAME [-n N] [-scale S] [-seed S]
 //	ormprof groups    -workload NAME [-scale S] [-seed S]
 //	ormprof inspect   FILE.whomp|FILE.leap|FILE.ormtrace
+//	ormprof optimize  -workload NAME [-plan FILE.ormplan] [-workers N] [-csv]
 //
 // Every workload-driven subcommand also accepts -replay FILE.ormtrace to
 // read a recorded trace instead of running the workload, and -record FILE
@@ -60,6 +61,8 @@ func main() {
 		err = diffCmd(args)
 	case "regen":
 		err = regenCmd(args)
+	case "optimize":
+		err = optimizeCmd(args)
 	default:
 		usage()
 	}
@@ -81,7 +84,8 @@ commands:
   grammar    print a dimension's OMSG grammar rules (hot repeated patterns)
   inspect    summarize a saved .whomp/.leap profile or .ormtrace trace file
   diff       compare two .leap profiles of the same program across runs
-  regen      regenerate the raw access trace from a .whomp profile (losslessness)`)
+  regen      regenerate the raw access trace from a .whomp profile (losslessness)
+  optimize   close the loop: derive an ORMPLAN layout plan, apply it, measure the miss-rate delta`)
 	os.Exit(2)
 }
 

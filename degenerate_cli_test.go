@@ -83,6 +83,16 @@ func TestHeaderOnlyTraceAllTools(t *testing.T) {
 			out = runTool(t, "layoutopt", "-replay", path)
 			wantContains(t, out, "workload empty, 0 accesses")
 
+			// The optimize loop on a header-only trace: an empty (but
+			// valid) plan, zero misses on both sides.
+			plan := filepath.Join(t.TempDir(), "empty.ormplan")
+			out = runTool(t, "ormprof", "optimize", "-replay", path, "-plan", plan)
+			wantContains(t, out, "workload empty: 0 events, 0 accesses",
+				"plan: 0 field orders, 0 placements, 0 prefetch rules")
+			if _, err := os.Stat(plan); err != nil {
+				t.Errorf("optimize did not write the plan artifact: %v", err)
+			}
+
 			out = runTool(t, "ormprof", "translate", "-replay", path)
 			wantContains(t, out, "translated 0 accesses (0 unmapped)")
 

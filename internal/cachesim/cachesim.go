@@ -79,6 +79,9 @@ type Cache struct {
 	// line address (addr >> lineBits); valid entries only.
 	sets  [][]uint64
 	stats Stats
+	// resident counts filled ways across all sets, maintained on insert so
+	// Footprint is O(1).
+	resident int
 }
 
 // New builds a cache; it panics on an invalid configuration (a programming
@@ -139,6 +142,7 @@ func (c *Cache) touch(line uint64) bool {
 	// Miss: insert at front, evicting the LRU way if full.
 	if len(set) < c.cfg.Ways {
 		set = append(set, 0)
+		c.resident++
 	}
 	copy(set[1:], set)
 	set[0] = line
@@ -172,6 +176,16 @@ func (c *Cache) Reset() {
 		c.sets[i] = c.sets[i][:0]
 	}
 	c.stats = Stats{}
+	c.resident = 0
+}
+
+// Footprint reports the simulator's own memory use in bytes (tag storage
+// plus set headers), maintained incrementally as sets fill. This is what
+// the resource-governance budget charges for an evaluation cache; note it
+// is the simulator's cost, not the simulated capacity.
+func (c *Cache) Footprint() int64 {
+	const sliceHeader = 24
+	return int64(len(c.sets))*sliceHeader + int64(c.resident)*8
 }
 
 // Replay drives the cache with every access event of a trace and returns

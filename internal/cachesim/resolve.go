@@ -1,0 +1,50 @@
+package cachesim
+
+import (
+	"ormprof/internal/omc"
+	"ormprof/internal/profiler"
+	"ormprof/internal/trace"
+)
+
+// Resolve maps an object-relative reference (group, object, offset) to the
+// address it occupies under some data layout. This is the paper's §1 insight
+// made operational: the profile names accesses by tuples, so evaluating a
+// proposed layout is just replaying the same tuples through a different
+// resolution function. layout.OriginalResolver resolves to the profiled
+// run's addresses; the plan resolvers resolve to the optimized layout.
+//
+// A false return means the reference cannot be placed under this layout
+// (e.g. the object table has no entry); such accesses are skipped and
+// counted by the replay entry points.
+type Resolve func(ref omc.Ref) (trace.Addr, bool)
+
+// ReplayRecords drives the cache with an object-relative record stream
+// through resolve and returns the number of unresolvable (skipped) records.
+func (c *Cache) ReplayRecords(recs []profiler.Record, resolve Resolve) int {
+	skipped := 0
+	for _, r := range recs {
+		addr, ok := resolve(r.Ref)
+		if !ok {
+			skipped++
+			continue
+		}
+		c.Access(addr, r.Size)
+	}
+	return skipped
+}
+
+// ReplayRecords drives every level of the hierarchy with the record stream
+// through resolve (misses forwarded level to level, as in Access) and
+// returns the number of skipped records.
+func (h *Hierarchy) ReplayRecords(recs []profiler.Record, resolve Resolve) int {
+	skipped := 0
+	for _, r := range recs {
+		addr, ok := resolve(r.Ref)
+		if !ok {
+			skipped++
+			continue
+		}
+		h.Access(addr, r.Size)
+	}
+	return skipped
+}

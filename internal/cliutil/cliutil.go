@@ -135,6 +135,9 @@ type Events struct {
 	stats     tracefmt.Stats // reader stats from the most recent replay pass
 	memBudget int64          // memory budget shared by all governed passes
 	govBudget *govern.Budget // lazily created parent budget; see GovernedPass
+
+	workload string           // live mode: the selected workload name
+	wcfg     workloads.Config // live mode: its configuration
 }
 
 // Load resolves the trace flags into an event stream. With -replay it
@@ -184,7 +187,28 @@ func (t *TraceFlags) Load(workload string, cfg workloads.Config) (*Events, error
 			return nil, fmt.Errorf("recording trace: %w", err)
 		}
 	}
-	return &Events{Name: workload, Sites: m.StaticSites(), buf: buf, deadline: t.Deadline, memBudget: t.MemBudget}, nil
+	return &Events{
+		Name: workload, Sites: m.StaticSites(), buf: buf,
+		deadline: t.Deadline, memBudget: t.MemBudget,
+		workload: workload, wcfg: cfg,
+	}, nil
+}
+
+// Rerun executes the live workload a second time into sink under the given
+// machine options — the optimize pipeline's "after" measurement re-runs the
+// same deterministic program under a plan-driven allocator. It is an error
+// on a replayed event stream: a trace file has no program to re-execute
+// (replay callers re-resolve the recorded tuples instead).
+func (ev *Events) Rerun(sink trace.Sink, opts ...memsim.Option) error {
+	if ev.path != "" {
+		return fmt.Errorf("cannot re-run a replayed trace")
+	}
+	prog, err := workloads.New(ev.workload, ev.wcfg)
+	if err != nil {
+		return err
+	}
+	memsim.Run(prog, sink, opts...)
+	return nil
 }
 
 // openReplay validates the header and captures the metadata; events are

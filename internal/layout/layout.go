@@ -158,8 +158,9 @@ func (p *ClusterPlan) Resolve(g omc.GroupID, serial uint32) (trace.Addr, bool) {
 }
 
 // Resolver maps an object-relative reference to the address it would have
-// under some layout.
-type Resolver func(ref omc.Ref) (trace.Addr, bool)
+// under some layout. It is cachesim's Resolve type: a resolver plugs
+// directly into Cache.ReplayRecords / Hierarchy.ReplayRecords.
+type Resolver = cachesim.Resolve
 
 // OriginalResolver resolves references to their original run addresses via
 // the object table (unmapped references keep their raw address).
@@ -208,15 +209,7 @@ func ClusterResolver(base Resolver, plan *ClusterPlan) Resolver {
 // place are skipped (counted in the returned skip count).
 func Evaluate(recs []profiler.Record, resolve Resolver, cfg cachesim.Config) (cachesim.Stats, int) {
 	c := cachesim.New(cfg)
-	skipped := 0
-	for _, r := range recs {
-		addr, ok := resolve(r.Ref)
-		if !ok {
-			skipped++
-			continue
-		}
-		c.Access(addr, r.Size)
-	}
+	skipped := c.ReplayRecords(recs, resolve)
 	return c.Stats(), skipped
 }
 

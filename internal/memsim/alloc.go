@@ -7,8 +7,13 @@ import (
 	"ormprof/internal/trace"
 )
 
-// Allocator is a heap allocation policy for the simulated machine. The three
-// implementations model the "confounding artifacts" of the paper's §1:
+// Allocator is a heap allocation policy for the simulated machine. Alloc
+// receives the static allocation site alongside the size, so placement
+// policies can be profile-guided: the base policies below ignore the site,
+// while the plan overlay (NewPlanAllocator) keys its placements on it.
+//
+// The three base implementations model the "confounding artifacts" of the
+// paper's §1:
 //
 //   - BumpAllocator: no reuse, monotone addresses. The cleanest possible
 //     layout — raw addresses still scatter across object instances, but there
@@ -23,7 +28,7 @@ import (
 // All policies carve from the heap segment starting at HeapBase and align
 // blocks to 16 bytes.
 type Allocator interface {
-	Alloc(size uint32) trace.Addr
+	Alloc(site trace.SiteID, size uint32) trace.Addr
 	Free(addr trace.Addr, size uint32)
 	// PolicyName identifies the policy in reports.
 	PolicyName() string
@@ -43,7 +48,7 @@ type BumpAllocator struct {
 func NewBumpAllocator() *BumpAllocator { return &BumpAllocator{next: HeapBase} }
 
 // Alloc carves the next aligned block.
-func (b *BumpAllocator) Alloc(size uint32) trace.Addr {
+func (b *BumpAllocator) Alloc(_ trace.SiteID, size uint32) trace.Addr {
 	a := b.next
 	b.next += trace.Addr(alignUp(size))
 	return a
@@ -73,7 +78,7 @@ func NewFreeListAllocator() *FreeListAllocator {
 
 // Alloc reuses the most recently freed block of the same size class if one
 // exists, else bumps.
-func (f *FreeListAllocator) Alloc(size uint32) trace.Addr {
+func (f *FreeListAllocator) Alloc(_ trace.SiteID, size uint32) trace.Addr {
 	f.alloc++
 	class := alignUp(size)
 	if stack := f.bins[class]; len(stack) > 0 {
@@ -125,7 +130,7 @@ func NewRandomizedAllocator(seed int64) *RandomizedAllocator {
 
 // Alloc reuses a random free block of the class, else bumps past a random
 // gap of 0..15 blocks.
-func (r *RandomizedAllocator) Alloc(size uint32) trace.Addr {
+func (r *RandomizedAllocator) Alloc(_ trace.SiteID, size uint32) trace.Addr {
 	class := alignUp(size)
 	if stack := r.bins[class]; len(stack) > 0 {
 		i := r.rng.Intn(len(stack))

@@ -27,7 +27,7 @@ func checkNoOverlap(t *testing.T, a Allocator, seed int64) {
 			continue
 		}
 		size := uint32(1 + rng.Intn(200))
-		addr := a.Alloc(size)
+		addr := a.Alloc(1, size)
 		if addr < HeapBase {
 			t.Fatalf("%s: alloc below HeapBase", a.PolicyName())
 		}
@@ -54,9 +54,9 @@ func TestAllocatorsNoOverlap(t *testing.T) {
 
 func TestBumpNeverReuses(t *testing.T) {
 	b := NewBumpAllocator()
-	a1 := b.Alloc(32)
+	a1 := b.Alloc(1, 32)
 	b.Free(a1, 32)
-	a2 := b.Alloc(32)
+	a2 := b.Alloc(1, 32)
 	if a1 == a2 {
 		t.Error("bump allocator reused an address")
 	}
@@ -64,9 +64,9 @@ func TestBumpNeverReuses(t *testing.T) {
 
 func TestFreeListReuses(t *testing.T) {
 	f := NewFreeListAllocator()
-	a1 := f.Alloc(40)
+	a1 := f.Alloc(1, 40)
 	f.Free(a1, 40)
-	a2 := f.Alloc(40) // same size class: must reuse
+	a2 := f.Alloc(1, 40) // same size class: must reuse
 	if a1 != a2 {
 		t.Errorf("free list did not reuse: %#x then %#x", uint64(a1), uint64(a2))
 	}
@@ -74,7 +74,7 @@ func TestFreeListReuses(t *testing.T) {
 		t.Errorf("ReuseRate = %v, want 0.5", f.ReuseRate())
 	}
 	// Different size class: no reuse.
-	a3 := f.Alloc(100)
+	a3 := f.Alloc(1, 100)
 	if a3 == a1 {
 		t.Error("free list reused across size classes")
 	}
@@ -82,11 +82,11 @@ func TestFreeListReuses(t *testing.T) {
 
 func TestFreeListLIFO(t *testing.T) {
 	f := NewFreeListAllocator()
-	a1 := f.Alloc(16)
-	a2 := f.Alloc(16)
+	a1 := f.Alloc(1, 16)
+	a2 := f.Alloc(1, 16)
 	f.Free(a1, 16)
 	f.Free(a2, 16)
-	if got := f.Alloc(16); got != a2 {
+	if got := f.Alloc(1, 16); got != a2 {
 		t.Errorf("expected LIFO reuse of %#x, got %#x", uint64(a2), uint64(got))
 	}
 }
@@ -96,7 +96,7 @@ func TestRandomizedDeterministicPerSeed(t *testing.T) {
 		r := NewRandomizedAllocator(seed)
 		var out []trace.Addr
 		for i := 0; i < 50; i++ {
-			out = append(out, r.Alloc(32))
+			out = append(out, r.Alloc(1, 32))
 		}
 		return out
 	}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 
+	"ormprof/internal/soabtree"
 	"ormprof/internal/trace"
 )
 
@@ -60,6 +61,12 @@ type Machine struct {
 	staticTop   trace.Addr
 
 	live map[trace.Addr]uint32 // live heap objects: start -> size
+
+	// Access-time field remapping (WithRemap): the index tracks live
+	// objects (start -> site/size) so accesses can be translated to the
+	// optimized record layout. Nil remap leaves the index unused.
+	remap    OffsetRemapper
+	objIndex soabtree.Map
 
 	// counters for dilation and sanity metrics
 	nLoads, nStores, nAllocs, nFrees uint64
@@ -169,6 +176,9 @@ func (m *Machine) Start() {
 		}
 	}
 	for _, s := range m.statics {
+		if m.remap != nil {
+			m.indexObject(s.addr, s.site, s.size)
+		}
 		m.sink.Emit(trace.Event{Kind: trace.EvAlloc, Time: m.clock, Site: s.site, Addr: s.addr, Size: s.size})
 	}
 }
@@ -209,11 +219,14 @@ func (m *Machine) Alloc(site trace.SiteID, size uint32) trace.Addr {
 	if site >= 1<<24 {
 		panic(fmt.Sprintf("memsim: heap site %d collides with static site space", site))
 	}
-	addr := m.alloc.Alloc(size)
+	addr := m.alloc.Alloc(site, size)
 	if addr < HeapBase {
 		panic(fmt.Sprintf("memsim: allocator returned %#x below heap base", uint64(addr)))
 	}
 	m.live[addr] = size
+	if m.remap != nil {
+		m.indexObject(addr, site, size)
+	}
 	m.nAllocs++
 	m.sink.Emit(trace.Event{Kind: trace.EvAlloc, Time: m.clock, Site: site, Addr: addr, Size: size})
 	return addr
@@ -226,6 +239,9 @@ func (m *Machine) Free(addr trace.Addr) {
 		panic(fmt.Sprintf("memsim: free of non-live address %#x", uint64(addr)))
 	}
 	delete(m.live, addr)
+	if m.remap != nil {
+		m.objIndex.Delete(uint64(addr))
+	}
 	m.alloc.Free(addr, size)
 	m.nFrees++
 	m.sink.Emit(trace.Event{Kind: trace.EvFree, Time: m.clock, Addr: addr})
@@ -248,6 +264,9 @@ func (m *Machine) Store(instr trace.InstrID, addr trace.Addr, size uint32) {
 func (m *Machine) access(instr trace.InstrID, addr trace.Addr, size uint32, store bool) {
 	if !m.started {
 		panic("memsim: access before Start")
+	}
+	if m.remap != nil {
+		addr = m.remapAddr(addr, size)
 	}
 	m.sink.Emit(trace.Event{Kind: trace.EvAccess, Time: m.clock, Instr: instr, Addr: addr, Size: size, Store: store})
 	m.clock++

@@ -1,0 +1,119 @@
+package memsim
+
+import (
+	"ormprof/internal/trace"
+)
+
+// Placement is a profile-guided placement overlay: it answers "where should
+// the serial-th object allocated at site go?" for the objects a layout plan
+// placed explicitly, and declines (ok=false) for everything else. Keying on
+// (site, serial) rather than raw addresses is what makes a plan portable
+// across runs: allocation order at a site is a program property, addresses
+// are an allocator accident (§3.2 of the paper).
+//
+// plan.Plan's Placer implements this interface.
+type Placement interface {
+	Place(site trace.SiteID, serial, size uint32) (trace.Addr, bool)
+}
+
+// OffsetRemapper rewrites an intra-object offset at access time, realizing
+// field reordering: the workload still addresses fields at their original
+// offsets, and the remapper moves each access to where the optimized record
+// layout put that field.
+//
+// plan.Plan's FieldRemapper implements this interface.
+type OffsetRemapper interface {
+	RemapOffset(site trace.SiteID, off uint64, size uint32) uint64
+}
+
+// PlanAllocator composes a base allocation policy with a placement overlay:
+// objects the plan placed get exactly the plan's address; everything else
+// falls through to the base policy. This is the "different resolution
+// function from tuples to addresses" of §1, enacted at allocation time.
+type PlanAllocator struct {
+	base    Allocator
+	place   Placement
+	serial  map[trace.SiteID]uint32
+	planned map[trace.Addr]struct{}
+	hits    uint64
+	total   uint64
+}
+
+// NewPlanAllocator wraps base with the placement overlay. A nil place
+// degenerates to the base policy.
+func NewPlanAllocator(base Allocator, place Placement) *PlanAllocator {
+	return &PlanAllocator{
+		base:    base,
+		place:   place,
+		serial:  make(map[trace.SiteID]uint32),
+		planned: make(map[trace.Addr]struct{}),
+	}
+}
+
+// Alloc consults the plan first, keyed by the site's running serial number,
+// and falls back to the base policy for unplanned objects.
+func (p *PlanAllocator) Alloc(site trace.SiteID, size uint32) trace.Addr {
+	serial := p.serial[site]
+	p.serial[site] = serial + 1
+	p.total++
+	if p.place != nil {
+		if addr, ok := p.place.Place(site, serial, size); ok {
+			p.planned[addr] = struct{}{}
+			p.hits++
+			return addr
+		}
+	}
+	return p.base.Alloc(site, size)
+}
+
+// Free returns unplanned blocks to the base policy. Plan-placed blocks live
+// in the plan's dedicated region and are never recycled — feeding their
+// addresses to the base free lists would leak plan addresses into unplanned
+// allocations and break the placement's exactness.
+func (p *PlanAllocator) Free(addr trace.Addr, size uint32) {
+	if _, ok := p.planned[addr]; ok {
+		delete(p.planned, addr)
+		return
+	}
+	p.base.Free(addr, size)
+}
+
+// Placed reports how many allocations the plan placed, out of the total.
+func (p *PlanAllocator) Placed() (placed, total uint64) { return p.hits, p.total }
+
+// PolicyName implements Allocator.
+func (p *PlanAllocator) PolicyName() string { return p.base.PolicyName() + "+plan" }
+
+// WithRemap installs an access-time offset remapper on the machine. The
+// machine then maintains a live-object index (start address -> site/size) so
+// every Load/Store can be translated: find the containing object, rewrite
+// the intra-object offset through the remapper, and emit the access at the
+// relocated field. Accesses that hit no live object, or that straddle an
+// object's end, pass through untouched.
+func WithRemap(r OffsetRemapper) Option {
+	return func(m *Machine) { m.remap = r }
+}
+
+// indexObject records a live object in the remap index. The value packs
+// (site, size) into one word so the index stays a flat uint64->uint64 map.
+func (m *Machine) indexObject(addr trace.Addr, site trace.SiteID, size uint32) {
+	m.objIndex.Set(uint64(addr), uint64(site)<<32|uint64(size))
+}
+
+// remapAddr translates one access through the remapper. It returns addr
+// unchanged when no live object contains the full access.
+func (m *Machine) remapAddr(addr trace.Addr, size uint32) trace.Addr {
+	start, packed, ok := m.objIndex.Floor(uint64(addr))
+	if !ok {
+		return addr
+	}
+	objSize := uint64(packed & 0xffff_ffff)
+	off := uint64(addr) - start
+	if off+uint64(size) > objSize {
+		return addr
+	}
+	site := trace.SiteID(packed >> 32)
+	return trace.Addr(start + m.remap.RemapOffset(site, off, size))
+}
+
+var _ Allocator = (*PlanAllocator)(nil)

@@ -1,0 +1,181 @@
+package memsim
+
+import (
+	"reflect"
+	"testing"
+
+	"ormprof/internal/plan"
+	"ormprof/internal/trace"
+)
+
+// planProg is a small scripted workload: three allocations at two sites,
+// field accesses at fixed offsets, one free, one access to an unplanned
+// object and one wild access.
+type planProg struct{}
+
+func (planProg) Name() string { return "planprog" }
+
+func (planProg) Run(m *Machine) {
+	a := m.Alloc(3, 32) // site 3, serial 0: planned
+	b := m.Alloc(3, 32) // site 3, serial 1: unplanned
+	c := m.Alloc(7, 16) // site 7, serial 0: planned
+	m.Load(1, a, 8)     // slot 0
+	m.Load(1, a+8, 8)   // slot 1
+	m.Store(2, c+8, 8)
+	m.Load(1, b, 8)
+	m.Load(4, trace.Addr(0x1234), 4) // hits no live object
+	m.Free(b)
+	m.Free(a)
+	m.Free(c)
+}
+
+func testPlan() *plan.Plan {
+	return &plan.Plan{
+		Workload: "planprog",
+		Region:   0x7000_0000_0000,
+		Fields: []plan.FieldOrder{
+			// Site 3: swap the first two slots, keep the rest.
+			{Site: 3, RecordSize: 32, NewOffset: []uint32{8, 0, 16, 24}},
+		},
+		Placements: []plan.ObjectPlacement{
+			{Site: 3, Serial: 0, Size: 32, Addr: 0x7000_0000_0000},
+			{Site: 7, Serial: 0, Size: 16, Addr: 0x7000_0000_0020},
+		},
+	}
+}
+
+// runPlanned executes planProg under the plan on top of the given base
+// policy and returns the emitted events.
+func runPlanned(t *testing.T, base Allocator) []trace.Event {
+	t.Helper()
+	p := testPlan()
+	var got []trace.Event
+	sink := trace.SinkFunc(func(e trace.Event) { got = append(got, e) })
+	Run(planProg{}, sink,
+		WithAllocator(NewPlanAllocator(base, p.Placer())),
+		WithRemap(p.FieldRemapper()))
+	return got
+}
+
+// accessesTo filters the access events landing inside [base, base+n).
+func accessesTo(events []trace.Event, base trace.Addr, n uint64) []trace.Event {
+	var out []trace.Event
+	for _, e := range events {
+		if e.Kind == trace.EvAccess && e.Addr >= base && e.Addr < base+trace.Addr(n) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestPlanApplicationDeterministic proves the core plan property: the
+// addresses of plan-placed objects and the remapped field accesses are
+// identical under all three base allocator policies, and repeated runs under
+// the same policy emit identical event streams.
+func TestPlanApplicationDeterministic(t *testing.T) {
+	region := trace.Addr(0x7000_0000_0000)
+	var planned [][]trace.Event
+	for _, name := range PolicyNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			first := runPlanned(t, Policies(5)[name])
+			again := runPlanned(t, Policies(5)[name])
+			if !reflect.DeepEqual(first, again) {
+				t.Fatal("two runs under the same base policy differ")
+			}
+			// The planned objects' accesses are fully determined by the plan.
+			pa := accessesTo(first, region, 0x40)
+			want := []struct {
+				addr trace.Addr
+				size uint32
+			}{
+				// a's slot 0 moved to offset 8, slot 1 to 0 (field swap).
+				{region + 8, 8},
+				{region + 0, 8},
+				// c at region+0x20, no field order for site 7.
+				{region + 0x20 + 8, 8},
+			}
+			if len(pa) != len(want) {
+				t.Fatalf("%d planned accesses, want %d", len(pa), len(want))
+			}
+			for i, w := range want {
+				if pa[i].Addr != w.addr || pa[i].Size != w.size {
+					t.Errorf("planned access %d = %#x/%d, want %#x/%d",
+						i, uint64(pa[i].Addr), pa[i].Size, uint64(w.addr), w.size)
+				}
+			}
+			planned = append(planned, pa)
+		})
+	}
+	for i := 1; i < len(planned); i++ {
+		if !reflect.DeepEqual(planned[i], planned[0]) {
+			t.Error("planned-object accesses differ across base policies")
+		}
+	}
+}
+
+// TestPlanAllocatorFallback proves unplanned allocations go to the base
+// policy untouched and plan-placed blocks never enter the base free lists.
+func TestPlanAllocatorFallback(t *testing.T) {
+	p := testPlan()
+	base := NewFreeListAllocator()
+	pa := NewPlanAllocator(base, p.Placer())
+
+	a := pa.Alloc(3, 32) // planned
+	if a != 0x7000_0000_0000 {
+		t.Fatalf("planned alloc at %#x", uint64(a))
+	}
+	b := pa.Alloc(3, 32) // serial 1: unplanned, base policy
+	if b < HeapBase || b >= 0x7000_0000_0000 {
+		t.Fatalf("unplanned alloc at %#x, want base-policy heap", uint64(b))
+	}
+	// Freeing the planned block must not feed the base free list.
+	pa.Free(a, 32)
+	c := pa.Alloc(9, 32) // unplanned site
+	if c == a {
+		t.Fatal("base policy reused a plan-region address")
+	}
+	// Size mismatch: placement declined, base policy serves it.
+	pa2 := NewPlanAllocator(NewBumpAllocator(), p.Placer())
+	if got := pa2.Alloc(7, 64); got >= 0x7000_0000_0000 {
+		t.Errorf("stale placement applied despite size mismatch: %#x", uint64(got))
+	}
+	placed, total := pa.Placed()
+	if placed != 1 || total != 3 {
+		t.Errorf("Placed() = %d/%d, want 1/3", placed, total)
+	}
+	if pa.PolicyName() != "freelist+plan" {
+		t.Errorf("PolicyName = %q", pa.PolicyName())
+	}
+}
+
+// TestRemapUntouchedPaths proves accesses outside live objects and accesses
+// straddling a slot pass through the remapper unchanged.
+func TestRemapUntouchedPaths(t *testing.T) {
+	p := testPlan()
+	var got []trace.Event
+	sink := trace.SinkFunc(func(e trace.Event) { got = append(got, e) })
+	m := New(sink, WithAllocator(NewPlanAllocator(NewBumpAllocator(), p.Placer())), WithRemap(p.FieldRemapper()))
+	m.Start()
+	a := m.Alloc(3, 32)
+	m.Load(1, trace.Addr(0x99), 4) // no live object: unchanged
+	m.Load(1, a+4, 8)              // straddles slots 0 and 1: unchanged
+	m.Free(a)
+	m.Load(1, a+8, 8) // object freed: unchanged
+	m.End()
+	var acc []trace.Event
+	for _, e := range got {
+		if e.Kind == trace.EvAccess {
+			acc = append(acc, e)
+		}
+	}
+	if acc[0].Addr != 0x99 {
+		t.Errorf("wild access moved to %#x", uint64(acc[0].Addr))
+	}
+	if acc[1].Addr != a+4 {
+		t.Errorf("straddling access moved to %#x", uint64(acc[1].Addr))
+	}
+	if acc[2].Addr != a+8 {
+		t.Errorf("access to freed object moved to %#x", uint64(acc[2].Addr))
+	}
+}

@@ -1,0 +1,63 @@
+package plan
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden plan fixture")
+
+// TestGoldenPlan pins the ORMPLAN v1 byte layout: if this fails, the wire
+// format changed — bump Version and regenerate with -update-golden rather
+// than silently breaking old plan files.
+func TestGoldenPlan(t *testing.T) {
+	path := filepath.Join("testdata", "golden_v1.ormplan")
+	got, err := Encode(samplePlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading fixture (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("encoding drifted from golden fixture: %d bytes vs %d", len(got), len(want))
+	}
+	p, err := Decode(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, samplePlan()) {
+		t.Error("golden fixture decodes to a different plan")
+	}
+}
+
+// TestVersionRejection proves a future-versioned plan file is refused with
+// a version error instead of being misparsed.
+func TestVersionRejection(t *testing.T) {
+	data, err := Encode(samplePlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(Magic)] = Version + 1
+	_, err = Decode(data)
+	if !IsFormat(err) {
+		t.Fatalf("Decode = %v, want *FormatError", err)
+	}
+	if !strings.Contains(err.Error(), "version") {
+		t.Errorf("error %q does not mention the version", err)
+	}
+}

@@ -1,0 +1,232 @@
+// Package plan defines the ORMPLAN artifact: a serialized, versioned data
+// layout plan derived from an object-relative profile.
+//
+// A plan is the actionable output of the profiling stack — the "different
+// resolution function from tuples to addresses" of the paper's §1, written
+// down. It carries three kinds of directives:
+//
+//   - field orders: per allocation site, a permutation of the record's
+//     word-sized slots (hot fields packed first, §3.2 field reordering);
+//   - object placements: per (site, serial) object, an explicit address in
+//     a dedicated packed region (cache-conscious clustering in first-touch
+//     order, related work [4]);
+//   - prefetch rules: per instruction, a stride and distance derived from
+//     the LEAP profile's LMADs.
+//
+// Everything is keyed by static program points (allocation sites,
+// instruction IDs) plus per-site allocation serial numbers — never by raw
+// addresses from the profiled run — so a plan produced from one run can be
+// applied to another run, or to a re-execution under a different base
+// allocator policy. That portability is what closes the PGO loop: profile,
+// derive plan, re-run under the plan, measure the delta.
+//
+// The on-disk container follows the ORMTRACE/ORMCKPT conventions (magic +
+// version + length + CRC-32C, see docs/FORMATS.md).
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"ormprof/internal/trace"
+)
+
+// SlotSize is the field-reordering granularity, one machine word. It must
+// match layout.SlotSize.
+const SlotSize = 8
+
+// FieldOrder permutes the slots of records allocated at one site. Offsets
+// are taken modulo RecordSize, so pool objects holding many records are
+// rearranged record-wise.
+type FieldOrder struct {
+	Site       trace.SiteID
+	RecordSize uint32
+	// NewOffset[oldSlot] is the byte offset the slot moves to. It is a
+	// permutation of {0, SlotSize, 2*SlotSize, ...}.
+	NewOffset []uint32
+}
+
+// Remap translates an intra-object offset to its offset under the order.
+func (f *FieldOrder) Remap(off uint64) uint64 {
+	rec := off / uint64(f.RecordSize)
+	within := off % uint64(f.RecordSize)
+	slot := within / SlotSize
+	rem := within % SlotSize
+	return rec*uint64(f.RecordSize) + uint64(f.NewOffset[slot]) + rem
+}
+
+// ObjectPlacement pins the serial-th object allocated at Site to Addr in the
+// plan's packed region. Size is the object size observed in the profile; an
+// application run whose allocation differs in size ignores the placement
+// (the plan is stale for that object).
+type ObjectPlacement struct {
+	Site   trace.SiteID
+	Serial uint32
+	Size   uint32
+	Addr   trace.Addr
+}
+
+// PrefetchRule asks for a prefetch of the line Stride*Distance bytes ahead
+// on every access by Instr.
+type PrefetchRule struct {
+	Instr    trace.InstrID
+	Stride   int64
+	Distance int64
+}
+
+// Plan is one complete layout plan for a workload.
+type Plan struct {
+	// Workload names the profiled workload the plan was derived from.
+	Workload string
+	// Region is the base of the packed-placement address region. All
+	// placement addresses are >= Region.
+	Region trace.Addr
+	// Fields is sorted by Site, one entry per site at most.
+	Fields []FieldOrder
+	// Placements is sorted by (Site, Serial), one entry per object at most.
+	Placements []ObjectPlacement
+	// Prefetch is sorted by Instr, one entry per instruction at most.
+	Prefetch []PrefetchRule
+}
+
+// Empty reports whether the plan carries no directives at all.
+func (p *Plan) Empty() bool {
+	return len(p.Fields) == 0 && len(p.Placements) == 0 && len(p.Prefetch) == 0
+}
+
+// Validate checks the structural invariants the codec and the appliers rely
+// on: canonical sort orders, bounded sizes, and slot permutations. Encode
+// refuses an invalid plan and Decode rejects one, so every *Plan obtained
+// through this package is valid.
+func (p *Plan) Validate() error {
+	if len(p.Workload) > maxWorkload {
+		return fmt.Errorf("plan: workload name %d bytes (max %d)", len(p.Workload), maxWorkload)
+	}
+	if len(p.Fields) > maxFields {
+		return fmt.Errorf("plan: %d field orders (max %d)", len(p.Fields), maxFields)
+	}
+	for i := range p.Fields {
+		f := &p.Fields[i]
+		if i > 0 && p.Fields[i-1].Site >= f.Site {
+			return fmt.Errorf("plan: field orders not strictly sorted by site at %d", i)
+		}
+		if f.RecordSize == 0 || f.RecordSize%SlotSize != 0 || f.RecordSize > maxRecordSize {
+			return fmt.Errorf("plan: site %d: record size %d invalid", f.Site, f.RecordSize)
+		}
+		n := int(f.RecordSize / SlotSize)
+		if len(f.NewOffset) != n {
+			return fmt.Errorf("plan: site %d: %d slots for record size %d", f.Site, len(f.NewOffset), f.RecordSize)
+		}
+		seen := make([]bool, n)
+		for slot, off := range f.NewOffset {
+			if off%SlotSize != 0 || off >= f.RecordSize {
+				return fmt.Errorf("plan: site %d: slot %d moves to invalid offset %d", f.Site, slot, off)
+			}
+			if seen[off/SlotSize] {
+				return fmt.Errorf("plan: site %d: offset %d assigned twice", f.Site, off)
+			}
+			seen[off/SlotSize] = true
+		}
+	}
+	if len(p.Placements) > maxPlacements {
+		return fmt.Errorf("plan: %d placements (max %d)", len(p.Placements), maxPlacements)
+	}
+	for i := range p.Placements {
+		pl := &p.Placements[i]
+		if i > 0 {
+			prev := &p.Placements[i-1]
+			if prev.Site > pl.Site || (prev.Site == pl.Site && prev.Serial >= pl.Serial) {
+				return fmt.Errorf("plan: placements not strictly sorted by (site, serial) at %d", i)
+			}
+		}
+		if pl.Size == 0 {
+			return fmt.Errorf("plan: placement %d: zero size", i)
+		}
+		if pl.Addr < p.Region {
+			return fmt.Errorf("plan: placement %d: address %#x below region %#x", i, uint64(pl.Addr), uint64(p.Region))
+		}
+	}
+	if len(p.Prefetch) > maxRules {
+		return fmt.Errorf("plan: %d prefetch rules (max %d)", len(p.Prefetch), maxRules)
+	}
+	for i := range p.Prefetch {
+		r := &p.Prefetch[i]
+		if i > 0 && p.Prefetch[i-1].Instr >= r.Instr {
+			return fmt.Errorf("plan: prefetch rules not strictly sorted by instruction at %d", i)
+		}
+		if r.Distance <= 0 {
+			return fmt.Errorf("plan: prefetch rule %d: distance %d", i, r.Distance)
+		}
+	}
+	return nil
+}
+
+// Canonicalize sorts the plan's sections into the canonical orders Validate
+// requires. Builders can append in any order and canonicalize once.
+func (p *Plan) Canonicalize() {
+	sort.Slice(p.Fields, func(i, j int) bool { return p.Fields[i].Site < p.Fields[j].Site })
+	sort.Slice(p.Placements, func(i, j int) bool {
+		a, b := &p.Placements[i], &p.Placements[j]
+		if a.Site != b.Site {
+			return a.Site < b.Site
+		}
+		return a.Serial < b.Serial
+	})
+	sort.Slice(p.Prefetch, func(i, j int) bool { return p.Prefetch[i].Instr < p.Prefetch[j].Instr })
+}
+
+// Placer is the allocation-time view of the plan's placements: it implements
+// memsim's Placement interface without either package importing the other.
+type Placer struct {
+	m map[uint64]ObjectPlacement
+}
+
+// Placer builds the (site, serial) -> placement lookup.
+func (p *Plan) Placer() *Placer {
+	pl := &Placer{m: make(map[uint64]ObjectPlacement, len(p.Placements))}
+	for _, e := range p.Placements {
+		pl.m[uint64(e.Site)<<32|uint64(e.Serial)] = e
+	}
+	return pl
+}
+
+// Place returns the planned address for the serial-th object allocated at
+// site. A size mismatch against the profiled size means the plan is stale
+// for this object and the placement is declined.
+func (pl *Placer) Place(site trace.SiteID, serial, size uint32) (trace.Addr, bool) {
+	e, ok := pl.m[uint64(site)<<32|uint64(serial)]
+	if !ok || e.Size != size {
+		return 0, false
+	}
+	return e.Addr, true
+}
+
+// FieldRemapper is the access-time view of the plan's field orders: it
+// implements memsim's OffsetRemapper interface.
+type FieldRemapper struct {
+	m map[trace.SiteID]*FieldOrder
+}
+
+// FieldRemapper builds the per-site remap lookup.
+func (p *Plan) FieldRemapper() *FieldRemapper {
+	fr := &FieldRemapper{m: make(map[trace.SiteID]*FieldOrder, len(p.Fields))}
+	for i := range p.Fields {
+		fr.m[p.Fields[i].Site] = &p.Fields[i]
+	}
+	return fr
+}
+
+// RemapOffset translates an intra-object offset for an object allocated at
+// site. Offsets in sites without a field order, and accesses that straddle a
+// slot's end, pass through unchanged.
+func (fr *FieldRemapper) RemapOffset(site trace.SiteID, off uint64, size uint32) uint64 {
+	f, ok := fr.m[site]
+	if !ok {
+		return off
+	}
+	if uint64(size) > SlotSize-off%SlotSize {
+		// Straddles slots: moving only part of it would tear the access.
+		return off
+	}
+	return f.Remap(off)
+}

@@ -1,0 +1,234 @@
+package plan
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ormprof/internal/trace"
+)
+
+// samplePlan exercises every section of the format.
+func samplePlan() *Plan {
+	return &Plan{
+		Workload: "181.mcf",
+		Region:   0x7000_0000_0000,
+		Fields: []FieldOrder{
+			{Site: 3, RecordSize: 32, NewOffset: []uint32{24, 0, 8, 16}},
+			{Site: 7, RecordSize: 16, NewOffset: []uint32{8, 0}},
+		},
+		Placements: []ObjectPlacement{
+			{Site: 3, Serial: 0, Size: 32, Addr: 0x7000_0000_0000},
+			{Site: 3, Serial: 2, Size: 32, Addr: 0x7000_0000_0020},
+			{Site: 7, Serial: 1, Size: 16, Addr: 0x7000_0000_0040},
+		},
+		Prefetch: []PrefetchRule{
+			{Instr: 11, Stride: 64, Distance: 16},
+			{Instr: 12, Stride: -32, Distance: 8},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	want := samplePlan()
+	data, err := Encode(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestEmptyPlanRoundTrip(t *testing.T) {
+	want := &Plan{Workload: "empty"}
+	data, err := Encode(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Empty() || got.Workload != "empty" {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	a, err := Encode(samplePlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Encode(samplePlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("two encodes of the same plan differ")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Plan)
+	}{
+		{"unsorted fields", func(p *Plan) { p.Fields[0].Site = 9 }},
+		{"duplicate field site", func(p *Plan) { p.Fields[1].Site = p.Fields[0].Site }},
+		{"record size not slot multiple", func(p *Plan) { p.Fields[0].RecordSize = 30 }},
+		{"slot count mismatch", func(p *Plan) { p.Fields[0].NewOffset = p.Fields[0].NewOffset[:3] }},
+		{"offset out of record", func(p *Plan) { p.Fields[0].NewOffset[0] = 32 }},
+		{"offset unaligned", func(p *Plan) { p.Fields[0].NewOffset[0] = 4 }},
+		{"offset not a permutation", func(p *Plan) { p.Fields[0].NewOffset[0] = 0 }},
+		{"unsorted placements", func(p *Plan) { p.Placements[0].Serial = 5 }},
+		{"duplicate placement", func(p *Plan) { p.Placements[1].Serial = p.Placements[0].Serial }},
+		{"zero-size placement", func(p *Plan) { p.Placements[0].Size = 0 }},
+		{"placement below region", func(p *Plan) { p.Placements[0].Addr = 0x1000 }},
+		{"unsorted prefetch", func(p *Plan) { p.Prefetch[0].Instr = 99 }},
+		{"zero prefetch distance", func(p *Plan) { p.Prefetch[0].Distance = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := samplePlan()
+			tc.mutate(p)
+			if err := p.Validate(); err == nil {
+				t.Error("Validate accepted an invalid plan")
+			}
+			if _, err := Encode(p); err == nil {
+				t.Error("Encode accepted an invalid plan")
+			}
+		})
+	}
+}
+
+func TestCanonicalize(t *testing.T) {
+	p := samplePlan()
+	// Shuffle each section out of order.
+	p.Fields[0], p.Fields[1] = p.Fields[1], p.Fields[0]
+	p.Placements[0], p.Placements[2] = p.Placements[2], p.Placements[0]
+	p.Prefetch[0], p.Prefetch[1] = p.Prefetch[1], p.Prefetch[0]
+	if err := p.Validate(); err == nil {
+		t.Fatal("shuffled plan unexpectedly valid")
+	}
+	p.Canonicalize()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("canonicalized plan invalid: %v", err)
+	}
+	if !reflect.DeepEqual(p, samplePlan()) {
+		t.Error("canonicalize did not restore the canonical order")
+	}
+}
+
+func TestPlacer(t *testing.T) {
+	pl := samplePlan().Placer()
+	if a, ok := pl.Place(3, 0, 32); !ok || a != 0x7000_0000_0000 {
+		t.Errorf("Place(3,0,32) = %#x, %v", uint64(a), ok)
+	}
+	if _, ok := pl.Place(3, 1, 32); ok {
+		t.Error("unplanned serial placed")
+	}
+	// Size mismatch means the plan is stale: decline.
+	if _, ok := pl.Place(3, 0, 48); ok {
+		t.Error("placement accepted despite size mismatch")
+	}
+	if _, ok := pl.Place(99, 0, 32); ok {
+		t.Error("unplanned site placed")
+	}
+}
+
+func TestFieldRemapper(t *testing.T) {
+	fr := samplePlan().FieldRemapper()
+	// Site 3: slot 0 -> offset 24, slot 1 -> 0.
+	if got := fr.RemapOffset(3, 0, 8); got != 24 {
+		t.Errorf("RemapOffset(3, 0) = %d, want 24", got)
+	}
+	if got := fr.RemapOffset(3, 8, 8); got != 0 {
+		t.Errorf("RemapOffset(3, 8) = %d, want 0", got)
+	}
+	// Sub-word access inside a slot keeps its remainder.
+	if got := fr.RemapOffset(3, 10, 2); got != 2 {
+		t.Errorf("RemapOffset(3, 10, 2) = %d, want 2", got)
+	}
+	// Pool object: second record remaps record-wise.
+	if got := fr.RemapOffset(3, 32, 8); got != 32+24 {
+		t.Errorf("RemapOffset(3, 32) = %d, want 56", got)
+	}
+	// Unplanned site passes through.
+	if got := fr.RemapOffset(42, 16, 8); got != 16 {
+		t.Errorf("RemapOffset(42, 16) = %d, want 16", got)
+	}
+	// Straddling access passes through untouched.
+	if got := fr.RemapOffset(3, 4, 8); got != 4 {
+		t.Errorf("straddling RemapOffset(3, 4, 8) = %d, want 4", got)
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.ormplan")
+	want := samplePlan()
+	if err := Save(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("Save/Load mismatch")
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Error("temp file left behind")
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	data, err := Encode(samplePlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"empty", func(b []byte) []byte { return nil }},
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b }},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-3] }},
+		{"payload bit flip", func(b []byte) []byte { b[len(b)-1] ^= 1; return b }},
+		{"trailing garbage", func(b []byte) []byte { return append(b, 0) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.mutate(append([]byte(nil), data...))
+			if _, err := Decode(b); !IsFormat(err) {
+				t.Errorf("Decode = %v, want *FormatError", err)
+			}
+		})
+	}
+}
+
+func TestStaticSitesAllowed(t *testing.T) {
+	// Field orders may cover static sites (>= 1<<24); placements are for
+	// heap objects but the codec itself does not care.
+	p := &Plan{
+		Workload: "w",
+		Fields:   []FieldOrder{{Site: trace.SiteID(1<<24 + 5), RecordSize: 16, NewOffset: []uint32{8, 0}}},
+	}
+	data, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fields[0].Site != trace.SiteID(1<<24+5) {
+		t.Errorf("site = %d", got.Fields[0].Site)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"ormprof/internal/layout"
 	"ormprof/internal/leap"
 	"ormprof/internal/omc"
+	ormplan "ormprof/internal/plan"
 	"ormprof/internal/profiler"
 	"ormprof/internal/stride"
 	"ormprof/internal/trace"
@@ -69,6 +70,32 @@ func (p Plan) Instrs() []trace.InstrID {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
+}
+
+// Footprint reports the plan's memory in bytes (O(1): entry count times
+// entry size), so a governed pipeline can account for it.
+func (p Plan) Footprint() int64 {
+	const entrySize = 4 + 16 + 8 // key + two rule fields + map overhead share
+	return int64(len(p)) * entrySize
+}
+
+// Rules exports the plan as sorted ORMPLAN prefetch rules.
+func (p Plan) Rules() []ormplan.PrefetchRule {
+	out := make([]ormplan.PrefetchRule, 0, len(p))
+	for _, id := range p.Instrs() {
+		r := p[id]
+		out = append(out, ormplan.PrefetchRule{Instr: id, Stride: r.Stride, Distance: r.Distance})
+	}
+	return out
+}
+
+// FromRules rebuilds a plan from serialized ORMPLAN rules.
+func FromRules(rules []ormplan.PrefetchRule) Plan {
+	p := make(Plan, len(rules))
+	for _, r := range rules {
+		p[r.Instr] = Rule{Stride: r.Stride, Distance: r.Distance}
+	}
+	return p
 }
 
 // Result compares demand misses without and with prefetching.

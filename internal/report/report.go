@@ -124,5 +124,19 @@ func BarChart(w io.Writer, labels []string, values []float64, maxWidth int) {
 // Pct formats a percentage with one decimal.
 func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
 
+// Delta formats the relative change from before to after as a signed
+// percentage (negative = reduction), for before/after comparison tables.
+// A zero baseline with a nonzero after has no finite percentage and
+// renders "n/a".
+func Delta(before, after uint64) string {
+	if before == 0 {
+		if after == 0 {
+			return "+0.0%"
+		}
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(float64(after)-float64(before))/float64(before))
+}
+
 // Ratio formats a compression ratio like Table 1 ("3539x").
 func Ratio(v float64) string { return fmt.Sprintf("%.0fx", v) }

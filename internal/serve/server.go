@@ -106,6 +106,18 @@ type sessionState struct {
 	dirty  bool   // frames applied since the last checkpoint
 	active bool   // a connection currently owns this session
 
+	// parting is set (under the server mutex) just before the owning
+	// handler writes its final park checkpoint, and released is closed
+	// when the handler gives the session up. Together they make
+	// parked-session adoption race-free: the checkpoint file is the
+	// client's signal to reconnect, but it becomes visible while the old
+	// handler still owns the session — a reconnect landing in that window
+	// waits for the imminent release instead of bouncing with Retry.
+	// A session that is active and NOT parting is a live duplicate and
+	// still draws Retry.
+	parting  bool
+	released chan struct{}
+
 	// stepReq asks the session's worker to step its ladder down at the
 	// next frame boundary: global load shedding may not touch a ladder
 	// owned by another goroutine directly.
@@ -312,19 +324,45 @@ func heavier(a, b *sessionState) bool {
 	return a.id < b.id
 }
 
+// claim marks st owned by a new connection. Callers hold s.mu.
+func (st *sessionState) claim() {
+	st.active, st.parting = true, false
+	st.released = make(chan struct{})
+}
+
 // resolveSession finds or creates the session state for a Hello,
 // claiming it for this connection. It returns nil if the session is
-// already owned by a live connection.
+// already owned by a live connection; if the owner is parting (winding
+// down after its final checkpoint) it waits for the release and adopts,
+// so a reconnect can never lose the park/adopt race.
 func (s *Server) resolveSession(h *Hello) (*sessionState, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if st, ok := s.sessions[h.SessionID]; ok {
-		if st.active {
-			return nil, nil
+	for {
+		s.mu.Lock()
+		st, ok := s.sessions[h.SessionID]
+		if !ok {
+			break // new or resumed session; s.mu still held
 		}
-		st.active = true
-		return st, nil
+		if !st.active {
+			st.claim()
+			s.mu.Unlock()
+			return st, nil
+		}
+		if !st.parting {
+			s.mu.Unlock()
+			return nil, nil // live duplicate connection: Retry
+		}
+		ch := st.released
+		s.mu.Unlock()
+		select {
+		case <-ch:
+			// The old handler released; loop and claim.
+		case <-s.killCh:
+			return nil, nil
+		case <-time.After(s.cfg.IdleTimeout):
+			return nil, nil // park wedged (disk stall?); client backs off
+		}
 	}
+	defer s.mu.Unlock()
 	if ck, ok := s.resumed[h.SessionID]; ok {
 		delete(s.resumed, h.SessionID)
 		pl, err := pipelineFromState(ck, s.cfg.MaxLMADs, s.govRoot.Sub(s.cfg.SessionMemBudget), s.governed())
@@ -333,7 +371,8 @@ func (s *Server) resolveSession(h *Hello) (*sessionState, error) {
 			// treat it as unusable and restart the session from zero.
 			s.cfg.Logf("session %s: checkpoint unusable (%v), starting fresh", h.SessionID, err)
 		} else {
-			st := &sessionState{id: h.SessionID, pl: pl, acked: ck.FramesApplied, active: true}
+			st := &sessionState{id: h.SessionID, pl: pl, acked: ck.FramesApplied}
+			st.claim()
 			s.sessions[h.SessionID] = st
 			return st, nil
 		}
@@ -342,16 +381,28 @@ func (s *Server) resolveSession(h *Hello) (*sessionState, error) {
 		id: h.SessionID,
 		pl: newPipeline(h.Workload, h.Sites, s.cfg.MaxLMADs,
 			s.govRoot.Sub(s.cfg.SessionMemBudget), sessionSeed(h.SessionID), s.governed()),
-		active: true,
 	}
+	st.claim()
 	s.sessions[h.SessionID] = st
 	return st, nil
 }
 
-// release parks a session after its connection ends.
+// parting marks the session as winding down. It must be called before the
+// final park checkpoint is written: once the checkpoint file is visible, a
+// reconnect may race the release, and the flag routes it to the wait in
+// resolveSession instead of a Retry bounce.
+func (s *Server) markParting(st *sessionState) {
+	s.mu.Lock()
+	st.parting = true
+	s.mu.Unlock()
+}
+
+// release parks a session after its connection ends and wakes any
+// reconnect waiting to adopt it.
 func (s *Server) release(st *sessionState) {
 	s.mu.Lock()
-	st.active = false
+	st.active, st.parting = false, false
+	close(st.released)
 	s.mu.Unlock()
 }
 

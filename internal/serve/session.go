@@ -118,6 +118,10 @@ func (s *Server) runSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, s
 	}()
 
 	park := func() {
+		// Order matters: the checkpoint file is the client's reconnect
+		// signal, so the session must already read as parting (see
+		// resolveSession) by the time the file is visible.
+		s.markParting(st)
 		if st.dirty {
 			s.saveCheckpoint(st)
 		}

@@ -1,0 +1,79 @@
+package workloads
+
+import (
+	"ormprof/internal/memsim"
+	"ormprof/internal/trace"
+)
+
+// Chase is the documented-unimprovable case: pointer chasing over
+// line-sized nodes in a data-dependent order that changes every epoch.
+//
+// Each node is exactly one cache line (64 bytes, line-aligned under both
+// the original allocator and the packed plan region), so any placement maps
+// one node to one line — clustering can only rename lines, never merge
+// them. And because each epoch visits every node exactly once in a fresh
+// pseudo-random permutation (modeling next-pointers recomputed from loaded
+// data), no single ordering of nodes in memory correlates with more than
+// one epoch: first-touch packing optimizes epoch 0's order and is as random
+// as the original layout for every later epoch. With a working set well
+// beyond L1, the miss rate is a function of set sizes alone, which is why
+// `ormprof optimize` measures ~0% improvement here — and should.
+type Chase struct {
+	cfg Config
+	// Nodes is the pool size.
+	Nodes int
+	// Epochs is how many full permutation walks run.
+	Epochs int
+}
+
+// NewChase builds the program with sizes derived from cfg.
+func NewChase(cfg Config) *Chase {
+	cfg = cfg.normalized()
+	return &Chase{cfg: cfg, Nodes: 2048 * cfg.Scale, Epochs: 12}
+}
+
+// Name implements memsim.Program.
+func (c *Chase) Name() string { return "chase" }
+
+// Node layout (64 bytes = one line): 0 value(8) 8 next(8) 16..63 payload.
+const chNodeSize = 64
+
+// Instruction and site IDs.
+const (
+	ChLdValue trace.InstrID = 1 // load node→value
+	ChLdNext  trace.InstrID = 2 // load node→next
+	ChStNext  trace.InstrID = 3 // epoch setup: rewrite node→next
+
+	ChSiteNode trace.SiteID = 90
+)
+
+// Run implements memsim.Program.
+func (c *Chase) Run(m *memsim.Machine) {
+	nodes := make([]trace.Addr, c.Nodes)
+	for i := range nodes {
+		nodes[i] = m.Alloc(ChSiteNode, chNodeSize)
+	}
+
+	rng := uint64(c.cfg.Seed)*0x9e3779b97f4a7c15 + 1
+	perm := make([]int, c.Nodes)
+	for e := 0; e < c.Epochs; e++ {
+		// The program relinks the list into a new data-dependent order
+		// (stores to node→next), then chases it.
+		for i := range perm {
+			perm[i] = i
+		}
+		for i := len(perm) - 1; i > 0; i-- {
+			j := int(advRand(&rng) % uint64(i+1))
+			perm[i], perm[j] = perm[j], perm[i]
+			m.Store(ChStNext, nodes[perm[i]]+8, 8)
+		}
+		for _, idx := range perm {
+			m.Load(ChLdValue, nodes[idx], 8)
+			m.Load(ChLdNext, nodes[idx]+8, 8)
+		}
+	}
+
+	for _, n := range nodes {
+		m.Free(n)
+	}
+}

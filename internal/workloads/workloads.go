@@ -72,10 +72,22 @@ func New(name string, cfg Config) (memsim.Program, error) {
 		return NewLinkedList(cfg), nil
 	case "adversarial":
 		return NewAdversarial(cfg), nil
+	case "hotcold":
+		return NewHotCold(cfg), nil
+	case "chase":
+		return NewChase(cfg), nil
 	default:
 		return nil, fmt.Errorf("workloads: unknown workload %q (known: %v)",
-			name, append(Names(), "183.equake", "linkedlist", "adversarial"))
+			name, append(Names(), "hotcold", "chase", "183.equake", "linkedlist", "adversarial"))
 	}
+}
+
+// OptimizeNames lists the nine workloads the optimization loop is evaluated
+// on: the seven Table 1 benchmarks plus the two layout showcases — hotcold
+// (clustering visibly wins) and chase (provably unimprovable data-dependent
+// chasing).
+func OptimizeNames() []string {
+	return append(Names(), "hotcold", "chase")
 }
 
 // All constructs the seven benchmarks in Table 1 order.
