@@ -40,9 +40,11 @@ test-race: vet
 # truncation, field flip, producer/worker panic, stall + deadline) through
 # the salvage paths, plus the network soak (daemon kill/restart with
 # resume, connection resets, stalled reads, partial writes, refused
-# connections), with goroutine-leak checks. Run this for any change
-# touching the error model, tracefmt resync, the salvage entry points, or
-# the service layer.
+# connections) and the cluster soak (shard and router kill/restart
+# mid-stream with byte-identical merged reports, flapping/slow/partitioned
+# shards), with goroutine-leak checks. Run this for any change touching
+# the error model, tracefmt resync, the salvage entry points, or the
+# service layer.
 test-soak: build
 	$(GO) test -run 'TestSoak' -timeout 600s -v .
 
@@ -79,7 +81,7 @@ test-short:
 #   ...change...
 #   make bench BENCH_OUT=after.txt && benchstat before.txt after.txt
 # To emit benchmark JSON for dashboards: make bench-json (BENCH_hotpath.json).
-BENCH ?= BenchmarkEventLoop|BenchmarkIngestEndToEnd|BenchmarkWorkloadIngest|BenchmarkOptimizePipeline
+BENCH ?= BenchmarkEventLoop|BenchmarkIngestEndToEnd|BenchmarkWorkloadIngest|BenchmarkOptimizePipeline|BenchmarkClusterIngest
 BENCH_COUNT ?= 6
 BENCH_OUT ?= /dev/stdout
 bench:
@@ -118,7 +120,9 @@ vet:
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 
 # Short fuzz pass over every decoder that parses untrusted bytes: the trace
-# reader and the profile/grammar decoders. ~$(FUZZTIME) per target.
+# reader, the profile/grammar decoders, and the ORMP/1 ingest paths (a live
+# server connection, and the router's routing path in front of a live
+# shard). ~$(FUZZTIME) per target.
 fuzz-short:
 	$(GO) test -fuzz='^FuzzReader$$' -fuzztime=$(FUZZTIME) ./internal/tracefmt/
 	$(GO) test -fuzz='^FuzzReaderResync$$' -fuzztime=$(FUZZTIME) ./internal/tracefmt/
@@ -129,3 +133,5 @@ fuzz-short:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/sequitur/
 	$(GO) test -fuzz=FuzzTreeOps -fuzztime=$(FUZZTIME) ./internal/soabtree/
 	$(GO) test -fuzz=FuzzPlanReader -fuzztime=$(FUZZTIME) ./internal/plan/
+	$(GO) test -fuzz='^FuzzSession$$' -fuzztime=$(FUZZTIME) ./internal/serve/
+	$(GO) test -fuzz='^FuzzRouter$$' -fuzztime=$(FUZZTIME) ./internal/serve/

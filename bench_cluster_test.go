@@ -1,0 +1,77 @@
+package ormprof
+
+// Cluster ingest scaling: ≥1000 concurrent sessions pushed through the
+// router into 1, 2, and 4 local shards. The claim under measurement is
+// near-linear ingest scaling with shard count — the router only splices
+// bytes, every shard runs its own sessions, and nothing serializes
+// cross-shard — so sessions/s at 4 shards should approach 4× the
+// single-shard figure (modulo the shared loopback and disk). The
+// maintained numbers live in docs/PERFORMANCE.md.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"ormprof/internal/serve"
+)
+
+func BenchmarkClusterIngest(b *testing.B) {
+	const sessions = 1000
+	frames, sites, _ := netSoakFrames(b, "linkedlist", 256)
+	var payload int64
+	for _, f := range frames {
+		payload += int64(len(f))
+	}
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.SetBytes(payload * sessions)
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				c, err := serve.NewCluster(serve.ClusterConfig{
+					Dir:    b.TempDir(),
+					Shards: shards,
+					// Admission must not throttle the fan-in: the bench
+					// measures ingest scaling, not the retry loop.
+					Shard: serve.Config{MaxSessions: 2 * sessions},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+
+				var wg sync.WaitGroup
+				errs := make(chan error, sessions)
+				for s := 0; s < sessions; s++ {
+					wg.Add(1)
+					go func(s int) {
+						defer wg.Done()
+						if _, err := serve.Push(context.Background(), serve.ClientConfig{
+							Addr:      c.Addr(),
+							SessionID: fmt.Sprintf("bench-%d-%d", i, s),
+							Workload:  "linkedlist", Sites: sites,
+						}, frames); err != nil {
+							errs <- err
+						}
+					}(s)
+				}
+				wg.Wait()
+				close(errs)
+				for err := range errs {
+					b.Fatal(err)
+				}
+
+				b.StopTimer()
+				ctx, cancel := context.WithCancel(context.Background())
+				err = c.Shutdown(ctx)
+				cancel()
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(sessions)*float64(b.N)/b.Elapsed().Seconds(), "sessions/s")
+		})
+	}
+}

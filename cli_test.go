@@ -6,13 +6,16 @@ package ormprof
 // formats) that package-level unit tests cannot see.
 
 import (
+	"bufio"
 	"bytes"
+	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"ormprof/internal/tracefmt"
 )
@@ -255,6 +258,20 @@ func TestCLIFlagValidation(t *testing.T) {
 		{"tracecat", []string{"-mem-budget", "huge"}, "not a size"},
 		{"ormpd", []string{"-mem-budget", "-1"}, "must be non-negative"},
 		{"ormpd", []string{"-global-mem-budget", "lots"}, "not a size"},
+		{"ormpd", []string{"-cluster-mem-budget", "nope"}, "not a size"},
+		// Cluster flag validation: malformed shard lists die at parse time,
+		// cross-flag conflicts die in the same exit-2-plus-usage shape.
+		{"ormpd", []string{"-cluster", "-shards", "a:1,a:1"}, "duplicate element"},
+		{"ormpd", []string{"-cluster", "-shards", "a:1,,b:1"}, "empty element in list"},
+		{"ormpd", []string{"-cluster", "-local-shards", "0"}, "must be at least 1"},
+		{"ormpd", []string{"-cluster", "-local-shards", "two"}, "must be an integer"},
+		{"ormpd", []string{"-cluster"}, "-cluster needs -shards"},
+		{"ormpd", []string{"-shards", "a:1"}, "require -cluster"},
+		{"ormpd", []string{"-local-shards", "2"}, "require -cluster"},
+		{"ormpd", []string{"-cluster", "-shards", "a:1", "-local-shards", "2"}, "mutually exclusive"},
+		{"ormpd", []string{"-cluster", "-local-shards", "2", "-merge", "d1"}, "-merge and -cluster are mutually exclusive"},
+		{"ormpush", []string{"-addrs", "h:1,,h:2"}, "empty element in list"},
+		{"ormpush", []string{"-addrs", "h:1,h:1"}, "duplicate element"},
 	}
 	for _, tc := range cases {
 		bin := filepath.Join(buildTools(t), tc.tool)
@@ -616,4 +633,159 @@ func TestCLIDeadlineExitCode(t *testing.T) {
 
 	// A generous deadline changes nothing: clean exit.
 	runToolExit(t, 0, "whomp", "-replay", clean, "-deadline", "5m")
+}
+
+// TestCLIClusterRoundTrip drives the cluster modes through the real
+// binaries: an all-in-one `ormpd -cluster -local-shards 2` daemon,
+// `ormpush` streaming sessions through its router, a graceful SIGTERM
+// that merges the cluster report, and an offline `ormpd -merge` over the
+// same shard final dirs that must reproduce the report byte-for-byte.
+func TestCLIClusterRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bins := buildTools(t)
+	dir := t.TempDir()
+	clusterDir := filepath.Join(dir, "cluster")
+	reportDir := filepath.Join(dir, "report")
+
+	daemon := exec.Command(filepath.Join(bins, "ormpd"),
+		"-cluster", "-local-shards", "2",
+		"-listen", "127.0.0.1:0",
+		"-checkpoints", clusterDir,
+		"-out", reportDir,
+		"-checkpoint-every", "2")
+	stderr, err := daemon.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer daemon.Process.Kill()
+
+	// The daemon announces its router address (ephemeral port) on stderr.
+	var addr string
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		if _, rest, ok := strings.Cut(sc.Text(), "cluster on "); ok {
+			addr = strings.Fields(rest)[0]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatal("daemon never announced its address")
+	}
+	go io.Copy(io.Discard, stderr) // keep the pipe drained
+
+	for _, session := range []string{"cli-a", "cli-b", "cli-c"} {
+		out := runTool(t, "ormpush",
+			"-addr", addr, "-workload", "linkedlist", "-session", session, "-quiet")
+		wantContains(t, out, "pushed linkedlist")
+	}
+
+	// Graceful shutdown merges the cluster report.
+	if err := daemon.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- daemon.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGINT")
+	}
+	report := make(map[string][]byte)
+	for _, name := range []string{"cluster.leap", "cluster.stride", "cluster.whomp"} {
+		b, err := os.ReadFile(filepath.Join(reportDir, name))
+		if err != nil {
+			t.Fatalf("cluster report: %v", err)
+		}
+		report[name] = b
+	}
+
+	// The offline merge plane over the same shard final dirs reproduces
+	// the report exactly.
+	remergeDir := filepath.Join(dir, "remerge")
+	finals := filepath.Join(clusterDir, "shard0", "final") + "," +
+		filepath.Join(clusterDir, "shard1", "final")
+	out := runTool(t, "ormpd", "-merge", finals, "-out", remergeDir)
+	wantContains(t, out, "merged 3 session(s)")
+	for name, b := range report {
+		got, err := os.ReadFile(filepath.Join(remergeDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, b) {
+			t.Errorf("%s: offline -merge differs from the daemon's shutdown merge", name)
+		}
+	}
+}
+
+// A stock single-node daemon started with -final is a valid cluster
+// shard: its final states feed the offline merge plane. This is the
+// multi-host deployment path, where the shards are not -local-shards.
+func TestCLISingleNodeFinalStates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bins := buildTools(t)
+	dir := t.TempDir()
+	finalDir := filepath.Join(dir, "final")
+
+	daemon := exec.Command(filepath.Join(bins, "ormpd"),
+		"-listen", "127.0.0.1:0",
+		"-checkpoints", filepath.Join(dir, "ckpt"),
+		"-out", filepath.Join(dir, "profiles"),
+		"-final", finalDir)
+	stderr, err := daemon.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer daemon.Process.Kill()
+
+	var addr string
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		if _, rest, ok := strings.Cut(sc.Text(), "listening on "); ok {
+			addr = strings.Fields(rest)[0]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatal("daemon never announced its address")
+	}
+	go io.Copy(io.Discard, stderr)
+
+	out := runTool(t, "ormpush",
+		"-addr", addr, "-workload", "linkedlist", "-session", "solo", "-quiet")
+	wantContains(t, out, "pushed linkedlist")
+
+	// The final state is durable before the client's Bye — no shutdown
+	// needed before merging it.
+	if _, err := os.Stat(filepath.Join(finalDir, "solo.final")); err != nil {
+		t.Fatalf("final state: %v", err)
+	}
+	out = runTool(t, "ormpd", "-merge", finalDir, "-out", filepath.Join(dir, "report"))
+	wantContains(t, out, "merged 1 session(s)")
+
+	if err := daemon.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- daemon.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGINT")
+	}
 }

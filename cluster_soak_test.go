@@ -1,0 +1,468 @@
+package ormprof
+
+// Cluster soak: the sharded ormpd deployment under tier kills and the
+// cluster-specific fault classes. Clients push concurrent sessions
+// through the router while shards and the router itself are killed and
+// restarted mid-stream, flap, crawl, and partition. The contract is the
+// single-node one, lifted a tier: every fault class ends in a clean
+// retry that completes the stream or a typed degraded error — never a
+// hang, a panic, or a goroutine leak — and the merged cluster report is
+// byte-identical to an unfaulted single-shard run, with per-session
+// artifacts byte-identical to the offline reference at every worker
+// count.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"ormprof/internal/faultinject"
+	"ormprof/internal/serve"
+	"ormprof/internal/testutil"
+	"ormprof/internal/trace"
+)
+
+// clusterSessions is the session set every cluster soak pushes: enough
+// that a 3-shard ring puts work on every shard.
+var clusterSessions = []string{"cl-a", "cl-b", "cl-c", "cl-d", "cl-e", "cl-f"}
+
+// pushAll streams the same frames under every session ID concurrently
+// through addr, with a retry budget sized to ride out tier restarts.
+func pushAll(t testing.TB, addr string, sessions []string, frames serve.SliceFrames, sites map[trace.SiteID]string) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make(chan error, len(sessions))
+	for _, s := range sessions {
+		wg.Add(1)
+		go func(session string) {
+			defer wg.Done()
+			_, err := serve.Push(context.Background(), serve.ClientConfig{
+				Addr: addr, SessionID: session, Workload: "linkedlist", Sites: sites,
+				MaxAttempts: 50, BackoffBase: 5 * time.Millisecond, BackoffMax: 50 * time.Millisecond,
+				AttemptTimeout: 5 * time.Second,
+			}, frames)
+			if err != nil {
+				errs <- fmt.Errorf("session %s: %w", session, err)
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// mergedReport shuts the cluster down, merges, and returns the three
+// cluster artifacts.
+func mergedReport(t testing.TB, c *serve.Cluster, wantSessions int) map[string][]byte {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.Shutdown(ctx); err != nil {
+		t.Fatalf("cluster shutdown: %v", err)
+	}
+	outDir := t.TempDir()
+	stats, err := c.Merge(outDir)
+	if err != nil {
+		t.Fatalf("cluster merge: %v", err)
+	}
+	if stats.Sessions != wantSessions || stats.Skipped != 0 {
+		t.Errorf("merge stats = %+v, want %d clean sessions", stats, wantSessions)
+	}
+	out := make(map[string][]byte)
+	for _, name := range []string{"cluster.leap", "cluster.stride", "cluster.whomp"} {
+		b, err := os.ReadFile(filepath.Join(outDir, name))
+		if err != nil {
+			t.Fatalf("cluster artifact %s: %v", name, err)
+		}
+		out[name] = b
+	}
+	return out
+}
+
+// singleShardReference runs the same sessions through an unfaulted
+// 1-shard cluster — the reference every faulted run must match.
+func singleShardReference(t testing.TB, frames serve.SliceFrames, sites map[trace.SiteID]string) map[string][]byte {
+	t.Helper()
+	ref, err := serve.NewCluster(serve.ClusterConfig{Dir: t.TempDir(), Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushAll(t, ref.Addr(), clusterSessions, frames, sites)
+	return mergedReport(t, ref, len(clusterSessions))
+}
+
+// waitForCheckpoint polls until some shard holds a durable checkpoint —
+// the signal that the stream is genuinely mid-flight before a kill.
+func waitForCheckpoint(t testing.TB, c *serve.Cluster) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		for _, final := range c.FinalDirs() {
+			ckDir := filepath.Join(filepath.Dir(final), "ckpt")
+			if ents, err := os.ReadDir(ckDir); err == nil && len(ents) > 0 {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no shard checkpoint appeared before the kill")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSoakClusterShardKillRestart kills one shard of three mid-stream —
+// its sessions' unckeckpointed tail gone, its listener dark — restarts
+// it, and requires every stream to complete and the merged cluster
+// report to be byte-identical to an unfaulted single-shard run, with
+// per-session artifacts matching the offline reference at every worker
+// count.
+func TestSoakClusterShardKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster soak")
+	}
+	testutil.LeakCheck(t)
+	frames, sites, buf := netSoakFrames(t, "linkedlist", 64)
+	want := singleShardReference(t, frames, sites)
+
+	c, err := serve.NewCluster(serve.ClusterConfig{
+		Dir:    t.TempDir(),
+		Shards: 3,
+		Shard:  serve.Config{CheckpointEvery: 2, CheckpointInterval: 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		pushAll(t, c.Addr(), clusterSessions, frames, sites)
+	}()
+
+	waitForCheckpoint(t, c)
+	c.KillShard(0)
+	time.Sleep(20 * time.Millisecond)
+	if err := c.RestartShard(0); err != nil {
+		t.Fatalf("restart shard 0: %v", err)
+	}
+	<-done
+
+	got := mergedReport(t, c, len(clusterSessions))
+	for name, b := range want {
+		if !bytes.Equal(got[name], b) {
+			t.Errorf("%s: killed-and-restarted cluster differs from single-shard run", name)
+		}
+	}
+
+	// Per-session artifacts: every session pushed the same stream, so any
+	// shard's linkedlist profiles must match the offline reference at
+	// every worker count.
+	var artifacts map[string][]byte
+	for _, final := range c.FinalDirs() {
+		outDir := filepath.Join(filepath.Dir(final), "out")
+		if _, err := os.Stat(filepath.Join(outDir, "linkedlist.whomp")); err == nil {
+			artifacts = readProfileArtifacts(t, outDir, "linkedlist")
+			break
+		}
+	}
+	if artifacts == nil {
+		t.Fatal("no shard produced session artifacts")
+	}
+	for _, workers := range []int{1, 2, 8} {
+		ref := offlineReference(t, "linkedlist", buf, sites, workers)
+		for ext, b := range ref {
+			if !bytes.Equal(artifacts[ext], b) {
+				t.Errorf("workers=%d %s: cluster session output differs from offline run", workers, ext)
+			}
+		}
+	}
+}
+
+// TestSoakClusterRouterKillRestart kills the router mid-stream — every
+// in-flight splice resets — restarts it on the same address, and
+// requires the clients' retry loops to carry every stream to completion
+// with the merged report byte-identical to the unfaulted reference.
+func TestSoakClusterRouterKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster soak")
+	}
+	testutil.LeakCheck(t)
+	frames, sites, _ := netSoakFrames(t, "linkedlist", 64)
+	want := singleShardReference(t, frames, sites)
+
+	c, err := serve.NewCluster(serve.ClusterConfig{
+		Dir:    t.TempDir(),
+		Shards: 2,
+		Shard:  serve.Config{CheckpointEvery: 2, CheckpointInterval: 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		pushAll(t, c.Addr(), clusterSessions, frames, sites)
+	}()
+
+	waitForCheckpoint(t, c)
+	c.KillRouter()
+	time.Sleep(50 * time.Millisecond)
+	if err := c.RestartRouter(); err != nil {
+		t.Fatalf("restart router: %v", err)
+	}
+	<-done
+
+	got := mergedReport(t, c, len(clusterSessions))
+	for name, b := range want {
+		if !bytes.Equal(got[name], b) {
+			t.Errorf("%s: router-killed cluster differs from single-shard run", name)
+		}
+	}
+}
+
+// wrapListener applies a conn wrapper to every accepted connection —
+// the hook for per-connection shard faults.
+type wrapListener struct {
+	net.Listener
+	wrap func(net.Conn) net.Conn
+}
+
+func (l *wrapListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.wrap(conn), nil
+}
+
+// shardTier is a hand-built shard+router deployment, used where the
+// fault must be injected into a shard's listener — the Cluster wrapper
+// owns its listeners, so these tests assemble the tiers themselves.
+type shardTier struct {
+	shards  []*netSoakServer
+	outDirs []string
+	router  *serve.Router
+	addr    string
+	done    chan error
+}
+
+func startShardTier(t testing.TB, lns []net.Listener, shardCfg serve.Config) *shardTier {
+	t.Helper()
+	tier := &shardTier{done: make(chan error, 1)}
+	var addrs []string
+	for i, ln := range lns {
+		cfg := shardCfg
+		cfg.CheckpointDir = filepath.Join(t.TempDir(), fmt.Sprintf("ck%d", i))
+		cfg.OutputDir = filepath.Join(t.TempDir(), fmt.Sprintf("out%d", i))
+		srv, err := serve.New(ln, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := &netSoakServer{srv: srv, addr: ln.Addr().String(), done: make(chan error, 1)}
+		go func() { s.done <- srv.Serve() }()
+		tier.shards = append(tier.shards, s)
+		tier.outDirs = append(tier.outDirs, cfg.OutputDir)
+		addrs = append(addrs, s.addr)
+	}
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := serve.NewRouter(rln, serve.RouterConfig{
+		Shards:           addrs,
+		ProbeBackoffBase: 5 * time.Millisecond, ProbeBackoffMax: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier.router, tier.addr = r, rln.Addr().String()
+	go func() { tier.done <- r.Serve() }()
+	return tier
+}
+
+func (tier *shardTier) shutdown(t testing.TB) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := tier.router.Shutdown(ctx); err != nil {
+		t.Errorf("router shutdown: %v", err)
+	}
+	<-tier.done
+	for _, s := range tier.shards {
+		if err := s.srv.Shutdown(ctx); err != nil {
+			t.Errorf("shard shutdown: %v", err)
+		}
+		<-s.done
+	}
+}
+
+// TestSoakClusterFaultClasses drives streams through each cluster fault
+// class. Flapping and partitioned shards must end in clean retries that
+// complete the stream; a slow shard must read as degraded throughput —
+// one attempt, never a failover; a fully dead cluster must end in the
+// typed ExhaustedError. Always without hangs, panics, or leaks.
+func TestSoakClusterFaultClasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster soak")
+	}
+	const workload = "linkedlist"
+	frames, sites, buf := netSoakFrames(t, workload, 64)
+	want := offlineReference(t, workload, buf, sites, 2)
+
+	checkArtifacts := func(t *testing.T, tier *shardTier, session string) {
+		t.Helper()
+		var got map[string][]byte
+		for _, outDir := range tier.outDirs {
+			if _, err := os.Stat(filepath.Join(outDir, workload+".whomp")); err == nil {
+				got = readProfileArtifacts(t, outDir, workload)
+				break
+			}
+		}
+		if got == nil {
+			t.Fatalf("session %s left no artifacts on any shard", session)
+		}
+		for ext, b := range want {
+			if !bytes.Equal(got[ext], b) {
+				t.Errorf("%s: output differs from offline reference", ext)
+			}
+		}
+	}
+
+	t.Run("flapping-shard", func(t *testing.T) {
+		testutil.LeakCheck(t)
+		lnA, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lnB, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Shard A serves one connection then refuses two, forever; the
+		// router's state machine keeps flipping it Down and probing it
+		// back Up, and sessions must complete regardless of which side of
+		// the flap they land on.
+		tier := startShardTier(t, []net.Listener{
+			faultinject.FlappingListener(lnA, 1, 2), lnB,
+		}, serve.Config{CheckpointEvery: 2, CheckpointInterval: 10 * time.Millisecond})
+		pushAll(t, tier.addr, []string{"flap-a", "flap-b", "flap-c", "flap-d"}, frames, sites)
+		tier.shutdown(t)
+		checkArtifacts(t, tier, "flap-a")
+	})
+
+	t.Run("slow-shard", func(t *testing.T) {
+		testutil.LeakCheck(t)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tier := startShardTier(t, []net.Listener{
+			&wrapListener{Listener: ln, wrap: func(c net.Conn) net.Conn {
+				return faultinject.SlowConn(c, time.Millisecond)
+			}},
+		}, serve.Config{CheckpointEvery: 8})
+		stats, err := serve.Push(context.Background(), serve.ClientConfig{
+			Addr: tier.addr, SessionID: "slow", Workload: workload, Sites: sites,
+			MaxAttempts: 3, AttemptTimeout: 30 * time.Second,
+		}, frames)
+		if err != nil {
+			t.Fatalf("push through slow shard: %v", err)
+		}
+		// Slowness is degraded throughput, never death: one attempt, no
+		// failover, no retry.
+		if stats.Attempts != 1 {
+			t.Errorf("slow shard forced %d attempts, want 1 (slowness misread as failure)", stats.Attempts)
+		}
+		tier.shutdown(t)
+		checkArtifacts(t, tier, "slow")
+	})
+
+	t.Run("partitioned-shard", func(t *testing.T) {
+		testutil.LeakCheck(t)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every shard connection black-holes after 8KiB: bytes stop,
+		// nothing closes. The client's attempt timeout is the only escape;
+		// each reconnect resumes from the durable cursor, so the stream
+		// advances partition by partition.
+		tier := startShardTier(t, []net.Listener{
+			&wrapListener{Listener: ln, wrap: func(c net.Conn) net.Conn {
+				return faultinject.PartitionConn(c, 8<<10, 100*time.Millisecond)
+			}},
+		}, serve.Config{
+			CheckpointEvery: 2, CheckpointInterval: 5 * time.Millisecond,
+			IdleTimeout: 250 * time.Millisecond,
+		})
+		stats, err := serve.Push(context.Background(), serve.ClientConfig{
+			Addr: tier.addr, SessionID: "part", Workload: workload, Sites: sites,
+			MaxAttempts: 50, BackoffBase: 5 * time.Millisecond, BackoffMax: 50 * time.Millisecond,
+			AttemptTimeout: 500 * time.Millisecond,
+		}, frames)
+		if err != nil {
+			t.Fatalf("push through partitioned shard: %v", err)
+		}
+		if stats.Attempts < 2 {
+			t.Errorf("partition did not force a retry (%d attempts)", stats.Attempts)
+		}
+		tier.shutdown(t)
+		checkArtifacts(t, tier, "part")
+	})
+
+	t.Run("all-shards-dead", func(t *testing.T) {
+		testutil.LeakCheck(t)
+		// Two dead shard addresses: the router answers every Hello with
+		// Retry, and the client's budget must end it with the typed
+		// degraded error — not a hang.
+		dead := func() string {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			addr := ln.Addr().String()
+			ln.Close()
+			return addr
+		}
+		rln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := serve.NewRouter(rln, serve.RouterConfig{
+			Shards:     []string{dead(), dead()},
+			RetryAfter: time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rdone := make(chan error, 1)
+		go func() { rdone <- r.Serve() }()
+		start := time.Now()
+		_, err = serve.Push(context.Background(), serve.ClientConfig{
+			Addr: rln.Addr().String(), SessionID: "doomed", Workload: workload, Sites: sites,
+			MaxAttempts: 4, BackoffBase: time.Millisecond, BackoffMax: 5 * time.Millisecond,
+			AttemptTimeout: time.Second,
+		}, frames)
+		var ex *serve.ExhaustedError
+		if !errors.As(err, &ex) {
+			t.Fatalf("want ExhaustedError, got %v", err)
+		}
+		if elapsed := time.Since(start); elapsed > 10*time.Second {
+			t.Errorf("exhaustion took %v — backoff runaway", elapsed)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := r.Shutdown(ctx); err != nil {
+			t.Errorf("router shutdown: %v", err)
+		}
+		<-rdone
+	})
+}

@@ -10,6 +10,19 @@
 //
 //	ormpd -listen 127.0.0.1:7417 -checkpoints ck/ -out profiles/ [-resume]
 //
+// Cluster modes (see docs/ARCHITECTURE.md, "Cluster"):
+//
+//	ormpd -cluster -shards 10.0.0.1:7417,10.0.0.2:7417   router tier:
+//	    consistent-hash sessions across the shard list, fail over to ring
+//	    successors when a shard dies, persist reroutes to -routes; the
+//	    shards are plain single-node daemons started with -final so they
+//	    write the merge plane's inputs
+//	ormpd -cluster -local-shards 4                       all-in-one:
+//	    N in-process shards plus a router on -listen; on shutdown the
+//	    shards' results are merged into the cluster report under -out
+//	ormpd -merge shard0/final,shard1/final -out report/  merge plane:
+//	    combine shards' final session states into one cluster report
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: live sessions drain until
 // -drain-timeout, then everything is checkpointed and partial profiles
 // are flushed. Exit codes: 0 clean, 2 if the drain deadline cut sessions
@@ -34,25 +47,49 @@ import (
 func main() {
 	var (
 		listen     = flag.String("listen", "127.0.0.1:7417", "TCP address to listen on")
-		ckDir      = flag.String("checkpoints", "ormpd-checkpoints", "directory for session checkpoints")
-		outDir     = flag.String("out", "ormpd-profiles", "directory for finished profiles")
+		ckDir      = flag.String("checkpoints", "ormpd-checkpoints", "directory for session checkpoints (single-node) or the cluster root (-local-shards)")
+		outDir     = flag.String("out", "ormpd-profiles", "directory for finished profiles (and the cluster report in -local-shards and -merge modes)")
 		resume     = flag.Bool("resume", false, "load existing checkpoints so interrupted sessions continue where they left off")
 		maxSess    = flag.Int("max-sessions", 16, "maximum concurrently connected sessions (excess connections are told to retry)")
 		maxQueued  = flag.Int64("max-queued-bytes", 64<<20, "maximum queued-but-unapplied frame bytes across all sessions before new connections are told to retry")
 		ckEvery    = flag.Int("checkpoint-every", 32, "checkpoint (and acknowledge) after this many frames")
 		ckInterval = flag.Duration("checkpoint-interval", time.Second, "also checkpoint this long after the first unacknowledged frame")
 		idle       = flag.Duration("idle-timeout", 30*time.Second, "disconnect (and checkpoint) a session after this long without a message")
-		retryAfter = flag.Duration("retry-after", 500*time.Millisecond, "retry-after hint sent with admission rejections")
+		retryAfter = flag.Duration("retry-after", serve.DefaultRetryAfter, "retry-after hint sent with admission rejections (the router propagates each shard's own hint and uses this only when a shard never supplied one)")
 		maxLMADs   = flag.Int("max-lmads", 0, "LEAP descriptor budget per stream (0 = paper default)")
+		finalDir   = flag.String("final", "", "directory for completed sessions' final pipeline states — the -merge inputs; set it on shards feeding a remote router (empty = don't write them; -local-shards manages this per shard)")
 		drain      = flag.Duration("drain-timeout", 10*time.Second, "how long a graceful shutdown waits for live sessions to finish")
 		quiet      = flag.Bool("quiet", false, "suppress per-session log lines")
+
+		cluster = flag.Bool("cluster", false, "cluster mode: route to -shards, or run -local-shards in-process shards")
+		routes  = flag.String("routes", "ormpd-router.rtab", "router mode: durable reroute-table path (sessions failed over to a non-primary shard keep landing there across router restarts)")
 	)
+	shards := cliutil.ListFlag(flag.CommandLine, "shards",
+		"router mode (with -cluster): comma-separated backend shard addresses; sessions are consistent-hashed across them")
+	localShards := cliutil.CountFlag(flag.CommandLine, "local-shards", 0, 1,
+		"all-in-one mode (with -cluster): run this many in-process shards behind a router on -listen")
+	mergeDirs := cliutil.ListFlag(flag.CommandLine, "merge",
+		"merge mode: comma-separated shard final-state directories to combine into the cluster report under -out")
 	memBudget := cliutil.SizeFlag(flag.CommandLine, "mem-budget",
 		"per-session memory budget (e.g. 64M); over budget the session's pipeline degrades (0 = unlimited)")
 	globalBudget := cliutil.SizeFlag(flag.CommandLine, "global-mem-budget",
-		"memory budget (e.g. 512M) across all sessions; over its watermark new sessions are told to retry and the heaviest session is stepped down (0 = unlimited)")
+		"memory budget (e.g. 512M) across all sessions of one shard; over its watermark new sessions are told to retry and the heaviest session is stepped down (0 = unlimited)")
+	clusterBudget := cliutil.SizeFlag(flag.CommandLine, "cluster-mem-budget",
+		"memory budget (e.g. 2G) summed across all local shards; over its watermark the heaviest shard sheds first (0 = unlimited)")
 	flag.Parse()
-	cliutil.Fatal("ormpd", run(*listen, serve.Config{
+
+	switch {
+	case *cluster && len(*shards) > 0 && *localShards > 0:
+		usageErr("-shards and -local-shards are mutually exclusive")
+	case *cluster && len(*shards) == 0 && *localShards == 0:
+		usageErr("-cluster needs -shards (router mode) or -local-shards (all-in-one)")
+	case !*cluster && (len(*shards) > 0 || *localShards > 0):
+		usageErr("-shards and -local-shards require -cluster")
+	case len(*mergeDirs) > 0 && *cluster:
+		usageErr("-merge and -cluster are mutually exclusive")
+	}
+
+	cfg := serve.Config{
 		CheckpointDir:      *ckDir,
 		OutputDir:          *outDir,
 		Resume:             *resume,
@@ -63,16 +100,40 @@ func main() {
 		IdleTimeout:        *idle,
 		RetryAfter:         *retryAfter,
 		MaxLMADs:           *maxLMADs,
+		FinalDir:           *finalDir,
 		SessionMemBudget:   *memBudget,
 		GlobalMemBudget:    *globalBudget,
-	}, *drain, *quiet))
+	}
+	switch {
+	case len(*mergeDirs) > 0:
+		cliutil.Fatal("ormpd", runMerge(*mergeDirs, *outDir, *maxLMADs, *quiet))
+	case *cluster && len(*shards) > 0:
+		cliutil.Fatal("ormpd", runRouter(*listen, *shards, *routes, *retryAfter, *drain, *quiet))
+	case *cluster:
+		cliutil.Fatal("ormpd", runLocalCluster(*listen, *localShards, *ckDir, *outDir, cfg, *clusterBudget, *drain, *quiet))
+	default:
+		cliutil.Fatal("ormpd", run(*listen, cfg, *drain, *quiet))
+	}
+}
+
+// usageErr reports a cross-flag conflict the flag package cannot catch in
+// a single Set call, with the same contract as parse-time errors: message
+// and usage on stderr, exit 2, nothing on stdout.
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ormpd: %s\n", fmt.Sprintf(format, args...))
+	flag.Usage()
+	os.Exit(2)
+}
+
+func logfFor(quiet bool) func(string, ...any) {
+	if quiet {
+		return nil
+	}
+	return log.New(os.Stderr, "ormpd: ", log.LstdFlags).Printf
 }
 
 func run(listen string, cfg serve.Config, drain time.Duration, quiet bool) error {
-	if !quiet {
-		logger := log.New(os.Stderr, "ormpd: ", log.LstdFlags)
-		cfg.Logf = logger.Printf
-	}
+	cfg.Logf = logfFor(quiet)
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
@@ -101,4 +162,92 @@ func run(listen string, cfg serve.Config, drain time.Duration, quiet bool) error
 	err = srv.Shutdown(ctx)
 	<-serveErr
 	return err // nil, or DeadlineExceeded (degraded: sessions cut short but durable)
+}
+
+// runRouter is the router tier: consistent-hash sessions across shards,
+// forward ORMP/1 verbatim, fail over when a shard dies.
+func runRouter(listen string, shards []string, routes string, retryAfter, drain time.Duration, quiet bool) error {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	r, err := serve.NewRouter(ln, serve.RouterConfig{
+		Shards:     shards,
+		StatePath:  routes,
+		RetryAfter: retryAfter,
+		Logf:       logfFor(quiet),
+	})
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "ormpd: routing %s across %d shard(s)\n", r.Addr(), len(shards))
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- r.Serve() }()
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-sigCtx.Done():
+	}
+	stop()
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err = r.Shutdown(ctx)
+	<-serveErr
+	return err
+}
+
+// runLocalCluster is the all-in-one deployment: n shards plus a router in
+// this process, with the cluster report merged into outDir on shutdown.
+func runLocalCluster(listen string, n int, dir, outDir string, shard serve.Config, clusterBudget int64, drain time.Duration, quiet bool) error {
+	c, err := serve.NewCluster(serve.ClusterConfig{
+		Dir:              dir,
+		Shards:           n,
+		Shard:            shard,
+		RouterListen:     listen,
+		ClusterMemBudget: clusterBudget,
+		Logf:             logfFor(quiet),
+	})
+	if err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "ormpd: cluster on %s (%d local shards)\n", c.Addr(), n)
+	}
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	<-sigCtx.Done()
+	stop()
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err = c.Shutdown(ctx)
+	stats, merr := c.Merge(outDir)
+	if merr != nil {
+		return merr
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "ormpd: merged %d session(s) into %s (%d degraded, %d skipped)\n",
+			stats.Sessions, outDir, stats.Degraded, stats.Skipped)
+	}
+	return err
+}
+
+// runMerge is the offline merge plane: combine shard final directories
+// into the cluster report.
+func runMerge(dirs []string, outDir string, maxLMADs int, quiet bool) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	stats, err := serve.ClusterReport(dirs, outDir, maxLMADs, logfFor(quiet))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("merged %d session(s) into %s (%d degraded, %d skipped)\n",
+		stats.Sessions, outDir, stats.Degraded, stats.Skipped)
+	return nil
 }

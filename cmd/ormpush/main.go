@@ -36,6 +36,7 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:7417", "ormpd TCP address")
+		addrs    = cliutil.ListFlag(flag.CommandLine, "addrs", "comma-separated ormpd/router addresses; attempts rotate through them, so one router going down costs one retry (overrides -addr)")
 		session  = flag.String("session", "", "session identifier for resume across reconnects and daemon restarts (default: the workload name)")
 		workload = flag.String("workload", "", "run this workload live and push its trace")
 		scale    = flag.Int("scale", 1, "workload scale factor")
@@ -51,7 +52,7 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress per-attempt log lines")
 	)
 	flag.Parse()
-	if err := run(*addr, *session, *workload, workloads.Config{Scale: *scale, Seed: *seed},
+	if err := run(*addr, *addrs, *session, *workload, workloads.Config{Scale: *scale, Seed: *seed},
 		*replay, *batch, *window, *attempt, *retries, *backoff, *backMax, *jitter, *quiet); err != nil {
 		fmt.Fprintf(os.Stderr, "ormpush: %v\n", err)
 		var ex *serve.ExhaustedError
@@ -62,7 +63,7 @@ func main() {
 	}
 }
 
-func run(addr, session, workload string, cfg workloads.Config, replay string,
+func run(addr string, addrs []string, session, workload string, cfg workloads.Config, replay string,
 	batch, window int, attempt time.Duration, retries int,
 	backoff, backMax time.Duration, jitter int64, quiet bool) error {
 	if batch < 1 || batch > tracefmt.MaxBatch {
@@ -83,6 +84,7 @@ func run(addr, session, workload string, cfg workloads.Config, replay string,
 	defer stop()
 	ccfg := serve.ClientConfig{
 		Addr:           addr,
+		Addrs:          addrs,
 		SessionID:      session,
 		Workload:       name,
 		Sites:          sites,

@@ -27,6 +27,7 @@ import (
 	"ormprof/internal/checkpoint"
 	"ormprof/internal/govern"
 	"ormprof/internal/serve"
+	"ormprof/internal/testutil"
 	"ormprof/internal/trace"
 	"ormprof/internal/whomp"
 )
@@ -105,6 +106,9 @@ func calibrateBudgets(t *testing.T, buf *trace.Buffer, sites map[trace.SiteID]st
 // on the expected rung; the tight-budget run also keeps the process's
 // live heap an order of magnitude below the unbounded run's.
 func TestSoakGovernBudgetEnforced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
 	buf, sites, _ := recordWorkload(t, "adversarial")
 	_, budgets := calibrateBudgets(t, buf, sites)
 
@@ -208,7 +212,10 @@ func TestSoakGovernWorkersByteIdentical(t *testing.T) {
 // and must finish on the same rung with final artifacts byte-identical to
 // an uninterrupted governed run of the same session.
 func TestSoakGovernKillRestartMidDegradation(t *testing.T) {
-	soakLeakCheck(t)
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	testutil.LeakCheck(t)
 	const workload = "adversarial"
 	frames, sites, buf := netSoakFrames(t, workload, 256)
 	_, budgets := calibrateBudgets(t, buf, sites)

@@ -199,6 +199,13 @@ func Save(path string, st *State) error {
 	if err != nil {
 		return err
 	}
+	return writeAtomic(path, data)
+}
+
+// writeAtomic commits data to path crash-atomically: tmp + fsync + rename
+// + directory fsync, the same discipline for every durable artifact this
+// package owns (session checkpoints, final states, the router table).
+func writeAtomic(path string, data []byte) error {
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -263,13 +270,32 @@ func (s Skipped) Error() string { return s.Err.Error() }
 // Corrupt or unreadable files are skipped with a typed per-file error, so
 // one damaged checkpoint never blocks resuming the others.
 func LoadDir(dir string) (states map[string]*State, skipped []Skipped, err error) {
+	return loadDirExt(dir, ".ckpt")
+}
+
+// FinalPathFor returns the final-state path for a completed session in
+// dir. A final state is the same container as a live checkpoint, written
+// once when the session completes and never deleted: it is what the
+// cluster merge plane combines (see docs/FORMATS.md, "Final session
+// states").
+func FinalPathFor(dir, sessionID string) string {
+	return filepath.Join(dir, sanitize(sessionID)+".final")
+}
+
+// LoadFinalDir loads every readable final session state in dir, keyed by
+// session ID, with the same skip-don't-block contract as LoadDir.
+func LoadFinalDir(dir string) (states map[string]*State, skipped []Skipped, err error) {
+	return loadDirExt(dir, ".final")
+}
+
+func loadDirExt(dir, ext string) (states map[string]*State, skipped []Skipped, err error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, nil, err
 	}
 	states = make(map[string]*State)
 	for _, e := range entries {
-		if e.IsDir() || filepath.Ext(e.Name()) != ".ckpt" {
+		if e.IsDir() || filepath.Ext(e.Name()) != ext {
 			continue
 		}
 		p := filepath.Join(dir, e.Name())

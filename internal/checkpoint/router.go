@@ -1,0 +1,134 @@
+package checkpoint
+
+// The router's durable cursor state. Where a shard's checkpoint remembers
+// how much of a session's stream is applied, the router's table remembers
+// WHERE each rerouted session's stream lives: a session whose primary
+// shard died is parked on another shard, and a router restart must send
+// its reconnects back to that shard — otherwise the recovered primary
+// would welcome the client at a stale cursor and the stream would be
+// re-sent from scratch (still exact, but a full replay instead of a
+// resume). Only sessions routed off their hash-ring primary appear in the
+// table; the common case persists nothing.
+//
+// On-disk container (see docs/FORMATS.md):
+//
+//	magic   "ORMRTAB" (7 bytes)
+//	version 1 byte (currently 1)
+//	length  8 bytes little-endian: payload byte count
+//	crc     4 bytes little-endian: CRC-32C (Castagnoli) of the payload
+//	payload gob-encoded RouterTable, routes sorted by session ID
+//
+// Writes share Save's crash-atomic discipline, and a torn or bit-flipped
+// table fails the CRC and loads as a *CorruptError — the router treats
+// that as an empty table (every session back to its ring primary), which
+// is always safe.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+)
+
+const (
+	// RouterMagic identifies a router routing-table file.
+	RouterMagic = "ORMRTAB"
+	// RouterVersion is the current table container version.
+	RouterVersion = 1
+	// MaxRouterPayload bounds the table payload so a corrupt header
+	// cannot drive a huge allocation.
+	MaxRouterPayload = 1 << 26
+)
+
+// Route is one session's pinned shard assignment.
+type Route struct {
+	Session string
+	Shard   string
+}
+
+// RouterTable is the router's persisted session→shard assignments.
+type RouterTable struct {
+	Routes []Route // sorted by session ID
+}
+
+// SaveRouterTable atomically writes the session→shard map to path.
+func SaveRouterTable(path string, routes map[string]string) error {
+	tab := RouterTable{Routes: make([]Route, 0, len(routes))}
+	for s, sh := range routes {
+		tab.Routes = append(tab.Routes, Route{Session: s, Shard: sh})
+	}
+	sort.Slice(tab.Routes, func(i, j int) bool { return tab.Routes[i].Session < tab.Routes[j].Session })
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&tab); err != nil {
+		return fmt.Errorf("checkpoint: encode router table: %w", err)
+	}
+	if payload.Len() > MaxRouterPayload {
+		return fmt.Errorf("checkpoint: router table %d bytes exceeds limit %d", payload.Len(), MaxRouterPayload)
+	}
+	out := make([]byte, 0, len(RouterMagic)+1+12+payload.Len())
+	out = append(out, RouterMagic...)
+	out = append(out, RouterVersion)
+	out = binary.LittleEndian.AppendUint64(out, uint64(payload.Len()))
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(payload.Bytes(), crcTable))
+	out = append(out, payload.Bytes()...)
+	return writeAtomic(path, out)
+}
+
+// LoadRouterTable reads and verifies the routing table at path. A missing
+// file returns an error satisfying errors.Is(err, os.ErrNotExist); a
+// damaged file returns a *CorruptError.
+func LoadRouterTable(path string) (map[string]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	data, err := io.ReadAll(io.LimitReader(f, MaxRouterPayload+64))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read %s: %w", path, err)
+	}
+	bad := func(format string, args ...any) (map[string]string, error) {
+		return nil, &CorruptError{Path: path, Reason: fmt.Sprintf(format, args...)}
+	}
+	head := len(RouterMagic) + 1 + 8 + 4
+	if len(data) < head {
+		return bad("file too short (%d bytes)", len(data))
+	}
+	if string(data[:len(RouterMagic)]) != RouterMagic {
+		return bad("bad magic")
+	}
+	if v := data[len(RouterMagic)]; v != RouterVersion {
+		return bad("unsupported version %d", v)
+	}
+	n := binary.LittleEndian.Uint64(data[len(RouterMagic)+1:])
+	if n > MaxRouterPayload {
+		return bad("unreasonable payload length %d", n)
+	}
+	sum := binary.LittleEndian.Uint32(data[len(RouterMagic)+9:])
+	payload := data[head:]
+	if uint64(len(payload)) != n {
+		return bad("payload is %d bytes, header says %d", len(payload), n)
+	}
+	if got := crc32.Checksum(payload, crcTable); got != sum {
+		return bad("payload CRC %#08x, header says %#08x", got, sum)
+	}
+	var tab RouterTable
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&tab); err != nil {
+		return bad("payload does not decode: %v", err)
+	}
+	routes := make(map[string]string, len(tab.Routes))
+	for _, r := range tab.Routes {
+		if r.Session == "" || r.Shard == "" {
+			return bad("route with empty session or shard")
+		}
+		if _, dup := routes[r.Session]; dup {
+			return bad("duplicate route for session %q", r.Session)
+		}
+		routes[r.Session] = r.Shard
+	}
+	return routes, nil
+}

@@ -1,0 +1,75 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestRouterTableRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "router.rtab")
+	routes := map[string]string{
+		"run7":     "10.0.0.2:7417",
+		"soak-kr":  "10.0.0.3:7417",
+		"baseline": "10.0.0.2:7417",
+	}
+	if err := SaveRouterTable(path, routes); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadRouterTable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, routes) {
+		t.Errorf("round trip: got %v want %v", got, routes)
+	}
+
+	// An empty table round-trips too — the common no-reroutes case.
+	if err := SaveRouterTable(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := LoadRouterTable(path); err != nil || len(got) != 0 {
+		t.Errorf("empty table: got %v, %v", got, err)
+	}
+}
+
+func TestRouterTableMissingFile(t *testing.T) {
+	_, err := LoadRouterTable(filepath.Join(t.TempDir(), "absent.rtab"))
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("missing file: got %v, want os.ErrNotExist", err)
+	}
+}
+
+func TestRouterTableCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "router.rtab")
+	if err := SaveRouterTable(path, map[string]string{"s": "h:1"}); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"truncated-header":  good[:len(RouterMagic)+2],
+		"truncated-payload": good[:len(good)-1],
+		"bad-magic":         append([]byte("ORMWRONG"), good[8:]...),
+		"bad-version":       append(append([]byte(RouterMagic), 99), good[len(RouterMagic)+1:]...),
+		"flipped-byte": func() []byte {
+			b := append([]byte(nil), good...)
+			b[len(b)-1] ^= 0xff
+			return b
+		}(),
+	}
+	for name, data := range cases {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadRouterTable(p); !IsCorrupt(err) {
+			t.Errorf("%s: got %v, want *CorruptError", name, err)
+		}
+	}
+}

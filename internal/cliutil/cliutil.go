@@ -71,6 +71,79 @@ func CheckWorkers(n int) error {
 	return nil
 }
 
+// listValue is a self-validating flag.Value for comma-separated lists
+// (shard addresses, merge directories): elements must be non-empty and
+// unique, and a violation is rejected at parse time so the tool fails
+// with usage text and exit 2 before anything runs — a duplicate shard
+// address would silently skew the hash ring, and catching it in Set is
+// the same no-per-main-code discipline as workersValue.
+type listValue []string
+
+func (v *listValue) String() string { return strings.Join(*v, ",") }
+
+func (v *listValue) Set(s string) error {
+	parts := strings.Split(s, ",")
+	seen := make(map[string]bool, len(parts))
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return fmt.Errorf("empty element in list %q", s)
+		}
+		if seen[p] {
+			return fmt.Errorf("duplicate element %q", p)
+		}
+		seen[p] = true
+		out = append(out, p)
+	}
+	*v = out
+	return nil
+}
+
+// ListFlag registers a comma-separated list flag on fs. Empty and
+// duplicate elements are rejected at parse time (usage on stderr, exit 2
+// under flag.ExitOnError). An unset flag yields a nil slice.
+func ListFlag(fs *flag.FlagSet, name, usage string) *[]string {
+	v := listValue(nil)
+	fs.Var(&v, name, usage)
+	return (*[]string)(&v)
+}
+
+// countValue is a self-validating flag.Value for small positive counts
+// (shard counts and the like): integers below min are rejected in Set.
+type countValue struct {
+	p   *int
+	min int
+}
+
+func (v countValue) String() string {
+	if v.p == nil {
+		return "0"
+	}
+	return strconv.Itoa(*v.p)
+}
+
+func (v countValue) Set(s string) error {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return fmt.Errorf("must be an integer (got %q)", s)
+	}
+	if n < v.min {
+		return fmt.Errorf("must be at least %d (got %d)", v.min, n)
+	}
+	*v.p = n
+	return nil
+}
+
+// CountFlag registers an integer flag that must be at least min when set.
+// The default may sit below min (conventionally 0 = "not selected") —
+// the bound applies to explicit values, where 0 would be a typo.
+func CountFlag(fs *flag.FlagSet, name string, def, min int, usage string) *int {
+	n := def
+	fs.Var(countValue{p: &n, min: min}, name, usage)
+	return &n
+}
+
 // TraceFlags holds the record/replay pair every tool exposes, plus the
 // degraded-mode knobs (-lenient, -deadline).
 type TraceFlags struct {

@@ -134,6 +134,112 @@ func (l *refuseListener) Accept() (net.Conn, error) {
 	}
 }
 
+// The cluster fault classes. A sharded ormpd deployment dies in ways a
+// single daemon cannot: a shard can be dead (covered by killing the shard
+// server, plus RefuseListener for never-up), flapping (alternating
+// accept/refuse so the router's failover state machine keeps changing its
+// mind), slow (alive but serving at a crawl, which must read as degraded
+// throughput, never as down), or partitioned (a connection that silently
+// stops passing bytes without closing — the failure mode that only
+// deadlines can detect). All wrappers below are deterministic in their
+// parameters: same schedule, same fault, same position, every run.
+
+// FlappingListener wraps ln so accepted connections cycle deterministically
+// through availability: each period of up+down connections serves the
+// first up normally and closes the next down immediately. up must be at
+// least 1. It is the "flapping shard" fault class: the shard is neither
+// reliably up nor reliably down, and the router must neither wedge on it
+// nor bounce a session forever.
+func FlappingListener(ln net.Listener, up, down int) net.Listener {
+	if up < 1 {
+		panic("faultinject: FlappingListener needs up >= 1")
+	}
+	return &flappingListener{Listener: ln, up: int64(up), period: int64(up + down)}
+}
+
+type flappingListener struct {
+	net.Listener
+	up     int64
+	period int64
+	n      atomic.Int64
+}
+
+func (l *flappingListener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		if (l.n.Add(1)-1)%l.period < l.up {
+			return conn, nil
+		}
+		conn.Close()
+	}
+}
+
+// SlowConn wraps conn so every Read and Write sleeps for d first — a
+// shard that is alive but serving at a crawl. Unlike StallConn the delay
+// is unconditional and bounded, so the peer's deadlines should NOT fire:
+// the contract under test is that slowness degrades throughput without
+// ever being misclassified as death.
+func SlowConn(conn net.Conn, d time.Duration) net.Conn {
+	return &slowConn{Conn: conn, d: d}
+}
+
+type slowConn struct {
+	net.Conn
+	d time.Duration
+}
+
+func (c *slowConn) Read(p []byte) (int, error) {
+	time.Sleep(c.d)
+	return c.Conn.Read(p)
+}
+
+func (c *slowConn) Write(p []byte) (int, error) {
+	time.Sleep(c.d)
+	return c.Conn.Write(p)
+}
+
+// PartitionConn wraps conn so that once n total bytes have crossed it (in
+// either direction) the connection is partitioned: every subsequent Read
+// and Write blocks for d, then fails with ErrInjectedReset. Until the
+// partition trips, traffic flows untouched; after it, nothing crosses and
+// nothing closes — the torn-but-not-closed connection a router or merge
+// reader can only escape via its own deadline or retry budget.
+func PartitionConn(conn net.Conn, n int64, d time.Duration) net.Conn {
+	return &partitionConn{Conn: conn, budget: n, d: d}
+}
+
+type partitionConn struct {
+	net.Conn
+	budget int64
+	d      time.Duration
+	moved  atomic.Int64
+}
+
+func (c *partitionConn) partitioned() bool { return c.moved.Load() >= c.budget }
+
+func (c *partitionConn) Read(p []byte) (int, error) {
+	if c.partitioned() {
+		time.Sleep(c.d)
+		return 0, ErrInjectedReset
+	}
+	n, err := c.Conn.Read(p)
+	c.moved.Add(int64(n))
+	return n, err
+}
+
+func (c *partitionConn) Write(p []byte) (int, error) {
+	if c.partitioned() {
+		time.Sleep(c.d)
+		return 0, ErrInjectedReset
+	}
+	n, err := c.Conn.Write(p)
+	c.moved.Add(int64(n))
+	return n, err
+}
+
 // FaultyDialer composes a dial function whose i-th connection (1-based)
 // is wrapped by wrap(i, conn). It is the hook Push's Dial option wants:
 // schedule a different fault per attempt and the whole scenario stays

@@ -89,3 +89,19 @@ func (b *Budget) Over() bool {
 	}
 	return false
 }
+
+// Heaviest picks which of several accounted parties should shed load
+// first: the one with the largest usage, ties broken toward the smallest
+// index. It is the one shedding order shared by a server choosing among
+// its sessions and a cluster choosing among its shards, so "who degrades"
+// is a deterministic property of the accounted state at every tier, never
+// of goroutine or shard timing. It returns -1 for an empty slice.
+func Heaviest(used []int64) int {
+	best := -1
+	for i, u := range used {
+		if best < 0 || u > used[best] {
+			best = i
+		}
+	}
+	return best
+}

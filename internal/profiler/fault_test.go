@@ -3,40 +3,15 @@ package profiler_test
 import (
 	"context"
 	"errors"
-	"runtime"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"ormprof/internal/profiler"
+	"ormprof/internal/testutil"
 	"ormprof/internal/trace"
 )
-
-// checkNoGoroutineLeak snapshots the goroutine count and, at test end,
-// polls until the count returns to (at most) the baseline or a timeout
-// expires. Polling absorbs goroutines that are mid-exit when the test body
-// returns.
-func checkNoGoroutineLeak(t *testing.T) {
-	t.Helper()
-	base := runtime.NumGoroutine()
-	t.Cleanup(func() {
-		deadline := time.Now().Add(5 * time.Second)
-		for {
-			if n := runtime.NumGoroutine(); n <= base {
-				return
-			}
-			if time.Now().After(deadline) {
-				buf := make([]byte, 1<<20)
-				n := runtime.Stack(buf, true)
-				t.Errorf("goroutine leak: %d goroutines, baseline %d\n%s",
-					runtime.NumGoroutine(), base, buf[:n])
-				return
-			}
-			time.Sleep(5 * time.Millisecond)
-		}
-	})
-}
 
 // panicSCC panics on the Nth consumed record (or on Finish when n < 0).
 type panicSCC struct {
@@ -76,7 +51,7 @@ func feed(s profiler.SCC, n int) {
 }
 
 func TestShardedWorkerPanicContained(t *testing.T) {
-	checkNoGoroutineLeak(t)
+	testutil.LeakCheck(t)
 	var healthy countSCC
 	bad := &panicSCC{n: 10}
 	s := profiler.NewSharded(2, 8, func(r profiler.Record, n int) int {
@@ -111,7 +86,7 @@ func TestShardedWorkerPanicContained(t *testing.T) {
 }
 
 func TestShardedFinishPanicContained(t *testing.T) {
-	checkNoGoroutineLeak(t)
+	testutil.LeakCheck(t)
 	var healthy countSCC
 	s := profiler.NewSharded(2, 8, func(r profiler.Record, n int) int {
 		return int(r.Instr) % n
@@ -132,7 +107,7 @@ func TestShardedFinishPanicContained(t *testing.T) {
 }
 
 func TestBroadcastWorkerPanicContained(t *testing.T) {
-	checkNoGoroutineLeak(t)
+	testutil.LeakCheck(t)
 	var healthy countSCC
 	b := profiler.NewBroadcast(8, &panicSCC{n: 5}, &healthy)
 	feed(b, 10_000)
@@ -149,7 +124,7 @@ func TestBroadcastWorkerPanicContained(t *testing.T) {
 }
 
 func TestShardedCleanRunNoError(t *testing.T) {
-	checkNoGoroutineLeak(t)
+	testutil.LeakCheck(t)
 	var a, b countSCC
 	sccs := []*countSCC{&a, &b}
 	s := profiler.NewSharded(2, 8, func(r profiler.Record, n int) int {
@@ -185,7 +160,7 @@ func (s *stallSCC) Consume(profiler.Record) {
 func (s *stallSCC) Finish() {}
 
 func TestShardedContextCancelUnblocksProducer(t *testing.T) {
-	checkNoGoroutineLeak(t)
+	testutil.LeakCheck(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	stall := newStallSCC()
@@ -216,7 +191,7 @@ func TestShardedContextCancelUnblocksProducer(t *testing.T) {
 }
 
 func TestBroadcastContextDeadline(t *testing.T) {
-	checkNoGoroutineLeak(t)
+	testutil.LeakCheck(t)
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
 	stall := newStallSCC()
@@ -244,7 +219,7 @@ func TestBroadcastContextDeadline(t *testing.T) {
 }
 
 func TestShardedContextAlreadyCancelled(t *testing.T) {
-	checkNoGoroutineLeak(t)
+	testutil.LeakCheck(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	var c countSCC

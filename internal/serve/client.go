@@ -40,6 +40,13 @@ func (s SliceFrames) Frame(i int) ([]byte, error) {
 type ClientConfig struct {
 	// Addr is the server's TCP address (ignored when Dial is set).
 	Addr string
+	// Addrs is an optional address list for clusters with more than one
+	// router: connection attempts rotate through it, so any one router
+	// going down costs the client a single failed attempt, not the
+	// stream. All routers over the same shard list route identically, so
+	// which one answers never affects the profile. Ignored when Dial is
+	// set; takes precedence over Addr.
+	Addrs []string
 	// Dial overrides connection establishment (fault-injection hook).
 	Dial func(ctx context.Context) (net.Conn, error)
 
@@ -98,8 +105,16 @@ func (c *ClientConfig) withDefaults() ClientConfig {
 		out.Logf = func(string, ...any) {}
 	}
 	if out.Dial == nil {
-		addr := out.Addr
+		addrs := out.Addrs
+		if len(addrs) == 0 {
+			addrs = []string{out.Addr}
+		}
+		// Push dials from one goroutine, so a plain counter rotates the
+		// address list deterministically across attempts.
+		attempt := 0
 		out.Dial = func(ctx context.Context) (net.Conn, error) {
+			addr := addrs[attempt%len(addrs)]
+			attempt++
 			var d net.Dialer
 			return d.DialContext(ctx, "tcp", addr)
 		}
@@ -144,12 +159,15 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// backoff computes the delay before attempt number fail (1-based), with
-// exponential growth and ±50% jitter.
-func backoff(cfg *ClientConfig, rng *rand.Rand, fail int) time.Duration {
-	d := cfg.BackoffBase << (fail - 1)
-	if d <= 0 || d > cfg.BackoffMax {
-		d = cfg.BackoffMax
+// backoffDelay computes the delay before attempt number fail (1-based):
+// exponential growth from base, capped at max, with ±50% jitter drawn
+// from rng. It is the one retry schedule in the service layer — the
+// pushing client and the router's shard prober share it, so a seeded rng
+// makes either side's whole retry history reproducible.
+func backoffDelay(base, max time.Duration, rng *rand.Rand, fail int) time.Duration {
+	d := base << (fail - 1)
+	if d <= 0 || d > max {
+		d = max
 	}
 	half := d / 2
 	return half + time.Duration(rng.Int63n(int64(half)+1))
@@ -175,7 +193,7 @@ func Push(ctx context.Context, cfg ClientConfig, src FrameSource) (ClientStats, 
 			return stats, &ExhaustedError{Attempts: stats.Attempts, LastErr: lastErr}
 		}
 		if fails > 0 {
-			if err := sleepCtx(ctx, backoff(&c, rng, fails)); err != nil {
+			if err := sleepCtx(ctx, backoffDelay(c.BackoffBase, c.BackoffMax, rng, fails)); err != nil {
 				return stats, err
 			}
 		}

@@ -1,0 +1,346 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+
+	"ormprof/internal/govern"
+)
+
+// Cluster is the all-in-one deployment: N shard Servers plus a Router,
+// every tier in this process. It exists for two consumers — `ormpd
+// -cluster -local-shards N`, which wants horizontal ingest scaling
+// without multi-host operations, and the fault soaks, which need to kill
+// and restart individual tiers mid-stream and then prove the merged
+// result byte-identical to a single-node run. The multi-host deployment
+// is the same pieces without this wrapper: standalone `ormpd` per shard,
+// `ormpd -cluster -shards ...` for the router, `ormpd -merge` for the
+// report.
+//
+// Governance composes across tiers: ClusterMemBudget is a parent
+// govern.Budget over every shard's accounting root, and when the summed
+// footprint crosses its watermark the heaviest shard — govern.Heaviest
+// over the per-shard accounted bytes, ties to the lowest shard index —
+// is told to shed via its OverBudget hook. Inside that shard the
+// existing heaviest-session machinery picks the victim, so "which
+// session in which shard degrades" is deterministic at both tiers.
+type ClusterConfig struct {
+	// Dir is the cluster's root directory (required). Each shard i keeps
+	// its durable state under Dir/shard<i>/{ckpt,out,final}; the router's
+	// reroute table is Dir/router.rtab.
+	Dir string
+	// Shards is the local shard count. Default 2.
+	Shards int
+	// Shard is the per-shard Config template. CheckpointDir, OutputDir,
+	// FinalDir, Resume, ParentBudget, and OverBudget are derived per
+	// shard and overwritten.
+	Shard Config
+	// Router is the RouterConfig template. Shards and StatePath are
+	// derived and overwritten.
+	Router RouterConfig
+	// RouterListen is the router's listen address. Default 127.0.0.1:0
+	// (an ephemeral port, read back via Addr).
+	RouterListen string
+	// ClusterMemBudget bounds the accounted profiling footprint summed
+	// across every shard (0 = unlimited).
+	ClusterMemBudget int64
+	// Logf, when set, receives cluster lifecycle lines.
+	Logf func(format string, args ...any)
+}
+
+// clusterShard is one shard slot: the address is fixed for the cluster's
+// lifetime (the ring hashes it), the server behind it comes and goes.
+type clusterShard struct {
+	addr string
+	srv  *Server
+	ln   net.Listener
+	done chan struct{} // closed when this server's Serve returns
+}
+
+// Cluster runs the shards and router. All methods are safe to call from
+// test goroutines; the Kill/Restart pairs are the fault hooks.
+type Cluster struct {
+	cfg    ClusterConfig
+	budget *govern.Budget
+	shards []*clusterShard
+
+	routerAddr string
+	router     *Router
+	routerLn   net.Listener
+	routerDone chan struct{}
+}
+
+// NewCluster builds and starts a cluster: every shard listening, router
+// routing. The returned cluster is serving; callers push through Addr().
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("serve: cluster Dir is required")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 2
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	c := &Cluster{
+		cfg:    cfg,
+		budget: govern.NewBudget(cfg.ClusterMemBudget),
+		shards: make([]*clusterShard, cfg.Shards),
+	}
+	for i := range c.shards {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			c.teardown()
+			return nil, fmt.Errorf("serve: cluster shard %d: %w", i, err)
+		}
+		c.shards[i] = &clusterShard{addr: ln.Addr().String()}
+		if err := c.startShard(i, ln, false); err != nil {
+			c.teardown()
+			return nil, err
+		}
+	}
+	if cfg.RouterListen == "" {
+		cfg.RouterListen = "127.0.0.1:0"
+	}
+	c.cfg.RouterListen = cfg.RouterListen
+	rln, err := net.Listen("tcp", cfg.RouterListen)
+	if err != nil {
+		c.teardown()
+		return nil, fmt.Errorf("serve: cluster router: %w", err)
+	}
+	c.routerAddr = rln.Addr().String()
+	if err := c.startRouter(rln); err != nil {
+		c.teardown()
+		return nil, err
+	}
+	return c, nil
+}
+
+// teardown releases whatever NewCluster managed to start.
+func (c *Cluster) teardown() {
+	for _, sh := range c.shards {
+		if sh != nil && sh.srv != nil {
+			sh.srv.Kill()
+			<-sh.done
+		}
+	}
+	if c.router != nil {
+		c.router.Kill()
+		<-c.routerDone
+	}
+}
+
+// shardDirs returns shard i's durable directories.
+func (c *Cluster) shardDirs(i int) (ckpt, out, final string) {
+	root := filepath.Join(c.cfg.Dir, fmt.Sprintf("shard%d", i))
+	return filepath.Join(root, "ckpt"), filepath.Join(root, "out"), filepath.Join(root, "final")
+}
+
+// overBudgetFor builds shard i's OverBudget hook: shed only when the
+// cluster budget is over its watermark AND shard i is currently the
+// heaviest — the same usage-then-lowest-index order at the shard tier
+// that heavier() applies at the session tier.
+func (c *Cluster) overBudgetFor(i int) func() bool {
+	return func() bool {
+		if !c.budget.Over() {
+			return false
+		}
+		used := make([]int64, len(c.shards))
+		for j, sh := range c.shards {
+			if sh.srv != nil {
+				used[j] = sh.srv.GovernedUsed()
+			}
+		}
+		return govern.Heaviest(used) == i
+	}
+}
+
+// startShard creates and serves shard i on ln. resume selects whether the
+// server adopts the shard's durable checkpoints (always true on restart).
+func (c *Cluster) startShard(i int, ln net.Listener, resume bool) error {
+	ckpt, out, final := c.shardDirs(i)
+	cfg := c.cfg.Shard
+	cfg.CheckpointDir = ckpt
+	cfg.OutputDir = out
+	cfg.FinalDir = final
+	cfg.Resume = resume
+	cfg.ParentBudget = c.budget
+	cfg.OverBudget = c.overBudgetFor(i)
+	if cfg.Logf == nil {
+		logf, n := c.cfg.Logf, i
+		cfg.Logf = func(format string, args ...any) {
+			logf("shard %d: "+format, append([]any{n}, args...)...)
+		}
+	}
+	srv, err := New(ln, cfg)
+	if err != nil {
+		ln.Close()
+		return fmt.Errorf("serve: cluster shard %d: %w", i, err)
+	}
+	sh := c.shards[i]
+	sh.srv, sh.ln, sh.done = srv, ln, make(chan struct{})
+	go func(done chan struct{}) {
+		defer close(done)
+		if err := srv.Serve(); err != nil {
+			c.cfg.Logf("shard %d: serve: %v", i, err)
+		}
+	}(sh.done)
+	return nil
+}
+
+// startRouter creates and serves the router on ln.
+func (c *Cluster) startRouter(ln net.Listener) error {
+	cfg := c.cfg.Router
+	cfg.Shards = c.ShardAddrs()
+	cfg.StatePath = filepath.Join(c.cfg.Dir, "router.rtab")
+	if cfg.Logf == nil {
+		logf := c.cfg.Logf
+		cfg.Logf = func(format string, args ...any) {
+			logf("router: "+format, args...)
+		}
+	}
+	r, err := NewRouter(ln, cfg)
+	if err != nil {
+		ln.Close()
+		return fmt.Errorf("serve: cluster router: %w", err)
+	}
+	c.router, c.routerLn, c.routerDone = r, ln, make(chan struct{})
+	go func(done chan struct{}) {
+		defer close(done)
+		if err := r.Serve(); err != nil {
+			c.cfg.Logf("router: serve: %v", err)
+		}
+	}(c.routerDone)
+	return nil
+}
+
+// Addr is the router's address — the only address clients need.
+func (c *Cluster) Addr() string { return c.routerAddr }
+
+// ShardAddrs lists the shard addresses in index order.
+func (c *Cluster) ShardAddrs() []string {
+	out := make([]string, len(c.shards))
+	for i, sh := range c.shards {
+		out[i] = sh.addr
+	}
+	return out
+}
+
+// FinalDirs lists every shard's final-state directory (merge inputs).
+func (c *Cluster) FinalDirs() []string {
+	out := make([]string, len(c.shards))
+	for i := range c.shards {
+		_, _, out[i] = c.shardDirs(i)
+	}
+	return out
+}
+
+// KillShard crashes shard i: listener and connections drop, everything
+// not durably checkpointed is discarded, and the shard's accounted
+// footprint is returned to the cluster budget (the memory really is
+// gone — the process state died with the server).
+func (c *Cluster) KillShard(i int) {
+	sh := c.shards[i]
+	if sh.srv == nil {
+		return
+	}
+	used := sh.srv.GovernedUsed()
+	sh.srv.Kill()
+	<-sh.done
+	if used != 0 {
+		c.budget.Add(-used)
+	}
+	sh.srv, sh.ln = nil, nil
+	c.cfg.Logf("shard %d: killed", i)
+}
+
+// RestartShard brings shard i back on its original address, resuming
+// from its durable checkpoints — the cluster analogue of a crashed
+// ormpd coming back with -resume.
+func (c *Cluster) RestartShard(i int) error {
+	sh := c.shards[i]
+	if sh.srv != nil {
+		return fmt.Errorf("serve: cluster shard %d is running", i)
+	}
+	ln, err := net.Listen("tcp", sh.addr)
+	if err != nil {
+		return fmt.Errorf("serve: cluster shard %d: relisten: %w", i, err)
+	}
+	if err := c.startShard(i, ln, true); err != nil {
+		return err
+	}
+	c.cfg.Logf("shard %d: restarted", i)
+	return nil
+}
+
+// KillRouter crashes the router. In-flight splices drop (clients see a
+// reset and retry); shards keep running untouched.
+func (c *Cluster) KillRouter() {
+	if c.router == nil {
+		return
+	}
+	c.router.Kill()
+	<-c.routerDone
+	c.router, c.routerLn = nil, nil
+	c.cfg.Logf("router: killed")
+}
+
+// RestartRouter brings the router back on its original address. Reroutes
+// survive exactly as far as the durable table made them: a rerouted
+// session keeps landing on the shard that holds its cursor.
+func (c *Cluster) RestartRouter() error {
+	if c.router != nil {
+		return fmt.Errorf("serve: cluster router is running")
+	}
+	ln, err := net.Listen("tcp", c.routerAddr)
+	if err != nil {
+		return fmt.Errorf("serve: cluster router: relisten: %w", err)
+	}
+	if err := c.startRouter(ln); err != nil {
+		return err
+	}
+	c.cfg.Logf("router: restarted")
+	return nil
+}
+
+// Shutdown drains the cluster: router first (no new sessions), then
+// every running shard, each within what remains of ctx.
+func (c *Cluster) Shutdown(ctx context.Context) error {
+	var first error
+	if c.router != nil {
+		if err := c.router.Shutdown(ctx); err != nil && first == nil {
+			first = err
+		}
+		<-c.routerDone
+		c.router = nil
+	}
+	for i, sh := range c.shards {
+		if sh.srv == nil {
+			continue
+		}
+		if err := sh.srv.Shutdown(ctx); err != nil && first == nil {
+			first = fmt.Errorf("shard %d: %w", i, err)
+		}
+		<-sh.done
+		sh.srv = nil
+	}
+	return first
+}
+
+// Merge combines every shard's final session states into the cluster
+// report under outDir (see ClusterReport).
+func (c *Cluster) Merge(outDir string) (*ClusterStats, error) {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: merge: %w", err)
+	}
+	var dirs []string
+	for _, d := range c.FinalDirs() {
+		if _, err := os.Stat(d); err == nil {
+			dirs = append(dirs, d)
+		}
+	}
+	return ClusterReport(dirs, outDir, c.cfg.Shard.MaxLMADs, c.cfg.Logf)
+}

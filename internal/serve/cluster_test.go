@@ -1,0 +1,558 @@
+package serve
+
+// Unit tests for the cluster tier: the consistent-hash ring, the shard
+// failover state machine, the routing path (verbatim relay, reroute on a
+// dead shard, retry-hint propagation, durable reroute table), and the
+// merge plane's shard-count invariance. The root-level cluster soak
+// (cluster_soak_test.go) covers kill/restart under live streams; these
+// tests pin the pieces in isolation.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ormprof/internal/checkpoint"
+	"ormprof/internal/testutil"
+)
+
+// ringSeq renders a session's failover order as addresses, which is
+// comparable across rings built from differently-ordered shard lists.
+func ringSeq(r *ring, session string) []string {
+	var out []string
+	for _, i := range r.order(session) {
+		out = append(out, r.addrs[i])
+	}
+	return out
+}
+
+func TestRingDeterministicAssignment(t *testing.T) {
+	addrs := []string{"h1:7417", "h2:7417", "h3:7417", "h4:7417"}
+	r1, err := newRing(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same shard set, different list order: assignment must not change,
+	// because every router replica derives the ring from its own flag
+	// order and they must all agree.
+	r2, err := newRing([]string{"h3:7417", "h1:7417", "h4:7417", "h2:7417"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	primaries := make(map[string]int)
+	for i := 0; i < 1000; i++ {
+		s := fmt.Sprintf("session-%d", i)
+		seq := ringSeq(r1, s)
+		if len(seq) != len(addrs) {
+			t.Fatalf("order(%q) covers %d shards, want %d", s, len(seq), len(addrs))
+		}
+		seen := make(map[string]bool)
+		for _, a := range seq {
+			if seen[a] {
+				t.Fatalf("order(%q) repeats shard %s", s, a)
+			}
+			seen[a] = true
+		}
+		if got, want := ringSeq(r2, s), seq; !reflect.DeepEqual(got, want) {
+			t.Fatalf("order(%q) depends on shard list order: %v vs %v", s, got, want)
+		}
+		primaries[seq[0]]++
+	}
+	for _, a := range addrs {
+		if primaries[a] == 0 {
+			t.Errorf("shard %s is primary for no session out of 1000", a)
+		}
+	}
+}
+
+func TestRingRejectsBadShardLists(t *testing.T) {
+	for name, addrs := range map[string][]string{
+		"empty-list": {},
+		"empty-addr": {"h1:7417", ""},
+		"duplicate":  {"h1:7417", "h2:7417", "h1:7417"},
+	} {
+		if _, err := newRing(addrs); err == nil {
+			t.Errorf("%s: newRing(%v) succeeded, want error", name, addrs)
+		}
+	}
+}
+
+func TestHealthStateMachine(t *testing.T) {
+	testutil.LeakCheck(t)
+	var healed atomic.Bool
+	h := newHealth([]string{"a", "b"}, healthConfig{
+		probeBase: 2 * time.Millisecond, probeMax: 10 * time.Millisecond,
+	})
+	h.probe = func(addr string) error {
+		if healed.Load() {
+			return nil
+		}
+		return errors.New("still dead")
+	}
+	h.start()
+	defer h.stop()
+
+	if !h.up("a") || !h.up("b") {
+		t.Fatal("fresh shards must start Up")
+	}
+	h.markFailure("a", errors.New("dial refused"))
+	if h.up("a") {
+		t.Error("typed failure did not take shard a down")
+	}
+	if h.up("b") == false {
+		t.Error("failure on a took b down too")
+	}
+	if got := h.downShards(); len(got) != 1 || got[0] != "a" {
+		t.Errorf("downShards = %v, want [a]", got)
+	}
+
+	// Retry hints are per-shard and independent of up/down.
+	h.noteRetryHint("a", 42*time.Millisecond)
+	if got := h.retryHint("a"); got != 42*time.Millisecond {
+		t.Errorf("retryHint(a) = %v, want 42ms", got)
+	}
+	if got := h.retryHint("b"); got != 0 {
+		t.Errorf("retryHint(b) = %v, want 0 (never hinted)", got)
+	}
+
+	// While probes keep failing the shard stays down; once they succeed
+	// the probe loop brings it back Up on its own.
+	time.Sleep(20 * time.Millisecond)
+	if h.up("a") {
+		t.Error("shard recovered while probes still fail")
+	}
+	healed.Store(true)
+	deadline := time.Now().Add(5 * time.Second)
+	for !h.up("a") {
+		if time.Now().After(deadline) {
+			t.Fatal("shard a never probed back Up")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := h.downShards(); len(got) != 0 {
+		t.Errorf("downShards after recovery = %v, want none", got)
+	}
+}
+
+// routerHarness is a Router serving on an ephemeral port.
+type routerHarness struct {
+	r    *Router
+	addr string
+	done chan error
+}
+
+func startRouter(t *testing.T, cfg RouterConfig) *routerHarness {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRouter(ln, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &routerHarness{r: r, addr: ln.Addr().String(), done: make(chan error, 1)}
+	go func() { h.done <- r.Serve() }()
+	return h
+}
+
+func (h *routerHarness) shutdown(t *testing.T) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := h.r.Shutdown(ctx); err != nil {
+		t.Errorf("router shutdown: %v", err)
+	}
+	if err := <-h.done; err != nil {
+		t.Errorf("router serve: %v", err)
+	}
+}
+
+// deadAddr reserves a loopback address and immediately frees it, so
+// dialing it fails fast with a refusal — a shard that is down.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// sessionWithPrimary searches for a session ID whose ring primary is the
+// given address, so failover tests pick their victim deterministically.
+func sessionWithPrimary(t *testing.T, shards []string, primary string) string {
+	t.Helper()
+	rg, err := newRing(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10_000; i++ {
+		s := fmt.Sprintf("victim-%d", i)
+		if rg.primary(s) == primary {
+			return s
+		}
+	}
+	t.Fatalf("no session found with primary %s", primary)
+	return ""
+}
+
+// TestRouterReroutesDeadPrimary: the session's primary shard is down; the
+// router must mark it Down after the typed dial failure, land the session
+// on the next shard in its ring order, and record the reroute durably.
+func TestRouterReroutesDeadPrimary(t *testing.T) {
+	testutil.LeakCheck(t)
+	frames, sites, _ := makeFrames(t, "linkedlist", 256)
+	live := startServer(t, Config{FinalDir: filepath.Join(t.TempDir(), "final")})
+	dead := deadAddr(t)
+	shards := []string{dead, live.addr}
+	session := sessionWithPrimary(t, shards, dead)
+
+	statePath := filepath.Join(t.TempDir(), "router.rtab")
+	// Long probe backoff: the dead shard must stay down for the test.
+	rh := startRouter(t, RouterConfig{
+		Shards: shards, StatePath: statePath,
+		ProbeBackoffBase: time.Hour, ProbeBackoffMax: time.Hour,
+	})
+
+	stats, err := Push(context.Background(), ClientConfig{
+		Addr: rh.addr, SessionID: session, Workload: "linkedlist", Sites: sites,
+	}, frames)
+	if err != nil {
+		t.Fatalf("push through router with dead primary: %v", err)
+	}
+	if stats.FramesAcked != len(frames) {
+		t.Errorf("acked %d of %d frames", stats.FramesAcked, len(frames))
+	}
+	if got := rh.r.health.downShards(); len(got) != 1 || got[0] != dead {
+		t.Errorf("downShards = %v, want [%s]", got, dead)
+	}
+
+	// The reroute is pinned in memory and durable on disk.
+	rh.r.mu.Lock()
+	pinned := rh.r.routes[session]
+	rh.r.mu.Unlock()
+	if pinned != live.addr {
+		t.Errorf("session pinned to %q, want %q", pinned, live.addr)
+	}
+	routes, err := checkpoint.LoadRouterTable(statePath)
+	if err != nil {
+		t.Fatalf("load persisted reroute table: %v", err)
+	}
+	if routes[session] != live.addr {
+		t.Errorf("persisted route = %q, want %q", routes[session], live.addr)
+	}
+
+	// A new router given the same state file adopts the pin.
+	rh.shutdown(t)
+	rh2 := startRouter(t, RouterConfig{
+		Shards: shards, StatePath: statePath,
+		ProbeBackoffBase: time.Hour, ProbeBackoffMax: time.Hour,
+	})
+	rh2.r.mu.Lock()
+	adopted := rh2.r.routes[session]
+	rh2.r.mu.Unlock()
+	if adopted != live.addr {
+		t.Errorf("restarted router adopted route %q, want %q", adopted, live.addr)
+	}
+	rh2.shutdown(t)
+	live.shutdown(t)
+}
+
+// TestRouterOnPrimaryPersistsNothing: the common case — session lands on
+// its ring primary — must leave no reroute table behind.
+func TestRouterOnPrimaryPersistsNothing(t *testing.T) {
+	testutil.LeakCheck(t)
+	frames, sites, _ := makeFrames(t, "linkedlist", 256)
+	live := startServer(t, Config{})
+	shards := []string{live.addr}
+	statePath := filepath.Join(t.TempDir(), "router.rtab")
+	rh := startRouter(t, RouterConfig{Shards: shards, StatePath: statePath})
+	if _, err := Push(context.Background(), ClientConfig{
+		Addr: rh.addr, SessionID: "home", Workload: "linkedlist", Sites: sites,
+	}, frames); err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	if _, err := os.Stat(statePath); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("on-primary session persisted a reroute table: %v", err)
+	}
+	rh.shutdown(t)
+	live.shutdown(t)
+}
+
+// TestRouterDiscardsCorruptStateTable: a damaged reroute table must not
+// stop the router — primary routing is always safe — and must not crash.
+func TestRouterDiscardsCorruptStateTable(t *testing.T) {
+	testutil.LeakCheck(t)
+	statePath := filepath.Join(t.TempDir(), "router.rtab")
+	if err := os.WriteFile(statePath, []byte("ORMRTAB\x01garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rh := startRouter(t, RouterConfig{Shards: []string{deadAddr(t)}, StatePath: statePath})
+	rh.r.mu.Lock()
+	n := len(rh.r.routes)
+	rh.r.mu.Unlock()
+	if n != 0 {
+		t.Errorf("corrupt table produced %d routes, want 0", n)
+	}
+	rh.shutdown(t)
+}
+
+// rawHello dials addr and performs the preamble+Hello exchange by hand,
+// returning the first reply message.
+func rawHello(t *testing.T, addr, session string) (MsgType, []byte, net.Conn) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := bufio.NewWriter(conn)
+	bw.WriteString(ProtoMagic)
+	writeMsg(bw, MsgHello, encodeHello(&Hello{SessionID: session, Workload: "linkedlist"}))
+	if err := bw.Flush(); err != nil {
+		conn.Close()
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	mt, body, err := readMsg(bufio.NewReader(conn))
+	if err != nil {
+		conn.Close()
+		t.Fatal(err)
+	}
+	return mt, body, conn
+}
+
+// TestRouterPropagatesShardRetryHint: a shard's own Retry (admission
+// control) is relayed verbatim; after the shard dies, the router keeps
+// answering for it with the shard's last self-reported hint rather than
+// the router's generic fallback.
+func TestRouterPropagatesShardRetryHint(t *testing.T) {
+	testutil.LeakCheck(t)
+	const shardHint = 123 * time.Millisecond
+	shard := startServer(t, Config{MaxSessions: 1, RetryAfter: shardHint})
+	rh := startRouter(t, RouterConfig{
+		Shards: []string{shard.addr}, RetryAfter: 777 * time.Millisecond,
+		ProbeBackoffBase: time.Hour, ProbeBackoffMax: time.Hour,
+	})
+
+	// Occupy the shard's only session slot directly.
+	mt, _, occupier := rawHello(t, shard.addr, "occupier")
+	if mt != MsgWelcome {
+		t.Fatalf("occupier handshake: got %v, want Welcome", mt)
+	}
+	defer occupier.Close()
+
+	// Admission refusal through the router: the shard's Retry, verbatim.
+	mt, body, conn := rawHello(t, rh.addr, "overflow")
+	conn.Close()
+	if mt != MsgRetry {
+		t.Fatalf("through-router admission: got %v, want Retry", mt)
+	}
+	if ms, err := parseUvarintBody(mt, body); err != nil || time.Duration(ms)*time.Millisecond != shardHint {
+		t.Errorf("relayed hint = %dms (%v), want %v", ms, err, shardHint)
+	}
+
+	// Kill the shard. The next Hello fails its dial, the shard goes Down,
+	// and the router refuses on its behalf — with the shard's hint.
+	occupier.Close()
+	shard.srv.Kill()
+	<-shard.done
+	mt, body, conn = rawHello(t, rh.addr, "after-death")
+	conn.Close()
+	if mt != MsgRetry {
+		t.Fatalf("dead-shard refusal: got %v, want Retry", mt)
+	}
+	if ms, err := parseUvarintBody(mt, body); err != nil || time.Duration(ms)*time.Millisecond != shardHint {
+		t.Errorf("dead-shard hint = %dms (%v), want the shard's own %v", ms, err, shardHint)
+	}
+	rh.shutdown(t)
+}
+
+// TestRouterRefuseFallbackHint: when no shard ever supplied a hint, the
+// router's configured RetryAfter is what clients see.
+func TestRouterRefuseFallbackHint(t *testing.T) {
+	testutil.LeakCheck(t)
+	const fallback = 77 * time.Millisecond
+	rh := startRouter(t, RouterConfig{
+		Shards: []string{deadAddr(t)}, RetryAfter: fallback,
+		ProbeBackoffBase: time.Hour, ProbeBackoffMax: time.Hour,
+	})
+	mt, body, conn := rawHello(t, rh.addr, "nobody-home")
+	conn.Close()
+	if mt != MsgRetry {
+		t.Fatalf("got %v, want Retry", mt)
+	}
+	if ms, err := parseUvarintBody(mt, body); err != nil || time.Duration(ms)*time.Millisecond != fallback {
+		t.Errorf("fallback hint = %dms (%v), want %v", ms, err, fallback)
+	}
+	rh.shutdown(t)
+}
+
+// TestClusterReportShardCountInvariant is the merge plane's core claim in
+// unit form: the same completed sessions produce byte-identical cluster
+// artifacts whether they were ingested by one shard or three.
+func TestClusterReportShardCountInvariant(t *testing.T) {
+	testutil.LeakCheck(t)
+	frames, sites, _ := makeFrames(t, "linkedlist", 256)
+	sessions := []string{"alpha", "beta", "gamma", "delta"}
+
+	run := func(shards int) map[string][]byte {
+		t.Helper()
+		c, err := NewCluster(ClusterConfig{Dir: t.TempDir(), Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range sessions {
+			if _, err := Push(context.Background(), ClientConfig{
+				Addr: c.Addr(), SessionID: s, Workload: "linkedlist", Sites: sites,
+			}, frames); err != nil {
+				t.Fatalf("shards=%d session %s: %v", shards, s, err)
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := c.Shutdown(ctx); err != nil {
+			t.Fatalf("shards=%d shutdown: %v", shards, err)
+		}
+		outDir := t.TempDir()
+		stats, err := c.Merge(outDir)
+		if err != nil {
+			t.Fatalf("shards=%d merge: %v", shards, err)
+		}
+		if stats.Sessions != len(sessions) || stats.Degraded != 0 || stats.Skipped != 0 {
+			t.Errorf("shards=%d stats = %+v, want %d clean sessions", shards, stats, len(sessions))
+		}
+		out := make(map[string][]byte)
+		for _, name := range []string{"cluster.leap", "cluster.stride", "cluster.whomp"} {
+			b, err := os.ReadFile(filepath.Join(outDir, name))
+			if err != nil {
+				t.Fatalf("shards=%d: %v", shards, err)
+			}
+			out[name] = b
+		}
+		return out
+	}
+
+	one := run(1)
+	three := run(3)
+	for name, want := range one {
+		if !bytes.Equal(three[name], want) {
+			t.Errorf("%s: 3-shard cluster report differs from 1-shard", name)
+		}
+	}
+}
+
+// TestMergeDuplicateSessionTyped: the same session completed on two
+// shards breaks the disjoint-union premise and must surface as the typed
+// *MergeError, never a silently merged report.
+func TestMergeDuplicateSessionTyped(t *testing.T) {
+	testutil.LeakCheck(t)
+	frames, sites, _ := makeFrames(t, "linkedlist", 256)
+	finalDir := filepath.Join(t.TempDir(), "final")
+	ts := startServer(t, Config{FinalDir: finalDir})
+	if _, err := Push(context.Background(), ClientConfig{
+		Addr: ts.addr, SessionID: "dup", Workload: "linkedlist", Sites: sites,
+	}, frames); err != nil {
+		t.Fatal(err)
+	}
+	ts.shutdown(t)
+
+	b, err := os.ReadFile(checkpoint.FinalPathFor(finalDir, "dup"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirA, dirB := t.TempDir(), t.TempDir()
+	for _, d := range []string{dirA, dirB} {
+		if err := os.WriteFile(checkpoint.FinalPathFor(d, "dup"), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err = ClusterReport([]string{dirA, dirB}, t.TempDir(), 0, nil)
+	var me *MergeError
+	if !errors.As(err, &me) {
+		t.Fatalf("want *MergeError, got %v", err)
+	}
+	if me.Session != "dup" {
+		t.Errorf("MergeError.Session = %q, want dup", me.Session)
+	}
+}
+
+// TestMergeSkipsCorruptFinalState: a damaged final file is skipped with a
+// count, like resume treats damaged checkpoints — never a failed merge.
+func TestMergeSkipsCorruptFinalState(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(checkpoint.FinalPathFor(dir, "broken"), []byte("not a container"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ClusterReport([]string{dir}, t.TempDir(), 0, nil)
+	if err != nil {
+		t.Fatalf("merge over corrupt final: %v", err)
+	}
+	if stats.Skipped != 1 || stats.Sessions != 0 {
+		t.Errorf("stats = %+v, want 1 skipped, 0 sessions", stats)
+	}
+}
+
+// FuzzRouter throws arbitrary bytes at the routing path — the only bytes
+// the router itself interprets. The invariant matches FuzzSession's:
+// never a panic, never a leaked goroutine, always a settled connection,
+// whether the bytes die in the preamble, the Hello, or past the splice.
+func FuzzRouter(f *testing.F) {
+	frames, _, _ := makeFrames(f, "linkedlist", 256)
+	hello := encodeHello(&Hello{SessionID: "fz", Workload: "w"})
+
+	var valid bytes.Buffer
+	valid.WriteString(ProtoMagic)
+	writeMsg(&valid, MsgHello, hello)
+
+	f.Add([]byte{})                             // nothing at all
+	f.Add([]byte("GET / HTTP/1.1"))             // wrong protocol entirely
+	f.Add([]byte("ORMP\x02"))                   // wrong version byte
+	f.Add(valid.Bytes())                        // clean handshake, then EOF
+	f.Add(valid.Bytes()[:len(valid.Bytes())-3]) // truncated Hello
+	// Oversized length prefix: claims a body far beyond MaxBody.
+	f.Add(append([]byte(ProtoMagic), byte(MsgHello), 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f))
+	// Hello that parses, then garbage where frames should be — this one
+	// crosses into the splice and the shard is the one that objects.
+	var g bytes.Buffer
+	g.Write(valid.Bytes())
+	writeMsg(&g, MsgFrame, encodeFrameMsg(0, frames[0]))
+	g.WriteString("\xde\xad\xbe\xef not a message")
+	f.Add(g.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		testutil.LeakCheck(t)
+		shard := startServer(t, Config{
+			IdleTimeout: 250 * time.Millisecond, RetryAfter: time.Millisecond,
+		})
+		rh := startRouter(t, RouterConfig{
+			Shards: []string{shard.addr}, HelloTimeout: 2 * time.Second,
+		})
+		conn, err := net.Dial("tcp", rh.addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.Write(data)
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		br := bufio.NewReader(conn)
+		for {
+			if _, _, err := readMsg(br); err != nil {
+				break
+			}
+		}
+		conn.Close()
+		rh.shutdown(t)
+		shard.shutdown(t)
+	})
+}

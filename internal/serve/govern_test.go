@@ -21,6 +21,7 @@ import (
 
 	"ormprof/internal/checkpoint"
 	"ormprof/internal/govern"
+	"ormprof/internal/testutil"
 )
 
 // newBareServer builds a Server without running its accept loop, for
@@ -71,7 +72,7 @@ func govReport(t *testing.T, dir, workload string) (mode string, steps int, raw 
 // the ladder instead of growing without bound; the push still completes,
 // and the .govern artifact records which mode produced the output.
 func TestSessionBudgetDegrades(t *testing.T) {
-	leakCheck(t)
+	testutil.LeakCheck(t)
 	frames, sites, _ := makeFrames(t, "linkedlist", 256)
 	ts := startServer(t, Config{SessionMemBudget: 16 << 10})
 	stats, err := Push(t.Context(), ClientConfig{
@@ -166,7 +167,7 @@ func TestGlobalSheddingDeterministic(t *testing.T) {
 // holds the global budget over its watermark even after shedding, new
 // sessions get Retry instead of Welcome.
 func TestAdmissionRejectedOverGlobalWatermark(t *testing.T) {
-	leakCheck(t)
+	testutil.LeakCheck(t)
 	frames, sites, _ := makeFrames(t, "linkedlist", 128)
 	ts := startServer(t, Config{GlobalMemBudget: 1, CheckpointEvery: 1, RetryAfter: 7 * time.Millisecond})
 	defer ts.shutdown(t)
@@ -310,7 +311,7 @@ func compareDirs(t *testing.T, d1, d2 string) {
 // files are reported (typed, per file), skipped, and do not stop the
 // server from resuming healthy sessions or serving fresh ones.
 func TestResumeSkipsCorruptCheckpoints(t *testing.T) {
-	leakCheck(t)
+	testutil.LeakCheck(t)
 	frames, sites, events := makeFrames(t, "linkedlist", 128)
 	ckDir := t.TempDir()
 
@@ -450,7 +451,7 @@ func FuzzSession(f *testing.F) {
 	f.Add(h.Bytes())
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		leakCheck(t)
+		testutil.LeakCheck(t)
 		ts := startServer(t, Config{
 			IdleTimeout: 250 * time.Millisecond, RetryAfter: time.Millisecond,
 		})

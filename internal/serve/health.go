@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// The shard failover state machine. Each shard is Up or Down; nothing
+// in between, because the router must make a routing decision on every
+// Hello and a three-valued answer just moves the coin flip somewhere
+// less testable.
+//
+//	Up   --typed failure (dial error, reset before first reply)--> Down
+//	Down --successful probe--> Up
+//
+// A Down shard is probed on a capped exponential backoff with seeded
+// jitter — ormpush's retry schedule (backoffDelay), reused verbatim, so a
+// fixed ProbeJitterSeed reproduces the router's whole recovery history.
+// Slow shards and shards answering Retry are NOT failures: slowness is
+// degraded throughput and Retry is the shard's own admission control
+// talking, and marking either down would turn load into outage.
+type shardHealth struct {
+	down      bool
+	fails     int           // consecutive failed probes since going down
+	nextProbe time.Time     // earliest next probe while down
+	lastErr   error         // the typed failure that took the shard down
+	retryHint time.Duration // last Retry-after hint this shard itself sent
+}
+
+// healthConfig parameterizes the prober; zero values select defaults.
+type healthConfig struct {
+	probeBase   time.Duration // first-retry probe delay (default 100ms)
+	probeMax    time.Duration // probe backoff cap (default 2s)
+	probeJitter int64         // jitter seed (default 1)
+	dialTimeout time.Duration // probe dial budget (default 1s)
+	logf        func(format string, args ...any)
+}
+
+func (c *healthConfig) withDefaults() healthConfig {
+	out := *c
+	if out.probeBase <= 0 {
+		out.probeBase = 100 * time.Millisecond
+	}
+	if out.probeMax <= 0 {
+		out.probeMax = 2 * time.Second
+	}
+	if out.probeJitter == 0 {
+		out.probeJitter = 1
+	}
+	if out.dialTimeout <= 0 {
+		out.dialTimeout = time.Second
+	}
+	if out.logf == nil {
+		out.logf = func(string, ...any) {}
+	}
+	return out
+}
+
+// health tracks every shard's state and runs the probe loop.
+type health struct {
+	cfg    healthConfig
+	probe  func(addr string) error // dial-and-close by default; test hook
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	rng    *rand.Rand // jitter source, guarded by mu
+	shards map[string]*shardHealth
+}
+
+func newHealth(addrs []string, cfg healthConfig) *health {
+	c := cfg.withDefaults()
+	h := &health{
+		cfg:    c,
+		stopCh: make(chan struct{}),
+		rng:    rand.New(rand.NewSource(c.probeJitter)),
+		shards: make(map[string]*shardHealth, len(addrs)),
+	}
+	for _, a := range addrs {
+		h.shards[a] = &shardHealth{}
+	}
+	h.probe = func(addr string) error {
+		conn, err := net.DialTimeout("tcp", addr, c.dialTimeout)
+		if err != nil {
+			return err
+		}
+		conn.Close()
+		return nil
+	}
+	return h
+}
+
+// start launches the probe loop; stop terminates it and waits.
+func (h *health) start() {
+	h.wg.Add(1)
+	go h.probeLoop()
+}
+
+func (h *health) stop() {
+	close(h.stopCh)
+	h.wg.Wait()
+}
+
+// up reports whether the shard is currently routable.
+func (h *health) up(addr string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.shards[addr]
+	return st != nil && !st.down
+}
+
+// markFailure records a typed routing failure against the shard,
+// transitioning Up→Down. Failures against an already-Down shard are the
+// probe loop's business, not the router's, and are ignored here.
+func (h *health) markFailure(addr string, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.shards[addr]
+	if st == nil || st.down {
+		return
+	}
+	st.down = true
+	st.fails = 1
+	st.lastErr = err
+	st.nextProbe = time.Now().Add(backoffDelay(h.cfg.probeBase, h.cfg.probeMax, h.rng, 1))
+	h.cfg.logf("shard %s: marked down: %v", addr, err)
+}
+
+// noteRetryHint remembers the shard's own most recent Retry-after hint,
+// observed while relaying its admission responses. The router propagates
+// it when it must refuse on the shard's behalf (see Router.refuse).
+func (h *health) noteRetryHint(addr string, d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if st := h.shards[addr]; st != nil && d > 0 {
+		st.retryHint = d
+	}
+}
+
+// retryHint returns the shard's last self-reported Retry-after, or 0.
+func (h *health) retryHint(addr string) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if st := h.shards[addr]; st != nil {
+		return st.retryHint
+	}
+	return 0
+}
+
+// downShards returns the addresses currently marked down (for logs/tests).
+func (h *health) downShards() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []string
+	for a, st := range h.shards {
+		if st.down {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// probeLoop re-checks Down shards on their backoff schedule until stop.
+func (h *health) probeLoop() {
+	defer h.wg.Done()
+	tick := time.NewTicker(h.cfg.probeBase / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-h.stopCh:
+			return
+		case <-tick.C:
+		}
+		for _, addr := range h.dueProbes() {
+			err := h.probe(addr)
+			h.mu.Lock()
+			st := h.shards[addr]
+			if st == nil || !st.down {
+				h.mu.Unlock()
+				continue
+			}
+			if err == nil {
+				st.down = false
+				st.fails = 0
+				st.lastErr = nil
+				h.cfg.logf("shard %s: back up", addr)
+			} else {
+				st.fails++
+				st.lastErr = err
+				st.nextProbe = time.Now().Add(backoffDelay(h.cfg.probeBase, h.cfg.probeMax, h.rng, st.fails))
+			}
+			h.mu.Unlock()
+		}
+	}
+}
+
+// dueProbes lists Down shards whose backoff has elapsed.
+func (h *health) dueProbes() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	now := time.Now()
+	var out []string
+	for a, st := range h.shards {
+		if st.down && !now.Before(st.nextProbe) {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"path/filepath"
+	"sort"
+
+	"ormprof/internal/checkpoint"
+	"ormprof/internal/govern"
+	"ormprof/internal/leap"
+	"ormprof/internal/stride"
+)
+
+// The cluster merge plane. Each shard writes every completed session's
+// final durable state (ORMCKPT, <session>.final) before the session's
+// Bye; the merge plane loads those states across all shards and combines
+// them into one cluster-level report. Merging states rather than text
+// profiles is what makes the result byte-identical regardless of shard
+// count: a final state reconstructs the session's pipelines losslessly,
+// sessions are processed in sorted-session-ID order, and every combining
+// operation (leap.Merge, stride histogram addition) is deterministic
+// under that order — so one shard or eight, kill/restart or clean run,
+// the same set of completed sessions produces the same bytes.
+//
+// Cross-shard object-relative merging is exactly the paper's §1 claim in
+// distributed form: streams keyed by (instruction, allocation-site
+// group) combine across machines that never shared an address space.
+
+// MergeError is the typed failure of the merge plane. The only
+// structural failure is a session appearing in more than one shard's
+// final directory: that can only happen if two shards both completed the
+// same session, which breaks the disjoint-union premise and must not be
+// papered over by picking one.
+type MergeError struct {
+	Session string
+	DirA    string
+	DirB    string
+}
+
+func (e *MergeError) Error() string {
+	return fmt.Sprintf("serve: session %q completed on two shards (%s and %s)", e.Session, e.DirA, e.DirB)
+}
+
+// ClusterStats summarizes one merge run.
+type ClusterStats struct {
+	Sessions int // final states merged
+	Degraded int // sessions whose ladder ended below the sampled rung
+	Skipped  int // unreadable/corrupt final files, logged and skipped
+}
+
+// sessionFinal is one loaded final state plus where it came from.
+type sessionFinal struct {
+	state *checkpoint.State
+	dir   string
+}
+
+// ClusterReport merges the final session states found in dirs and writes
+// the cluster report into outDir:
+//
+//	cluster.leap   — leap.Merge over every session's LEAP profile, in
+//	                 sorted-session order (the ORMLEAP binary format)
+//	cluster.stride — the merged lossless stride histograms against the
+//	                 merged-LEAP estimate, via WriteStrideReport
+//	cluster.whomp  — a deterministic per-session summary table (WHOMP
+//	                 grammars are per-timeline and do not merge; the
+//	                 per-session .whomp artifacts remain the real output)
+//
+// Corrupt or unreadable final files are skipped with a log line, exactly
+// like resume treats damaged checkpoints; a session present in two dirs
+// is a *MergeError. maxLMADs ≤ 0 selects the paper default.
+func ClusterReport(dirs []string, outDir string, maxLMADs int, logf func(string, ...any)) (*ClusterStats, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	finals := make(map[string]sessionFinal)
+	stats := &ClusterStats{}
+	for _, dir := range dirs {
+		states, skipped, err := checkpoint.LoadFinalDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("serve: merge: %w", err)
+		}
+		for _, sk := range skipped {
+			stats.Skipped++
+			logf("merge: skipping unusable final state %s: %v", sk.Path, sk.Err)
+		}
+		for id, st := range states {
+			if prev, ok := finals[id]; ok {
+				return nil, &MergeError{Session: id, DirA: prev.dir, DirB: dir}
+			}
+			finals[id] = sessionFinal{state: st, dir: dir}
+		}
+	}
+	ids := make([]string, 0, len(finals))
+	for id := range finals {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	type row struct {
+		id, workload, rung      string
+		frames, events, records uint64
+		objects, symbols        int
+	}
+	var (
+		rows   []row
+		lps    []*leap.Profile
+		merged = stride.NewIdeal()
+	)
+	for _, id := range ids {
+		st := finals[id].state
+		pl, err := pipelineFromState(st, maxLMADs, govern.NewBudget(0), false)
+		if err != nil {
+			// Decoded but does not reconstruct: same contract as resume —
+			// skip it rather than poison the whole report.
+			stats.Skipped++
+			logf("merge: session %s: final state unusable: %v", id, err)
+			continue
+		}
+		stats.Sessions++
+		r := row{
+			id:       id,
+			workload: st.Workload,
+			rung:     pl.lad.Rung().String(),
+			frames:   st.FramesApplied,
+			events:   st.EventsApplied,
+		}
+		if m := pl.fullMode(); m != nil {
+			wp, lp, ideal := m.profiles(st.Workload)
+			r.records = wp.Records
+			r.objects = wp.Objects.NumObjects()
+			r.symbols = wp.Symbols()
+			lps = append(lps, lp)
+			merged.Merge(ideal)
+		} else {
+			stats.Degraded++
+		}
+		rows = append(rows, r)
+	}
+
+	mergedLeap := leap.Merge(lps...)
+	if err := writeArtifact(filepath.Join(outDir, "cluster.leap"), func(w *bufio.Writer) error {
+		_, err := mergedLeap.WriteTo(w)
+		return err
+	}); err != nil {
+		return nil, fmt.Errorf("serve: merge: write cluster LEAP profile: %w", err)
+	}
+	if err := writeArtifact(filepath.Join(outDir, "cluster.stride"), func(w *bufio.Writer) error {
+		return WriteStrideReport(w, merged.StronglyStrided(), stride.FromLEAP(mergedLeap))
+	}); err != nil {
+		return nil, fmt.Errorf("serve: merge: write cluster stride report: %w", err)
+	}
+	if err := writeArtifact(filepath.Join(outDir, "cluster.whomp"), func(w *bufio.Writer) error {
+		fmt.Fprintf(w, "# cluster whomp summary\n")
+		fmt.Fprintf(w, "sessions %d\n", len(rows))
+		for _, r := range rows {
+			fmt.Fprintf(w, "session %s workload %s rung %s frames %d events %d records %d objects %d symbols %d\n",
+				r.id, sanitizeName(r.workload), r.rung, r.frames, r.events, r.records, r.objects, r.symbols)
+		}
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("serve: merge: write cluster whomp summary: %w", err)
+	}
+	return stats, nil
+}

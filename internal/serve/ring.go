@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is the cluster's consistent-hash ring: session IDs map to shard
+// addresses through a fixed set of virtual points, so adding or removing
+// one shard moves only ~1/N of the sessions and — just as important here —
+// every router instance, restarted or not, computes the same assignment
+// from nothing but the shard list. Determinism over cleverness: the hash
+// is FNV-1a, the points are "addr#replica", and ties cannot occur because
+// point collisions are resolved by address order at build time.
+type ring struct {
+	points []ringPoint // sorted by hash
+	addrs  []string    // the distinct shard addresses, in given order
+}
+
+type ringPoint struct {
+	hash uint64
+	addr int // index into addrs
+}
+
+// ringReplicas is the virtual-node count per shard. 64 keeps the
+// assignment spread within a few percent of even for single-digit shard
+// counts without making ring construction measurable.
+const ringReplicas = 64
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// newRing builds a ring over the given shard addresses. Addresses must be
+// non-empty and unique.
+func newRing(addrs []string) (*ring, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("serve: cluster needs at least one shard")
+	}
+	seen := make(map[string]bool, len(addrs))
+	r := &ring{addrs: append([]string(nil), addrs...)}
+	for i, a := range addrs {
+		if a == "" {
+			return nil, fmt.Errorf("serve: empty shard address")
+		}
+		if seen[a] {
+			return nil, fmt.Errorf("serve: duplicate shard address %q", a)
+		}
+		seen[a] = true
+		for rep := 0; rep < ringReplicas; rep++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", a, rep)), addr: i})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A 64-bit collision between virtual points: break the tie by
+		// address order so every build of the same list sorts identically.
+		return r.points[i].addr < r.points[j].addr
+	})
+	return r, nil
+}
+
+// order returns the session's full failover order: every shard index,
+// starting at the session's primary and continuing around the ring in
+// successor order. The first entry is the primary; a router that finds it
+// down tries the rest in sequence, so "which shard adopts an orphaned
+// session" is as deterministic as the primary assignment itself.
+func (r *ring) order(session string) []int {
+	h := hash64(session)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]int, 0, len(r.addrs))
+	seen := make(map[int]bool, len(r.addrs))
+	for i := 0; i < len(r.points) && len(out) < len(r.addrs); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.addr] {
+			seen[p.addr] = true
+			out = append(out, p.addr)
+		}
+	}
+	return out
+}
+
+// primary returns the session's home shard address.
+func (r *ring) primary(session string) string {
+	return r.addrs[r.order(session)[0]]
+}

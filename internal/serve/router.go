@@ -1,0 +1,452 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"ormprof/internal/checkpoint"
+)
+
+// RouterConfig configures a Router. Zero values select the documented
+// defaults.
+type RouterConfig struct {
+	// Shards is the backend shard address list (required, unique,
+	// non-empty). Ring assignment is a pure function of this list, so
+	// every router replica given the same list routes identically.
+	Shards []string
+
+	// StatePath, when set, persists the session→shard reroute table
+	// (ORMRTAB, see internal/checkpoint) so a restarted router keeps
+	// sending a failed-over session to the shard that holds its durable
+	// cursor instead of bouncing it back to a recovered primary.
+	StatePath string
+
+	// RetryAfter is the backoff hint the router sends when it must refuse
+	// a connection itself (no live shard reachable) and the target shard
+	// has never supplied its own hint. Default DefaultRetryAfter. When the
+	// shard HAS told the router its retry-after — in a Retry the router
+	// relayed earlier — that hint is propagated instead of this one.
+	RetryAfter time.Duration
+	// DialTimeout bounds each backend dial. Default 2s.
+	DialTimeout time.Duration
+	// HelloTimeout bounds reading the client's preamble+Hello and the
+	// shard's first reply. Default 10s.
+	HelloTimeout time.Duration
+
+	// ProbeBackoffBase, ProbeBackoffMax, and ProbeJitterSeed shape the
+	// down-shard probe schedule (ormpush's backoff machinery, reused).
+	// Defaults 100ms, 2s, seed 1.
+	ProbeBackoffBase time.Duration
+	ProbeBackoffMax  time.Duration
+	ProbeJitterSeed  int64
+
+	// Logf, when set, receives one line per routing event.
+	Logf func(format string, args ...any)
+}
+
+func (c *RouterConfig) withDefaults() RouterConfig {
+	out := *c
+	if out.RetryAfter <= 0 {
+		out.RetryAfter = DefaultRetryAfter
+	}
+	if out.DialTimeout <= 0 {
+		out.DialTimeout = 2 * time.Second
+	}
+	if out.HelloTimeout <= 0 {
+		out.HelloTimeout = 10 * time.Second
+	}
+	if out.Logf == nil {
+		out.Logf = func(string, ...any) {}
+	}
+	return out
+}
+
+// Router is the cluster's ingest tier: it terminates nothing. Each client
+// connection's preamble and Hello are parsed once — only to learn the
+// session ID — then forwarded byte-for-byte to the shard the consistent-
+// hash ring (or the reroute table) names, and from there the connection
+// is a verbatim bidirectional splice: the shard speaks ORMP/1 to the
+// client exactly as if it were listening itself. All session state,
+// checkpointing, and acknowledgement semantics stay in the shard, so
+// Ack == durable holds end-to-end through the router unchanged.
+//
+// Failover: a typed failure reaching a shard (dial error, death before
+// its first reply) marks it Down; sessions whose shard is Down are routed
+// to the next live shard in their ring order and the reroute is recorded
+// (and persisted when StatePath is set). Down shards are probed back to
+// Up on a capped exponential backoff with seeded jitter. A shard that is
+// merely slow, or answering Retry, is never marked Down.
+type Router struct {
+	cfg    RouterConfig
+	ln     net.Listener
+	ring   *ring
+	health *health
+
+	mu       sync.Mutex
+	routes   map[string]string // session → shard, only when off-primary
+	conns    map[net.Conn]struct{}
+	draining bool
+	killed   bool
+	killCh   chan struct{}
+
+	wg sync.WaitGroup
+}
+
+// NewRouter creates a Router listening on ln, routing to cfg.Shards. With
+// cfg.StatePath set, a readable reroute table is loaded; a corrupt table
+// is discarded (primary routing is always safe) with a log line.
+func NewRouter(ln net.Listener, cfg RouterConfig) (*Router, error) {
+	c := cfg.withDefaults()
+	rg, err := newRing(c.Shards)
+	if err != nil {
+		return nil, err
+	}
+	r := &Router{
+		cfg:    c,
+		ln:     ln,
+		ring:   rg,
+		routes: make(map[string]string),
+		conns:  make(map[net.Conn]struct{}),
+		killCh: make(chan struct{}),
+	}
+	r.health = newHealth(c.Shards, healthConfig{
+		probeBase:   c.ProbeBackoffBase,
+		probeMax:    c.ProbeBackoffMax,
+		probeJitter: c.ProbeJitterSeed,
+		dialTimeout: c.DialTimeout,
+		logf:        c.Logf,
+	})
+	if c.StatePath != "" {
+		routes, err := checkpoint.LoadRouterTable(c.StatePath)
+		switch {
+		case err == nil:
+			valid := make(map[string]bool, len(c.Shards))
+			for _, a := range c.Shards {
+				valid[a] = true
+			}
+			for s, sh := range routes {
+				if valid[sh] {
+					r.routes[s] = sh
+				}
+			}
+			c.Logf("router: restored %d reroute(s)", len(r.routes))
+		case errors.Is(err, os.ErrNotExist):
+		case checkpoint.IsCorrupt(err):
+			c.Logf("router: discarding corrupt reroute table: %v", err)
+		default:
+			return nil, fmt.Errorf("serve: router state: %w", err)
+		}
+	}
+	r.health.start()
+	return r, nil
+}
+
+// Addr returns the listener address.
+func (r *Router) Addr() net.Addr { return r.ln.Addr() }
+
+// Serve accepts and routes connections until the listener closes.
+func (r *Router) Serve() error {
+	for {
+		conn, err := r.ln.Accept()
+		if err != nil {
+			r.mu.Lock()
+			closing := r.draining || r.killed
+			r.mu.Unlock()
+			if closing {
+				return nil
+			}
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		r.mu.Lock()
+		if r.draining || r.killed {
+			r.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		r.conns[conn] = struct{}{}
+		r.mu.Unlock()
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			r.route(conn)
+		}()
+	}
+}
+
+// Shutdown stops accepting and waits for in-flight connections to finish
+// their splices, force-closing them when ctx expires.
+func (r *Router) Shutdown(ctx context.Context) error {
+	r.mu.Lock()
+	if r.draining || r.killed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.draining = true
+	r.mu.Unlock()
+	r.ln.Close()
+	done := make(chan struct{})
+	go func() {
+		r.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		r.closeConns()
+		<-done
+		err = ctx.Err()
+	}
+	r.health.stop()
+	return err
+}
+
+// Kill simulates a router crash: listener and all spliced connections
+// close immediately. The reroute table survives only as far as StatePath
+// made it durable — which is the point of StatePath.
+func (r *Router) Kill() {
+	r.mu.Lock()
+	if r.killed {
+		r.mu.Unlock()
+		return
+	}
+	r.killed = true
+	close(r.killCh)
+	r.mu.Unlock()
+	r.ln.Close()
+	r.closeConns()
+	r.wg.Wait()
+	r.health.stop()
+}
+
+func (r *Router) closeConns() {
+	r.mu.Lock()
+	for c := range r.conns {
+		c.Close()
+	}
+	r.mu.Unlock()
+}
+
+func (r *Router) dropConn(conn net.Conn) {
+	r.mu.Lock()
+	delete(r.conns, conn)
+	r.mu.Unlock()
+	conn.Close()
+}
+
+// candidates returns the shard addresses to try for a session, in order:
+// its pinned reroute first (if still live), then its ring order with Down
+// shards filtered out.
+func (r *Router) candidates(session string) []string {
+	var out []string
+	seen := make(map[string]bool)
+	r.mu.Lock()
+	pinned, hasPin := r.routes[session]
+	r.mu.Unlock()
+	if hasPin && r.health.up(pinned) {
+		out = append(out, pinned)
+		seen[pinned] = true
+	}
+	for _, i := range r.ring.order(session) {
+		a := r.ring.addrs[i]
+		if !seen[a] && r.health.up(a) {
+			out = append(out, a)
+			seen[a] = true
+		}
+	}
+	return out
+}
+
+// commit records where a session actually landed. Off-primary placements
+// are pinned (and persisted); a session back on its primary drops its pin.
+func (r *Router) commit(session, addr string) {
+	primary := r.ring.primary(session)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	prev, had := r.routes[session]
+	switch {
+	case addr == primary && had:
+		delete(r.routes, session)
+	case addr != primary && (!had || prev != addr):
+		r.routes[session] = addr
+	default:
+		return
+	}
+	if r.cfg.StatePath != "" {
+		if err := checkpoint.SaveRouterTable(r.cfg.StatePath, r.routes); err != nil {
+			r.cfg.Logf("router: persist reroute table: %v", err)
+		}
+	}
+}
+
+// refuse answers the client with Retry, propagating the named shard's own
+// most recent retry-after hint when one is known and falling back to the
+// router's configured hint only when the shard has never supplied one.
+func (r *Router) refuse(conn net.Conn, bw *bufio.Writer, shard string) {
+	hint := time.Duration(0)
+	if shard != "" {
+		hint = r.health.retryHint(shard)
+	}
+	if hint <= 0 {
+		hint = r.cfg.RetryAfter
+	}
+	conn.SetWriteDeadline(time.Now().Add(r.cfg.HelloTimeout))
+	writeMsg(bw, MsgRetry, uvarintBody(uint64(hint.Milliseconds())))
+	bw.Flush()
+}
+
+// route handles one client connection end to end.
+func (r *Router) route(client net.Conn) {
+	defer r.dropConn(client)
+	br := bufio.NewReader(client)
+	bw := bufio.NewWriter(client)
+
+	// The routing path: the only bytes the router interprets.
+	client.SetReadDeadline(time.Now().Add(r.cfg.HelloTimeout))
+	if err := readPreamble(br); err != nil {
+		return
+	}
+	mt, rawHello, body, err := readRawMsg(br)
+	if err != nil || mt != MsgHello {
+		return
+	}
+	hello, err := decodeHello(body)
+	if err != nil {
+		client.SetWriteDeadline(time.Now().Add(r.cfg.HelloTimeout))
+		writeMsg(bw, MsgErr, []byte(err.Error()))
+		bw.Flush()
+		return
+	}
+
+	cands := r.candidates(hello.SessionID)
+	if len(cands) == 0 {
+		r.cfg.Logf("session %s: no live shard", hello.SessionID)
+		r.refuse(client, bw, r.ring.primary(hello.SessionID))
+		return
+	}
+	for _, addr := range cands {
+		if r.routeTo(client, br, bw, hello.SessionID, rawHello, addr) {
+			return
+		}
+		// Typed failure reaching addr: it is marked down; fall through to
+		// the next candidate with the same Hello.
+	}
+	r.cfg.Logf("session %s: every candidate shard failed", hello.SessionID)
+	r.refuse(client, bw, cands[0])
+}
+
+// routeTo attempts to hand the connection to one shard. It returns true
+// when the client's connection is settled (spliced to completion, or
+// answered with the shard's own Retry/Err); false when the shard failed
+// before its first reply, in which case it has been marked down and the
+// caller may try the next candidate.
+func (r *Router) routeTo(client net.Conn, cbr *bufio.Reader, cbw *bufio.Writer, session string, rawHello []byte, addr string) bool {
+	shard, err := net.DialTimeout("tcp", addr, r.cfg.DialTimeout)
+	if err != nil {
+		r.health.markFailure(addr, err)
+		return false
+	}
+	r.mu.Lock()
+	if r.killed {
+		r.mu.Unlock()
+		shard.Close()
+		return true
+	}
+	r.conns[shard] = struct{}{}
+	r.mu.Unlock()
+	defer r.dropConn(shard)
+
+	sbw := bufio.NewWriter(shard)
+	sbr := bufio.NewReader(shard)
+	shard.SetWriteDeadline(time.Now().Add(r.cfg.HelloTimeout))
+	if _, err := sbw.WriteString(ProtoMagic); err != nil {
+		r.health.markFailure(addr, err)
+		return false
+	}
+	if _, err := sbw.Write(rawHello); err != nil {
+		r.health.markFailure(addr, err)
+		return false
+	}
+	if err := sbw.Flush(); err != nil {
+		r.health.markFailure(addr, err)
+		return false
+	}
+
+	// The shard's verdict: relay it verbatim, but remember a Retry's
+	// hint — it is the shard's own admission control speaking, and the
+	// router reuses it when it must refuse on the shard's behalf later.
+	shard.SetReadDeadline(time.Now().Add(r.cfg.HelloTimeout))
+	mt, raw, body, err := readRawMsg(sbr)
+	if err != nil {
+		r.health.markFailure(addr, err)
+		return false
+	}
+	if mt == MsgRetry {
+		if ms, perr := parseUvarintBody(mt, body); perr == nil {
+			r.health.noteRetryHint(addr, time.Duration(ms)*time.Millisecond)
+		}
+	}
+	client.SetWriteDeadline(time.Now().Add(r.cfg.HelloTimeout))
+	if _, err := cbw.Write(raw); err != nil {
+		return true // client side failed; nothing to hold against the shard
+	}
+	if err := cbw.Flush(); err != nil {
+		return true
+	}
+	if mt != MsgWelcome {
+		// Retry or Err: the shard settled the connection itself.
+		return true
+	}
+	r.commit(session, addr)
+	r.cfg.Logf("session %s: routed to %s", session, addr)
+	r.splice(client, cbr, cbw, shard, sbr, sbw)
+	return true
+}
+
+// splice relays bytes verbatim in both directions until either side
+// closes. Deadlines are cleared: liveness is the endpoints' business (the
+// shard enforces its IdleTimeout, the client its attempt timeouts), and a
+// router-imposed cadence would add a third clock that can only misfire.
+func (r *Router) splice(client net.Conn, cbr *bufio.Reader, cbw *bufio.Writer, shard net.Conn, sbr *bufio.Reader, sbw *bufio.Writer) {
+	client.SetDeadline(time.Time{})
+	shard.SetDeadline(time.Time{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	relay := func(dst *bufio.Writer, dstConn net.Conn, src *bufio.Reader) {
+		defer wg.Done()
+		buf := make([]byte, 32<<10)
+		for {
+			n, rerr := src.Read(buf)
+			if n > 0 {
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					break
+				}
+				if werr := dst.Flush(); werr != nil {
+					break
+				}
+			}
+			if rerr != nil {
+				break
+			}
+		}
+		// Half-close toward the destination so its reader sees EOF once
+		// the in-flight bytes land; full close if the conn cannot.
+		if tc, ok := dstConn.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		} else {
+			dstConn.Close()
+		}
+	}
+	go relay(sbw, shard, cbr)
+	go relay(cbw, client, sbr)
+	wg.Wait()
+}

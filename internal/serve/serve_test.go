@@ -9,33 +9,15 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
-	"runtime"
 	"testing"
 	"time"
 
 	"ormprof/internal/memsim"
+	"ormprof/internal/testutil"
 	"ormprof/internal/trace"
 	"ormprof/internal/tracefmt"
 	"ormprof/internal/workloads"
 )
-
-func leakCheck(t *testing.T) {
-	t.Helper()
-	base := runtime.NumGoroutine()
-	t.Cleanup(func() {
-		deadline := time.Now().Add(10 * time.Second)
-		for runtime.NumGoroutine() > base {
-			if time.Now().After(deadline) {
-				buf := make([]byte, 1<<20)
-				n := runtime.Stack(buf, true)
-				t.Errorf("goroutine leak: %d goroutines, baseline %d\n%s",
-					runtime.NumGoroutine(), base, buf[:n])
-				return
-			}
-			time.Sleep(5 * time.Millisecond)
-		}
-	})
-}
 
 // makeFrames records a workload and slices its events into standalone
 // v3 frames of the given batch size.
@@ -144,7 +126,7 @@ func TestWireHelloRoundTrip(t *testing.T) {
 }
 
 func TestPushCompleteStream(t *testing.T) {
-	leakCheck(t)
+	testutil.LeakCheck(t)
 	frames, sites, events := makeFrames(t, "linkedlist", 256)
 	ts := startServer(t, Config{CheckpointEvery: 4, CheckpointInterval: 50 * time.Millisecond})
 	stats, err := Push(context.Background(), ClientConfig{
@@ -186,7 +168,7 @@ func offlineArtifacts(t *testing.T, workload string, sites map[trace.SiteID]stri
 }
 
 func TestAdmissionRetry(t *testing.T) {
-	leakCheck(t)
+	testutil.LeakCheck(t)
 	ts := startServer(t, Config{MaxSessions: 1, RetryAfter: 5 * time.Millisecond})
 	defer ts.shutdown(t)
 
@@ -242,7 +224,7 @@ func TestAdmissionRetry(t *testing.T) {
 }
 
 func TestFrameGapRejected(t *testing.T) {
-	leakCheck(t)
+	testutil.LeakCheck(t)
 	frames, sites, _ := makeFrames(t, "linkedlist", 512)
 	ts := startServer(t, Config{})
 	defer ts.shutdown(t)
@@ -275,7 +257,7 @@ func TestFrameGapRejected(t *testing.T) {
 }
 
 func TestCorruptFrameRejected(t *testing.T) {
-	leakCheck(t)
+	testutil.LeakCheck(t)
 	frames, sites, _ := makeFrames(t, "linkedlist", 512)
 	ts := startServer(t, Config{})
 	defer ts.shutdown(t)
@@ -307,7 +289,7 @@ func TestCorruptFrameRejected(t *testing.T) {
 // semantics, push again, and the final profiles must be byte-identical
 // to an uninterrupted run.
 func TestKillResumeByteIdentical(t *testing.T) {
-	leakCheck(t)
+	testutil.LeakCheck(t)
 	frames, sites, events := makeFrames(t, "linkedlist", 64)
 	ckDir := filepath.Join(t.TempDir(), "ck")
 	outDir := filepath.Join(t.TempDir(), "out")
@@ -374,7 +356,7 @@ func TestKillResumeByteIdentical(t *testing.T) {
 // TestShutdownFlushesPartial: a session interrupted by graceful shutdown
 // leaves a durable checkpoint and partial profiles on disk.
 func TestShutdownFlushesPartial(t *testing.T) {
-	leakCheck(t)
+	testutil.LeakCheck(t)
 	frames, sites, _ := makeFrames(t, "linkedlist", 128)
 	ts := startServer(t, Config{CheckpointEvery: 1 << 30, CheckpointInterval: time.Hour})
 
@@ -413,7 +395,7 @@ func TestShutdownFlushesPartial(t *testing.T) {
 // TestStalledClientParked: a client that goes silent is disconnected by
 // the idle deadline; its state is checkpointed for a future reconnect.
 func TestStalledClientParked(t *testing.T) {
-	leakCheck(t)
+	testutil.LeakCheck(t)
 	frames, sites, _ := makeFrames(t, "linkedlist", 128)
 	ts := startServer(t, Config{IdleTimeout: 100 * time.Millisecond})
 	defer ts.shutdown(t)
@@ -478,7 +460,7 @@ func TestStalledClientParked(t *testing.T) {
 // TestClientExhaustedTyped: with no server at all, Push gives up with
 // the typed ExhaustedError after its retry budget.
 func TestClientExhaustedTyped(t *testing.T) {
-	leakCheck(t)
+	testutil.LeakCheck(t)
 	frames := SliceFrames{[]byte("ignored")}
 	_, err := Push(context.Background(), ClientConfig{
 		Addr: "127.0.0.1:1", SessionID: "x",

@@ -16,12 +16,26 @@ import (
 	"ormprof/internal/trace"
 )
 
+// DefaultRetryAfter is the backoff hint carried by Retry responses when
+// Config.RetryAfter is unset. It is a named constant rather than a magic
+// number inside withDefaults because the router must know it too: when a
+// router refuses on behalf of a shard that has never supplied its own
+// hint, this is the shared fallback both tiers agree on.
+const DefaultRetryAfter = 500 * time.Millisecond
+
 // Config configures a Server. Zero values select the documented defaults.
 type Config struct {
 	// CheckpointDir is where session checkpoints live (required).
 	CheckpointDir string
 	// OutputDir is where finished profiles are written (required).
 	OutputDir string
+	// FinalDir, when set, receives each completed session's final durable
+	// state (<session>.final, same ORMCKPT container as checkpoints)
+	// before the Bye goes out. These per-session final states are what
+	// the cluster merge plane consumes: unlike the text profiles, they
+	// reconstruct losslessly, so a cluster of N shards merges to the same
+	// bytes a single node would have produced.
+	FinalDir string
 	// Resume loads existing checkpoints from CheckpointDir at startup, so
 	// returning clients continue from their durable cursor.
 	Resume bool
@@ -49,7 +63,7 @@ type Config struct {
 	// Default 30s.
 	IdleTimeout time.Duration
 	// RetryAfter is the backoff hint carried by Retry responses.
-	// Default 500ms.
+	// Default DefaultRetryAfter.
 	RetryAfter time.Duration
 	// MaxLMADs is the LEAP descriptor budget (≤ 0 = paper default).
 	MaxLMADs int
@@ -63,6 +77,16 @@ type Config struct {
 	// accounted footprint, ties broken by smallest session ID, so the
 	// shedding choice is deterministic (0 = unlimited).
 	GlobalMemBudget int64
+	// ParentBudget, when set, becomes the parent of this server's
+	// accounting root, so a cluster-wide budget sees the footprint summed
+	// across every shard while each shard keeps its own GlobalMemBudget.
+	ParentBudget *govern.Budget
+	// OverBudget, when set, is consulted alongside the local global
+	// watermark: a true return rejects new sessions with Retry and trips
+	// the same heaviest-first shedding as a local budget breach. The
+	// cluster uses it to push a fleet-wide budget decision down into the
+	// shard that should degrade.
+	OverBudget func() bool
 	// Logf, when set, receives one line per session lifecycle event.
 	Logf func(format string, args ...any)
 }
@@ -88,7 +112,7 @@ func (c *Config) withDefaults() Config {
 		out.IdleTimeout = 30 * time.Second
 	}
 	if out.RetryAfter <= 0 {
-		out.RetryAfter = 500 * time.Millisecond
+		out.RetryAfter = DefaultRetryAfter
 	}
 	if out.Logf == nil {
 		out.Logf = func(string, ...any) {}
@@ -163,10 +187,18 @@ func New(ln net.Listener, cfg Config) (*Server, error) {
 	if c.CheckpointDir == "" || c.OutputDir == "" {
 		return nil, fmt.Errorf("serve: CheckpointDir and OutputDir are required")
 	}
-	for _, dir := range []string{c.CheckpointDir, c.OutputDir} {
+	dirs := []string{c.CheckpointDir, c.OutputDir}
+	if c.FinalDir != "" {
+		dirs = append(dirs, c.FinalDir)
+	}
+	for _, dir := range dirs {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("serve: %w", err)
 		}
+	}
+	govRoot := govern.NewBudget(0)
+	if c.ParentBudget != nil {
+		govRoot = c.ParentBudget.Sub(0)
 	}
 	s := &Server{
 		cfg:      c,
@@ -176,7 +208,7 @@ func New(ln net.Listener, cfg Config) (*Server, error) {
 		drainCh:  make(chan struct{}),
 		killCh:   make(chan struct{}),
 		conns:    make(map[net.Conn]struct{}),
-		govRoot:  govern.NewBudget(0),
+		govRoot:  govRoot,
 	}
 	if c.Resume {
 		states, skipped, err := checkpoint.LoadDir(c.CheckpointDir)
@@ -235,18 +267,28 @@ func (s *Server) dropConn(conn net.Conn) {
 	conn.Close()
 }
 
-// governed reports whether any memory budget is configured.
+// governed reports whether any memory budget is configured. A parent
+// budget counts: its watermark lives upstream, but it only works if the
+// sessions here account their footprint into it.
 func (s *Server) governed() bool {
-	return s.cfg.SessionMemBudget > 0 || s.cfg.GlobalMemBudget > 0
+	return s.cfg.SessionMemBudget > 0 || s.cfg.GlobalMemBudget > 0 ||
+		s.cfg.ParentBudget != nil || s.cfg.OverBudget != nil
 }
 
 // globalOver reports whether the summed accounted footprint has reached
 // the global budget's high watermark (limit minus one eighth, matching
-// govern.Budget's margin).
+// govern.Budget's margin), or an upstream budget decision (the cluster's
+// OverBudget hook) says this shard should shed.
 func (s *Server) globalOver() bool {
-	g := s.cfg.GlobalMemBudget
-	return g > 0 && s.govRoot.Used() >= g-g/8
+	if g := s.cfg.GlobalMemBudget; g > 0 && s.govRoot.Used() >= g-g/8 {
+		return true
+	}
+	return s.cfg.OverBudget != nil && s.cfg.OverBudget()
 }
+
+// GovernedUsed reports the footprint currently accounted against this
+// server's budget root (the number a cluster compares across shards).
+func (s *Server) GovernedUsed() int64 { return s.govRoot.Used() }
 
 // admit decides whether a new connection may start a session right now.
 // A non-empty reason means the connection gets a Retry.
@@ -283,7 +325,7 @@ func (s *Server) admit() (ok bool, reason string) {
 // sessions owned by other connections are flagged and step at their next
 // frame boundary.
 func (s *Server) enforceGlobal(self *sessionState) {
-	if s.cfg.GlobalMemBudget <= 0 {
+	if s.cfg.GlobalMemBudget <= 0 && s.cfg.OverBudget == nil {
 		return
 	}
 	s.mu.Lock()

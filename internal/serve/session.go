@@ -227,6 +227,21 @@ func (s *Server) finishSession(conn net.Conn, bw *bufio.Writer, st *sessionState
 		s.sendMsg(conn, bw, MsgErr, []byte("profile flush failed"))
 		return
 	}
+	// The final state must be durable before the Bye: the merge plane
+	// reads these .final states, and a Bye the client saw must imply the
+	// cluster report will include the session — the same checkpoint-
+	// before-ack discipline, applied to completion.
+	if s.cfg.FinalDir != "" {
+		ck, err := st.pl.state(st.id)
+		if err == nil {
+			err = checkpoint.Save(checkpoint.FinalPathFor(s.cfg.FinalDir, st.id), ck)
+		}
+		if err != nil {
+			s.cfg.Logf("session %s: final state: %v", st.id, err)
+			s.sendMsg(conn, bw, MsgErr, []byte("final state flush failed"))
+			return
+		}
+	}
 	s.sendMsg(conn, bw, MsgBye, uvarintBody(st.pl.framesApplied))
 	s.cfg.Logf("session %s: complete (%d frames, %d events)", st.id, st.pl.framesApplied, st.pl.eventsApplied)
 	s.complete(st)

@@ -134,6 +134,42 @@ func readMsg(br *bufio.Reader) (MsgType, []byte, error) {
 	return MsgType(tb), body, nil
 }
 
+// readRawMsg reads one message like readMsg but also returns the exact
+// bytes as they appeared on the wire (type byte, length prefix, body), so
+// the router can forward a message verbatim — ORMP/1 shard-to-shard is
+// the same protocol, not a re-encoding, and byte-level forwarding is what
+// guarantees it.
+func readRawMsg(br *bufio.Reader) (mt MsgType, raw, body []byte, err error) {
+	tb, err := br.ReadByte()
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	raw = append(raw, tb)
+	var n uint64
+	for shift := uint(0); ; shift += 7 {
+		if shift >= 64 {
+			return 0, nil, nil, protof("message length overflows uvarint")
+		}
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, nil, nil, protof("message length: %v", err)
+		}
+		raw = append(raw, b)
+		n |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			break
+		}
+	}
+	if n > MaxBody {
+		return 0, nil, nil, protof("message body %d bytes exceeds limit %d", n, MaxBody)
+	}
+	body = make([]byte, n)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return 0, nil, nil, protof("message body: %v", err)
+	}
+	return MsgType(tb), append(raw, body...), body, nil
+}
+
 // uvarintBody encodes the single-uvarint body shared by Welcome, Retry,
 // Ack, Bye, Done, and the Frame index prefix.
 func uvarintBody(v uint64) []byte {

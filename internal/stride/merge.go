@@ -1,0 +1,42 @@
+package stride
+
+// Merge folds another lossless profiler's histograms into p: execution
+// counts and per-instruction stride histograms add bin-wise. The two
+// profilers must describe different event streams (different sessions or
+// shards of a cluster); the stride between q's last access and any future
+// access of p is deliberately NOT synthesized — a cross-stream "stride"
+// would be an artifact of merge order, not of any program. Because the
+// combination is a commutative sum over disjoint observations, merging the
+// same set of profilers in any grouping yields an identical profiler, which
+// is what makes the cluster merge plane's stride report byte-stable no
+// matter how sessions were sharded.
+//
+// p's last-address table is left untouched (and q's is ignored), so a
+// merged profiler is an aggregate for reporting, not a sink to keep
+// feeding: StronglyStrided and Execs are meaningful, further Emit calls
+// are not.
+func (p *Ideal) Merge(q *Ideal) {
+	if q == nil {
+		return
+	}
+	for id, n := range q.execs {
+		if _, seen := p.execs[id]; !seen {
+			p.foot += idealInstrBytes
+		}
+		p.execs[id] += n
+	}
+	for id, qh := range q.hist {
+		h := p.hist[id]
+		if h == nil {
+			h = make(map[int64]uint64, len(qh))
+			p.hist[id] = h
+			p.foot += idealHistBytes
+		}
+		for s, c := range qh {
+			if _, seen := h[s]; !seen {
+				p.foot += idealBinBytes
+			}
+			h[s] += c
+		}
+	}
+}

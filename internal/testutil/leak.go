@@ -1,0 +1,34 @@
+// Package testutil holds the small helpers shared across this repo's test
+// suites. Production code must not import it.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// LeakCheck snapshots the goroutine count and, at test end, polls until
+// the count returns to (at most) the baseline or the deadline expires,
+// then fails with a full stack dump. Polling absorbs goroutines that are
+// mid-exit when the test body returns; it is the dependency-free stand-in
+// for a leak detector that the soak and service tests share. The deadline
+// is generous (10s) because a correct teardown converges in milliseconds —
+// anything that needs longer IS the leak.
+func LeakCheck(t *testing.T) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(10 * time.Second)
+		for runtime.NumGoroutine() > base {
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Errorf("goroutine leak: %d goroutines, baseline %d\n%s",
+					runtime.NumGoroutine(), base, buf[:n])
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	})
+}

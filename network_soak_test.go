@@ -25,6 +25,7 @@ import (
 	"ormprof/internal/leap"
 	"ormprof/internal/serve"
 	"ormprof/internal/stride"
+	"ormprof/internal/testutil"
 	"ormprof/internal/trace"
 	"ormprof/internal/tracefmt"
 	"ormprof/internal/whomp"
@@ -124,7 +125,10 @@ func readProfileArtifacts(t testing.TB, dir, workload string) map[string][]byte 
 // and requires the finished profiles to be byte-identical to an
 // uninterrupted offline run at every worker count.
 func TestSoakNetKillRestartResume(t *testing.T) {
-	soakLeakCheck(t)
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	testutil.LeakCheck(t)
 	const workload = "linkedlist"
 	frames, sites, buf := netSoakFrames(t, workload, 64)
 	ckDir := filepath.Join(t.TempDir(), "ck")
@@ -193,7 +197,10 @@ func TestSoakNetKillRestartResume(t *testing.T) {
 // it through. Each class must end in a clean retry, a complete stream,
 // and profiles byte-identical to the offline reference.
 func TestSoakNetFaultClasses(t *testing.T) {
-	soakLeakCheck(t)
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	testutil.LeakCheck(t)
 	const workload = "linkedlist"
 	frames, sites, buf := netSoakFrames(t, workload, 64)
 	want := offlineReference(t, workload, buf, sites, 2)
@@ -273,7 +280,10 @@ func TestSoakNetFaultClasses(t *testing.T) {
 // class: the first connections are accepted and immediately closed, and
 // the client must retry through to a complete stream.
 func TestSoakNetRefusedConnections(t *testing.T) {
-	soakLeakCheck(t)
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	testutil.LeakCheck(t)
 	const workload = "linkedlist"
 	frames, sites, buf := netSoakFrames(t, workload, 128)
 	want := offlineReference(t, workload, buf, sites, 1)
@@ -321,7 +331,10 @@ func TestSoakNetRefusedConnections(t *testing.T) {
 // must give up with the typed ExhaustedError — the degraded exit, not a
 // hang — and leave no goroutines behind.
 func TestSoakNetExhaustionTyped(t *testing.T) {
-	soakLeakCheck(t)
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	testutil.LeakCheck(t)
 	frames, sites, _ := netSoakFrames(t, "linkedlist", 256)
 	dial := faultinject.FaultyDialer(func() (net.Conn, error) {
 		return nil, faultinject.ErrRefused

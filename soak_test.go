@@ -16,7 +16,6 @@ import (
 	"errors"
 	"io"
 	"math/rand"
-	"runtime"
 	"testing"
 	"time"
 
@@ -24,6 +23,7 @@ import (
 	"ormprof/internal/leap"
 	"ormprof/internal/profiler"
 	"ormprof/internal/stride"
+	"ormprof/internal/testutil"
 	"ormprof/internal/trace"
 	"ormprof/internal/tracefmt"
 	"ormprof/internal/whomp"
@@ -39,26 +39,6 @@ func isTypedFault(err error) bool {
 	return errors.As(err, &ce) || errors.As(err, &pe) || errors.As(err, &we) ||
 		errors.Is(err, tracefmt.ErrBadTrace) ||
 		errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
-}
-
-// soakLeakCheck polls the goroutine count back to its baseline, failing on
-// a leak. Dependency-free stand-in for a leak detector.
-func soakLeakCheck(t *testing.T) {
-	t.Helper()
-	base := runtime.NumGoroutine()
-	t.Cleanup(func() {
-		deadline := time.Now().Add(10 * time.Second)
-		for runtime.NumGoroutine() > base {
-			if time.Now().After(deadline) {
-				buf := make([]byte, 1<<20)
-				n := runtime.Stack(buf, true)
-				t.Errorf("goroutine leak: %d goroutines, baseline %d\n%s",
-					runtime.NumGoroutine(), base, buf[:n])
-				return
-			}
-			time.Sleep(5 * time.Millisecond)
-		}
-	})
 }
 
 // lenientSource opens encoded bytes as a lenient trace reader. A header
@@ -128,7 +108,7 @@ func soakOffsets(rng *rand.Rand, size int64, n int) []int64 {
 // TestSoakCorruptByte: single flipped bytes at random offsets, including
 // inside the header.
 func TestSoakCorruptByte(t *testing.T) {
-	soakLeakCheck(t)
+	testutil.LeakCheck(t)
 	rng := rand.New(rand.NewSource(1))
 	nOffsets := 6
 	if testing.Short() {
@@ -150,7 +130,7 @@ func TestSoakCorruptByte(t *testing.T) {
 // TestSoakTruncation: traces cut off at random points, including inside
 // the header and mid-frame.
 func TestSoakTruncation(t *testing.T) {
-	soakLeakCheck(t)
+	testutil.LeakCheck(t)
 	rng := rand.New(rand.NewSource(2))
 	nOffsets := 6
 	if testing.Short() {
@@ -173,7 +153,10 @@ func TestSoakTruncation(t *testing.T) {
 // garbage addresses, zero sizes. The pipeline must absorb them (they are
 // semantically wrong but structurally deliverable) without crashing.
 func TestSoakFieldFlip(t *testing.T) {
-	soakLeakCheck(t)
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	testutil.LeakCheck(t)
 	rng := rand.New(rand.NewSource(3))
 	mutations := []func(*trace.Event){
 		func(e *trace.Event) { e.Kind = trace.EventKind(250) },
@@ -202,7 +185,10 @@ func TestSoakFieldFlip(t *testing.T) {
 // TestSoakProducerPanic: the source itself panics mid-stream; DrainSalvage
 // must contain it and hand back the partial profile with a *PanicError.
 func TestSoakProducerPanic(t *testing.T) {
-	soakLeakCheck(t)
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	testutil.LeakCheck(t)
 	rng := rand.New(rand.NewSource(4))
 	for _, name := range soakWorkloads(t) {
 		buf, sites, _ := recordWorkload(t, name)
@@ -223,7 +209,10 @@ func TestSoakProducerPanic(t *testing.T) {
 // the sharded stage must contain it, finish the surviving shards, and
 // report a *WorkerError.
 func TestSoakWorkerPanic(t *testing.T) {
-	soakLeakCheck(t)
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	testutil.LeakCheck(t)
 	rng := rand.New(rand.NewSource(5))
 	for _, name := range soakWorkloads(t) {
 		buf, sites, _ := recordWorkload(t, name)
@@ -265,7 +254,10 @@ func TestSoakWorkerPanic(t *testing.T) {
 // the drain must notice the overrun at the next event and return
 // DeadlineExceeded with the partial profile, promptly.
 func TestSoakStallDeadline(t *testing.T) {
-	soakLeakCheck(t)
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	testutil.LeakCheck(t)
 	rng := rand.New(rand.NewSource(6))
 	for _, name := range soakWorkloads(t) {
 		buf, sites, _ := recordWorkload(t, name)
@@ -291,7 +283,10 @@ func TestSoakStallDeadline(t *testing.T) {
 // level: corrupt exactly one frame of a recorded trace and the salvaged
 // profile is built from exactly every other frame's events.
 func TestSoakSingleFrameLossIsExact(t *testing.T) {
-	soakLeakCheck(t)
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	testutil.LeakCheck(t)
 	buf, sites, _ := recordWorkload(t, "linkedlist")
 	// Re-encode with a small fixed batch so the trace has many frames.
 	const batch = 64
