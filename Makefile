@@ -7,7 +7,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test test-race test-short test-soak bench bench-json bench-allocs vet lint fuzz-short experiments ci
+.PHONY: all build test test-race test-short test-soak test-soak-race bench bench-json bench-allocs vet lint fuzz-short experiments ci
 
 # Pinned linter versions — keep in sync with .github/workflows/ci.yml.
 STATICCHECK_VERSION ?= 2025.1
@@ -48,9 +48,17 @@ test-race: vet
 test-soak: build
 	$(GO) test -run 'TestSoak' -timeout 600s -v .
 
+# The soak suite again, under the race detector and with test order
+# shuffled: migrations, router failover, and admin replication are
+# multi-goroutine dances whose bugs hide in schedules a plain run never
+# explores. Shuffling catches cross-test state leakage; the printed seed
+# reproduces an ordering.
+test-soak-race: build
+	$(GO) test -race -shuffle=on -run 'TestSoak' -timeout 900s .
+
 # Everything a CI run should gate on: tier-1, tier-2, static analysis,
-# the zero-alloc hot-path gate, and the soak.
-ci: test test-race lint bench-allocs test-soak
+# the zero-alloc hot-path gate, and the soaks (plain, then race+shuffle).
+ci: test test-race lint bench-allocs test-soak test-soak-race
 
 # Static analysis + known-vulnerability scan. The tools are not vendored;
 # if they are missing locally the target says how to get them and skips
@@ -135,3 +143,4 @@ fuzz-short:
 	$(GO) test -fuzz=FuzzPlanReader -fuzztime=$(FUZZTIME) ./internal/plan/
 	$(GO) test -fuzz='^FuzzSession$$' -fuzztime=$(FUZZTIME) ./internal/serve/
 	$(GO) test -fuzz='^FuzzRouter$$' -fuzztime=$(FUZZTIME) ./internal/serve/
+	$(GO) test -fuzz='^FuzzRouterTable$$' -fuzztime=$(FUZZTIME) ./internal/checkpoint/

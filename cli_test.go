@@ -270,6 +270,20 @@ func TestCLIFlagValidation(t *testing.T) {
 		{"ormpd", []string{"-local-shards", "2"}, "require -cluster"},
 		{"ormpd", []string{"-cluster", "-shards", "a:1", "-local-shards", "2"}, "mutually exclusive"},
 		{"ormpd", []string{"-cluster", "-local-shards", "2", "-merge", "d1"}, "-merge and -cluster are mutually exclusive"},
+		// Reconfiguration flag validation: the admin/ctl/replication flags
+		// fail the same way — usage on stderr, exit 2, nothing run.
+		{"ormpd", []string{"-ctl", "status"}, "-ctl needs -admin"},
+		{"ormpd", []string{"-ctl", "add-shard", "-admin", "h:1"}, "needs -shard"},
+		{"ormpd", []string{"-ctl", "remove-shard", "-admin", "h:1"}, "needs -shard"},
+		{"ormpd", []string{"-ctl", "resize", "-admin", "h:1"}, "unknown -ctl command"},
+		{"ormpd", []string{"-ctl", "status", "-admin", "h:1", "-shard", "h:2"}, "takes no -shard"},
+		{"ormpd", []string{"-ctl", "status", "-admin", "h:1", "-cluster", "-local-shards", "2"}, "does not combine"},
+		{"ormpd", []string{"-ctl", "add-shard", "-admin", "h:1", "-shard", "h:2", "-epoch", "-1"}, "invalid value"},
+		{"ormpd", []string{"-standby"}, "-standby applies to router mode"},
+		{"ormpd", []string{"-cluster", "-shards", "a:1", "-standby"}, "-standby needs -active"},
+		{"ormpd", []string{"-cluster", "-shards", "a:1", "-peers", "p:1,p:1"}, "duplicate element"},
+		{"ormpd", []string{"-routers", "2"}, "-routers requires -local-shards"},
+		{"ormpd", []string{"-cluster", "-local-shards", "2", "-routers", "0"}, "must be at least 1"},
 		{"ormpush", []string{"-addrs", "h:1,,h:2"}, "empty element in list"},
 		{"ormpush", []string{"-addrs", "h:1,h:1"}, "duplicate element"},
 	}

@@ -23,10 +23,26 @@
 //	ormpd -merge shard0/final,shard1/final -out report/  merge plane:
 //	    combine shards' final session states into one cluster report
 //
+// Live reconfiguration (see docs/ARCHITECTURE.md, "Live reconfiguration"):
+// cluster modes take -admin to expose the ORMA/1 admin plane, and
+//
+//	ormpd -ctl status       -admin 127.0.0.1:7418          prints the ring
+//	    epoch, shard list, and pinned placements
+//	ormpd -ctl add-shard    -admin ... -shard 10.0.0.3:7417 [-epoch N]
+//	ormpd -ctl remove-shard -admin ... -shard 10.0.0.2:7417 [-epoch N]
+//	    change the ring without draining; sessions whose primary moves are
+//	    migrated live. -epoch 0 (default) reads the current epoch first;
+//	    a stale epoch is refused, which is what makes retries safe.
+//
+// Router replication: -routers N runs N-1 standby routers next to the
+// active one (-local-shards), or -standby -active <addr> -peers <admins>
+// starts a standalone router as a replicating standby.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: live sessions drain until
 // -drain-timeout, then everything is checkpointed and partial profiles
 // are flushed. Exit codes: 0 clean, 2 if the drain deadline cut sessions
-// short (their state is still durable), 1 on hard errors.
+// short (their state is still durable) or a merge skipped unusable final
+// states, 1 on hard errors.
 package main
 
 import (
@@ -37,6 +53,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -62,7 +79,14 @@ func main() {
 		quiet      = flag.Bool("quiet", false, "suppress per-session log lines")
 
 		cluster = flag.Bool("cluster", false, "cluster mode: route to -shards, or run -local-shards in-process shards")
-		routes  = flag.String("routes", "ormpd-router.rtab", "router mode: durable reroute-table path (sessions failed over to a non-primary shard keep landing there across router restarts)")
+		routes  = flag.String("routes", "ormpd-router.rtab", "router mode: durable state-table path (ring epoch, shard list, and reroutes survive router restarts)")
+
+		admin   = flag.String("admin", "", "cluster modes: ORMA/1 admin listen address for -ctl commands and router replication (empty = no admin plane)")
+		ctl     = flag.String("ctl", "", "admin client mode: status, add-shard, or remove-shard, sent to the router at -admin")
+		ctlAddr = flag.String("shard", "", "-ctl add-shard/remove-shard: the shard address to add or remove (a -local-shards cluster spawns its own, addressed as the literal \"local\")")
+		epoch   = flag.Uint64("epoch", 0, "-ctl add-shard/remove-shard: the ring epoch the command is built against; 0 = read the current epoch first (a stale epoch is refused, exit 1)")
+		standby = flag.Bool("standby", false, "router mode: start as a standby — refuse ingest with a redirect to -active while receiving replicated state on -admin")
+		active  = flag.String("active", "", "standby router: the active router's ingest address, sent to refused clients as a redirect hint")
 	)
 	shards := cliutil.ListFlag(flag.CommandLine, "shards",
 		"router mode (with -cluster): comma-separated backend shard addresses; sessions are consistent-hashed across them")
@@ -70,6 +94,10 @@ func main() {
 		"all-in-one mode (with -cluster): run this many in-process shards behind a router on -listen")
 	mergeDirs := cliutil.ListFlag(flag.CommandLine, "merge",
 		"merge mode: comma-separated shard final-state directories to combine into the cluster report under -out")
+	peers := cliutil.ListFlag(flag.CommandLine, "peers",
+		"router mode: comma-separated admin addresses of peer routers; state replicates to them after every durable change")
+	routers := cliutil.CountFlag(flag.CommandLine, "routers", 1, 1,
+		"all-in-one mode (with -local-shards): total router count — one active plus this many minus one standbys")
 	memBudget := cliutil.SizeFlag(flag.CommandLine, "mem-budget",
 		"per-session memory budget (e.g. 64M); over budget the session's pipeline degrades (0 = unlimited)")
 	globalBudget := cliutil.SizeFlag(flag.CommandLine, "global-mem-budget",
@@ -81,12 +109,32 @@ func main() {
 	switch {
 	case *cluster && len(*shards) > 0 && *localShards > 0:
 		usageErr("-shards and -local-shards are mutually exclusive")
-	case *cluster && len(*shards) == 0 && *localShards == 0:
-		usageErr("-cluster needs -shards (router mode) or -local-shards (all-in-one)")
-	case !*cluster && (len(*shards) > 0 || *localShards > 0):
+	case *cluster && *ctl == "":
+		if len(*shards) == 0 && *localShards == 0 {
+			usageErr("-cluster needs -shards (router mode) or -local-shards (all-in-one)")
+		}
+	case !*cluster && *ctl == "" && (len(*shards) > 0 || *localShards > 0):
 		usageErr("-shards and -local-shards require -cluster")
+	}
+	switch {
 	case len(*mergeDirs) > 0 && *cluster:
 		usageErr("-merge and -cluster are mutually exclusive")
+	case *ctl != "" && (len(*mergeDirs) > 0 || *cluster):
+		usageErr("-ctl is a client mode; it does not combine with -cluster or -merge")
+	case *ctl != "" && *admin == "":
+		usageErr("-ctl needs -admin: the router's admin address to send the command to")
+	case *ctl == "status" && *ctlAddr != "":
+		usageErr("-ctl status takes no -shard")
+	case (*ctl == "add-shard" || *ctl == "remove-shard") && *ctlAddr == "":
+		usageErr("-ctl %s needs -shard: the shard address to act on", *ctl)
+	case *ctl != "" && *ctl != "status" && *ctl != "add-shard" && *ctl != "remove-shard":
+		usageErr("unknown -ctl command %q (want status, add-shard, or remove-shard)", *ctl)
+	case *standby && (!*cluster || len(*shards) == 0):
+		usageErr("-standby applies to router mode (-cluster -shards)")
+	case *standby && *active == "":
+		usageErr("-standby needs -active: the active router's ingest address to redirect clients to")
+	case *routers > 1 && *localShards == 0:
+		usageErr("-routers requires -local-shards")
 	}
 
 	cfg := serve.Config{
@@ -105,12 +153,17 @@ func main() {
 		GlobalMemBudget:    *globalBudget,
 	}
 	switch {
+	case *ctl != "":
+		cliutil.Fatal("ormpd", runCtl(*ctl, *admin, *ctlAddr, *epoch))
 	case len(*mergeDirs) > 0:
 		cliutil.Fatal("ormpd", runMerge(*mergeDirs, *outDir, *maxLMADs, *quiet))
 	case *cluster && len(*shards) > 0:
-		cliutil.Fatal("ormpd", runRouter(*listen, *shards, *routes, *retryAfter, *drain, *quiet))
+		rcfg := routerModeConfig{
+			admin: *admin, standby: *standby, active: *active, peers: *peers,
+		}
+		cliutil.Fatal("ormpd", runRouter(*listen, *shards, *routes, rcfg, *retryAfter, *drain, *quiet))
 	case *cluster:
-		cliutil.Fatal("ormpd", runLocalCluster(*listen, *localShards, *ckDir, *outDir, cfg, *clusterBudget, *drain, *quiet))
+		cliutil.Fatal("ormpd", runLocalCluster(*listen, *admin, *localShards, *routers, *ckDir, *outDir, cfg, *clusterBudget, *drain, *quiet))
 	default:
 		cliutil.Fatal("ormpd", run(*listen, cfg, *drain, *quiet))
 	}
@@ -164,9 +217,51 @@ func run(listen string, cfg serve.Config, drain time.Duration, quiet bool) error
 	return err // nil, or DeadlineExceeded (degraded: sessions cut short but durable)
 }
 
+// runCtl is the admin client: one ORMA/1 command against a running
+// router's admin plane, result on stdout.
+func runCtl(cmd, adminAddr, shard string, epoch uint64) error {
+	switch cmd {
+	case "status":
+		st, err := serve.AdminFetchTable(adminAddr, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("epoch %d\n", st.Epoch)
+		fmt.Printf("shards %s\n", strings.Join(st.Shards, ","))
+		fmt.Printf("placements %d\n", len(st.Routes))
+		return nil
+	case "add-shard", "remove-shard":
+		if epoch == 0 {
+			st, err := serve.AdminFetchTable(adminAddr, 0)
+			if err != nil {
+				return fmt.Errorf("reading current epoch: %w", err)
+			}
+			epoch = st.Epoch
+		}
+		newEpoch, err := serve.AdminShardCmd(adminAddr, cmd == "add-shard", epoch, shard, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s %s: epoch %d -> %d\n", cmd, shard, epoch, newEpoch)
+		return nil
+	default:
+		return fmt.Errorf("unknown -ctl command %q", cmd)
+	}
+}
+
+// routerModeConfig carries the reconfiguration-era router flags.
+type routerModeConfig struct {
+	admin   string
+	standby bool
+	active  string
+	peers   []string
+}
+
 // runRouter is the router tier: consistent-hash sessions across shards,
-// forward ORMP/1 verbatim, fail over when a shard dies.
-func runRouter(listen string, shards []string, routes string, retryAfter, drain time.Duration, quiet bool) error {
+// forward ORMP/1 verbatim, fail over when a shard dies. With rcfg.admin
+// set it also serves the ORMA/1 admin plane (topology commands on an
+// active router, replication intake on a standby).
+func runRouter(listen string, shards []string, routes string, rcfg routerModeConfig, retryAfter, drain time.Duration, quiet bool) error {
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
@@ -174,6 +269,9 @@ func runRouter(listen string, shards []string, routes string, retryAfter, drain 
 	r, err := serve.NewRouter(ln, serve.RouterConfig{
 		Shards:     shards,
 		StatePath:  routes,
+		Standby:    rcfg.standby,
+		ActiveAddr: rcfg.active,
+		Peers:      rcfg.peers,
 		RetryAfter: retryAfter,
 		Logf:       logfFor(quiet),
 	})
@@ -182,10 +280,27 @@ func runRouter(listen string, shards []string, routes string, retryAfter, drain 
 		return err
 	}
 	if !quiet {
-		fmt.Fprintf(os.Stderr, "ormpd: routing %s across %d shard(s)\n", r.Addr(), len(shards))
+		mode := "routing"
+		if rcfg.standby {
+			mode = "standing by for"
+		}
+		fmt.Fprintf(os.Stderr, "ormpd: %s %s across %d shard(s)\n", mode, r.Addr(), len(shards))
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- r.Serve() }()
+	if rcfg.admin != "" {
+		aln, err := net.Listen("tcp", rcfg.admin)
+		if err != nil {
+			r.Kill()
+			<-serveErr
+			return err
+		}
+		go func() {
+			if err := r.ServeAdmin(aln); err != nil && !quiet {
+				fmt.Fprintf(os.Stderr, "ormpd: admin: %v\n", err)
+			}
+		}()
+	}
 
 	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -202,14 +317,19 @@ func runRouter(listen string, shards []string, routes string, retryAfter, drain 
 	return err
 }
 
-// runLocalCluster is the all-in-one deployment: n shards plus a router in
-// this process, with the cluster report merged into outDir on shutdown.
-func runLocalCluster(listen string, n int, dir, outDir string, shard serve.Config, clusterBudget int64, drain time.Duration, quiet bool) error {
+// runLocalCluster is the all-in-one deployment: n shards plus a router
+// tier in this process, with the cluster report merged into outDir on
+// shutdown. The admin plane (always on; adminListen empty picks an
+// ephemeral port, printed at startup) accepts add-shard/remove-shard and
+// migrates sessions live.
+func runLocalCluster(listen, adminListen string, n, nRouters int, dir, outDir string, shard serve.Config, clusterBudget int64, drain time.Duration, quiet bool) error {
 	c, err := serve.NewCluster(serve.ClusterConfig{
 		Dir:              dir,
 		Shards:           n,
 		Shard:            shard,
 		RouterListen:     listen,
+		AdminListen:      adminListen,
+		Routers:          nRouters,
 		ClusterMemBudget: clusterBudget,
 		Logf:             logfFor(quiet),
 	})
@@ -217,7 +337,8 @@ func runLocalCluster(listen string, n int, dir, outDir string, shard serve.Confi
 		return err
 	}
 	if !quiet {
-		fmt.Fprintf(os.Stderr, "ormpd: cluster on %s (%d local shards)\n", c.Addr(), n)
+		fmt.Fprintf(os.Stderr, "ormpd: cluster on %s (%d local shards, %d router(s), admin %s)\n",
+			c.Addr(), n, nRouters, c.AdminAddr())
 	}
 	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -238,7 +359,9 @@ func runLocalCluster(listen string, n int, dir, outDir string, shard serve.Confi
 }
 
 // runMerge is the offline merge plane: combine shard final directories
-// into the cluster report.
+// into the cluster report. Skipped final states make the report partial:
+// the artifacts are written and correct for what they cover, and the
+// tool exits 2 so automation cannot mistake best-effort for complete.
 func runMerge(dirs []string, outDir string, maxLMADs int, quiet bool) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
@@ -249,5 +372,8 @@ func runMerge(dirs []string, outDir string, maxLMADs int, quiet bool) error {
 	}
 	fmt.Printf("merged %d session(s) into %s (%d degraded, %d skipped)\n",
 		stats.Sessions, outDir, stats.Degraded, stats.Skipped)
+	if stats.Skipped > 0 {
+		return &serve.PartialReportError{Skipped: stats.Skipped}
+	}
 	return nil
 }

@@ -3,20 +3,28 @@ package checkpoint
 // The router's durable cursor state. Where a shard's checkpoint remembers
 // how much of a session's stream is applied, the router's table remembers
 // WHERE each rerouted session's stream lives: a session whose primary
-// shard died is parked on another shard, and a router restart must send
-// its reconnects back to that shard — otherwise the recovered primary
-// would welcome the client at a stale cursor and the stream would be
-// re-sent from scratch (still exact, but a full replay instead of a
-// resume). Only sessions routed off their hash-ring primary appear in the
-// table; the common case persists nothing.
+// shard died (or whose ring moved under it) is parked on another shard,
+// and a router restart must send its reconnects back to that shard —
+// otherwise the recovered primary would welcome the client at a stale
+// cursor and the stream would be re-sent from scratch (still exact, but a
+// full replay instead of a resume).
+//
+// Version 2 makes the table the cluster's topology document, not just its
+// exception list: it carries the ring epoch and the shard list alongside
+// the routes, so a standby router that replicates the table serves the
+// same ring at the same epoch as the primary that wrote it — and a
+// replica holding an older epoch can be detected and refused instead of
+// silently resurrecting a retired topology.
 //
 // On-disk container (see docs/FORMATS.md):
 //
 //	magic   "ORMRTAB" (7 bytes)
-//	version 1 byte (currently 1)
+//	version 1 byte (currently 2; version-1 files still load)
 //	length  8 bytes little-endian: payload byte count
 //	crc     4 bytes little-endian: CRC-32C (Castagnoli) of the payload
-//	payload gob-encoded RouterTable, routes sorted by session ID
+//	payload gob-encoded RouterState: ring epoch, shard list in ring
+//	        order, routes sorted by session ID (v1 payloads carry only
+//	        the routes and load with Epoch 0 and a nil shard list)
 //
 // Writes share Save's crash-atomic discipline, and a torn or bit-flipped
 // table fails the CRC and loads as a *CorruptError — the router treats
@@ -38,7 +46,9 @@ const (
 	// RouterMagic identifies a router routing-table file.
 	RouterMagic = "ORMRTAB"
 	// RouterVersion is the current table container version.
-	RouterVersion = 1
+	RouterVersion = 2
+	// routerVersion1 is the pre-epoch container, still readable.
+	routerVersion1 = 1
 	// MaxRouterPayload bounds the table payload so a corrupt header
 	// cannot drive a huge allocation.
 	MaxRouterPayload = 1 << 26
@@ -50,48 +60,68 @@ type Route struct {
 	Shard   string
 }
 
-// RouterTable is the router's persisted session→shard assignments.
+// RouterTable is the v1 persisted payload: routes only. It remains a
+// named type so old gob payloads decode; new tables persist RouterState.
 type RouterTable struct {
 	Routes []Route // sorted by session ID
 }
 
-// SaveRouterTable atomically writes the session→shard map to path.
-func SaveRouterTable(path string, routes map[string]string) error {
-	tab := RouterTable{Routes: make([]Route, 0, len(routes))}
-	for s, sh := range routes {
-		tab.Routes = append(tab.Routes, Route{Session: s, Shard: sh})
+// RouterState is the router's full durable state: the ring topology
+// (epoch + shard list) plus every pinned session→shard route. It is both
+// the on-disk payload and the unit of router-to-router replication.
+type RouterState struct {
+	// Epoch is the ring version: 1 for a fresh ring, incremented by every
+	// add-shard/remove-shard. Epoch 0 marks a legacy v1 table that carried
+	// no topology.
+	Epoch uint64
+	// Shards is the ring's shard address list, in ring-build order.
+	Shards []string
+	// Routes maps session → shard for sessions pinned off their current
+	// ring primary.
+	Routes map[string]string
+}
+
+// gobRouterState is the serialized form: routes as a sorted slice so the
+// payload bytes are a canonical function of the state — byte-comparing
+// two table files compares the tables.
+type gobRouterState struct {
+	Epoch  uint64
+	Shards []string
+	Routes []Route
+}
+
+// EncodeRouterTable serializes the state into the ORMRTAB v2 container
+// (the exact bytes SaveRouterTable writes). The encoding is canonical:
+// routes are sorted by session ID, so equal states encode equal bytes and
+// a replicated table is byte-identical to its source.
+func EncodeRouterTable(st *RouterState) ([]byte, error) {
+	g := gobRouterState{Epoch: st.Epoch, Shards: append([]string(nil), st.Shards...)}
+	g.Routes = make([]Route, 0, len(st.Routes))
+	for s, sh := range st.Routes {
+		g.Routes = append(g.Routes, Route{Session: s, Shard: sh})
 	}
-	sort.Slice(tab.Routes, func(i, j int) bool { return tab.Routes[i].Session < tab.Routes[j].Session })
+	sort.Slice(g.Routes, func(i, j int) bool { return g.Routes[i].Session < g.Routes[j].Session })
 	var payload bytes.Buffer
-	if err := gob.NewEncoder(&payload).Encode(&tab); err != nil {
-		return fmt.Errorf("checkpoint: encode router table: %w", err)
+	if err := gob.NewEncoder(&payload).Encode(&g); err != nil {
+		return nil, fmt.Errorf("checkpoint: encode router table: %w", err)
 	}
 	if payload.Len() > MaxRouterPayload {
-		return fmt.Errorf("checkpoint: router table %d bytes exceeds limit %d", payload.Len(), MaxRouterPayload)
+		return nil, fmt.Errorf("checkpoint: router table %d bytes exceeds limit %d", payload.Len(), MaxRouterPayload)
 	}
 	out := make([]byte, 0, len(RouterMagic)+1+12+payload.Len())
 	out = append(out, RouterMagic...)
 	out = append(out, RouterVersion)
 	out = binary.LittleEndian.AppendUint64(out, uint64(payload.Len()))
 	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(payload.Bytes(), crcTable))
-	out = append(out, payload.Bytes()...)
-	return writeAtomic(path, out)
+	return append(out, payload.Bytes()...), nil
 }
 
-// LoadRouterTable reads and verifies the routing table at path. A missing
-// file returns an error satisfying errors.Is(err, os.ErrNotExist); a
-// damaged file returns a *CorruptError.
-func LoadRouterTable(path string) (map[string]string, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	data, err := io.ReadAll(io.LimitReader(f, MaxRouterPayload+64))
-	if err != nil {
-		return nil, fmt.Errorf("checkpoint: read %s: %w", path, err)
-	}
-	bad := func(format string, args ...any) (map[string]string, error) {
+// DecodeRouterTable parses an ORMRTAB container (v1 or v2) from data. A
+// damaged container returns a *CorruptError with path as its location
+// label (the caller names the source: a file path, or a replication
+// peer).
+func DecodeRouterTable(path string, data []byte) (*RouterState, error) {
+	bad := func(format string, args ...any) (*RouterState, error) {
 		return nil, &CorruptError{Path: path, Reason: fmt.Sprintf(format, args...)}
 	}
 	head := len(RouterMagic) + 1 + 8 + 4
@@ -101,8 +131,9 @@ func LoadRouterTable(path string) (map[string]string, error) {
 	if string(data[:len(RouterMagic)]) != RouterMagic {
 		return bad("bad magic")
 	}
-	if v := data[len(RouterMagic)]; v != RouterVersion {
-		return bad("unsupported version %d", v)
+	version := data[len(RouterMagic)]
+	if version != RouterVersion && version != routerVersion1 {
+		return bad("unsupported version %d", version)
 	}
 	n := binary.LittleEndian.Uint64(data[len(RouterMagic)+1:])
 	if n > MaxRouterPayload {
@@ -116,19 +147,70 @@ func LoadRouterTable(path string) (map[string]string, error) {
 	if got := crc32.Checksum(payload, crcTable); got != sum {
 		return bad("payload CRC %#08x, header says %#08x", got, sum)
 	}
-	var tab RouterTable
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&tab); err != nil {
-		return bad("payload does not decode: %v", err)
+	var routes []Route
+	st := &RouterState{}
+	if version == routerVersion1 {
+		var tab RouterTable
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&tab); err != nil {
+			return bad("payload does not decode: %v", err)
+		}
+		routes = tab.Routes
+	} else {
+		var g gobRouterState
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&g); err != nil {
+			return bad("payload does not decode: %v", err)
+		}
+		st.Epoch = g.Epoch
+		st.Shards = g.Shards
+		routes = g.Routes
+		seen := make(map[string]bool, len(g.Shards))
+		for _, sh := range g.Shards {
+			if sh == "" {
+				return bad("empty shard address in topology")
+			}
+			if seen[sh] {
+				return bad("duplicate shard address %q in topology", sh)
+			}
+			seen[sh] = true
+		}
+		if st.Epoch > 0 && len(st.Shards) == 0 {
+			return bad("epoch %d with empty shard list", st.Epoch)
+		}
 	}
-	routes := make(map[string]string, len(tab.Routes))
-	for _, r := range tab.Routes {
+	st.Routes = make(map[string]string, len(routes))
+	for _, r := range routes {
 		if r.Session == "" || r.Shard == "" {
 			return bad("route with empty session or shard")
 		}
-		if _, dup := routes[r.Session]; dup {
+		if _, dup := st.Routes[r.Session]; dup {
 			return bad("duplicate route for session %q", r.Session)
 		}
-		routes[r.Session] = r.Shard
+		st.Routes[r.Session] = r.Shard
 	}
-	return routes, nil
+	return st, nil
+}
+
+// SaveRouterTable atomically writes the router state to path.
+func SaveRouterTable(path string, st *RouterState) error {
+	out, err := EncodeRouterTable(st)
+	if err != nil {
+		return err
+	}
+	return writeAtomic(path, out)
+}
+
+// LoadRouterTable reads and verifies the routing table at path. A missing
+// file returns an error satisfying errors.Is(err, os.ErrNotExist); a
+// damaged file returns a *CorruptError.
+func LoadRouterTable(path string) (*RouterState, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	data, err := io.ReadAll(io.LimitReader(f, MaxRouterPayload+64))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read %s: %w", path, err)
+	}
+	return DecodeRouterTable(path, data)
 }

@@ -1,7 +1,11 @@
 package checkpoint
 
 import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
 	"errors"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -10,28 +14,92 @@ import (
 
 func TestRouterTableRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "router.rtab")
-	routes := map[string]string{
-		"run7":     "10.0.0.2:7417",
-		"soak-kr":  "10.0.0.3:7417",
-		"baseline": "10.0.0.2:7417",
+	st := &RouterState{
+		Epoch:  3,
+		Shards: []string{"10.0.0.2:7417", "10.0.0.3:7417"},
+		Routes: map[string]string{
+			"run7":     "10.0.0.2:7417",
+			"soak-kr":  "10.0.0.3:7417",
+			"baseline": "10.0.0.2:7417",
+		},
 	}
-	if err := SaveRouterTable(path, routes); err != nil {
+	if err := SaveRouterTable(path, st); err != nil {
 		t.Fatal(err)
 	}
 	got, err := LoadRouterTable(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(got, routes) {
-		t.Errorf("round trip: got %v want %v", got, routes)
+	if got.Epoch != st.Epoch || !reflect.DeepEqual(got.Shards, st.Shards) || !reflect.DeepEqual(got.Routes, st.Routes) {
+		t.Errorf("round trip: got %+v want %+v", got, st)
 	}
 
 	// An empty table round-trips too — the common no-reroutes case.
-	if err := SaveRouterTable(path, nil); err != nil {
+	if err := SaveRouterTable(path, &RouterState{Epoch: 1, Shards: []string{"h:1"}}); err != nil {
 		t.Fatal(err)
 	}
-	if got, err := LoadRouterTable(path); err != nil || len(got) != 0 {
-		t.Errorf("empty table: got %v, %v", got, err)
+	if got, err := LoadRouterTable(path); err != nil || len(got.Routes) != 0 || got.Epoch != 1 {
+		t.Errorf("empty table: got %+v, %v", got, err)
+	}
+}
+
+// TestRouterTableCanonical: equal states must encode equal bytes — the
+// replication plane byte-compares tables, and map iteration order must
+// not leak into the container.
+func TestRouterTableCanonical(t *testing.T) {
+	mk := func() *RouterState {
+		return &RouterState{
+			Epoch:  7,
+			Shards: []string{"a:1", "b:1", "c:1"},
+			Routes: map[string]string{"s1": "a:1", "s2": "b:1", "s3": "c:1", "s4": "a:1"},
+		}
+	}
+	first, err := EncodeRouterTable(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		again, err := EncodeRouterTable(mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, again) {
+			t.Fatalf("encoding is not canonical: differs on attempt %d", i)
+		}
+	}
+}
+
+// TestRouterTableV1Compat: a version-1 container (routes only, no epoch
+// or shard list) still loads, as epoch 0 with a nil topology.
+func TestRouterTableV1Compat(t *testing.T) {
+	var payload bytes.Buffer
+	tab := RouterTable{Routes: []Route{
+		{Session: "old-a", Shard: "h:1"},
+		{Session: "old-b", Shard: "h:2"},
+	}}
+	if err := gob.NewEncoder(&payload).Encode(&tab); err != nil {
+		t.Fatal(err)
+	}
+	data := []byte(RouterMagic)
+	data = append(data, routerVersion1)
+	data = binary.LittleEndian.AppendUint64(data, uint64(payload.Len()))
+	data = binary.LittleEndian.AppendUint32(data, crc32.Checksum(payload.Bytes(), crcTable))
+	data = append(data, payload.Bytes()...)
+
+	path := filepath.Join(t.TempDir(), "v1.rtab")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadRouterTable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 0 || got.Shards != nil {
+		t.Errorf("v1 table: got epoch %d shards %v, want legacy epoch 0, nil shards", got.Epoch, got.Shards)
+	}
+	want := map[string]string{"old-a": "h:1", "old-b": "h:2"}
+	if !reflect.DeepEqual(got.Routes, want) {
+		t.Errorf("v1 routes: got %v want %v", got.Routes, want)
 	}
 }
 
@@ -45,7 +113,12 @@ func TestRouterTableMissingFile(t *testing.T) {
 func TestRouterTableCorruption(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "router.rtab")
-	if err := SaveRouterTable(path, map[string]string{"s": "h:1"}); err != nil {
+	err := SaveRouterTable(path, &RouterState{
+		Epoch:  2,
+		Shards: []string{"h:1", "h:2"},
+		Routes: map[string]string{"s": "h:1"},
+	})
+	if err != nil {
 		t.Fatal(err)
 	}
 	good, err := os.ReadFile(path)
@@ -62,6 +135,12 @@ func TestRouterTableCorruption(t *testing.T) {
 			b[len(b)-1] ^= 0xff
 			return b
 		}(),
+		"flipped-epoch": func() []byte {
+			// Damage inside the payload region: CRC must catch it.
+			b := append([]byte(nil), good...)
+			b[len(RouterMagic)+1+8+4+4] ^= 0x01
+			return b
+		}(),
 	}
 	for name, data := range cases {
 		p := filepath.Join(dir, name)
@@ -72,4 +151,81 @@ func TestRouterTableCorruption(t *testing.T) {
 			t.Errorf("%s: got %v, want *CorruptError", name, err)
 		}
 	}
+}
+
+// TestRouterTableInvalidContents: containers whose framing is intact but
+// whose decoded payload violates the format's invariants are corrupt too.
+func TestRouterTableInvalidContents(t *testing.T) {
+	frame := func(t *testing.T, g gobRouterState) []byte {
+		t.Helper()
+		var payload bytes.Buffer
+		if err := gob.NewEncoder(&payload).Encode(&g); err != nil {
+			t.Fatal(err)
+		}
+		data := []byte(RouterMagic)
+		data = append(data, RouterVersion)
+		data = binary.LittleEndian.AppendUint64(data, uint64(payload.Len()))
+		data = binary.LittleEndian.AppendUint32(data, crc32.Checksum(payload.Bytes(), crcTable))
+		return append(data, payload.Bytes()...)
+	}
+	cases := map[string]gobRouterState{
+		"duplicate-shard":    {Epoch: 1, Shards: []string{"h:1", "h:1"}},
+		"empty-shard":        {Epoch: 1, Shards: []string{""}},
+		"epoch-no-shards":    {Epoch: 4},
+		"duplicate-session":  {Epoch: 1, Shards: []string{"h:1"}, Routes: []Route{{"s", "h:1"}, {"s", "h:1"}}},
+		"empty-route-fields": {Epoch: 1, Shards: []string{"h:1"}, Routes: []Route{{"", ""}}},
+	}
+	for name, g := range cases {
+		if _, err := DecodeRouterTable(name, frame(t, g)); !IsCorrupt(err) {
+			t.Errorf("%s: got %v, want *CorruptError", name, err)
+		}
+	}
+}
+
+// FuzzRouterTable drives the ORMRTAB decoder with mutated containers. The
+// decoder must never panic, and any input it accepts must re-encode to a
+// container it accepts again with identical meaning (round-trip fixpoint).
+func FuzzRouterTable(f *testing.F) {
+	seed := func(st *RouterState) []byte {
+		b, err := EncodeRouterTable(st)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return b
+	}
+	f.Add(seed(&RouterState{Epoch: 1, Shards: []string{"h:1"}}))
+	f.Add(seed(&RouterState{
+		Epoch:  9,
+		Shards: []string{"10.0.0.2:7417", "10.0.0.3:7417", "10.0.0.4:7417"},
+		Routes: map[string]string{"cl-a": "10.0.0.3:7417", "cl-b": "10.0.0.2:7417"},
+	}))
+	good := seed(&RouterState{Epoch: 2, Shards: []string{"a:1", "b:1"}, Routes: map[string]string{"s": "b:1"}})
+	f.Add(good[:len(good)-3])                      // truncated payload
+	f.Add(append([]byte("ORMWRONG"), good[8:]...)) // bad magic
+	mut := append([]byte(nil), good...)
+	mut[len(mut)-1] ^= 0x40 // CRC-detectable damage
+	f.Add(mut)
+	f.Add([]byte(RouterMagic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := DecodeRouterTable("fuzz", data)
+		if err != nil {
+			if !IsCorrupt(err) {
+				t.Fatalf("decode error is not *CorruptError: %v", err)
+			}
+			return
+		}
+		out, err := EncodeRouterTable(st)
+		if err != nil {
+			t.Fatalf("accepted state fails to re-encode: %v", err)
+		}
+		st2, err := DecodeRouterTable("fuzz-reencoded", out)
+		if err != nil {
+			t.Fatalf("re-encoded container rejected: %v", err)
+		}
+		if st2.Epoch != st.Epoch || !reflect.DeepEqual(st2.Shards, st.Shards) || !reflect.DeepEqual(st2.Routes, st.Routes) {
+			t.Fatalf("round trip drift: %+v vs %+v", st, st2)
+		}
+	})
 }

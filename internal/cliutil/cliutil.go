@@ -26,6 +26,7 @@ import (
 	"ormprof/internal/memsim"
 	"ormprof/internal/omc"
 	"ormprof/internal/profiler"
+	"ormprof/internal/serve"
 	"ormprof/internal/trace"
 	"ormprof/internal/tracefmt"
 	"ormprof/internal/workloads"
@@ -379,16 +380,18 @@ func (ev *Events) Replayed() bool { return ev.path != "" }
 // part of the stream but contained the fault and salvaged the rest. These
 // are exactly the typed errors of the fault-tolerant layer — trace
 // corruption skipped by a lenient reader, a contained panic in the drain or
-// a worker, a deadline/cancellation that cut the pass short, or a memory
-// budget that degraded the profiling mode. Anything else (unreadable file,
-// bad flags, strict-mode decode failure) is a hard error.
+// a worker, a deadline/cancellation that cut the pass short, a memory
+// budget that degraded the profiling mode, or a cluster merge that had to
+// skip unusable final states. Anything else (unreadable file, bad flags,
+// strict-mode decode failure) is a hard error.
 func Salvaged(err error) bool {
 	var ce *tracefmt.CorruptionError
 	var pe *trace.PanicError
 	var we *profiler.WorkerError
 	var de *govern.DegradedError
+	var pr *serve.PartialReportError
 	return errors.As(err, &ce) || errors.As(err, &pe) || errors.As(err, &we) ||
-		errors.As(err, &de) ||
+		errors.As(err, &de) || errors.As(err, &pr) ||
 		errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
 }
 

@@ -1,0 +1,74 @@
+package faultinject
+
+// Reconfiguration fault injection. A live ring change has its own failure
+// vocabulary beyond dead/flapping/slow shards: the orchestrator can die
+// between migration stages, an operator (or their retry loop) can submit
+// the same topology command twice, and a standby router can silently stop
+// receiving replication and go stale. Each class below makes one of those
+// deterministic, so a resize-under-fire soak failure replays exactly.
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// MigrationTrap builds a migration-stage hook (the cluster's MigrateHook
+// shape) that fires action exactly once: on the n-th time (1-based) the
+// named stage is reported, for any session. The stages a migration
+// reports, in order, are "held", "handoff", "adopted", "repointed" — so a
+// trap on "adopted" with an action that kills the source shard exercises
+// the two-durable-copies window, and one on "handoff" the
+// still-only-at-source window.
+func MigrationTrap(stage string, n int64, action func(session string)) func(stage, session string) {
+	var seen atomic.Int64
+	var once sync.Once
+	return func(s, session string) {
+		if s != stage {
+			return
+		}
+		if seen.Add(1) == n {
+			once.Do(func() { action(session) })
+		}
+	}
+}
+
+// DuplicateCommand submits the same admin command twice back to back —
+// the operator whose first attempt timed out on the reply and whose retry
+// therefore replays a command that was already applied. It returns the
+// first submission's result and both errors; against a correct epoch-CAS
+// admin plane the first succeeds and the second is refused as stale.
+func DuplicateCommand(cmd func() (uint64, error)) (epoch uint64, first, second error) {
+	epoch, first = cmd()
+	_, second = cmd()
+	return epoch, first, second
+}
+
+// MuteListener wraps ln so the first n accepted connections are served
+// normally and every later one is closed immediately. Wrapped around a
+// standby router's admin listener it manufactures the stale-epoch
+// replica: replication lands during setup, then stops arriving, and the
+// standby's table quietly falls behind the active's epoch — the state a
+// correct cluster must refuse to promote placements from, not serve.
+func MuteListener(ln net.Listener, n int) net.Listener {
+	return &muteListener{Listener: ln, budget: int64(n)}
+}
+
+type muteListener struct {
+	net.Listener
+	budget int64
+	done   atomic.Int64
+}
+
+func (l *muteListener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		if l.done.Add(1) <= l.budget {
+			return conn, nil
+		}
+		conn.Close()
+	}
+}

@@ -79,6 +79,11 @@ type ClientConfig struct {
 
 	// Logf, when set, receives one line per connection attempt.
 	Logf func(format string, args ...any)
+
+	// redirect shares the most recent Retry redirect hint between the
+	// push loop (which learns it — a standby router naming the active)
+	// and the default dialer (which spends it, once).
+	redirect *string
 }
 
 func (c *ClientConfig) withDefaults() ClientConfig {
@@ -104,17 +109,26 @@ func (c *ClientConfig) withDefaults() ClientConfig {
 	if out.Logf == nil {
 		out.Logf = func(string, ...any) {}
 	}
+	out.redirect = new(string)
 	if out.Dial == nil {
 		addrs := out.Addrs
 		if len(addrs) == 0 {
 			addrs = []string{out.Addr}
 		}
 		// Push dials from one goroutine, so a plain counter rotates the
-		// address list deterministically across attempts.
+		// address list deterministically across attempts. A pending
+		// redirect hint (a standby router pointing at the active) takes
+		// one attempt's slot and is consumed whether or not it works —
+		// a bad hint must cost one attempt, not wedge the rotation.
 		attempt := 0
+		hint := out.redirect
 		out.Dial = func(ctx context.Context) (net.Conn, error) {
 			addr := addrs[attempt%len(addrs)]
 			attempt++
+			if h := *hint; h != "" {
+				*hint = ""
+				addr = h
+			}
 			var d net.Dialer
 			return d.DialContext(ctx, "tcp", addr)
 		}
@@ -252,9 +266,14 @@ func pushOnce(ctx context.Context, cfg *ClientConfig, src FrameSource, stats *Cl
 	switch mt {
 	case MsgWelcome:
 	case MsgRetry:
-		ms, perr := parseUvarintBody(mt, body)
+		ms, redirect, perr := decodeRetry(body)
 		if perr != nil {
 			return false, false, perr
+		}
+		if redirect != "" {
+			// A standby router naming the active: point the next dial there.
+			cfg.Logf("redirected to %s", redirect)
+			*cfg.redirect = redirect
 		}
 		wait := time.Duration(ms) * time.Millisecond
 		if wait > 0 {

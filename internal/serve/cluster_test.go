@@ -246,12 +246,12 @@ func TestRouterReroutesDeadPrimary(t *testing.T) {
 	if pinned != live.addr {
 		t.Errorf("session pinned to %q, want %q", pinned, live.addr)
 	}
-	routes, err := checkpoint.LoadRouterTable(statePath)
+	st, err := checkpoint.LoadRouterTable(statePath)
 	if err != nil {
 		t.Fatalf("load persisted reroute table: %v", err)
 	}
-	if routes[session] != live.addr {
-		t.Errorf("persisted route = %q, want %q", routes[session], live.addr)
+	if st.Routes[session] != live.addr {
+		t.Errorf("persisted route = %q, want %q", st.Routes[session], live.addr)
 	}
 
 	// A new router given the same state file adopts the pin.

@@ -110,8 +110,8 @@ func TestGlobalSheddingDeterministic(t *testing.T) {
 	_, sites, events := makeFrames(t, "linkedlist", 256)
 
 	srv := newBareServer(t, Config{GlobalMemBudget: 1 << 40})
-	sa, _ := srv.resolveSession(&Hello{SessionID: "a", Workload: "w", Sites: sites})
-	sb, _ := srv.resolveSession(&Hello{SessionID: "b", Workload: "w", Sites: sites})
+	sa, _ := srv.resolveSession(&Hello{SessionID: "a", Workload: "w", Sites: sites}, nil)
+	sb, _ := srv.resolveSession(&Hello{SessionID: "b", Workload: "w", Sites: sites}, nil)
 	sa.active, sb.active = false, false // parked
 	sa.pl.applyFrame(events)            // heavy
 	sb.pl.applyFrame(events[:64])       // light
@@ -130,8 +130,8 @@ func TestGlobalSheddingDeterministic(t *testing.T) {
 
 	// Equal footprints: the smaller session ID sheds, every time.
 	srv2 := newBareServer(t, Config{GlobalMemBudget: 1 << 40})
-	ta, _ := srv2.resolveSession(&Hello{SessionID: "a", Workload: "w", Sites: sites})
-	tb, _ := srv2.resolveSession(&Hello{SessionID: "b", Workload: "w", Sites: sites})
+	ta, _ := srv2.resolveSession(&Hello{SessionID: "a", Workload: "w", Sites: sites}, nil)
+	tb, _ := srv2.resolveSession(&Hello{SessionID: "b", Workload: "w", Sites: sites}, nil)
 	ta.active, tb.active = false, false
 	ta.pl.applyFrame(events)
 	tb.pl.applyFrame(events)
@@ -151,7 +151,7 @@ func TestGlobalSheddingDeterministic(t *testing.T) {
 	// An active session owned by another connection is flagged, not
 	// stepped: only its own worker may touch the ladder.
 	srv3 := newBareServer(t, Config{GlobalMemBudget: 1 << 40})
-	oa, _ := srv3.resolveSession(&Hello{SessionID: "a", Workload: "w", Sites: sites})
+	oa, _ := srv3.resolveSession(&Hello{SessionID: "a", Workload: "w", Sites: sites}, nil)
 	oa.pl.applyFrame(events) // heaviest, and active (resolveSession claimed it)
 	srv3.cfg.GlobalMemBudget = oa.pl.lad.Budget().Used()
 	srv3.enforceGlobal(nil)

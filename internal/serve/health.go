@@ -103,6 +103,26 @@ func (h *health) stop() {
 	h.wg.Wait()
 }
 
+// addShard starts tracking a new shard, born Up (the router has no
+// evidence against it yet; the first typed failure will mark it Down as
+// usual). Adding an already-tracked shard is a no-op so a replayed admin
+// command cannot reset real health state.
+func (h *health) addShard(addr string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.shards[addr]; !ok {
+		h.shards[addr] = &shardHealth{}
+	}
+}
+
+// removeShard stops tracking a shard that left the ring; its probe
+// schedule and hints die with it.
+func (h *health) removeShard(addr string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.shards, addr)
+}
+
 // up reports whether the shard is currently routable.
 func (h *health) up(addr string) bool {
 	h.mu.Lock()

@@ -42,6 +42,20 @@ func (e *MergeError) Error() string {
 	return fmt.Sprintf("serve: session %q completed on two shards (%s and %s)", e.Session, e.DirA, e.DirB)
 }
 
+// PartialReportError reports a merge that completed but skipped unusable
+// final states: the report is correct for every session it covers, yet it
+// does not cover everything the cluster ingested. ClusterReport itself
+// still returns the stats with a nil error — the artifacts are written and
+// usable — but a caller that must not conflate "complete" with "best
+// effort" (ormpd -merge exits 2) builds this from ClusterStats.Skipped.
+type PartialReportError struct {
+	Skipped int
+}
+
+func (e *PartialReportError) Error() string {
+	return fmt.Sprintf("serve: merge skipped %d unusable final state(s); report is partial", e.Skipped)
+}
+
 // ClusterStats summarizes one merge run.
 type ClusterStats struct {
 	Sessions int // final states merged
@@ -153,6 +167,7 @@ func ClusterReport(dirs []string, outDir string, maxLMADs int, logf func(string,
 	if err := writeArtifact(filepath.Join(outDir, "cluster.whomp"), func(w *bufio.Writer) error {
 		fmt.Fprintf(w, "# cluster whomp summary\n")
 		fmt.Fprintf(w, "sessions %d\n", len(rows))
+		fmt.Fprintf(w, "skipped %d\n", stats.Skipped)
 		for _, r := range rows {
 			fmt.Fprintf(w, "session %s workload %s rung %s frames %d events %d records %d objects %d symbols %d\n",
 				r.id, sanitizeName(r.workload), r.rung, r.frames, r.events, r.records, r.objects, r.symbols)

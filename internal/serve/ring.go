@@ -13,7 +13,14 @@ import (
 // from nothing but the shard list. Determinism over cleverness: the hash
 // is FNV-1a, the points are "addr#replica", and ties cannot occur because
 // point collisions are resolved by address order at build time.
+//
+// Rings are immutable and versioned: add/remove build a NEW ring with the
+// epoch advanced by one. Every placement decision, admin command, and
+// replicated table names the epoch it was computed against, so two
+// routers can tell "same topology" from "same shards, different history"
+// and a stale actor is refused instead of silently re-homing sessions.
 type ring struct {
+	epoch  uint64      // topology version; 1 for a fresh ring
 	points []ringPoint // sorted by hash
 	addrs  []string    // the distinct shard addresses, in given order
 }
@@ -34,14 +41,18 @@ func hash64(s string) uint64 {
 	return h.Sum64()
 }
 
-// newRing builds a ring over the given shard addresses. Addresses must be
-// non-empty and unique.
-func newRing(addrs []string) (*ring, error) {
+// newRing builds an epoch-1 ring over the given shard addresses.
+// Addresses must be non-empty and unique.
+func newRing(addrs []string) (*ring, error) { return newRingAt(1, addrs) }
+
+// newRingAt builds a ring at an explicit epoch — used when reconstructing
+// the topology a durable or replicated ORMRTAB table describes.
+func newRingAt(epoch uint64, addrs []string) (*ring, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("serve: cluster needs at least one shard")
 	}
 	seen := make(map[string]bool, len(addrs))
-	r := &ring{addrs: append([]string(nil), addrs...)}
+	r := &ring{epoch: epoch, addrs: append([]string(nil), addrs...)}
 	for i, a := range addrs {
 		if a == "" {
 			return nil, fmt.Errorf("serve: empty shard address")
@@ -88,4 +99,40 @@ func (r *ring) order(session string) []int {
 // primary returns the session's home shard address.
 func (r *ring) primary(session string) string {
 	return r.addrs[r.order(session)[0]]
+}
+
+// contains reports whether addr is a shard of this ring.
+func (r *ring) contains(addr string) bool {
+	for _, a := range r.addrs {
+		if a == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// add builds the successor ring with addr appended and the epoch advanced.
+func (r *ring) add(addr string) (*ring, error) {
+	if r.contains(addr) {
+		return nil, fmt.Errorf("serve: shard %q already in ring", addr)
+	}
+	return newRingAt(r.epoch+1, append(append([]string(nil), r.addrs...), addr))
+}
+
+// remove builds the successor ring without addr, epoch advanced. The last
+// shard cannot be removed: an empty ring has nowhere to put any session.
+func (r *ring) remove(addr string) (*ring, error) {
+	if !r.contains(addr) {
+		return nil, fmt.Errorf("serve: shard %q not in ring", addr)
+	}
+	if len(r.addrs) == 1 {
+		return nil, fmt.Errorf("serve: cannot remove the last shard %q", addr)
+	}
+	keep := make([]string, 0, len(r.addrs)-1)
+	for _, a := range r.addrs {
+		if a != addr {
+			keep = append(keep, a)
+		}
+	}
+	return newRingAt(r.epoch+1, keep)
 }

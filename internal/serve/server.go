@@ -126,9 +126,10 @@ func (c *Config) withDefaults() Config {
 type sessionState struct {
 	id     string
 	pl     *pipeline
-	acked  uint64 // durable cursor: FramesApplied at the last checkpoint
-	dirty  bool   // frames applied since the last checkpoint
-	active bool   // a connection currently owns this session
+	acked  uint64   // durable cursor: FramesApplied at the last checkpoint
+	dirty  bool     // frames applied since the last checkpoint
+	active bool     // a connection currently owns this session
+	conn   net.Conn // the owning connection while active (migration closes it)
 
 	// parting is set (under the server mutex) just before the owning
 	// handler writes its final park checkpoint, and released is closed
@@ -159,14 +160,15 @@ type Server struct {
 	cfg Config
 	ln  net.Listener
 
-	mu       sync.Mutex
-	sessions map[string]*sessionState
-	resumed  map[string]*checkpoint.State // disk checkpoints not yet adopted
-	draining bool
-	drainCh  chan struct{} // closed when Shutdown begins
-	killed   bool
-	killCh   chan struct{} // closed by Kill
-	conns    map[net.Conn]struct{}
+	mu        sync.Mutex
+	sessions  map[string]*sessionState
+	resumed   map[string]*checkpoint.State // disk checkpoints not yet adopted
+	migrating map[string]bool              // sessions mid-handoff; reconnects draw Retry
+	draining  bool
+	drainCh   chan struct{} // closed when Shutdown begins
+	killed    bool
+	killCh    chan struct{} // closed by Kill
+	conns     map[net.Conn]struct{}
 
 	queuedBytes atomic.Int64
 	wg          sync.WaitGroup
@@ -201,14 +203,15 @@ func New(ln net.Listener, cfg Config) (*Server, error) {
 		govRoot = c.ParentBudget.Sub(0)
 	}
 	s := &Server{
-		cfg:      c,
-		ln:       ln,
-		sessions: make(map[string]*sessionState),
-		resumed:  make(map[string]*checkpoint.State),
-		drainCh:  make(chan struct{}),
-		killCh:   make(chan struct{}),
-		conns:    make(map[net.Conn]struct{}),
-		govRoot:  govRoot,
+		cfg:       c,
+		ln:        ln,
+		sessions:  make(map[string]*sessionState),
+		resumed:   make(map[string]*checkpoint.State),
+		migrating: make(map[string]bool),
+		drainCh:   make(chan struct{}),
+		killCh:    make(chan struct{}),
+		conns:     make(map[net.Conn]struct{}),
+		govRoot:   govRoot,
 	}
 	if c.Resume {
 		states, skipped, err := checkpoint.LoadDir(c.CheckpointDir)
@@ -366,26 +369,35 @@ func heavier(a, b *sessionState) bool {
 	return a.id < b.id
 }
 
-// claim marks st owned by a new connection. Callers hold s.mu.
-func (st *sessionState) claim() {
+// claim marks st owned by conn. Callers hold s.mu.
+func (st *sessionState) claim(conn net.Conn) {
 	st.active, st.parting = true, false
+	st.conn = conn
 	st.released = make(chan struct{})
 }
 
 // resolveSession finds or creates the session state for a Hello,
 // claiming it for this connection. It returns nil if the session is
-// already owned by a live connection; if the owner is parting (winding
-// down after its final checkpoint) it waits for the release and adopts,
-// so a reconnect can never lose the park/adopt race.
-func (s *Server) resolveSession(h *Hello) (*sessionState, error) {
+// already owned by a live connection, or is mid-migration to another
+// shard; if the owner is parting (winding down after its final
+// checkpoint) it waits for the release and adopts, so a reconnect can
+// never lose the park/adopt race.
+func (s *Server) resolveSession(h *Hello, conn net.Conn) (*sessionState, error) {
 	for {
 		s.mu.Lock()
+		if s.migrating[h.SessionID] {
+			// The state is being handed to another shard; anything started
+			// here would fork the session's history. Retry — by the time
+			// the client is back, the router points at the new owner.
+			s.mu.Unlock()
+			return nil, nil
+		}
 		st, ok := s.sessions[h.SessionID]
 		if !ok {
 			break // new or resumed session; s.mu still held
 		}
 		if !st.active {
-			st.claim()
+			st.claim(conn)
 			s.mu.Unlock()
 			return st, nil
 		}
@@ -414,7 +426,7 @@ func (s *Server) resolveSession(h *Hello) (*sessionState, error) {
 			s.cfg.Logf("session %s: checkpoint unusable (%v), starting fresh", h.SessionID, err)
 		} else {
 			st := &sessionState{id: h.SessionID, pl: pl, acked: ck.FramesApplied}
-			st.claim()
+			st.claim(conn)
 			s.sessions[h.SessionID] = st
 			return st, nil
 		}
@@ -424,7 +436,7 @@ func (s *Server) resolveSession(h *Hello) (*sessionState, error) {
 		pl: newPipeline(h.Workload, h.Sites, s.cfg.MaxLMADs,
 			s.govRoot.Sub(s.cfg.SessionMemBudget), sessionSeed(h.SessionID), s.governed()),
 	}
-	st.claim()
+	st.claim(conn)
 	s.sessions[h.SessionID] = st
 	return st, nil
 }
@@ -444,6 +456,7 @@ func (s *Server) markParting(st *sessionState) {
 func (s *Server) release(st *sessionState) {
 	s.mu.Lock()
 	st.active, st.parting = false, false
+	st.conn = nil
 	close(st.released)
 	s.mu.Unlock()
 }
@@ -537,6 +550,7 @@ func (s *Server) Kill() {
 	s.mu.Lock()
 	s.sessions = make(map[string]*sessionState)
 	s.resumed = make(map[string]*checkpoint.State)
+	s.migrating = make(map[string]bool)
 	s.mu.Unlock()
 }
 
@@ -580,7 +594,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		retry()
 		return
 	}
-	st, err := s.resolveSession(hello)
+	st, err := s.resolveSession(hello, conn)
 	if err != nil {
 		writeMsg(bw, MsgErr, []byte(err.Error()))
 		bw.Flush()

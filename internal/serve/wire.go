@@ -185,6 +185,40 @@ func parseUvarintBody(t MsgType, body []byte) (uint64, error) {
 	return v, nil
 }
 
+// MaxAddrHintLen bounds the redirect address a Retry may carry.
+const MaxAddrHintLen = 256
+
+// encodeRetry builds a Retry body: the retry-after in milliseconds,
+// optionally followed by a redirect address. The address is appended only
+// when non-empty, so an ordinary admission-control Retry remains the
+// classic single-uvarint body; the extended form is how a standby router
+// tells a client where the active router lives (see Router standby mode)
+// without inventing a new message type.
+func encodeRetry(ms uint64, addr string) []byte {
+	b := uvarintBody(ms)
+	if addr != "" {
+		b = appendString(b, addr)
+	}
+	return b
+}
+
+// decodeRetry parses a Retry body in either form.
+func decodeRetry(body []byte) (ms uint64, addr string, err error) {
+	sc := &byteScanner{data: body}
+	if ms, err = sc.uvarint(); err != nil {
+		return 0, "", protof("Retry body lacks a delay")
+	}
+	if sc.off < len(body) {
+		if addr, err = sc.str(MaxAddrHintLen); err != nil {
+			return 0, "", err
+		}
+	}
+	if sc.off != len(body) {
+		return 0, "", protof("%d trailing bytes after Retry body", len(body)-sc.off)
+	}
+	return ms, addr, nil
+}
+
 // Hello is the session handshake: who is connecting and what trace
 // metadata the profiles should carry.
 type Hello struct {

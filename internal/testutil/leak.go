@@ -14,8 +14,9 @@ import (
 // mid-exit when the test body returns; it is the dependency-free stand-in
 // for a leak detector that the soak and service tests share. The deadline
 // is generous (10s) because a correct teardown converges in milliseconds —
-// anything that needs longer IS the leak.
-func LeakCheck(t *testing.T) {
+// anything that needs longer IS the leak. Taking testing.TB lets
+// benchmarks and fuzz targets share the same check as tests.
+func LeakCheck(t testing.TB) {
 	t.Helper()
 	base := runtime.NumGoroutine()
 	t.Cleanup(func() {

@@ -1,0 +1,328 @@
+package ormprof
+
+// Reconfiguration soak: live ring changes under fire. Clients stream
+// sessions through the router tier while shards are added and removed,
+// the active router is killed and a standby promoted, the orchestrator
+// dies mid-migration, and operators replay topology commands against
+// stale epochs. The contract is the cluster one unchanged: acknowledged
+// means durable through any resize, every stream completes or fails
+// typed, no session is lost or ingested twice, and the merged cluster
+// report is byte-identical to a never-resized single-shard run — with
+// per-session artifacts matching the offline reference at every worker
+// count.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"ormprof/internal/faultinject"
+	"ormprof/internal/serve"
+	"ormprof/internal/testutil"
+	"ormprof/internal/trace"
+)
+
+// pushAllVia is pushAll against a router address list: attempts rotate
+// through the routers, so a kill or a standby's redirect costs one
+// attempt, not the stream.
+func pushAllVia(t testing.TB, addrs []string, sessions []string, frames serve.SliceFrames, sites map[trace.SiteID]string) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make(chan error, len(sessions))
+	for _, s := range sessions {
+		wg.Add(1)
+		go func(session string) {
+			defer wg.Done()
+			_, err := serve.Push(context.Background(), serve.ClientConfig{
+				Addrs: addrs, SessionID: session, Workload: "linkedlist", Sites: sites,
+				MaxAttempts: 50, BackoffBase: 5 * time.Millisecond, BackoffMax: 50 * time.Millisecond,
+				AttemptTimeout: 5 * time.Second,
+			}, frames)
+			if err != nil {
+				errs <- fmt.Errorf("session %s: %w", session, err)
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestSoakClusterResizeUnderFire runs the full reconfiguration sequence
+// against live streams: grow the ring by a shard (migrating every
+// session the new ring reassigns), kill the active router and promote
+// the replicated standby, then shrink the ring by retiring shard 0
+// through the promoted router. Every stream must complete and the
+// merged report must be byte-identical to a cluster that was never
+// resized.
+func TestSoakClusterResizeUnderFire(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster soak")
+	}
+	testutil.LeakCheck(t)
+	frames, sites, buf := netSoakFrames(t, "linkedlist", 64)
+	want := singleShardReference(t, frames, sites)
+
+	c, err := serve.NewCluster(serve.ClusterConfig{
+		Dir:     t.TempDir(),
+		Shards:  3,
+		Routers: 2,
+		Shard:   serve.Config{CheckpointEvery: 2, CheckpointInterval: 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		pushAllVia(t, c.RouterAddrs(), clusterSessions, frames, sites)
+	}()
+
+	waitForCheckpoint(t, c)
+	if _, err := c.AddShard(); err != nil {
+		t.Fatalf("add shard: %v", err)
+	}
+	if c.Epoch() != 2 {
+		t.Errorf("epoch after add = %d, want 2", c.Epoch())
+	}
+	c.KillRouter()
+	if err := c.PromoteRouter(); err != nil {
+		t.Fatalf("promote router: %v", err)
+	}
+	if got := c.Epoch(); got != 2 {
+		t.Errorf("promoted standby epoch = %d, want replicated epoch 2", got)
+	}
+	if err := c.RemoveShard(0); err != nil {
+		t.Fatalf("remove shard 0: %v", err)
+	}
+	if c.Epoch() != 3 {
+		t.Errorf("epoch after remove = %d, want 3", c.Epoch())
+	}
+	<-done
+
+	got := mergedReport(t, c, len(clusterSessions))
+	for name, b := range want {
+		if !bytes.Equal(got[name], b) {
+			t.Errorf("%s: resized cluster differs from never-resized run", name)
+		}
+	}
+
+	// Per-session artifacts: any shard that finalized a session must have
+	// produced output byte-identical to the offline reference, whatever
+	// ring the session traveled through, at every worker count.
+	var artifacts map[string][]byte
+	for _, final := range c.FinalDirs() {
+		outDir := filepath.Join(filepath.Dir(final), "out")
+		if _, err := os.Stat(filepath.Join(outDir, "linkedlist.whomp")); err == nil {
+			artifacts = readProfileArtifacts(t, outDir, "linkedlist")
+			break
+		}
+	}
+	if artifacts == nil {
+		t.Fatal("no shard produced session artifacts")
+	}
+	for _, workers := range []int{1, 2, 8} {
+		ref := offlineReference(t, "linkedlist", buf, sites, workers)
+		for ext, b := range ref {
+			if !bytes.Equal(artifacts[ext], b) {
+				t.Errorf("workers=%d %s: resized cluster output differs from offline run", workers, ext)
+			}
+		}
+	}
+}
+
+// TestSoakClusterKillDuringMigration arms a trap on the first "adopted"
+// migration stage that crashes the destination shard — the worst window:
+// the source has handed the session off, the destination just made it
+// durable, and the orchestrator's next steps run against a corpse.
+// Clients must fail over (the pinned destination is dark, so the retry
+// walks the ring and restreams onto a live shard), later movers must
+// fail typed without starving their sessions, and the merge must still
+// be byte-identical with exactly one final per session.
+func TestSoakClusterKillDuringMigration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster soak")
+	}
+	testutil.LeakCheck(t)
+	frames, sites, _ := netSoakFrames(t, "linkedlist", 64)
+	want := singleShardReference(t, frames, sites)
+
+	// Shard slots are appended in order, so the next add lands at
+	// len(shards); the trap closure reads dstSlot at fire time, inside the
+	// same AddShard call that set it.
+	var c *serve.Cluster
+	dstSlot, fired := 0, false
+	trap := faultinject.MigrationTrap("adopted", 1, func(session string) {
+		fired = true
+		t.Logf("trap: killing shard %d mid-migration of %s", dstSlot, session)
+		c.KillShard(dstSlot)
+	})
+	c, err := serve.NewCluster(serve.ClusterConfig{
+		Dir:         t.TempDir(),
+		Shards:      3,
+		Shard:       serve.Config{CheckpointEvery: 2, CheckpointInterval: 10 * time.Millisecond},
+		MigrateHook: trap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		pushAllVia(t, []string{c.Addr()}, clusterSessions, frames, sites)
+	}()
+
+	// Which sessions a new shard attracts depends on where its random
+	// port hashes, so keep growing until some session actually migrates
+	// into the trap. Zero movers across this many adds is vanishingly
+	// unlikely.
+	waitForCheckpoint(t, c)
+	for i := 0; i < 12 && !fired; i++ {
+		dstSlot = 3 + i
+		if _, err := c.AddShard(); err != nil {
+			// Movers after the kill fail typed ("destination shard is not
+			// running"); their sessions stay pinned to the source.
+			t.Logf("add shard %d: %v", dstSlot, err)
+		}
+	}
+	if !fired {
+		t.Fatal("no session migrated onto any added shard; trap never fired")
+	}
+	<-done
+
+	got := mergedReport(t, c, len(clusterSessions))
+	for name, b := range want {
+		if !bytes.Equal(got[name], b) {
+			t.Errorf("%s: kill-during-migration cluster differs from unfaulted run", name)
+		}
+	}
+}
+
+// TestSoakClusterAdminChaos exercises the admin plane's idempotency
+// under fire: a duplicated add-shard command (the operator whose reply
+// timed out and retried) must apply once and be refused once with the
+// typed stale-epoch error, a standby router whose replication intake
+// went mute must quietly fall behind, and its stale table must be
+// refused — typed — when pushed at the active. The streams riding
+// through the resize still finish byte-identical.
+func TestSoakClusterAdminChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster soak")
+	}
+	testutil.LeakCheck(t)
+	frames, sites, _ := netSoakFrames(t, "linkedlist", 64)
+	want := singleShardReference(t, frames, sites)
+
+	c, err := serve.NewCluster(serve.ClusterConfig{
+		Dir:    t.TempDir(),
+		Shards: 2,
+		Shard:  serve.Config{CheckpointEvery: 2, CheckpointInterval: 10 * time.Millisecond},
+		Logf:   t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A hand-built standby replicating from the cluster's active router,
+	// its admin intake muted after one connection: it pulls the epoch-1
+	// table at startup, then never hears another word.
+	sln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	aln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	muted := faultinject.MuteListener(aln, 1)
+	sb, err := serve.NewRouter(sln, serve.RouterConfig{
+		Shards: c.ShardAddrs(), Standby: true, ActiveAddr: c.Addr(),
+		Peers:            []string{c.AdminAddr()},
+		ProbeBackoffBase: 5 * time.Millisecond, ProbeBackoffMax: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sbDone, sbAdminDone := make(chan error, 1), make(chan error, 1)
+	go func() { sbDone <- sb.Serve() }()
+	go func() { sbAdminDone <- sb.ServeAdmin(muted) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := sb.Shutdown(ctx); err != nil {
+			t.Errorf("standby shutdown: %v", err)
+		}
+		<-sbDone
+		<-sbAdminDone
+	}()
+	if got := sb.Epoch(); got != 1 {
+		t.Fatalf("standby startup pull: epoch = %d, want 1", got)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		pushAllVia(t, []string{c.Addr()}, clusterSessions, frames, sites)
+	}()
+	waitForCheckpoint(t, c)
+
+	// The duplicated command: first applies (epoch 1 -> 2), the replay of
+	// the same epoch-1 command is refused stale — it must NOT add a
+	// second shard.
+	epoch := c.Epoch()
+	newEpoch, first, second := faultinject.DuplicateCommand(func() (uint64, error) {
+		return serve.AdminShardCmd(c.AdminAddr(), true, epoch, "local", 5*time.Second)
+	})
+	if first != nil {
+		t.Fatalf("first add-shard: %v", first)
+	}
+	if newEpoch != epoch+1 {
+		t.Errorf("first add-shard: epoch = %d, want %d", newEpoch, epoch+1)
+	}
+	var stale *serve.StaleEpochError
+	if !errors.As(second, &stale) {
+		t.Fatalf("duplicated add-shard: err = %v, want *StaleEpochError", second)
+	}
+	if stale.Have != epoch+1 || stale.Got != epoch {
+		t.Errorf("duplicated add-shard: refused with have=%d got=%d, want have=%d got=%d",
+			stale.Have, stale.Got, epoch+1, epoch)
+	}
+
+	// The muted standby never saw the resize: it still serves epoch 1.
+	// Reading its table spends the one connection its intake still
+	// accepts; after that the mute swallows everything — including the
+	// replication push that would have caught it up.
+	st, err := serve.AdminFetchTable(muted.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("fetch standby table: %v", err)
+	}
+	if st.Epoch != epoch {
+		t.Errorf("muted standby epoch = %d, want stale %d", st.Epoch, epoch)
+	}
+	if err := serve.AdminPushTable(muted.Addr().String(), st, 2*time.Second); err == nil {
+		t.Error("muted standby accepted a connection past its budget")
+	}
+	// Promoting placements from the stale table is exactly what the
+	// active must refuse: pushing it back is a typed stale-epoch error.
+	stale = nil
+	if err := serve.AdminPushTable(c.AdminAddr(), st, 2*time.Second); !errors.As(err, &stale) {
+		t.Fatalf("stale table push: err = %v, want *StaleEpochError", err)
+	}
+
+	<-done
+	got := mergedReport(t, c, len(clusterSessions))
+	for name, b := range want {
+		if !bytes.Equal(got[name], b) {
+			t.Errorf("%s: admin-chaos cluster differs from unfaulted run", name)
+		}
+	}
+}
