@@ -109,6 +109,7 @@ bench-json:
 bench-allocs:
 	$(GO) test -run 'TestEventLoopSteadyStateAllocs' -count=1 .
 	$(GO) test -run 'TestZeroAllocSteadyState' -count=1 ./internal/soabtree/
+	$(GO) test -run 'TestSketchUpdateZeroAlloc' -count=1 ./internal/sketch/
 
 # Regenerate the before/after optimization tables (the "Closing the loop"
 # section of EXPERIMENTS.md): one `ormprof optimize` run per workload —
@@ -144,3 +145,5 @@ fuzz-short:
 	$(GO) test -fuzz='^FuzzSession$$' -fuzztime=$(FUZZTIME) ./internal/serve/
 	$(GO) test -fuzz='^FuzzRouter$$' -fuzztime=$(FUZZTIME) ./internal/serve/
 	$(GO) test -fuzz='^FuzzRouterTable$$' -fuzztime=$(FUZZTIME) ./internal/checkpoint/
+	$(GO) test -fuzz='^FuzzCountMin$$' -fuzztime=$(FUZZTIME) ./internal/sketch/
+	$(GO) test -fuzz='^FuzzBloom$$' -fuzztime=$(FUZZTIME) ./internal/sketch/

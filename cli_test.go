@@ -286,6 +286,21 @@ func TestCLIFlagValidation(t *testing.T) {
 		{"ormpd", []string{"-cluster", "-local-shards", "2", "-routers", "0"}, "must be at least 1"},
 		{"ormpush", []string{"-addrs", "h:1,,h:2"}, "empty element in list"},
 		{"ormpush", []string{"-addrs", "h:1,h:1"}, "duplicate element"},
+		// -approx validation: every binary that profiles rejects malformed
+		// values at parse time, and the two tools with cross-flag
+		// constraints (tracecat needs -stats, ormpd's merge plane folds
+		// sketches rather than taking the flag) fail in the same shape.
+		{"whomp", []string{"-approx=banana"}, "invalid boolean value"},
+		{"leap", []string{"-approx=2.5"}, "invalid boolean value"},
+		{"stridescan", []string{"-approx=yep"}, "invalid boolean value"},
+		{"mdep", []string{"-approx=maybe"}, "invalid boolean value"},
+		{"phasescan", []string{"-approx="}, "invalid boolean value"},
+		{"layoutopt", []string{"-approx=null"}, "invalid boolean value"},
+		{"ormprof", []string{"optimize", "-approx=x"}, "invalid boolean value"},
+		{"tracecat", []string{"-approx=no!"}, "invalid boolean value"},
+		{"tracecat", []string{"-approx", "x.ormtrace"}, "-approx requires -stats"},
+		{"ormpd", []string{"-approx=banana"}, "invalid boolean value"},
+		{"ormpd", []string{"-approx", "-merge", "d1"}, "does not combine with -merge"},
 	}
 	for _, tc := range cases {
 		bin := filepath.Join(buildTools(t), tc.tool)
@@ -315,6 +330,48 @@ func TestCLIFlagValidation(t *testing.T) {
 			t.Errorf("%s %v: flag errors must not write to stdout, got:\n%s", tc.tool, tc.args, stdout.String())
 		}
 	}
+}
+
+// TestCLIApprox drives the -approx sketch path end to end: an approx run
+// is a request, not degradation — it exits 0 and its report leads with
+// the error accounting; the output is byte-identical for every -workers
+// count; tracecat -stats -approx prints the top-K heavy hitters; and a
+// -mem-budget too small even for the sketches pushes the ladder further
+// down and flips the exit code to 2.
+func TestCLIApprox(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	dir := t.TempDir()
+	tr := filepath.Join(dir, "t.ormtrace")
+	runTool(t, "ormprof", "record", "-workload", "linkedlist", "-o", tr)
+
+	out := runToolExit(t, 0, "whomp", "-replay", tr, "-approx", "-workers", "1")
+	wantContains(t, out, "mode sketch-stride", "approx sketch-stride",
+		"epsilon", "delta", "error-bound", "hot")
+
+	// Governed runs are sequential, so the sketches see the same stream in
+	// the same order regardless of -workers.
+	for _, workers := range []string{"2", "8"} {
+		if got := runToolExit(t, 0, "whomp", "-replay", tr, "-approx", "-workers", workers); got != out {
+			t.Errorf("-approx output differs between -workers 1 and -workers %s", workers)
+		}
+	}
+
+	// The same flag rides the live-workload path and the other profilers.
+	out = runToolExit(t, 0, "leap", "-workload", "linkedlist", "-approx")
+	wantContains(t, out, "approx sketch-stride", "error-bound")
+
+	// tracecat -stats -approx summarizes with the heavy hitters and their
+	// one-sided overcount bounds.
+	out = runToolExit(t, 0, "tracecat", "-stats", "-approx", tr)
+	wantContains(t, out, "approximate summary", "hot cache lines", "line 0x", "err")
+
+	// -approx composes with -mem-budget: the sketches hold fixed memory,
+	// but a budget below even that fixed footprint still degrades, and the
+	// exit-2 convention reports it.
+	out = runToolExit(t, 2, "whomp", "-replay", tr, "-approx", "-mem-budget", "1K")
+	wantContains(t, out, "profiling degraded to")
 }
 
 func TestCLIReplaySingleWorkloadTools(t *testing.T) {

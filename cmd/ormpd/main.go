@@ -77,6 +77,7 @@ func main() {
 		finalDir   = flag.String("final", "", "directory for completed sessions' final pipeline states — the -merge inputs; set it on shards feeding a remote router (empty = don't write them; -local-shards manages this per shard)")
 		drain      = flag.Duration("drain-timeout", 10*time.Second, "how long a graceful shutdown waits for live sessions to finish")
 		quiet      = flag.Bool("quiet", false, "suppress per-session log lines")
+		approx     = flag.Bool("approx", false, "profile every new session with fixed-memory sketches (the sketch-stride rung) instead of exact pipelines; resumed sessions keep their checkpointed mode, and the merge plane folds sketch sessions into cluster.approx")
 
 		cluster = flag.Bool("cluster", false, "cluster mode: route to -shards, or run -local-shards in-process shards")
 		routes  = flag.String("routes", "ormpd-router.rtab", "router mode: durable state-table path (ring epoch, shard list, and reroutes survive router restarts)")
@@ -135,6 +136,8 @@ func main() {
 		usageErr("-standby needs -active: the active router's ingest address to redirect clients to")
 	case *routers > 1 && *localShards == 0:
 		usageErr("-routers requires -local-shards")
+	case *approx && (len(*mergeDirs) > 0 || *ctl != ""):
+		usageErr("-approx shapes ingest; it does not combine with -merge or -ctl (the merge plane folds whatever sketch sessions the shards wrote)")
 	}
 
 	cfg := serve.Config{
@@ -151,6 +154,7 @@ func main() {
 		FinalDir:           *finalDir,
 		SessionMemBudget:   *memBudget,
 		GlobalMemBudget:    *globalBudget,
+		Approx:             *approx,
 	}
 	switch {
 	case *ctl != "":
@@ -352,8 +356,8 @@ func runLocalCluster(listen, adminListen string, n, nRouters int, dir, outDir st
 		return merr
 	}
 	if !quiet {
-		fmt.Fprintf(os.Stderr, "ormpd: merged %d session(s) into %s (%d degraded, %d skipped)\n",
-			stats.Sessions, outDir, stats.Degraded, stats.Skipped)
+		fmt.Fprintf(os.Stderr, "ormpd: merged %d session(s) into %s (%d degraded, %d approx, %d skipped)\n",
+			stats.Sessions, outDir, stats.Degraded, stats.Approx, stats.Skipped)
 	}
 	return err
 }
@@ -370,8 +374,8 @@ func runMerge(dirs []string, outDir string, maxLMADs int, quiet bool) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("merged %d session(s) into %s (%d degraded, %d skipped)\n",
-		stats.Sessions, outDir, stats.Degraded, stats.Skipped)
+	fmt.Printf("merged %d session(s) into %s (%d degraded, %d approx, %d skipped)\n",
+		stats.Sessions, outDir, stats.Degraded, stats.Approx, stats.Skipped)
 	if stats.Skipped > 0 {
 		return &serve.PartialReportError{Skipped: stats.Skipped}
 	}

@@ -5,8 +5,8 @@
 // Usage:
 //
 //	tracecat [-n N] [-kind access|alloc|free] [-instr ID] [-site ID]
-//	         [-from T] [-to T] [-count] [-stats] [-lenient] [-verify]
-//	         FILE.ormtrace
+//	         [-from T] [-to T] [-count] [-stats] [-approx] [-lenient]
+//	         [-verify] FILE.ormtrace
 //
 // With no flags it prints every record. Filters compose (logical AND);
 // -count prints only the number of matching records, -stats a summary of
@@ -25,6 +25,7 @@ import (
 
 	"ormprof/internal/cliutil"
 	"ormprof/internal/govern"
+	"ormprof/internal/sketch"
 	"ormprof/internal/trace"
 	"ormprof/internal/tracefmt"
 )
@@ -41,6 +42,7 @@ func main() {
 		stats   = flag.Bool("stats", false, "print a summary of the whole trace instead of records")
 		lenient = flag.Bool("lenient", false, "skip damaged frames instead of aborting (exit code 2 if events were lost)")
 		verify  = flag.Bool("verify", false, "verify trace integrity end to end and print a damage report")
+		approx  = flag.Bool("approx", false, "with -stats: summarize with fixed-memory sketches and print the top-K heavy hitters with their error bounds")
 	)
 	memBudget := cliutil.SizeFlag(flag.CommandLine, "mem-budget",
 		"memory budget (e.g. 64M) for -stats; over budget the summary degrades and the tool exits 2 (0 = unlimited)")
@@ -50,12 +52,17 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	if *approx && !*stats {
+		fmt.Fprintln(os.Stderr, "tracecat: -approx requires -stats (sketches summarize; they do not print records)")
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	var err error
 	if *verify {
 		err = verifyTrace(flag.Arg(0))
 	} else {
-		err = run(flag.Arg(0), *n, *kind, *instr, *site, *from, *to, *count, *stats, *lenient, *memBudget)
+		err = run(flag.Arg(0), *n, *kind, *instr, *site, *from, *to, *count, *stats, *lenient, *approx, *memBudget)
 	}
 	if err != nil {
 		cliutil.Fatal("tracecat", err)
@@ -94,7 +101,7 @@ func verifyTrace(path string) error {
 	return err
 }
 
-func run(path string, n int, kind string, instr, site int, from, to uint64, count, stats, lenient bool, memBudget int64) error {
+func run(path string, n int, kind string, instr, site int, from, to uint64, count, stats, lenient, approx bool, memBudget int64) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -148,19 +155,28 @@ func run(path string, n int, kind string, instr, site int, from, to uint64, coun
 	var deg cliutil.Degraded
 
 	if stats {
-		if memBudget > 0 {
+		if approx || memBudget > 0 {
 			// The stats builder's instruction/site/live tables are the only
 			// unbounded state here; a directly built ladder governs them.
-			lad := govern.NewLadder(govern.Config{
+			// -approx starts the ladder on the fixed-memory sketch rung.
+			cfg := govern.Config{
 				Budget: govern.NewBudget(memBudget),
 				Full:   func() govern.Mode { return &trace.StatsBuilder{} },
-			})
+			}
+			if approx {
+				cfg.StartRung = govern.RungSketchStride
+			}
+			lad := govern.NewLadder(cfg)
 			total, derr := trace.Drain(r, lad)
 			if err := deg.Check(derr); err != nil {
 				return err
 			}
 			if sb, ok := lad.FullMode().(*trace.StatsBuilder); ok {
 				printStats(path, r, sb, total)
+			} else if snap := lad.Snapshot(); snap.Rung.Sketch() {
+				if err := printApproxStats(path, r, snap, total); err != nil {
+					return err
+				}
 			} else {
 				fmt.Printf("trace %s: summary unavailable (degraded to %s)\n", path, lad.Rung())
 			}
@@ -212,6 +228,43 @@ func run(path string, n int, kind string, instr, site int, from, to uint64, coun
 		fmt.Printf("… %d more matching records\n", matched-printed)
 	}
 	return deg.Err()
+}
+
+// printApproxStats prints the sketch-rung summary: exact scalar totals
+// plus the top-K heavy hitters with their one-sided error bounds. The full
+// error accounting (epsilon/delta, digram FPP) follows in the governance
+// report.
+func printApproxStats(path string, r *tracefmt.Reader, snap *govern.Snapshot, total int) error {
+	fmt.Printf("trace %s: workload %q, format v%d (approximate summary)\n", path, r.Name(), r.Version())
+	switch {
+	case snap.SketchStride != nil:
+		s := snap.SketchStride
+		fmt.Printf("  %d events: %d loads, %d stores, %d allocs, %d frees\n",
+			total, s.Loads, s.Stores, s.Allocs, s.Frees)
+		hot, err := sketch.RestoreTopK(s.Hot)
+		if err != nil {
+			return err
+		}
+		ents := hot.Entries()
+		fmt.Printf("  top-%d hot cache lines (space-saving, overcount <= %d):\n", len(ents), hot.ErrorBound())
+		for _, e := range ents {
+			fmt.Printf("    line %#x count %d err %d\n", e.Key.A<<6, e.Count, e.Err)
+		}
+	case snap.SketchCounters != nil:
+		s := snap.SketchCounters
+		fmt.Printf("  %d events: %d loads, %d stores, %d allocs, %d frees\n",
+			total, s.Loads, s.Stores, s.Allocs, s.Frees)
+		hot, err := sketch.RestoreTopK(s.Hot)
+		if err != nil {
+			return err
+		}
+		ents := hot.Entries()
+		fmt.Printf("  top-%d hot allocation sites (space-saving, overcount <= %d):\n", len(ents), hot.ErrorBound())
+		for _, e := range ents {
+			fmt.Printf("    site %d count %d err %d\n", e.Key.A, e.Count, e.Err)
+		}
+	}
+	return nil
 }
 
 func printStats(path string, r *tracefmt.Reader, sb *trace.StatsBuilder, total int) {

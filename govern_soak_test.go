@@ -47,6 +47,21 @@ func rungPeak(t *testing.T, buf *trace.Buffer, sites map[trace.SiteID]string, st
 	return lad.Budget().Peak(), lad.Rung()
 }
 
+// rungPeakStart measures the accounted peak of a run started directly at
+// a sketch rung (approximate mode), with no budget. Unlike forced
+// step-downs this never transits the more expensive rungs, so the peak
+// is the rung's own fixed footprint.
+func rungPeakStart(t *testing.T, buf *trace.Buffer, sites map[trace.SiteID]string, start govern.Rung) (int64, govern.Rung) {
+	t.Helper()
+	lad := govern.NewLadder(govern.Config{
+		Seed:      42,
+		StartRung: start,
+		Full:      func() govern.Mode { return whomp.New(sites) },
+	})
+	buf.Replay(lad)
+	return lad.Budget().Peak(), lad.Rung()
+}
+
 // liveHeap settles the collector and reads the live heap size.
 func liveHeap() int64 {
 	runtime.GC()
@@ -68,35 +83,52 @@ func governedRun(buf *trace.Buffer, sites map[trace.SiteID]string, budget int64)
 }
 
 // calibrateBudgets derives one budget per degraded rung from the measured
-// per-rung peaks: twice the rung's own peak (so the ladder settles there)
-// for sampled and stride-only, half the stride peak for the counters
-// floor. Premises that the workload must satisfy are asserted, not
+// per-rung peaks: twice the rung's own peak, so the ladder settles there.
+// The sketch rungs' peaks are their fixed footprints — a budget of twice
+// the footprint both admits the rung (the ladder's affordability check)
+// and leaves it stable forever, which is the graceful-degradation
+// property this soak exists to prove. The counters floor is reached with
+// a budget below the sketch-counters footprint: both sketch rungs are
+// then skipped as unaffordable and stride-only blows through on this
+// workload. Premises that the workload must satisfy are asserted, not
 // assumed.
 func calibrateBudgets(t *testing.T, buf *trace.Buffer, sites map[trace.SiteID]string) (peakFull int64, budgets map[govern.Rung]int64) {
 	t.Helper()
 	peakFull, _ = rungPeak(t, buf, sites, 0)
 	sampledPeak, r1 := rungPeak(t, buf, sites, 1)
-	stridePeak, r2 := rungPeak(t, buf, sites, 2)
-	if r1 != govern.RungSampled || r2 != govern.RungStrideOnly {
-		t.Fatalf("forced rungs drifted: %s, %s", r1, r2)
+	skStridePeak, r2 := rungPeakStart(t, buf, sites, govern.RungSketchStride)
+	skCtrPeak, r3 := rungPeakStart(t, buf, sites, govern.RungSketchCounters)
+	stridePeak, r4 := rungPeak(t, buf, sites, 4)
+	if r1 != govern.RungSampled || r2 != govern.RungSketchStride ||
+		r3 != govern.RungSketchCounters || r4 != govern.RungStrideOnly {
+		t.Fatalf("forced rungs drifted: %s, %s, %s, %s", r1, r2, r3, r4)
 	}
-	t.Logf("peaks: full %d, sampled %d, stride %d", peakFull, sampledPeak, stridePeak)
+	t.Logf("peaks: full %d, sampled %d, sketch-stride %d, sketch-counters %d, stride %d",
+		peakFull, sampledPeak, skStridePeak, skCtrPeak, stridePeak)
 	// Each rung's peak must clear the next rung's budget watermark
 	// (budget − budget/8 = 1.75x the next peak), or the ladder would
 	// settle early; 2x keeps margin over that.
-	if peakFull/2 < sampledPeak || sampledPeak/2 < stridePeak {
-		t.Fatalf("adversarial workload lost its rung separation: full %d, sampled %d, stride %d",
-			peakFull, sampledPeak, stridePeak)
+	if peakFull/2 < sampledPeak || sampledPeak/2 < skStridePeak || skStridePeak/2 < skCtrPeak {
+		t.Fatalf("adversarial workload lost its rung separation: full %d, sampled %d, sketch-stride %d, sketch-counters %d",
+			peakFull, sampledPeak, skStridePeak, skCtrPeak)
+	}
+	floorBudget := skCtrPeak / 2
+	// The floor budget must be blown through by stride-only (else the
+	// ladder settles there instead of reaching the counters floor).
+	if stridePeak < 2*floorBudget {
+		t.Fatalf("stride-only peak %d does not blow through the floor budget %d", stridePeak, floorBudget)
 	}
 	budgets = map[govern.Rung]int64{
-		govern.RungSampled:    2 * sampledPeak,
-		govern.RungStrideOnly: 2 * stridePeak,
-		govern.RungCounters:   stridePeak / 2,
+		govern.RungSampled:        2 * sampledPeak,
+		govern.RungSketchStride:   2 * skStridePeak,
+		govern.RungSketchCounters: 2 * skCtrPeak,
+		govern.RungCounters:       floorBudget,
 	}
-	// The headline ratio: the unbounded run needs at least 10x the
-	// tightest budget this soak enforces.
-	if tight := budgets[govern.RungCounters]; peakFull < 10*tight {
-		t.Fatalf("unbounded peak %d is under 10x the tight budget %d", peakFull, tight)
+	// The headline ratio (the graceful-degradation acceptance bar): the
+	// unbounded run needs at least 10x the budget under which the session
+	// lands on a sketch rung — and a fortiori 10x the tighter ones.
+	if tight := budgets[govern.RungSketchStride]; peakFull < 10*tight {
+		t.Fatalf("unbounded peak %d is under 10x the sketch-stride budget %d", peakFull, tight)
 	}
 	return peakFull, budgets
 }
@@ -173,7 +205,7 @@ func TestSoakGovernWorkersByteIdentical(t *testing.T) {
 			for _, workers := range []string{"1", "2", "8"} {
 				args := []string{"-replay", tr, "-mem-budget", strconv.FormatInt(budget, 10), "-workers", workers}
 				profile := ""
-				if rung <= govern.RungSampled {
+				if rung.FullPipeline() {
 					// Same path for every worker count: the tool echoes it
 					// to stdout, which must stay byte-identical.
 					profile = filepath.Join(dir, rung.String()+".whomp")
@@ -219,7 +251,7 @@ func TestSoakGovernKillRestartMidDegradation(t *testing.T) {
 	const workload = "adversarial"
 	frames, sites, buf := netSoakFrames(t, workload, 256)
 	_, budgets := calibrateBudgets(t, buf, sites)
-	budget := budgets[govern.RungStrideOnly]
+	budget := budgets[govern.RungSketchStride]
 	cfg := serve.Config{
 		CheckpointEvery: 2, CheckpointInterval: 10 * time.Millisecond,
 		SessionMemBudget: budget,
@@ -249,9 +281,11 @@ func TestSoakGovernKillRestartMidDegradation(t *testing.T) {
 	if err != nil {
 		t.Fatalf("reference governance artifact: %v", err)
 	}
-	if !strings.Contains(string(refGov), "mode "+govern.RungStrideOnly.String()) {
-		t.Fatalf("reference session did not settle at stride-only:\n%s", refGov)
+	if !strings.Contains(string(refGov), "mode "+govern.RungSketchStride.String()) {
+		t.Fatalf("reference session did not settle at sketch-stride:\n%s", refGov)
 	}
+	// The sketch rung's report must carry its error bounds.
+	wantContains(t, string(refGov), "approx sketch-stride", "epsilon ", "delta ", "error-bound ")
 
 	// Interrupted: kill once a checkpoint is durable, then verify the kill
 	// really landed mid-degradation before restarting.
@@ -273,7 +307,7 @@ func TestSoakGovernKillRestartMidDegradation(t *testing.T) {
 	waitFor := time.Now().Add(30 * time.Second)
 	for {
 		if ck, err := checkpoint.Load(ckPath); err == nil &&
-			ck.Ladder != nil && ck.Ladder.Rung > govern.RungFull {
+			ck.Ladder != nil && ck.Ladder.Rung != govern.RungFull {
 			break
 		}
 		if time.Now().After(waitFor) {

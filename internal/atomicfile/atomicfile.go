@@ -1,0 +1,135 @@
+// Package atomicfile is the one implementation of the crash-atomic write
+// discipline every durable artifact uses: data goes to <path>.tmp, the
+// tmp file is fsynced, renamed over path, and the directory fsynced. A
+// reader therefore sees either the previous complete file or the new
+// complete file — never a torn mixture — and a failed write leaves the
+// previous durable copy untouched.
+//
+// Checkpoints (ORMCKPT), final session states, the router table
+// (ORMRTAB), and optimization plans (ORMPLAN) all commit through Write.
+// Failures surface as a typed *WriteError naming the stage that failed
+// (create, write, sync, close, rename), wrapping the underlying cause so
+// errors.Is(err, syscall.ENOSPC) and friends keep working.
+//
+// The filesystem is reached through the FS interface so the fault
+// injection suite (internal/faultinject) can stand in a disk that runs
+// out of space mid-write, tears the tmp file, or fails the rename — and
+// prove that every caller's previous durable copy survives.
+package atomicfile
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// File is the subset of *os.File that Write needs from an open file.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS is the subset of the filesystem that Write needs. OS is the real
+// implementation; internal/faultinject provides broken ones.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	// OpenDir opens a directory for syncing. Directory-sync failures are
+	// advisory (the rename already happened), so Write treats an OpenDir
+	// or Sync error here as best-effort.
+	OpenDir(name string) (File, error)
+}
+
+// OS is the real filesystem.
+type OS struct{}
+
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (OS) Remove(name string) error             { return os.Remove(name) }
+
+func (OS) OpenDir(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// defaultFS is what Write uses; SetFS swaps it for fault injection.
+var defaultFS FS = OS{}
+
+// SetFS replaces the filesystem behind Write and returns a func that
+// restores the previous one. It exists for fault-injection tests; swap
+// only while no writer is in flight.
+func SetFS(fs FS) (restore func()) {
+	prev := defaultFS
+	defaultFS = fs
+	return func() { defaultFS = prev }
+}
+
+// WriteError is the typed failure of an atomic write: which path, which
+// stage of the tmp+fsync+rename sequence, and the underlying cause. By
+// construction the previous durable copy of Path is intact whenever a
+// *WriteError is returned: every stage either never touched Path or
+// failed before the rename, and the tmp file has been removed.
+type WriteError struct {
+	Path  string // the destination the caller asked for
+	Stage string // create, write, sync, close, or rename
+	Err   error  // the underlying filesystem error
+}
+
+func (e *WriteError) Error() string {
+	return fmt.Sprintf("atomic write %s: %s: %v", e.Path, e.Stage, e.Err)
+}
+
+func (e *WriteError) Unwrap() error { return e.Err }
+
+// Write commits data to path crash-atomically on the default filesystem.
+func Write(path string, data []byte) error {
+	return WriteFS(defaultFS, path, data)
+}
+
+// WriteFS commits data to path crash-atomically on fsys: tmp + fsync +
+// rename + best-effort directory fsync. On failure the tmp file is
+// removed, the previous file at path is untouched, and the error is a
+// *WriteError naming the failed stage.
+func WriteFS(fsys FS, path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return &WriteError{Path: path, Stage: "create", Err: err}
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return &WriteError{Path: path, Stage: "write", Err: err}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return &WriteError{Path: path, Stage: "sync", Err: err}
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return &WriteError{Path: path, Stage: "close", Err: err}
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return &WriteError{Path: path, Stage: "rename", Err: err}
+	}
+	if dir, err := fsys.OpenDir(filepath.Dir(path)); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	return nil
+}

@@ -38,6 +38,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"ormprof/internal/atomicfile"
 	"ormprof/internal/govern"
 	"ormprof/internal/leap"
 	"ormprof/internal/omc"
@@ -202,36 +203,14 @@ func Save(path string, st *State) error {
 	return writeAtomic(path, data)
 }
 
-// writeAtomic commits data to path crash-atomically: tmp + fsync + rename
-// + directory fsync, the same discipline for every durable artifact this
-// package owns (session checkpoints, final states, the router table).
+// writeAtomic commits data to path crash-atomically via
+// internal/atomicfile — tmp + fsync + rename + directory fsync, the same
+// discipline for every durable artifact this package owns (session
+// checkpoints, final states, the router table). A failure is a typed
+// *atomicfile.WriteError and leaves the previous durable copy intact.
 func writeAtomic(path string, data []byte) error {
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
+	if err := atomicfile.Write(path, data); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
-	}
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("checkpoint: write %s: %w", tmp, err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("checkpoint: sync %s: %w", tmp, err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("checkpoint: close %s: %w", tmp, err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	if dir, err := os.Open(filepath.Dir(path)); err == nil {
-		dir.Sync()
-		dir.Close()
 	}
 	return nil
 }

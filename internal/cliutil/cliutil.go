@@ -167,6 +167,12 @@ type TraceFlags struct {
 	// trips the budget, the pipeline steps down the degradation ladder
 	// (internal/govern) and the tool exits 2 with partial output.
 	MemBudget int64
+	// Approx starts every governed pass directly at the sketch-stride
+	// rung: fixed-memory count-min/bloom/top-K summaries with ε/δ error
+	// bounds instead of exact profiles. Starting there is a request, not
+	// degradation — the tool exits 0 unless a -mem-budget forces the
+	// ladder further down.
+	Approx bool
 }
 
 // RegisterTraceFlags adds -record, -replay, -lenient, -deadline, and
@@ -182,7 +188,9 @@ func RegisterTraceFlags(fs *flag.FlagSet) *TraceFlags {
 	fs.DurationVar(&t.Deadline, "deadline", 0,
 		"total time budget (e.g. 30s) shared by all passes over the event stream; an overrunning pass stops and reports the partial result (exit code 2)")
 	fs.Var(sizeFlag{&t.MemBudget}, "mem-budget",
-		"memory budget (e.g. 64M) shared by all profiling passes; over budget the pipeline degrades (full -> object-sampled -> stride-only -> counters) and the tool exits 2 with partial output (0 = unlimited)")
+		"memory budget (e.g. 64M) shared by all profiling passes; over budget the pipeline degrades (full -> object-sampled -> sketch-stride -> sketch-counters -> stride-only -> counters) and the tool exits 2 with partial output (0 = unlimited)")
+	fs.BoolVar(&t.Approx, "approx", false,
+		"profile with fixed-memory sketches (count-min stride histograms, seen-digram bloom filter, top-K heavy hitters) carrying epsilon/delta error bounds, instead of exact profiles")
 	return t
 }
 
@@ -208,6 +216,7 @@ type Events struct {
 	budget    time.Time      // absolute cutoff shared by all passes; set at the first pass
 	stats     tracefmt.Stats // reader stats from the most recent replay pass
 	memBudget int64          // memory budget shared by all governed passes
+	approx    bool           // start governed passes at the sketch-stride rung
 	govBudget *govern.Budget // lazily created parent budget; see GovernedPass
 
 	workload string           // live mode: the selected workload name
@@ -230,6 +239,7 @@ func (t *TraceFlags) Load(workload string, cfg workloads.Config) (*Events, error
 		ev.lenient = t.Lenient
 		ev.deadline = t.Deadline
 		ev.memBudget = t.MemBudget
+		ev.approx = t.Approx
 		return ev, nil
 	}
 	if workload == "" {
@@ -263,7 +273,7 @@ func (t *TraceFlags) Load(workload string, cfg workloads.Config) (*Events, error
 	}
 	return &Events{
 		Name: workload, Sites: m.StaticSites(), buf: buf,
-		deadline: t.Deadline, memBudget: t.MemBudget,
+		deadline: t.Deadline, memBudget: t.MemBudget, approx: t.Approx,
 		workload: workload, wcfg: cfg,
 	}, nil
 }

@@ -44,13 +44,18 @@ func SizeFlag(fs *flag.FlagSet, name, usage string) *int64 {
 	return n
 }
 
-// Governed reports whether -mem-budget was set: governed tools should use
-// the sequential ladder path (trip points are deterministic only on a
-// sequential pipeline) and render the governance report.
-func (ev *Events) Governed() bool { return ev.memBudget > 0 }
+// Governed reports whether -mem-budget or -approx was set: governed tools
+// should use the sequential ladder path (trip points are deterministic
+// only on a sequential pipeline) and render the governance report.
+func (ev *Events) Governed() bool { return ev.memBudget > 0 || ev.approx }
 
 // MemBudget reports the configured memory budget (0 = unlimited).
 func (ev *Events) MemBudget() int64 { return ev.memBudget }
+
+// Approx reports whether -approx was set: governed passes start at the
+// sketch-stride rung and the report carries error bounds instead of exact
+// profiles.
+func (ev *Events) Approx() bool { return ev.approx }
 
 // GovernedPass streams one complete pass through a degradation ladder
 // built around full. All governed passes of the invocation share one
@@ -65,11 +70,18 @@ func (ev *Events) GovernedPass(seed uint64, full func() govern.Mode) (*govern.La
 	if ev.govBudget == nil {
 		ev.govBudget = govern.NewBudget(ev.memBudget)
 	}
-	lad := govern.NewLadder(govern.Config{
+	cfg := govern.Config{
 		Budget: ev.govBudget.Sub(0),
 		Seed:   seed,
 		Full:   full,
-	})
+	}
+	if ev.approx {
+		// -approx: skip the exact rungs entirely. The ladder starts on the
+		// fixed-memory sketches and records no step-downs for doing so; a
+		// -mem-budget can still push it further.
+		cfg.StartRung = govern.RungSketchStride
+	}
+	lad := govern.NewLadder(cfg)
 	n, err := ev.Pass(lad)
 	return lad, n, err
 }

@@ -1,0 +1,118 @@
+package faultinject
+
+import (
+	"os"
+	"sync/atomic"
+	"syscall"
+
+	"ormprof/internal/atomicfile"
+)
+
+// This file is the disk half of the fault suite: an atomicfile.FS that
+// behaves like a disk going bad under the durable-artifact writers
+// (ORMCKPT checkpoints, final states, the ORMRTAB router table, ORMPLAN
+// plans). Faults are deterministic — a byte budget is spent in call
+// order — so a failing test replays exactly.
+
+// FaultFS wraps the real filesystem with injected write-path faults. The
+// zero value injects nothing; each field arms one fault class:
+//
+//   - BytesBudget ≥ 0: the disk holds that many more bytes. The write
+//     that crosses the budget commits only the prefix that fits — a torn
+//     tmp file, exactly what a full disk leaves behind — and returns
+//     ENOSPC. Subsequent writes fail immediately.
+//   - FailSync: every Sync fails with EIO (writes seemed fine, the disk
+//     lied at the barrier).
+//   - FailRename: every Rename fails with EIO (the commit point itself
+//     fails).
+//
+// Everything else passes through to the OS, so the files a test hands to
+// the real loaders afterwards are exactly what a crashed writer would
+// have left on disk.
+type FaultFS struct {
+	// BytesBudget is the remaining disk capacity in bytes; negative means
+	// unlimited. Spent atomically across all files opened through this FS.
+	BytesBudget int64
+	// FailSync makes every file Sync fail with syscall.EIO.
+	FailSync bool
+	// FailRename makes every Rename fail with syscall.EIO.
+	FailRename bool
+
+	unlimited bool
+	remaining atomic.Int64
+	armed     atomic.Bool
+}
+
+var _ atomicfile.FS = (*FaultFS)(nil)
+
+func (f *FaultFS) arm() {
+	if f.armed.CompareAndSwap(false, true) {
+		f.unlimited = f.BytesBudget < 0
+		f.remaining.Store(f.BytesBudget)
+	}
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (atomicfile.File, error) {
+	f.arm()
+	file, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, f: file}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	f.arm()
+	if f.FailRename {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: syscall.EIO}
+	}
+	return os.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error { return os.Remove(name) }
+
+func (f *FaultFS) OpenDir(name string) (atomicfile.File, error) {
+	file, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, f: file, dir: true}, nil
+}
+
+// faultFile spends the FS byte budget on writes and injects sync faults.
+type faultFile struct {
+	fs  *FaultFS
+	f   *os.File
+	dir bool
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	if ff.fs.unlimited {
+		return ff.f.Write(p)
+	}
+	// Spend the budget first, then commit exactly the prefix that fit:
+	// a concurrent writer can race for the last bytes, but each byte is
+	// sold once, so the torn file's length always matches the budget.
+	n := int64(len(p))
+	left := ff.fs.remaining.Add(-n)
+	if left >= 0 {
+		return ff.f.Write(p)
+	}
+	fits := n + left // bytes that were still in budget, possibly ≤ 0
+	if fits <= 0 {
+		return 0, &os.PathError{Op: "write", Path: ff.f.Name(), Err: syscall.ENOSPC}
+	}
+	if _, err := ff.f.Write(p[:fits]); err != nil {
+		return 0, err
+	}
+	return int(fits), &os.PathError{Op: "write", Path: ff.f.Name(), Err: syscall.ENOSPC}
+}
+
+func (ff *faultFile) Sync() error {
+	if ff.fs.FailSync && !ff.dir {
+		return &os.PathError{Op: "sync", Path: ff.f.Name(), Err: syscall.EIO}
+	}
+	return ff.f.Sync()
+}
+
+func (ff *faultFile) Close() error { return ff.f.Close() }

@@ -1,0 +1,217 @@
+package faultinject_test
+
+// Disk-fault tests for the durable-artifact writers. The claim under
+// test is the atomic-write contract end to end: when the disk fills
+// mid-write, tears the tmp file, fails the sync barrier, or fails the
+// rename, every writer (checkpoint.Save, SaveRouterTable, plan.Save)
+// surfaces a typed *atomicfile.WriteError wrapping the real errno — and
+// the previous durable copy still loads, byte-for-byte.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"syscall"
+	"testing"
+
+	"ormprof/internal/atomicfile"
+	"ormprof/internal/checkpoint"
+	"ormprof/internal/faultinject"
+	"ormprof/internal/govern"
+	"ormprof/internal/plan"
+	"ormprof/internal/trace"
+)
+
+// diskFaults enumerates the injected fault classes and the errno each
+// must surface.
+var diskFaults = []struct {
+	name  string
+	fs    func() *faultinject.FaultFS
+	errno syscall.Errno
+	stage string
+}{
+	{"enospc-immediately", func() *faultinject.FaultFS { return &faultinject.FaultFS{BytesBudget: 0} }, syscall.ENOSPC, "write"},
+	{"enospc-torn-write", func() *faultinject.FaultFS { return &faultinject.FaultFS{BytesBudget: 7} }, syscall.ENOSPC, "write"},
+	{"sync-fails", func() *faultinject.FaultFS { return &faultinject.FaultFS{BytesBudget: -1, FailSync: true} }, syscall.EIO, "sync"},
+	{"rename-fails", func() *faultinject.FaultFS { return &faultinject.FaultFS{BytesBudget: -1, FailRename: true} }, syscall.EIO, "rename"},
+}
+
+// checkWriteFault asserts the typed-error contract: err unwraps to a
+// *atomicfile.WriteError at the expected stage, carries the expected
+// errno, and no tmp litter remains next to path.
+func checkWriteFault(t *testing.T, err error, path, stage string, errno syscall.Errno) {
+	t.Helper()
+	if err == nil {
+		t.Fatal("faulty write reported success")
+	}
+	var we *atomicfile.WriteError
+	if !errors.As(err, &we) {
+		t.Fatalf("error is not a *atomicfile.WriteError: %v", err)
+	}
+	if we.Stage != stage {
+		t.Errorf("failed at stage %q, want %q (err: %v)", we.Stage, stage, err)
+	}
+	if !errors.Is(err, errno) {
+		t.Errorf("error does not wrap %v: %v", errno, err)
+	}
+	if _, serr := os.Stat(path + ".tmp"); !errors.Is(serr, os.ErrNotExist) {
+		t.Errorf("tmp file left behind after failed write (stat: %v)", serr)
+	}
+}
+
+// TestCheckpointSaveDiskFaults: a checkpoint overwrite that hits a disk
+// fault fails typed and leaves the previous checkpoint loading intact.
+func TestCheckpointSaveDiskFaults(t *testing.T) {
+	prev := &checkpoint.State{SessionID: "s", Workload: "w", FramesApplied: 3, EventsApplied: 96}
+	next := &checkpoint.State{SessionID: "s", Workload: "w", FramesApplied: 9, EventsApplied: 288}
+	for _, tc := range diskFaults {
+		t.Run(tc.name, func(t *testing.T) {
+			path := checkpoint.PathFor(t.TempDir(), "s")
+			if err := checkpoint.Save(path, prev); err != nil {
+				t.Fatal(err)
+			}
+			restore := atomicfile.SetFS(tc.fs())
+			err := checkpoint.Save(path, next)
+			restore()
+			checkWriteFault(t, err, path, tc.stage, tc.errno)
+			got, lerr := checkpoint.Load(path)
+			if lerr != nil {
+				t.Fatalf("previous checkpoint no longer loads: %v", lerr)
+			}
+			if got.FramesApplied != prev.FramesApplied || got.EventsApplied != prev.EventsApplied {
+				t.Errorf("previous durable copy changed: cursor %d/%d, want %d/%d",
+					got.FramesApplied, got.EventsApplied, prev.FramesApplied, prev.EventsApplied)
+			}
+		})
+	}
+}
+
+// TestRouterTableSaveDiskFaults: same contract for the ORMRTAB writer.
+func TestRouterTableSaveDiskFaults(t *testing.T) {
+	prev := &checkpoint.RouterState{Epoch: 4, Shards: []string{"a:1", "b:1"},
+		Routes: map[string]string{"sess": "b:1"}}
+	next := &checkpoint.RouterState{Epoch: 5, Shards: []string{"a:1"}}
+	for _, tc := range diskFaults {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "router.rtab")
+			if err := checkpoint.SaveRouterTable(path, prev); err != nil {
+				t.Fatal(err)
+			}
+			restore := atomicfile.SetFS(tc.fs())
+			err := checkpoint.SaveRouterTable(path, next)
+			restore()
+			checkWriteFault(t, err, path, tc.stage, tc.errno)
+			got, lerr := checkpoint.LoadRouterTable(path)
+			if lerr != nil {
+				t.Fatalf("previous router table no longer loads: %v", lerr)
+			}
+			if got.Epoch != prev.Epoch || !reflect.DeepEqual(got.Shards, prev.Shards) {
+				t.Errorf("previous durable copy changed: epoch %d shards %v, want epoch %d shards %v",
+					got.Epoch, got.Shards, prev.Epoch, prev.Shards)
+			}
+		})
+	}
+}
+
+// TestPlanSaveDiskFaults: same contract for the ORMPLAN writer.
+func TestPlanSaveDiskFaults(t *testing.T) {
+	prev := &plan.Plan{Workload: "w", Region: 0x1000,
+		Prefetch: []plan.PrefetchRule{{Instr: 7, Stride: 64, Distance: 4}}}
+	next := &plan.Plan{Workload: "w", Region: 0x2000,
+		Prefetch: []plan.PrefetchRule{{Instr: 7, Stride: 64, Distance: 4}, {Instr: 9, Stride: 128, Distance: 4}}}
+	for _, tc := range diskFaults {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "w.ormplan")
+			if err := plan.Save(path, prev); err != nil {
+				t.Fatal(err)
+			}
+			restore := atomicfile.SetFS(tc.fs())
+			err := plan.Save(path, next)
+			restore()
+			checkWriteFault(t, err, path, tc.stage, tc.errno)
+			got, lerr := plan.Load(path)
+			if lerr != nil {
+				t.Fatalf("previous plan no longer loads: %v", lerr)
+			}
+			if got.Region != prev.Region || len(got.Prefetch) != len(prev.Prefetch) {
+				t.Errorf("previous durable copy changed: region %#x rules %d, want %#x %d",
+					got.Region, len(got.Prefetch), prev.Region, len(prev.Prefetch))
+			}
+		})
+	}
+}
+
+// TestTornTmpWriteLeavesPrefix: the ENOSPC torn write really does tear —
+// the failing writer sees a partial file of exactly the budgeted length
+// mid-sequence — yet atomicfile removes it and the target never existed.
+func TestTornTmpWriteLeavesPrefix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact")
+	ffs := &faultinject.FaultFS{BytesBudget: 7}
+	err := atomicfile.WriteFS(ffs, path, []byte("0123456789abcdef"))
+	checkWriteFault(t, err, path, "write", syscall.ENOSPC)
+	if _, serr := os.Stat(path); !errors.Is(serr, os.ErrNotExist) {
+		t.Errorf("target file exists after torn first write (stat: %v)", serr)
+	}
+}
+
+// TestFaultFSBudgetSharedAcrossFiles: the byte budget models one disk,
+// not one file — a second writer on the same FS inherits what the first
+// left. Ensures multi-artifact flush tests exercise cascading ENOSPC.
+func TestFaultFSBudgetSharedAcrossFiles(t *testing.T) {
+	dir := t.TempDir()
+	ffs := &faultinject.FaultFS{BytesBudget: 10}
+	if err := atomicfile.WriteFS(ffs, filepath.Join(dir, "a"), []byte("12345678")); err != nil {
+		t.Fatalf("first write within budget failed: %v", err)
+	}
+	err := atomicfile.WriteFS(ffs, filepath.Join(dir, "b"), []byte("12345678"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("second write exceeding the shared budget: got %v, want ENOSPC", err)
+	}
+}
+
+// TestSketchCheckpointSurvivesDiskFault: the sketch rungs ride the same
+// discipline — a checkpoint carrying a ladder snapshot at a sketch rung
+// keeps its previous durable copy through an ENOSPC overwrite. Guards
+// the PR's two new rungs against regressions in the fault path.
+func TestSketchCheckpointSurvivesDiskFault(t *testing.T) {
+	st := sketchState(t, 2000)
+	path := checkpoint.PathFor(t.TempDir(), "sk")
+	if err := checkpoint.Save(path, st); err != nil {
+		t.Fatal(err)
+	}
+	restore := atomicfile.SetFS(&faultinject.FaultFS{BytesBudget: 128})
+	err := checkpoint.Save(path, sketchState(t, 4000))
+	restore()
+	checkWriteFault(t, err, path, "write", syscall.ENOSPC)
+	got, lerr := checkpoint.Load(path)
+	if lerr != nil {
+		t.Fatalf("previous sketch checkpoint no longer loads: %v", lerr)
+	}
+	if got.Ladder == nil || got.Ladder.SketchStride == nil {
+		t.Fatal("restored checkpoint lost its sketch-stride ladder snapshot")
+	}
+	if got.EventsApplied != st.EventsApplied {
+		t.Errorf("cursor %d, want %d", got.EventsApplied, st.EventsApplied)
+	}
+}
+
+// sketchState builds a checkpoint State whose ladder sits on the
+// sketch-stride rung after n synthetic events.
+func sketchState(t *testing.T, n uint64) *checkpoint.State {
+	t.Helper()
+	lad := govern.NewLadder(govern.Config{
+		Budget:    govern.NewBudget(0),
+		StartRung: govern.RungSketchStride,
+	})
+	for i := uint64(0); i < n; i++ {
+		lad.Emit(trace.Event{Kind: trace.EvAccess,
+			Instr: trace.InstrID(i % 17), Addr: trace.Addr(0x1000 + 8*i)})
+	}
+	return &checkpoint.State{
+		SessionID: "sk", Workload: "w",
+		FramesApplied: 1, EventsApplied: n,
+		Ladder: lad.Snapshot(),
+	}
+}

@@ -90,6 +90,19 @@ func (b *Budget) Over() bool {
 	return false
 }
 
+// WouldOver reports whether adding n bytes would put this budget — or
+// any ancestor — at its high watermark, without mutating anything (in
+// particular, without recording a peak). The ladder uses it to decide
+// whether a fixed-footprint rung can be entered at all.
+func (b *Budget) WouldOver(n int64) bool {
+	for p := b; p != nil; p = p.parent {
+		if p.limit > 0 && p.used.Load()+n >= p.Watermark() {
+			return true
+		}
+	}
+	return false
+}
+
 // Heaviest picks which of several accounted parties should shed load
 // first: the one with the largest usage, ties broken toward the smallest
 // index. It is the one shedding order shared by a server choosing among

@@ -16,13 +16,21 @@
 //	full profiling            everything the pipeline normally builds
 //	object-sampled            a fresh full pipeline behind a deterministic,
 //	                          seeded subset of allocation sites
+//	sketch-stride             fixed-memory sketches: count-min stride
+//	                          histograms, a seen-digram bloom filter, and
+//	                          top-K heavy hitters, with ε/δ error bounds
+//	sketch-counters           fixed-memory per-site allocation sketch plus
+//	                          top-K hot sites
 //	stride-only               the lossless stride profiler alone
 //	per-site counters         allocation counts per site plus access totals
 //
 // Every step-down is recorded; a degraded run surfaces as a typed
 // *DegradedError that the CLI's Salvaged/exit-2 convention carries, so
 // partial output still renders and the report says exactly which mode
-// produced it.
+// produced it. The sketch rungs can also be requested directly
+// (Config.StartRung, the CLI's -approx): a ladder started there records
+// no steps and reports no degradation unless the budget forces it
+// further down.
 //
 // Determinism contract: a governed pipeline is sequential, so the trip
 // points — which event tripped the budget, which rung produced the
@@ -38,8 +46,14 @@ import (
 	"strings"
 )
 
-// Rung is one level of the degradation ladder, ordered from most to least
-// expensive.
+// Rung is one level of the degradation ladder.
+//
+// The integer values are a serialization format — gob-encoded ORMCKPT
+// checkpoints store them — so new rungs are APPENDED, never inserted:
+// the sketch rungs are 4 and 5 even though they sit between
+// object-sampled and stride-only in the ladder. Never order rungs by
+// comparing their integer values; use rank (via Next/FullPipeline/
+// Floor) instead.
 type Rung int
 
 const (
@@ -56,6 +70,16 @@ const (
 	// RungCounters keeps only per-site allocation counts and access
 	// totals. It is the ladder's floor: it cannot trip further.
 	RungCounters
+	// RungSketchStride keeps fixed-memory sketches of the access stream:
+	// count-min per-instruction stride histograms, a bloom filter over
+	// instruction digrams, and space-saving top-K heavy hitters, each
+	// carrying its own ε/δ error bound. Ladder position: between
+	// object-sampled and sketch-counters.
+	RungSketchStride
+	// RungSketchCounters keeps a fixed-memory count-min sketch of per-site
+	// allocation counts plus top-K hot sites. Ladder position: between
+	// sketch-stride and stride-only.
+	RungSketchCounters
 )
 
 // String returns the rung's report name.
@@ -65,6 +89,10 @@ func (r Rung) String() string {
 		return "full"
 	case RungSampled:
 		return "object-sampled"
+	case RungSketchStride:
+		return "sketch-stride"
+	case RungSketchCounters:
+		return "sketch-counters"
 	case RungStrideOnly:
 		return "stride-only"
 	case RungCounters:
@@ -72,6 +100,66 @@ func (r Rung) String() string {
 	default:
 		return fmt.Sprintf("rung(%d)", int(r))
 	}
+}
+
+// Next returns the rung one step down the ladder, or (r, false) at the
+// floor or for an unknown rung. This — not integer order — defines the
+// ladder sequence.
+func (r Rung) Next() (Rung, bool) {
+	switch r {
+	case RungFull:
+		return RungSampled, true
+	case RungSampled:
+		return RungSketchStride, true
+	case RungSketchStride:
+		return RungSketchCounters, true
+	case RungSketchCounters:
+		return RungStrideOnly, true
+	case RungStrideOnly:
+		return RungCounters, true
+	default:
+		return r, false
+	}
+}
+
+// Rank returns the rung's position in the ladder order (0 = full,
+// 5 = per-site counters), or -1 for an unknown rung. Use it — never the
+// integer values — when two rungs must be ordered.
+func (r Rung) Rank() int {
+	switch r {
+	case RungFull:
+		return 0
+	case RungSampled:
+		return 1
+	case RungSketchStride:
+		return 2
+	case RungSketchCounters:
+		return 3
+	case RungStrideOnly:
+		return 4
+	case RungCounters:
+		return 5
+	default:
+		return -1
+	}
+}
+
+// FullPipeline reports whether the rung runs a full profiling pipeline
+// whose state lives outside the ladder (full, or full behind the
+// object-sampling filter). Callers restoring or serializing pipeline
+// state must use this instead of comparing rung integers.
+func (r Rung) FullPipeline() bool {
+	return r == RungFull || r == RungSampled
+}
+
+// Floor reports whether the rung is the ladder's floor (it cannot trip
+// further).
+func (r Rung) Floor() bool { return r == RungCounters }
+
+// Sketch reports whether the rung is one of the fixed-memory sketch
+// rungs, whose reports carry ε/δ error bounds.
+func (r Rung) Sketch() bool {
+	return r == RungSketchStride || r == RungSketchCounters
 }
 
 // Step records one ladder step-down.

@@ -37,6 +37,15 @@ type Config struct {
 	// profiles with a fresh pipeline so the exploded structures of the
 	// full rung are actually freed).
 	Full func() Mode
+	// StartRung starts the ladder below full profiling — approximate
+	// mode, the CLI's -approx. A ladder started at RungSketchStride or
+	// RungSketchCounters records no step-downs, so Err() stays nil (the
+	// run is approximate by request, not degraded) unless the budget
+	// forces further steps. Any other value starts at RungFull.
+	StartRung Rung
+	// Sketch sizes the sketch rungs (the zero value selects the
+	// defaults; see SketchConfig).
+	Sketch SketchConfig
 }
 
 // Ladder is a trace.Sink that wraps a profiling mode in budget
@@ -49,19 +58,21 @@ type Config struct {
 // A Ladder is not safe for concurrent use; governed pipelines are
 // sequential by design (see the package comment's determinism contract).
 type Ladder struct {
-	cfg      Config
-	rung     Rung
-	cur      Mode
-	filter   *siteFilter   // non-nil at RungSampled
-	stride   *strideMode   // non-nil at RungStrideOnly
-	counters *countersMode // non-nil at RungCounters
-	steps    []Step
-	events   uint64
-	reported int64 // bytes currently accounted into the budget
-	sites    map[trace.SiteID]string
+	cfg       Config
+	rung      Rung
+	cur       Mode
+	filter    *siteFilter         // non-nil at RungSampled
+	sketchStr *sketchStrideMode   // non-nil at RungSketchStride
+	sketchCtr *sketchCountersMode // non-nil at RungSketchCounters
+	stride    *strideMode         // non-nil at RungStrideOnly
+	counters  *countersMode       // non-nil at RungCounters
+	steps     []Step
+	events    uint64
+	reported  int64 // bytes currently accounted into the budget
+	sites     map[trace.SiteID]string
 }
 
-// NewLadder creates a ladder at RungFull.
+// NewLadder creates a ladder at cfg.StartRung (RungFull by default).
 func NewLadder(cfg Config) *Ladder {
 	if cfg.Budget == nil {
 		cfg.Budget = NewBudget(0)
@@ -69,7 +80,19 @@ func NewLadder(cfg Config) *Ladder {
 	if cfg.SampleMod == 0 {
 		cfg.SampleMod = DefaultSampleMod
 	}
-	l := &Ladder{cfg: cfg, cur: cfg.Full()}
+	l := &Ladder{cfg: cfg}
+	switch cfg.StartRung {
+	case RungSketchStride:
+		l.rung = RungSketchStride
+		l.sketchStr = newSketchStrideMode(cfg.Sketch)
+		l.cur = l.sketchStr
+	case RungSketchCounters:
+		l.rung = RungSketchCounters
+		l.sketchCtr = newSketchCountersMode(cfg.Sketch)
+		l.cur = l.sketchCtr
+	default:
+		l.cur = cfg.Full()
+	}
 	l.account()
 	return l
 }
@@ -93,7 +116,7 @@ func (l *Ladder) Emit(e trace.Event) {
 	l.events++
 	l.cur.Emit(e)
 	l.account()
-	for l.cfg.Budget.Over() && l.rung < RungCounters {
+	for l.cfg.Budget.Over() && !l.rung.Floor() {
 		l.stepDown()
 	}
 }
@@ -108,29 +131,58 @@ func (l *Ladder) account() {
 }
 
 // stepDown moves to the next rung, discarding the current mode's state.
+//
+// Sketch rungs are special-cased: their footprint is fixed and known at
+// construction, so one that cannot fit under the budget is skipped
+// outright. Building it, charging it, and immediately re-tripping would
+// spike the accounted peak above the limit the ladder exists to enforce.
 func (l *Ladder) stepDown() {
 	used := l.cfg.Budget.Used()
 	from := l.rung
-	switch l.rung {
-	case RungFull:
-		l.rung = RungSampled
+	next, ok := l.rung.Next()
+	if !ok {
+		return
+	}
+	var sketchMode Mode
+	for next.Sketch() {
+		if next == RungSketchStride {
+			sketchMode = Mode(newSketchStrideMode(l.cfg.Sketch))
+		} else {
+			sketchMode = Mode(newSketchCountersMode(l.cfg.Sketch))
+		}
+		// The check simulates replacing the current mode's accounted
+		// bytes with the candidate's fixed footprint.
+		if !l.cfg.Budget.WouldOver(sketchMode.Footprint() - l.reported) {
+			break
+		}
+		sketchMode = nil
+		n, ok := next.Next()
+		if !ok {
+			break
+		}
+		next = n
+	}
+	l.filter, l.sketchStr, l.sketchCtr, l.stride, l.counters = nil, nil, nil, nil, nil
+	switch next {
+	case RungSampled:
 		inner := l.cfg.Full()
 		l.replayNames(inner)
 		l.filter = newSiteFilter(l.cfg.Seed, l.cfg.SampleMod, inner)
 		l.cur = l.filter
-	case RungSampled:
-		l.rung = RungStrideOnly
-		l.filter = nil
+	case RungSketchStride:
+		l.sketchStr = sketchMode.(*sketchStrideMode)
+		l.cur = l.sketchStr
+	case RungSketchCounters:
+		l.sketchCtr = sketchMode.(*sketchCountersMode)
+		l.cur = l.sketchCtr
+	case RungStrideOnly:
 		l.stride = newStrideMode()
 		l.cur = l.stride
-	case RungStrideOnly:
-		l.rung = RungCounters
-		l.stride = nil
+	case RungCounters:
 		l.counters = newCountersMode()
 		l.cur = l.counters
-	default:
-		return
 	}
+	l.rung = next
 	l.steps = append(l.steps, Step{From: from, To: l.rung, Event: l.events, Used: used})
 	l.account()
 }
@@ -155,7 +207,7 @@ func (l *Ladder) replayNames(m Mode) {
 // ForceStep steps down one rung regardless of the budget (load shedding).
 // It reports false at the floor.
 func (l *Ladder) ForceStep() bool {
-	if l.rung >= RungCounters {
+	if l.rung.Floor() {
 		return false
 	}
 	l.stepDown()

@@ -27,6 +27,14 @@ func (l *Ladder) WriteReport(w io.Writer) error {
 		}
 	}
 	switch l.rung {
+	case RungSketchStride:
+		if err := writeSketchStrideReport(w, l.sketchStr.snapshot()); err != nil {
+			return err
+		}
+	case RungSketchCounters:
+		if err := writeSketchCountersReport(w, l.sketchCtr.snapshot()); err != nil {
+			return err
+		}
 	case RungStrideOnly:
 		strided := l.stride.ideal.StronglyStrided()
 		if _, err := fmt.Fprintf(w, "stride %d\n", len(strided)); err != nil {

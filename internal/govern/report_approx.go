@@ -1,0 +1,149 @@
+package govern
+
+import (
+	"fmt"
+	"io"
+
+	"ormprof/internal/sketch"
+	"ormprof/internal/stride"
+)
+
+// This file renders the sketch rungs' report sections. Both the live
+// ladder report (WriteReport) and the cluster merge plane
+// (WriteApproxReport on merged snapshots) go through the same writers,
+// so byte comparisons across worker counts, restarts, and shard counts
+// are meaningful. Every section leads with its error accounting — an
+// approximate report never trades correctness silently.
+
+// writeSketchStrideReport renders the sketch-stride section from a
+// snapshot.
+func writeSketchStrideReport(w io.Writer, s *SketchStrideSnapshot) error {
+	strC, err := sketch.RestoreCountMin(s.Stride)
+	if err != nil {
+		return err
+	}
+	totC, err := sketch.RestoreCountMin(s.Totals)
+	if err != nil {
+		return err
+	}
+	dig, err := sketch.RestoreBloom(s.Digram)
+	if err != nil {
+		return err
+	}
+	pairs, err := sketch.RestoreTopK(s.Pairs)
+	if err != nil {
+		return err
+	}
+	hot, err := sketch.RestoreTopK(s.Hot)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "approx sketch-stride\nsamples %d\nepsilon %.6g\ndelta %.6g\nerror-bound %.6g\n",
+		strC.Total(), strC.Epsilon(), strC.Delta(), strC.ErrorBound()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "digram-adds %d\ndigram-distinct %d\ndigram-fpp %.6g\n",
+		dig.Adds(), dig.Distinct(), dig.FPP()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "topk %d\ntopk-bound %d\n", pairs.K(), pairs.ErrorBound()); err != nil {
+		return err
+	}
+
+	// Strongly-strided pairs: the sketch analog of the stride report.
+	// A tracked (instruction, stride) pair is strong when the sketch
+	// estimates the stride to cover ≥ StrongThreshold of the
+	// instruction's stride samples, over a minimum sample count — the
+	// same rule the exact profiler applies.
+	type strong struct {
+		instr  uint64
+		stride int64
+		est    uint64
+		frac   float64
+	}
+	var strongs []strong
+	for _, e := range pairs.Entries() {
+		tot := totC.Estimate(sketch.Key{A: e.Key.A})
+		if tot < stride.MinSample {
+			continue
+		}
+		est := strC.Estimate(e.Key)
+		frac := float64(est) / float64(tot)
+		if frac > 1 {
+			frac = 1
+		}
+		if frac < stride.StrongThreshold {
+			continue
+		}
+		strongs = append(strongs, strong{instr: e.Key.A, stride: int64(e.Key.B), est: est, frac: frac})
+	}
+	if _, err := fmt.Fprintf(w, "strided %d\n", len(strongs)); err != nil {
+		return err
+	}
+	for _, p := range strongs {
+		if _, err := fmt.Fprintf(w, "pair %d %d est %d frac %.4f\n", p.instr, p.stride, p.est, p.frac); err != nil {
+			return err
+		}
+	}
+	hotEnts := hot.Entries()
+	if _, err := fmt.Fprintf(w, "hot %d bound %d\n", len(hotEnts), hot.ErrorBound()); err != nil {
+		return err
+	}
+	for _, e := range hotEnts {
+		if _, err := fmt.Fprintf(w, "line %#x count %d err %d\n", e.Key.A<<6, e.Count, e.Err); err != nil {
+			return err
+		}
+	}
+	_, err = fmt.Fprintf(w, "allocs %d\nfrees %d\nloads %d\nstores %d\n", s.Allocs, s.Frees, s.Loads, s.Stores)
+	return err
+}
+
+// writeSketchCountersReport renders the sketch-counters section from a
+// snapshot.
+func writeSketchCountersReport(w io.Writer, s *SketchCountersSnapshot) error {
+	sites, err := sketch.RestoreCountMin(s.Sites)
+	if err != nil {
+		return err
+	}
+	hot, err := sketch.RestoreTopK(s.Hot)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "approx sketch-counters\nsamples %d\nepsilon %.6g\ndelta %.6g\nerror-bound %.6g\n",
+		sites.Total(), sites.Epsilon(), sites.Delta(), sites.ErrorBound()); err != nil {
+		return err
+	}
+	hotEnts := hot.Entries()
+	if _, err := fmt.Fprintf(w, "topk %d\ntopk-bound %d\nhot-sites %d\n", hot.K(), hot.ErrorBound(), len(hotEnts)); err != nil {
+		return err
+	}
+	for _, e := range hotEnts {
+		if _, err := fmt.Fprintf(w, "site %d count %d err %d\n", e.Key.A, e.Count, e.Err); err != nil {
+			return err
+		}
+	}
+	_, err = fmt.Fprintf(w, "allocs %d\nfrees %d\nloads %d\nstores %d\n", s.Allocs, s.Frees, s.Loads, s.Stores)
+	return err
+}
+
+// WriteApproxReport writes the cluster merge plane's approximate report:
+// the given merged snapshots (either may be nil), preceded by a header
+// naming how many per-session sketches were folded in. The sections are
+// rendered by the same writers as a single session's .govern artifact,
+// so the merged report carries the same error-bound fields.
+func WriteApproxReport(w io.Writer, strideSnap *SketchStrideSnapshot, counterSnap *SketchCountersSnapshot, sessions int) error {
+	if _, err := fmt.Fprintf(w, "# approximate profile (merged)\nsessions %d\n", sessions); err != nil {
+		return err
+	}
+	if strideSnap != nil {
+		if err := writeSketchStrideReport(w, strideSnap); err != nil {
+			return err
+		}
+	}
+	if counterSnap != nil {
+		if err := writeSketchCountersReport(w, counterSnap); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"ormprof/internal/sketch"
 	"ormprof/internal/stride"
 	"ormprof/internal/trace"
 )
@@ -37,6 +38,42 @@ type CountersSnapshot struct {
 	Stores uint64
 }
 
+// LastSlot is one entry of the sketch-stride rung's direct-mapped
+// last-address table. Instr is the instruction ID plus one; 0 marks an
+// empty slot.
+type LastSlot struct {
+	Instr uint64
+	Addr  uint64
+}
+
+// SketchStrideSnapshot is the RungSketchStride state: every sketch plus
+// the mid-stream scalars the mode needs to continue byte-identically.
+type SketchStrideSnapshot struct {
+	Config SketchConfig
+	Stride *sketch.CountMinSnapshot
+	Totals *sketch.CountMinSnapshot
+	Digram *sketch.BloomSnapshot
+	Pairs  *sketch.TopKSnapshot
+	Hot    *sketch.TopKSnapshot
+	Last   []LastSlot
+	Prev   uint64 // previous access instruction + 1; 0 = none
+	Loads  uint64
+	Stores uint64
+	Allocs uint64
+	Frees  uint64
+}
+
+// SketchCountersSnapshot is the RungSketchCounters state.
+type SketchCountersSnapshot struct {
+	Config SketchConfig
+	Sites  *sketch.CountMinSnapshot
+	Hot    *sketch.TopKSnapshot
+	Loads  uint64
+	Stores uint64
+	Allocs uint64
+	Frees  uint64
+}
+
 // Snapshot is the ladder's complete resumable state.
 type Snapshot struct {
 	Rung      Rung
@@ -44,9 +81,17 @@ type Snapshot struct {
 	Events    uint64
 	Seed      uint64
 	SampleMod uint64
+	// StartRung records the configured starting rung (approximate mode),
+	// so a resumed session keeps treating it as its baseline rather than
+	// as degradation.
+	StartRung Rung
 
 	// Filter holds the sampled live objects, present at RungSampled.
 	Filter []FilterObject
+	// SketchStride holds the sketch state, present at RungSketchStride.
+	SketchStride *SketchStrideSnapshot
+	// SketchCounters holds the sketch state, present at RungSketchCounters.
+	SketchCounters *SketchCountersSnapshot
 	// Stride holds the stride profiler, present at RungStrideOnly.
 	Stride *stride.Snapshot
 	// Counters holds the per-site counters, present at RungCounters.
@@ -62,6 +107,7 @@ func (l *Ladder) Snapshot() *Snapshot {
 		Events:    l.events,
 		Seed:      l.cfg.Seed,
 		SampleMod: l.cfg.SampleMod,
+		StartRung: l.cfg.StartRung,
 	}
 	switch l.rung {
 	case RungSampled:
@@ -70,6 +116,10 @@ func (l *Ladder) Snapshot() *Snapshot {
 			snap.Filter = append(snap.Filter, FilterObject{Start: start, Size: uint32(size)})
 			return true
 		})
+	case RungSketchStride:
+		snap.SketchStride = l.sketchStr.snapshot()
+	case RungSketchCounters:
+		snap.SketchCounters = l.sketchCtr.snapshot()
 	case RungStrideOnly:
 		snap.Stride = l.stride.ideal.Snapshot()
 	case RungCounters:
@@ -98,6 +148,11 @@ func (l *Ladder) Snapshot() *Snapshot {
 func RestoreLadder(cfg Config, snap *Snapshot, full Mode) (*Ladder, error) {
 	if snap == nil {
 		if full != nil {
+			// An old checkpoint with no ladder snapshot but a restored
+			// full pipeline: the session was at full when it was written,
+			// so it resumes at RungFull. cfg.StartRung is deliberately
+			// ignored here — honouring it would discard the restored
+			// pipeline state the caller just rebuilt.
 			if cfg.Budget == nil {
 				cfg.Budget = NewBudget(0)
 			}
@@ -115,6 +170,7 @@ func RestoreLadder(cfg Config, snap *Snapshot, full Mode) (*Ladder, error) {
 	}
 	cfg.Seed = snap.Seed
 	cfg.SampleMod = snap.SampleMod
+	cfg.StartRung = snap.StartRung
 	if cfg.SampleMod == 0 {
 		cfg.SampleMod = DefaultSampleMod
 	}
@@ -138,6 +194,20 @@ func RestoreLadder(cfg Config, snap *Snapshot, full Mode) (*Ladder, error) {
 			l.filter.live.Set(o.Start, uint64(o.Size))
 		}
 		l.cur = l.filter
+	case RungSketchStride:
+		m, err := restoreSketchStrideMode(snap.SketchStride)
+		if err != nil {
+			return nil, fmt.Errorf("govern: restore sketch-stride mode: %w", err)
+		}
+		l.sketchStr = m
+		l.cur = m
+	case RungSketchCounters:
+		m, err := restoreSketchCountersMode(snap.SketchCounters)
+		if err != nil {
+			return nil, fmt.Errorf("govern: restore sketch-counters mode: %w", err)
+		}
+		l.sketchCtr = m
+		l.cur = m
 	case RungStrideOnly:
 		ideal, err := stride.FromSnapshot(snap.Stride)
 		if err != nil {

@@ -7,8 +7,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
-	"path/filepath"
 
+	"ormprof/internal/atomicfile"
 	"ormprof/internal/trace"
 )
 
@@ -344,41 +344,16 @@ func Read(r io.Reader) (*Plan, error) {
 	return Decode(data)
 }
 
-// Save writes the plan to path crash-atomically (tmp + fsync + rename),
-// mirroring checkpoint.Save: a reader sees either the old file or the new.
+// Save writes the plan to path crash-atomically via internal/atomicfile
+// (tmp + fsync + rename), mirroring checkpoint.Save: a reader sees either
+// the old file or the new, and a failed write surfaces as a typed
+// *atomicfile.WriteError with the previous durable copy intact.
 func Save(path string, p *Plan) error {
 	data, err := Encode(p)
 	if err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return err
-	}
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if dir, err := os.Open(filepath.Dir(path)); err == nil {
-		dir.Sync()
-		dir.Close()
-	}
-	return nil
+	return atomicfile.Write(path, data)
 }
 
 // Load reads and validates the plan at path.

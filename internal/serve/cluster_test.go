@@ -453,6 +453,67 @@ func TestClusterReportShardCountInvariant(t *testing.T) {
 	}
 }
 
+// TestClusterApproxMergeShardCountInvariant: sessions ingested in -approx
+// mode end on the sketch-stride rung, and the merge plane folds their
+// fixed-memory sketches into a cluster.approx artifact that is
+// byte-identical at any shard count. The shared sketch seed is what makes
+// per-session count-min cells and bloom bits comparable; the
+// sorted-session fold order removes the shard topology from the result.
+func TestClusterApproxMergeShardCountInvariant(t *testing.T) {
+	testutil.LeakCheck(t)
+	frames, sites, _ := makeFrames(t, "linkedlist", 256)
+	sessions := []string{"alpha", "beta", "gamma", "delta"}
+
+	run := func(shards int) []byte {
+		t.Helper()
+		c, err := NewCluster(ClusterConfig{
+			Dir: t.TempDir(), Shards: shards, Shard: Config{Approx: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range sessions {
+			if _, err := Push(context.Background(), ClientConfig{
+				Addr: c.Addr(), SessionID: s, Workload: "linkedlist", Sites: sites,
+			}, frames); err != nil {
+				t.Fatalf("shards=%d session %s: %v", shards, s, err)
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := c.Shutdown(ctx); err != nil {
+			t.Fatalf("shards=%d shutdown: %v", shards, err)
+		}
+		outDir := t.TempDir()
+		stats, err := c.Merge(outDir)
+		if err != nil {
+			t.Fatalf("shards=%d merge: %v", shards, err)
+		}
+		if stats.Sessions != len(sessions) || stats.Approx != len(sessions) || stats.Skipped != 0 {
+			t.Errorf("shards=%d stats = %+v, want %d approx sessions", shards, stats, len(sessions))
+		}
+		b, err := os.ReadFile(filepath.Join(outDir, "cluster.approx"))
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return b
+	}
+
+	one := run(1)
+	four := run(4)
+	if !bytes.Equal(one, four) {
+		t.Error("cluster.approx: 4-shard report differs from 1-shard")
+	}
+	for _, want := range []string{
+		"# approximate profile (merged)", "sessions 4",
+		"epsilon ", "delta ", "error-bound ",
+	} {
+		if !bytes.Contains(one, []byte(want)) {
+			t.Errorf("cluster.approx missing %q", want)
+		}
+	}
+}
+
 // TestMergeDuplicateSessionTyped: the same session completed on two
 // shards breaks the disjoint-union premise and must surface as the typed
 // *MergeError, never a silently merged report.

@@ -217,12 +217,13 @@ func TestAdmissionRejectedOverGlobalWatermark(t *testing.T) {
 func TestLadderCheckpointRoundTrip(t *testing.T) {
 	_, sites, events := makeFrames(t, "linkedlist", 256)
 	for _, target := range []govern.Rung{
-		govern.RungFull, govern.RungSampled, govern.RungStrideOnly, govern.RungCounters,
+		govern.RungFull, govern.RungSampled, govern.RungSketchStride,
+		govern.RungSketchCounters, govern.RungStrideOnly, govern.RungCounters,
 	} {
 		t.Run(target.String(), func(t *testing.T) {
-			p := newPipeline("linkedlist", sites, 0, govern.NewBudget(0), sessionSeed("rt"), true)
+			p := newPipeline("linkedlist", sites, 0, govern.NewBudget(0), sessionSeed("rt"), true, false)
 			p.applyFrame(events[:1024])
-			for p.lad.Rung() < target {
+			for p.lad.Rung().Rank() < target.Rank() {
 				p.lad.ForceStep()
 			}
 			p.applyFrame(events[1024:])
@@ -232,7 +233,7 @@ func TestLadderCheckpointRoundTrip(t *testing.T) {
 				t.Fatal(err)
 			}
 			hasComponents := st.Whomp != nil && st.WhompOMC != nil && st.Stride != nil
-			if wantComponents := target <= govern.RungSampled; hasComponents != wantComponents {
+			if wantComponents := target.FullPipeline(); hasComponents != wantComponents {
 				t.Errorf("rung %s: component snapshots present=%v, want %v", target, hasComponents, wantComponents)
 			}
 			if st.Ladder == nil {
@@ -316,7 +317,7 @@ func TestResumeSkipsCorruptCheckpoints(t *testing.T) {
 	ckDir := t.TempDir()
 
 	save := func(id string, n int) *checkpoint.State {
-		p := newPipeline("linkedlist", sites, 0, nil, 0, false)
+		p := newPipeline("linkedlist", sites, 0, nil, 0, false, false)
 		p.applyFrame(events[:n])
 		st, err := p.state(id)
 		if err != nil {

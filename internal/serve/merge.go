@@ -60,6 +60,7 @@ func (e *PartialReportError) Error() string {
 type ClusterStats struct {
 	Sessions int // final states merged
 	Degraded int // sessions whose ladder ended below the sampled rung
+	Approx   int // sessions that ended on a sketch rung (folded into cluster.approx)
 	Skipped  int // unreadable/corrupt final files, logged and skipped
 }
 
@@ -117,9 +118,12 @@ func ClusterReport(dirs []string, outDir string, maxLMADs int, logf func(string,
 		objects, symbols        int
 	}
 	var (
-		rows   []row
-		lps    []*leap.Profile
-		merged = stride.NewIdeal()
+		rows     []row
+		lps      []*leap.Profile
+		merged   = stride.NewIdeal()
+		appStr   *govern.SketchStrideSnapshot
+		appCtr   *govern.SketchCountersSnapshot
+		approxed int
 	)
 	for _, id := range ids {
 		st := finals[id].state
@@ -148,6 +152,23 @@ func ClusterReport(dirs []string, outDir string, maxLMADs int, logf func(string,
 			merged.Merge(ideal)
 		} else {
 			stats.Degraded++
+			// Sketch-rung sessions still contribute to the cluster report:
+			// their fixed-memory summaries merge losslessly (count-min cells
+			// add, bloom bits OR, top-K via the mergeable-summaries
+			// construction) because every session hashes with the shared
+			// DefaultSketchSeed. Folding in sorted-session order keeps the
+			// artifact byte-identical at any shard count.
+			if lsnap := pl.lad.Snapshot(); lsnap.Rung.Sketch() {
+				if err := foldApprox(&appStr, &appCtr, lsnap); err != nil {
+					stats.Sessions--
+					stats.Degraded--
+					stats.Skipped++
+					logf("merge: session %s: sketch state unmergeable: %v", id, err)
+					continue
+				}
+				stats.Approx++
+				approxed++
+			}
 		}
 		rows = append(rows, r)
 	}
@@ -164,6 +185,13 @@ func ClusterReport(dirs []string, outDir string, maxLMADs int, logf func(string,
 	}); err != nil {
 		return nil, fmt.Errorf("serve: merge: write cluster stride report: %w", err)
 	}
+	if approxed > 0 {
+		if err := writeArtifact(filepath.Join(outDir, "cluster.approx"), func(w *bufio.Writer) error {
+			return govern.WriteApproxReport(w, appStr, appCtr, approxed)
+		}); err != nil {
+			return nil, fmt.Errorf("serve: merge: write cluster approx report: %w", err)
+		}
+	}
 	if err := writeArtifact(filepath.Join(outDir, "cluster.whomp"), func(w *bufio.Writer) error {
 		fmt.Fprintf(w, "# cluster whomp summary\n")
 		fmt.Fprintf(w, "sessions %d\n", len(rows))
@@ -177,4 +205,26 @@ func ClusterReport(dirs []string, outDir string, maxLMADs int, logf func(string,
 		return nil, fmt.Errorf("serve: merge: write cluster whomp summary: %w", err)
 	}
 	return stats, nil
+}
+
+// foldApprox merges one session's sketch-rung ladder snapshot into the
+// cluster accumulators. The first session of each sketch kind seeds its
+// accumulator; later ones fold in via the snapshot Merge operations.
+func foldApprox(appStr **govern.SketchStrideSnapshot, appCtr **govern.SketchCountersSnapshot, snap *govern.Snapshot) error {
+	switch {
+	case snap.SketchStride != nil:
+		if *appStr == nil {
+			*appStr = snap.SketchStride
+			return nil
+		}
+		return (*appStr).Merge(snap.SketchStride)
+	case snap.SketchCounters != nil:
+		if *appCtr == nil {
+			*appCtr = snap.SketchCounters
+			return nil
+		}
+		return (*appCtr).Merge(snap.SketchCounters)
+	default:
+		return fmt.Errorf("sketch rung %s snapshot has no sketch state", snap.Rung)
+	}
 }

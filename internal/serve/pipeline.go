@@ -103,19 +103,24 @@ func sessionSeed(id string) uint64 {
 }
 
 // newPipeline builds a fresh pipeline for a session. budget may be nil
-// (account-only).
-func newPipeline(workload string, sites map[trace.SiteID]string, maxLMADs int, budget *govern.Budget, seed uint64, governed bool) *pipeline {
+// (account-only). With approx set the session's ladder starts directly at
+// the sketch-stride rung (approximate mode) instead of full profiling.
+func newPipeline(workload string, sites map[trace.SiteID]string, maxLMADs int, budget *govern.Budget, seed uint64, governed, approx bool) *pipeline {
 	p := &pipeline{
 		workload: workload,
 		sites:    sites,
 		maxLMADs: maxLMADs,
 		governed: governed,
 	}
-	p.lad = govern.NewLadder(govern.Config{
+	cfg := govern.Config{
 		Budget: budget,
 		Seed:   seed,
 		Full:   func() govern.Mode { return newPipelineMode(sites, maxLMADs) },
-	})
+	}
+	if approx {
+		cfg.StartRung = govern.RungSketchStride
+	}
+	p.lad = govern.NewLadder(cfg)
 	return p
 }
 
@@ -125,7 +130,7 @@ func newPipeline(workload string, sites map[trace.SiteID]string, maxLMADs int, b
 // re-escalates to full profiling across a restart.
 func pipelineFromState(st *checkpoint.State, maxLMADs int, budget *govern.Budget, governed bool) (*pipeline, error) {
 	var mode *pipelineMode
-	if st.Ladder == nil || st.Ladder.Rung <= govern.RungSampled {
+	if st.Ladder == nil || st.Ladder.Rung.FullPipeline() {
 		wOMC, err := omc.FromSnapshot(st.WhompOMC)
 		if err != nil {
 			return nil, fmt.Errorf("serve: restore WHOMP OMC: %w", err)
@@ -264,11 +269,27 @@ func WriteStrideReport(w *bufio.Writer, ideal map[trace.InstrID]stride.Info, est
 // writeArtifact writes bytes atomically (tmp + rename) so a reader never
 // sees a half-written profile.
 func writeArtifact(path string, write func(*bufio.Writer) error) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	// The tmp name must be unique per writer, not per path: sessions of
+	// the same workload flush to the same base path, and two completing
+	// concurrently on a shared tmp let one writer rename the other's
+	// half-written file away (the loser's rename then fails ENOENT, the
+	// flush fails, and retrying clients restream in lockstep and collide
+	// again). With unique tmps the last rename wins with a complete file.
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-")
+	if os.IsNotExist(err) {
+		// Self-heal a missing output directory (operator cleanup, a
+		// re-provisioned volume) instead of failing every flush until
+		// the clients give up — the retry storm is worse than the mkdir.
+		if mkErr := os.MkdirAll(dir, 0o755); mkErr != nil {
+			return err
+		}
+		f, err = os.CreateTemp(dir, filepath.Base(path)+".tmp-")
+	}
 	if err != nil {
 		return err
 	}
+	tmp := f.Name()
 	bw := bufio.NewWriter(f)
 	if err := write(bw); err != nil {
 		f.Close()

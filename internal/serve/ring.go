@@ -11,8 +11,9 @@ import (
 // one shard moves only ~1/N of the sessions and — just as important here —
 // every router instance, restarted or not, computes the same assignment
 // from nothing but the shard list. Determinism over cleverness: the hash
-// is FNV-1a, the points are "addr#replica", and ties cannot occur because
-// point collisions are resolved by address order at build time.
+// is FNV-1a with a murmur-style avalanche finalizer (see fmix64), the
+// points are "addr#replica", and ties cannot occur because point
+// collisions are resolved by address order at build time.
 //
 // Rings are immutable and versioned: add/remove build a NEW ring with the
 // epoch advanced by one. Every placement decision, admin command, and
@@ -38,7 +39,24 @@ const ringReplicas = 64
 func hash64(s string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(s))
-	return h.Sum64()
+	return fmix64(h.Sum64())
+}
+
+// fmix64 is the MurmurHash3 avalanche finalizer. FNV-1a alone leaves the
+// trailing bytes under-mixed: IDs that differ only in their last byte
+// ("cl-a" vs "cl-f") hash within ~2^43 of each other — adjacent on a
+// 2^64 ring — so a whole family of similarly-named sessions collapses
+// onto one arc and one shard, and a newly added shard attracts that arc
+// with probability 1/(n+1) instead of per-session independence. The
+// finalizer makes every input bit flip ~half the output bits, restoring
+// the even spread the virtual-node count is sized for.
+func fmix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
 }
 
 // newRing builds an epoch-1 ring over the given shard addresses.

@@ -158,7 +158,7 @@ func TestPushCompleteStream(t *testing.T) {
 // shared serializers — the reference the daemon must match.
 func offlineArtifacts(t *testing.T, workload string, sites map[trace.SiteID]string, events []trace.Event) map[string][]byte {
 	t.Helper()
-	p := newPipeline(workload, sites, 0, nil, 0, false)
+	p := newPipeline(workload, sites, 0, nil, 0, false, false)
 	p.applyFrame(events)
 	dir := t.TempDir()
 	if err := p.writeProfiles(dir); err != nil {

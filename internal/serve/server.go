@@ -87,6 +87,11 @@ type Config struct {
 	// cluster uses it to push a fleet-wide budget decision down into the
 	// shard that should degrade.
 	OverBudget func() bool
+	// Approx starts every new session's ladder directly at the
+	// sketch-stride rung (approximate profiling, the CLI's -approx)
+	// instead of full profiling. Resumed sessions keep their
+	// checkpointed rung regardless.
+	Approx bool
 	// Logf, when set, receives one line per session lifecycle event.
 	Logf func(format string, args ...any)
 }
@@ -434,7 +439,7 @@ func (s *Server) resolveSession(h *Hello, conn net.Conn) (*sessionState, error) 
 	st := &sessionState{
 		id: h.SessionID,
 		pl: newPipeline(h.Workload, h.Sites, s.cfg.MaxLMADs,
-			s.govRoot.Sub(s.cfg.SessionMemBudget), sessionSeed(h.SessionID), s.governed()),
+			s.govRoot.Sub(s.cfg.SessionMemBudget), sessionSeed(h.SessionID), s.governed(), s.cfg.Approx),
 	}
 	st.claim(conn)
 	s.sessions[h.SessionID] = st

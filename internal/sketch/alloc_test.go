@@ -1,0 +1,49 @@
+package sketch
+
+import "testing"
+
+// TestSketchUpdateZeroAlloc is the bench-allocs gate for the sketch hot
+// path: once the structures are built and the top-K working set is
+// tracked, per-event updates (count-min Add, bloom Add, top-K Add of a
+// tracked key) must not allocate. This is what lets a sketch rung claim
+// a truly fixed footprint — the governor charges construction once and
+// nothing accrues per event.
+func TestSketchUpdateZeroAlloc(t *testing.T) {
+	cm := NewCountMin(4, 1024, 1)
+	bl := NewBloom(1<<12, 4, 1)
+	tk := NewTopK(32)
+	for i := uint64(0); i < 32; i++ {
+		tk.Add(Key{A: i}, 1)
+	}
+	var i uint64
+	avg := testing.AllocsPerRun(10000, func() {
+		k := Key{A: i % 32, B: i % 4}
+		cm.Add(k, 1)
+		bl.Add(k)
+		tk.Add(Key{A: i % 32}, 1)
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("sketch update allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// BenchmarkSketchUpdate measures the combined per-event sketch update:
+// one count-min Add, one bloom Add, one top-K Add. Run via `make bench`
+// or compared with benchstat; `make bench-allocs` gates the 0 allocs/op.
+func BenchmarkSketchUpdate(b *testing.B) {
+	cm := NewCountMin(4, 4096, 1)
+	bl := NewBloom(1<<17, 4, 1)
+	tk := NewTopK(64)
+	for i := uint64(0); i < 64; i++ {
+		tk.Add(Key{A: i}, 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := Key{A: uint64(i % 512), B: uint64(i % 8)}
+		cm.Add(k, 1)
+		bl.Add(k)
+		tk.Add(Key{A: uint64(i % 64)}, 1)
+	}
+}

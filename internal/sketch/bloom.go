@@ -1,0 +1,117 @@
+package sketch
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Bloom is a bloom filter over Keys: m bits (power of two) probed by k
+// seeded double hashes. Test never returns a false negative; the false
+// positive probability is computed from the actual bit density rather
+// than an a-priori estimate, so FPP reflects the filter as loaded.
+type Bloom struct {
+	words []uint64
+	mask  uint64 // bit-index mask, m−1
+	k     int
+	seed  uint64
+	ones  uint64 // set bits
+	adds  uint64 // Add calls
+	news  uint64 // Add calls that found the key absent
+}
+
+// NewBloom builds a filter with at least bits bits (rounded up to a
+// power of two, minimum 64) and k hash functions.
+func NewBloom(bits, k int, seed uint64) *Bloom {
+	if bits < 64 {
+		bits = 64
+	}
+	if k < 1 {
+		k = 1
+	}
+	m := ceilPow2(bits)
+	return &Bloom{
+		words: make([]uint64, m/64),
+		mask:  m - 1,
+		k:     k,
+		seed:  seed,
+	}
+}
+
+// Add inserts k and reports whether it was (probably) already present:
+// true means every probed bit was already set. A false return is exact —
+// the key was definitely new.
+func (b *Bloom) Add(key Key) (present bool) {
+	h1, h2 := hash2(b.seed, key)
+	present = true
+	for i := 0; i < b.k; i++ {
+		bit := h1 & b.mask
+		w, m := bit/64, uint64(1)<<(bit%64)
+		if b.words[w]&m == 0 {
+			present = false
+			b.words[w] |= m
+			b.ones++
+		}
+		h1 += h2
+	}
+	b.adds++
+	if !present {
+		b.news++
+	}
+	return present
+}
+
+// Test reports whether key may have been added. False is exact; true is
+// wrong with probability FPP.
+func (b *Bloom) Test(key Key) bool {
+	h1, h2 := hash2(b.seed, key)
+	for i := 0; i < b.k; i++ {
+		bit := h1 & b.mask
+		if b.words[bit/64]&(uint64(1)<<(bit%64)) == 0 {
+			return false
+		}
+		h1 += h2
+	}
+	return true
+}
+
+// FPP returns the current false-positive probability (ones/m)^k, using
+// the filter's observed bit density.
+func (b *Bloom) FPP() float64 {
+	density := float64(b.ones) / float64(b.mask+1)
+	return math.Pow(density, float64(b.k))
+}
+
+// Adds returns the number of Add calls; Distinct returns the number of
+// Adds that found the key absent — a lower bound on (and, while FPP is
+// small, a tight estimate of) the number of distinct keys added.
+func (b *Bloom) Adds() uint64     { return b.adds }
+func (b *Bloom) Distinct() uint64 { return b.news }
+
+// Footprint returns the fixed heap footprint in bytes.
+func (b *Bloom) Footprint() int64 {
+	return int64(len(b.words))*8 + 64
+}
+
+// Merge ORs other into b. Both filters must have identical size, hash
+// count, and seed; otherwise a *MismatchError is returned and b is
+// unchanged. Distinct after a merge is recomputed conservatively: it is
+// capped at the merged filter's capacity-independent sum but remains a
+// lower bound on the union's distinct count only, so callers should
+// treat it as "at least".
+func (b *Bloom) Merge(other *Bloom) error {
+	if b.mask != other.mask || b.k != other.k {
+		return &MismatchError{What: "bloom dimensions differ"}
+	}
+	if b.seed != other.seed {
+		return &MismatchError{What: "bloom seeds differ"}
+	}
+	var ones uint64
+	for i, v := range other.words {
+		b.words[i] |= v
+		ones += uint64(bits.OnesCount64(b.words[i]))
+	}
+	b.ones = ones
+	b.adds += other.adds
+	b.news += other.news
+	return nil
+}

@@ -1,0 +1,95 @@
+package sketch
+
+import "math"
+
+// CountMin is a count-min sketch: depth rows of width counters. Add
+// increments one counter per row; Estimate takes the minimum over the
+// rows, so it never under-counts and over-counts by at most ε·N with
+// probability ≥ 1−δ, where N is the total weight added, ε = e/width,
+// and δ = e^−depth.
+type CountMin struct {
+	depth int
+	width uint64 // power of two
+	seed  uint64
+	rows  []uint64 // depth × width, row-major
+	total uint64
+}
+
+// NewCountMin builds a sketch with the given depth and width (the width
+// is rounded up to a power of two). All memory is allocated here; the
+// footprint never changes afterwards.
+func NewCountMin(depth, width int, seed uint64) *CountMin {
+	if depth < 1 {
+		depth = 1
+	}
+	w := ceilPow2(width)
+	return &CountMin{
+		depth: depth,
+		width: w,
+		seed:  seed,
+		rows:  make([]uint64, uint64(depth)*w),
+	}
+}
+
+// Add increments the count for k by n.
+func (c *CountMin) Add(k Key, n uint64) {
+	h1, h2 := hash2(c.seed, k)
+	mask := c.width - 1
+	for d := 0; d < c.depth; d++ {
+		c.rows[uint64(d)*c.width+(h1&mask)] += n
+		h1 += h2
+	}
+	c.total += n
+}
+
+// Estimate returns the sketch's count for k: always ≥ the true count,
+// and ≤ true + ε·Total with probability ≥ 1−δ.
+func (c *CountMin) Estimate(k Key) uint64 {
+	h1, h2 := hash2(c.seed, k)
+	mask := c.width - 1
+	est := c.rows[h1&mask]
+	h1 += h2
+	for d := 1; d < c.depth; d++ {
+		if v := c.rows[uint64(d)*c.width+(h1&mask)]; v < est {
+			est = v
+		}
+		h1 += h2
+	}
+	return est
+}
+
+// Total returns the total weight added (N in the error bound).
+func (c *CountMin) Total() uint64 { return c.total }
+
+// Epsilon returns the relative error factor ε = e/width: any estimate
+// exceeds the true count by at most ε·Total with probability ≥ 1−δ.
+func (c *CountMin) Epsilon() float64 { return math.E / float64(c.width) }
+
+// Delta returns the failure probability δ = e^−depth of the ε bound.
+func (c *CountMin) Delta() float64 { return math.Exp(-float64(c.depth)) }
+
+// ErrorBound returns the absolute overcount bound ε·Total.
+func (c *CountMin) ErrorBound() float64 { return c.Epsilon() * float64(c.total) }
+
+// Footprint returns the fixed heap footprint in bytes.
+func (c *CountMin) Footprint() int64 {
+	return int64(len(c.rows))*8 + 64
+}
+
+// Merge adds other into c cell-wise. Both sketches must have identical
+// depth, width, and seed; otherwise a *MismatchError is returned and c
+// is unchanged. Merging is exact: the merged sketch is identical to the
+// sketch of the concatenated streams.
+func (c *CountMin) Merge(other *CountMin) error {
+	if c.depth != other.depth || c.width != other.width {
+		return &MismatchError{What: "count-min dimensions differ"}
+	}
+	if c.seed != other.seed {
+		return &MismatchError{What: "count-min seeds differ"}
+	}
+	for i, v := range other.rows {
+		c.rows[i] += v
+	}
+	c.total += other.total
+	return nil
+}

@@ -1,0 +1,111 @@
+package sketch
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzCountMin drives a count-min sketch (and a split pair merged back
+// together) from arbitrary bytes and checks the structural invariants:
+// estimates never undercount, totals add up, merge equals the
+// whole-stream sketch cell-for-cell, and snapshot/restore preserves
+// state exactly.
+func FuzzCountMin(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		whole := NewCountMin(3, 64, 12345)
+		a := NewCountMin(3, 64, 12345)
+		b := NewCountMin(3, 64, 12345)
+		exact := map[Key]uint64{}
+		for i := 0; i+3 <= len(data); i += 3 {
+			k := Key{A: uint64(data[i]), B: uint64(data[i+1] % 4)}
+			n := uint64(data[i+2]%7) + 1
+			whole.Add(k, n)
+			if i%2 == 0 {
+				a.Add(k, n)
+			} else {
+				b.Add(k, n)
+			}
+			exact[k] += n
+		}
+		for k, want := range exact {
+			if got := whole.Estimate(k); got < want {
+				t.Fatalf("Estimate(%v) = %d < true %d", k, got, want)
+			}
+		}
+		if err := a.Merge(b); err != nil {
+			t.Fatalf("merge: %v", err)
+		}
+		if a.Total() != whole.Total() {
+			t.Fatalf("merged total %d != whole %d", a.Total(), whole.Total())
+		}
+		for i := range a.rows {
+			if a.rows[i] != whole.rows[i] {
+				t.Fatalf("merged cell %d = %d, whole %d", i, a.rows[i], whole.rows[i])
+			}
+		}
+		restored, err := RestoreCountMin(whole.Snapshot())
+		if err != nil {
+			t.Fatalf("restore: %v", err)
+		}
+		for k := range exact {
+			if restored.Estimate(k) != whole.Estimate(k) {
+				t.Fatalf("restored estimate differs for %v", k)
+			}
+		}
+	})
+}
+
+// FuzzBloom drives a bloom filter from arbitrary bytes and checks: no
+// false negatives ever, a merged filter contains both sides' keys, and
+// snapshot/restore preserves every bit and counter.
+func FuzzBloom(f *testing.F) {
+	f.Add([]byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0})
+	f.Add(bytes.Repeat([]byte{0xaa, 0x55}, 32))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		whole := NewBloom(1<<10, 3, 999)
+		a := NewBloom(1<<10, 3, 999)
+		b := NewBloom(1<<10, 3, 999)
+		var keys []Key
+		for i := 0; i+8 <= len(data); i += 8 {
+			k := Key{A: binary.LittleEndian.Uint64(data[i:])}
+			whole.Add(k)
+			if i%16 == 0 {
+				a.Add(k)
+			} else {
+				b.Add(k)
+			}
+			keys = append(keys, k)
+		}
+		for _, k := range keys {
+			if !whole.Test(k) {
+				t.Fatalf("false negative for %v", k)
+			}
+		}
+		if fpp := whole.FPP(); fpp < 0 || fpp > 1 {
+			t.Fatalf("FPP %g out of [0,1]", fpp)
+		}
+		if err := a.Merge(b); err != nil {
+			t.Fatalf("merge: %v", err)
+		}
+		for _, k := range keys {
+			if !a.Test(k) {
+				t.Fatalf("merged filter lost %v", k)
+			}
+		}
+		restored, err := RestoreBloom(whole.Snapshot())
+		if err != nil {
+			t.Fatalf("restore: %v", err)
+		}
+		for i := range whole.words {
+			if restored.words[i] != whole.words[i] {
+				t.Fatalf("restored word %d differs", i)
+			}
+		}
+		if restored.ones != whole.ones || restored.adds != whole.adds || restored.news != whole.news {
+			t.Fatal("restored counters differ")
+		}
+	})
+}

@@ -1,0 +1,77 @@
+// Package sketch implements the probabilistic summaries behind
+// approximate profiling: seeded count-min sketches, a bloom filter, and
+// space-saving top-K heavy-hitter tracking.
+//
+// All three structures share the properties the degradation ladder
+// (internal/govern) needs from an intermediate rung between "full
+// grammar" and "per-site counters":
+//
+//   - Fixed memory. Every structure allocates its arrays at construction
+//     and never grows; Footprint is a constant, so a sketch rung cannot
+//     re-trip a memory budget no matter how long the trace runs.
+//   - Determinism. Hashing is seeded splitmix64 double hashing — a pure
+//     function of (seed, key) — so estimates, reports, and snapshots are
+//     byte-identical across worker counts, restarts, and replays.
+//   - Error accounting. Each structure knows its own ε/δ (count-min),
+//     false-positive probability (bloom), or N/k bound (top-K), so every
+//     approximate report can carry the bound it guarantees instead of
+//     trading correctness silently.
+//   - Mergeability. Count-min sketches add cell-wise, bloom filters OR,
+//     and space-saving summaries combine with the standard mergeable-
+//     summaries construction, so per-session sketches from different
+//     cluster shards fold into one bounded-error cluster report.
+//   - Snapshots. Every structure round-trips through an exported,
+//     gob-encodable snapshot form for ORMCKPT checkpoint/resume.
+//
+// None of the structures is safe for concurrent use; governed pipelines
+// are sequential by design (see internal/govern).
+package sketch
+
+import "fmt"
+
+// Key is a two-word sketch key. Single-valued callers set A and leave B
+// zero; pair-valued callers (an (instruction, stride) stride-histogram
+// cell, an (instruction, instruction) digram) use both words. Keys are
+// exact — the structures hash them internally but report them verbatim.
+type Key struct {
+	A, B uint64
+}
+
+// MismatchError reports an attempt to merge two sketches with different
+// shapes or seeds. Estimates from differently-hashed sketches are not
+// comparable cell-wise, so the merge is refused rather than silently
+// producing garbage.
+type MismatchError struct {
+	What string
+}
+
+func (e *MismatchError) Error() string {
+	return fmt.Sprintf("sketch: merge shape mismatch: %s", e.What)
+}
+
+// mix64 is splitmix64's finalizer: cheap, well distributed, and stable
+// across platforms.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hash2 derives the two independent hash words of double hashing from a
+// seeded key. h2 is forced odd so the probe sequence h1 + i·h2 walks all
+// of any power-of-two table.
+func hash2(seed uint64, k Key) (h1, h2 uint64) {
+	h1 = mix64(seed ^ mix64(k.A) ^ (k.B * 0x9e3779b97f4a7c15))
+	h2 = mix64(h1^seed) | 1
+	return h1, h2
+}
+
+// ceilPow2 rounds n up to the next power of two (minimum 2).
+func ceilPow2(n int) uint64 {
+	p := uint64(2)
+	for p < uint64(n) {
+		p <<= 1
+	}
+	return p
+}

@@ -1,0 +1,398 @@
+package sketch
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"math"
+	"testing"
+)
+
+// deterministic keyed pseudo-random stream for test inputs.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	return mix64(r.s)
+}
+
+func TestCountMinNeverUndercounts(t *testing.T) {
+	cm := NewCountMin(4, 512, 42)
+	exact := map[Key]uint64{}
+	r := &rng{s: 7}
+	for i := 0; i < 20000; i++ {
+		k := Key{A: r.next() % 400, B: r.next() % 3}
+		n := r.next()%5 + 1
+		cm.Add(k, n)
+		exact[k] += n
+	}
+	if cm.Total() == 0 {
+		t.Fatal("total = 0")
+	}
+	bound := cm.ErrorBound()
+	violations := 0
+	for k, want := range exact {
+		got := cm.Estimate(k)
+		if got < want {
+			t.Fatalf("Estimate(%v) = %d < true %d: count-min undercounted", k, got, want)
+		}
+		if float64(got-want) > bound {
+			violations++
+		}
+	}
+	// P(overcount > εN) ≤ δ per key; allow 2δ for sampling noise.
+	maxViol := int(2*cm.Delta()*float64(len(exact))) + 1
+	if violations > maxViol {
+		t.Fatalf("%d/%d estimates exceed εN=%.1f bound, want ≤ %d (δ=%.4f)",
+			violations, len(exact), bound, maxViol, cm.Delta())
+	}
+}
+
+func TestCountMinMergeExact(t *testing.T) {
+	a := NewCountMin(4, 256, 9)
+	b := NewCountMin(4, 256, 9)
+	whole := NewCountMin(4, 256, 9)
+	r := &rng{s: 3}
+	for i := 0; i < 5000; i++ {
+		k := Key{A: r.next() % 200}
+		n := r.next()%4 + 1
+		if i%2 == 0 {
+			a.Add(k, n)
+		} else {
+			b.Add(k, n)
+		}
+		whole.Add(k, n)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != whole.Total() {
+		t.Fatalf("merged total %d != whole total %d", a.Total(), whole.Total())
+	}
+	if !bytes.Equal(u64Bytes(a.rows), u64Bytes(whole.rows)) {
+		t.Fatal("merged cells differ from whole-stream cells")
+	}
+}
+
+func TestCountMinMergeMismatch(t *testing.T) {
+	a := NewCountMin(4, 256, 9)
+	var mm *MismatchError
+	if err := a.Merge(NewCountMin(4, 512, 9)); !errors.As(err, &mm) {
+		t.Fatalf("width mismatch: got %v, want *MismatchError", err)
+	}
+	if err := a.Merge(NewCountMin(4, 256, 10)); !errors.As(err, &mm) {
+		t.Fatalf("seed mismatch: got %v, want *MismatchError", err)
+	}
+	if err := a.Merge(NewCountMin(3, 256, 9)); !errors.As(err, &mm) {
+		t.Fatalf("depth mismatch: got %v, want *MismatchError", err)
+	}
+}
+
+func TestCountMinBounds(t *testing.T) {
+	cm := NewCountMin(4, 4096, 1)
+	if got, want := cm.Epsilon(), math.E/4096; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Epsilon = %g, want %g", got, want)
+	}
+	if got, want := cm.Delta(), math.Exp(-4); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Delta = %g, want %g", got, want)
+	}
+	fp := cm.Footprint()
+	cm.Add(Key{A: 1}, 1000)
+	if cm.Footprint() != fp {
+		t.Fatal("Footprint changed after Add; must be fixed")
+	}
+}
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	b := NewBloom(1<<14, 4, 99)
+	r := &rng{s: 11}
+	var added []Key
+	for i := 0; i < 2000; i++ {
+		k := Key{A: r.next(), B: r.next() % 16}
+		b.Add(k)
+		added = append(added, k)
+	}
+	for _, k := range added {
+		if !b.Test(k) {
+			t.Fatalf("Test(%v) = false for an added key: bloom false negative", k)
+		}
+	}
+	if b.Adds() != 2000 {
+		t.Fatalf("Adds = %d, want 2000", b.Adds())
+	}
+	if b.Distinct() == 0 || b.Distinct() > b.Adds() {
+		t.Fatalf("Distinct = %d out of range (0, %d]", b.Distinct(), b.Adds())
+	}
+}
+
+func TestBloomFPPTracksDensity(t *testing.T) {
+	b := NewBloom(1<<16, 4, 5)
+	if b.FPP() != 0 {
+		t.Fatalf("empty filter FPP = %g, want 0", b.FPP())
+	}
+	r := &rng{s: 13}
+	for i := 0; i < 4000; i++ {
+		b.Add(Key{A: r.next()})
+	}
+	fpp := b.FPP()
+	if fpp <= 0 || fpp >= 0.01 {
+		t.Fatalf("FPP = %g, want small nonzero at this load", fpp)
+	}
+	// Empirical FPP on fresh keys should be near the computed one.
+	misses, trials := 0, 20000
+	for i := 0; i < trials; i++ {
+		if b.Test(Key{A: r.next(), B: 1}) {
+			misses++
+		}
+	}
+	emp := float64(misses) / float64(trials)
+	if emp > 10*fpp+0.001 {
+		t.Fatalf("empirical FPP %g far above computed %g", emp, fpp)
+	}
+}
+
+func TestBloomMerge(t *testing.T) {
+	a := NewBloom(1<<12, 3, 7)
+	b := NewBloom(1<<12, 3, 7)
+	r := &rng{s: 17}
+	var aKeys, bKeys []Key
+	for i := 0; i < 500; i++ {
+		ka, kb := Key{A: r.next()}, Key{B: r.next()}
+		a.Add(ka)
+		b.Add(kb)
+		aKeys = append(aKeys, ka)
+		bKeys = append(bKeys, kb)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range append(aKeys, bKeys...) {
+		if !a.Test(k) {
+			t.Fatalf("merged filter lost key %v", k)
+		}
+	}
+	var mm *MismatchError
+	if err := a.Merge(NewBloom(1<<13, 3, 7)); !errors.As(err, &mm) {
+		t.Fatalf("size mismatch: got %v, want *MismatchError", err)
+	}
+	if err := a.Merge(NewBloom(1<<12, 4, 7)); !errors.As(err, &mm) {
+		t.Fatalf("k mismatch: got %v, want *MismatchError", err)
+	}
+	if err := a.Merge(NewBloom(1<<12, 3, 8)); !errors.As(err, &mm) {
+		t.Fatalf("seed mismatch: got %v, want *MismatchError", err)
+	}
+}
+
+func TestTopKGuarantees(t *testing.T) {
+	const k = 16
+	tk := NewTopK(k)
+	exact := map[Key]uint64{}
+	r := &rng{s: 23}
+	// Zipf-ish: a few heavy keys plus a long tail.
+	for i := 0; i < 30000; i++ {
+		var key Key
+		if r.next()%2 == 0 {
+			key = Key{A: r.next() % 8} // heavy
+		} else {
+			key = Key{A: 100 + r.next()%2000} // tail
+		}
+		tk.Add(key, 1)
+		exact[key]++
+	}
+	if tk.Total() != 30000 {
+		t.Fatalf("Total = %d, want 30000", tk.Total())
+	}
+	bound := tk.ErrorBound()
+	// Every key above Total/k must be tracked.
+	for key, n := range exact {
+		if n > bound {
+			e, ok := tk.Estimate(key)
+			if !ok {
+				t.Fatalf("heavy key %v (count %d > bound %d) not tracked", key, n, bound)
+			}
+			if e.Count < n || e.Count-e.Err > n {
+				t.Fatalf("key %v: true %d outside [%d−%d, %d]", key, n, e.Count, e.Err, e.Count)
+			}
+		}
+	}
+	// Per-entry interval always contains the truth, and Err ≤ global bound.
+	for _, e := range tk.Entries() {
+		n := exact[e.Key]
+		if e.Count < n || e.Count-e.Err > n {
+			t.Fatalf("entry %v: true %d outside [%d−%d, %d]", e.Key, n, e.Count, e.Err, e.Count)
+		}
+		if e.Err > bound {
+			t.Fatalf("entry %v: Err %d > global bound %d", e.Key, e.Err, bound)
+		}
+	}
+	// Canonical order: count descending, key ascending.
+	ents := tk.Entries()
+	for i := 1; i < len(ents); i++ {
+		if ents[i].Count > ents[i-1].Count {
+			t.Fatal("Entries not sorted by count descending")
+		}
+	}
+}
+
+func TestTopKMergeBounds(t *testing.T) {
+	const k = 8
+	a, b := NewTopK(k), NewTopK(k)
+	exact := map[Key]uint64{}
+	r := &rng{s: 31}
+	for i := 0; i < 10000; i++ {
+		key := Key{A: r.next() % 64}
+		if i%2 == 0 {
+			a.Add(key, 1)
+		} else {
+			b.Add(key, 1)
+		}
+		exact[key]++
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != 10000 {
+		t.Fatalf("merged Total = %d, want 10000", a.Total())
+	}
+	for _, e := range a.Entries() {
+		n := exact[e.Key]
+		if e.Count < n || e.Count-e.Err > n {
+			t.Fatalf("merged entry %v: true %d outside [%d−%d, %d]", e.Key, n, e.Count, e.Err, e.Count)
+		}
+	}
+	if len(a.Entries()) > k {
+		t.Fatalf("merged summary holds %d entries, cap %d", len(a.Entries()), k)
+	}
+	var mm *MismatchError
+	if err := a.Merge(NewTopK(k + 1)); !errors.As(err, &mm) {
+		t.Fatalf("capacity mismatch: got %v, want *MismatchError", err)
+	}
+}
+
+func TestTopKDeterministicEviction(t *testing.T) {
+	run := func() []Entry {
+		tk := NewTopK(4)
+		for i := 0; i < 1000; i++ {
+			tk.Add(Key{A: uint64(i % 10)}, 1)
+		}
+		return tk.Entries()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic entry count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic entries: %v vs %v", a[i], b[i])
+		}
+	}
+}
+
+func TestSnapshotRoundTrips(t *testing.T) {
+	r := &rng{s: 41}
+
+	cm := NewCountMin(4, 256, 77)
+	bl := NewBloom(1<<12, 4, 77)
+	tk := NewTopK(8)
+	for i := 0; i < 3000; i++ {
+		k := Key{A: r.next() % 100, B: r.next() % 4}
+		cm.Add(k, 1)
+		bl.Add(k)
+		tk.Add(k, 1)
+	}
+
+	// gob round-trip each snapshot, restore, then verify future behaviour
+	// matches by feeding both copies the same suffix.
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(cm.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(bl.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(tk.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	dec := gob.NewDecoder(&buf)
+	var cs CountMinSnapshot
+	var bs BloomSnapshot
+	var ts TopKSnapshot
+	if err := dec.Decode(&cs); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Decode(&bs); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Decode(&ts); err != nil {
+		t.Fatal(err)
+	}
+	cm2, err := RestoreCountMin(&cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl2, err := RestoreBloom(&bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk2, err := RestoreTopK(&ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := *r // same suffix for both
+	for i := 0; i < 2000; i++ {
+		k := Key{A: r.next() % 150, B: r.next() % 4}
+		cm.Add(k, 1)
+		bl.Add(k)
+		tk.Add(k, 1)
+		k2 := Key{A: r2.next() % 150, B: r2.next() % 4}
+		cm2.Add(k2, 1)
+		bl2.Add(k2)
+		tk2.Add(k2, 1)
+	}
+	if cm.Total() != cm2.Total() || !bytes.Equal(u64Bytes(cm.rows), u64Bytes(cm2.rows)) {
+		t.Fatal("count-min diverged after snapshot/restore")
+	}
+	if bl.ones != bl2.ones || bl.adds != bl2.adds || bl.news != bl2.news ||
+		!bytes.Equal(u64Bytes(bl.words), u64Bytes(bl2.words)) {
+		t.Fatal("bloom diverged after snapshot/restore")
+	}
+	ea, eb := tk.Entries(), tk2.Entries()
+	if len(ea) != len(eb) {
+		t.Fatal("top-k diverged after snapshot/restore")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("top-k entry %d diverged: %v vs %v", i, ea[i], eb[i])
+		}
+	}
+}
+
+func TestSnapshotRejectsCorrupt(t *testing.T) {
+	if _, err := RestoreCountMin(&CountMinSnapshot{Depth: 2, Width: 300, Rows: make([]uint64, 600)}); err == nil {
+		t.Fatal("non-power-of-two width accepted")
+	}
+	if _, err := RestoreCountMin(&CountMinSnapshot{Depth: 2, Width: 256, Rows: make([]uint64, 100)}); err == nil {
+		t.Fatal("short rows accepted")
+	}
+	if _, err := RestoreBloom(&BloomSnapshot{K: 2, Words: make([]uint64, 3)}); err == nil {
+		t.Fatal("non-power-of-two bloom accepted")
+	}
+	if _, err := RestoreTopK(&TopKSnapshot{K: 2, Slots: make([]Entry, 5)}); err == nil {
+		t.Fatal("overfull top-k accepted")
+	}
+	if _, err := RestoreTopK(&TopKSnapshot{K: 4, Slots: []Entry{{Key: Key{A: 1}}, {Key: Key{A: 1}}}}); err == nil {
+		t.Fatal("duplicate top-k keys accepted")
+	}
+}
+
+func u64Bytes(s []uint64) []byte {
+	out := make([]byte, 0, len(s)*8)
+	for _, v := range s {
+		for i := 0; i < 8; i++ {
+			out = append(out, byte(v>>(8*i)))
+		}
+	}
+	return out
+}

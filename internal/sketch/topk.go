@@ -1,0 +1,201 @@
+package sketch
+
+import "sort"
+
+// Entry is one tracked heavy hitter. Count is the space-saving counter
+// (an overestimate); Err is the per-entry overcount bound, so the true
+// count lies in [Count−Err, Count].
+type Entry struct {
+	Key   Key
+	Count uint64
+	Err   uint64
+}
+
+// TopK is a space-saving heavy-hitter summary with k counters. Any key
+// whose true count exceeds Total/k is guaranteed to be tracked, and each
+// tracked key's true count lies within [Count−Err, Count]. Memory is
+// fixed at construction: k slots plus the index map, both charged up
+// front by Footprint.
+type TopK struct {
+	k     int
+	total uint64
+	idx   map[Key]int
+	slots []Entry
+}
+
+// NewTopK builds a summary tracking at most k keys.
+func NewTopK(k int) *TopK {
+	if k < 1 {
+		k = 1
+	}
+	return &TopK{
+		k:     k,
+		idx:   make(map[Key]int, k),
+		slots: make([]Entry, 0, k),
+	}
+}
+
+// Add adds weight n to key. If the key is untracked and all k slots are
+// full, the minimum-count slot is evicted: the new key inherits its
+// count (plus n) and records the inherited count as its error bound.
+// Ties on the minimum are broken deterministically by key order, so the
+// summary's state is a pure function of the input sequence.
+func (t *TopK) Add(key Key, n uint64) {
+	if i, ok := t.idx[key]; ok {
+		t.slots[i].Count += n
+		t.total += n
+		return
+	}
+	if len(t.slots) < t.k {
+		t.idx[key] = len(t.slots)
+		t.slots = append(t.slots, Entry{Key: key, Count: n})
+		t.total += n
+		return
+	}
+	// Evict the minimum-count slot; break ties by smallest key so the
+	// choice does not depend on map iteration or insertion history.
+	min := 0
+	for i := 1; i < len(t.slots); i++ {
+		if less(t.slots[i], t.slots[min]) {
+			min = i
+		}
+	}
+	old := t.slots[min]
+	delete(t.idx, old.Key)
+	t.idx[key] = min
+	t.slots[min] = Entry{Key: key, Count: old.Count + n, Err: old.Count}
+	t.total += n
+}
+
+func less(a, b Entry) bool {
+	if a.Count != b.Count {
+		return a.Count < b.Count
+	}
+	if a.Key.A != b.Key.A {
+		return a.Key.A < b.Key.A
+	}
+	return a.Key.B < b.Key.B
+}
+
+// Total returns the total weight added.
+func (t *TopK) Total() uint64 { return t.total }
+
+// K returns the summary's capacity.
+func (t *TopK) K() int { return t.k }
+
+// ErrorBound returns Total/k — the guaranteed maximum overcount of any
+// entry, and the threshold above which every key is guaranteed tracked.
+func (t *TopK) ErrorBound() uint64 {
+	return t.total / uint64(t.k)
+}
+
+// Entries returns the tracked entries in canonical order: count
+// descending, then key ascending. The slice is freshly allocated.
+func (t *TopK) Entries() []Entry {
+	out := make([]Entry, len(t.slots))
+	copy(out, t.slots)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].Key.A != out[j].Key.A {
+			return out[i].Key.A < out[j].Key.A
+		}
+		return out[i].Key.B < out[j].Key.B
+	})
+	return out
+}
+
+// Estimate returns the tracked count and error bound for key, or
+// (0, false) if untracked (meaning its true count ≤ Total/k).
+func (t *TopK) Estimate(key Key) (Entry, bool) {
+	if i, ok := t.idx[key]; ok {
+		return t.slots[i], true
+	}
+	return Entry{}, false
+}
+
+// Footprint returns the fixed heap footprint in bytes: k slots plus the
+// index map, charged at capacity regardless of how many are occupied.
+const topkSlotBytes = 32 + 48 // Entry + map bucket share
+
+func (t *TopK) Footprint() int64 {
+	return int64(t.k)*topkSlotBytes + 64
+}
+
+// Merge folds other into t using the mergeable-summaries construction
+// (Agarwal et al.): counts and error bounds of common keys add; a key
+// present on only one side is charged the other side's minimum count as
+// additional error; the combined set is then truncated back to the k
+// largest. The result remains a valid space-saving summary of the
+// concatenated streams with bound (t.Total+other.Total)/k.
+func (t *TopK) Merge(other *TopK) error {
+	if t.k != other.k {
+		return &MismatchError{What: "top-k capacities differ"}
+	}
+	tMin := t.minCountFloor()
+	oMin := other.minCountFloor()
+	merged := make(map[Key]Entry, len(t.slots)+len(other.slots))
+	for _, e := range t.slots {
+		merged[e.Key] = e
+	}
+	for _, e := range other.slots {
+		if cur, ok := merged[e.Key]; ok {
+			cur.Count += e.Count
+			cur.Err += e.Err
+			merged[e.Key] = cur
+		} else {
+			merged[e.Key] = Entry{Key: e.Key, Count: e.Count + tMin, Err: e.Err + tMin}
+		}
+	}
+	for _, e := range t.slots {
+		if _, ok := other.idx[e.Key]; !ok {
+			cur := merged[e.Key]
+			cur.Count += oMin
+			cur.Err += oMin
+			merged[e.Key] = cur
+		}
+	}
+	all := make([]Entry, 0, len(merged))
+	for _, e := range merged {
+		all = append(all, e)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		if all[i].Key.A != all[j].Key.A {
+			return all[i].Key.A < all[j].Key.A
+		}
+		return all[i].Key.B < all[j].Key.B
+	})
+	if len(all) > t.k {
+		all = all[:t.k]
+	}
+	t.slots = t.slots[:0]
+	for k := range t.idx {
+		delete(t.idx, k)
+	}
+	for i, e := range all {
+		t.idx[e.Key] = i
+		t.slots = append(t.slots, e)
+	}
+	t.total += other.total
+	return nil
+}
+
+// minCountFloor is the count a key absent from this summary could have
+// accumulated unseen: 0 while slots remain free, else the minimum
+// tracked count.
+func (t *TopK) minCountFloor() uint64 {
+	if len(t.slots) < t.k {
+		return 0
+	}
+	min := t.slots[0].Count
+	for _, e := range t.slots[1:] {
+		if e.Count < min {
+			min = e.Count
+		}
+	}
+	return min
+}

@@ -66,7 +66,7 @@ func FromLEAPCrossObject(p *leap.Profile, table ObjectLocator) map[trace.InstrID
 	out := make(map[trace.InstrID]Info)
 	for id, h := range hist {
 		total := events[id]
-		if total < minSample {
+		if total < MinSample {
 			continue
 		}
 		stride, count := dominant(h)

@@ -105,7 +105,7 @@ func (p *Ideal) StronglyStrided() map[trace.InstrID]Info {
 		for _, c := range h {
 			total += c
 		}
-		if total < minSample {
+		if total < MinSample {
 			continue
 		}
 		stride, count := dominant(h)
@@ -131,10 +131,10 @@ func dominant(h map[int64]uint64) (stride int64, count uint64) {
 	return stride, count
 }
 
-// minSample is the minimum number of captured stride events needed before an
+// MinSample is the minimum number of captured stride events needed before an
 // instruction can be classified; tinier samples are statistically
 // meaningless.
-const minSample = 4
+const MinSample = 4
 
 // FromLEAP identifies strongly strided instructions from a LEAP profile: a
 // trivial post-process that examines all offset strides captured for each
@@ -188,7 +188,7 @@ func classify(hist map[trace.InstrID]map[int64]uint64, events map[trace.InstrID]
 	out := make(map[trace.InstrID]Info)
 	for id, h := range hist {
 		total := events[id]
-		if total < minSample {
+		if total < MinSample {
 			continue
 		}
 		stride, count := dominant(h)

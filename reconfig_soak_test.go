@@ -171,6 +171,7 @@ func TestSoakClusterKillDuringMigration(t *testing.T) {
 		Shards:      3,
 		Shard:       serve.Config{CheckpointEvery: 2, CheckpointInterval: 10 * time.Millisecond},
 		MigrateHook: trap,
+		Logf:        t.Logf,
 	})
 	if err != nil {
 		t.Fatal(err)
